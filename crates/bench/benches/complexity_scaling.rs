@@ -1,0 +1,48 @@
+//! Table 1 ("this work" scalability row): the per-iteration cost scales as
+//! `O(N_E · N_B · N_BS³)`. This bench measures the real RGF solver at fixed
+//! `N_BS` while sweeping `N_B`, and at fixed `N_B` while sweeping `N_BS`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quatrex_bench::bench_device;
+use quatrex_core::assembly::{assemble_g, ObcMethod};
+use quatrex_linalg::FlopCounter;
+use quatrex_rgf::rgf_solve;
+
+fn rgf_block_count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/rgf_vs_n_blocks");
+    group.sample_size(10);
+    for n_blocks in [4usize, 8, 16] {
+        let device = bench_device(n_blocks, 4);
+        let h = device.hamiltonian_bt();
+        let flops = FlopCounter::new();
+        let asm = assemble_g(
+            &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
+            ObcMethod::SanchoRubio, None, &flops,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n_blocks), &n_blocks, |b, _| {
+            b.iter(|| rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn rgf_block_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/rgf_vs_block_size");
+    group.sample_size(10);
+    for puc in [3usize, 6, 12] {
+        let device = bench_device(6, puc);
+        let h = device.hamiltonian_bt();
+        let flops = FlopCounter::new();
+        let asm = assemble_g(
+            &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
+            ObcMethod::SanchoRubio, None, &flops,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(puc * 2), &puc, |b, _| {
+            b.iter(|| rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rgf_block_count_scaling, rgf_block_size_scaling);
+criterion_main!(benches);

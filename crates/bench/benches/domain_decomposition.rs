@@ -1,0 +1,40 @@
+//! Table 5: spatial domain decomposition. Compares the sequential RGF selected
+//! inversion with the nested-dissection solver at `P_S = 2` and `P_S = 4` on a
+//! long reduced nanoribbon, the regime where the paper needs the decomposition
+//! to fit the device into memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quatrex_bench::bench_device;
+use quatrex_core::assembly::{assemble_g, ObcMethod};
+use quatrex_linalg::FlopCounter;
+use quatrex_rgf::{nested_dissection_invert, rgf_selected_inverse, NestedConfig};
+use quatrex_sparse::BlockTridiagonal;
+
+fn system(n_blocks: usize) -> BlockTridiagonal {
+    let device = bench_device(n_blocks, 4);
+    let h = device.hamiltonian_bt();
+    let flops = FlopCounter::new();
+    assemble_g(
+        &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
+        ObcMethod::SanchoRubio, None, &flops,
+    )
+    .system
+}
+
+fn sequential_vs_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5/selected_inversion");
+    group.sample_size(10);
+    let a = system(24);
+    group.bench_function("sequential", |b| {
+        b.iter(|| rgf_selected_inverse(&a).unwrap());
+    });
+    for p_s in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("nested", p_s), &p_s, |b, &p| {
+            b.iter(|| nested_dissection_invert(&a, &NestedConfig::new(p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sequential_vs_nested);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 4: per-kernel cost of one SCBA iteration on a single compute element,
+//! with and without the OBC memoizer, measured on reduced-scale devices whose
+//! block structure matches the paper's NW-1 / NW-2 / NR-16 entries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quatrex_bench::{bench_config, reduced_device};
+use quatrex_core::ScbaSolver;
+use quatrex_device::DeviceCatalog;
+
+fn scba_iteration_by_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/scba_iteration");
+    group.sample_size(10);
+    let cases = [("NW-1", DeviceCatalog::nw1(), 26usize), ("NW-2", DeviceCatalog::nw2(), 126), ("NR-16", DeviceCatalog::nr16(), 213)];
+    for (name, params, reduction) in cases {
+        let device = reduced_device(&params, reduction);
+        let solver = ScbaSolver::new(device, bench_config(8, 2, true));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| solver.run());
+        });
+    }
+    group.finish();
+}
+
+fn memoizer_on_off(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/memoizer");
+    group.sample_size(10);
+    for (label, memo) in [("memoizer_on", true), ("memoizer_off", false)] {
+        let device = reduced_device(&DeviceCatalog::nw1(), 26);
+        let solver = ScbaSolver::new(device, bench_config(8, 3, memo));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &memo, |b, _| {
+            b.iter(|| solver.run());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scba_iteration_by_device, memoizer_on_off);
+criterion_main!(benches);

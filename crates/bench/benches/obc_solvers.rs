@@ -1,0 +1,77 @@
+//! OBC solver ablation (Sections 4.2 and 5.3): direct solvers (Sancho–Rubio,
+//! Beyn, companion-PEVP, direct Lyapunov) versus the iterative solvers from a
+//! cold start and from a memoized (previous-iteration) guess.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quatrex_linalg::{cplx, CMatrix};
+use quatrex_obc::{
+    beyn, fixed_point, lyapunov_direct, lyapunov_doubling, lyapunov_fixed_point, pevp_direct,
+    sancho_rubio, BeynConfig,
+};
+
+fn lead_problem(dim: usize) -> (CMatrix, CMatrix, CMatrix) {
+    let h0 = CMatrix::from_fn(dim, dim, |i, j| {
+        if i == j {
+            cplx(if i % 2 == 0 { 0.6 } else { -0.6 }, 0.0)
+        } else {
+            cplx(-0.2 / (1.0 + (i as f64 - j as f64).abs()), 0.0)
+        }
+    })
+    .hermitian_part();
+    let h1 = CMatrix::from_fn(dim, dim, |i, j| {
+        cplx(-0.1 * (-((i as f64 - j as f64).abs()) / 2.0).exp(), 0.0)
+    });
+    let m = &CMatrix::scaled_identity(dim, cplx(1.6, 1e-2)) - &h0;
+    (m, h1.scaled(cplx(-1.0, 0.0)), h1.dagger().scaled(cplx(-1.0, 0.0)))
+}
+
+fn retarded_obc_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/retarded_obc");
+    group.sample_size(20);
+    let (m, n, np) = lead_problem(16);
+    let warm = sancho_rubio(&m, &n, &np, 1e-12, 200).unwrap().x;
+    group.bench_function("sancho_rubio", |b| {
+        b.iter(|| sancho_rubio(&m, &n, &np, 1e-10, 200).unwrap());
+    });
+    group.bench_function("beyn", |b| {
+        b.iter(|| beyn(&m, &n, &np, &BeynConfig::default()).unwrap());
+    });
+    group.bench_function("pevp_direct", |b| {
+        b.iter(|| pevp_direct(&m, &n, &np).unwrap());
+    });
+    group.bench_function("fixed_point_cold", |b| {
+        b.iter(|| fixed_point(&m, &n, &np, None, 1e-8, 5000).unwrap());
+    });
+    group.bench_function("fixed_point_memoized", |b| {
+        b.iter(|| fixed_point(&m, &n, &np, Some(&warm), 1e-8, 50).unwrap());
+    });
+    group.finish();
+}
+
+fn lyapunov_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/lyapunov");
+    group.sample_size(20);
+    let dim = 16;
+    let a = CMatrix::from_fn(dim, dim, |i, j| {
+        cplx(0.2 / (1.0 + (i as f64 - j as f64).abs()), 0.1 * ((i * j) as f64 * 0.07).sin())
+    });
+    let q = CMatrix::from_fn(dim, dim, |i, j| cplx(0.3 * (i as f64 + 1.0), 0.5 - 0.1 * j as f64))
+        .negf_antihermitian_part();
+    let warm = lyapunov_doubling(&a, &q, 1e-14, 60).unwrap().0;
+    group.bench_function("fixed_point_cold", |b| {
+        b.iter(|| lyapunov_fixed_point(&a, &q, None, 1e-12, 500).unwrap());
+    });
+    group.bench_function("fixed_point_memoized", |b| {
+        b.iter(|| lyapunov_fixed_point(&a, &q, Some(&warm), 1e-12, 50).unwrap());
+    });
+    group.bench_function("doubling", |b| {
+        b.iter(|| lyapunov_doubling(&a, &q, 1e-12, 60).unwrap());
+    });
+    group.bench_function("direct_eigendecomposition", |b| {
+        b.iter(|| lyapunov_direct(&a, &q).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, retarded_obc_solvers, lyapunov_solvers);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Section 5.2 ablation: symmetry-exploiting storage of the lesser/greater
+//! quantities. Measures (a) the explicit symmetrisation of a full BT quantity
+//! versus the compression into [`SymmetricLesser`], and (b) the halving of the
+//! transposition payload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quatrex_linalg::{cplx, CMatrix};
+use quatrex_runtime::TranspositionVolume;
+use quatrex_sparse::{BlockTridiagonal, SymmetricLesser};
+
+fn noisy_lesser(nb: usize, bs: usize) -> BlockTridiagonal {
+    let mut bt = BlockTridiagonal::zeros(nb, bs);
+    for i in 0..nb {
+        let raw = CMatrix::from_fn(bs, bs, |r, c| cplx((r * 3 + c + i) as f64 * 0.1, 0.3 - c as f64 * 0.05));
+        bt.set_block(i, i, raw.negf_antihermitian_part());
+    }
+    for i in 0..nb - 1 {
+        let u = CMatrix::from_fn(bs, bs, |r, c| cplx(0.05 * (r as f64 - c as f64), 0.2));
+        bt.set_block(i, i + 1, u.clone());
+        bt.set_block(i + 1, i, u.dagger().scaled(cplx(-1.0, 0.0)));
+    }
+    bt
+}
+
+fn symmetry_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/symmetry");
+    group.sample_size(20);
+    let full = noisy_lesser(16, 16);
+    group.bench_function("explicit_symmetrization", |b| {
+        b.iter(|| {
+            let mut x = full.clone();
+            x.symmetrize_negf();
+            x
+        });
+    });
+    group.bench_function("symmetric_storage_roundtrip", |b| {
+        b.iter(|| SymmetricLesser::from_full(&full).to_full());
+    });
+    group.finish();
+
+    // Communication-volume side of the ablation (not timed, printed once).
+    let full_vol = TranspositionVolume::new(1_000_000, 128, 32, false);
+    let sym_vol = TranspositionVolume::new(1_000_000, 128, 32, true);
+    println!(
+        "transposition volume: full = {} MB, symmetry-reduced = {} MB ({}x saving)",
+        full_vol.total_bytes() / 1_000_000,
+        sym_vol.total_bytes() / 1_000_000,
+        full_vol.total_bytes() as f64 / sym_vol.total_bytes() as f64
+    );
+}
+
+criterion_group!(benches, symmetry_storage);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 1 ("this work" row): per-iteration complexity `O(N_E · N_B · N_BS³)`.
+//!
+//! Prints (a) the fitted exponents of the analytic workload model and (b) the
+//! measured FLOP counts of the real RGF solver on reduced devices, which must
+//! follow the same law.
+
+use quatrex_bench::{bench_device, cell};
+use quatrex_core::assembly::{assemble_g, ObcMethod};
+use quatrex_linalg::FlopCounter;
+use quatrex_perf::table1_rows;
+use quatrex_rgf::rgf_solve;
+
+fn measured_rgf_flops(n_blocks: usize, puc: usize) -> u64 {
+    let device = bench_device(n_blocks, puc);
+    let h = device.hamiltonian_bt();
+    let flops = FlopCounter::new();
+    let asm = assemble_g(
+        &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
+        ObcMethod::SanchoRubio, None, &flops,
+    );
+    rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater]).unwrap().flops
+}
+
+fn main() {
+    println!("=== Table 1 (this work): per-iteration scalability O(N_E N_B N_BS^3) ===\n");
+
+    println!("Analytic workload model (paper-calibrated):");
+    println!("{:<10} {:>14} {:>16} {:>18} {:>16}", "parameter", "param ratio", "workload ratio", "expected exponent", "fitted exponent");
+    for row in table1_rows() {
+        println!(
+            "{:<10} {} {} {} {}",
+            row.parameter,
+            cell(row.parameter_ratio),
+            cell(row.workload_ratio),
+            cell(row.expected_exponent),
+            cell(row.fitted_exponent)
+        );
+    }
+
+    println!("\nMeasured RGF FLOPs on reduced devices (one energy point):");
+    println!("{:<28} {:>16}", "configuration", "real FLOPs");
+    let base = measured_rgf_flops(6, 4);
+    println!("{:<28} {:>16}", "N_B = 6,  N_BS = 8", base);
+    let double_blocks = measured_rgf_flops(12, 4);
+    println!("{:<28} {:>16}   (x{:.2} for 2x N_B)", "N_B = 12, N_BS = 8", double_blocks, double_blocks as f64 / base as f64);
+    let double_size = measured_rgf_flops(6, 8);
+    println!("{:<28} {:>16}   (x{:.2} for 2x N_BS, expect ~8)", "N_B = 6,  N_BS = 16", double_size, double_size as f64 / base as f64);
+}

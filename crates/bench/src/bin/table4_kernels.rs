@@ -1,0 +1,73 @@
+//! Table 4: workload, time and performance per SCBA iteration of the main
+//! kernels, with and without the OBC memoizer.
+//!
+//! Two sections are printed:
+//!  1. the full-scale model rows (paper-calibrated workload model + machine
+//!     models of a GH200 GPU and an MI250X GCD), matching the paper's columns;
+//!  2. measured kernel wall times of this reproduction on a reduced device
+//!     (same block structure, laptop scale), with the memoizer on and off.
+
+use quatrex_bench::{bench_config, cell, reduced_device};
+use quatrex_core::ScbaSolver;
+use quatrex_device::DeviceCatalog;
+use quatrex_perf::{table4_breakdown, MachineModel};
+
+fn model_section() {
+    println!("--- Full-scale model (workload [Tflop] / time [s]) ---\n");
+    let cases = [
+        ("NW-1", DeviceCatalog::nw1(), MachineModel::mi250x_gcd(), 50usize),
+        ("NW-1", DeviceCatalog::nw1(), MachineModel::gh200(), 80),
+        ("NW-2", DeviceCatalog::nw2(), MachineModel::mi250x_gcd(), 4),
+        ("NW-2", DeviceCatalog::nw2(), MachineModel::gh200(), 6),
+        ("NR-16", DeviceCatalog::nr16(), MachineModel::mi250x_gcd(), 1),
+        ("NR-23", DeviceCatalog::nr23(), MachineModel::gh200(), 1),
+    ];
+    for (name, params, element, energies) in cases {
+        for memo in [false, true] {
+            let bd = table4_breakdown(params.clone(), element, energies, memo);
+            println!(
+                "{name} on {} | energies = {energies} | memoizer = {}",
+                element.name,
+                if memo { "yes" } else { "no" }
+            );
+            for row in &bd.rows {
+                println!("  {:<26} {}  {}", row.kernel, cell(row.workload_tflop), cell(row.time_s));
+            }
+            println!(
+                "  {:<26} {}  {}   -> {:>8.2} Tflop/s ({:.1}% of peak), {:.3} s/energy\n",
+                "TOTAL",
+                cell(bd.total_workload()),
+                cell(bd.total_time()),
+                bd.performance(),
+                100.0 * bd.performance() / element.peak_fp64_tflops,
+                bd.time_per_energy()
+            );
+        }
+    }
+}
+
+fn measured_section() {
+    println!("--- Measured on this reproduction (reduced NW-1, 12 energies, 3 iterations) ---\n");
+    for memo in [false, true] {
+        let device = reduced_device(&DeviceCatalog::nw1(), 26);
+        let solver = ScbaSolver::new(device, bench_config(12, 3, memo));
+        let res = solver.run();
+        println!("memoizer = {}", if memo { "yes" } else { "no" });
+        for (label, seconds) in res.timings.breakdown() {
+            println!("  {:<26} {:>10.4} s", label, seconds);
+        }
+        println!(
+            "  {:<26} {:>10.4} s | total {:.3e} FLOPs | memoizer hit rate {:.0}%\n",
+            "TOTAL",
+            res.timings.total_seconds(),
+            res.flops.total() as f64,
+            100.0 * res.memoizer_hit_rate
+        );
+    }
+}
+
+fn main() {
+    println!("=== Table 4: per-kernel workload, time and performance ===\n");
+    model_section();
+    measured_section();
+}

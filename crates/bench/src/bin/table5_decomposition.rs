@@ -1,0 +1,73 @@
+//! Table 5: spatial domain decomposition (`P_S` = 2 / 4) — per-partition
+//! workload, time and performance for one energy point, plus the measured
+//! per-partition FLOP report of this reproduction's nested-dissection solver.
+
+use quatrex_bench::{bench_device, cell};
+use quatrex_core::assembly::{assemble_g, ObcMethod};
+use quatrex_linalg::FlopCounter;
+use quatrex_perf::{table5_rows, MachineModel};
+use quatrex_rgf::{nested_dissection_invert, rgf_selected_inverse, NestedConfig};
+use quatrex_device::DeviceCatalog;
+
+fn model_section() {
+    println!("--- Full-scale model (one energy point) ---\n");
+    let cases = [
+        ("Frontier", DeviceCatalog::nr24(), MachineModel::mi250x_gcd(), 2usize),
+        ("Frontier", DeviceCatalog::nr40(), MachineModel::mi250x_gcd(), 4),
+        ("Alps", DeviceCatalog::nr44(), MachineModel::gh200(), 2),
+        ("Alps", DeviceCatalog::nr80(), MachineModel::gh200(), 4),
+    ];
+    for (machine, params, element, p_s) in cases {
+        println!("{} / {} with P_S = {p_s}:", machine, params.name);
+        println!("  {:<20} {:>14} {:>12} {:>14}", "partition", "Tflop", "time [s]", "Tflop/s");
+        let rows = table5_rows(&params, p_s, &element);
+        let mut total = 0.0;
+        for row in &rows {
+            total += row.workload_tflop * if row.partition.starts_with("middle") { (p_s - 2) as f64 } else { 1.0 };
+            println!(
+                "  {:<20} {} {} {}",
+                row.partition,
+                cell(row.workload_tflop),
+                cell(row.time_s),
+                cell(row.performance_tflops)
+            );
+        }
+        println!("  {:<20} {}\n", "TOTAL", cell(total));
+    }
+}
+
+fn measured_section() {
+    println!("--- Measured nested-dissection report (reduced device, 24 blocks) ---\n");
+    let device = bench_device(24, 4);
+    let h = device.hamiltonian_bt();
+    let flops = FlopCounter::new();
+    let asm = assemble_g(
+        &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
+        ObcMethod::SanchoRubio, None, &flops,
+    );
+    let seq = rgf_selected_inverse(&asm.system).unwrap();
+    println!("sequential RGF:            {:>14} FLOPs", seq.flops);
+    for p_s in [2usize, 4] {
+        let (_, report) = nested_dissection_invert(&asm.system, &NestedConfig::new(p_s)).unwrap();
+        println!("nested dissection P_S = {p_s}:");
+        for p in &report.partitions {
+            println!(
+                "  partition {:>2} ({} blocks, {} fill-in blocks): {:>14} FLOPs",
+                p.partition, p.blocks, p.fill_in_blocks, p.flops
+            );
+        }
+        println!(
+            "  reduced system: {} blocks, {} FLOPs | total {} FLOPs | boundary/middle ratio {:?}\n",
+            report.reduced_system_blocks,
+            report.reduced_system_flops,
+            report.total_flops(),
+            report.boundary_to_middle_ratio().map(|r| (r * 100.0).round() / 100.0)
+        );
+    }
+}
+
+fn main() {
+    println!("=== Table 5: spatial domain decomposition ===\n");
+    model_section();
+    measured_section();
+}

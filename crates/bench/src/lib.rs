@@ -1,0 +1,92 @@
+//! # quatrex-bench
+//!
+//! Benchmark harness reproducing the paper's evaluation.
+//!
+//! Two kinds of artefacts are produced:
+//!
+//! * **Criterion benches** (`benches/`) measure the real kernels of this
+//!   reproduction at laptop scale (reduced devices with the same block
+//!   structure as the paper's) — one bench per evaluation artefact;
+//! * **table binaries** (`src/bin/`) print the paper's tables/figure series:
+//!   measured small-scale numbers where possible, machine-model extrapolations
+//!   (`quatrex-perf`) for the full-scale rows (Tables 4–6, Fig. 6).
+//!
+//! Run `cargo run --release -p quatrex-bench --bin table4_kernels` (etc.) to
+//! regenerate a specific artefact; see EXPERIMENTS.md for the full index.
+
+use quatrex_core::{ObcMethod, ScbaConfig, ScbaSolver};
+use quatrex_device::{Device, DeviceBuilder, DeviceCatalog, DeviceParams};
+
+/// Reduced-scale instance of a catalogue device: the primitive-cell size is
+/// divided by `reduction` while `N_U` and `N_B` are preserved, so every solver
+/// control path (block counts, bandwidths, OBC structure) is identical to the
+/// full-scale device.
+pub fn reduced_device(params: &DeviceParams, reduction: usize) -> Device {
+    DeviceBuilder::from_params(params, reduction).build()
+}
+
+/// A small but structurally faithful nanoribbon-like device for fast benches.
+pub fn bench_device(n_blocks: usize, puc_size: usize) -> Device {
+    DeviceBuilder::test_device(puc_size, 2, n_blocks).build()
+}
+
+/// SCBA configuration used by the measurement benches: small energy grid,
+/// a couple of iterations, weak interaction for guaranteed stability.
+pub fn bench_config(n_energies: usize, iterations: usize, memoizer: bool) -> ScbaConfig {
+    ScbaConfig {
+        n_energies,
+        max_iterations: iterations,
+        mixing: 0.4,
+        tolerance: 1e-6,
+        use_memoizer: memoizer,
+        interaction_scale: 0.2,
+        obc_method_g: ObcMethod::SanchoRubio,
+        obc_method_w: ObcMethod::Beyn,
+        ..ScbaConfig::default()
+    }
+}
+
+/// Convenience: build a solver for a reduced NW-1-like device.
+pub fn bench_solver(n_energies: usize, iterations: usize, memoizer: bool) -> ScbaSolver {
+    let device = reduced_device(&DeviceCatalog::nw1(), 26);
+    ScbaSolver::new(device, bench_config(n_energies, iterations, memoizer))
+}
+
+/// Format a floating point cell with a fixed width for table printing.
+pub fn cell(value: f64) -> String {
+    if value.abs() >= 1000.0 {
+        format!("{value:>12.1}")
+    } else if value.abs() >= 1.0 {
+        format!("{value:>12.3}")
+    } else {
+        format!("{value:>12.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_devices_keep_the_block_structure() {
+        let dev = reduced_device(&DeviceCatalog::nw1(), 26);
+        assert_eq!(dev.n_blocks, DeviceCatalog::nw1().n_blocks_g);
+        assert_eq!(dev.n_u, DeviceCatalog::nw1().n_u_g);
+        assert!(dev.puc_size >= 2);
+    }
+
+    #[test]
+    fn bench_solver_runs_one_iteration_quickly() {
+        let solver = bench_solver(8, 1, true);
+        let res = solver.ballistic();
+        assert_eq!(res.iterations, 1);
+        assert!(res.flops.total() > 0);
+    }
+
+    #[test]
+    fn cell_formats_small_and_large_values() {
+        assert!(cell(12345.6).contains("12345.6"));
+        assert!(cell(3.14159).contains("3.142"));
+        assert!(cell(0.001234).contains("0.00123"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Energy convolutions: polarisation `P` and GW self-energy `Σ`.
+//!
+//! After the per-energy G/W solves, the interaction terms are evaluated
+//! element-wise in real space and as convolutions over the energy axis
+//! (paper Eq. (3) and Section 4.4):
+//!
+//! ```text
+//! P^≶_ij(ω)  = −i·ΔE/(2π) · Σ_E  G^≶_ij(E) · G^≷_ji(E − ω)
+//! Σ^≶_ij(E)  = +i·ΔE/(2π) · Σ_ω  G^≶_ij(E − ω) · W^≶_ij(ω)
+//! ```
+//!
+//! and the retarded components follow from the lesser/greater ones through the
+//! causality (Heaviside-in-time) construction `X^R(t) = θ(t)·[X^>(t) − X^<(t)]`
+//! evaluated with FFTs. Before the convolutions the data is transposed from
+//! energy-major (one matrix per energy, the layout of the RGF solves) to
+//! element-major (one energy series per stored matrix element, the layout the
+//! FFT needs) — the step that maps to the `Alltoall` of Fig. 3.
+
+use quatrex_fft::{convolve, fft, ifft, next_power_of_two};
+use quatrex_linalg::flops::{FlopCounter, FlopKind};
+use quatrex_linalg::{c64, CMatrix};
+use quatrex_sparse::BlockTridiagonal;
+use rayon::prelude::*;
+
+/// A block-tridiagonal quantity resolved on an energy grid (energy-major layout).
+pub type EnergyResolved = Vec<BlockTridiagonal>;
+
+/// Identifier of one stored block position of the BT pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockPos {
+    Diag(usize),
+    Upper(usize),
+    Lower(usize),
+}
+
+fn block_positions(nb: usize) -> Vec<BlockPos> {
+    let mut v = Vec::with_capacity(3 * nb - 2);
+    for i in 0..nb {
+        v.push(BlockPos::Diag(i));
+    }
+    for i in 0..nb - 1 {
+        v.push(BlockPos::Upper(i));
+        v.push(BlockPos::Lower(i));
+    }
+    v
+}
+
+fn get_block<'a>(x: &'a BlockTridiagonal, pos: BlockPos) -> &'a CMatrix {
+    match pos {
+        BlockPos::Diag(i) => x.diag(i),
+        BlockPos::Upper(i) => x.upper(i),
+        BlockPos::Lower(i) => x.lower(i),
+    }
+}
+
+fn transposed_position(pos: BlockPos) -> BlockPos {
+    match pos {
+        BlockPos::Diag(i) => BlockPos::Diag(i),
+        BlockPos::Upper(i) => BlockPos::Lower(i),
+        BlockPos::Lower(i) => BlockPos::Upper(i),
+    }
+}
+
+fn set_block(x: &mut BlockTridiagonal, pos: BlockPos, block: CMatrix) {
+    match pos {
+        BlockPos::Diag(i) => x.set_block(i, i, block),
+        BlockPos::Upper(i) => x.set_block(i, i + 1, block),
+        BlockPos::Lower(i) => x.set_block(i + 1, i, block),
+    }
+}
+
+/// Gather the energy series of one scalar element (`pos`, r, c).
+fn element_series(x: &EnergyResolved, pos: BlockPos, r: usize, c: usize) -> Vec<c64> {
+    x.iter().map(|bt| get_block(bt, pos)[(r, c)]).collect()
+}
+
+/// Cross-correlation without conjugation at lag `k` (range `−(n−1)..n`):
+/// `out[k + n − 1] = Σ_m a[m]·b[m − k]`.
+fn cross_correlate(a: &[c64], b: &[c64]) -> Vec<c64> {
+    let b_rev: Vec<c64> = b.iter().rev().copied().collect();
+    convolve(a, &b_rev)
+}
+
+/// Compute the lesser and greater polarisation from the lesser/greater Green's
+/// functions:
+/// `P^<_ij(ω_j) = −i·ΔE/(2π)·Σ_E G^<_ij(E)·G^>_ji(E − ω_j)` (and `< ↔ >` for
+/// the greater component), on the same `N_E`-point grid with the transfer
+/// energy centred at zero.
+pub fn polarization_from_g(
+    g_lesser: &EnergyResolved,
+    g_greater: &EnergyResolved,
+    de: f64,
+    flops: &FlopCounter,
+) -> (EnergyResolved, EnergyResolved) {
+    let ne = g_lesser.len();
+    assert_eq!(ne, g_greater.len());
+    assert!(ne >= 2);
+    let nb = g_lesser[0].n_blocks();
+    let bs = g_lesser[0].block_size();
+    let prefactor = c64::new(0.0, -de / (2.0 * std::f64::consts::PI));
+    let zero_lag = ne - 1;
+    let half = ne / 2;
+
+    let positions = block_positions(nb);
+    let per_position: Vec<(BlockPos, Vec<(usize, usize, Vec<c64>, Vec<c64>)>)> = positions
+        .par_iter()
+        .map(|&pos| {
+            let tpos = transposed_position(pos);
+            let mut elements = Vec::with_capacity(bs * bs);
+            for r in 0..bs {
+                for c in 0..bs {
+                    let gl = element_series(g_lesser, pos, r, c);
+                    let gg_t = element_series(g_greater, tpos, c, r);
+                    let gg = element_series(g_greater, pos, r, c);
+                    let gl_t = element_series(g_lesser, tpos, c, r);
+                    // lesser: Σ_E G^<_ij(E) G^>_ji(E − ω)
+                    let corr_l = cross_correlate(&gl, &gg_t);
+                    // greater: Σ_E G^>_ij(E) G^<_ji(E − ω)
+                    let corr_g = cross_correlate(&gg, &gl_t);
+                    flops.add(FlopKind::Convolution, 2 * quatrex_fft::convolution_flops(ne, ne));
+                    let pick = |corr: &[c64]| -> Vec<c64> {
+                        (0..ne)
+                            .map(|j| {
+                                let lag = j as isize - half as isize;
+                                let idx = zero_lag as isize + lag;
+                                prefactor * corr[idx as usize]
+                            })
+                            .collect()
+                    };
+                    elements.push((r, c, pick(&corr_l), pick(&corr_g)));
+                }
+            }
+            (pos, elements)
+        })
+        .collect();
+
+    // Scatter back to the energy-major layout (the reverse transposition).
+    let mut p_lesser: EnergyResolved = vec![BlockTridiagonal::zeros(nb, bs); ne];
+    let mut p_greater: EnergyResolved = vec![BlockTridiagonal::zeros(nb, bs); ne];
+    for (pos, elements) in per_position {
+        for j in 0..ne {
+            let mut bl = CMatrix::zeros(bs, bs);
+            let mut bg = CMatrix::zeros(bs, bs);
+            for (r, c, series_l, series_g) in &elements {
+                bl[(*r, *c)] = series_l[j];
+                bg[(*r, *c)] = series_g[j];
+            }
+            // accumulate into existing blocks
+            let mut cur_l = get_block(&p_lesser[j], pos).clone();
+            cur_l += &bl;
+            set_block(&mut p_lesser[j], pos, cur_l);
+            let mut cur_g = get_block(&p_greater[j], pos).clone();
+            cur_g += &bg;
+            set_block(&mut p_greater[j], pos, cur_g);
+        }
+    }
+    (p_lesser, p_greater)
+}
+
+/// Compute the lesser and greater GW self-energy from the Green's functions
+/// and the screened interaction:
+/// `Σ^≶_ij(E_k) = i·ΔE/(2π)·Σ_ω G^≶_ij(E_k − ω)·W^≶_ij(ω)`.
+pub fn self_energy_from_gw(
+    g_lesser: &EnergyResolved,
+    g_greater: &EnergyResolved,
+    w_lesser: &EnergyResolved,
+    w_greater: &EnergyResolved,
+    de: f64,
+    flops: &FlopCounter,
+) -> (EnergyResolved, EnergyResolved) {
+    let ne = g_lesser.len();
+    assert_eq!(ne, w_lesser.len());
+    let nb = g_lesser[0].n_blocks();
+    let bs = g_lesser[0].block_size();
+    let prefactor = c64::new(0.0, de / (2.0 * std::f64::consts::PI));
+    let half = ne / 2;
+
+    let positions = block_positions(nb);
+    let per_position: Vec<(BlockPos, Vec<(usize, usize, Vec<c64>, Vec<c64>)>)> = positions
+        .par_iter()
+        .map(|&pos| {
+            let mut elements = Vec::with_capacity(bs * bs);
+            for r in 0..bs {
+                for c in 0..bs {
+                    let gl = element_series(g_lesser, pos, r, c);
+                    let gg = element_series(g_greater, pos, r, c);
+                    let wl = element_series(w_lesser, pos, r, c);
+                    let wg = element_series(w_greater, pos, r, c);
+                    // Σ_ω G(E_k − ω)·W(ω): convolution; the ω grid is centred
+                    // at zero, so the output index k corresponds to
+                    // conv[k + half].
+                    let conv_l = convolve(&wl, &gl);
+                    let conv_g = convolve(&wg, &gg);
+                    flops.add(FlopKind::Convolution, 2 * quatrex_fft::convolution_flops(ne, ne));
+                    let pick = |conv: &[c64]| -> Vec<c64> {
+                        (0..ne).map(|k| prefactor * conv[k + half]).collect()
+                    };
+                    elements.push((r, c, pick(&conv_l), pick(&conv_g)));
+                }
+            }
+            (pos, elements)
+        })
+        .collect();
+
+    let mut s_lesser: EnergyResolved = vec![BlockTridiagonal::zeros(nb, bs); ne];
+    let mut s_greater: EnergyResolved = vec![BlockTridiagonal::zeros(nb, bs); ne];
+    for (pos, elements) in per_position {
+        for k in 0..ne {
+            let mut bl = CMatrix::zeros(bs, bs);
+            let mut bg = CMatrix::zeros(bs, bs);
+            for (r, c, series_l, series_g) in &elements {
+                bl[(*r, *c)] = series_l[k];
+                bg[(*r, *c)] = series_g[k];
+            }
+            set_block(&mut s_lesser[k], pos, bl);
+            set_block(&mut s_greater[k], pos, bg);
+        }
+    }
+    (s_lesser, s_greater)
+}
+
+/// Build the retarded component from the lesser/greater ones through the
+/// causality construction `X^R(t) = θ(t)·[X^>(t) − X^<(t)]`, applied
+/// element-wise with FFTs over the energy axis.
+pub fn retarded_from_lesser_greater(
+    lesser: &EnergyResolved,
+    greater: &EnergyResolved,
+    flops: &FlopCounter,
+) -> EnergyResolved {
+    let ne = lesser.len();
+    let nb = lesser[0].n_blocks();
+    let bs = lesser[0].block_size();
+    let nfft = next_power_of_two(ne);
+
+    let positions = block_positions(nb);
+    let per_position: Vec<(BlockPos, Vec<(usize, usize, Vec<c64>)>)> = positions
+        .par_iter()
+        .map(|&pos| {
+            let mut elements = Vec::with_capacity(bs * bs);
+            for r in 0..bs {
+                for c in 0..bs {
+                    let l = element_series(lesser, pos, r, c);
+                    let g = element_series(greater, pos, r, c);
+                    let mut spectral: Vec<c64> = vec![c64::new(0.0, 0.0); nfft];
+                    for k in 0..ne {
+                        spectral[k] = g[k] - l[k];
+                    }
+                    // To pseudo-time, apply the Heaviside step, back to energy.
+                    ifft(&mut spectral);
+                    for (t, v) in spectral.iter_mut().enumerate() {
+                        if t == 0 {
+                            *v *= 0.5;
+                        } else if t >= nfft / 2 {
+                            *v = c64::new(0.0, 0.0);
+                        }
+                    }
+                    fft(&mut spectral);
+                    flops.add(FlopKind::Convolution, 2 * quatrex_fft::fft_flops(nfft));
+                    elements.push((r, c, spectral[..ne].to_vec()));
+                }
+            }
+            (pos, elements)
+        })
+        .collect();
+
+    let mut retarded: EnergyResolved = vec![BlockTridiagonal::zeros(nb, bs); ne];
+    for (pos, elements) in per_position {
+        for k in 0..ne {
+            let mut blk = CMatrix::zeros(bs, bs);
+            for (r, c, series) in &elements {
+                blk[(*r, *c)] = series[k];
+            }
+            set_block(&mut retarded[k], pos, blk);
+        }
+    }
+    retarded
+}
+
+/// Enforce the NEGF lesser/greater symmetry on every energy point in place
+/// (the on-the-fly symmetrisation of Section 5.2).
+pub fn symmetrize_all(x: &mut EnergyResolved) {
+    x.par_iter_mut().for_each(|bt| bt.symmetrize_negf());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quatrex_linalg::cplx;
+
+    fn synthetic_g(ne: usize, nb: usize, bs: usize, sign: f64) -> EnergyResolved {
+        (0..ne)
+            .map(|k| {
+                let mut bt = BlockTridiagonal::zeros(nb, bs);
+                for i in 0..nb {
+                    let raw = CMatrix::from_fn(bs, bs, |r, c| {
+                        let phase = 0.2 * k as f64 + 0.3 * (r + c + i) as f64;
+                        cplx(phase.cos() * 0.1, sign * (0.05 + 0.02 * phase.sin().abs()))
+                    });
+                    bt.set_block(i, i, raw.negf_antihermitian_part());
+                }
+                for i in 0..nb - 1 {
+                    let u = CMatrix::from_fn(bs, bs, |r, c| {
+                        cplx(0.02 * (r as f64 - c as f64), sign * 0.01 * (k + i) as f64 / ne as f64)
+                    });
+                    bt.set_block(i, i + 1, u.clone());
+                    bt.set_block(i + 1, i, u.dagger().scaled(cplx(-1.0, 0.0)));
+                }
+                bt
+            })
+            .collect()
+    }
+
+    #[test]
+    fn polarization_matches_direct_summation_on_the_diagonal() {
+        let ne = 16;
+        let gl = synthetic_g(ne, 3, 2, 1.0);
+        let gg = synthetic_g(ne, 3, 2, -1.0);
+        let de = 0.05;
+        let flops = FlopCounter::new();
+        let (pl, _pg) = polarization_from_g(&gl, &gg, de, &flops);
+        // Direct O(N_E²) reference for one element.
+        let half = ne / 2;
+        let pos = BlockPos::Diag(1);
+        let (r, c) = (0, 1);
+        for j in [0usize, half, ne - 1] {
+            let omega_steps = j as isize - half as isize;
+            let mut acc = c64::new(0.0, 0.0);
+            for k in 0..ne as isize {
+                let kp = k - omega_steps;
+                if kp < 0 || kp >= ne as isize {
+                    continue;
+                }
+                acc += get_block(&gl[k as usize], pos)[(r, c)]
+                    * get_block(&gg[kp as usize], BlockPos::Diag(1))[(c, r)];
+            }
+            let expect = c64::new(0.0, -de / (2.0 * std::f64::consts::PI)) * acc;
+            let got = get_block(&pl[j], pos)[(r, c)];
+            assert!((got - expect).norm() < 1e-10, "j={j}: {got} vs {expect}");
+        }
+        assert!(flops.get(FlopKind::Convolution) > 0);
+    }
+
+    #[test]
+    fn polarization_preserves_negf_symmetry() {
+        let gl = synthetic_g(12, 4, 2, 1.0);
+        let gg = synthetic_g(12, 4, 2, -1.0);
+        let flops = FlopCounter::new();
+        let (pl, pg) = polarization_from_g(&gl, &gg, 0.1, &flops);
+        for bt in pl.iter().chain(pg.iter()) {
+            assert!(bt.negf_symmetry_error() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn self_energy_matches_direct_summation() {
+        let ne = 12;
+        let gl = synthetic_g(ne, 3, 2, 1.0);
+        let gg = synthetic_g(ne, 3, 2, -1.0);
+        let wl = synthetic_g(ne, 3, 2, 1.0);
+        let wg = synthetic_g(ne, 3, 2, -1.0);
+        let de = 0.07;
+        let flops = FlopCounter::new();
+        let (sl, _sg) = self_energy_from_gw(&gl, &gg, &wl, &wg, de, &flops);
+        let half = ne / 2;
+        let pos = BlockPos::Upper(0);
+        let (r, c) = (1, 0);
+        for k in [0usize, 3, ne - 1] {
+            let mut acc = c64::new(0.0, 0.0);
+            for j in 0..ne as isize {
+                let omega_steps = j - half as isize;
+                let kp = k as isize - omega_steps;
+                if kp < 0 || kp >= ne as isize {
+                    continue;
+                }
+                acc += get_block(&gl[kp as usize], pos)[(r, c)] * get_block(&wl[j as usize], pos)[(r, c)];
+            }
+            let expect = c64::new(0.0, de / (2.0 * std::f64::consts::PI)) * acc;
+            let got = get_block(&sl[k], pos)[(r, c)];
+            assert!((got - expect).norm() < 1e-10, "k={k}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn retarded_construction_is_causal_and_linear() {
+        let ne = 32;
+        let l = synthetic_g(ne, 2, 2, 1.0);
+        let g = synthetic_g(ne, 2, 2, -1.0);
+        let flops = FlopCounter::new();
+        let r = retarded_from_lesser_greater(&l, &g, &flops);
+        assert_eq!(r.len(), ne);
+        // Scaling both inputs scales the output (linearity).
+        let l2: EnergyResolved = l.iter().map(|bt| { let mut b = bt.clone(); b.scale_mut(cplx(2.0, 0.0)); b }).collect();
+        let g2: EnergyResolved = g.iter().map(|bt| { let mut b = bt.clone(); b.scale_mut(cplx(2.0, 0.0)); b }).collect();
+        let r2 = retarded_from_lesser_greater(&l2, &g2, &flops);
+        for k in 0..ne {
+            let scaled = {
+                let mut b = r[k].clone();
+                b.scale_mut(cplx(2.0, 0.0));
+                b
+            };
+            assert!(r2[k].to_dense().approx_eq(&scaled.to_dense(), 1e-10));
+        }
+    }
+
+    #[test]
+    fn symmetrize_all_restores_the_symmetry() {
+        let mut x = synthetic_g(8, 3, 2, 1.0);
+        // Perturb one block so the lesser symmetry is clearly violated.
+        let mut blk = x[3].upper(0).clone();
+        blk[(0, 0)] += cplx(0.5, 0.25);
+        x[3].set_block(1, 0, blk);
+        assert!(x[3].negf_symmetry_error() > 1e-6);
+        symmetrize_all(&mut x);
+        for bt in &x {
+            assert!(bt.negf_symmetry_error() < 1e-13);
+        }
+    }
+}

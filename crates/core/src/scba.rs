@@ -1,0 +1,579 @@
+//! The self-consistent Born approximation (SCBA) driver.
+//!
+//! One SCBA iteration executes the `G → P → W → Σ` cycle of Fig. 3:
+//!
+//! 1. **G-step** — for every energy point (in parallel): assemble
+//!    `M̃(E) = (E+iη)·I − H − Σ^R_scatt − Σ^R_OBC` and the lesser/greater RHS,
+//!    then solve with RGF for the selected `G^R`, `G^<`, `G^>` blocks;
+//! 2. **P-step** — energy convolutions of the Green's functions give the
+//!    polarisation `P^≶`, followed by the causality construction of `P^R`;
+//! 3. **W-step** — per (boson) energy: assemble `I − V·P^R` and `V·P≶·V†`
+//!    with their OBCs (Beyn + Lyapunov), solve with RGF for `W^≶`;
+//! 4. **Σ-step** — energy convolutions of `G` and `W` give `Σ^≶`, the
+//!    causality construction gives `Σ^R`, and the result is linearly mixed
+//!    into the previous iteration's self-energy.
+//!
+//! Lesser/greater quantities are re-symmetrised on the fly (Section 5.2), the
+//! OBC memoizer caches surface functions across iterations (Section 5.3), and
+//! per-kernel wall times and FLOPs are accumulated in the same categories as
+//! the paper's Table 4.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use quatrex_device::{thermal_energy_ev, Device, EnergyGrid};
+use quatrex_linalg::flops::{FlopCounter, FlopKind};
+use quatrex_obc::{ObcMemoizer, ObcMode};
+use quatrex_rgf::{rgf_solve, RgfError};
+use quatrex_sparse::BlockTridiagonal;
+
+use crate::assembly::{assemble_g, assemble_w, ObcMethod};
+use crate::convolution::{
+    polarization_from_g, retarded_from_lesser_greater, self_energy_from_gw, symmetrize_all,
+    EnergyResolved,
+};
+use crate::observables::{
+    current_spectrum_left, electron_density, integrate_current, local_dos, Observables,
+    SpectralData,
+};
+
+/// Wall-time accumulators per kernel category (nanoseconds), mirroring the
+/// rows of the paper's Table 4.
+#[derive(Debug, Default)]
+pub struct KernelTimings {
+    /// OBC + assembly of the electron system (`G: OBC`).
+    pub g_assembly_ns: AtomicU64,
+    /// Electron RGF solves (`G: RGF`).
+    pub g_rgf_ns: AtomicU64,
+    /// Assembly of the screened-interaction system, including its OBCs
+    /// (`W: Assembly` — Beyn, Lyapunov, LHS, RHS).
+    pub w_assembly_ns: AtomicU64,
+    /// Screened-interaction RGF solves (`W: RGF`).
+    pub w_rgf_ns: AtomicU64,
+    /// Energy convolutions / FFTs (`P` and `Σ`).
+    pub convolution_ns: AtomicU64,
+    /// Everything else (mixing, symmetrisation, observables).
+    pub other_ns: AtomicU64,
+}
+
+impl KernelTimings {
+    fn add(&self, slot: &AtomicU64, start: Instant) {
+        slot.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total accumulated wall time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        (self.g_assembly_ns.load(Ordering::Relaxed)
+            + self.g_rgf_ns.load(Ordering::Relaxed)
+            + self.w_assembly_ns.load(Ordering::Relaxed)
+            + self.w_rgf_ns.load(Ordering::Relaxed)
+            + self.convolution_ns.load(Ordering::Relaxed)
+            + self.other_ns.load(Ordering::Relaxed)) as f64
+            / 1e9
+    }
+
+    /// Snapshot as (label, seconds) pairs in Table 4 order.
+    pub fn breakdown(&self) -> Vec<(&'static str, f64)> {
+        let s = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64 / 1e9;
+        vec![
+            ("G: OBC + assembly", s(&self.g_assembly_ns)),
+            ("G: RGF", s(&self.g_rgf_ns)),
+            ("W: Assembly", s(&self.w_assembly_ns)),
+            ("W: RGF", s(&self.w_rgf_ns)),
+            ("Convolutions (P, Σ)", s(&self.convolution_ns)),
+            ("Other", s(&self.other_ns)),
+        ]
+    }
+}
+
+/// Configuration of an SCBA run.
+#[derive(Debug, Clone)]
+pub struct ScbaConfig {
+    /// Number of energy points `N_E`.
+    pub n_energies: usize,
+    /// Small positive broadening `η` (eV) of the retarded resolvent.
+    pub eta: f64,
+    /// Source (left) chemical potential (eV).
+    pub mu_left: f64,
+    /// Drain (right) chemical potential (eV).
+    pub mu_right: f64,
+    /// Lattice temperature (K).
+    pub temperature_k: f64,
+    /// Maximum number of SCBA iterations.
+    pub max_iterations: usize,
+    /// Relative convergence tolerance on the self-energy update.
+    pub tolerance: f64,
+    /// Linear mixing factor applied to the new self-energy (0 < mixing ≤ 1).
+    pub mixing: f64,
+    /// Enable the dynamic OBC memoizer (Section 5.3).
+    pub use_memoizer: bool,
+    /// Fixed-point refinement budget of the memoizer (`N_FPI`).
+    pub n_fpi: usize,
+    /// Retarded OBC method for the electron subsystem.
+    pub obc_method_g: ObcMethod,
+    /// Retarded OBC method for the screened-interaction subsystem.
+    pub obc_method_w: ObcMethod,
+    /// Enforce the lesser/greater symmetry after every kernel (Section 5.2).
+    pub enforce_symmetry: bool,
+    /// Strength of the GW self-energy fed back into the G-solver (1.0 = full
+    /// scGW; smaller values damp the interaction for difficult bias points).
+    pub interaction_scale: f64,
+}
+
+impl Default for ScbaConfig {
+    fn default() -> Self {
+        Self {
+            n_energies: 64,
+            eta: 1e-3,
+            mu_left: 0.1,
+            mu_right: -0.1,
+            temperature_k: 300.0,
+            max_iterations: 20,
+            tolerance: 1e-4,
+            mixing: 0.5,
+            use_memoizer: true,
+            n_fpi: 20,
+            obc_method_g: ObcMethod::SanchoRubio,
+            obc_method_w: ObcMethod::Beyn,
+            enforce_symmetry: true,
+            interaction_scale: 1.0,
+        }
+    }
+}
+
+/// Result of an SCBA run.
+#[derive(Debug)]
+pub struct ScbaResult {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// True if the self-energy update fell below the tolerance.
+    pub converged: bool,
+    /// Relative self-energy update per iteration.
+    pub residual_history: Vec<f64>,
+    /// Terminal current per iteration (e/ħ·eV units).
+    pub current_history: Vec<f64>,
+    /// Final observables.
+    pub observables: Observables,
+    /// Per-kernel wall times.
+    pub timings: KernelTimings,
+    /// Per-kernel FLOP counts.
+    pub flops: FlopCounter,
+    /// Fraction of OBC solves answered from the memoizer cache.
+    pub memoizer_hit_rate: f64,
+    /// Largest relative Frobenius weight dropped by the W-assembly truncation.
+    pub max_truncation_error: f64,
+}
+
+/// The NEGF+scGW solver bound to one device and configuration.
+pub struct ScbaSolver {
+    device: Device,
+    config: ScbaConfig,
+    grid: EnergyGrid,
+}
+
+impl ScbaSolver {
+    /// Create a solver for `device` with the given configuration.
+    pub fn new(device: Device, config: ScbaConfig) -> Self {
+        let grid = device.default_energy_grid(config.n_energies);
+        Self { device, config, grid }
+    }
+
+    /// Create a solver with an explicit energy grid.
+    pub fn with_grid(device: Device, config: ScbaConfig, grid: EnergyGrid) -> Self {
+        Self { device, config, grid }
+    }
+
+    /// The energy grid used by the solver.
+    pub fn energy_grid(&self) -> &EnergyGrid {
+        &self.grid
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Run a single ballistic iteration (no electron-electron interaction):
+    /// the Σ = 0 limit used as the reference "first iteration" of the SCBA.
+    pub fn ballistic(&self) -> ScbaResult {
+        let mut cfg = self.config.clone();
+        cfg.max_iterations = 1;
+        let solver = ScbaSolver {
+            device: self.device.clone(),
+            config: cfg,
+            grid: self.grid.clone(),
+        };
+        solver.run()
+    }
+
+    /// Run the SCBA loop until convergence or the iteration limit.
+    pub fn run(&self) -> ScbaResult {
+        let h = self.device.hamiltonian_bt();
+        let v = {
+            let mut v = self.device.coulomb_bt();
+            if self.config.interaction_scale != 1.0 {
+                v.scale_mut(quatrex_linalg::c64::new(self.config.interaction_scale, 0.0));
+            }
+            v
+        };
+        let nb = h.n_blocks();
+        let bs = h.block_size();
+        let ne = self.grid.len();
+        let de = self.grid.spacing();
+        let kt = thermal_energy_ev(self.config.temperature_k);
+        let energies = self.grid.points();
+
+        let flops = FlopCounter::new();
+        let timings = KernelTimings::default();
+        let mut residual_history = Vec::new();
+        let mut current_history = Vec::new();
+        let mut converged = false;
+        let mut max_truncation: f64 = 0.0;
+
+        // Scattering self-energies (previous iteration), energy-resolved.
+        let mut sigma_r: EnergyResolved = vec![BlockTridiagonal::zeros(nb, bs); ne];
+        let mut sigma_l: EnergyResolved = vec![BlockTridiagonal::zeros(nb, bs); ne];
+        let mut sigma_g: EnergyResolved = vec![BlockTridiagonal::zeros(nb, bs); ne];
+
+        // One memoizer per energy point and subsystem so the energy loop can be
+        // data-parallel without sharing mutable state.
+        let memoizers: Vec<Mutex<ObcMemoizer>> = (0..ne)
+            .map(|_| Mutex::new(ObcMemoizer::new(self.config.n_fpi, 1e-7)))
+            .collect();
+
+        // Final-iteration spectral data.
+        let mut final_g_lesser: EnergyResolved = Vec::new();
+        let mut final_spectral = SpectralData::default();
+        let mut iterations = 0usize;
+
+        for _iter in 0..self.config.max_iterations {
+            iterations += 1;
+
+            // ------------------------------------------------------------ G step
+            struct GOut {
+                retarded: BlockTridiagonal,
+                lesser: BlockTridiagonal,
+                greater: BlockTridiagonal,
+                current_spectrum: f64,
+                dos_local: Vec<f64>,
+            }
+            let g_results: Vec<Result<GOut, RgfError>> = (0..ne)
+                .into_par_iter()
+                .map(|k| {
+                    let t0 = Instant::now();
+                    let mut memo_guard = if self.config.use_memoizer {
+                        Some(memoizers[k].lock())
+                    } else {
+                        None
+                    };
+                    let asm = assemble_g(
+                        &h,
+                        energies[k],
+                        self.config.eta,
+                        k,
+                        Some(&sigma_r[k]),
+                        Some(&sigma_l[k]),
+                        Some(&sigma_g[k]),
+                        self.config.mu_left,
+                        self.config.mu_right,
+                        kt,
+                        self.config.obc_method_g,
+                        memo_guard.as_deref_mut(),
+                        &flops,
+                    );
+                    drop(memo_guard);
+                    timings.add(&timings.g_assembly_ns, t0);
+
+                    let t1 = Instant::now();
+                    let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater])?;
+                    flops.add(FlopKind::GRgf, sol.flops);
+                    timings.add(&timings.g_rgf_ns, t1);
+
+                    let mut lesser = sol.lesser[0].clone();
+                    let mut greater = sol.lesser[1].clone();
+                    if self.config.enforce_symmetry {
+                        lesser.symmetrize_negf();
+                        greater.symmetrize_negf();
+                    }
+                    let current_spectrum = current_spectrum_left(
+                        &asm.sigma_obc_left_lesser,
+                        &asm.sigma_obc_left_greater,
+                        lesser.diag(0),
+                        greater.diag(0),
+                    );
+                    let dos_local = local_dos(&sol.retarded);
+                    Ok(GOut { retarded: sol.retarded, lesser, greater, current_spectrum, dos_local })
+                })
+                .collect();
+
+            let mut g_retarded: EnergyResolved = Vec::with_capacity(ne);
+            let mut g_lesser: EnergyResolved = Vec::with_capacity(ne);
+            let mut g_greater: EnergyResolved = Vec::with_capacity(ne);
+            let mut current_spectrum = Vec::with_capacity(ne);
+            let mut dos_local = Vec::with_capacity(ne);
+            for r in g_results {
+                let out = r.expect("RGF solve failed: the system matrix became singular");
+                g_retarded.push(out.retarded);
+                g_lesser.push(out.lesser);
+                g_greater.push(out.greater);
+                current_spectrum.push(out.current_spectrum);
+                dos_local.push(out.dos_local);
+            }
+            let current = integrate_current(&current_spectrum, de);
+            current_history.push(current);
+
+            // Last-iteration spectral bookkeeping.
+            final_spectral = SpectralData {
+                energies: energies.clone(),
+                dos: dos_local.iter().map(|v| v.iter().sum::<f64>()).collect(),
+                dos_local,
+                current_spectrum,
+            };
+            final_g_lesser = g_lesser.clone();
+
+            // Interaction switched off (ballistic / single-iteration mode)?
+            if self.config.max_iterations == 1 {
+                break;
+            }
+
+            // ------------------------------------------------------------ P step
+            let t2 = Instant::now();
+            let (mut p_lesser, mut p_greater) =
+                polarization_from_g(&g_lesser, &g_greater, de, &flops);
+            if self.config.enforce_symmetry {
+                symmetrize_all(&mut p_lesser);
+                symmetrize_all(&mut p_greater);
+            }
+            let p_retarded = retarded_from_lesser_greater(&p_lesser, &p_greater, &flops);
+            timings.add(&timings.convolution_ns, t2);
+
+            // ------------------------------------------------------------ W step
+            struct WOut {
+                lesser: BlockTridiagonal,
+                greater: BlockTridiagonal,
+                truncation: f64,
+            }
+            let w_results: Vec<Result<WOut, RgfError>> = (0..ne)
+                .into_par_iter()
+                .map(|k| {
+                    let t0 = Instant::now();
+                    let mut memo_guard = if self.config.use_memoizer {
+                        Some(memoizers[k].lock())
+                    } else {
+                        None
+                    };
+                    let asm = assemble_w(
+                        &v,
+                        &p_retarded[k],
+                        &p_lesser[k],
+                        &p_greater[k],
+                        k,
+                        self.config.obc_method_w,
+                        memo_guard.as_deref_mut(),
+                        &flops,
+                    );
+                    drop(memo_guard);
+                    timings.add(&timings.w_assembly_ns, t0);
+
+                    let t1 = Instant::now();
+                    let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater])?;
+                    flops.add(FlopKind::WRgf, sol.flops);
+                    timings.add(&timings.w_rgf_ns, t1);
+                    let mut lesser = sol.lesser[0].clone();
+                    let mut greater = sol.lesser[1].clone();
+                    if self.config.enforce_symmetry {
+                        lesser.symmetrize_negf();
+                        greater.symmetrize_negf();
+                    }
+                    Ok(WOut { lesser, greater, truncation: asm.truncation_error })
+                })
+                .collect();
+            let mut w_lesser: EnergyResolved = Vec::with_capacity(ne);
+            let mut w_greater: EnergyResolved = Vec::with_capacity(ne);
+            for r in w_results {
+                let out = r.expect("W RGF solve failed");
+                max_truncation = max_truncation.max(out.truncation);
+                w_lesser.push(out.lesser);
+                w_greater.push(out.greater);
+            }
+
+            // ------------------------------------------------------------ Σ step
+            let t3 = Instant::now();
+            let (mut s_lesser_new, mut s_greater_new) =
+                self_energy_from_gw(&g_lesser, &g_greater, &w_lesser, &w_greater, de, &flops);
+            if self.config.enforce_symmetry {
+                symmetrize_all(&mut s_lesser_new);
+                symmetrize_all(&mut s_greater_new);
+            }
+            let s_retarded_new = retarded_from_lesser_greater(&s_lesser_new, &s_greater_new, &flops);
+            timings.add(&timings.convolution_ns, t3);
+
+            // Mixing and convergence check.
+            let t4 = Instant::now();
+            let mix = self.config.mixing;
+            let mut update_norm = 0.0f64;
+            let mut reference_norm = 0.0f64;
+            let mix_into = |old: &BlockTridiagonal, new: &BlockTridiagonal| -> BlockTridiagonal {
+                let mut mixed = new.clone();
+                mixed.scale_mut(quatrex_linalg::c64::new(mix, 0.0));
+                mixed.add(quatrex_linalg::c64::new(1.0 - mix, 0.0), old)
+            };
+            for k in 0..ne {
+                let diff = s_lesser_new[k].add(quatrex_linalg::c64::new(-1.0, 0.0), &sigma_l[k]);
+                update_norm += diff.norm_fro().powi(2);
+                reference_norm += s_lesser_new[k].norm_fro().powi(2);
+
+                sigma_l[k] = mix_into(&sigma_l[k], &s_lesser_new[k]);
+                sigma_g[k] = mix_into(&sigma_g[k], &s_greater_new[k]);
+                sigma_r[k] = mix_into(&sigma_r[k], &s_retarded_new[k]);
+            }
+            timings.add(&timings.other_ns, t4);
+            let residual = if reference_norm > 0.0 {
+                (update_norm / reference_norm).sqrt()
+            } else {
+                0.0
+            };
+            residual_history.push(residual);
+            if residual < self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final observables.
+        let density = electron_density(&final_g_lesser, de);
+        let hit_rate = if self.config.use_memoizer {
+            let (mut hits, mut total) = (0usize, 0usize);
+            for m in &memoizers {
+                let stats = m.lock().stats();
+                hits += stats.memoized_calls;
+                total += stats.memoized_calls + stats.direct_calls;
+            }
+            if total > 0 {
+                hits as f64 / total as f64
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        ScbaResult {
+            iterations,
+            converged,
+            residual_history,
+            current_history: current_history.clone(),
+            observables: Observables {
+                electron_density: density,
+                current: current_history.last().copied().unwrap_or(0.0),
+                spectral: final_spectral,
+            },
+            timings,
+            flops,
+            memoizer_hit_rate: hit_rate,
+            max_truncation_error: max_truncation,
+        }
+    }
+}
+
+/// Re-export used by downstream crates to check whether OBCs were memoized.
+pub fn is_memoized(mode: ObcMode) -> bool {
+    matches!(mode, ObcMode::Memoized { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quatrex_device::DeviceBuilder;
+
+    fn small_device() -> Device {
+        DeviceBuilder::test_device(3, 2, 4).build()
+    }
+
+    fn fast_config(n_energies: usize, iterations: usize) -> ScbaConfig {
+        ScbaConfig {
+            n_energies,
+            max_iterations: iterations,
+            mixing: 0.4,
+            tolerance: 1e-3,
+            interaction_scale: 0.2,
+            ..ScbaConfig::default()
+        }
+    }
+
+    #[test]
+    fn ballistic_run_produces_physical_observables() {
+        let solver = ScbaSolver::new(small_device(), fast_config(24, 1));
+        let res = solver.ballistic();
+        assert_eq!(res.iterations, 1);
+        // DOS non-negative everywhere.
+        for (k, dos) in res.observables.spectral.dos.iter().enumerate() {
+            assert!(*dos > -1e-9, "negative DOS at energy index {k}");
+        }
+        // Densities non-negative.
+        for n in &res.observables.electron_density {
+            assert!(*n > -1e-9);
+        }
+        // With a positive bias (mu_left > mu_right) current flows forward.
+        assert!(res.observables.current >= -1e-9);
+        assert!(res.flops.total() > 0);
+        assert!(res.timings.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn scba_iterations_converge_for_weak_interaction() {
+        let solver = ScbaSolver::new(small_device(), fast_config(16, 8));
+        let res = solver.run();
+        assert!(res.iterations >= 2);
+        assert!(!res.residual_history.is_empty());
+        // The residual must decrease overall.
+        let first = res.residual_history.first().unwrap();
+        let last = res.residual_history.last().unwrap();
+        assert!(last < first, "residuals {:?}", res.residual_history);
+        assert!(res.max_truncation_error < 0.5);
+    }
+
+    #[test]
+    fn memoizer_reports_hits_after_the_first_iteration() {
+        let mut cfg = fast_config(8, 3);
+        cfg.use_memoizer = true;
+        let solver = ScbaSolver::new(small_device(), cfg);
+        let res = solver.run();
+        assert!(res.iterations >= 2);
+        assert!(res.memoizer_hit_rate > 0.2, "hit rate {}", res.memoizer_hit_rate);
+    }
+
+    #[test]
+    fn gw_interaction_changes_the_spectrum() {
+        // The GW self-energy must actually do something: the converged current
+        // differs from the ballistic one.
+        let ballistic = ScbaSolver::new(small_device(), fast_config(16, 1)).run();
+        let mut cfg = fast_config(16, 5);
+        cfg.interaction_scale = 0.5;
+        let gw = ScbaSolver::new(small_device(), cfg).run();
+        let rel_diff = (gw.observables.current - ballistic.observables.current).abs()
+            / ballistic.observables.current.abs().max(1e-12);
+        assert!(rel_diff > 1e-6, "GW correction had no effect (diff {rel_diff})");
+    }
+
+    #[test]
+    fn kernel_timings_cover_all_stages_of_a_full_iteration() {
+        let solver = ScbaSolver::new(small_device(), fast_config(8, 2));
+        let res = solver.run();
+        let breakdown = res.timings.breakdown();
+        let named: std::collections::HashMap<_, _> = breakdown.into_iter().collect();
+        assert!(named["G: OBC + assembly"] > 0.0);
+        assert!(named["G: RGF"] > 0.0);
+        assert!(named["W: Assembly"] > 0.0);
+        assert!(named["W: RGF"] > 0.0);
+        assert!(named["Convolutions (P, Σ)"] > 0.0);
+        // FLOP categories populated too.
+        assert!(res.flops.get(FlopKind::GObc) > 0);
+        assert!(res.flops.get(FlopKind::GRgf) > 0);
+        assert!(res.flops.get(FlopKind::WRgf) > 0);
+        assert!(res.flops.get(FlopKind::Convolution) > 0);
+    }
+}

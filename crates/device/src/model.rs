@@ -1,0 +1,391 @@
+//! Synthetic Wannier-like device model construction.
+//!
+//! This is the documented substitution for the paper's VASP + Wannier90 input
+//! pipeline. The generated Hamiltonian has the exact structural properties the
+//! NEGF+scGW solver exploits:
+//!
+//! * Hermitian, block-banded with `N_U` coupled neighbouring primitive cells
+//!   (paper Fig. 2: `h_ii`, `h_ii+1` … `h_ii+N_U`),
+//! * built from a single primitive unit cell repeated along the transport
+//!   axis, so that periodic-contact OBCs are well defined,
+//! * exponentially decaying hoppings and a staggered on-site term that opens a
+//!   band gap (the solver's energy window straddles this gap),
+//! * a bare Coulomb matrix `V` with a `1/(r + a)` kernel truncated at `r_cut`,
+//!   yielding the same block-banded sparsity as the Hamiltonian.
+
+use quatrex_linalg::{c64, CMatrix};
+use quatrex_sparse::{BlockBanded, BlockTridiagonal};
+
+use crate::catalog::DeviceParams;
+use crate::energy::EnergyGrid;
+
+/// Builder for a synthetic nano-device.
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    /// Device label.
+    pub name: String,
+    /// Orbitals per primitive unit cell (`Ñ_BS`).
+    pub puc_size: usize,
+    /// Number of primitive unit cells grouped into one transport cell (`N_U`).
+    pub n_u: usize,
+    /// Number of transport cells (`N_B`).
+    pub n_blocks: usize,
+    /// Length of one primitive unit cell in nm.
+    pub cell_length_nm: f64,
+    /// Hopping prefactor `t₀` in eV.
+    pub hopping_t0: f64,
+    /// Hopping decay length in nm.
+    pub hopping_decay_nm: f64,
+    /// Staggered on-site splitting (half the nominal band gap) in eV.
+    pub onsite_gap_ev: f64,
+    /// On-site reference energy in eV.
+    pub onsite_center_ev: f64,
+    /// Coulomb prefactor `V₀` in eV·nm.
+    pub coulomb_v0: f64,
+    /// Coulomb screening length in nm (regularises the on-site term).
+    pub coulomb_screening_nm: f64,
+    /// Coulomb cut-off radius `r_cut` in nm.
+    pub r_cut_nm: f64,
+}
+
+impl Default for DeviceBuilder {
+    fn default() -> Self {
+        Self {
+            name: "synthetic".into(),
+            puc_size: 8,
+            n_u: 2,
+            n_blocks: 6,
+            cell_length_nm: 0.543,
+            hopping_t0: 1.0,
+            hopping_decay_nm: 0.25,
+            onsite_gap_ev: 0.55,
+            onsite_center_ev: 0.0,
+            coulomb_v0: 1.44, // e²/(4πε₀) in eV·nm
+            coulomb_screening_nm: 0.1,
+            r_cut_nm: 0.75,
+        }
+    }
+}
+
+impl DeviceBuilder {
+    /// Start from the paper's Table 3 parameters, geometrically reduced by
+    /// `reduction`: the primitive-cell size is divided by `reduction` (at
+    /// least 2 orbitals remain), while `N_U` and `N_B` are preserved so the
+    /// block structure, bandwidths and solver control flow are identical to
+    /// the full-scale device.
+    pub fn from_params(params: &DeviceParams, reduction: usize) -> Self {
+        assert!(reduction >= 1);
+        let puc_size = (params.puc_size / reduction).max(2);
+        Self {
+            name: format!("{}/r{}", params.name, reduction),
+            puc_size,
+            n_u: params.n_u_g,
+            n_blocks: params.n_blocks_g,
+            cell_length_nm: params.length_nm / params.n_primitive_cells() as f64,
+            r_cut_nm: params.r_cut_ang / 10.0,
+            ..Self::default()
+        }
+    }
+
+    /// Small device for fast tests: `puc_size` orbitals, `n_u` coupling range,
+    /// `n_blocks` transport cells.
+    pub fn test_device(puc_size: usize, n_u: usize, n_blocks: usize) -> Self {
+        Self {
+            name: format!("test-{puc_size}x{n_u}x{n_blocks}"),
+            puc_size,
+            n_u,
+            n_blocks,
+            ..Self::default()
+        }
+    }
+
+    /// Total number of orbitals `N_AO`.
+    pub fn n_orbitals(&self) -> usize {
+        self.puc_size * self.n_u * self.n_blocks
+    }
+
+    /// 1-D coordinate (nm) of orbital `o` of primitive cell `c` along the
+    /// transport axis. Orbitals are spread uniformly inside the cell.
+    fn orbital_position(&self, cell: usize, orbital: usize) -> f64 {
+        cell as f64 * self.cell_length_nm
+            + (orbital as f64 + 0.5) / self.puc_size as f64 * self.cell_length_nm
+    }
+
+    /// Hopping element between two orbitals separated by `r` nm with orbital
+    /// parities `p_i`, `p_j` (alternating signs mimic bonding/anti-bonding
+    /// MLWF character and keep the spectrum bounded).
+    fn hopping(&self, r: f64, parity: f64) -> f64 {
+        -self.hopping_t0 * parity * (-r / self.hopping_decay_nm).exp()
+    }
+
+    /// Staggered on-site energy of orbital `o` (±`onsite_gap_ev` around the
+    /// reference), opening a band gap of roughly `2·onsite_gap_ev`.
+    fn onsite(&self, orbital: usize) -> f64 {
+        let sign = if orbital % 2 == 0 { 1.0 } else { -1.0 };
+        self.onsite_center_ev + sign * self.onsite_gap_ev
+    }
+
+    /// Coulomb kernel `V(r) = V₀ / (r + a)` truncated at `r_cut`.
+    fn coulomb(&self, r: f64) -> f64 {
+        if r > self.r_cut_nm {
+            0.0
+        } else {
+            self.coulomb_v0 / (r + self.coulomb_screening_nm)
+        }
+    }
+
+    /// Build the primitive-cell diagonal block `h_ii` and the coupling blocks
+    /// `h_i,i+1 … h_i,i+N_U`.
+    fn hamiltonian_cell_blocks(&self) -> (CMatrix, Vec<CMatrix>) {
+        let n = self.puc_size;
+        let diag = CMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                c64::new(self.onsite(i), 0.0)
+            } else {
+                let r = (self.orbital_position(0, i) - self.orbital_position(0, j)).abs();
+                let parity = if (i + j) % 2 == 0 { 1.0 } else { 0.6 };
+                c64::new(self.hopping(r, parity), 0.0)
+            }
+        });
+        let mut offs = Vec::with_capacity(self.n_u);
+        for d in 1..=self.n_u {
+            let block = CMatrix::from_fn(n, n, |i, j| {
+                let r = (self.orbital_position(d, j) - self.orbital_position(0, i)).abs();
+                let parity = if (i + j) % 2 == 0 { 1.0 } else { 0.6 };
+                c64::new(self.hopping(r, parity), 0.0)
+            });
+            offs.push(block);
+        }
+        (diag, offs)
+    }
+
+    /// Build the primitive-cell blocks of the bare Coulomb matrix.
+    fn coulomb_cell_blocks(&self) -> (CMatrix, Vec<CMatrix>) {
+        let n = self.puc_size;
+        let diag = CMatrix::from_fn(n, n, |i, j| {
+            let r = (self.orbital_position(0, i) - self.orbital_position(0, j)).abs();
+            c64::new(self.coulomb(r), 0.0)
+        });
+        let mut offs = Vec::with_capacity(self.n_u);
+        for d in 1..=self.n_u {
+            let block = CMatrix::from_fn(n, n, |i, j| {
+                let r = (self.orbital_position(d, j) - self.orbital_position(0, i)).abs();
+                c64::new(self.coulomb(r), 0.0)
+            });
+            offs.push(block);
+        }
+        (diag, offs)
+    }
+
+    /// Construct the device: Hamiltonian and Coulomb matrices in the
+    /// primitive-cell block-banded tiling, plus metadata.
+    pub fn build(&self) -> Device {
+        assert!(self.puc_size >= 2, "need at least two orbitals per primitive cell");
+        assert!(self.n_u >= 1 && self.n_blocks >= 2, "need N_U >= 1 and N_B >= 2");
+        let n_cells = self.n_u * self.n_blocks;
+        let (h_diag, h_offs) = self.hamiltonian_cell_blocks();
+        let (v_diag, v_offs) = self.coulomb_cell_blocks();
+        let hamiltonian = BlockBanded::from_periodic_cell(n_cells, &h_diag, &h_offs);
+        let coulomb = BlockBanded::from_periodic_cell(n_cells, &v_diag, &v_offs);
+        Device {
+            name: self.name.clone(),
+            puc_size: self.puc_size,
+            n_u: self.n_u,
+            n_blocks: self.n_blocks,
+            cell_length_nm: self.cell_length_nm,
+            hamiltonian,
+            coulomb,
+            band_gap_estimate_ev: 2.0 * self.onsite_gap_ev,
+            onsite_center_ev: self.onsite_center_ev,
+        }
+    }
+}
+
+/// A constructed synthetic device: Hamiltonian, bare Coulomb matrix, and the
+/// block-structure metadata consumed by the solver.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Device label.
+    pub name: String,
+    /// Orbitals per primitive unit cell (`Ñ_BS`).
+    pub puc_size: usize,
+    /// Primitive unit cells per transport cell (`N_U`).
+    pub n_u: usize,
+    /// Number of transport cells (`N_B`).
+    pub n_blocks: usize,
+    /// Primitive-cell length in nm.
+    pub cell_length_nm: f64,
+    /// Hamiltonian in the primitive-cell block-banded tiling (bandwidth `N_U`).
+    pub hamiltonian: BlockBanded,
+    /// Bare Coulomb matrix in the same tiling.
+    pub coulomb: BlockBanded,
+    /// Rough size of the synthetic band gap (eV).
+    pub band_gap_estimate_ev: f64,
+    /// Mid-gap reference energy (eV).
+    pub onsite_center_ev: f64,
+}
+
+impl Device {
+    /// Total number of orbitals `N_AO`.
+    pub fn n_orbitals(&self) -> usize {
+        self.puc_size * self.n_u * self.n_blocks
+    }
+
+    /// Transport-cell size `N_BS = Ñ_BS·N_U`.
+    pub fn transport_cell_size(&self) -> usize {
+        self.puc_size * self.n_u
+    }
+
+    /// Hamiltonian regrouped into the block-tridiagonal transport-cell tiling.
+    pub fn hamiltonian_bt(&self) -> BlockTridiagonal {
+        self.hamiltonian.to_tridiagonal(self.n_u)
+    }
+
+    /// Coulomb matrix regrouped into the block-tridiagonal transport-cell tiling.
+    pub fn coulomb_bt(&self) -> BlockTridiagonal {
+        self.coulomb.to_tridiagonal(self.n_u)
+    }
+
+    /// Default energy window for transport: a band of width `±window` around
+    /// the mid-gap reference, sampled with `n_points` energies.
+    pub fn default_energy_grid(&self, n_points: usize) -> EnergyGrid {
+        let half_width = self.band_gap_estimate_ev * 0.5 + 2.5;
+        EnergyGrid::new(
+            self.onsite_center_ev - half_width,
+            self.onsite_center_ev + half_width,
+            n_points,
+        )
+    }
+
+    /// Apply a per-transport-cell electrostatic potential shift (in eV) to the
+    /// Hamiltonian diagonal, e.g. the linear source-to-drain potential drop of
+    /// a biased transistor. `potential.len()` must equal `n_blocks`.
+    pub fn apply_potential(&mut self, potential: &[f64]) {
+        assert_eq!(potential.len(), self.n_blocks, "one potential value per transport cell");
+        let n_cells = self.n_u * self.n_blocks;
+        for cell in 0..n_cells {
+            let tc = cell / self.n_u;
+            let shift = c64::new(potential[tc], 0.0);
+            let mut block = self
+                .hamiltonian
+                .block(cell, cell)
+                .expect("diagonal block always stored")
+                .clone();
+            for k in 0..self.puc_size {
+                block[(k, k)] += shift;
+            }
+            self.hamiltonian.set_block(cell, cell, block);
+        }
+    }
+
+    /// A linear potential ramp from `v_source` to `v_drain` (eV) across the
+    /// transport cells, the textbook approximation of an applied bias.
+    pub fn linear_potential(&self, v_source: f64, v_drain: f64) -> Vec<f64> {
+        (0..self.n_blocks)
+            .map(|i| {
+                let t = i as f64 / (self.n_blocks - 1) as f64;
+                v_source + t * (v_drain - v_source)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DeviceCatalog;
+    use quatrex_linalg::eigenvalues;
+
+    #[test]
+    fn build_produces_hermitian_block_banded_matrices() {
+        let dev = DeviceBuilder::test_device(4, 2, 5).build();
+        assert!(dev.hamiltonian.is_hermitian(1e-12));
+        assert!(dev.coulomb.is_hermitian(1e-12));
+        assert_eq!(dev.hamiltonian.bandwidth(), 2);
+        assert_eq!(dev.n_orbitals(), 4 * 2 * 5);
+        assert_eq!(dev.transport_cell_size(), 8);
+    }
+
+    #[test]
+    fn regrouped_hamiltonian_is_tridiagonal_and_equivalent() {
+        let dev = DeviceBuilder::test_device(3, 2, 4).build();
+        let bt = dev.hamiltonian_bt();
+        assert_eq!(bt.n_blocks(), 4);
+        assert_eq!(bt.block_size(), 6);
+        assert!(bt.to_dense().approx_eq(&dev.hamiltonian.to_dense(), 1e-13));
+        assert!(bt.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn coulomb_truncation_respects_r_cut() {
+        let mut b = DeviceBuilder::test_device(4, 2, 4);
+        b.r_cut_nm = 0.3; // shorter than one cell
+        let dev = b.build();
+        // Blocks coupling cells two apart must vanish.
+        let far = dev.coulomb.block(0, 2);
+        if let Some(blk) = far {
+            assert!(blk.norm_max() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spectrum_has_a_band_gap_around_the_reference_energy() {
+        let dev = DeviceBuilder::test_device(4, 1, 6).build();
+        let h = dev.hamiltonian.to_dense();
+        let evals = eigenvalues(&h).unwrap();
+        let mut re: Vec<f64> = evals.iter().map(|l| l.re).collect();
+        re.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // There must be states below and above the reference energy, and a gap
+        // of at least half the nominal value around it.
+        let below = re.iter().filter(|&&e| e < dev.onsite_center_ev).count();
+        let above = re.iter().filter(|&&e| e > dev.onsite_center_ev).count();
+        assert!(below > 0 && above > 0);
+        let homo = re.iter().filter(|&&e| e < dev.onsite_center_ev).cloned().fold(f64::MIN, f64::max);
+        let lumo = re.iter().filter(|&&e| e > dev.onsite_center_ev).cloned().fold(f64::MAX, f64::min);
+        // Hybridisation narrows the nominal 2·Δ gap; a clear gap (> 0.2 eV)
+        // around the reference energy is what the transport window relies on.
+        assert!(lumo - homo > 0.2, "gap {} too small", lumo - homo);
+    }
+
+    #[test]
+    fn from_params_preserves_block_structure() {
+        let params = DeviceCatalog::nw1();
+        let builder = DeviceBuilder::from_params(&params, 26); // 104/26 = 4 orbitals per PUC
+        assert_eq!(builder.puc_size, 4);
+        assert_eq!(builder.n_u, params.n_u_g);
+        assert_eq!(builder.n_blocks, params.n_blocks_g);
+        let dev = builder.build();
+        assert_eq!(dev.hamiltonian_bt().n_blocks(), params.n_blocks_g);
+    }
+
+    #[test]
+    fn potential_shift_moves_diagonal_only() {
+        let mut dev = DeviceBuilder::test_device(3, 1, 4).build();
+        let h0 = dev.hamiltonian.to_dense();
+        let pot = dev.linear_potential(0.0, -0.3);
+        assert_eq!(pot.len(), 4);
+        assert!((pot[0] - 0.0).abs() < 1e-15 && (pot[3] + 0.3).abs() < 1e-15);
+        dev.apply_potential(&pot);
+        let h1 = dev.hamiltonian.to_dense();
+        // Off-diagonal entries unchanged.
+        for i in 0..dev.n_orbitals() {
+            for j in 0..dev.n_orbitals() {
+                if i != j {
+                    assert!((h1[(i, j)] - h0[(i, j)]).norm() < 1e-15);
+                }
+            }
+        }
+        // Last transport cell shifted by -0.3.
+        let last = dev.n_orbitals() - 1;
+        assert!((h1[(last, last)] - h0[(last, last)] - c64::new(-0.3, 0.0)).norm() < 1e-14);
+    }
+
+    #[test]
+    fn default_energy_grid_straddles_the_gap() {
+        let dev = DeviceBuilder::test_device(4, 2, 4).build();
+        let grid = dev.default_energy_grid(64);
+        assert!(grid.e_min() < dev.onsite_center_ev - dev.band_gap_estimate_ev);
+        assert!(grid.e_max() > dev.onsite_center_ev + dev.band_gap_estimate_ev);
+        assert_eq!(grid.len(), 64);
+    }
+}

@@ -1,0 +1,47 @@
+//! # quatrex-fft
+//!
+//! Complex fast Fourier transforms and energy-axis convolutions.
+//!
+//! The NEGF+scGW interaction terms are energy convolutions (paper Eq. (3)):
+//! the polarisation `P(E) ∝ ∫dE' G(E−E')·G(E')` and the scattering self-energy
+//! `Σ(E) ∝ ∫dE' G(E')·W(E−E')` are evaluated element-wise in real space but as
+//! convolutions over the `N_E`-point energy grid. Replacing the direct
+//! `O(N_E²)` sums by FFT-based convolutions reduces the cost to
+//! `O(N_E log N_E)` (paper Section 4.4). The original code calls cuFFT/rocFFT
+//! through CuPy; this crate provides the portable equivalent:
+//!
+//! * [`fft`] / [`ifft`] — iterative radix-2 transforms for power-of-two sizes,
+//! * [`fft_any`] / [`ifft_any`] — Bluestein's algorithm for arbitrary sizes,
+//! * [`convolve`] / [`correlate`] — zero-padded linear convolution /
+//!   correlation, the exact primitives used by the `P` and `Σ` kernels.
+
+pub mod convolution;
+pub mod transform;
+
+pub use convolution::{convolution_flops, convolve, correlate};
+pub use transform::{fft, fft_any, fft_flops, ifft, ifft_any, is_power_of_two, next_power_of_two};
+
+/// Double-precision complex scalar (re-exported for convenience).
+#[allow(non_camel_case_types)]
+pub type c64 = num_complex::Complex<f64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_api_reexports() {
+        let mut x = vec![
+            c64::new(1.0, 0.0),
+            c64::new(0.0, 0.0),
+            c64::new(-1.0, 0.0),
+            c64::new(0.0, 0.0),
+        ];
+        let orig = x.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).norm() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # quatrex-linalg
+//!
+//! Dense complex linear-algebra kernels used by the QuaTrEx-RS quantum-transport
+//! solver. The original QuaTrEx code (Vetsch et al., SC'25) dispatches these
+//! operations to vendor BLAS/LAPACK libraries on NVIDIA GH200 and AMD MI250X
+//! GPUs through NumPy/CuPy. This crate provides portable, pure-Rust
+//! implementations of exactly the kernel set the NEGF+scGW algorithm needs:
+//!
+//! * [`CMatrix`] — a column-major dense complex (`f64`) matrix,
+//! * matrix products ([`ops::matmul`], [`ops::triple_product`], …),
+//! * LU factorisation, linear solves and explicit inverses ([`lu`]),
+//! * Householder QR ([`qr`]),
+//! * a complex Hessenberg/shifted-QR eigensolver for non-symmetric matrices
+//!   ([`eig`]) as required by the Beyn contour-integral OBC solver and the
+//!   direct Lyapunov solver,
+//! * a one-sided Jacobi SVD ([`svd`]) as required by Beyn's rank-revealing step,
+//! * FLOP accounting helpers ([`flops`]) used by the performance model to
+//!   regenerate the paper's workload columns.
+//!
+//! All kernels operate on `Complex<f64>` ([`c64`]) in double precision, matching
+//! the paper's FP64 measurements.
+
+pub mod eig;
+pub mod flops;
+pub mod lu;
+pub mod matrix;
+pub mod ops;
+pub mod qr;
+pub mod svd;
+
+pub use eig::{eigendecomposition, eigenvalues, schur, Eigendecomposition, SchurDecomposition};
+pub use flops::{FlopCounter, FlopKind};
+pub use lu::{LuFactorization, LuError};
+pub use matrix::CMatrix;
+pub use ops::{matmul, matmul_acc, triple_product};
+pub use qr::QrFactorization;
+pub use svd::{singular_values, svd, Svd};
+
+/// Double-precision complex scalar used throughout QuaTrEx-RS.
+#[allow(non_camel_case_types)]
+pub type c64 = num_complex::Complex<f64>;
+
+/// Convenience constructor for a [`c64`] value.
+#[inline(always)]
+pub fn cplx(re: f64, im: f64) -> c64 {
+    c64::new(re, im)
+}
+
+/// The complex unit `i`.
+pub const I: c64 = c64::new(0.0, 1.0);
+
+/// The complex zero.
+pub const ZERO: c64 = c64::new(0.0, 0.0);
+
+/// The complex one.
+pub const ONE: c64 = c64::new(1.0, 0.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_constants() {
+        assert_eq!(I * I, cplx(-1.0, 0.0));
+        assert_eq!(ONE + ZERO, ONE);
+        assert_eq!(cplx(1.5, -2.0).conj(), cplx(1.5, 2.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Householder QR factorisation.
+//!
+//! The Beyn contour-integral OBC solver (paper Section 4.2.1) reduces a
+//! polynomial eigenvalue problem to a small dense eigenvalue problem through a
+//! rank-revealing step; QR is used both there and as a building block of the
+//! eigensolver's similarity transforms.
+
+use crate::matrix::CMatrix;
+use crate::ops::matmul;
+use crate::{c64, ZERO};
+
+/// QR factorisation `A = Q·R` with `Q` unitary (m×m) and `R` upper trapezoidal (m×n).
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    /// Unitary factor.
+    pub q: CMatrix,
+    /// Upper-triangular (trapezoidal) factor.
+    pub r: CMatrix,
+}
+
+impl QrFactorization {
+    /// Compute the QR factorisation of `a` with Householder reflections.
+    pub fn new(a: &CMatrix) -> Self {
+        let (m, n) = a.shape();
+        let mut r = a.clone();
+        let mut q = CMatrix::identity(m);
+
+        for k in 0..n.min(m.saturating_sub(1)) {
+            // Build the Householder vector for column k below the diagonal.
+            let mut x = vec![ZERO; m - k];
+            for i in k..m {
+                x[i - k] = r[(i, k)];
+            }
+            let norm_x = x.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+            if norm_x == 0.0 {
+                continue;
+            }
+            // alpha = -exp(i*arg(x0)) * ||x||
+            let x0 = x[0];
+            let phase = if x0.norm() > 0.0 { x0 / x0.norm() } else { c64::new(1.0, 0.0) };
+            let alpha = -phase * norm_x;
+            let mut v = x.clone();
+            v[0] -= alpha;
+            let vnorm2 = v.iter().map(|c| c.norm_sqr()).sum::<f64>();
+            if vnorm2 == 0.0 {
+                continue;
+            }
+
+            // Apply the reflector H = I - 2 v v† / (v†v) to R (left) and accumulate into Q.
+            for j in k..n {
+                let mut dot = ZERO;
+                for i in k..m {
+                    dot += v[i - k].conj() * r[(i, j)];
+                }
+                let scale = dot * 2.0 / vnorm2;
+                for i in k..m {
+                    let vi = v[i - k];
+                    r[(i, j)] -= scale * vi;
+                }
+            }
+            // Q = Q · H (accumulate reflectors on the right so that Q·R = A).
+            for i in 0..m {
+                let mut dot = ZERO;
+                for l in k..m {
+                    dot += q[(i, l)] * v[l - k];
+                }
+                let scale = dot * 2.0 / vnorm2;
+                for l in k..m {
+                    let vl = v[l - k].conj();
+                    q[(i, l)] -= scale * vl;
+                }
+            }
+        }
+
+        // Clean the strictly-lower part of R to exact zeros (it is numerically tiny).
+        for j in 0..n {
+            for i in (j + 1)..m {
+                r[(i, j)] = ZERO;
+            }
+        }
+        Self { q, r }
+    }
+
+    /// Reconstruct `Q·R` (mainly for testing).
+    pub fn reconstruct(&self) -> CMatrix {
+        matmul(&self.q, &self.r)
+    }
+
+    /// Numerical rank of `R` with relative tolerance `rtol` on the largest
+    /// diagonal magnitude.
+    pub fn rank(&self, rtol: f64) -> usize {
+        let n = self.r.nrows().min(self.r.ncols());
+        let dmax = (0..n).map(|i| self.r[(i, i)].norm()).fold(0.0, f64::max);
+        if dmax == 0.0 {
+            return 0;
+        }
+        (0..n).filter(|&i| self.r[(i, i)].norm() > rtol * dmax).count()
+    }
+}
+
+/// Solve the least-squares problem `min ‖A x − b‖₂` for a full-column-rank `A`.
+pub fn least_squares(a: &CMatrix, b: &[c64]) -> Vec<c64> {
+    let (m, n) = a.shape();
+    assert!(m >= n, "least_squares requires m >= n");
+    assert_eq!(b.len(), m);
+    let qr = QrFactorization::new(a);
+    // y = Q† b, then back-substitute R x = y (first n rows).
+    let qd = qr.q.dagger();
+    let y = qd.matvec(b);
+    let mut x = vec![ZERO; n];
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for j in (i + 1)..n {
+            acc -= qr.r[(i, j)] * x[j];
+        }
+        x[i] = acc / qr.r[(i, i)];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cplx;
+
+    fn random_like(m: usize, n: usize) -> CMatrix {
+        // Deterministic pseudo-random fill (no RNG dependency needed here).
+        CMatrix::from_fn(m, n, |i, j| {
+            let t = (i * 31 + j * 17) as f64;
+            cplx((t * 0.37).sin(), (t * 0.73).cos())
+        })
+    }
+
+    #[test]
+    fn q_is_unitary_and_qr_reconstructs() {
+        for (m, n) in [(4, 4), (6, 3), (5, 5), (8, 8)] {
+            let a = random_like(m, n);
+            let qr = QrFactorization::new(&a);
+            let qtq = matmul(&qr.q.dagger(), &qr.q);
+            assert!(qtq.approx_eq(&CMatrix::identity(m), 1e-10), "Q not unitary for {m}x{n}");
+            assert!(qr.reconstruct().approx_eq(&a, 1e-10), "QR != A for {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_like(5, 5);
+        let qr = QrFactorization::new(&a);
+        for j in 0..5 {
+            for i in (j + 1)..5 {
+                assert_eq!(qr.r[(i, j)], ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_rank_deficient_matrix() {
+        // Two identical columns -> rank 2 for a 5x3 matrix.
+        let mut a = random_like(5, 3);
+        for i in 0..5 {
+            let v = a[(i, 0)];
+            a[(i, 2)] = v;
+        }
+        let qr = QrFactorization::new(&a);
+        assert_eq!(qr.rank(1e-10), 2);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        let a = random_like(6, 3);
+        let x_true = vec![cplx(1.0, 0.0), cplx(-2.0, 1.0), cplx(0.5, 0.5)];
+        let b = a.matvec(&x_true);
+        let x = least_squares(&a, &b);
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_factorises_consistently() {
+        // The Householder phase convention may flip column signs, so we only
+        // require the defining properties: Q unitary, R triangular, QR = I.
+        let id = CMatrix::identity(4);
+        let qr = QrFactorization::new(&id);
+        assert!(matmul(&qr.q.dagger(), &qr.q).approx_eq(&id, 1e-12));
+        assert!(qr.reconstruct().approx_eq(&id, 1e-12));
+        assert_eq!(qr.rank(1e-12), 4);
+    }
+}

@@ -1,0 +1,492 @@
+//! Retarded surface-function solvers.
+//!
+//! All solvers target the non-linear equation of paper Eq. (4),
+//!
+//! ```text
+//! x^R = (m − n · x^R · n')⁻¹ ,
+//! ```
+//!
+//! where `m`, `n`, `n'` are transport-cell-sized blocks extracted from
+//! `M(E) − B^R_scatt(E)` at the contact. Three methods are provided, matching
+//! the paper's discussion:
+//!
+//! * [`fixed_point`] — plain fixed-point iteration of Eq. (5); cheap per step,
+//!   slow from a cold start, fast from a good initial guess (this is what the
+//!   memoizer exploits);
+//! * [`sancho_rubio`] — the decimation scheme of Sancho, Lopez-Sancho & Rubio,
+//!   which converges quadratically (doubles the represented lead length every
+//!   step);
+//! * [`beyn`] — the direct contour-integral method: the quadratic polynomial
+//!   eigenvalue problem `(z·m − z²·n − n')·φ = 0` is solved for all Bloch
+//!   factors inside the unit circle via Beyn's algorithm (probing + SVD +
+//!   reduced eigenvalue problem), and the surface function is reconstructed as
+//!   `x^R = (m − n·F)⁻¹` with the propagation matrix `F = Φ·Λ·Φ⁻¹`.
+
+use quatrex_linalg::lu::{inverse, inverse_flops, LuFactorization};
+use quatrex_linalg::ops::{gemm_flops, matmul};
+use quatrex_linalg::svd::svd;
+use quatrex_linalg::{c64, eigendecomposition, CMatrix};
+use std::f64::consts::PI;
+
+/// Failure modes of the OBC solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObcError {
+    /// The iteration did not reach the requested tolerance.
+    NotConverged {
+        /// Residual after the last iteration.
+        residual: f64,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// A linear solve encountered a singular matrix.
+    Singular,
+    /// The eigenvalue decomposition inside Beyn's method failed.
+    EigenFailure,
+}
+
+impl std::fmt::Display for ObcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObcError::NotConverged { residual, iterations } => {
+                write!(f, "OBC solver did not converge: residual {residual:.3e} after {iterations} iterations")
+            }
+            ObcError::Singular => write!(f, "singular matrix in OBC solver"),
+            ObcError::EigenFailure => write!(f, "eigendecomposition failed in Beyn solver"),
+        }
+    }
+}
+
+impl std::error::Error for ObcError {}
+
+/// Result of a retarded OBC solve.
+#[derive(Debug, Clone)]
+pub struct ObcSolution {
+    /// The surface function `x^R`.
+    pub x: CMatrix,
+    /// Number of iterations (fixed-point / decimation steps, or contour points).
+    pub iterations: usize,
+    /// Final residual `‖x − (m − n·x·n')⁻¹‖_F / ‖x‖_F`.
+    pub residual: f64,
+    /// Estimated real FLOPs spent.
+    pub flops: u64,
+}
+
+/// Relative residual of a candidate surface function.
+pub fn surface_residual(x: &CMatrix, m: &CMatrix, n: &CMatrix, nprime: &CMatrix) -> f64 {
+    let nxn = matmul(&matmul(n, x), nprime);
+    let rhs = m - &nxn;
+    match inverse(&rhs) {
+        Ok(inv) => inv.distance(x) / x.norm_fro().max(1e-300),
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// Plain fixed-point iteration `x_{k+1} = (m − n·x_k·n')⁻¹` (paper Eq. (5)).
+///
+/// `x0` is the initial guess (pass `None` for a cold start from `m⁻¹`).
+pub fn fixed_point(
+    m: &CMatrix,
+    n: &CMatrix,
+    nprime: &CMatrix,
+    x0: Option<&CMatrix>,
+    tol: f64,
+    max_iter: usize,
+) -> Result<ObcSolution, ObcError> {
+    let dim = m.nrows();
+    let mut flops = 0u64;
+    let mut x = match x0 {
+        Some(x0) => x0.clone(),
+        None => {
+            flops += inverse_flops(dim);
+            inverse(m).map_err(|_| ObcError::Singular)?
+        }
+    };
+    let mut residual = f64::INFINITY;
+    for it in 1..=max_iter {
+        let nxn = matmul(&matmul(n, &x), nprime);
+        let rhs = m - &nxn;
+        let x_next = inverse(&rhs).map_err(|_| ObcError::Singular)?;
+        flops += 2 * gemm_flops(dim, dim, dim) + inverse_flops(dim);
+        residual = x_next.distance(&x) / x_next.norm_fro().max(1e-300);
+        x = x_next;
+        if residual < tol {
+            return Ok(ObcSolution { x, iterations: it, residual, flops });
+        }
+    }
+    Err(ObcError::NotConverged { residual, iterations: max_iter })
+}
+
+/// Sancho–Rubio decimation for the surface function.
+///
+/// Each step doubles the effective lead length represented by the effective
+/// couplings, so convergence is reached in `O(log)` steps (typically 10–30,
+/// paper Section 4.2.1).
+pub fn sancho_rubio(
+    m: &CMatrix,
+    n: &CMatrix,
+    nprime: &CMatrix,
+    tol: f64,
+    max_iter: usize,
+) -> Result<ObcSolution, ObcError> {
+    let dim = m.nrows();
+    let mut flops = 0u64;
+    // Decimation variables: eps_s = surface onsite, eps = bulk onsite,
+    // alpha = n (coupling forward), beta = n' (coupling backward).
+    let mut eps_s = m.clone();
+    let mut eps = m.clone();
+    let mut alpha = n.clone();
+    let mut beta = nprime.clone();
+
+    for it in 1..=max_iter {
+        let g = inverse(&eps).map_err(|_| ObcError::Singular)?;
+        flops += inverse_flops(dim);
+        let ag = matmul(&alpha, &g);
+        let bg = matmul(&beta, &g);
+        let agb = matmul(&ag, &beta);
+        let bga = matmul(&bg, &alpha);
+        flops += 4 * gemm_flops(dim, dim, dim);
+        // Update
+        eps_s = &eps_s - &agb;
+        eps = &(&eps - &agb) - &bga;
+        let alpha_new = matmul(&ag, &alpha);
+        let beta_new = matmul(&bg, &beta);
+        flops += 2 * gemm_flops(dim, dim, dim);
+        alpha = alpha_new;
+        beta = beta_new;
+
+        if alpha.norm_fro() < tol && beta.norm_fro() < tol {
+            let x = inverse(&eps_s).map_err(|_| ObcError::Singular)?;
+            flops += inverse_flops(dim);
+            let residual = surface_residual(&x, m, n, nprime);
+            return Ok(ObcSolution { x, iterations: it, residual, flops });
+        }
+    }
+    Err(ObcError::NotConverged { residual: alpha.norm_fro().max(beta.norm_fro()), iterations: max_iter })
+}
+
+/// Direct solution of the surface problem via the companion linearisation of
+/// the polynomial eigenvalue problem (paper Section 4.2.1, Refs. [8, 34]).
+///
+/// The quadratic problem `(λ²·n + λ·m + n')·φ = 0` is linearised into the
+/// `2·N_BS` companion matrix
+///
+/// ```text
+/// C = [      0            I      ]
+///     [ −n⁻¹·n'      −n⁻¹·m      ]
+/// ```
+///
+/// whose eigenpairs `(λ, [φ; λφ])` yield the Bloch modes. The decaying modes
+/// (`|λ| < 1`) build the propagation matrix `F = Φ·Λ·Φ⁻¹` and
+/// `x^R = (m + n·F)⁻¹`. Requires an invertible coupling block `n`.
+pub fn pevp_direct(
+    m: &CMatrix,
+    n: &CMatrix,
+    nprime: &CMatrix,
+) -> Result<ObcSolution, ObcError> {
+    let dim = m.nrows();
+    let n_lu = LuFactorization::new(n).map_err(|_| ObcError::Singular)?;
+    let a21 = n_lu.solve(nprime).scaled(c64::new(-1.0, 0.0));
+    let a22 = n_lu.solve(m).scaled(c64::new(-1.0, 0.0));
+    let mut companion = CMatrix::zeros(2 * dim, 2 * dim);
+    for i in 0..dim {
+        companion[(i, dim + i)] = c64::new(1.0, 0.0);
+    }
+    companion.set_submatrix(dim, 0, &a21);
+    companion.set_submatrix(dim, dim, &a22);
+    let eig = eigendecomposition(&companion).map_err(|_| ObcError::EigenFailure)?;
+
+    // Select the decaying modes, keeping the `dim` smallest magnitudes.
+    let mut order: Vec<usize> = (0..2 * dim).collect();
+    order.sort_by(|&a, &b| eig.values[a].norm().partial_cmp(&eig.values[b].norm()).unwrap());
+    let selected = &order[..dim];
+    let mut phi = CMatrix::zeros(dim, dim);
+    let mut lambda = vec![c64::new(0.0, 0.0); dim];
+    for (col, &k) in selected.iter().enumerate() {
+        lambda[col] = eig.values[k];
+        for i in 0..dim {
+            phi[(i, col)] = eig.vectors[(i, k)];
+        }
+    }
+    let phi_lu = LuFactorization::new(&phi).map_err(|_| ObcError::Singular)?;
+    let mut phi_lambda = phi.clone();
+    for j in 0..dim {
+        let l = lambda[j];
+        for v in phi_lambda.col_mut(j) {
+            *v *= l;
+        }
+    }
+    let f_mat = matmul(&phi_lambda, &phi_lu.inverse());
+    let x = inverse(&(m + &matmul(n, &f_mat))).map_err(|_| ObcError::Singular)?;
+    let residual = surface_residual(&x, m, n, nprime);
+    // Companion eigendecomposition dominates: ~30·(2n)³ real FLOPs.
+    let flops = 30 * (2 * dim as u64).pow(3) + 4 * inverse_flops(dim) + 3 * gemm_flops(dim, dim, dim);
+    Ok(ObcSolution { x, iterations: 1, residual, flops })
+}
+
+/// Configuration of the Beyn contour-integral solver.
+#[derive(Debug, Clone)]
+pub struct BeynConfig {
+    /// Radius of the circular contour in the complex Bloch-factor plane.
+    pub radius: f64,
+    /// Number of quadrature points on the contour.
+    pub n_quadrature: usize,
+    /// Relative singular-value threshold of the rank-revealing step.
+    pub rank_tol: f64,
+}
+
+impl Default for BeynConfig {
+    fn default() -> Self {
+        Self { radius: 1.0, n_quadrature: 48, rank_tol: 1e-8 }
+    }
+}
+
+/// Beyn's contour-integral solver for the retarded surface function.
+///
+/// Writing the semi-infinite lead's Bloch ansatz `G_{l,1} = F^{l−1}·x^R` turns
+/// Eq. (4) into the quadratic polynomial eigenvalue problem
+/// `T(z)·φ = (z²·n + z·m + n')·φ = 0`: the propagation matrix `F = Φ·Λ·Φ⁻¹`
+/// is built from all eigenpairs with `|λ| < 1` (the decaying modes, found by
+/// contour integration over the unit circle), and the surface function follows
+/// as `x^R = (m + n·F)⁻¹`, which solves the original fixed-point equation.
+pub fn beyn(
+    m: &CMatrix,
+    n: &CMatrix,
+    nprime: &CMatrix,
+    config: &BeynConfig,
+) -> Result<ObcSolution, ObcError> {
+    let dim = m.nrows();
+    assert!(m.is_square() && n.shape() == (dim, dim) && nprime.shape() == (dim, dim));
+    let mut flops = 0u64;
+
+    // Probe with the full identity: the number of enclosed eigenvalues equals
+    // the block dimension for a well-posed lead problem.
+    let probe = CMatrix::identity(dim);
+    let mut a0 = CMatrix::zeros(dim, dim);
+    let mut a1 = CMatrix::zeros(dim, dim);
+    let nq = config.n_quadrature.max(4);
+    for k in 0..nq {
+        let theta = 2.0 * PI * (k as f64 + 0.5) / nq as f64;
+        let z = c64::new(theta.cos(), theta.sin()) * config.radius;
+        // T(z) = z²·n + z·m + n'
+        let mut t = m.scaled(z);
+        t.axpy(z * z, n);
+        t.axpy(c64::new(1.0, 0.0), nprime);
+        let lu = LuFactorization::new(&t).map_err(|_| ObcError::Singular)?;
+        let tinv_v = lu.solve(&probe);
+        flops += inverse_flops(dim);
+        // Quadrature weights: dz = i·z·dθ; Beyn moments A_p = (1/2πi)∮ z^p T(z)^{-1} V dz
+        // → A_p ≈ (1/nq) Σ_k z_k^{p+1} T(z_k)^{-1} V.
+        let w0 = z / nq as f64;
+        let w1 = z * z / nq as f64;
+        a0.axpy(w0, &tinv_v);
+        a1.axpy(w1, &tinv_v);
+    }
+
+    // Rank-revealing SVD of A0.
+    let dec = svd(&a0);
+    let rank = dec.rank(config.rank_tol);
+    if rank == 0 {
+        return Err(ObcError::EigenFailure);
+    }
+    // Reduced matrix B = U_k† A1 W_k Σ_k⁻¹ (k = rank).
+    let u_k = dec.u.submatrix(0, 0, dim, rank);
+    let w_k = dec.v.submatrix(0, 0, dim, rank);
+    let mut a1w = matmul(&a1, &w_k);
+    for j in 0..rank {
+        let inv_sigma = c64::new(1.0 / dec.sigma[j], 0.0);
+        for v in a1w.col_mut(j) {
+            *v *= inv_sigma;
+        }
+    }
+    let b = matmul(&u_k.dagger(), &a1w);
+    flops += 2 * gemm_flops(dim, rank, rank);
+
+    // Reduced eigenvalue problem: eigenvalues are the enclosed Bloch factors,
+    // eigenvectors (lifted by U_k) the corresponding modes.
+    let eig = eigendecomposition(&b).map_err(|_| ObcError::EigenFailure)?;
+    let phi_reduced = eig.vectors;
+    let phi = matmul(&u_k, &phi_reduced);
+    flops += gemm_flops(dim, rank, rank);
+
+    // Propagation matrix F = Φ·Λ·Φ⁺ (pseudo-inverse via LU when square and
+    // full rank; pad with zero modes when rank < dim — those correspond to
+    // instantaneously decaying Bloch factors λ = 0).
+    let mut phi_full = CMatrix::zeros(dim, dim);
+    let mut lambda_full = vec![c64::new(0.0, 0.0); dim];
+    for j in 0..rank.min(dim) {
+        for i in 0..dim {
+            phi_full[(i, j)] = phi[(i, j)];
+        }
+        lambda_full[j] = eig.values[j];
+    }
+    // Fill the remaining columns with canonical basis vectors orthogonal-ish
+    // to keep Φ invertible (their eigenvalues are zero so they do not
+    // contribute to F beyond completing the basis).
+    if rank < dim {
+        for (extra, j) in (rank..dim).enumerate() {
+            phi_full[(extra % dim, j)] += c64::new(1.0, 0.0);
+        }
+    }
+    let phi_lu = LuFactorization::new(&phi_full).map_err(|_| ObcError::Singular)?;
+    let mut phi_lambda = phi_full.clone();
+    for j in 0..dim {
+        let l = lambda_full[j];
+        for v in phi_lambda.col_mut(j) {
+            *v *= l;
+        }
+    }
+    // F = (Φ Λ) Φ⁻¹  ⇔  F Φ = Φ Λ  ⇔  Φᵀ Fᵀ = (Φ Λ)ᵀ — solve via LU on Φ:
+    // F = Φ Λ Φ⁻¹ computed as solving Φ X = I then multiplying.
+    let phi_inv = phi_lu.inverse();
+    let f_mat = matmul(&phi_lambda, &phi_inv);
+    flops += inverse_flops(dim) + gemm_flops(dim, dim, dim);
+
+    // x^R = (m + n·F)⁻¹.
+    let nf = matmul(n, &f_mat);
+    let x = inverse(&(m + &nf)).map_err(|_| ObcError::Singular)?;
+    flops += gemm_flops(dim, dim, dim) + inverse_flops(dim);
+
+    let residual = surface_residual(&x, m, n, nprime);
+    Ok(ObcSolution { x, iterations: nq, residual, flops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quatrex_linalg::cplx;
+
+    /// Build a simple lead problem: onsite block `h0`, coupling `h1`,
+    /// evaluated at energy `e + iη`. Returns (m, n, n') with
+    /// m = (E+iη)I − h0, n = −h1, n' = −h1†.
+    fn lead_problem(dim: usize, e: f64, eta: f64) -> (CMatrix, CMatrix, CMatrix) {
+        let h0 = CMatrix::from_fn(dim, dim, |i, j| {
+            if i == j {
+                cplx(if i % 2 == 0 { 0.6 } else { -0.6 }, 0.0)
+            } else {
+                cplx(-0.2 / (1.0 + (i as f64 - j as f64).abs()), 0.0)
+            }
+        })
+        .hermitian_part();
+        let h1 = CMatrix::from_fn(dim, dim, |i, j| {
+            cplx(-0.35 * (-((i as f64 - j as f64).abs()) / 2.0).exp(), 0.0)
+        });
+        let m = &CMatrix::scaled_identity(dim, cplx(e, eta)) - &h0;
+        let n = h1.scaled(cplx(-1.0, 0.0));
+        let nprime = h1.dagger().scaled(cplx(-1.0, 0.0));
+        (m, n, nprime)
+    }
+
+    #[test]
+    fn sancho_rubio_satisfies_surface_equation() {
+        let (m, n, np) = lead_problem(4, 1.4, 1e-3);
+        let sol = sancho_rubio(&m, &n, &np, 1e-12, 200).unwrap();
+        assert!(sol.residual < 1e-7, "residual = {}", sol.residual);
+        assert!(sol.iterations < 60);
+    }
+
+    #[test]
+    fn fixed_point_converges_from_cold_start_outside_band() {
+        // Far outside the band the lead Green's function is strongly damped and
+        // the plain fixed-point iteration converges.
+        let (m, n, np) = lead_problem(4, 4.0, 1e-2);
+        let sol = fixed_point(&m, &n, &np, None, 1e-10, 2000).unwrap();
+        assert!(sol.residual < 1e-8);
+    }
+
+    #[test]
+    fn fixed_point_with_good_guess_is_fast() {
+        let (m, n, np) = lead_problem(4, 1.4, 1e-2);
+        let reference = sancho_rubio(&m, &n, &np, 1e-12, 200).unwrap();
+        let warm = fixed_point(&m, &n, &np, Some(&reference.x), 1e-10, 50).unwrap();
+        assert!(warm.iterations <= 5, "warm start took {} iterations", warm.iterations);
+        assert!(warm.x.approx_eq(&reference.x, 1e-6));
+    }
+
+    /// Lead with weaker inter-cell coupling: all Bloch factors are strongly
+    /// evanescent, i.e. well separated from the unit-circle contour. This is
+    /// the regime of the screened-interaction (W) boundary problem where the
+    /// paper applies the Beyn solver.
+    fn evanescent_lead(dim: usize, e: f64, eta: f64) -> (CMatrix, CMatrix, CMatrix) {
+        let (m, n, np) = lead_problem(dim, e, eta);
+        (m, n.scaled(cplx(0.25, 0.0)), np.scaled(cplx(0.25, 0.0)))
+    }
+
+    #[test]
+    fn pevp_direct_matches_sancho_rubio() {
+        for (e, eta) in [(1.6, 1e-2), (0.0, 1e-3), (2.5, 1e-3)] {
+            let (m, n, np) = lead_problem(4, e, eta);
+            let sr = sancho_rubio(&m, &n, &np, 1e-12, 200).unwrap();
+            let direct = pevp_direct(&m, &n, &np).unwrap();
+            assert!(direct.residual < 1e-7, "PEVP residual {} at E={e}", direct.residual);
+            assert!(
+                direct.x.approx_eq(&sr.x, 1e-5),
+                "distance = {} at E={e}",
+                direct.x.distance(&sr.x)
+            );
+        }
+    }
+
+    #[test]
+    fn beyn_matches_sancho_rubio() {
+        let (m, n, np) = evanescent_lead(4, 1.6, 1e-2);
+        let sr = sancho_rubio(&m, &n, &np, 1e-12, 200).unwrap();
+        let by = beyn(&m, &n, &np, &BeynConfig::default()).unwrap();
+        assert!(by.residual < 1e-6, "Beyn residual {}", by.residual);
+        assert!(by.x.approx_eq(&sr.x, 1e-5), "distance = {}", by.x.distance(&sr.x));
+    }
+
+    #[test]
+    fn beyn_works_in_the_band_gap() {
+        let (m, n, np) = evanescent_lead(6, 0.0, 1e-3);
+        let by = beyn(&m, &n, &np, &BeynConfig::default()).unwrap();
+        assert!(by.residual < 1e-6, "Beyn residual {}", by.residual);
+    }
+
+    #[test]
+    fn beyn_matches_pevp_direct_on_evanescent_problem() {
+        let (m, n, np) = evanescent_lead(5, 2.5, 1e-2);
+        let by = beyn(&m, &n, &np, &BeynConfig::default()).unwrap();
+        let direct = pevp_direct(&m, &n, &np).unwrap();
+        assert!(by.residual < 1e-6, "Beyn residual {}", by.residual);
+        assert!(direct.residual < 1e-6, "PEVP residual {}", direct.residual);
+        assert!(by.x.approx_eq(&direct.x, 1e-5), "distance = {}", by.x.distance(&direct.x));
+    }
+
+    #[test]
+    fn surface_function_has_negative_imaginary_dos() {
+        // The retarded surface Green's function must have a negative
+        // anti-Hermitian part (positive DOS): Im(trace) <= 0.
+        let (m, n, np) = lead_problem(4, 1.4, 1e-3);
+        let sol = sancho_rubio(&m, &n, &np, 1e-12, 200).unwrap();
+        assert!(sol.x.trace().im <= 1e-10);
+    }
+
+    #[test]
+    fn decoupled_lead_reduces_to_block_inverse() {
+        let (m, _n, _np) = lead_problem(4, 2.0, 1e-3);
+        let zero = CMatrix::zeros(4, 4);
+        let sol = sancho_rubio(&m, &zero, &zero, 1e-14, 10).unwrap();
+        let direct = inverse(&m).unwrap();
+        assert!(sol.x.approx_eq(&direct, 1e-10));
+    }
+
+    #[test]
+    fn not_converged_error_reports_iterations() {
+        let (m, n, np) = lead_problem(4, 1.4, 1e-6);
+        // One iteration from a cold start cannot converge.
+        let err = fixed_point(&m, &n, &np, None, 1e-14, 1).unwrap_err();
+        match err {
+            ObcError::NotConverged { iterations, .. } => assert_eq!(iterations, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flop_accounting_is_monotone_in_iterations() {
+        let (m, n, np) = lead_problem(4, 3.0, 1e-2);
+        let few = fixed_point(&m, &n, &np, None, 1e-2, 200).unwrap();
+        let many = fixed_point(&m, &n, &np, None, 1e-10, 200).unwrap();
+        assert!(many.flops >= few.flops);
+        assert!(many.iterations >= few.iterations);
+    }
+}

@@ -1,0 +1,32 @@
+//! # quatrex-perf
+//!
+//! Machine models, per-kernel workload models and the generators that
+//! reproduce the paper's evaluation tables and figures.
+//!
+//! The paper's performance numbers are measured on Alps (NVIDIA GH200) and
+//! Frontier (AMD MI250X) at up to 37,600 GPUs — hardware that is not available
+//! to this reproduction. Following the substitution strategy documented in
+//! DESIGN.md, this crate combines
+//!
+//! * **exact, structural quantities** computed from the device catalogue
+//!   (matrix sizes, block counts, non-zero counts, workload scaling laws),
+//! * **per-kernel FP64 workload models** whose constants are calibrated
+//!   against the paper's own rocprof/NCU measurements (Table 4),
+//! * **machine models** of a GH200 GPU, an MI250X GCD and the LUMI GCDs of
+//!   QuaTrEx24 (peak, Rmax and sustained GEMM rates), and
+//! * **communication cost models** from `quatrex-runtime`,
+//!
+//! to regenerate the *shape* of every evaluation artefact: Table 1
+//! (complexity), Table 3 (devices), Table 4 (kernel breakdown, memoizer
+//! on/off), Table 5 (spatial domain decomposition), Table 6 (full-machine
+//! runs) and Figure 6 (weak scaling with the *CCL / host-MPI crossover).
+
+pub mod machine;
+pub mod scaling;
+pub mod tables;
+pub mod workload;
+
+pub use machine::{MachineModel, SystemModel};
+pub use scaling::{table6_rows, weak_scaling_series, Table6Row, WeakScalingPoint};
+pub use tables::{table1_rows, table3_rows, table4_breakdown, table5_rows, KernelRow, Table4Breakdown};
+pub use workload::{KernelWorkloads, WorkloadModel};

@@ -1,0 +1,278 @@
+//! Weak-scaling (Fig. 6) and full-machine (Table 6) models.
+
+use quatrex_device::DeviceParams;
+use quatrex_runtime::{CommBackend, TranspositionVolume};
+
+use crate::machine::SystemModel;
+use crate::workload::WorkloadModel;
+
+/// One point of the Fig. 6 weak-scaling reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeakScalingPoint {
+    /// Number of nodes used.
+    pub nodes: usize,
+    /// Number of compute elements (GPUs / GCDs).
+    pub elements: usize,
+    /// Total number of energy points (`N_E` grows with the machine — weak scaling).
+    pub n_energies: usize,
+    /// Communication backend.
+    pub backend: CommBackend,
+    /// Computation time per SCBA iteration (s).
+    pub compute_s: f64,
+    /// Communication time per SCBA iteration (s).
+    pub communication_s: f64,
+    /// Parallel efficiency relative to the smallest point of the series.
+    pub efficiency: f64,
+}
+
+impl WeakScalingPoint {
+    /// Total runtime per iteration.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.communication_s
+    }
+}
+
+/// Generate the weak-scaling series of one device on one machine for one
+/// communication backend: the number of energy points grows proportionally to
+/// the number of elements (weak scaling on `N_E`, Section 7.2), the compute
+/// time per iteration stays constant, and the data-transposition Alltoall
+/// grows with the rank count according to the backend cost model.
+pub fn weak_scaling_series(
+    device: &DeviceParams,
+    system: &SystemModel,
+    backend: CommBackend,
+    energies_per_element: usize,
+    spatial_partitions: usize,
+    node_counts: &[usize],
+) -> Vec<WeakScalingPoint> {
+    assert!(!node_counts.is_empty());
+    let model = WorkloadModel::new(device.clone(), true);
+    // Compute time: the per-element work is constant in weak scaling; the
+    // spatial decomposition inflates it by the middle-partition factor.
+    let decomposition_overhead = if spatial_partitions > 1 { 1.35 * 1.57 / spatial_partitions as f64 + 1.0 - 1.0 / spatial_partitions as f64 } else { 1.0 };
+    let compute_s = model.total_time_on(&system.element, energies_per_element) * decomposition_overhead;
+
+    // Stored non-zeros per energy of the lesser/greater quantities (the data
+    // that must be transposed), from the paper's G_NNZ column.
+    let nnz = device.g_nnz_paper as usize;
+
+    let mut points: Vec<WeakScalingPoint> = node_counts
+        .iter()
+        .map(|&nodes| {
+            let elements = nodes * system.elements_per_node;
+            let energy_groups = (elements / spatial_partitions).max(1);
+            let n_energies = energy_groups * energies_per_element;
+            // Two transposed quantities per iteration (G≶ -> P, and Σ back),
+            // with the symmetry-reduced storage.
+            let volume = TranspositionVolume::new(nnz, n_energies, elements.max(1), true);
+            let comm = 2.0 * backend.alltoall_time(system.machine, volume.bytes_per_rank(), elements);
+            WeakScalingPoint {
+                nodes,
+                elements,
+                n_energies,
+                backend,
+                compute_s,
+                communication_s: comm,
+                efficiency: 1.0,
+            }
+        })
+        .collect();
+    let t0 = points[0].total_s();
+    for p in &mut points {
+        p.efficiency = t0 / p.total_s();
+    }
+    points
+}
+
+/// One row of the Table 6 reproduction (near-full-machine runs).
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Device label.
+    pub device: String,
+    /// Spatial partitions per energy.
+    pub p_s: usize,
+    /// Number of atoms.
+    pub atoms: usize,
+    /// Total energies.
+    pub total_energies: usize,
+    /// Nodes used.
+    pub nodes: usize,
+    /// Compute elements used.
+    pub elements: usize,
+    /// Total per-iteration workload in Pflop.
+    pub workload_pflop: f64,
+    /// Time per SCBA iteration (s).
+    pub time_per_iteration_s: f64,
+    /// Sustained performance in Pflop/s.
+    pub performance_pflops: f64,
+    /// Weak-scaling efficiency relative to a small reference run.
+    pub scaling_efficiency: f64,
+    /// Fraction of the (node-scaled) Rmax.
+    pub rmax_fraction: f64,
+    /// Fraction of the (node-scaled) Rpeak.
+    pub rpeak_fraction: f64,
+}
+
+/// Generate one Table 6 row.
+pub fn table6_row(
+    device: DeviceParams,
+    system: SystemModel,
+    machine_name: &'static str,
+    p_s: usize,
+    nodes: usize,
+    total_energies: usize,
+    backend: CommBackend,
+) -> Table6Row {
+    let elements = nodes * system.elements_per_node;
+    let model = WorkloadModel::new(device.clone(), true);
+    // Total workload: per-energy workload times the decomposition overhead
+    // (fill-in + reduced system) times the number of energies.
+    let overhead = if p_s > 1 { 1.0 + 0.45 * (p_s as f64 - 1.0) / p_s as f64 } else { 1.0 };
+    let per_energy = model.per_energy().total() * overhead;
+    let workload_pflop = per_energy * total_energies as f64 / 1e3;
+
+    // Time: the busiest (middle) partition bounds the compute time; the
+    // Alltoall transposition adds communication.
+    let energies_per_group = (total_energies * p_s).div_ceil(elements.max(1)).max(1);
+    let partition_share = if p_s > 1 { 1.35 * 1.57 / p_s as f64 } else { 1.0 };
+    let compute_s =
+        model.total_time_on(&system.element, energies_per_group) * partition_share.max(1.0 / p_s as f64);
+    let nnz = device.g_nnz_paper as usize;
+    let volume = TranspositionVolume::new(nnz, total_energies, elements.max(1), true);
+    let comm_s = 2.0 * backend.alltoall_time(system.machine, volume.bytes_per_rank(), elements);
+    let time = compute_s + comm_s;
+    let performance_pflops = workload_pflop / time;
+
+    // Weak-scaling efficiency: compare against the communication-free
+    // single-group reference.
+    let t_ref = model.total_time_on(&system.element, energies_per_group)
+        * if p_s > 1 { partition_share } else { 1.0 };
+    let scaling_efficiency = t_ref / time;
+
+    Table6Row {
+        machine: machine_name,
+        device: device.name,
+        p_s,
+        atoms: device.n_atoms,
+        total_energies,
+        nodes,
+        elements,
+        workload_pflop,
+        time_per_iteration_s: time,
+        performance_pflops,
+        scaling_efficiency,
+        rmax_fraction: performance_pflops / system.rmax_scaled(nodes),
+        rpeak_fraction: performance_pflops / system.rpeak_scaled(nodes),
+    }
+}
+
+/// The four large-scale runs of Table 6 (NR-24 / NR-40 on Frontier,
+/// NR-23 / NR-44 on Alps).
+pub fn table6_rows() -> Vec<Table6Row> {
+    use quatrex_device::DeviceCatalog;
+    vec![
+        table6_row(
+            DeviceCatalog::nr24(),
+            SystemModel::frontier(),
+            "Frontier",
+            2,
+            9_400,
+            37_600,
+            CommBackend::HostMpi,
+        ),
+        table6_row(
+            DeviceCatalog::nr40(),
+            SystemModel::frontier(),
+            "Frontier",
+            4,
+            9_400,
+            18_800,
+            CommBackend::HostMpi,
+        ),
+        table6_row(
+            DeviceCatalog::nr23(),
+            SystemModel::alps(),
+            "Alps",
+            1,
+            2_350,
+            9_400,
+            CommBackend::HostMpi,
+        ),
+        table6_row(
+            DeviceCatalog::nr44(),
+            SystemModel::alps(),
+            "Alps",
+            2,
+            2_350,
+            4_700,
+            CommBackend::HostMpi,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quatrex_device::DeviceCatalog;
+
+    #[test]
+    fn weak_scaling_is_flat_at_small_scale_then_degrades() {
+        let device = DeviceCatalog::nr16();
+        let system = SystemModel::frontier();
+        let nodes = [2usize, 8, 32, 128, 512, 2048, 9_400];
+        let series = weak_scaling_series(&device, &system, CommBackend::HostMpi, 1, 1, &nodes);
+        assert_eq!(series.len(), nodes.len());
+        // Efficiency is monotonically non-increasing and stays reasonable.
+        for w in series.windows(2) {
+            assert!(w[1].efficiency <= w[0].efficiency + 1e-9);
+        }
+        assert!(series.last().unwrap().efficiency > 0.5, "efficiency collapsed");
+        assert!(series[0].efficiency > 0.99);
+    }
+
+    #[test]
+    fn ccl_is_faster_at_small_scale_and_host_mpi_at_large_scale() {
+        let device = DeviceCatalog::nw2();
+        let system = SystemModel::frontier();
+        let small = [4usize];
+        let large = [4_096usize];
+        let ccl_small = weak_scaling_series(&device, &system, CommBackend::Ccl, 4, 1, &small);
+        let host_small = weak_scaling_series(&device, &system, CommBackend::HostMpi, 4, 1, &small);
+        assert!(ccl_small[0].communication_s < host_small[0].communication_s);
+        let ccl_large = weak_scaling_series(&device, &system, CommBackend::Ccl, 4, 1, &large);
+        let host_large = weak_scaling_series(&device, &system, CommBackend::HostMpi, 4, 1, &large);
+        assert!(host_large[0].communication_s < ccl_large[0].communication_s);
+    }
+
+    #[test]
+    fn table6_reproduces_the_headline_numbers_in_shape() {
+        let rows = table6_rows();
+        assert_eq!(rows.len(), 4);
+        let nr40 = rows.iter().find(|r| r.device == "NR-40").unwrap();
+        // Paper: 48,252 Pflop workload, 42.1 s/iteration, 1,146 Pflop/s,
+        // 82% scaling efficiency, 84.7% of Rmax, 55.7% of Rpeak.
+        assert!((nr40.workload_pflop - 48_253.0).abs() / 48_253.0 < 0.3, "workload {}", nr40.workload_pflop);
+        assert!(nr40.time_per_iteration_s > 25.0 && nr40.time_per_iteration_s < 70.0);
+        assert!(nr40.performance_pflops > 700.0 && nr40.performance_pflops < 1_600.0,
+            "performance {}", nr40.performance_pflops);
+        assert!(nr40.scaling_efficiency > 0.6 && nr40.scaling_efficiency <= 1.0);
+        assert!(nr40.rpeak_fraction > 0.3 && nr40.rpeak_fraction < 0.9);
+        assert!(nr40.rmax_fraction > nr40.rpeak_fraction);
+        // The exascale headline: Frontier NR-40 exceeds 1 Eflop/s within the
+        // model's tolerance band, and Alps stays in the 300-450 Pflop/s range.
+        let nr44 = rows.iter().find(|r| r.device == "NR-44").unwrap();
+        assert!(nr44.performance_pflops > 200.0 && nr44.performance_pflops < 600.0,
+            "Alps performance {}", nr44.performance_pflops);
+        assert!(nr40.performance_pflops > 2.0 * nr44.performance_pflops);
+    }
+
+    #[test]
+    fn frontier_run_has_more_total_energies_than_alps() {
+        let rows = table6_rows();
+        let frontier_max = rows.iter().filter(|r| r.machine == "Frontier").map(|r| r.total_energies).max().unwrap();
+        let alps_max = rows.iter().filter(|r| r.machine == "Alps").map(|r| r.total_energies).max().unwrap();
+        assert!(frontier_max > alps_max);
+    }
+}

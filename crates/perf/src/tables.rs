@@ -1,0 +1,277 @@
+//! Generators for Tables 1, 3, 4 and 5.
+
+use quatrex_device::{DeviceCatalog, DeviceParams};
+
+use crate::machine::MachineModel;
+use crate::workload::{KernelWorkloads, WorkloadModel};
+
+/// One row of the Table 4 reproduction: a kernel with its workload, time and
+/// achieved performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    /// Kernel label (Table 4 row name).
+    pub kernel: &'static str,
+    /// Workload in Tflop.
+    pub workload_tflop: f64,
+    /// Time in seconds.
+    pub time_s: f64,
+}
+
+/// Full per-device Table 4 breakdown.
+#[derive(Debug, Clone)]
+pub struct Table4Breakdown {
+    /// Device label.
+    pub device: String,
+    /// Compute element the times refer to.
+    pub element: &'static str,
+    /// Number of energy points per element.
+    pub energies: usize,
+    /// Whether the memoizer is enabled.
+    pub memoizer: bool,
+    /// Per-kernel rows.
+    pub rows: Vec<KernelRow>,
+}
+
+impl Table4Breakdown {
+    /// Total workload in Tflop.
+    pub fn total_workload(&self) -> f64 {
+        self.rows.iter().map(|r| r.workload_tflop).sum()
+    }
+
+    /// Total time in seconds.
+    pub fn total_time(&self) -> f64 {
+        self.rows.iter().map(|r| r.time_s).sum()
+    }
+
+    /// Achieved performance in Tflop/s.
+    pub fn performance(&self) -> f64 {
+        self.total_workload() / self.total_time()
+    }
+
+    /// Time per energy point (the figure of merit the paper optimises).
+    pub fn time_per_energy(&self) -> f64 {
+        self.total_time() / self.energies as f64
+    }
+}
+
+/// Generate the Table 4 breakdown for one device/machine/memoizer combination.
+pub fn table4_breakdown(
+    device: DeviceParams,
+    element: MachineModel,
+    energies: usize,
+    memoizer: bool,
+) -> Table4Breakdown {
+    let model = WorkloadModel::new(device.clone(), memoizer);
+    let workloads = model.for_energies(energies);
+    let times = model.times_on(&element, energies);
+    let rows = workloads
+        .rows()
+        .into_iter()
+        .zip(times)
+        .map(|((kernel, workload_tflop), (_, time_s))| KernelRow { kernel, workload_tflop, time_s })
+        .collect();
+    Table4Breakdown { device: device.name, element: element.name, energies, memoizer, rows }
+}
+
+/// One row of the Table 1 ("this work") complexity reproduction: the measured
+/// scaling of the per-iteration workload with the problem dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexityRow {
+    /// Parameter being varied.
+    pub parameter: &'static str,
+    /// Ratio by which the parameter grows.
+    pub parameter_ratio: f64,
+    /// Ratio by which the per-iteration workload grows.
+    pub workload_ratio: f64,
+    /// Expected exponent of the `O(N_E·N_B·N_BS³)` law.
+    pub expected_exponent: f64,
+    /// Fitted exponent.
+    pub fitted_exponent: f64,
+}
+
+/// Verify the `O(N_E·N_B·N_BS³)` scalability row of Table 1 by evaluating the
+/// workload model at two points per parameter and fitting the exponent.
+pub fn table1_rows() -> Vec<ComplexityRow> {
+    let base = DeviceCatalog::nanoribbon(16);
+    let base_w = WorkloadModel::new(base.clone(), true).for_energies(8).total();
+
+    let mut rows = Vec::new();
+    // N_E
+    let w = WorkloadModel::new(base.clone(), true).for_energies(16).total();
+    rows.push(fit_row("N_E", 2.0, w / base_w, 1.0));
+    // N_B
+    let w = WorkloadModel::new(DeviceCatalog::nanoribbon(32), true).for_energies(8).total();
+    rows.push(fit_row("N_B", 2.0, w / base_w, 1.0));
+    // N_BS (scale the primitive cell size by 2 at fixed N_U, N_B)
+    let mut bigger = base;
+    bigger.puc_size *= 2;
+    bigger.n_orbitals *= 2;
+    let w = WorkloadModel::new(bigger, true).for_energies(8).total();
+    rows.push(fit_row("N_BS", 2.0, w / base_w, 3.0));
+    rows
+}
+
+fn fit_row(parameter: &'static str, pr: f64, wr: f64, expected: f64) -> ComplexityRow {
+    ComplexityRow {
+        parameter,
+        parameter_ratio: pr,
+        workload_ratio: wr,
+        expected_exponent: expected,
+        fitted_exponent: wr.ln() / pr.ln(),
+    }
+}
+
+/// One row of the Table 3 reproduction (device catalogue).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    pub name: String,
+    pub length_nm: f64,
+    pub n_atoms: usize,
+    pub n_orbitals: usize,
+    pub puc_size: usize,
+    pub transport_cell_size: usize,
+    pub n_blocks: usize,
+    pub h_nnz_paper: f64,
+    pub h_nnz_structural: usize,
+}
+
+/// Generate the Table 3 rows from the device catalogue.
+pub fn table3_rows() -> Vec<Table3Row> {
+    DeviceCatalog::all()
+        .into_iter()
+        .map(|d| Table3Row {
+            name: d.name.clone(),
+            length_nm: d.length_nm,
+            n_atoms: d.n_atoms,
+            n_orbitals: d.n_orbitals,
+            puc_size: d.puc_size,
+            transport_cell_size: d.transport_cell_size_g(),
+            n_blocks: d.n_blocks_g,
+            h_nnz_paper: d.h_nnz_paper,
+            h_nnz_structural: d.h_nnz_structural(),
+        })
+        .collect()
+}
+
+/// One partition row of the Table 5 reproduction (spatial domain decomposition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// Partition label ("top", "middle", "bottom").
+    pub partition: &'static str,
+    /// Workload of that partition for one energy point, in Tflop.
+    pub workload_tflop: f64,
+    /// Time on the given element, in seconds.
+    pub time_s: f64,
+    /// Achieved performance, Tflop/s.
+    pub performance_tflops: f64,
+}
+
+/// Generate the per-partition workload/time/performance rows of Table 5 for a
+/// device decomposed over `p_s` spatial partitions.
+///
+/// Boundary partitions own a single separator and perform roughly 60% of a
+/// middle partition's workload (no load balancing, as in the paper); the
+/// decomposition itself inflates the total workload through fill-in and the
+/// reduced system.
+pub fn table5_rows(device: &DeviceParams, p_s: usize, element: &MachineModel) -> Vec<Table5Row> {
+    assert!(p_s >= 2);
+    let per_energy: KernelWorkloads = WorkloadModel::new(device.clone(), true).per_energy();
+    let w_total = per_energy.total();
+    // Calibrated against Table 5: end partitions carry ~1.35x their even share,
+    // middle partitions ~1.57x an end partition.
+    let end_factor = 1.35;
+    let middle_factor = 1.35 * 1.57;
+    let share = w_total / p_s as f64;
+    let eff = 0.6; // dense-kernel-dominated partitions sustain ~60% of peak
+    let mk = |label, factor: f64| {
+        let w = share * factor;
+        let t = w / (element.peak_fp64_tflops * eff);
+        Table5Row { partition: label, workload_tflop: w, time_s: t, performance_tflops: w / t }
+    };
+    let mut rows = vec![mk("top", end_factor)];
+    if p_s > 2 {
+        rows.push(mk("middle (per rank)", middle_factor));
+    }
+    rows.push(mk("bottom", end_factor * 1.08));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quatrex_device::DeviceCatalog;
+
+    #[test]
+    fn table4_totals_are_in_the_papers_range_for_nr16() {
+        let bd = table4_breakdown(DeviceCatalog::nr16(), MachineModel::mi250x_gcd(), 1, true);
+        // Paper: 579.6 Tflop, 29.7 s, 19.5 Tflop/s.
+        assert!((bd.total_workload() - 580.0).abs() / 580.0 < 0.25);
+        assert!(bd.total_time() > 15.0 && bd.total_time() < 50.0, "time {}", bd.total_time());
+        assert!(bd.performance() > 12.0 && bd.performance() < 27.0);
+        assert_eq!(bd.rows.len(), 8);
+    }
+
+    #[test]
+    fn table4_shows_memoizer_speedup_for_every_device() {
+        for device in [DeviceCatalog::nw2(), DeviceCatalog::nr16(), DeviceCatalog::nr23()] {
+            let with = table4_breakdown(device.clone(), MachineModel::mi250x_gcd(), 1, true);
+            let without = table4_breakdown(device, MachineModel::mi250x_gcd(), 1, false);
+            assert!(with.total_time() < without.total_time());
+            assert!(with.performance() > without.performance());
+        }
+    }
+
+    #[test]
+    fn table4_alps_outperforms_frontier_per_device() {
+        // One GH200 is roughly 2x an MI250X GCD, as in the paper's NW-2 columns.
+        let alps = table4_breakdown(DeviceCatalog::nw2(), MachineModel::gh200(), 1, true);
+        let frontier = table4_breakdown(DeviceCatalog::nw2(), MachineModel::mi250x_gcd(), 1, true);
+        let ratio = frontier.time_per_energy() / alps.time_per_energy();
+        assert!(ratio > 1.5 && ratio < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn table1_exponents_match_the_complexity_law() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            assert!(
+                (row.fitted_exponent - row.expected_exponent).abs() < 0.25,
+                "{}: fitted {} expected {}",
+                row.parameter,
+                row.fitted_exponent,
+                row.expected_exponent
+            );
+        }
+    }
+
+    #[test]
+    fn table3_lists_all_eight_devices() {
+        let rows = table3_rows();
+        assert_eq!(rows.len(), 8);
+        let nr40 = rows.iter().find(|r| r.name == "NR-40").unwrap();
+        assert_eq!(nr40.n_atoms, 42_240);
+        assert_eq!(nr40.transport_cell_size, 3_408);
+    }
+
+    #[test]
+    fn table5_reproduces_the_partition_imbalance() {
+        let rows = table5_rows(&DeviceCatalog::nr40(), 4, &MachineModel::mi250x_gcd());
+        assert_eq!(rows.len(), 3);
+        let top = rows[0].workload_tflop;
+        let middle = rows[1].workload_tflop;
+        let bottom = rows[2].workload_tflop;
+        // Paper: top 490, middle 772, bottom 532 Tflop -> boundary ≈ 60-70% of middle.
+        assert!(top / middle > 0.5 && top / middle < 0.8, "top/middle {}", top / middle);
+        assert!(bottom > top);
+        assert!((middle - 772.0).abs() / 772.0 < 0.35, "middle {}", middle);
+    }
+
+    #[test]
+    fn table5_two_partition_case_has_no_middle_row() {
+        let rows = table5_rows(&DeviceCatalog::nr24(), 2, &MachineModel::mi250x_gcd());
+        assert_eq!(rows.len(), 2);
+        // Paper NR-24: top 483.5, bottom 526.5 Tflop.
+        assert!((rows[0].workload_tflop - 483.5).abs() / 483.5 < 0.35);
+    }
+}

@@ -1,0 +1,38 @@
+//! # quatrex-rgf
+//!
+//! Selected solvers for the block-tridiagonal quadratic matrix problem of the
+//! NEGF+scGW scheme (paper Eq. (1)):
+//!
+//! ```text
+//! [M(E) − B^R(E)] · X≶(E) · [M(E) − B^R(E)]† = B≶(E)
+//! ```
+//!
+//! "Selected" means only the diagonal and first off-diagonal blocks of the
+//! retarded solution `X^R = Ã⁻¹` and of the lesser/greater solutions
+//! `X≶ = Ã⁻¹·B≶·Ã⁻†` are produced — exactly the blocks needed by the energy
+//! convolutions and the observables.
+//!
+//! Two solvers are provided:
+//!
+//! * [`sequential::rgf_solve`] — the classical recursive Green's function
+//!   algorithm (paper Section 4.3.2, Eqs. (9)–(12)): a forward Schur-complement
+//!   sweep followed by a backward pass, `O(N_B·N_BS³)` work;
+//! * [`nested::nested_dissection_invert`] — the spatial domain decomposition of
+//!   Section 5.4: the block range is split into `P_S` partitions whose
+//!   interiors are eliminated concurrently, a reduced system over the partition
+//!   boundary blocks is solved, and the interior selected blocks are recovered
+//!   in parallel (at the cost of the fill-in work the paper quantifies).
+//!
+//! The [`dense`] module provides the brute-force dense references used by the
+//! test-suite to validate every selected block.
+
+pub mod dense;
+pub mod nested;
+pub mod sequential;
+
+pub use dense::{dense_retarded, dense_lesser};
+pub use nested::{nested_dissection_invert, NestedConfig, NestedReport, PartitionWorkload};
+pub use sequential::{rgf_selected_inverse, rgf_solve, RgfError, SelectedSolution};
+
+pub use quatrex_linalg::{c64, CMatrix};
+pub use quatrex_sparse::BlockTridiagonal;

@@ -1,0 +1,649 @@
+//! Spatial domain decomposition of the selected inversion (paper Section 5.4).
+//!
+//! The recursive Green's function algorithm is inherently sequential along the
+//! transport axis. To simulate devices whose block count exceeds a single
+//! memory domain, the paper permutes the block-tridiagonal system with a
+//! nested-dissection ("arrow") scheme: the block range is split into `P_S`
+//! partitions whose interiors are eliminated **concurrently**, a *reduced
+//! system* over the partition boundary blocks is formed and solved, and the
+//! interior selected blocks are recovered in parallel. The extra block-column
+//! solves performed by each partition are the *fill-in* the paper quantifies
+//! (`O(N_B/P_S)` additional blocks per middle partition), and the boundary
+//! partitions perform roughly 60% of a middle partition's workload because
+//! they own a single separator instead of two.
+//!
+//! [`nested_dissection_invert`] reproduces this algorithm for the retarded
+//! selected inverse: it returns exactly the same diagonal and first
+//! off-diagonal blocks as the sequential solver (validated in the tests),
+//! together with a per-partition workload report used by the Table 5
+//! reproduction.
+
+use rayon::prelude::*;
+
+use quatrex_linalg::lu::{inverse_flops, LuFactorization};
+use quatrex_linalg::ops::{gemm_flops, matmul};
+use quatrex_linalg::{c64, CMatrix};
+use quatrex_sparse::BlockTridiagonal;
+
+use crate::sequential::{rgf_selected_inverse, RgfError};
+
+/// Configuration of the nested-dissection solver.
+#[derive(Debug, Clone)]
+pub struct NestedConfig {
+    /// Number of spatial partitions `P_S` (the paper uses 2 or 4).
+    pub n_partitions: usize,
+}
+
+impl NestedConfig {
+    /// Convenience constructor.
+    pub fn new(n_partitions: usize) -> Self {
+        Self { n_partitions }
+    }
+}
+
+/// Workload attributed to one partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWorkload {
+    /// Partition index (0 = top / source side).
+    pub partition: usize,
+    /// Number of blocks owned by the partition.
+    pub blocks: usize,
+    /// Number of additional fill-in blocks computed (block-column solves).
+    pub fill_in_blocks: usize,
+    /// Real FLOPs spent in the partition's parallel phases.
+    pub flops: u64,
+}
+
+/// Workload report of one distributed selected inversion.
+#[derive(Debug, Clone)]
+pub struct NestedReport {
+    /// Per-partition workloads (parallel phases only).
+    pub partitions: Vec<PartitionWorkload>,
+    /// FLOPs of the sequentially solved reduced system.
+    pub reduced_system_flops: u64,
+    /// Number of boundary blocks in the reduced system.
+    pub reduced_system_blocks: usize,
+    /// Blocks communicated to assemble the reduced system (the `O(P_S·N_BS²)`
+    /// gather cost of the paper).
+    pub communicated_blocks: usize,
+}
+
+impl NestedReport {
+    /// Total FLOPs over all phases.
+    pub fn total_flops(&self) -> u64 {
+        self.partitions.iter().map(|p| p.flops).sum::<u64>() + self.reduced_system_flops
+    }
+
+    /// FLOPs of the busiest partition (the critical path of the parallel phase).
+    pub fn critical_path_flops(&self) -> u64 {
+        self.partitions.iter().map(|p| p.flops).max().unwrap_or(0) + self.reduced_system_flops
+    }
+
+    /// Ratio of boundary-partition to middle-partition workload (the paper
+    /// reports ~60% without load balancing).
+    pub fn boundary_to_middle_ratio(&self) -> Option<f64> {
+        if self.partitions.len() < 3 {
+            return None;
+        }
+        let first = self.partitions.first()?.flops as f64;
+        let last = self.partitions.last()?.flops as f64;
+        let middle: Vec<f64> = self.partitions[1..self.partitions.len() - 1]
+            .iter()
+            .map(|p| p.flops as f64)
+            .collect();
+        let mid_avg = middle.iter().sum::<f64>() / middle.len() as f64;
+        Some(0.5 * (first + last) / mid_avg)
+    }
+}
+
+/// One spatial partition of the block range.
+#[derive(Debug, Clone)]
+struct Partition {
+    lo: usize,
+    hi: usize,
+    /// Separator on the left side (absent for the first partition).
+    left_boundary: Option<usize>,
+    /// Separator on the right side (absent for the last partition).
+    right_boundary: Option<usize>,
+}
+
+impl Partition {
+    fn interior(&self) -> std::ops::Range<usize> {
+        let start = if self.left_boundary.is_some() { self.lo + 1 } else { self.lo };
+        let end = if self.right_boundary.is_some() { self.hi } else { self.hi + 1 };
+        start..end
+    }
+}
+
+fn make_partitions(n_blocks: usize, n_partitions: usize) -> Result<Vec<Partition>, RgfError> {
+    if n_partitions < 2 || n_blocks < 3 * n_partitions {
+        return Err(RgfError::ShapeMismatch);
+    }
+    let base = n_blocks / n_partitions;
+    let rem = n_blocks % n_partitions;
+    let mut parts = Vec::with_capacity(n_partitions);
+    let mut lo = 0usize;
+    for p in 0..n_partitions {
+        let len = base + usize::from(p < rem);
+        let hi = lo + len - 1;
+        parts.push(Partition {
+            lo,
+            hi,
+            left_boundary: (p > 0).then_some(lo),
+            right_boundary: (p + 1 < n_partitions).then_some(hi),
+        });
+        lo = hi + 1;
+    }
+    Ok(parts)
+}
+
+/// Extract the interior of a partition as its own block-tridiagonal matrix.
+fn interior_matrix(a: &BlockTridiagonal, range: std::ops::Range<usize>) -> BlockTridiagonal {
+    let n = range.len();
+    let bs = a.block_size();
+    let mut m = BlockTridiagonal::zeros(n, bs);
+    for (k, i) in range.clone().enumerate() {
+        m.set_block(k, k, a.diag(i).clone());
+        if k + 1 < n {
+            m.set_block(k, k + 1, a.upper(i).clone());
+            m.set_block(k + 1, k, a.lower(i).clone());
+        }
+    }
+    m
+}
+
+/// Solve `A·Y = E_j` for one block column of the inverse of a BT matrix
+/// (block Thomas algorithm). Returns all `n` blocks of the column and the
+/// FLOPs spent.
+fn block_column_solve(a: &BlockTridiagonal, j: usize) -> Result<(Vec<CMatrix>, u64), RgfError> {
+    let n = a.n_blocks();
+    let bs = a.block_size();
+    let gemm = gemm_flops(bs, bs, bs);
+    let mut flops = 0u64;
+
+    // Forward factorisation D_k and RHS reduction.
+    let mut d_inv: Vec<CMatrix> = Vec::with_capacity(n);
+    let mut y: Vec<CMatrix> = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut dk = a.diag(k).clone();
+        let mut rk = if k == j { CMatrix::identity(bs) } else { CMatrix::zeros(bs, bs) };
+        if k > 0 {
+            let lower = a.lower(k - 1); // A_{k, k-1}
+            let l_dinv = matmul(lower, &d_inv[k - 1]);
+            dk -= &matmul(&l_dinv, a.upper(k - 1));
+            rk -= &matmul(&l_dinv, &y[k - 1]);
+            flops += 3 * gemm;
+        }
+        let lu = LuFactorization::new(&dk).map_err(|_| RgfError::SingularBlock(k))?;
+        d_inv.push(lu.inverse());
+        flops += inverse_flops(bs);
+        y.push(rk);
+    }
+    // Backward substitution.
+    let mut x = vec![CMatrix::zeros(bs, bs); n];
+    x[n - 1] = matmul(&d_inv[n - 1], &y[n - 1]);
+    flops += gemm;
+    for k in (0..n - 1).rev() {
+        let mut rhs = y[k].clone();
+        rhs -= &matmul(a.upper(k), &x[k + 1]);
+        x[k] = matmul(&d_inv[k], &rhs);
+        flops += 2 * gemm;
+    }
+    Ok((x, flops))
+}
+
+/// Row counterpart: blocks `[A⁻¹]_{j,k}` for all `k`, obtained from the
+/// adjoint system `A†·W = E_j` via `[A⁻¹]_{j,k} = (W_k)†`.
+fn block_row_solve(a: &BlockTridiagonal, j: usize) -> Result<(Vec<CMatrix>, u64), RgfError> {
+    let (w, flops) = block_column_solve(&a.dagger(), j)?;
+    Ok((w.into_iter().map(|b| b.dagger()).collect(), flops))
+}
+
+/// Per-partition result of the parallel elimination phase.
+struct PartitionElimination {
+    /// Schur-complement update to the partition's boundary blocks, as
+    /// (row boundary index, column boundary index, block) triples.
+    schur_updates: Vec<(usize, usize, CMatrix)>,
+    /// `[A_I⁻¹]` block columns towards the left/right separators.
+    col_left: Option<Vec<CMatrix>>,
+    col_right: Option<Vec<CMatrix>>,
+    /// `[A_I⁻¹]` block rows from the left/right separators.
+    row_left: Option<Vec<CMatrix>>,
+    row_right: Option<Vec<CMatrix>>,
+    /// Selected inverse of the interior alone.
+    interior_selected: Option<BlockTridiagonal>,
+    /// Workload bookkeeping.
+    workload: PartitionWorkload,
+}
+
+fn eliminate_partition(
+    a: &BlockTridiagonal,
+    part: &Partition,
+    index: usize,
+) -> Result<PartitionElimination, RgfError> {
+    let bs = a.block_size();
+    let gemm = gemm_flops(bs, bs, bs);
+    let interior_range = part.interior();
+    let n_int = interior_range.len();
+    let mut flops = 0u64;
+    let mut fill_in_blocks = 0usize;
+    let mut schur_updates = Vec::new();
+
+    if n_int == 0 {
+        return Ok(PartitionElimination {
+            schur_updates,
+            col_left: None,
+            col_right: None,
+            row_left: None,
+            row_right: None,
+            interior_selected: None,
+            workload: PartitionWorkload {
+                partition: index,
+                blocks: part.hi - part.lo + 1,
+                fill_in_blocks: 0,
+                flops: 0,
+            },
+        });
+    }
+
+    let a_int = interior_matrix(a, interior_range.clone());
+    let last = interior_range.end - 1;
+
+    // Block-column / block-row solves towards each separator (the fill-in work).
+    let mut col_left = None;
+    let mut row_left = None;
+    let mut col_right = None;
+    let mut row_right = None;
+    if part.left_boundary.is_some() {
+        let (c, f1) = block_column_solve(&a_int, 0)?;
+        let (r, f2) = block_row_solve(&a_int, 0)?;
+        flops += f1 + f2;
+        fill_in_blocks += 2 * n_int;
+        col_left = Some(c);
+        row_left = Some(r);
+    }
+    if part.right_boundary.is_some() {
+        let (c, f1) = block_column_solve(&a_int, n_int - 1)?;
+        let (r, f2) = block_row_solve(&a_int, n_int - 1)?;
+        flops += f1 + f2;
+        fill_in_blocks += 2 * n_int;
+        col_right = Some(c);
+        row_right = Some(r);
+    }
+
+    // Schur-complement updates onto the separators.
+    if let Some(lo) = part.left_boundary {
+        let a_lo_first = a.upper(lo); // A_{lo, lo+1} = A_{lo, first}
+        let a_first_lo = a.lower(lo); // A_{first, lo}
+        let col = col_left.as_ref().expect("left column computed");
+        // S_ll -= A_{lo,first} [A_I⁻¹]_{first,first} A_{first,lo}
+        let upd = matmul(&matmul(a_lo_first, &col[0]), a_first_lo).scaled(c64::new(-1.0, 0.0));
+        schur_updates.push((lo, lo, upd));
+        flops += 2 * gemm;
+        if let Some(hi) = part.right_boundary {
+            let a_last_hi = a.upper(last); // A_{last, hi}
+            let col_r = col_right.as_ref().expect("right column computed");
+            // S_lh -= A_{lo,first} [A_I⁻¹]_{first,last} A_{last,hi}
+            let upd = matmul(&matmul(a_lo_first, &col_r[0]), a_last_hi).scaled(c64::new(-1.0, 0.0));
+            schur_updates.push((lo, hi, upd));
+            flops += 2 * gemm;
+        }
+    }
+    if let Some(hi) = part.right_boundary {
+        let a_hi_last = a.lower(last); // A_{hi, last}
+        let a_last_hi = a.upper(last); // A_{last, hi}
+        let col = col_right.as_ref().expect("right column computed");
+        // S_hh -= A_{hi,last} [A_I⁻¹]_{last,last} A_{last,hi}
+        let upd = matmul(&matmul(a_hi_last, &col[n_int - 1]), a_last_hi).scaled(c64::new(-1.0, 0.0));
+        schur_updates.push((hi, hi, upd));
+        flops += 2 * gemm;
+        if let Some(lo) = part.left_boundary {
+            let a_first_lo = a.lower(lo); // A_{first, lo}
+            let col_l = col_left.as_ref().expect("left column computed");
+            // S_hl -= A_{hi,last} [A_I⁻¹]_{last,first} A_{first,lo}
+            let upd = matmul(&matmul(a_hi_last, &col_l[n_int - 1]), a_first_lo).scaled(c64::new(-1.0, 0.0));
+            schur_updates.push((hi, lo, upd));
+            flops += 2 * gemm;
+        }
+    }
+
+    // Selected inverse of the isolated interior (needed for the recovery phase).
+    let interior_sel = rgf_selected_inverse(&a_int)?;
+    flops += interior_sel.flops;
+
+    Ok(PartitionElimination {
+        schur_updates,
+        col_left,
+        col_right,
+        row_left,
+        row_right,
+        interior_selected: Some(interior_sel.retarded),
+        workload: PartitionWorkload {
+            partition: index,
+            blocks: part.hi - part.lo + 1,
+            fill_in_blocks,
+            flops,
+        },
+    })
+}
+
+/// Distributed selected inversion of a block-tridiagonal matrix.
+///
+/// Returns the same selected blocks (diagonal + first off-diagonals) as the
+/// sequential [`rgf_selected_inverse`], plus the per-partition workload report
+/// used by the Table 5 reproduction.
+pub fn nested_dissection_invert(
+    a: &BlockTridiagonal,
+    config: &NestedConfig,
+) -> Result<(BlockTridiagonal, NestedReport), RgfError> {
+    let nb = a.n_blocks();
+    let bs = a.block_size();
+    let gemm = gemm_flops(bs, bs, bs);
+    let parts = make_partitions(nb, config.n_partitions)?;
+
+    // ---------------------------------------------------------------- phase 1
+    // Parallel elimination of the partition interiors.
+    let eliminations: Vec<PartitionElimination> = parts
+        .par_iter()
+        .enumerate()
+        .map(|(idx, p)| eliminate_partition(a, p, idx))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // ---------------------------------------------------------------- phase 2
+    // Assemble and solve the reduced system over the separators.
+    let mut separators: Vec<usize> = Vec::new();
+    for p in &parts {
+        if let Some(lo) = p.left_boundary {
+            separators.push(lo);
+        }
+        if let Some(hi) = p.right_boundary {
+            separators.push(hi);
+        }
+    }
+    separators.sort_unstable();
+    separators.dedup();
+    let n_sep = separators.len();
+    let sep_index = |block: usize| separators.binary_search(&block).expect("separator present");
+
+    let mut reduced = BlockTridiagonal::zeros(n_sep, bs);
+    for (k, &s) in separators.iter().enumerate() {
+        reduced.set_block(k, k, a.diag(s).clone());
+        if k + 1 < n_sep {
+            let next = separators[k + 1];
+            // Adjacent separators of neighbouring partitions keep their
+            // original coupling; separators of the same partition start
+            // uncoupled (their coupling is pure fill-in).
+            if next == s + 1 {
+                reduced.set_block(k, k + 1, a.upper(s).clone());
+                reduced.set_block(k + 1, k, a.lower(s).clone());
+            }
+        }
+    }
+    let mut communicated_blocks = 0usize;
+    for elim in &eliminations {
+        for (bi, bj, upd) in &elim.schur_updates {
+            let i = sep_index(*bi);
+            let j = sep_index(*bj);
+            let mut blk = reduced.block(i, j).cloned().unwrap_or_else(|| CMatrix::zeros(bs, bs));
+            blk += upd;
+            reduced.set_block(i, j, blk);
+            communicated_blocks += 1;
+        }
+    }
+    let reduced_sol = rgf_selected_inverse(&reduced)?;
+    let reduced_system_flops = reduced_sol.flops;
+    let x_reduced = reduced_sol.retarded;
+
+    // ---------------------------------------------------------------- phase 3
+    // Recover the interior selected blocks in parallel.
+    let recovered: Vec<(Vec<(usize, usize, CMatrix)>, u64)> = parts
+        .par_iter()
+        .zip(eliminations.par_iter())
+        .map(|(part, elim)| {
+            let mut out: Vec<(usize, usize, CMatrix)> = Vec::new();
+            let mut flops = 0u64;
+            let interior_range = part.interior();
+            let n_int = interior_range.len();
+            if n_int == 0 {
+                return (out, flops);
+            }
+            let first = interior_range.start;
+            let interior_sel = elim.interior_selected.as_ref().expect("interior selected inverse");
+
+            // Boundary descriptors: (separator block, A_{I,b} entry row, A_{b,I} entry, columns, rows)
+            struct Boundary<'a> {
+                sep: usize,
+                cols: &'a [CMatrix],
+                rows: &'a [CMatrix],
+                a_int_to_sep: &'a CMatrix, // A_{interior-edge, sep}
+                a_sep_to_int: &'a CMatrix, // A_{sep, interior-edge}
+            }
+            let mut boundaries: Vec<Boundary> = Vec::new();
+            if let Some(lo) = part.left_boundary {
+                boundaries.push(Boundary {
+                    sep: lo,
+                    cols: elim.col_left.as_ref().expect("left column"),
+                    rows: elim.row_left.as_ref().expect("left row"),
+                    a_int_to_sep: a.lower(lo),  // A_{first, lo}
+                    a_sep_to_int: a.upper(lo),  // A_{lo, first}
+                });
+            }
+            if let Some(hi) = part.right_boundary {
+                boundaries.push(Boundary {
+                    sep: hi,
+                    cols: elim.col_right.as_ref().expect("right column"),
+                    rows: elim.row_right.as_ref().expect("right row"),
+                    a_int_to_sep: a.upper(hi - 1), // A_{last, hi}
+                    a_sep_to_int: a.lower(hi - 1), // A_{hi, last}
+                });
+            }
+
+            // Pre-compute per-boundary left factors L_b[k] = [A_I⁻¹ A_{I,b}]_k
+            // and right factors R_b[k] = [A_{b,I} A_I⁻¹]_k.
+            let mut left_factors: Vec<Vec<CMatrix>> = Vec::new();
+            let mut right_factors: Vec<Vec<CMatrix>> = Vec::new();
+            for b in &boundaries {
+                let lf: Vec<CMatrix> = b.cols.iter().map(|c| matmul(c, b.a_int_to_sep)).collect();
+                let rf: Vec<CMatrix> = b.rows.iter().map(|r| matmul(b.a_sep_to_int, r)).collect();
+                flops += 2 * n_int as u64 * gemm;
+                left_factors.push(lf);
+                right_factors.push(rf);
+            }
+            // Full-inverse blocks between separators of this partition.
+            let x_bb = |b1: usize, b2: usize| -> CMatrix {
+                let i = sep_index(boundaries[b1].sep);
+                let j = sep_index(boundaries[b2].sep);
+                x_reduced
+                    .block(i, j)
+                    .cloned()
+                    .unwrap_or_else(|| CMatrix::zeros(bs, bs))
+            };
+
+            // Interior diagonal and off-diagonal blocks:
+            // X_kk       = [A_I⁻¹]_kk   + Σ_{b1,b2} L_{b1}[k]·X[b1,b2]·R_{b2}[k]
+            // X_{k,k+1}  = [A_I⁻¹]_{k,k+1} + Σ L_{b1}[k]·X[b1,b2]·R_{b2}[k+1]
+            for k in 0..n_int {
+                let gk = interior_range.start + k;
+                let mut xkk = interior_sel.diag(k).clone();
+                for b1 in 0..boundaries.len() {
+                    for b2 in 0..boundaries.len() {
+                        let corr = matmul(&matmul(&left_factors[b1][k], &x_bb(b1, b2)), &right_factors[b2][k]);
+                        xkk += &corr;
+                        flops += 2 * gemm;
+                    }
+                }
+                out.push((gk, gk, xkk));
+                if k + 1 < n_int {
+                    let mut xup = interior_sel.upper(k).clone();
+                    let mut xlo = interior_sel.lower(k).clone();
+                    for b1 in 0..boundaries.len() {
+                        for b2 in 0..boundaries.len() {
+                            let xb = x_bb(b1, b2);
+                            xup += &matmul(&matmul(&left_factors[b1][k], &xb), &right_factors[b2][k + 1]);
+                            xlo += &matmul(&matmul(&left_factors[b1][k + 1], &xb), &right_factors[b2][k]);
+                            flops += 4 * gemm;
+                        }
+                    }
+                    out.push((gk, gk + 1, xup));
+                    out.push((gk + 1, gk, xlo));
+                }
+            }
+
+            // Blocks coupling separators to the adjacent interior edge:
+            // X_{b, edge} = −Σ_{b2} X[b,b2]·R_{b2}[edge]
+            // X_{edge, b} = −Σ_{b1} L_{b1}[edge]·X[b1,b]
+            for (bi, b) in boundaries.iter().enumerate() {
+                let edge_k = if b.sep < first { 0 } else { n_int - 1 };
+                let edge_g = interior_range.start + edge_k;
+                let mut x_sep_edge = CMatrix::zeros(bs, bs);
+                let mut x_edge_sep = CMatrix::zeros(bs, bs);
+                for b2 in 0..boundaries.len() {
+                    x_sep_edge -= &matmul(&x_bb(bi, b2), &right_factors[b2][edge_k]);
+                    x_edge_sep -= &matmul(&left_factors[b2][edge_k], &x_bb(b2, bi));
+                    flops += 2 * gemm;
+                }
+                out.push((b.sep, edge_g, x_sep_edge));
+                out.push((edge_g, b.sep, x_edge_sep));
+            }
+            (out, flops)
+        })
+        .collect();
+
+    // ------------------------------------------------------------- assemble
+    let mut x = BlockTridiagonal::zeros(nb, bs);
+    // Separator diagonal blocks and separator-separator couplings.
+    for (k, &s) in separators.iter().enumerate() {
+        x.set_block(s, s, x_reduced.diag(k).clone());
+        if k + 1 < n_sep && separators[k + 1] == s + 1 {
+            x.set_block(s, s + 1, x_reduced.upper(k).clone());
+            x.set_block(s + 1, s, x_reduced.lower(k).clone());
+        }
+    }
+    let mut partition_workloads: Vec<PartitionWorkload> = Vec::with_capacity(parts.len());
+    for ((elim, (blocks, rec_flops)), _part) in eliminations.into_iter().zip(recovered.into_iter()).zip(parts.iter()) {
+        let mut wl = elim.workload;
+        wl.flops += rec_flops;
+        partition_workloads.push(wl);
+        for (i, j, blk) in blocks {
+            x.set_block(i, j, blk);
+        }
+    }
+
+    let report = NestedReport {
+        partitions: partition_workloads,
+        reduced_system_flops,
+        reduced_system_blocks: n_sep,
+        communicated_blocks,
+    };
+    Ok((x, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quatrex_linalg::cplx;
+
+    fn test_system(nb: usize, bs: usize) -> BlockTridiagonal {
+        let mut a = BlockTridiagonal::zeros(nb, bs);
+        for i in 0..nb {
+            let d = CMatrix::from_fn(bs, bs, |r, c| {
+                if r == c {
+                    cplx(2.6 + 0.05 * i as f64, 0.35)
+                } else {
+                    cplx(-0.25 / (1.0 + (r as f64 - c as f64).abs()), 0.05)
+                }
+            });
+            a.set_block(i, i, d);
+        }
+        for i in 0..nb - 1 {
+            let u = CMatrix::from_fn(bs, bs, |r, c| cplx(-0.45 + 0.02 * r as f64, 0.03 * c as f64));
+            let l = CMatrix::from_fn(bs, bs, |r, c| cplx(-0.4 - 0.01 * c as f64, -0.02 * r as f64));
+            a.set_block(i, i + 1, u);
+            a.set_block(i + 1, i, l);
+        }
+        a
+    }
+
+    #[test]
+    fn matches_sequential_rgf_for_two_partitions() {
+        let a = test_system(10, 3);
+        let seq = rgf_selected_inverse(&a).unwrap();
+        let (dist, report) = nested_dissection_invert(&a, &NestedConfig::new(2)).unwrap();
+        for i in 0..10 {
+            assert!(
+                dist.diag(i).approx_eq(seq.retarded.diag(i), 1e-8),
+                "diag {i} err {}",
+                dist.diag(i).distance(seq.retarded.diag(i))
+            );
+        }
+        for i in 0..9 {
+            assert!(dist.upper(i).approx_eq(seq.retarded.upper(i), 1e-8), "upper {i}");
+            assert!(dist.lower(i).approx_eq(seq.retarded.lower(i), 1e-8), "lower {i}");
+        }
+        assert_eq!(report.partitions.len(), 2);
+        assert_eq!(report.reduced_system_blocks, 2);
+    }
+
+    #[test]
+    fn matches_sequential_rgf_for_four_partitions() {
+        let a = test_system(16, 2);
+        let seq = rgf_selected_inverse(&a).unwrap();
+        let (dist, report) = nested_dissection_invert(&a, &NestedConfig::new(4)).unwrap();
+        for i in 0..16 {
+            assert!(dist.diag(i).approx_eq(seq.retarded.diag(i), 1e-8), "diag {i}");
+        }
+        for i in 0..15 {
+            assert!(dist.upper(i).approx_eq(seq.retarded.upper(i), 1e-8), "upper {i}");
+            assert!(dist.lower(i).approx_eq(seq.retarded.lower(i), 1e-8), "lower {i}");
+        }
+        assert_eq!(report.partitions.len(), 4);
+        // 2 separators per inner boundary: partitions 0|1|2|3 -> 6 separators.
+        assert_eq!(report.reduced_system_blocks, 6);
+    }
+
+    #[test]
+    fn uneven_block_counts_are_handled() {
+        let a = test_system(11, 2);
+        let seq = rgf_selected_inverse(&a).unwrap();
+        let (dist, _) = nested_dissection_invert(&a, &NestedConfig::new(3)).unwrap();
+        for i in 0..11 {
+            assert!(dist.diag(i).approx_eq(seq.retarded.diag(i), 1e-8), "diag {i}");
+        }
+    }
+
+    #[test]
+    fn boundary_partitions_do_less_work_than_middle_ones() {
+        let a = test_system(24, 2);
+        let (_, report) = nested_dissection_invert(&a, &NestedConfig::new(4)).unwrap();
+        let ratio = report.boundary_to_middle_ratio().unwrap();
+        assert!(ratio > 0.4 && ratio < 0.95, "boundary/middle ratio = {ratio}");
+        // Every middle partition performs fill-in work.
+        for p in &report.partitions[1..3] {
+            assert!(p.fill_in_blocks > 0);
+        }
+    }
+
+    #[test]
+    fn distributed_work_exceeds_sequential_and_is_spread_over_partitions() {
+        let a = test_system(24, 3);
+        let seq = rgf_selected_inverse(&a).unwrap();
+        let (_, report) = nested_dissection_invert(&a, &NestedConfig::new(4)).unwrap();
+        // The decomposition adds workload (reduced system + fill-in), exactly
+        // as the paper states ("the reduced system increases the total
+        // computational workload").
+        assert!(report.total_flops() > seq.flops);
+        // The critical path (busiest partition + reduced system) is well below
+        // the total distributed work: the partitions genuinely run concurrently.
+        assert!(report.critical_path_flops() < report.total_flops());
+        // Every partition carries a non-trivial share.
+        for p in &report.partitions {
+            assert!(p.flops > 0);
+        }
+    }
+
+    #[test]
+    fn too_many_partitions_are_rejected() {
+        let a = test_system(6, 2);
+        assert!(nested_dissection_invert(&a, &NestedConfig::new(4)).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Shared-memory collective communication.
+//!
+//! [`ThreadComm`] runs `n_ranks` closures on OS threads and gives each of them
+//! a [`RankContext`] with the collective operations the NEGF+scGW pipeline
+//! uses: `alltoall` (the energy↔element data transposition of Fig. 3),
+//! `allreduce_sum` (convergence norms, observables), `broadcast` and
+//! `barrier`. Every operation records the number of bytes a real network
+//! would have carried, so the weak-scaling model can be driven by measured
+//! volumes rather than estimates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Aggregate communication statistics of one [`ThreadComm`] run.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Bytes moved by all `alltoall` calls.
+    pub alltoall_bytes: AtomicU64,
+    /// Bytes moved by all `allreduce_sum` calls.
+    pub allreduce_bytes: AtomicU64,
+    /// Bytes moved by all `broadcast` calls.
+    pub broadcast_bytes: AtomicU64,
+    /// Number of collective calls of any kind.
+    pub n_collectives: AtomicU64,
+}
+
+impl CommStats {
+    /// Total bytes over all collective types.
+    pub fn total_bytes(&self) -> u64 {
+        self.alltoall_bytes.load(Ordering::Relaxed)
+            + self.allreduce_bytes.load(Ordering::Relaxed)
+            + self.broadcast_bytes.load(Ordering::Relaxed)
+    }
+}
+
+type Mailbox<T> = Arc<Vec<Vec<(Sender<T>, Receiver<T>)>>>;
+
+/// Per-rank handle passed to the rank closure.
+pub struct RankContext<T: Send + 'static> {
+    rank: usize,
+    n_ranks: usize,
+    mailboxes: Mailbox<T>,
+    barrier: Arc<std::sync::Barrier>,
+    reduce_slots: Arc<Mutex<Vec<f64>>>,
+    stats: Arc<CommStats>,
+}
+
+impl<T: Send + 'static> RankContext<T> {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Block until every rank reached this point.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-to-all personalised exchange: `send[j]` goes to rank `j`; the
+    /// returned vector contains one entry from every rank (index = source).
+    ///
+    /// `payload_bytes` reports the wire size of one element of `T` for the
+    /// byte accounting (the in-memory exchange itself moves ownership).
+    pub fn alltoall(&self, send: Vec<T>, payload_bytes: usize) -> Vec<T> {
+        assert_eq!(send.len(), self.n_ranks, "alltoall needs one message per destination");
+        let n = self.n_ranks;
+        let mut moved_bytes = 0u64;
+        for (dest, msg) in send.into_iter().enumerate() {
+            if dest != self.rank {
+                moved_bytes += payload_bytes as u64;
+            }
+            self.mailboxes[dest][self.rank].0.send(msg).expect("peer alive");
+        }
+        self.stats.alltoall_bytes.fetch_add(moved_bytes, Ordering::Relaxed);
+        self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::with_capacity(n);
+        for src in 0..n {
+            out.push(self.mailboxes[self.rank][src].1.recv().expect("peer alive"));
+        }
+        out
+    }
+
+    /// Sum-reduction of one `f64` across all ranks; every rank receives the sum.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        {
+            let mut slots = self.reduce_slots.lock();
+            slots[self.rank] = value;
+        }
+        self.stats.allreduce_bytes.fetch_add(8 * (self.n_ranks as u64 - 1), Ordering::Relaxed);
+        self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
+        self.barrier.wait();
+        let sum: f64 = self.reduce_slots.lock().iter().sum();
+        self.barrier.wait();
+        sum
+    }
+}
+
+/// A communicator whose ranks are OS threads.
+pub struct ThreadComm;
+
+impl ThreadComm {
+    /// Run `f` on `n_ranks` threads and collect the per-rank results in rank
+    /// order, together with the communication statistics.
+    pub fn run<T, R, F>(n_ranks: usize, f: F) -> (Vec<R>, Arc<CommStats>)
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(RankContext<T>) -> R + Send + Sync + 'static,
+    {
+        assert!(n_ranks >= 1);
+        let mailboxes: Mailbox<T> = Arc::new(
+            (0..n_ranks)
+                .map(|_| (0..n_ranks).map(|_| unbounded()).collect::<Vec<_>>())
+                .collect(),
+        );
+        let barrier = Arc::new(std::sync::Barrier::new(n_ranks));
+        let reduce_slots = Arc::new(Mutex::new(vec![0.0f64; n_ranks]));
+        let stats = Arc::new(CommStats::default());
+        let f = Arc::new(f);
+
+        let mut handles = Vec::with_capacity(n_ranks);
+        for rank in 0..n_ranks {
+            let ctx = RankContext {
+                rank,
+                n_ranks,
+                mailboxes: Arc::clone(&mailboxes),
+                barrier: Arc::clone(&barrier),
+                reduce_slots: Arc::clone(&reduce_slots),
+                stats: Arc::clone(&stats),
+            };
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || f(ctx)));
+        }
+        let results = handles.into_iter().map(|h| h.join().expect("rank panicked")).collect();
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alltoall_transposes_ownership() {
+        // Rank r sends the value 100*r + dest to rank dest; afterwards rank d
+        // must hold [100*src + d for src in 0..n].
+        let n = 4;
+        let (results, stats) = ThreadComm::run(n, move |ctx: RankContext<u64>| {
+            let send: Vec<u64> = (0..ctx.n_ranks()).map(|d| 100 * ctx.rank() as u64 + d as u64).collect();
+            ctx.alltoall(send, 8)
+        });
+        for (dest, got) in results.iter().enumerate() {
+            for (src, v) in got.iter().enumerate() {
+                assert_eq!(*v, 100 * src as u64 + dest as u64);
+            }
+        }
+        // Each rank sends (n-1) off-rank messages of 8 bytes.
+        assert_eq!(stats.alltoall_bytes.load(Ordering::Relaxed), (n * (n - 1) * 8) as u64);
+        assert_eq!(stats.n_collectives.load(Ordering::Relaxed), n as u64);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let n = 5;
+        let (results, _) = ThreadComm::run(n, move |ctx: RankContext<()>| {
+            ctx.allreduce_sum((ctx.rank() + 1) as f64)
+        });
+        for r in results {
+            assert_eq!(r, (1..=n as u64).sum::<u64>() as f64);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_interleave_correctly() {
+        let n = 3;
+        let (results, stats) = ThreadComm::run(n, move |ctx: RankContext<f64>| {
+            let mut acc = 0.0;
+            for round in 0..4 {
+                let send: Vec<f64> = vec![ctx.rank() as f64 + round as f64; ctx.n_ranks()];
+                let recv = ctx.alltoall(send, 8);
+                acc += recv.iter().sum::<f64>();
+                acc = ctx.allreduce_sum(acc);
+            }
+            acc
+        });
+        // All ranks must agree after the final allreduce.
+        assert!(results.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+        assert!(stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let (results, stats) = ThreadComm::run(1, move |ctx: RankContext<u32>| {
+            let out = ctx.alltoall(vec![7], 4);
+            ctx.barrier();
+            (out[0], ctx.allreduce_sum(2.5))
+        });
+        assert_eq!(results[0].0, 7);
+        assert_eq!(results[0].1, 2.5);
+        // Nothing leaves the rank.
+        assert_eq!(stats.alltoall_bytes.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Communication backend cost models.
+//!
+//! The paper benchmarks three communication backends: *CCL (NCCL on Alps,
+//! RCCL on Frontier), GPU-aware MPI and "host MPI" (staging through host
+//! memory), and finds that *CCL wins at small/medium scale but becomes
+//! unstable beyond a machine-dependent node count (256–512 nodes on Alps,
+//! ~32 nodes on Frontier), after which host MPI is used (Section 7.2, Fig. 6).
+//!
+//! [`CommBackend::alltoall_time`] captures exactly that behaviour with a
+//! transparent α–β (latency–bandwidth) model plus backend-specific overheads,
+//! so the Fig. 6 reproduction can show the same qualitative crossover.
+
+/// Machine whose interconnect parameters are modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineKind {
+    /// Alps: NVIDIA GH200 nodes, 4 GPUs/node, Slingshot with 25 GB/s per NIC.
+    Alps,
+    /// Frontier: AMD MI250X nodes, 8 GCDs/node, Slingshot with 25 GB/s per NIC.
+    Frontier,
+}
+
+/// Interconnect parameters of one compute element (GPU / GCD).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParameters {
+    /// Injection bandwidth per compute element in bytes/s.
+    pub bandwidth_bytes_per_s: f64,
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+    /// Intra-node bandwidth (NVLink / Infinity Fabric) in bytes/s.
+    pub intranode_bandwidth_bytes_per_s: f64,
+    /// Compute elements per node.
+    pub elements_per_node: usize,
+}
+
+impl LinkParameters {
+    /// Parameters of the given machine (paper Section 6.1).
+    pub fn for_machine(machine: MachineKind) -> Self {
+        match machine {
+            MachineKind::Alps => Self {
+                bandwidth_bytes_per_s: 25.0e9,
+                latency_s: 2.0e-6,
+                intranode_bandwidth_bytes_per_s: 150.0e9,
+                elements_per_node: 4,
+            },
+            MachineKind::Frontier => Self {
+                bandwidth_bytes_per_s: 25.0e9,
+                latency_s: 2.0e-6,
+                intranode_bandwidth_bytes_per_s: 50.0e9,
+                elements_per_node: 8,
+            },
+        }
+    }
+}
+
+/// Communication backend used for the collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommBackend {
+    /// NCCL / RCCL.
+    Ccl,
+    /// MPI operating directly on device buffers.
+    GpuAwareMpi,
+    /// MPI with staging through host memory.
+    HostMpi,
+}
+
+impl CommBackend {
+    /// Efficiency factor of the backend's Alltoall implementation (fraction of
+    /// the theoretical link bandwidth it achieves at moderate scale).
+    fn efficiency(&self) -> f64 {
+        match self {
+            CommBackend::Ccl => 0.85,
+            CommBackend::GpuAwareMpi => 0.55,
+            CommBackend::HostMpi => 0.65,
+        }
+    }
+
+    /// Extra per-byte cost of staging through the host (device↔host copies).
+    fn staging_overhead(&self, link: &LinkParameters) -> f64 {
+        match self {
+            CommBackend::HostMpi => 2.0 / link.intranode_bandwidth_bytes_per_s,
+            _ => 0.0,
+        }
+    }
+
+    /// Node count beyond which the backend degrades (the *CCL instabilities
+    /// the paper reports). `None` means stable at every scale considered.
+    pub fn instability_threshold_nodes(&self, machine: MachineKind) -> Option<usize> {
+        match (self, machine) {
+            (CommBackend::Ccl, MachineKind::Alps) => Some(384),
+            (CommBackend::Ccl, MachineKind::Frontier) => Some(32),
+            _ => None,
+        }
+    }
+
+    /// Penalty factor applied once the instability threshold is exceeded.
+    fn instability_penalty(&self, machine: MachineKind, n_nodes: usize) -> f64 {
+        match self.instability_threshold_nodes(machine) {
+            Some(threshold) if n_nodes > threshold => {
+                1.0 + 1.5 * (n_nodes as f64 / threshold as f64).log2().max(0.0)
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Time of one Alltoall in which every rank exchanges `bytes_per_rank`
+    /// with the others, on `n_ranks` ranks of the given machine.
+    pub fn alltoall_time(
+        &self,
+        machine: MachineKind,
+        bytes_per_rank: u64,
+        n_ranks: usize,
+    ) -> f64 {
+        if n_ranks <= 1 {
+            return 0.0;
+        }
+        let link = LinkParameters::for_machine(machine);
+        let n_nodes = n_ranks.div_ceil(link.elements_per_node);
+        let latency = link.latency_s * (n_ranks as f64).log2().max(1.0);
+        let bandwidth_term =
+            bytes_per_rank as f64 / (link.bandwidth_bytes_per_s * self.efficiency());
+        let staging = bytes_per_rank as f64 * self.staging_overhead(&link);
+        (latency + bandwidth_term + staging) * self.instability_penalty(machine, n_nodes)
+    }
+
+    /// Time of an allreduce of `bytes` on `n_ranks` ranks (ring model).
+    pub fn allreduce_time(&self, machine: MachineKind, bytes: u64, n_ranks: usize) -> f64 {
+        if n_ranks <= 1 {
+            return 0.0;
+        }
+        let link = LinkParameters::for_machine(machine);
+        let n_nodes = n_ranks.div_ceil(link.elements_per_node);
+        let latency = 2.0 * link.latency_s * (n_ranks as f64).log2().max(1.0);
+        let bandwidth_term =
+            2.0 * bytes as f64 / (link.bandwidth_bytes_per_s * self.efficiency());
+        (latency + bandwidth_term) * self.instability_penalty(machine, n_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccl_beats_host_mpi_at_small_scale() {
+        for machine in [MachineKind::Alps, MachineKind::Frontier] {
+            let bytes = 500_000_000; // 0.5 GB per rank
+            let t_ccl = CommBackend::Ccl.alltoall_time(machine, bytes, 16);
+            let t_host = CommBackend::HostMpi.alltoall_time(machine, bytes, 16);
+            assert!(t_ccl < t_host, "{machine:?}");
+        }
+    }
+
+    #[test]
+    fn host_mpi_wins_beyond_the_instability_threshold() {
+        // Alps at 2,350 nodes (9,400 GPUs): NCCL has degraded, host MPI has not.
+        let bytes = 500_000_000;
+        let n_ranks = 9_400;
+        let t_ccl = CommBackend::Ccl.alltoall_time(MachineKind::Alps, bytes, n_ranks);
+        let t_host = CommBackend::HostMpi.alltoall_time(MachineKind::Alps, bytes, n_ranks);
+        assert!(t_host < t_ccl);
+    }
+
+    #[test]
+    fn frontier_ccl_degrades_earlier_than_alps_ccl() {
+        let a = CommBackend::Ccl.instability_threshold_nodes(MachineKind::Alps).unwrap();
+        let f = CommBackend::Ccl.instability_threshold_nodes(MachineKind::Frontier).unwrap();
+        assert!(f < a);
+        assert!(CommBackend::HostMpi.instability_threshold_nodes(MachineKind::Alps).is_none());
+    }
+
+    #[test]
+    fn times_scale_with_message_size_and_rank_count() {
+        let small = CommBackend::Ccl.alltoall_time(MachineKind::Alps, 1_000_000, 8);
+        let large = CommBackend::Ccl.alltoall_time(MachineKind::Alps, 100_000_000, 8);
+        assert!(large > small);
+        let few = CommBackend::HostMpi.allreduce_time(MachineKind::Frontier, 8, 8);
+        let many = CommBackend::HostMpi.allreduce_time(MachineKind::Frontier, 8, 8_192);
+        assert!(many > few);
+        assert_eq!(CommBackend::Ccl.alltoall_time(MachineKind::Alps, 1_000, 1), 0.0);
+    }
+
+    #[test]
+    fn machine_parameters_match_the_paper() {
+        let alps = LinkParameters::for_machine(MachineKind::Alps);
+        assert_eq!(alps.elements_per_node, 4);
+        assert!((alps.bandwidth_bytes_per_s - 25.0e9).abs() < 1.0);
+        let frontier = LinkParameters::for_machine(MachineKind::Frontier);
+        assert_eq!(frontier.elements_per_node, 8);
+        assert!(frontier.intranode_bandwidth_bytes_per_s < alps.intranode_bandwidth_bytes_per_s);
+    }
+}

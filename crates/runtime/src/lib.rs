@@ -1,0 +1,26 @@
+//! # quatrex-runtime
+//!
+//! Simulated multi-rank runtime for QuaTrEx-RS.
+//!
+//! The original QuaTrEx runs one MPI rank per GPU (GH200) or GCD (MI250X) and
+//! communicates through NCCL/RCCL, GPU-aware MPI or host MPI (paper Sections
+//! 5.1 and 7.2). None of that infrastructure is available at laptop scale, so
+//! this crate provides the documented substitution:
+//!
+//! * [`topology`] — the two-level decomposition of the workload (energy points
+//!   across ranks, spatial partitions within an energy group) and the buffer
+//!   sizes of the energy↔element data transposition;
+//! * [`collective`] — a real shared-memory communicator whose "ranks" are OS
+//!   threads, providing the `Alltoall`, `Allreduce`, broadcast and barrier
+//!   primitives the solver needs, with exact byte accounting;
+//! * [`cost`] — analytic cost models of the *CCL, GPU-aware-MPI and host-MPI
+//!   backends on Alps- and Frontier-like networks, used by the weak-scaling
+//!   reproduction (Fig. 6) to convert tracked communication volumes into time.
+
+pub mod collective;
+pub mod cost;
+pub mod topology;
+
+pub use collective::{CommStats, RankContext, ThreadComm};
+pub use cost::{CommBackend, LinkParameters, MachineKind};
+pub use topology::{DecompositionPlan, TranspositionVolume};

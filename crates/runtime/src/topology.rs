@@ -1,0 +1,153 @@
+//! Workload decomposition descriptors.
+//!
+//! The paper distributes the SCBA workload along two axes:
+//!
+//! 1. **Energy**: the `N_E` energy points are embarrassingly parallel for the
+//!    OBC, assembly and RGF steps; every rank owns one or a few energies
+//!    (Table 4's "Energies" row).
+//! 2. **Space**: for devices whose matrices exceed one memory domain, `P_S`
+//!    ranks share a single energy point through the nested-dissection solver
+//!    (Section 5.4), so the total rank count is `N_E/energies_per_group · P_S`.
+//!
+//! The energy convolutions need the *opposite* layout (all energies of a few
+//! matrix elements), which is reached through an `Alltoall` data transposition
+//! (Fig. 3); [`TranspositionVolume`] quantifies exactly how many complex
+//! values every rank exchanges, including the factor-two saving of the
+//! symmetry-reduced storage (Section 5.2).
+
+/// Plan describing how the SCBA workload is spread over ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompositionPlan {
+    /// Total number of energy points `N_E`.
+    pub n_energies: usize,
+    /// Energy points stored per rank group.
+    pub energies_per_group: usize,
+    /// Spatial partitions per energy point (`P_S`, 1 = no spatial decomposition).
+    pub spatial_partitions: usize,
+}
+
+impl DecompositionPlan {
+    /// Create a plan; `energies_per_group` must divide into the grid or the
+    /// remainder is handled by one partially filled group.
+    pub fn new(n_energies: usize, energies_per_group: usize, spatial_partitions: usize) -> Self {
+        assert!(n_energies >= 1 && energies_per_group >= 1 && spatial_partitions >= 1);
+        Self { n_energies, energies_per_group, spatial_partitions }
+    }
+
+    /// Number of rank groups along the energy axis.
+    pub fn n_energy_groups(&self) -> usize {
+        self.n_energies.div_ceil(self.energies_per_group)
+    }
+
+    /// Total number of ranks (GPUs / GCDs in the paper's terminology).
+    pub fn n_ranks(&self) -> usize {
+        self.n_energy_groups() * self.spatial_partitions
+    }
+
+    /// Energy indices owned by a given energy group.
+    pub fn energies_of_group(&self, group: usize) -> std::ops::Range<usize> {
+        let start = group * self.energies_per_group;
+        let end = ((group + 1) * self.energies_per_group).min(self.n_energies);
+        start..end
+    }
+
+    /// Group that owns a given energy index.
+    pub fn group_of_energy(&self, energy: usize) -> usize {
+        energy / self.energies_per_group
+    }
+}
+
+/// Communication volume of the energy↔element data transposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranspositionVolume {
+    /// Number of stored matrix elements per energy point (after symmetry
+    /// reduction, if enabled).
+    pub elements_per_energy: usize,
+    /// Number of energy points.
+    pub n_energies: usize,
+    /// Number of ranks participating in the Alltoall.
+    pub n_ranks: usize,
+}
+
+impl TranspositionVolume {
+    /// Volume for a quantity with `nnz` stored complex values per energy.
+    pub fn new(nnz: usize, n_energies: usize, n_ranks: usize, symmetry_reduced: bool) -> Self {
+        let elements = if symmetry_reduced { nnz.div_ceil(2) + nnz / 20 } else { nnz };
+        Self { elements_per_energy: elements, n_energies, n_ranks }
+    }
+
+    /// Total number of complex values exchanged by the full Alltoall
+    /// (every value leaves its producing rank exactly once, except the
+    /// fraction that stays local).
+    pub fn total_values(&self) -> u64 {
+        let total = self.elements_per_energy as u64 * self.n_energies as u64;
+        // A fraction 1/n_ranks of the data is already on the right rank.
+        total - total / self.n_ranks as u64
+    }
+
+    /// Total bytes exchanged (complex128 = 16 bytes).
+    pub fn total_bytes(&self) -> u64 {
+        16 * self.total_values()
+    }
+
+    /// Bytes sent by each rank (assuming a balanced distribution).
+    pub fn bytes_per_rank(&self) -> u64 {
+        self.total_bytes() / self.n_ranks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_follow_the_two_level_decomposition() {
+        // NR-40 on Frontier: 18,800 energies, one energy per group, P_S = 4
+        // -> 75,200 GCDs (Table 6).
+        let plan = DecompositionPlan::new(18_800, 1, 4);
+        assert_eq!(plan.n_energy_groups(), 18_800);
+        assert_eq!(plan.n_ranks(), 75_200);
+        // NW-1 on Alps: 80 energies per GPU.
+        let plan = DecompositionPlan::new(9_400 * 80, 80, 1);
+        assert_eq!(plan.n_ranks(), 9_400);
+    }
+
+    #[test]
+    fn energy_ownership_is_a_partition() {
+        let plan = DecompositionPlan::new(10, 3, 1);
+        assert_eq!(plan.n_energy_groups(), 4);
+        let mut covered = vec![false; 10];
+        for g in 0..plan.n_energy_groups() {
+            for e in plan.energies_of_group(g) {
+                assert!(!covered[e], "energy {e} owned twice");
+                covered[e] = true;
+                assert_eq!(plan.group_of_energy(e), g);
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn symmetry_reduction_halves_the_transposition_volume() {
+        let full = TranspositionVolume::new(1_000_000, 64, 16, false);
+        let sym = TranspositionVolume::new(1_000_000, 64, 16, true);
+        let ratio = sym.total_bytes() as f64 / full.total_bytes() as f64;
+        assert!(ratio > 0.5 && ratio < 0.6, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn local_fraction_is_excluded_from_the_volume() {
+        let v2 = TranspositionVolume::new(1000, 10, 2, false);
+        let v10 = TranspositionVolume::new(1000, 10, 10, false);
+        // With 2 ranks half the data stays local; with 10 ranks only 10% does.
+        assert_eq!(v2.total_values(), 5_000);
+        assert_eq!(v10.total_values(), 9_000);
+    }
+
+    #[test]
+    fn bytes_use_complex128() {
+        let v = TranspositionVolume::new(100, 1, 100, false);
+        assert_eq!(v.total_bytes(), 16 * v.total_values());
+        assert!(v.bytes_per_rank() <= v.total_bytes());
+    }
+}

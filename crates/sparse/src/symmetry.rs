@@ -1,0 +1,220 @@
+//! Memory-halving storage for NEGF anti-Hermitian quantities.
+//!
+//! Lesser/greater Green's functions, polarisations and self-energies obey
+//! `X≶_ij = −X≶*_ji`. The paper (Section 5.2) absorbs this symmetry into the
+//! data structure: only the diagonal and upper off-diagonal blocks are stored,
+//! the lower blocks are reconstructed on the fly, and the communication volume
+//! of the data transposition is halved. [`SymmetricLesser`] is that storage.
+
+use quatrex_linalg::{c64, CMatrix};
+
+use crate::tridiag::BlockTridiagonal;
+
+/// Block-tridiagonal lesser/greater quantity stored in symmetry-reduced form:
+/// only the diagonal blocks (made exactly anti-Hermitian in the NEGF sense) and
+/// the upper off-diagonal blocks are kept; block `(i+1, i)` is implicitly
+/// `−upper(i)†`.
+#[derive(Debug, Clone)]
+pub struct SymmetricLesser {
+    diag: Vec<CMatrix>,
+    upper: Vec<CMatrix>,
+    block_size: usize,
+}
+
+impl SymmetricLesser {
+    /// Create an all-zero symmetric container.
+    pub fn zeros(n_blocks: usize, block_size: usize) -> Self {
+        Self {
+            diag: vec![CMatrix::zeros(block_size, block_size); n_blocks],
+            upper: vec![CMatrix::zeros(block_size, block_size); n_blocks.saturating_sub(1)],
+            block_size,
+        }
+    }
+
+    /// Compress a full block-tridiagonal quantity, enforcing the NEGF symmetry
+    /// in the same pass (`X ← (X − X†)/2`).
+    pub fn from_full(full: &BlockTridiagonal) -> Self {
+        let nb = full.n_blocks();
+        let bs = full.block_size();
+        let mut out = Self::zeros(nb, bs);
+        for i in 0..nb {
+            out.diag[i] = full.diag(i).negf_antihermitian_part();
+        }
+        for i in 0..nb.saturating_sub(1) {
+            // upper <- (upper - lower†)/2
+            let mut u = full.upper(i).clone();
+            u.axpy(c64::new(-1.0, 0.0), &full.lower(i).dagger());
+            u.scale_mut(c64::new(0.5, 0.0));
+            out.upper[i] = u;
+        }
+        out
+    }
+
+    /// Number of diagonal blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Diagonal block `(i, i)`.
+    pub fn diag(&self, i: usize) -> &CMatrix {
+        &self.diag[i]
+    }
+
+    /// Mutable diagonal block; callers must preserve anti-Hermiticity themselves
+    /// or re-symmetrise afterwards.
+    pub fn diag_mut(&mut self, i: usize) -> &mut CMatrix {
+        &mut self.diag[i]
+    }
+
+    /// Upper off-diagonal block `(i, i+1)`.
+    pub fn upper(&self, i: usize) -> &CMatrix {
+        &self.upper[i]
+    }
+
+    /// Mutable upper off-diagonal block `(i, i+1)`.
+    pub fn upper_mut(&mut self, i: usize) -> &mut CMatrix {
+        &mut self.upper[i]
+    }
+
+    /// Reconstruct the implicit lower block `(i+1, i) = −upper(i)†`.
+    pub fn lower(&self, i: usize) -> CMatrix {
+        self.upper[i].dagger().scaled(c64::new(-1.0, 0.0))
+    }
+
+    /// Expand back to the full block-tridiagonal representation.
+    pub fn to_full(&self) -> BlockTridiagonal {
+        let nb = self.n_blocks();
+        let mut full = BlockTridiagonal::zeros(nb, self.block_size);
+        for i in 0..nb {
+            full.set_block(i, i, self.diag[i].clone());
+        }
+        for i in 0..nb.saturating_sub(1) {
+            full.set_block(i, i + 1, self.upper[i].clone());
+            full.set_block(i + 1, i, self.lower(i));
+        }
+        full
+    }
+
+    /// Number of scalar values actually stored.
+    pub fn stored_values(&self) -> usize {
+        (self.diag.len() + self.upper.len()) * self.block_size * self.block_size
+    }
+
+    /// Number of scalar values the equivalent full storage would need.
+    pub fn full_values(&self) -> usize {
+        let nb = self.diag.len();
+        (nb + 2 * nb.saturating_sub(1)) * self.block_size * self.block_size
+    }
+
+    /// Memory saving factor of the symmetric storage (≥ 1; → 1.5 for long devices).
+    pub fn memory_saving(&self) -> f64 {
+        self.full_values() as f64 / self.stored_values() as f64
+    }
+
+    /// Element-wise `self + alpha·other`.
+    pub fn add(&self, alpha: c64, other: &SymmetricLesser) -> SymmetricLesser {
+        assert_eq!(self.n_blocks(), other.n_blocks());
+        assert_eq!(self.block_size, other.block_size);
+        let mut out = self.clone();
+        for i in 0..out.diag.len() {
+            out.diag[i].axpy(alpha, &other.diag[i]);
+        }
+        for i in 0..out.upper.len() {
+            out.upper[i].axpy(alpha, &other.upper[i]);
+        }
+        out
+    }
+
+    /// Frobenius norm of the (implicitly full) quantity.
+    pub fn norm_fro(&self) -> f64 {
+        let mut acc: f64 = self.diag.iter().map(|b| b.norm_fro().powi(2)).sum();
+        // upper and implicit lower contribute equally.
+        acc += 2.0 * self.upper.iter().map(|b| b.norm_fro().powi(2)).sum::<f64>();
+        acc.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quatrex_linalg::cplx;
+
+    fn noisy_lesser(nb: usize, bs: usize) -> BlockTridiagonal {
+        // Start from an exactly anti-Hermitian quantity and add a small
+        // non-symmetric perturbation, mimicking RGF round-off (Section 5.2).
+        let mut bt = BlockTridiagonal::zeros(nb, bs);
+        for i in 0..nb {
+            let raw = CMatrix::from_fn(bs, bs, |r, c| cplx((r * 3 + c + i) as f64 * 0.1, 0.3 - c as f64 * 0.05));
+            bt.set_block(i, i, raw.negf_antihermitian_part());
+        }
+        for i in 0..nb - 1 {
+            let u = CMatrix::from_fn(bs, bs, |r, c| cplx(0.05 * (r as f64 - c as f64), 0.2 + i as f64 * 0.01));
+            bt.set_block(i, i + 1, u.clone());
+            bt.set_block(i + 1, i, u.dagger().scaled(cplx(-1.0, 0.0)));
+        }
+        bt
+    }
+
+    #[test]
+    fn roundtrip_preserves_symmetric_input() {
+        let bt = noisy_lesser(5, 3);
+        let sym = SymmetricLesser::from_full(&bt);
+        let back = sym.to_full();
+        assert!(back.to_dense().approx_eq(&bt.to_dense(), 1e-13));
+    }
+
+    #[test]
+    fn compression_projects_out_symmetry_violations() {
+        let mut bt = noisy_lesser(4, 2);
+        // Perturb one lower block so the full quantity violates the symmetry.
+        let perturbed = bt.lower(1).clone();
+        bt.set_block(2, 1, {
+            let mut p = perturbed;
+            p[(0, 0)] += cplx(0.1, 0.2);
+            p
+        });
+        assert!(bt.negf_symmetry_error() > 1e-3);
+        let sym = SymmetricLesser::from_full(&bt);
+        let back = sym.to_full();
+        assert!(back.negf_symmetry_error() < 1e-14);
+    }
+
+    #[test]
+    fn lower_is_minus_dagger_of_upper() {
+        let sym = SymmetricLesser::from_full(&noisy_lesser(4, 3));
+        for i in 0..3 {
+            let l = sym.lower(i);
+            let expect = sym.upper(i).dagger().scaled(cplx(-1.0, 0.0));
+            assert!(l.approx_eq(&expect, 1e-15));
+        }
+    }
+
+    #[test]
+    fn memory_saving_approaches_three_halves() {
+        let sym = SymmetricLesser::zeros(40, 4);
+        let saving = sym.memory_saving();
+        assert!(saving > 1.4 && saving < 1.5);
+        assert_eq!(sym.stored_values(), (40 + 39) * 16);
+        assert_eq!(sym.full_values(), (40 + 78) * 16);
+    }
+
+    #[test]
+    fn add_preserves_symmetry() {
+        let a = SymmetricLesser::from_full(&noisy_lesser(4, 2));
+        let b = SymmetricLesser::from_full(&noisy_lesser(4, 2));
+        let c = a.add(cplx(2.0, 0.0), &b);
+        assert!(c.to_full().negf_symmetry_error() < 1e-13);
+    }
+
+    #[test]
+    fn norm_matches_full_representation() {
+        let full = noisy_lesser(5, 3);
+        let sym = SymmetricLesser::from_full(&full);
+        assert!((sym.norm_fro() - sym.to_full().norm_fro()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! Nanoribbon FET I–V sweep: the workload the paper's introduction motivates.
+//!
+//! Sweeps the drain bias of a reduced-scale nanoribbon device (same block
+//! structure as the paper's NR-16), solves the ballistic NEGF problem at every
+//! bias point and a GW-corrected point, and prints the current–voltage
+//! characteristics. The GW correction adds electron-electron scattering, which
+//! alters the drive current of short-channel devices — the physical effect the
+//! paper sets out to capture.
+//!
+//! Run with: `cargo run --release --example nanoribbon_iv`
+
+use quatrex::prelude::*;
+
+fn solve_at_bias(bias: f64, gw_iterations: usize) -> (f64, usize) {
+    // Reduced NR-16-like device (852/213 = 4 orbitals per primitive cell).
+    let mut device = DeviceBuilder::from_params(&DeviceCatalog::nr16(), 213).build();
+    // Linear potential drop across the channel.
+    let potential = device.linear_potential(0.0, -bias);
+    device.apply_potential(&potential);
+
+    let config = ScbaConfig {
+        n_energies: 24,
+        max_iterations: gw_iterations,
+        mu_left: 0.1,
+        mu_right: 0.1 - bias,
+        mixing: 0.4,
+        interaction_scale: 0.25,
+        ..Default::default()
+    };
+    let solver = ScbaSolver::new(device, config);
+    let result = if gw_iterations <= 1 { solver.ballistic() } else { solver.run() };
+    (result.observables.current, result.iterations)
+}
+
+fn main() {
+    println!("nanoribbon FET I-V sweep (reduced NR-16 geometry)");
+    println!("{:>10} {:>18} {:>18}", "V_ds [V]", "I ballistic", "I (3 GW iters)");
+    for step in 0..=4 {
+        let bias = 0.05 * step as f64;
+        let (i_ballistic, _) = solve_at_bias(bias, 1);
+        let (i_gw, iters) = solve_at_bias(bias, 3);
+        println!(
+            "{:>10.2} {:>18.6e} {:>18.6e}   ({} SCBA iterations)",
+            bias, i_ballistic, i_gw, iters
+        );
+    }
+    println!("\nThe GW-corrected current differs from the ballistic one because the");
+    println!("electron-electron self-energy broadens and shifts the injected states —");
+    println!("the additional scattering channel the paper's NEGF+scGW scheme captures.");
+}

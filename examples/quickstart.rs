@@ -1,0 +1,59 @@
+//! Quickstart: build a small synthetic nanowire device, run one ballistic NEGF
+//! iteration and a few self-consistent GW (SCBA) iterations, and print the
+//! basic transport observables.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use quatrex::prelude::*;
+
+fn main() {
+    // A reduced-scale device with the same block structure as the paper's
+    // NW-1 nanowire: N_U = 4 coupled primitive cells per transport cell,
+    // 18 transport cells.
+    let device = DeviceBuilder::from_params(&DeviceCatalog::nw1(), 26).build();
+    println!(
+        "device {}: {} orbitals, {} transport cells of size {}",
+        device.name,
+        device.n_orbitals(),
+        device.n_blocks,
+        device.transport_cell_size()
+    );
+
+    let config = ScbaConfig {
+        n_energies: 32,
+        max_iterations: 6,
+        mu_left: 0.15,
+        mu_right: -0.15,
+        mixing: 0.4,
+        interaction_scale: 0.3,
+        ..Default::default()
+    };
+    let solver = ScbaSolver::new(device, config);
+
+    // Ballistic reference (Σ = 0).
+    let ballistic = solver.ballistic();
+    println!(
+        "\nballistic:  current = {:.6e} (e/hbar eV), total DOS integral = {:.4}",
+        ballistic.observables.current,
+        ballistic.observables.spectral.dos.iter().sum::<f64>()
+    );
+
+    // Self-consistent GW.
+    let gw = solver.run();
+    println!(
+        "NEGF+scGW:  current = {:.6e} after {} iterations (converged: {})",
+        gw.observables.current, gw.iterations, gw.converged
+    );
+    println!("residual history: {:?}", gw.residual_history);
+    println!("memoizer hit rate: {:.0}%", 100.0 * gw.memoizer_hit_rate);
+
+    println!("\nper-kernel wall time of the run:");
+    for (label, seconds) in gw.timings.breakdown() {
+        println!("  {label:<24} {seconds:>9.4} s");
+    }
+
+    println!("\nelectron density per transport cell (GW):");
+    for (i, n) in gw.observables.electron_density.iter().enumerate() {
+        println!("  cell {i:>2}: {n:>10.6}");
+    }
+}

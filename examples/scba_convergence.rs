@@ -1,0 +1,53 @@
+//! SCBA convergence study: the effect of the symmetry enforcement (Section 5.2)
+//! and of the OBC memoizer (Section 5.3) on the self-consistent Born iteration.
+//!
+//! Run with: `cargo run --release --example scba_convergence`
+
+use quatrex::prelude::*;
+
+fn run_case(enforce_symmetry: bool, use_memoizer: bool) -> ScbaResult {
+    let device = DeviceBuilder::test_device(4, 2, 5).build();
+    let config = ScbaConfig {
+        n_energies: 24,
+        max_iterations: 8,
+        tolerance: 1e-5,
+        mixing: 0.4,
+        interaction_scale: 0.3,
+        enforce_symmetry,
+        use_memoizer,
+        ..Default::default()
+    };
+    ScbaSolver::new(device, config).run()
+}
+
+fn main() {
+    println!("SCBA convergence with/without symmetry enforcement and OBC memoization\n");
+    let cases = [
+        ("symmetry ON,  memoizer ON ", true, true),
+        ("symmetry ON,  memoizer OFF", true, false),
+        ("symmetry OFF, memoizer ON ", false, true),
+    ];
+    for (label, sym, memo) in cases {
+        let res = run_case(sym, memo);
+        println!("{label}:");
+        println!(
+            "  iterations = {:>2}, converged = {:>5}, final residual = {:.3e}",
+            res.iterations,
+            res.converged,
+            res.residual_history.last().copied().unwrap_or(f64::NAN)
+        );
+        println!(
+            "  residual history: {:?}",
+            res.residual_history.iter().map(|r| (r * 1e4).round() / 1e4).collect::<Vec<_>>()
+        );
+        println!(
+            "  current = {:.4e}, memoizer hit rate = {:.0}%, wall time = {:.2} s\n",
+            res.observables.current,
+            100.0 * res.memoizer_hit_rate,
+            res.timings.total_seconds()
+        );
+    }
+    println!("Expected behaviour (paper Sections 5.2-5.3): enforcing the lesser/greater");
+    println!("symmetry stabilises the G -> P -> W -> Sigma cycle, and the memoizer replaces");
+    println!("most direct OBC solves after the first iteration without changing the result.");
+}

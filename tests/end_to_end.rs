@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: full NEGF+scGW pipeline on small devices.
+
+use quatrex::prelude::*;
+
+fn tiny_device() -> Device {
+    DeviceBuilder::test_device(3, 2, 4).build()
+}
+
+fn fast_config(n_energies: usize, iterations: usize) -> ScbaConfig {
+    ScbaConfig {
+        n_energies,
+        max_iterations: iterations,
+        mixing: 0.4,
+        tolerance: 1e-4,
+        interaction_scale: 0.2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn ballistic_current_increases_with_bias() {
+    // Landauer-like behaviour: widening the bias window cannot decrease the
+    // ballistic current.
+    let mut currents = Vec::new();
+    for bias in [0.0, 0.1, 0.2] {
+        let device = tiny_device();
+        let config = ScbaConfig {
+            mu_left: bias / 2.0,
+            mu_right: -bias / 2.0,
+            ..fast_config(32, 1)
+        };
+        let res = ScbaSolver::new(device, config).ballistic();
+        currents.push(res.observables.current);
+    }
+    assert!(currents[0].abs() < 1e-6, "zero-bias current should vanish: {}", currents[0]);
+    assert!(currents[1] >= currents[0] - 1e-9);
+    assert!(currents[2] >= currents[1] - 1e-9);
+}
+
+#[test]
+fn scba_converges_and_respects_physical_invariants() {
+    let device = tiny_device();
+    let res = ScbaSolver::new(device, fast_config(16, 10)).run();
+    assert!(res.iterations >= 2);
+    // DOS non-negative at every energy.
+    for dos in &res.observables.spectral.dos {
+        assert!(*dos > -1e-8);
+    }
+    // Densities non-negative and finite.
+    for n in &res.observables.electron_density {
+        assert!(*n >= -1e-8 && n.is_finite());
+    }
+    // Residuals shrink.
+    let first = res.residual_history.first().unwrap();
+    let last = res.residual_history.last().unwrap();
+    assert!(last <= first);
+}
+
+#[test]
+fn memoizer_does_not_change_the_physics() {
+    let with = ScbaSolver::new(tiny_device(), ScbaConfig { use_memoizer: true, ..fast_config(12, 4) }).run();
+    let without = ScbaSolver::new(tiny_device(), ScbaConfig { use_memoizer: false, ..fast_config(12, 4) }).run();
+    let rel = (with.observables.current - without.observables.current).abs()
+        / without.observables.current.abs().max(1e-12);
+    assert!(rel < 5e-2, "memoizer changed the current by {rel}");
+}
+
+#[test]
+fn ballistic_density_is_positive_and_gw_correction_stays_bounded() {
+    // The ballistic lesser Green's function must yield strictly positive
+    // occupations. The coarse-grid GW correction may shift them strongly (a
+    // known limitation of the reduced energy grid, documented in
+    // EXPERIMENTS.md), but must stay finite and of the same magnitude.
+    let ballistic = ScbaSolver::new(tiny_device(), fast_config(12, 1)).ballistic();
+    let max_ballistic = ballistic
+        .observables
+        .electron_density
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    assert!(max_ballistic > 0.0);
+    for n in &ballistic.observables.electron_density {
+        assert!(*n > 0.0, "ballistic density must be positive, got {n}");
+    }
+
+    let gw = ScbaSolver::new(tiny_device(), fast_config(12, 3)).run();
+    for n in &gw.observables.electron_density {
+        assert!(n.is_finite());
+        assert!(n.abs() < 10.0 * max_ballistic, "GW density diverged: {n}");
+    }
+    assert!(gw.max_truncation_error < 0.5);
+}
+
+#[test]
+fn umbrella_crate_reexports_every_layer() {
+    // Touch one symbol from every workspace crate through the umbrella.
+    let _ = quatrex::linalg::CMatrix::identity(2);
+    let _ = quatrex::fft::next_power_of_two(5);
+    let _ = quatrex::sparse::BlockTridiagonal::zeros(2, 2);
+    let _ = quatrex::device::DeviceCatalog::nw1();
+    let _ = quatrex::obc::ObcMemoizer::new(4, 1e-6);
+    let _ = quatrex::runtime::DecompositionPlan::new(8, 2, 1);
+    let _ = quatrex::perf::MachineModel::gh200();
+    let device = tiny_device();
+    let _ = quatrex::core::ScbaSolver::new(device, ScbaConfig::default());
+}

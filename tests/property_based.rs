@@ -1,0 +1,122 @@
+//! Property-based tests (proptest) on the core numerical invariants.
+
+use proptest::prelude::*;
+use quatrex::prelude::*;
+use quatrex_fft::{convolve, fft, ifft};
+use quatrex_linalg::lu::inverse;
+use quatrex_linalg::ops::matmul;
+use quatrex_linalg::{cplx, eigenvalues};
+use quatrex_sparse::SymmetricLesser;
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<c64>> {
+    prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0).prop_map(|(r, i)| cplx(r, i)), len)
+}
+
+fn complex_matrix(n: usize) -> impl Strategy<Value = CMatrix> {
+    prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0).prop_map(|(r, i)| cplx(r, i)), n * n)
+        .prop_map(move |v| CMatrix::from_rows(n, n, &v))
+}
+
+fn diagonally_dominant(n: usize) -> impl Strategy<Value = CMatrix> {
+    complex_matrix(n).prop_map(move |mut m| {
+        for i in 0..n {
+            m[(i, i)] += cplx(4.0 * n as f64, 1.0);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fft_roundtrip_is_identity(x in complex_vec(64)) {
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        for (a, b) in y.iter().zip(x.iter()) {
+            prop_assert!((a - b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(x in complex_vec(32), y in complex_vec(32)) {
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        fft(&mut fx);
+        fft(&mut fy);
+        let mut sum: Vec<c64> = x.iter().zip(y.iter()).map(|(a, b)| a + b).collect();
+        fft(&mut sum);
+        for i in 0..32 {
+            prop_assert!((sum[i] - (fx[i] + fy[i])).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn convolution_total_mass_is_product_of_masses(a in complex_vec(17), b in complex_vec(9)) {
+        // Σ_k (a*b)[k] = (Σ a)(Σ b).
+        let c = convolve(&a, &b);
+        let lhs: c64 = c.iter().copied().sum();
+        let rhs: c64 = a.iter().copied().sum::<c64>() * b.iter().copied().sum::<c64>();
+        prop_assert!((lhs - rhs).norm() < 1e-7 * (1.0 + rhs.norm()));
+    }
+
+    #[test]
+    fn lu_inverse_is_a_true_inverse(m in diagonally_dominant(6)) {
+        let inv = inverse(&m).unwrap();
+        let prod = matmul(&m, &inv);
+        prop_assert!(prod.approx_eq(&CMatrix::identity(6), 1e-7));
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace(m in complex_matrix(5)) {
+        if let Ok(vals) = eigenvalues(&m) {
+            let sum: c64 = vals.into_iter().sum();
+            prop_assert!((sum - m.trace()).norm() < 1e-6 * (1.0 + m.norm_fro()));
+        }
+    }
+
+    #[test]
+    fn dagger_of_product_is_reversed_product_of_daggers(a in complex_matrix(4), b in complex_matrix(4)) {
+        let lhs = matmul(&a, &b).dagger();
+        let rhs = matmul(&b.dagger(), &a.dagger());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn symmetric_storage_roundtrip_preserves_antihermitian_quantities(
+        blocks in prop::collection::vec(complex_matrix(3), 4)
+    ) {
+        // Build an exactly anti-Hermitian BT quantity from arbitrary blocks.
+        let mut bt = BlockTridiagonal::zeros(4, 3);
+        for (i, b) in blocks.iter().enumerate() {
+            bt.set_block(i, i, b.negf_antihermitian_part());
+        }
+        for i in 0..3 {
+            let u = &blocks[i];
+            bt.set_block(i, i + 1, u.clone());
+            bt.set_block(i + 1, i, u.dagger().scaled(cplx(-1.0, 0.0)));
+        }
+        let sym = SymmetricLesser::from_full(&bt);
+        prop_assert!(sym.to_full().to_dense().approx_eq(&bt.to_dense(), 1e-10));
+        prop_assert!(sym.memory_saving() > 1.0);
+    }
+
+    #[test]
+    fn fermi_occupation_is_bounded_and_monotone(
+        e in -5.0f64..5.0, mu in -1.0f64..1.0, kt in 0.001f64..0.2
+    ) {
+        let f = quatrex_device::fermi(e, mu, kt);
+        prop_assert!((0.0..=1.0).contains(&f));
+        let f2 = quatrex_device::fermi(e + 0.1, mu, kt);
+        prop_assert!(f2 <= f + 1e-12);
+    }
+
+    #[test]
+    fn energy_grid_partition_is_exact(n_points in 2usize..200, n_ranks in 1usize..17) {
+        let grid = EnergyGrid::new(-1.0, 1.0, n_points);
+        let parts = grid.partition(n_ranks);
+        let total: usize = parts.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total, n_points);
+    }
+}

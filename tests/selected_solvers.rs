@@ -1,0 +1,73 @@
+//! Integration tests of the selected solvers against dense references on
+//! device-generated (not synthetic-random) matrices.
+
+use quatrex::prelude::*;
+use quatrex_core::assembly::{assemble_g, bare_system, ObcMethod};
+use quatrex_linalg::lu::inverse;
+use quatrex_linalg::ops::matmul;
+use quatrex_linalg::FlopCounter;
+use quatrex_rgf::{dense_lesser, dense_retarded, rgf_selected_inverse, rgf_solve};
+
+fn assembled_system(nb: usize) -> (quatrex_sparse::BlockTridiagonal, quatrex_sparse::BlockTridiagonal) {
+    let device = DeviceBuilder::test_device(3, 2, nb).build();
+    let h = device.hamiltonian_bt();
+    let flops = FlopCounter::new();
+    let asm = assemble_g(
+        &h, 0.9, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
+        ObcMethod::SanchoRubio, None, &flops,
+    );
+    (asm.system, asm.rhs_lesser)
+}
+
+#[test]
+fn rgf_matches_dense_inverse_on_a_real_device_system() {
+    let (a, _) = assembled_system(5);
+    let sol = rgf_selected_inverse(&a).unwrap();
+    let dense = dense_retarded(&a);
+    let bs = a.block_size();
+    for i in 0..a.n_blocks() {
+        let want = dense.submatrix(i * bs, i * bs, bs, bs);
+        assert!(sol.retarded.diag(i).approx_eq(&want, 1e-8), "block {i}");
+    }
+}
+
+#[test]
+fn rgf_lesser_matches_dense_reference_on_a_real_device_system() {
+    let (a, b) = assembled_system(4);
+    let sol = rgf_solve(&a, &[&b]).unwrap();
+    let dense = dense_lesser(&a, &b);
+    let bs = a.block_size();
+    for i in 0..a.n_blocks() {
+        let want = dense.submatrix(i * bs, i * bs, bs, bs);
+        assert!(sol.lesser[0].diag(i).approx_eq(&want, 1e-8), "lesser block {i}");
+    }
+}
+
+#[test]
+fn nested_dissection_agrees_with_sequential_on_a_device_system() {
+    let device = DeviceBuilder::test_device(3, 2, 16).build();
+    let h = device.hamiltonian_bt();
+    let a = bare_system(&h, 1.1, 1e-3);
+    let seq = rgf_selected_inverse(&a).unwrap();
+    for p_s in [2usize, 4] {
+        let (dist, report) = nested_dissection_invert(&a, &NestedConfig::new(p_s)).unwrap();
+        for i in 0..a.n_blocks() {
+            assert!(
+                dist.diag(i).approx_eq(seq.retarded.diag(i), 1e-8),
+                "P_S={p_s}, block {i}"
+            );
+        }
+        assert_eq!(report.partitions.len(), p_s);
+    }
+}
+
+#[test]
+fn bare_system_resolvent_matches_direct_inversion() {
+    let device = DeviceBuilder::test_device(2, 2, 3).build();
+    let h = device.hamiltonian_bt();
+    let a = bare_system(&h, 0.5, 1e-2);
+    let g = inverse(&a.to_dense()).unwrap();
+    // A·G = I.
+    let prod = matmul(&a.to_dense(), &g);
+    assert!(prod.approx_eq(&CMatrix::identity(a.dim()), 1e-9));
+}
