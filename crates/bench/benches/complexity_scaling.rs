@@ -16,8 +16,19 @@ fn rgf_block_count_scaling(c: &mut Criterion) {
         let h = device.hamiltonian_bt();
         let flops = FlopCounter::new();
         let asm = assemble_g(
-            &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
-            ObcMethod::SanchoRubio, None, &flops,
+            &h,
+            1.0,
+            1e-3,
+            0,
+            None,
+            None,
+            None,
+            0.1,
+            -0.1,
+            0.0259,
+            ObcMethod::SanchoRubio,
+            None,
+            &flops,
         );
         group.bench_with_input(BenchmarkId::from_parameter(n_blocks), &n_blocks, |b, _| {
             b.iter(|| rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater]).unwrap());
@@ -34,8 +45,19 @@ fn rgf_block_size_scaling(c: &mut Criterion) {
         let h = device.hamiltonian_bt();
         let flops = FlopCounter::new();
         let asm = assemble_g(
-            &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
-            ObcMethod::SanchoRubio, None, &flops,
+            &h,
+            1.0,
+            1e-3,
+            0,
+            None,
+            None,
+            None,
+            0.1,
+            -0.1,
+            0.0259,
+            ObcMethod::SanchoRubio,
+            None,
+            &flops,
         );
         group.bench_with_input(BenchmarkId::from_parameter(puc * 2), &puc, |b, _| {
             b.iter(|| rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater]).unwrap());

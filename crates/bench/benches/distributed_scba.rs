@@ -1,0 +1,55 @@
+//! Distributed SCBA bench: one GW iteration cycle at 1/2/4 simulated ranks,
+//! plus the cost of the energy↔element transposition wire formats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quatrex_bench::bench_config;
+use quatrex_core::ScbaSolver;
+use quatrex_device::DeviceBuilder;
+use quatrex_dist::{DistScbaConfig, DistScbaSolver};
+
+fn scba_cycle_by_rank_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist/scba_cycle");
+    group.sample_size(10);
+    let device = DeviceBuilder::test_device(3, 2, 4).build();
+    let config = bench_config(16, 2, true);
+
+    let sequential = ScbaSolver::new(device.clone(), config.clone());
+    group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+        b.iter(|| sequential.run());
+    });
+    for n_ranks in [1usize, 2, 4] {
+        let solver =
+            DistScbaSolver::new(device.clone(), DistScbaConfig::new(config.clone(), n_ranks));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("ranks_{n_ranks}")),
+            &n_ranks,
+            |b, _| {
+                b.iter(|| solver.run());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn transposition_wire_formats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist/transposition");
+    group.sample_size(10);
+    let device = DeviceBuilder::test_device(4, 2, 6).build();
+    let config = bench_config(16, 2, true);
+    for (label, symmetry_reduced) in [("symmetry_reduced", true), ("full_wire", false)] {
+        let mut dist_config = DistScbaConfig::new(config.clone(), 4);
+        dist_config.symmetry_reduced = symmetry_reduced;
+        let solver = DistScbaSolver::new(device.clone(), dist_config);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| solver.run());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    scba_cycle_by_rank_count,
+    transposition_wire_formats
+);
+criterion_main!(benches);

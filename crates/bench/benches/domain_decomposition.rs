@@ -15,8 +15,19 @@ fn system(n_blocks: usize) -> BlockTridiagonal {
     let h = device.hamiltonian_bt();
     let flops = FlopCounter::new();
     assemble_g(
-        &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
-        ObcMethod::SanchoRubio, None, &flops,
+        &h,
+        1.0,
+        1e-3,
+        0,
+        None,
+        None,
+        None,
+        0.1,
+        -0.1,
+        0.0259,
+        ObcMethod::SanchoRubio,
+        None,
+        &flops,
     )
     .system
 }

@@ -10,7 +10,11 @@ use quatrex_device::DeviceCatalog;
 fn scba_iteration_by_device(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4/scba_iteration");
     group.sample_size(10);
-    let cases = [("NW-1", DeviceCatalog::nw1(), 26usize), ("NW-2", DeviceCatalog::nw2(), 126), ("NR-16", DeviceCatalog::nr16(), 213)];
+    let cases = [
+        ("NW-1", DeviceCatalog::nw1(), 26usize),
+        ("NW-2", DeviceCatalog::nw2(), 126),
+        ("NR-16", DeviceCatalog::nr16(), 213),
+    ];
     for (name, params, reduction) in cases {
         let device = reduced_device(&params, reduction);
         let solver = ScbaSolver::new(device, bench_config(8, 2, true));

@@ -22,7 +22,11 @@ fn lead_problem(dim: usize) -> (CMatrix, CMatrix, CMatrix) {
         cplx(-0.1 * (-((i as f64 - j as f64).abs()) / 2.0).exp(), 0.0)
     });
     let m = &CMatrix::scaled_identity(dim, cplx(1.6, 1e-2)) - &h0;
-    (m, h1.scaled(cplx(-1.0, 0.0)), h1.dagger().scaled(cplx(-1.0, 0.0)))
+    (
+        m,
+        h1.scaled(cplx(-1.0, 0.0)),
+        h1.dagger().scaled(cplx(-1.0, 0.0)),
+    )
 }
 
 fn retarded_obc_solvers(c: &mut Criterion) {
@@ -53,10 +57,15 @@ fn lyapunov_solvers(c: &mut Criterion) {
     group.sample_size(20);
     let dim = 16;
     let a = CMatrix::from_fn(dim, dim, |i, j| {
-        cplx(0.2 / (1.0 + (i as f64 - j as f64).abs()), 0.1 * ((i * j) as f64 * 0.07).sin())
+        cplx(
+            0.2 / (1.0 + (i as f64 - j as f64).abs()),
+            0.1 * ((i * j) as f64 * 0.07).sin(),
+        )
     });
-    let q = CMatrix::from_fn(dim, dim, |i, j| cplx(0.3 * (i as f64 + 1.0), 0.5 - 0.1 * j as f64))
-        .negf_antihermitian_part();
+    let q = CMatrix::from_fn(dim, dim, |i, j| {
+        cplx(0.3 * (i as f64 + 1.0), 0.5 - 0.1 * j as f64)
+    })
+    .negf_antihermitian_part();
     let warm = lyapunov_doubling(&a, &q, 1e-14, 60).unwrap().0;
     group.bench_function("fixed_point_cold", |b| {
         b.iter(|| lyapunov_fixed_point(&a, &q, None, 1e-12, 500).unwrap());

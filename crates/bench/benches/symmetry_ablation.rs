@@ -11,7 +11,9 @@ use quatrex_sparse::{BlockTridiagonal, SymmetricLesser};
 fn noisy_lesser(nb: usize, bs: usize) -> BlockTridiagonal {
     let mut bt = BlockTridiagonal::zeros(nb, bs);
     for i in 0..nb {
-        let raw = CMatrix::from_fn(bs, bs, |r, c| cplx((r * 3 + c + i) as f64 * 0.1, 0.3 - c as f64 * 0.05));
+        let raw = CMatrix::from_fn(bs, bs, |r, c| {
+            cplx((r * 3 + c + i) as f64 * 0.1, 0.3 - c as f64 * 0.05)
+        });
         bt.set_block(i, i, raw.negf_antihermitian_part());
     }
     for i in 0..nb - 1 {

@@ -28,13 +28,26 @@ fn weak_scaling_energy_ranks(c: &mut Criterion) {
                     let energy = 0.8 + 0.1 * ctx.rank() as f64;
                     let flops = FlopCounter::new();
                     let asm = assemble_g(
-                        &h, energy, 1e-3, ctx.rank(), None, None, None, 0.1, -0.1, 0.0259,
-                        ObcMethod::SanchoRubio, None, &flops,
+                        &h,
+                        energy,
+                        1e-3,
+                        ctx.rank(),
+                        None,
+                        None,
+                        None,
+                        0.1,
+                        -0.1,
+                        0.0259,
+                        ObcMethod::SanchoRubio,
+                        None,
+                        &flops,
                     );
                     let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser]).unwrap();
-                    let payload: Vec<f64> =
-                        (0..ctx.n_ranks()).map(|p| sol.lesser[0].diag(0)[(0, 0)].re + p as f64).collect();
-                    let send: Vec<Vec<f64>> = (0..ctx.n_ranks()).map(|p| vec![payload[p]; 64]).collect();
+                    let payload: Vec<f64> = (0..ctx.n_ranks())
+                        .map(|p| sol.lesser[0].diag(0)[(0, 0)].re + p as f64)
+                        .collect();
+                    let send: Vec<Vec<f64>> =
+                        (0..ctx.n_ranks()).map(|p| vec![payload[p]; 64]).collect();
                     let received = ctx.alltoall(send, 64 * 8);
                     received.iter().map(|v| v.iter().sum::<f64>()).sum::<f64>()
                 });

@@ -10,28 +10,88 @@ use quatrex_runtime::CommBackend;
 fn main() {
     println!("=== Figure 6: weak scaling over the energy grid (model series) ===\n");
     let cases = [
-        ("Frontier / NW-2", DeviceCatalog::nw2(), SystemModel::frontier(), 4usize, 1usize,
-         vec![2usize, 8, 32, 128, 512, 2048, 9_400]),
-        ("Frontier / NR-16", DeviceCatalog::nr16(), SystemModel::frontier(), 1, 1,
-         vec![2, 8, 32, 128, 512, 2048, 9_400]),
-        ("Frontier / NR-40 (P_S=4)", DeviceCatalog::nr40(), SystemModel::frontier(), 1, 4,
-         vec![8, 32, 128, 512, 2048, 9_400]),
-        ("Alps / NW-1", DeviceCatalog::nw1(), SystemModel::alps(), 80, 1,
-         vec![2, 8, 32, 128, 512, 1024, 2_350]),
-        ("Alps / NR-23", DeviceCatalog::nr23(), SystemModel::alps(), 1, 1,
-         vec![2, 8, 32, 128, 512, 1024, 2_350]),
-        ("Alps / NR-80 (P_S=4)", DeviceCatalog::nr80(), SystemModel::alps(), 1, 4,
-         vec![8, 32, 128, 512, 1024, 2_350]),
+        (
+            "Frontier / NW-2",
+            DeviceCatalog::nw2(),
+            SystemModel::frontier(),
+            4usize,
+            1usize,
+            vec![2usize, 8, 32, 128, 512, 2048, 9_400],
+        ),
+        (
+            "Frontier / NR-16",
+            DeviceCatalog::nr16(),
+            SystemModel::frontier(),
+            1,
+            1,
+            vec![2, 8, 32, 128, 512, 2048, 9_400],
+        ),
+        (
+            "Frontier / NR-40 (P_S=4)",
+            DeviceCatalog::nr40(),
+            SystemModel::frontier(),
+            1,
+            4,
+            vec![8, 32, 128, 512, 2048, 9_400],
+        ),
+        (
+            "Alps / NW-1",
+            DeviceCatalog::nw1(),
+            SystemModel::alps(),
+            80,
+            1,
+            vec![2, 8, 32, 128, 512, 1024, 2_350],
+        ),
+        (
+            "Alps / NR-23",
+            DeviceCatalog::nr23(),
+            SystemModel::alps(),
+            1,
+            1,
+            vec![2, 8, 32, 128, 512, 1024, 2_350],
+        ),
+        (
+            "Alps / NR-80 (P_S=4)",
+            DeviceCatalog::nr80(),
+            SystemModel::alps(),
+            1,
+            4,
+            vec![8, 32, 128, 512, 1024, 2_350],
+        ),
     ];
 
     for (label, device, system, energies_per_element, p_s, nodes) in cases {
         println!("--- {label} ---");
         println!(
             "{:>8} {:>10} {:>12} | {:>10} {:>10} {:>10} {:>7} | {:>10} {:>10} {:>10} {:>7}",
-            "nodes", "elements", "N_E", "ccl comp", "ccl comm", "ccl total", "eff[%]", "mpi comp", "mpi comm", "mpi total", "eff[%]"
+            "nodes",
+            "elements",
+            "N_E",
+            "ccl comp",
+            "ccl comm",
+            "ccl total",
+            "eff[%]",
+            "mpi comp",
+            "mpi comm",
+            "mpi total",
+            "eff[%]"
         );
-        let ccl = weak_scaling_series(&device, &system, CommBackend::Ccl, energies_per_element, p_s, &nodes);
-        let mpi = weak_scaling_series(&device, &system, CommBackend::HostMpi, energies_per_element, p_s, &nodes);
+        let ccl = weak_scaling_series(
+            &device,
+            &system,
+            CommBackend::Ccl,
+            energies_per_element,
+            p_s,
+            &nodes,
+        );
+        let mpi = weak_scaling_series(
+            &device,
+            &system,
+            CommBackend::HostMpi,
+            energies_per_element,
+            p_s,
+            &nodes,
+        );
         for (a, b) in ccl.iter().zip(mpi.iter()) {
             println!(
                 "{:>8} {:>10} {:>12} | {:>10.3} {:>10.3} {:>10.3} {:>7.1} | {:>10.3} {:>10.3} {:>10.3} {:>7.1}",
@@ -51,6 +111,8 @@ fn main() {
         println!();
     }
     println!("Expected shape (paper): flat scaling to ~128 nodes, *CCL best at small scale but");
-    println!("unstable beyond ~32 nodes (Frontier) / ~384 nodes (Alps), host MPI taking over at scale;");
+    println!(
+        "unstable beyond ~32 nodes (Frontier) / ~384 nodes (Alps), host MPI taking over at scale;"
+    );
     println!(">80% weak-scaling efficiency at the largest node counts for the NR devices.");
 }

@@ -15,17 +15,33 @@ fn measured_rgf_flops(n_blocks: usize, puc: usize) -> u64 {
     let h = device.hamiltonian_bt();
     let flops = FlopCounter::new();
     let asm = assemble_g(
-        &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
-        ObcMethod::SanchoRubio, None, &flops,
+        &h,
+        1.0,
+        1e-3,
+        0,
+        None,
+        None,
+        None,
+        0.1,
+        -0.1,
+        0.0259,
+        ObcMethod::SanchoRubio,
+        None,
+        &flops,
     );
-    rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater]).unwrap().flops
+    rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater])
+        .unwrap()
+        .flops
 }
 
 fn main() {
     println!("=== Table 1 (this work): per-iteration scalability O(N_E N_B N_BS^3) ===\n");
 
     println!("Analytic workload model (paper-calibrated):");
-    println!("{:<10} {:>14} {:>16} {:>18} {:>16}", "parameter", "param ratio", "workload ratio", "expected exponent", "fitted exponent");
+    println!(
+        "{:<10} {:>14} {:>16} {:>18} {:>16}",
+        "parameter", "param ratio", "workload ratio", "expected exponent", "fitted exponent"
+    );
     for row in table1_rows() {
         println!(
             "{:<10} {} {} {} {}",
@@ -42,7 +58,17 @@ fn main() {
     let base = measured_rgf_flops(6, 4);
     println!("{:<28} {:>16}", "N_B = 6,  N_BS = 8", base);
     let double_blocks = measured_rgf_flops(12, 4);
-    println!("{:<28} {:>16}   (x{:.2} for 2x N_B)", "N_B = 12, N_BS = 8", double_blocks, double_blocks as f64 / base as f64);
+    println!(
+        "{:<28} {:>16}   (x{:.2} for 2x N_B)",
+        "N_B = 12, N_BS = 8",
+        double_blocks,
+        double_blocks as f64 / base as f64
+    );
     let double_size = measured_rgf_flops(6, 8);
-    println!("{:<28} {:>16}   (x{:.2} for 2x N_BS, expect ~8)", "N_B = 6,  N_BS = 16", double_size, double_size as f64 / base as f64);
+    println!(
+        "{:<28} {:>16}   (x{:.2} for 2x N_BS, expect ~8)",
+        "N_B = 6,  N_BS = 16",
+        double_size,
+        double_size as f64 / base as f64
+    );
 }

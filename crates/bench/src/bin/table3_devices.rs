@@ -10,7 +10,15 @@ fn main() {
     println!("=== Table 3: nano-device structures ===\n");
     println!(
         "{:<8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>6} {:>14} {:>16}",
-        "device", "L_tot[nm]", "N_A", "N_AO", "N~_BS", "N_BS", "N_B", "H_nnz (paper)", "H_nnz (struct.)"
+        "device",
+        "L_tot[nm]",
+        "N_A",
+        "N_AO",
+        "N~_BS",
+        "N_BS",
+        "N_B",
+        "H_nnz (paper)",
+        "H_nnz (struct.)"
     );
     for row in table3_rows() {
         println!(

@@ -15,11 +15,21 @@ use quatrex_perf::{table4_breakdown, MachineModel};
 fn model_section() {
     println!("--- Full-scale model (workload [Tflop] / time [s]) ---\n");
     let cases = [
-        ("NW-1", DeviceCatalog::nw1(), MachineModel::mi250x_gcd(), 50usize),
+        (
+            "NW-1",
+            DeviceCatalog::nw1(),
+            MachineModel::mi250x_gcd(),
+            50usize,
+        ),
         ("NW-1", DeviceCatalog::nw1(), MachineModel::gh200(), 80),
         ("NW-2", DeviceCatalog::nw2(), MachineModel::mi250x_gcd(), 4),
         ("NW-2", DeviceCatalog::nw2(), MachineModel::gh200(), 6),
-        ("NR-16", DeviceCatalog::nr16(), MachineModel::mi250x_gcd(), 1),
+        (
+            "NR-16",
+            DeviceCatalog::nr16(),
+            MachineModel::mi250x_gcd(),
+            1,
+        ),
         ("NR-23", DeviceCatalog::nr23(), MachineModel::gh200(), 1),
     ];
     for (name, params, element, energies) in cases {
@@ -31,7 +41,12 @@ fn model_section() {
                 if memo { "yes" } else { "no" }
             );
             for row in &bd.rows {
-                println!("  {:<26} {}  {}", row.kernel, cell(row.workload_tflop), cell(row.time_s));
+                println!(
+                    "  {:<26} {}  {}",
+                    row.kernel,
+                    cell(row.workload_tflop),
+                    cell(row.time_s)
+                );
             }
             println!(
                 "  {:<26} {}  {}   -> {:>8.2} Tflop/s ({:.1}% of peak), {:.3} s/energy\n",

@@ -4,26 +4,44 @@
 
 use quatrex_bench::{bench_device, cell};
 use quatrex_core::assembly::{assemble_g, ObcMethod};
+use quatrex_device::DeviceCatalog;
 use quatrex_linalg::FlopCounter;
 use quatrex_perf::{table5_rows, MachineModel};
 use quatrex_rgf::{nested_dissection_invert, rgf_selected_inverse, NestedConfig};
-use quatrex_device::DeviceCatalog;
 
 fn model_section() {
     println!("--- Full-scale model (one energy point) ---\n");
     let cases = [
-        ("Frontier", DeviceCatalog::nr24(), MachineModel::mi250x_gcd(), 2usize),
-        ("Frontier", DeviceCatalog::nr40(), MachineModel::mi250x_gcd(), 4),
+        (
+            "Frontier",
+            DeviceCatalog::nr24(),
+            MachineModel::mi250x_gcd(),
+            2usize,
+        ),
+        (
+            "Frontier",
+            DeviceCatalog::nr40(),
+            MachineModel::mi250x_gcd(),
+            4,
+        ),
         ("Alps", DeviceCatalog::nr44(), MachineModel::gh200(), 2),
         ("Alps", DeviceCatalog::nr80(), MachineModel::gh200(), 4),
     ];
     for (machine, params, element, p_s) in cases {
         println!("{} / {} with P_S = {p_s}:", machine, params.name);
-        println!("  {:<20} {:>14} {:>12} {:>14}", "partition", "Tflop", "time [s]", "Tflop/s");
+        println!(
+            "  {:<20} {:>14} {:>12} {:>14}",
+            "partition", "Tflop", "time [s]", "Tflop/s"
+        );
         let rows = table5_rows(&params, p_s, &element);
         let mut total = 0.0;
         for row in &rows {
-            total += row.workload_tflop * if row.partition.starts_with("middle") { (p_s - 2) as f64 } else { 1.0 };
+            total += row.workload_tflop
+                * if row.partition.starts_with("middle") {
+                    (p_s - 2) as f64
+                } else {
+                    1.0
+                };
             println!(
                 "  {:<20} {} {} {}",
                 row.partition,
@@ -42,8 +60,19 @@ fn measured_section() {
     let h = device.hamiltonian_bt();
     let flops = FlopCounter::new();
     let asm = assemble_g(
-        &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
-        ObcMethod::SanchoRubio, None, &flops,
+        &h,
+        1.0,
+        1e-3,
+        0,
+        None,
+        None,
+        None,
+        0.1,
+        -0.1,
+        0.0259,
+        ObcMethod::SanchoRubio,
+        None,
+        &flops,
     );
     let seq = rgf_selected_inverse(&asm.system).unwrap();
     println!("sequential RGF:            {:>14} FLOPs", seq.flops);
@@ -61,7 +90,9 @@ fn measured_section() {
             report.reduced_system_blocks,
             report.reduced_system_flops,
             report.total_flops(),
-            report.boundary_to_middle_ratio().map(|r| (r * 100.0).round() / 100.0)
+            report
+                .boundary_to_middle_ratio()
+                .map(|r| (r * 100.0).round() / 100.0)
         );
     }
 }

@@ -8,7 +8,19 @@ fn main() {
     println!("=== Table 6: large-scale simulations on Alps and Frontier (model) ===\n");
     println!(
         "{:<10} {:<7} {:>4} {:>8} {:>10} {:>8} {:>9} {:>14} {:>10} {:>12} {:>9} {:>8} {:>8}",
-        "machine", "device", "P_S", "atoms", "energies", "nodes", "GPUs/GCDs", "work [Pflop]", "time [s]", "Pflop/s", "eff [%]", "%Rmax", "%Rpeak"
+        "machine",
+        "device",
+        "P_S",
+        "atoms",
+        "energies",
+        "nodes",
+        "GPUs/GCDs",
+        "work [Pflop]",
+        "time [s]",
+        "Pflop/s",
+        "eff [%]",
+        "%Rmax",
+        "%Rpeak"
     );
     for row in table6_rows() {
         println!(

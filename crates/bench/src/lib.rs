@@ -86,7 +86,7 @@ mod tests {
     #[test]
     fn cell_formats_small_and_large_values() {
         assert!(cell(12345.6).contains("12345.6"));
-        assert!(cell(3.14159).contains("3.142"));
+        assert!(cell(4.56789).contains("4.568"));
         assert!(cell(0.001234).contains("0.00123"));
     }
 }

@@ -104,7 +104,8 @@ fn solve_surface(
             ObcMethod::SanchoRubio => sancho_rubio(m, n, nprime, 1e-9, 400),
             ObcMethod::Beyn => beyn(m, n, nprime, &BeynConfig::default()),
         };
-        let attempts: [Box<dyn Fn() -> Result<quatrex_obc::ObcSolution, quatrex_obc::ObcError>>; 5] = [
+        let attempts: [Box<dyn Fn() -> Result<quatrex_obc::ObcSolution, quatrex_obc::ObcError>>;
+            5] = [
             Box::new(primary),
             Box::new(|| sancho_rubio(m, n, nprime, 1e-8, 600)),
             Box::new(|| beyn(m, n, nprime, &BeynConfig::default())),
@@ -131,7 +132,10 @@ fn solve_surface(
         Some((memo, key)) => {
             let dim = m.nrows();
             let iterate = |x: &CMatrix| {
-                flops.add(kind, 2 * gemm_flops(dim, dim, dim) + 8 * (dim as u64).pow(3));
+                flops.add(
+                    kind,
+                    2 * gemm_flops(dim, dim, dim) + 8 * (dim as u64).pow(3),
+                );
                 let nxn = matmul(&matmul(n, x), nprime);
                 quatrex_linalg::lu::inverse(&(m - &nxn)).unwrap_or_else(|_| x.clone())
             };
@@ -171,15 +175,24 @@ pub fn assemble_g(
     if let Some(sr) = sigma_r {
         system = system.add(c64::new(-1.0, 0.0), sr);
     }
-    let mut rhs_lesser = sigma_lesser.cloned().unwrap_or_else(|| BlockTridiagonal::zeros(nb, bs));
-    let mut rhs_greater = sigma_greater.cloned().unwrap_or_else(|| BlockTridiagonal::zeros(nb, bs));
+    let mut rhs_lesser = sigma_lesser
+        .cloned()
+        .unwrap_or_else(|| BlockTridiagonal::zeros(nb, bs));
+    let mut rhs_greater = sigma_greater
+        .cloned()
+        .unwrap_or_else(|| BlockTridiagonal::zeros(nb, bs));
 
     // --- retarded OBC --------------------------------------------------------
     // Left lead: periodic continuation of the first transport cell.
     let m_l = system.diag(0).clone();
     let n_l = system.lower(0).clone(); // M̃_{i,i-1}
     let np_l = system.upper(0).clone(); // M̃_{i-1,i}
-    let key_l = ObcKey { contact: Contact::Left, subsystem: Subsystem::Electron, component: 0, energy_index };
+    let key_l = ObcKey {
+        contact: Contact::Left,
+        subsystem: Subsystem::Electron,
+        component: 0,
+        energy_index,
+    };
     let (x_l, mode_l) = solve_surface(
         &m_l,
         &n_l,
@@ -194,13 +207,18 @@ pub fn assemble_g(
     let m_r = system.diag(nb - 1).clone();
     let n_r = system.upper(nb - 2).clone(); // M̃_{i,i+1}
     let np_r = system.lower(nb - 2).clone(); // M̃_{i+1,i}
-    let key_r = ObcKey { contact: Contact::Right, subsystem: Subsystem::Electron, component: 0, energy_index };
+    let key_r = ObcKey {
+        contact: Contact::Right,
+        subsystem: Subsystem::Electron,
+        component: 0,
+        energy_index,
+    };
     let (x_r, mode_r) = solve_surface(
         &m_r,
         &n_r,
         &np_r,
         obc_method,
-        memoizer.as_deref_mut().map(|m| (m, key_r)),
+        memoizer.map(|m| (m, key_r)),
         flops,
         FlopKind::GObc,
     );
@@ -281,7 +299,11 @@ fn truncate_to_bt(banded: &BlockBanded) -> (BlockTridiagonal, f64) {
         }
     }
     let total = kept + dropped;
-    let err = if total > 0.0 { (dropped / total).sqrt() } else { 0.0 };
+    let err = if total > 0.0 {
+        (dropped / total).sqrt()
+    } else {
+        0.0
+    };
     (bt, err)
 }
 
@@ -335,7 +357,12 @@ pub fn assemble_w(
     let m_l = system.diag(0).clone();
     let n_l = system.lower(0).clone();
     let np_l = system.upper(0).clone();
-    let key_l = ObcKey { contact: Contact::Left, subsystem: Subsystem::ScreenedCoulomb, component: 0, energy_index };
+    let key_l = ObcKey {
+        contact: Contact::Left,
+        subsystem: Subsystem::ScreenedCoulomb,
+        component: 0,
+        energy_index,
+    };
     let (w_l, _) = solve_surface(
         &m_l,
         &n_l,
@@ -349,7 +376,12 @@ pub fn assemble_w(
     let m_r = system.diag(nb - 1).clone();
     let n_r = system.upper(nb - 2).clone();
     let np_r = system.lower(nb - 2).clone();
-    let key_r = ObcKey { contact: Contact::Right, subsystem: Subsystem::ScreenedCoulomb, component: 0, energy_index };
+    let key_r = ObcKey {
+        contact: Contact::Right,
+        subsystem: Subsystem::ScreenedCoulomb,
+        component: 0,
+        energy_index,
+    };
     let (w_r, _) = solve_surface(
         &m_r,
         &n_r,
@@ -373,18 +405,18 @@ pub fn assemble_w(
     // inhomogeneity q≶ = x^R_w · B≶_lead · x^R_w†, the semi-infinite
     // continuation of the truncated RHS into the contacts.
     let bs_dim = bs;
-    let mut add_lesser_obc = |surface: &CMatrix,
-                              coupling: &CMatrix,
-                              lead_rhs_l: &CMatrix,
-                              lead_rhs_g: &CMatrix,
-                              block: usize,
-                              memo: Option<&mut ObcMemoizer>,
-                              contact: Contact| {
+    let add_lesser_obc = |surface: &CMatrix,
+                          coupling: &CMatrix,
+                          lead_rhs_l: &CMatrix,
+                          lead_rhs_g: &CMatrix,
+                          block: usize,
+                          memo: Option<&mut ObcMemoizer>,
+                          contact: Contact| {
         let a_prop = matmul(surface, coupling);
         let q_l = matmul(&matmul(surface, lead_rhs_l), &surface.dagger());
         let q_g = matmul(&matmul(surface, lead_rhs_g), &surface.dagger());
         flops.add(FlopKind::WLyapunov, 5 * gemm_flops(bs_dim, bs_dim, bs_dim));
-        let mut solve_one = |q: &CMatrix, component: u8, memo: Option<&mut ObcMemoizer>| -> CMatrix {
+        let solve_one = |q: &CMatrix, component: u8, memo: Option<&mut ObcMemoizer>| -> CMatrix {
             let direct = || {
                 lyapunov_doubling(&a_prop, q, 1e-12, 60)
                     .map(|(w, _, fl)| {
@@ -395,7 +427,12 @@ pub fn assemble_w(
             };
             match memo {
                 Some(memo) => {
-                    let key = ObcKey { contact, subsystem: Subsystem::ScreenedCoulomb, component, energy_index };
+                    let key = ObcKey {
+                        contact,
+                        subsystem: Subsystem::ScreenedCoulomb,
+                        component,
+                        energy_index,
+                    };
                     let (w, _) = memo.solve(
                         key,
                         |x| {
@@ -445,7 +482,7 @@ pub fn assemble_w(
         &lead_rhs_l_right,
         &lead_rhs_g_right,
         nb - 1,
-        memoizer.as_deref_mut(),
+        memoizer,
         Contact::Right,
     );
     {
@@ -501,8 +538,19 @@ mod tests {
         let (h, _) = device_bt();
         let flops = FlopCounter::new();
         let asm = assemble_g(
-            &h, 1.2, 1e-4, 0, None, None, None, 0.2, -0.2, 0.0259,
-            ObcMethod::SanchoRubio, None, &flops,
+            &h,
+            1.2,
+            1e-4,
+            0,
+            None,
+            None,
+            None,
+            0.2,
+            -0.2,
+            0.0259,
+            ObcMethod::SanchoRubio,
+            None,
+            &flops,
         );
         let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater]).unwrap();
         // DOS = i(G^R − G^A) diagonal must be non-negative.
@@ -526,13 +574,35 @@ mod tests {
         let (h, _) = device_bt();
         let flops = FlopCounter::new();
         let low = assemble_g(
-            &h, -3.0, 1e-4, 0, None, None, None, 0.0, 0.0, 0.0259,
-            ObcMethod::SanchoRubio, None, &flops,
+            &h,
+            -3.0,
+            1e-4,
+            0,
+            None,
+            None,
+            None,
+            0.0,
+            0.0,
+            0.0259,
+            ObcMethod::SanchoRubio,
+            None,
+            &flops,
         );
         assert!(low.sigma_obc_left_greater.norm_max() < 1e-8);
         let high = assemble_g(
-            &h, 3.0, 1e-4, 1, None, None, None, 0.0, 0.0, 0.0259,
-            ObcMethod::SanchoRubio, None, &flops,
+            &h,
+            3.0,
+            1e-4,
+            1,
+            None,
+            None,
+            None,
+            0.0,
+            0.0,
+            0.0259,
+            ObcMethod::SanchoRubio,
+            None,
+            &flops,
         );
         assert!(high.sigma_obc_left_lesser.norm_max() < 1e-8);
     }
@@ -543,13 +613,35 @@ mod tests {
         let flops = FlopCounter::new();
         let mut memo = ObcMemoizer::new(20, 1e-8);
         let first = assemble_g(
-            &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
-            ObcMethod::SanchoRubio, Some(&mut memo), &flops,
+            &h,
+            1.0,
+            1e-3,
+            0,
+            None,
+            None,
+            None,
+            0.1,
+            -0.1,
+            0.0259,
+            ObcMethod::SanchoRubio,
+            Some(&mut memo),
+            &flops,
         );
         assert_eq!(first.obc_modes.0, ObcMode::Direct);
         let second = assemble_g(
-            &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
-            ObcMethod::SanchoRubio, Some(&mut memo), &flops,
+            &h,
+            1.0,
+            1e-3,
+            0,
+            None,
+            None,
+            None,
+            0.1,
+            -0.1,
+            0.0259,
+            ObcMethod::SanchoRubio,
+            Some(&mut memo),
+            &flops,
         );
         assert!(matches!(second.obc_modes.0, ObcMode::Memoized { .. }));
         assert!(memo.stats().hit_rate() > 0.0);
@@ -572,7 +664,11 @@ mod tests {
             p_g.set_block(i, i, CMatrix::scaled_identity(bs, cplx(0.0, -0.04)));
         }
         let asm = assemble_w(&v, &p_r, &p_l, &p_g, 0, ObcMethod::Beyn, None, &flops);
-        assert!(asm.truncation_error < 0.2, "truncation error {}", asm.truncation_error);
+        assert!(
+            asm.truncation_error < 0.2,
+            "truncation error {}",
+            asm.truncation_error
+        );
         // The W system must be solvable and produce symmetric lesser output.
         let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser]).unwrap();
         assert!(sol.lesser[0].negf_symmetry_error() < 1e-8);

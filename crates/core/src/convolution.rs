@@ -15,6 +15,12 @@
 //! energy-major (one matrix per energy, the layout of the RGF solves) to
 //! element-major (one energy series per stored matrix element, the layout the
 //! FFT needs) — the step that maps to the `Alltoall` of Fig. 3.
+//!
+//! The per-element kernels ([`polarization_series`], [`self_energy_series`],
+//! [`causal_retarded_series`]) are public so the distributed driver
+//! (`quatrex-dist`), which owns *element slices* after a real all-to-all
+//! transposition, executes exactly the same code path as the single-process
+//! functions below — the equivalence tests rely on this.
 
 use quatrex_fft::{convolve, fft, ifft, next_power_of_two};
 use quatrex_linalg::flops::{FlopCounter, FlopKind};
@@ -26,14 +32,20 @@ use rayon::prelude::*;
 pub type EnergyResolved = Vec<BlockTridiagonal>;
 
 /// Identifier of one stored block position of the BT pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BlockPos {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockPos {
+    /// Diagonal block `(i, i)`.
     Diag(usize),
+    /// First superdiagonal block `(i, i+1)`.
     Upper(usize),
+    /// First subdiagonal block `(i+1, i)`.
     Lower(usize),
 }
 
-fn block_positions(nb: usize) -> Vec<BlockPos> {
+/// All stored block positions of an `nb`-block BT pattern, in the fixed
+/// enumeration order shared by every driver (diagonals first, then
+/// upper/lower pairs).
+pub fn block_positions(nb: usize) -> Vec<BlockPos> {
     let mut v = Vec::with_capacity(3 * nb - 2);
     for i in 0..nb {
         v.push(BlockPos::Diag(i));
@@ -45,7 +57,8 @@ fn block_positions(nb: usize) -> Vec<BlockPos> {
     v
 }
 
-fn get_block<'a>(x: &'a BlockTridiagonal, pos: BlockPos) -> &'a CMatrix {
+/// Shared reference to the block at `pos`.
+pub fn get_block(x: &BlockTridiagonal, pos: BlockPos) -> &CMatrix {
     match pos {
         BlockPos::Diag(i) => x.diag(i),
         BlockPos::Upper(i) => x.upper(i),
@@ -53,7 +66,8 @@ fn get_block<'a>(x: &'a BlockTridiagonal, pos: BlockPos) -> &'a CMatrix {
     }
 }
 
-fn transposed_position(pos: BlockPos) -> BlockPos {
+/// The block position holding the transposed element.
+pub fn transposed_position(pos: BlockPos) -> BlockPos {
     match pos {
         BlockPos::Diag(i) => BlockPos::Diag(i),
         BlockPos::Upper(i) => BlockPos::Lower(i),
@@ -61,7 +75,8 @@ fn transposed_position(pos: BlockPos) -> BlockPos {
     }
 }
 
-fn set_block(x: &mut BlockTridiagonal, pos: BlockPos, block: CMatrix) {
+/// Overwrite the block at `pos`.
+pub fn set_block(x: &mut BlockTridiagonal, pos: BlockPos, block: CMatrix) {
     match pos {
         BlockPos::Diag(i) => x.set_block(i, i, block),
         BlockPos::Upper(i) => x.set_block(i, i + 1, block),
@@ -69,8 +84,77 @@ fn set_block(x: &mut BlockTridiagonal, pos: BlockPos, block: CMatrix) {
     }
 }
 
+/// One stored scalar element of the BT pattern: block position plus the
+/// in-block row/column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementId {
+    /// Stored block position.
+    pub pos: BlockPos,
+    /// Row within the block.
+    pub row: usize,
+    /// Column within the block.
+    pub col: usize,
+}
+
+impl ElementId {
+    /// The element at the transposed matrix position `(j, i)`.
+    pub fn mirror(self) -> ElementId {
+        ElementId {
+            pos: transposed_position(self.pos),
+            row: self.col,
+            col: self.row,
+        }
+    }
+
+    /// True for diagonal elements that are their own mirror.
+    pub fn is_self_mirror(self) -> bool {
+        matches!(self.pos, BlockPos::Diag(_)) && self.row == self.col
+    }
+
+    /// Value of this element in an energy-major BT quantity at one energy.
+    pub fn value_in(self, x: &BlockTridiagonal) -> c64 {
+        get_block(x, self.pos)[(self.row, self.col)]
+    }
+}
+
+/// The canonical (symmetry-reduced) element set of Section 5.2: the upper
+/// triangle of every diagonal block plus every element of the superdiagonal
+/// blocks. Together with its mirrors (recovered through the NEGF symmetry
+/// `X^≶_ij = −X^≶*_ji`), it spans the full stored pattern.
+pub fn canonical_elements(nb: usize, bs: usize) -> Vec<ElementId> {
+    let mut v = Vec::new();
+    for i in 0..nb {
+        for r in 0..bs {
+            for c in r..bs {
+                v.push(ElementId {
+                    pos: BlockPos::Diag(i),
+                    row: r,
+                    col: c,
+                });
+            }
+        }
+    }
+    for i in 0..nb - 1 {
+        for r in 0..bs {
+            for c in 0..bs {
+                v.push(ElementId {
+                    pos: BlockPos::Upper(i),
+                    row: r,
+                    col: c,
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Number of stored scalar values per energy point of the full BT pattern.
+pub fn stored_values(nb: usize, bs: usize) -> usize {
+    (3 * nb - 2) * bs * bs
+}
+
 /// Gather the energy series of one scalar element (`pos`, r, c).
-fn element_series(x: &EnergyResolved, pos: BlockPos, r: usize, c: usize) -> Vec<c64> {
+pub fn element_series(x: &EnergyResolved, pos: BlockPos, r: usize, c: usize) -> Vec<c64> {
     x.iter().map(|bt| get_block(bt, pos)[(r, c)]).collect()
 }
 
@@ -79,6 +163,93 @@ fn element_series(x: &EnergyResolved, pos: BlockPos, r: usize, c: usize) -> Vec<
 fn cross_correlate(a: &[c64], b: &[c64]) -> Vec<c64> {
     let b_rev: Vec<c64> = b.iter().rev().copied().collect();
     convolve(a, &b_rev)
+}
+
+/// Per-element polarisation kernel: given the energy series of `G^<_ij`,
+/// `G^>_ji`, `G^>_ij` and `G^<_ji`, return the series of `P^<_ij` and
+/// `P^>_ij` on the same grid (transfer energy centred at zero).
+///
+/// This is the exact computation the energy-major [`polarization_from_g`]
+/// performs for one element; the distributed driver calls it on its element
+/// slice after the all-to-all transposition.
+pub fn polarization_series(
+    g_lesser_ij: &[c64],
+    g_greater_ji: &[c64],
+    g_greater_ij: &[c64],
+    g_lesser_ji: &[c64],
+    de: f64,
+    flops: &FlopCounter,
+) -> (Vec<c64>, Vec<c64>) {
+    let ne = g_lesser_ij.len();
+    let prefactor = c64::new(0.0, -de / (2.0 * std::f64::consts::PI));
+    let zero_lag = ne - 1;
+    let half = ne / 2;
+    // lesser: Σ_E G^<_ij(E) G^>_ji(E − ω)
+    let corr_l = cross_correlate(g_lesser_ij, g_greater_ji);
+    // greater: Σ_E G^>_ij(E) G^<_ji(E − ω)
+    let corr_g = cross_correlate(g_greater_ij, g_lesser_ji);
+    flops.add(
+        FlopKind::Convolution,
+        2 * quatrex_fft::convolution_flops(ne, ne),
+    );
+    let pick = |corr: &[c64]| -> Vec<c64> {
+        (0..ne)
+            .map(|j| {
+                let lag = j as isize - half as isize;
+                let idx = zero_lag as isize + lag;
+                prefactor * corr[idx as usize]
+            })
+            .collect()
+    };
+    (pick(&corr_l), pick(&corr_g))
+}
+
+/// Per-element GW self-energy kernel: given the energy series of `G^≶_ij` and
+/// `W^≶_ij`, return the series of `Σ^<_ij` and `Σ^>_ij`.
+pub fn self_energy_series(
+    g_lesser_ij: &[c64],
+    g_greater_ij: &[c64],
+    w_lesser_ij: &[c64],
+    w_greater_ij: &[c64],
+    de: f64,
+    flops: &FlopCounter,
+) -> (Vec<c64>, Vec<c64>) {
+    let ne = g_lesser_ij.len();
+    let prefactor = c64::new(0.0, de / (2.0 * std::f64::consts::PI));
+    let half = ne / 2;
+    // Σ_ω G(E_k − ω)·W(ω): convolution; the ω grid is centred at zero, so the
+    // output index k corresponds to conv[k + half].
+    let conv_l = convolve(w_lesser_ij, g_lesser_ij);
+    let conv_g = convolve(w_greater_ij, g_greater_ij);
+    flops.add(
+        FlopKind::Convolution,
+        2 * quatrex_fft::convolution_flops(ne, ne),
+    );
+    let pick = |conv: &[c64]| -> Vec<c64> { (0..ne).map(|k| prefactor * conv[k + half]).collect() };
+    (pick(&conv_l), pick(&conv_g))
+}
+
+/// Per-element causality construction: `X^R(t) = θ(t)·[X^>(t) − X^<(t)]`
+/// evaluated with FFTs over the energy axis, returning the retarded series.
+pub fn causal_retarded_series(lesser: &[c64], greater: &[c64], flops: &FlopCounter) -> Vec<c64> {
+    let ne = lesser.len();
+    let nfft = next_power_of_two(ne);
+    let mut spectral: Vec<c64> = vec![c64::new(0.0, 0.0); nfft];
+    for k in 0..ne {
+        spectral[k] = greater[k] - lesser[k];
+    }
+    // To pseudo-time, apply the Heaviside step, back to energy.
+    ifft(&mut spectral);
+    for (t, v) in spectral.iter_mut().enumerate() {
+        if t == 0 {
+            *v *= 0.5;
+        } else if t >= nfft / 2 {
+            *v = c64::new(0.0, 0.0);
+        }
+    }
+    fft(&mut spectral);
+    flops.add(FlopKind::Convolution, 2 * quatrex_fft::fft_flops(nfft));
+    spectral[..ne].to_vec()
 }
 
 /// Compute the lesser and greater polarisation from the lesser/greater Green's
@@ -97,9 +268,6 @@ pub fn polarization_from_g(
     assert!(ne >= 2);
     let nb = g_lesser[0].n_blocks();
     let bs = g_lesser[0].block_size();
-    let prefactor = c64::new(0.0, -de / (2.0 * std::f64::consts::PI));
-    let zero_lag = ne - 1;
-    let half = ne / 2;
 
     let positions = block_positions(nb);
     let per_position: Vec<(BlockPos, Vec<(usize, usize, Vec<c64>, Vec<c64>)>)> = positions
@@ -113,21 +281,8 @@ pub fn polarization_from_g(
                     let gg_t = element_series(g_greater, tpos, c, r);
                     let gg = element_series(g_greater, pos, r, c);
                     let gl_t = element_series(g_lesser, tpos, c, r);
-                    // lesser: Σ_E G^<_ij(E) G^>_ji(E − ω)
-                    let corr_l = cross_correlate(&gl, &gg_t);
-                    // greater: Σ_E G^>_ij(E) G^<_ji(E − ω)
-                    let corr_g = cross_correlate(&gg, &gl_t);
-                    flops.add(FlopKind::Convolution, 2 * quatrex_fft::convolution_flops(ne, ne));
-                    let pick = |corr: &[c64]| -> Vec<c64> {
-                        (0..ne)
-                            .map(|j| {
-                                let lag = j as isize - half as isize;
-                                let idx = zero_lag as isize + lag;
-                                prefactor * corr[idx as usize]
-                            })
-                            .collect()
-                    };
-                    elements.push((r, c, pick(&corr_l), pick(&corr_g)));
+                    let (pl, pg) = polarization_series(&gl, &gg_t, &gg, &gl_t, de, flops);
+                    elements.push((r, c, pl, pg));
                 }
             }
             (pos, elements)
@@ -172,8 +327,6 @@ pub fn self_energy_from_gw(
     assert_eq!(ne, w_lesser.len());
     let nb = g_lesser[0].n_blocks();
     let bs = g_lesser[0].block_size();
-    let prefactor = c64::new(0.0, de / (2.0 * std::f64::consts::PI));
-    let half = ne / 2;
 
     let positions = block_positions(nb);
     let per_position: Vec<(BlockPos, Vec<(usize, usize, Vec<c64>, Vec<c64>)>)> = positions
@@ -186,16 +339,8 @@ pub fn self_energy_from_gw(
                     let gg = element_series(g_greater, pos, r, c);
                     let wl = element_series(w_lesser, pos, r, c);
                     let wg = element_series(w_greater, pos, r, c);
-                    // Σ_ω G(E_k − ω)·W(ω): convolution; the ω grid is centred
-                    // at zero, so the output index k corresponds to
-                    // conv[k + half].
-                    let conv_l = convolve(&wl, &gl);
-                    let conv_g = convolve(&wg, &gg);
-                    flops.add(FlopKind::Convolution, 2 * quatrex_fft::convolution_flops(ne, ne));
-                    let pick = |conv: &[c64]| -> Vec<c64> {
-                        (0..ne).map(|k| prefactor * conv[k + half]).collect()
-                    };
-                    elements.push((r, c, pick(&conv_l), pick(&conv_g)));
+                    let (sl, sg) = self_energy_series(&gl, &gg, &wl, &wg, de, flops);
+                    elements.push((r, c, sl, sg));
                 }
             }
             (pos, elements)
@@ -230,7 +375,6 @@ pub fn retarded_from_lesser_greater(
     let ne = lesser.len();
     let nb = lesser[0].n_blocks();
     let bs = lesser[0].block_size();
-    let nfft = next_power_of_two(ne);
 
     let positions = block_positions(nb);
     let per_position: Vec<(BlockPos, Vec<(usize, usize, Vec<c64>)>)> = positions
@@ -241,22 +385,7 @@ pub fn retarded_from_lesser_greater(
                 for c in 0..bs {
                     let l = element_series(lesser, pos, r, c);
                     let g = element_series(greater, pos, r, c);
-                    let mut spectral: Vec<c64> = vec![c64::new(0.0, 0.0); nfft];
-                    for k in 0..ne {
-                        spectral[k] = g[k] - l[k];
-                    }
-                    // To pseudo-time, apply the Heaviside step, back to energy.
-                    ifft(&mut spectral);
-                    for (t, v) in spectral.iter_mut().enumerate() {
-                        if t == 0 {
-                            *v *= 0.5;
-                        } else if t >= nfft / 2 {
-                            *v = c64::new(0.0, 0.0);
-                        }
-                    }
-                    fft(&mut spectral);
-                    flops.add(FlopKind::Convolution, 2 * quatrex_fft::fft_flops(nfft));
-                    elements.push((r, c, spectral[..ne].to_vec()));
+                    elements.push((r, c, causal_retarded_series(&l, &g, flops)));
                 }
             }
             (pos, elements)
@@ -300,7 +429,10 @@ mod tests {
                 }
                 for i in 0..nb - 1 {
                     let u = CMatrix::from_fn(bs, bs, |r, c| {
-                        cplx(0.02 * (r as f64 - c as f64), sign * 0.01 * (k + i) as f64 / ne as f64)
+                        cplx(
+                            0.02 * (r as f64 - c as f64),
+                            sign * 0.01 * (k + i) as f64 / ne as f64,
+                        )
                     });
                     bt.set_block(i, i + 1, u.clone());
                     bt.set_block(i + 1, i, u.dagger().scaled(cplx(-1.0, 0.0)));
@@ -372,7 +504,8 @@ mod tests {
                 if kp < 0 || kp >= ne as isize {
                     continue;
                 }
-                acc += get_block(&gl[kp as usize], pos)[(r, c)] * get_block(&wl[j as usize], pos)[(r, c)];
+                acc += get_block(&gl[kp as usize], pos)[(r, c)]
+                    * get_block(&wl[j as usize], pos)[(r, c)];
             }
             let expect = c64::new(0.0, de / (2.0 * std::f64::consts::PI)) * acc;
             let got = get_block(&sl[k], pos)[(r, c)];
@@ -389,8 +522,22 @@ mod tests {
         let r = retarded_from_lesser_greater(&l, &g, &flops);
         assert_eq!(r.len(), ne);
         // Scaling both inputs scales the output (linearity).
-        let l2: EnergyResolved = l.iter().map(|bt| { let mut b = bt.clone(); b.scale_mut(cplx(2.0, 0.0)); b }).collect();
-        let g2: EnergyResolved = g.iter().map(|bt| { let mut b = bt.clone(); b.scale_mut(cplx(2.0, 0.0)); b }).collect();
+        let l2: EnergyResolved = l
+            .iter()
+            .map(|bt| {
+                let mut b = bt.clone();
+                b.scale_mut(cplx(2.0, 0.0));
+                b
+            })
+            .collect();
+        let g2: EnergyResolved = g
+            .iter()
+            .map(|bt| {
+                let mut b = bt.clone();
+                b.scale_mut(cplx(2.0, 0.0));
+                b
+            })
+            .collect();
         let r2 = retarded_from_lesser_greater(&l2, &g2, &flops);
         for k in 0..ne {
             let scaled = {
@@ -413,6 +560,58 @@ mod tests {
         symmetrize_all(&mut x);
         for bt in &x {
             assert!(bt.negf_symmetry_error() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn canonical_elements_with_mirrors_cover_the_stored_pattern_exactly_once() {
+        let (nb, bs) = (4, 3);
+        let canon = canonical_elements(nb, bs);
+        let mut seen = std::collections::HashSet::new();
+        for e in &canon {
+            assert!(
+                seen.insert((e.pos, e.row, e.col)),
+                "duplicate canonical {e:?}"
+            );
+            if !e.is_self_mirror() {
+                let m = e.mirror();
+                assert!(seen.insert((m.pos, m.row, m.col)), "mirror collides {m:?}");
+            }
+        }
+        assert_eq!(seen.len(), stored_values(nb, bs));
+        // Count matches the closed form used by the volume model.
+        assert_eq!(canon.len(), nb * bs * (bs + 1) / 2 + (nb - 1) * bs * bs);
+    }
+
+    #[test]
+    fn element_kernels_match_the_energy_major_drivers() {
+        // The per-element kernels must produce bit-identical series to the
+        // energy-major drivers: the distributed solver depends on it.
+        let ne = 16;
+        let gl = synthetic_g(ne, 3, 2, 1.0);
+        let gg = synthetic_g(ne, 3, 2, -1.0);
+        let de = 0.05;
+        let flops = FlopCounter::new();
+        let (pl, pg) = polarization_from_g(&gl, &gg, de, &flops);
+        for e in canonical_elements(3, 2) {
+            let (r, c) = (e.row, e.col);
+            let tpos = transposed_position(e.pos);
+            let series_gl = element_series(&gl, e.pos, r, c);
+            let series_gg_t = element_series(&gg, tpos, c, r);
+            let series_gg = element_series(&gg, e.pos, r, c);
+            let series_gl_t = element_series(&gl, tpos, c, r);
+            let (kl, kg) = polarization_series(
+                &series_gl,
+                &series_gg_t,
+                &series_gg,
+                &series_gl_t,
+                de,
+                &flops,
+            );
+            for j in 0..ne {
+                assert_eq!(kl[j], e.value_in(&pl[j]), "lesser {e:?} at {j}");
+                assert_eq!(kg[j], e.value_in(&pg[j]), "greater {e:?} at {j}");
+            }
         }
     }
 }

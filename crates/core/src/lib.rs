@@ -25,9 +25,16 @@ pub mod observables;
 pub mod scba;
 
 pub use assembly::{GAssembly, ObcMethod, WAssembly};
-pub use convolution::{polarization_from_g, retarded_from_lesser_greater, self_energy_from_gw, EnergyResolved};
+pub use convolution::{
+    block_positions, canonical_elements, causal_retarded_series, element_series,
+    polarization_from_g, polarization_series, retarded_from_lesser_greater, self_energy_from_gw,
+    self_energy_series, stored_values, symmetrize_all, BlockPos, ElementId, EnergyResolved,
+};
 pub use observables::{Observables, SpectralData};
-pub use scba::{KernelTimings, ScbaConfig, ScbaResult, ScbaSolver};
+pub use scba::{
+    g_step_energy, mix_sigma_energy, w_step_energy, GStepOutput, KernelTimings, ScbaConfig,
+    ScbaResult, ScbaSolver, WStepOutput,
+};
 
 pub use quatrex_device::Device;
 pub use quatrex_linalg::{c64, CMatrix};

@@ -60,7 +60,9 @@ pub struct KernelTimings {
 }
 
 impl KernelTimings {
-    fn add(&self, slot: &AtomicU64, start: Instant) {
+    /// Accumulate the wall time elapsed since `start` into `slot` (one of the
+    /// fields of this struct).
+    pub fn add(&self, slot: &AtomicU64, start: Instant) {
         slot.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
@@ -87,6 +89,171 @@ impl KernelTimings {
             ("Other", s(&self.other_ns)),
         ]
     }
+}
+
+/// Output of one per-energy G-step: the selected Green's function blocks and
+/// the spectral quantities derived from them.
+pub struct GStepOutput {
+    /// Selected blocks of `G^R`.
+    pub retarded: BlockTridiagonal,
+    /// Selected blocks of `G^<` (symmetrised if configured).
+    pub lesser: BlockTridiagonal,
+    /// Selected blocks of `G^>` (symmetrised if configured).
+    pub greater: BlockTridiagonal,
+    /// Energy-resolved current at the left contact.
+    pub current_spectrum: f64,
+    /// Local density of states per transport cell.
+    pub dos_local: Vec<f64>,
+}
+
+/// Run the G-step for a single energy point: assembly (with OBCs), RGF solve,
+/// symmetrisation and spectral observables.
+///
+/// Both the single-process [`ScbaSolver`] and the distributed
+/// `quatrex_dist::DistScbaSolver` drive their energy loops through this one
+/// function, so their per-energy numerics are identical by construction.
+#[allow(clippy::too_many_arguments)]
+pub fn g_step_energy(
+    h: &BlockTridiagonal,
+    energy: f64,
+    energy_index: usize,
+    config: &ScbaConfig,
+    kt: f64,
+    sigma_r: Option<&BlockTridiagonal>,
+    sigma_lesser: Option<&BlockTridiagonal>,
+    sigma_greater: Option<&BlockTridiagonal>,
+    memoizer: Option<&mut ObcMemoizer>,
+    flops: &FlopCounter,
+    timings: &KernelTimings,
+) -> Result<GStepOutput, RgfError> {
+    let t0 = Instant::now();
+    let asm = assemble_g(
+        h,
+        energy,
+        config.eta,
+        energy_index,
+        sigma_r,
+        sigma_lesser,
+        sigma_greater,
+        config.mu_left,
+        config.mu_right,
+        kt,
+        config.obc_method_g,
+        memoizer,
+        flops,
+    );
+    timings.add(&timings.g_assembly_ns, t0);
+
+    let t1 = Instant::now();
+    let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater])?;
+    flops.add(FlopKind::GRgf, sol.flops);
+    timings.add(&timings.g_rgf_ns, t1);
+
+    let mut lesser = sol.lesser[0].clone();
+    let mut greater = sol.lesser[1].clone();
+    if config.enforce_symmetry {
+        lesser.symmetrize_negf();
+        greater.symmetrize_negf();
+    }
+    let current_spectrum = current_spectrum_left(
+        &asm.sigma_obc_left_lesser,
+        &asm.sigma_obc_left_greater,
+        lesser.diag(0),
+        greater.diag(0),
+    );
+    let dos_local = local_dos(&sol.retarded);
+    Ok(GStepOutput {
+        retarded: sol.retarded,
+        lesser,
+        greater,
+        current_spectrum,
+        dos_local,
+    })
+}
+
+/// Output of one per-energy W-step.
+pub struct WStepOutput {
+    /// Selected blocks of `W^<` (symmetrised if configured).
+    pub lesser: BlockTridiagonal,
+    /// Selected blocks of `W^>` (symmetrised if configured).
+    pub greater: BlockTridiagonal,
+    /// Fraction of banded-product weight dropped by the BT truncation.
+    pub truncation: f64,
+}
+
+/// Run the W-step for a single (boson) energy point: assembly of
+/// `I − V·P^R` with its OBCs, RGF solve and symmetrisation. Shared between
+/// the single-process and distributed drivers like [`g_step_energy`].
+#[allow(clippy::too_many_arguments)]
+pub fn w_step_energy(
+    coulomb: &BlockTridiagonal,
+    p_retarded: &BlockTridiagonal,
+    p_lesser: &BlockTridiagonal,
+    p_greater: &BlockTridiagonal,
+    energy_index: usize,
+    config: &ScbaConfig,
+    memoizer: Option<&mut ObcMemoizer>,
+    flops: &FlopCounter,
+    timings: &KernelTimings,
+) -> Result<WStepOutput, RgfError> {
+    let t0 = Instant::now();
+    let asm = assemble_w(
+        coulomb,
+        p_retarded,
+        p_lesser,
+        p_greater,
+        energy_index,
+        config.obc_method_w,
+        memoizer,
+        flops,
+    );
+    timings.add(&timings.w_assembly_ns, t0);
+
+    let t1 = Instant::now();
+    let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater])?;
+    flops.add(FlopKind::WRgf, sol.flops);
+    timings.add(&timings.w_rgf_ns, t1);
+    let mut lesser = sol.lesser[0].clone();
+    let mut greater = sol.lesser[1].clone();
+    if config.enforce_symmetry {
+        lesser.symmetrize_negf();
+        greater.symmetrize_negf();
+    }
+    Ok(WStepOutput {
+        lesser,
+        greater,
+        truncation: asm.truncation_error,
+    })
+}
+
+/// Linearly mix the new self-energies of one energy point into the previous
+/// iteration's (`mixed = mix·new + (1−mix)·old`, applied to `Σ^<`, `Σ^>` and
+/// `Σ^R` in place) and return this energy's contribution to the convergence
+/// norms: `(‖Σ^<_new − Σ^<_old‖²_F, ‖Σ^<_new‖²_F)`.
+///
+/// Shared between both drivers so the mixing arithmetic and the residual are
+/// computed identically.
+pub fn mix_sigma_energy(
+    sigma_l: &mut BlockTridiagonal,
+    sigma_g: &mut BlockTridiagonal,
+    sigma_r: &mut BlockTridiagonal,
+    new_l: &BlockTridiagonal,
+    new_g: &BlockTridiagonal,
+    new_r: &BlockTridiagonal,
+    mix: f64,
+) -> (f64, f64) {
+    let mix_into = |old: &BlockTridiagonal, new: &BlockTridiagonal| -> BlockTridiagonal {
+        let mut mixed = new.clone();
+        mixed.scale_mut(quatrex_linalg::c64::new(mix, 0.0));
+        mixed.add(quatrex_linalg::c64::new(1.0 - mix, 0.0), old)
+    };
+    let diff = new_l.add(quatrex_linalg::c64::new(-1.0, 0.0), sigma_l);
+    let update_sq = diff.norm_fro().powi(2);
+    let reference_sq = new_l.norm_fro().powi(2);
+    *sigma_l = mix_into(sigma_l, new_l);
+    *sigma_g = mix_into(sigma_g, new_g);
+    *sigma_r = mix_into(sigma_r, new_r);
+    (update_sq, reference_sq)
 }
 
 /// Configuration of an SCBA run.
@@ -178,12 +345,20 @@ impl ScbaSolver {
     /// Create a solver for `device` with the given configuration.
     pub fn new(device: Device, config: ScbaConfig) -> Self {
         let grid = device.default_energy_grid(config.n_energies);
-        Self { device, config, grid }
+        Self {
+            device,
+            config,
+            grid,
+        }
     }
 
     /// Create a solver with an explicit energy grid.
     pub fn with_grid(device: Device, config: ScbaConfig, grid: EnergyGrid) -> Self {
-        Self { device, config, grid }
+        Self {
+            device,
+            config,
+            grid,
+        }
     }
 
     /// The energy grid used by the solver.
@@ -253,59 +428,27 @@ impl ScbaSolver {
             iterations += 1;
 
             // ------------------------------------------------------------ G step
-            struct GOut {
-                retarded: BlockTridiagonal,
-                lesser: BlockTridiagonal,
-                greater: BlockTridiagonal,
-                current_spectrum: f64,
-                dos_local: Vec<f64>,
-            }
-            let g_results: Vec<Result<GOut, RgfError>> = (0..ne)
+            let g_results: Vec<Result<GStepOutput, RgfError>> = (0..ne)
                 .into_par_iter()
                 .map(|k| {
-                    let t0 = Instant::now();
                     let mut memo_guard = if self.config.use_memoizer {
                         Some(memoizers[k].lock())
                     } else {
                         None
                     };
-                    let asm = assemble_g(
+                    g_step_energy(
                         &h,
                         energies[k],
-                        self.config.eta,
                         k,
+                        &self.config,
+                        kt,
                         Some(&sigma_r[k]),
                         Some(&sigma_l[k]),
                         Some(&sigma_g[k]),
-                        self.config.mu_left,
-                        self.config.mu_right,
-                        kt,
-                        self.config.obc_method_g,
                         memo_guard.as_deref_mut(),
                         &flops,
-                    );
-                    drop(memo_guard);
-                    timings.add(&timings.g_assembly_ns, t0);
-
-                    let t1 = Instant::now();
-                    let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater])?;
-                    flops.add(FlopKind::GRgf, sol.flops);
-                    timings.add(&timings.g_rgf_ns, t1);
-
-                    let mut lesser = sol.lesser[0].clone();
-                    let mut greater = sol.lesser[1].clone();
-                    if self.config.enforce_symmetry {
-                        lesser.symmetrize_negf();
-                        greater.symmetrize_negf();
-                    }
-                    let current_spectrum = current_spectrum_left(
-                        &asm.sigma_obc_left_lesser,
-                        &asm.sigma_obc_left_greater,
-                        lesser.diag(0),
-                        greater.diag(0),
-                    );
-                    let dos_local = local_dos(&sol.retarded);
-                    Ok(GOut { retarded: sol.retarded, lesser, greater, current_spectrum, dos_local })
+                        &timings,
+                    )
                 })
                 .collect();
 
@@ -351,44 +494,25 @@ impl ScbaSolver {
             timings.add(&timings.convolution_ns, t2);
 
             // ------------------------------------------------------------ W step
-            struct WOut {
-                lesser: BlockTridiagonal,
-                greater: BlockTridiagonal,
-                truncation: f64,
-            }
-            let w_results: Vec<Result<WOut, RgfError>> = (0..ne)
+            let w_results: Vec<Result<WStepOutput, RgfError>> = (0..ne)
                 .into_par_iter()
                 .map(|k| {
-                    let t0 = Instant::now();
                     let mut memo_guard = if self.config.use_memoizer {
                         Some(memoizers[k].lock())
                     } else {
                         None
                     };
-                    let asm = assemble_w(
+                    w_step_energy(
                         &v,
                         &p_retarded[k],
                         &p_lesser[k],
                         &p_greater[k],
                         k,
-                        self.config.obc_method_w,
+                        &self.config,
                         memo_guard.as_deref_mut(),
                         &flops,
-                    );
-                    drop(memo_guard);
-                    timings.add(&timings.w_assembly_ns, t0);
-
-                    let t1 = Instant::now();
-                    let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater])?;
-                    flops.add(FlopKind::WRgf, sol.flops);
-                    timings.add(&timings.w_rgf_ns, t1);
-                    let mut lesser = sol.lesser[0].clone();
-                    let mut greater = sol.lesser[1].clone();
-                    if self.config.enforce_symmetry {
-                        lesser.symmetrize_negf();
-                        greater.symmetrize_negf();
-                    }
-                    Ok(WOut { lesser, greater, truncation: asm.truncation_error })
+                        &timings,
+                    )
                 })
                 .collect();
             let mut w_lesser: EnergyResolved = Vec::with_capacity(ne);
@@ -408,27 +532,26 @@ impl ScbaSolver {
                 symmetrize_all(&mut s_lesser_new);
                 symmetrize_all(&mut s_greater_new);
             }
-            let s_retarded_new = retarded_from_lesser_greater(&s_lesser_new, &s_greater_new, &flops);
+            let s_retarded_new =
+                retarded_from_lesser_greater(&s_lesser_new, &s_greater_new, &flops);
             timings.add(&timings.convolution_ns, t3);
 
             // Mixing and convergence check.
             let t4 = Instant::now();
-            let mix = self.config.mixing;
             let mut update_norm = 0.0f64;
             let mut reference_norm = 0.0f64;
-            let mix_into = |old: &BlockTridiagonal, new: &BlockTridiagonal| -> BlockTridiagonal {
-                let mut mixed = new.clone();
-                mixed.scale_mut(quatrex_linalg::c64::new(mix, 0.0));
-                mixed.add(quatrex_linalg::c64::new(1.0 - mix, 0.0), old)
-            };
             for k in 0..ne {
-                let diff = s_lesser_new[k].add(quatrex_linalg::c64::new(-1.0, 0.0), &sigma_l[k]);
-                update_norm += diff.norm_fro().powi(2);
-                reference_norm += s_lesser_new[k].norm_fro().powi(2);
-
-                sigma_l[k] = mix_into(&sigma_l[k], &s_lesser_new[k]);
-                sigma_g[k] = mix_into(&sigma_g[k], &s_greater_new[k]);
-                sigma_r[k] = mix_into(&sigma_r[k], &s_retarded_new[k]);
+                let (update_sq, reference_sq) = mix_sigma_energy(
+                    &mut sigma_l[k],
+                    &mut sigma_g[k],
+                    &mut sigma_r[k],
+                    &s_lesser_new[k],
+                    &s_greater_new[k],
+                    &s_retarded_new[k],
+                    self.config.mixing,
+                );
+                update_norm += update_sq;
+                reference_norm += reference_sq;
             }
             timings.add(&timings.other_ns, t4);
             let residual = if reference_norm > 0.0 {
@@ -543,7 +666,11 @@ mod tests {
         let solver = ScbaSolver::new(small_device(), cfg);
         let res = solver.run();
         assert!(res.iterations >= 2);
-        assert!(res.memoizer_hit_rate > 0.2, "hit rate {}", res.memoizer_hit_rate);
+        assert!(
+            res.memoizer_hit_rate > 0.2,
+            "hit rate {}",
+            res.memoizer_hit_rate
+        );
     }
 
     #[test]
@@ -556,7 +683,10 @@ mod tests {
         let gw = ScbaSolver::new(small_device(), cfg).run();
         let rel_diff = (gw.observables.current - ballistic.observables.current).abs()
             / ballistic.observables.current.abs().max(1e-12);
-        assert!(rel_diff > 1e-6, "GW correction had no effect (diff {rel_diff})");
+        assert!(
+            rel_diff > 1e-6,
+            "GW correction had no effect (diff {rel_diff})"
+        );
     }
 
     #[test]

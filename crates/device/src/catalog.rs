@@ -125,7 +125,10 @@ impl DeviceCatalog {
     /// Table 3): 1,056 atoms and 3,408 orbitals per transport cell of length
     /// 2.172 nm, the Intel-like 1.5×5 nm² cross-section.
     pub fn nanoribbon(n_blocks: usize) -> DeviceParams {
-        assert!(n_blocks >= 2, "a transport device needs at least two transport cells");
+        assert!(
+            n_blocks >= 2,
+            "a transport device needs at least two transport cells"
+        );
         DeviceParams {
             name: format!("NR-{n_blocks}"),
             length_nm: 2.172 * n_blocks as f64,
@@ -254,9 +257,17 @@ mod tests {
     fn structural_nnz_has_the_right_order_of_magnitude() {
         // The structural estimate should be within a factor ~3 of the paper's
         // reported numbers (which account for the exact sparsity pattern).
-        for d in [DeviceCatalog::nw2(), DeviceCatalog::nr16(), DeviceCatalog::nr40()] {
+        for d in [
+            DeviceCatalog::nw2(),
+            DeviceCatalog::nr16(),
+            DeviceCatalog::nr40(),
+        ] {
             let ratio = d.h_nnz_structural() as f64 / d.h_nnz_paper;
-            assert!(ratio > 0.3 && ratio < 3.0, "device {} ratio {ratio}", d.name);
+            assert!(
+                ratio > 0.3 && ratio < 3.0,
+                "device {} ratio {ratio}",
+                d.name
+            );
         }
     }
 
@@ -284,7 +295,11 @@ mod tests {
         // 4 MLWFs per Si and 1 per H gives ~2.4-3.3 orbitals per atom.
         for d in DeviceCatalog::all() {
             let opa = d.orbitals_per_atom();
-            assert!(opa > 2.0 && opa < 3.5, "device {} has {opa} orbitals/atom", d.name);
+            assert!(
+                opa > 2.0 && opa < 3.5,
+                "device {} has {opa} orbitals/atom",
+                d.name
+            );
         }
     }
 }

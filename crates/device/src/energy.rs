@@ -20,7 +20,11 @@ impl EnergyGrid {
     pub fn new(e_min: f64, e_max: f64, n_points: usize) -> Self {
         assert!(n_points >= 2, "an energy grid needs at least two points");
         assert!(e_max > e_min, "e_max must exceed e_min");
-        Self { e_min, e_max, n_points }
+        Self {
+            e_min,
+            e_max,
+            n_points,
+        }
     }
 
     /// Number of energy points `N_E`.

@@ -121,7 +121,7 @@ impl DeviceBuilder {
     /// Staggered on-site energy of orbital `o` (±`onsite_gap_ev` around the
     /// reference), opening a band gap of roughly `2·onsite_gap_ev`.
     fn onsite(&self, orbital: usize) -> f64 {
-        let sign = if orbital % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if orbital.is_multiple_of(2) { 1.0 } else { -1.0 };
         self.onsite_center_ev + sign * self.onsite_gap_ev
     }
 
@@ -180,8 +180,14 @@ impl DeviceBuilder {
     /// Construct the device: Hamiltonian and Coulomb matrices in the
     /// primitive-cell block-banded tiling, plus metadata.
     pub fn build(&self) -> Device {
-        assert!(self.puc_size >= 2, "need at least two orbitals per primitive cell");
-        assert!(self.n_u >= 1 && self.n_blocks >= 2, "need N_U >= 1 and N_B >= 2");
+        assert!(
+            self.puc_size >= 2,
+            "need at least two orbitals per primitive cell"
+        );
+        assert!(
+            self.n_u >= 1 && self.n_blocks >= 2,
+            "need N_U >= 1 and N_B >= 2"
+        );
         let n_cells = self.n_u * self.n_blocks;
         let (h_diag, h_offs) = self.hamiltonian_cell_blocks();
         let (v_diag, v_offs) = self.coulomb_cell_blocks();
@@ -261,7 +267,11 @@ impl Device {
     /// Hamiltonian diagonal, e.g. the linear source-to-drain potential drop of
     /// a biased transistor. `potential.len()` must equal `n_blocks`.
     pub fn apply_potential(&mut self, potential: &[f64]) {
-        assert_eq!(potential.len(), self.n_blocks, "one potential value per transport cell");
+        assert_eq!(
+            potential.len(),
+            self.n_blocks,
+            "one potential value per transport cell"
+        );
         let n_cells = self.n_u * self.n_blocks;
         for cell in 0..n_cells {
             let tc = cell / self.n_u;
@@ -340,8 +350,16 @@ mod tests {
         let below = re.iter().filter(|&&e| e < dev.onsite_center_ev).count();
         let above = re.iter().filter(|&&e| e > dev.onsite_center_ev).count();
         assert!(below > 0 && above > 0);
-        let homo = re.iter().filter(|&&e| e < dev.onsite_center_ev).cloned().fold(f64::MIN, f64::max);
-        let lumo = re.iter().filter(|&&e| e > dev.onsite_center_ev).cloned().fold(f64::MAX, f64::min);
+        let homo = re
+            .iter()
+            .filter(|&&e| e < dev.onsite_center_ev)
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        let lumo = re
+            .iter()
+            .filter(|&&e| e > dev.onsite_center_ev)
+            .cloned()
+            .fold(f64::MAX, f64::min);
         // Hybridisation narrows the nominal 2·Δ gap; a clear gap (> 0.2 eV)
         // around the reference energy is what the transport window relies on.
         assert!(lumo - homo > 0.2, "gap {} too small", lumo - homo);

@@ -1,0 +1,61 @@
+//! # quatrex-dist
+//!
+//! Distributed SCBA execution: the `G → P → W → Σ` cycle across simulated
+//! ranks — the paper's headline contribution made executable at laptop scale.
+//!
+//! ## The two-level decomposition
+//!
+//! The paper (Sections 5.1–5.4) distributes the NEGF+scGW workload along two
+//! axes. The **energy axis** first: the OBC, assembly and RGF phases are
+//! embarrassingly parallel over the `N_E` energy points, so every rank owns a
+//! contiguous slice of them ([`partition`], balanced by the memoizer-aware
+//! cost model of `quatrex-perf`). The **spatial axis** second: devices whose
+//! matrices exceed one memory domain split each energy group over `P_S`
+//! spatial partitions via the nested-dissection solver (an open item, see
+//! ROADMAP.md).
+//!
+//! ## The transposition dataflow
+//!
+//! The P and Σ energy convolutions need the *opposite* layout — all energies
+//! of a few matrix elements. The cycle therefore transposes data between the
+//! energy-major and element-major layouts with real `Alltoallv` collectives
+//! (Fig. 3), four times per iteration:
+//!
+//! ```text
+//!  energy-major ranks                element-major ranks
+//!  ┌───────────────────┐  #1 G^≶  ┌──────────────────────┐
+//!  │ OBC+assembly+RGF  │ ───────> │ P^≶ convolutions     │
+//!  │ (per energy)      │ <─────── │ + causal P^R         │
+//!  └───────────────────┘  #2 P    └──────────────────────┘
+//!  ┌───────────────────┐  #3 W^≶  ┌──────────────────────┐
+//!  │ W assembly + RGF  │ ───────> │ Σ^≶ convolutions     │
+//!  │ (per energy)      │ <─────── │ + causal Σ^R         │
+//!  └───────────────────┘  #4 Σ    └──────────────────────┘
+//! ```
+//!
+//! Lesser/greater quantities travel symmetry-reduced (Section 5.2): only the
+//! canonical elements ship, the mirrors are reconstructed from
+//! `X^≶_ij = −X^≶*_ji` at the destination. Every byte is accounted by the
+//! communicator, and [`DistReport`] compares the measured volumes against the
+//! analytic [`quatrex_runtime::TranspositionVolume`] model — the measured
+//! numbers can then drive the Fig. 6 weak-scaling reproduction
+//! (`quatrex_perf::weak_scaling_series_measured`) instead of estimates.
+//!
+//! ## Equivalence with the sequential solver
+//!
+//! Every per-energy and per-element kernel is shared with
+//! `quatrex_core::ScbaSolver` (`g_step_energy`, `w_step_energy`, the
+//! `*_series` convolution kernels, `mix_sigma_energy`), so
+//! [`DistScbaSolver`] reproduces the sequential observables to well below
+//! `1e-10` relative error at any rank count — see
+//! `crates/dist/tests/equivalence.rs`.
+
+pub mod partition;
+pub mod report;
+pub mod slab;
+pub mod solver;
+
+pub use partition::{energy_cost_weights, partition_weighted};
+pub use report::{DistReport, TranspositionBudget};
+pub use slab::{BackComponent, ElementSlab, EnergySlab, TranspositionPlan, BYTES_PER_VALUE};
+pub use solver::{DistScbaConfig, DistScbaResult, DistScbaSolver};

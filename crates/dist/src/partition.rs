@@ -1,0 +1,140 @@
+//! Work partitioning for the two-level decomposition.
+//!
+//! The paper spreads the `N_E` energy points across ranks (the first level of
+//! the decomposition, Section 5.1); within an energy group the spatial
+//! partitions form the second level (an open item, see ROADMAP.md). Energy
+//! points are balanced by *cost weights* — by default uniform, or produced
+//! from the memoizer-aware per-energy workload model of `quatrex-perf` when
+//! the device has a catalogue parameter set.
+
+use std::ops::Range;
+
+use quatrex_device::DeviceParams;
+use quatrex_perf::WorkloadModel;
+
+/// Split `0..weights.len()` into `n_parts` contiguous ranges whose weight
+/// sums are as balanced as a contiguous split allows: the `p`-th boundary is
+/// placed where the weight prefix sum crosses `(p+1)/n_parts` of the total.
+///
+/// Every index is covered exactly once; ranges may be empty when there are
+/// more parts than items.
+pub fn partition_weighted(weights: &[f64], n_parts: usize) -> Vec<Range<usize>> {
+    assert!(n_parts >= 1);
+    let n = weights.len();
+    let total: f64 = weights.iter().sum();
+    let mut ranges = Vec::with_capacity(n_parts);
+    let mut start = 0usize;
+    let mut acc = 0.0f64;
+    for p in 0..n_parts {
+        let target = total * (p + 1) as f64 / n_parts as f64;
+        let mut end = start;
+        // Leave enough items for the remaining parts to be non-empty when
+        // possible, and claim at least one item if any are left.
+        let parts_after = n_parts - p - 1;
+        let max_end = n - parts_after.min(n.saturating_sub(start));
+        while end < max_end && (end == start || acc + weights[end] <= target + 1e-12 * total.abs())
+        {
+            acc += weights[end];
+            end += 1;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    // Any tail (possible only through rounding) goes to the last part.
+    if start < n {
+        let last = ranges.last_mut().expect("n_parts >= 1");
+        *last = last.start..n;
+    }
+    ranges
+}
+
+/// Per-energy cost weights for an SCBA iteration.
+///
+/// With a catalogue parameter set available, the weights come from the
+/// memoizer-aware [`WorkloadModel`] (`quatrex-perf`): every energy performs
+/// the same per-kernel work in the model, so the weight is the per-energy
+/// total — the partitioner then reduces to an equal-count split, but the
+/// plumbing accepts arbitrary per-energy weights (e.g. measured wall times
+/// from a previous iteration) without changing the callers.
+pub fn energy_cost_weights(
+    params: Option<&DeviceParams>,
+    use_memoizer: bool,
+    n_energies: usize,
+) -> Vec<f64> {
+    match params {
+        Some(p) => {
+            let model = WorkloadModel::new(p.clone(), use_memoizer);
+            let per_energy = model.per_energy().total().max(f64::MIN_POSITIVE);
+            vec![per_energy; n_energies]
+        }
+        None => vec![1.0; n_energies],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_covers(ranges: &[Range<usize>], n: usize) {
+        let mut next = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, next, "ranges must be contiguous");
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges must cover 0..{n}");
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let w = vec![1.0; 16];
+        for n_parts in [1usize, 2, 4, 8, 16] {
+            let ranges = partition_weighted(&w, n_parts);
+            assert_covers(&ranges, 16);
+            for r in &ranges {
+                assert_eq!(r.len(), 16 / n_parts);
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_counts_differ_by_at_most_one() {
+        let w = vec![1.0; 10];
+        let ranges = partition_weighted(&w, 3);
+        assert_covers(&ranges, 10);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4), "{sizes:?}");
+    }
+
+    #[test]
+    fn skewed_weights_move_the_boundaries() {
+        // First half of the grid is 9x more expensive: the first of two parts
+        // must take far fewer items.
+        let mut w = vec![9.0; 8];
+        w.extend(vec![1.0; 8]);
+        let ranges = partition_weighted(&w, 2);
+        assert_covers(&ranges, 16);
+        assert!(ranges[0].len() < ranges[1].len(), "{ranges:?}");
+        let s0: f64 = w[ranges[0].clone()].iter().sum();
+        let s1: f64 = w[ranges[1].clone()].iter().sum();
+        assert!((s0 - s1).abs() <= 9.0, "loads {s0} vs {s1}");
+    }
+
+    #[test]
+    fn more_parts_than_items_yields_empty_tails() {
+        let w = vec![1.0; 3];
+        let ranges = partition_weighted(&w, 5);
+        assert_covers(&ranges, 3);
+        assert_eq!(ranges.iter().filter(|r| !r.is_empty()).count(), 3);
+    }
+
+    #[test]
+    fn model_weights_are_positive_and_uniform() {
+        let params = quatrex_device::DeviceCatalog::nw1();
+        let w = energy_cost_weights(Some(&params), true, 12);
+        assert_eq!(w.len(), 12);
+        assert!(w.iter().all(|&x| x > 0.0));
+        assert!(w.windows(2).all(|p| p[0] == p[1]));
+        let uniform = energy_cost_weights(None, true, 5);
+        assert_eq!(uniform, vec![1.0; 5]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Measured-vs-modelled accounting of a distributed SCBA run.
+//!
+//! [`TranspositionBudget`] turns the plan geometry into the *predicted*
+//! per-iteration all-to-all volume using the same
+//! [`TranspositionVolume`] model that drives the Fig. 6 weak-scaling
+//! reproduction; [`DistReport`] pairs that prediction with the *measured*
+//! byte counts of the run, per phase, so the scaling model can be fed with
+//! real volumes instead of analytic estimates
+//! (`quatrex_perf::weak_scaling_series_measured`).
+
+use quatrex_runtime::TranspositionVolume;
+
+/// Predicted all-to-all volume of one full SCBA iteration.
+///
+/// Per iteration the cycle performs four transpositions (Fig. 3):
+/// `G^≶` forward (2 symmetric components), `P` backward (2 symmetric + `P^R`
+/// full), `W^≶` forward (2 symmetric) and `Σ` backward (2 symmetric + `Σ^R`
+/// full) — 8 symmetry-reducible components plus 2 full ones.
+#[derive(Debug, Clone)]
+pub struct TranspositionBudget {
+    /// Volume of one symmetry-reducible component (`G^≶`, `P^≶`, `W^≶`, `Σ^≶`).
+    pub symmetric_component: TranspositionVolume,
+    /// Volume of one full component (`P^R`, `Σ^R`).
+    pub full_component: TranspositionVolume,
+}
+
+impl TranspositionBudget {
+    /// Budget for a pattern with `nnz` stored values per energy.
+    pub fn new(nnz: usize, n_energies: usize, n_ranks: usize, symmetry_reduced: bool) -> Self {
+        Self {
+            symmetric_component: TranspositionVolume::new(
+                nnz,
+                n_energies,
+                n_ranks,
+                symmetry_reduced,
+            ),
+            full_component: TranspositionVolume::new(nnz, n_energies, n_ranks, false),
+        }
+    }
+
+    /// Predicted bytes of one full iteration (all four transpositions).
+    pub fn bytes_per_iteration(&self) -> u64 {
+        8 * self.symmetric_component.total_bytes() + 2 * self.full_component.total_bytes()
+    }
+
+    /// Predicted bytes for `full_iterations` iterations of the cycle.
+    pub fn total_bytes(&self, full_iterations: usize) -> u64 {
+        self.bytes_per_iteration() * full_iterations as u64
+    }
+}
+
+/// Measured execution report of one [`crate::DistScbaSolver`] run.
+#[derive(Debug, Clone)]
+pub struct DistReport {
+    /// Ranks used.
+    pub n_ranks: usize,
+    /// Energy points per rank.
+    pub energies_per_rank: Vec<usize>,
+    /// Canonical elements per rank.
+    pub elements_per_rank: Vec<usize>,
+    /// Whether the wire format was symmetry-reduced (Section 5.2).
+    pub symmetry_reduced: bool,
+    /// Iterations that executed the P/W/Σ phases (and hence all four
+    /// transpositions). A ballistic run has zero.
+    pub full_iterations: usize,
+    /// Measured off-rank bytes of the energy↔element transpositions alone.
+    pub measured_transposition_bytes: u64,
+    /// Measured off-rank bytes of *all* all-to-all traffic, including the
+    /// small ordered gathers of norms and spectra
+    /// (`CommStats::alltoall_bytes` of the run).
+    pub measured_alltoall_bytes: u64,
+    /// Off-rank all-to-all bytes sent by the busiest rank.
+    pub measured_max_bytes_per_rank: u64,
+    /// Bytes moved by the allreduce collectives.
+    pub measured_allreduce_bytes: u64,
+    /// Number of collectives executed.
+    pub n_collectives: u64,
+    /// Predicted volume from the analytic model.
+    pub budget: TranspositionBudget,
+}
+
+impl DistReport {
+    /// Predicted bytes for the iterations that actually ran.
+    pub fn predicted_alltoall_bytes(&self) -> u64 {
+        self.budget.total_bytes(self.full_iterations)
+    }
+
+    /// Relative deviation of the measured energy↔element transposition
+    /// volume from the model: `(measured − predicted) / predicted`, using the
+    /// exact transposition counter (the small ordered gathers of norms and
+    /// spectra are excluded — they are not part of what
+    /// [`TranspositionVolume`] models). Zero when nothing was predicted and
+    /// nothing measured.
+    pub fn volume_agreement(&self) -> f64 {
+        let predicted = self.predicted_alltoall_bytes();
+        if predicted == 0 {
+            return if self.measured_transposition_bytes == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+        }
+        (self.measured_transposition_bytes as f64 - predicted as f64) / predicted as f64
+    }
+
+    /// Measured per-rank transposition bytes of **one** SCBA iteration — the
+    /// quantity `quatrex_perf::weak_scaling_series_measured` consumes (its
+    /// analytic counterpart is the per-iteration Alltoall volume of the
+    /// weak-scaling model). Zero when no full iteration ran.
+    pub fn measured_bytes_per_rank_per_iteration(&self) -> u64 {
+        if self.full_iterations == 0 {
+            return 0;
+        }
+        self.measured_transposition_bytes / self.n_ranks as u64 / self.full_iterations as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_counts_ten_components() {
+        let b = TranspositionBudget::new(1000, 32, 4, false);
+        // All components full: 10 × one-component volume.
+        assert_eq!(b.bytes_per_iteration(), 10 * b.full_component.total_bytes());
+        let b = TranspositionBudget::new(1000, 32, 4, true);
+        assert!(b.bytes_per_iteration() < 10 * b.full_component.total_bytes());
+        assert_eq!(b.total_bytes(3), 3 * b.bytes_per_iteration());
+    }
+
+    #[test]
+    fn agreement_is_relative_deviation_of_the_transposition_counter() {
+        let budget = TranspositionBudget::new(100, 8, 2, false);
+        let predicted = budget.total_bytes(2);
+        let report = DistReport {
+            n_ranks: 2,
+            energies_per_rank: vec![4, 4],
+            elements_per_rank: vec![10, 10],
+            symmetry_reduced: false,
+            full_iterations: 2,
+            measured_transposition_bytes: predicted + predicted / 100,
+            measured_alltoall_bytes: predicted + predicted / 10,
+            measured_max_bytes_per_rank: predicted / 2,
+            measured_allreduce_bytes: 64,
+            n_collectives: 12,
+            budget,
+        };
+        // The agreement uses the exact transposition counter, not the total
+        // that includes the ordered gathers.
+        assert!((report.volume_agreement() - 0.01).abs() < 2e-3);
+        // Per-iteration, per-rank: total / ranks / iterations.
+        assert_eq!(
+            report.measured_bytes_per_rank_per_iteration(),
+            report.measured_transposition_bytes / 2 / 2
+        );
+    }
+
+    #[test]
+    fn per_iteration_volume_is_zero_without_full_iterations() {
+        let budget = TranspositionBudget::new(100, 8, 2, true);
+        let report = DistReport {
+            n_ranks: 2,
+            energies_per_rank: vec![4, 4],
+            elements_per_rank: vec![10, 10],
+            symmetry_reduced: true,
+            full_iterations: 0,
+            measured_transposition_bytes: 0,
+            measured_alltoall_bytes: 128,
+            measured_max_bytes_per_rank: 64,
+            measured_allreduce_bytes: 64,
+            n_collectives: 4,
+            budget,
+        };
+        assert_eq!(report.measured_bytes_per_rank_per_iteration(), 0);
+        assert_eq!(report.volume_agreement(), 0.0);
+    }
+}

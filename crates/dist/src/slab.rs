@@ -1,0 +1,532 @@
+//! Owned data layouts of the two-level decomposition and their
+//! (de)serialisation into all-to-all payloads.
+//!
+//! The SCBA cycle alternates between two layouts (paper Fig. 3):
+//!
+//! * **energy-major** ([`EnergySlab`]): each rank owns a contiguous slice of
+//!   energy points and stores one block-tridiagonal matrix per energy — the
+//!   layout of the OBC + assembly + RGF phases;
+//! * **element-major** ([`ElementSlab`]): each rank owns a contiguous slice of
+//!   the *canonical element list* and stores, per element, the full energy
+//!   series — the layout of the P/Σ convolutions (FFTs over energy).
+//!
+//! [`TranspositionPlan`] fixes both partitions and the wire format of the
+//! `Alltoallv` messages that convert between them. With
+//! `symmetry_reduced = true` (Section 5.2) only the canonical elements travel
+//! — the mirror elements are reconstructed from the NEGF symmetry
+//! `X^≶_ij = −X^≶*_ji` at the receiving side, halving the volume exactly as
+//! [`quatrex_runtime::TranspositionVolume`] models. Retarded quantities do not
+//! obey the symmetry, so their backward transposition always ships canonical
+//! and mirror elements.
+
+use std::ops::Range;
+
+use quatrex_core::convolution::{canonical_elements, ElementId};
+use quatrex_core::EnergyResolved;
+use quatrex_linalg::c64;
+use quatrex_sparse::BlockTridiagonal;
+
+use crate::partition::partition_weighted;
+
+/// Bytes on the wire per complex value (complex128).
+pub const BYTES_PER_VALUE: usize = 16;
+
+/// A rank's energy-major slice of one or more BT quantities.
+#[derive(Debug, Clone)]
+pub struct EnergySlab {
+    /// Global energy indices owned by this rank.
+    pub energies: Range<usize>,
+    /// `components[c][local_energy]` — e.g. `[G^<, G^>]`.
+    pub components: Vec<Vec<BlockTridiagonal>>,
+}
+
+/// A rank's element-major slice: full energy series of the owned canonical
+/// elements and of their mirrors.
+#[derive(Debug, Clone)]
+pub struct ElementSlab {
+    /// Indices into the canonical element list owned by this rank.
+    pub elements: Range<usize>,
+    /// `canonical[c][local_element][energy]`.
+    pub canonical: Vec<Vec<Vec<c64>>>,
+    /// `mirror[c][local_element][energy]` — the series of the transposed
+    /// element; for self-mirror elements this repeats the canonical series.
+    pub mirror: Vec<Vec<Vec<c64>>>,
+}
+
+/// A backward-travelling component: whether the mirror series ride along or
+/// are reconstructed from the NEGF symmetry at the destination.
+pub enum BackComponent<'a> {
+    /// Lesser/greater-like component obeying `X_ij = −X*_ji`. Under symmetry
+    /// reduction only the canonical series are shipped.
+    Symmetric {
+        /// `[local_element][energy]` canonical series.
+        canonical: &'a [Vec<c64>],
+        /// `[local_element][energy]` mirror series (shipped when the plan is
+        /// not symmetry-reduced).
+        mirror: &'a [Vec<c64>],
+    },
+    /// Retarded-like component with no exploitable symmetry: canonical and
+    /// mirror series always ship.
+    Full {
+        /// `[local_element][energy]` canonical series.
+        canonical: &'a [Vec<c64>],
+        /// `[local_element][energy]` mirror series.
+        mirror: &'a [Vec<c64>],
+    },
+}
+
+/// The fixed geometry of the energy↔element transposition: partitions,
+/// canonical element list and wire format, shared by every rank.
+#[derive(Debug, Clone)]
+pub struct TranspositionPlan {
+    /// Number of ranks.
+    pub n_ranks: usize,
+    /// Number of energy points.
+    pub n_energies: usize,
+    /// Number of transport-cell blocks.
+    pub n_blocks: usize,
+    /// Transport-cell block size.
+    pub block_size: usize,
+    /// Canonical (symmetry-reduced) element list, in fixed order.
+    pub elements: Vec<ElementId>,
+    /// Energy ownership per rank (contiguous, ascending).
+    pub energy_ranges: Vec<Range<usize>>,
+    /// Canonical-element ownership per rank (contiguous, ascending).
+    pub element_ranges: Vec<Range<usize>>,
+    /// Ship only canonical elements for symmetric quantities (Section 5.2).
+    pub symmetry_reduced: bool,
+}
+
+impl TranspositionPlan {
+    /// Build a plan from the problem shape and per-energy cost weights.
+    pub fn new(
+        n_blocks: usize,
+        block_size: usize,
+        n_energies: usize,
+        n_ranks: usize,
+        symmetry_reduced: bool,
+        energy_weights: &[f64],
+    ) -> Self {
+        assert_eq!(energy_weights.len(), n_energies);
+        let elements = canonical_elements(n_blocks, block_size);
+        let energy_ranges = partition_weighted(energy_weights, n_ranks);
+        let element_weights = vec![1.0; elements.len()];
+        let element_ranges = partition_weighted(&element_weights, n_ranks);
+        Self {
+            n_ranks,
+            n_energies,
+            n_blocks,
+            block_size,
+            elements,
+            energy_ranges,
+            element_ranges,
+            symmetry_reduced,
+        }
+    }
+
+    /// Number of canonical elements.
+    pub fn n_canonical(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of stored scalar values per energy of the full BT pattern.
+    pub fn stored_values(&self) -> usize {
+        quatrex_core::convolution::stored_values(self.n_blocks, self.block_size)
+    }
+
+    /// Forward serialisation (energy-major → element-major): build the
+    /// per-destination messages for the symmetric components `comps`
+    /// (`comps[c][local_energy]`, local to `rank`'s energy range).
+    ///
+    /// Wire format of the message to rank `q`, in order: for every component,
+    /// for every canonical element owned by `q` (ascending), the values at
+    /// this rank's energies (ascending); then, when not symmetry-reduced, the
+    /// same loop again for the mirror elements (self-mirror elements skipped).
+    pub fn scatter_forward(&self, rank: usize, comps: &[&[BlockTridiagonal]]) -> Vec<Vec<c64>> {
+        let my_energies = self.energy_ranges[rank].clone();
+        for c in comps {
+            assert_eq!(c.len(), my_energies.len());
+        }
+        (0..self.n_ranks)
+            .map(|q| {
+                let elems = self.element_ranges[q].clone();
+                let mut msg = Vec::with_capacity(2 * comps.len() * elems.len() * my_energies.len());
+                for comp in comps {
+                    for e in elems.clone() {
+                        let id = self.elements[e];
+                        for bt in comp.iter() {
+                            msg.push(id.value_in(bt));
+                        }
+                    }
+                }
+                if !self.symmetry_reduced {
+                    for comp in comps {
+                        for e in elems.clone() {
+                            let id = self.elements[e];
+                            if id.is_self_mirror() {
+                                continue;
+                            }
+                            let m = id.mirror();
+                            for bt in comp.iter() {
+                                msg.push(m.value_in(bt));
+                            }
+                        }
+                    }
+                }
+                msg
+            })
+            .collect()
+    }
+
+    /// Forward deserialisation at the element owner: reassemble the full
+    /// energy series of the owned canonical elements (and their mirrors) from
+    /// the per-source messages (in rank order).
+    pub fn gather_elements(
+        &self,
+        rank: usize,
+        received: Vec<Vec<c64>>,
+        n_components: usize,
+    ) -> ElementSlab {
+        let elems = self.element_ranges[rank].clone();
+        let n_local = elems.len();
+        let mut canonical =
+            vec![vec![vec![c64::new(0.0, 0.0); self.n_energies]; n_local]; n_components];
+        let mut mirror =
+            vec![vec![vec![c64::new(0.0, 0.0); self.n_energies]; n_local]; n_components];
+        for (src, msg) in received.iter().enumerate() {
+            let src_energies = self.energy_ranges[src].clone();
+            let mut it = msg.iter();
+            for canon_comp in canonical.iter_mut() {
+                for series in canon_comp.iter_mut().take(n_local) {
+                    for k in src_energies.clone() {
+                        series[k] = *it.next().expect("short forward message");
+                    }
+                }
+            }
+            if !self.symmetry_reduced {
+                for mirror_comp in mirror.iter_mut() {
+                    for (e_local, series) in mirror_comp.iter_mut().enumerate().take(n_local) {
+                        if self.elements[elems.start + e_local].is_self_mirror() {
+                            continue;
+                        }
+                        for k in src_energies.clone() {
+                            series[k] = *it.next().expect("short forward message");
+                        }
+                    }
+                }
+            }
+            assert!(it.next().is_none(), "long forward message");
+        }
+        // Mirrors of symmetric quantities: derive from X_ji = −X*_ij; the
+        // self-mirror series are their own mirrors in either mode.
+        for c in 0..n_components {
+            for e_local in 0..n_local {
+                let id = self.elements[elems.start + e_local];
+                if id.is_self_mirror() {
+                    mirror[c][e_local] = canonical[c][e_local].clone();
+                } else if self.symmetry_reduced {
+                    mirror[c][e_local] = canonical[c][e_local].iter().map(|v| -v.conj()).collect();
+                }
+            }
+        }
+        ElementSlab {
+            elements: elems,
+            canonical,
+            mirror,
+        }
+    }
+
+    /// Backward serialisation (element-major → energy-major): build the
+    /// per-destination messages for the given components.
+    ///
+    /// Wire format of the message to rank `q`: for every component, for every
+    /// canonical element owned by this rank (ascending), the values at `q`'s
+    /// energies (ascending); then for every component, the mirror series of
+    /// the non-self-mirror elements — skipped for [`BackComponent::Symmetric`]
+    /// under symmetry reduction.
+    pub fn scatter_backward(&self, rank: usize, comps: &[BackComponent<'_>]) -> Vec<Vec<c64>> {
+        let elems = self.element_ranges[rank].clone();
+        (0..self.n_ranks)
+            .map(|q| {
+                let dst_energies = self.energy_ranges[q].clone();
+                let mut msg = Vec::new();
+                for comp in comps {
+                    let canonical = match comp {
+                        BackComponent::Symmetric { canonical, .. } => canonical,
+                        BackComponent::Full { canonical, .. } => canonical,
+                    };
+                    for series in canonical.iter().take(elems.len()) {
+                        for k in dst_energies.clone() {
+                            msg.push(series[k]);
+                        }
+                    }
+                }
+                for comp in comps {
+                    let mirror = match comp {
+                        BackComponent::Symmetric { mirror, .. } => {
+                            if self.symmetry_reduced {
+                                continue;
+                            }
+                            mirror
+                        }
+                        BackComponent::Full { mirror, .. } => mirror,
+                    };
+                    for (e_local, series) in mirror.iter().enumerate().take(elems.len()) {
+                        if self.elements[elems.start + e_local].is_self_mirror() {
+                            continue;
+                        }
+                        for k in dst_energies.clone() {
+                            msg.push(series[k]);
+                        }
+                    }
+                }
+                msg
+            })
+            .collect()
+    }
+
+    /// Backward deserialisation at the energy owner: reassemble energy-major
+    /// BT quantities (one per component) for the owned energies from the
+    /// per-source messages. `symmetric[c]` states whether component `c`
+    /// travelled as [`BackComponent::Symmetric`].
+    pub fn gather_energies(
+        &self,
+        rank: usize,
+        received: Vec<Vec<c64>>,
+        symmetric: &[bool],
+    ) -> Vec<EnergyResolved> {
+        let my_energies = self.energy_ranges[rank].clone();
+        let n_local = my_energies.len();
+        let n_components = symmetric.len();
+        let mut out: Vec<EnergyResolved> = (0..n_components)
+            .map(|_| {
+                (0..n_local)
+                    .map(|_| BlockTridiagonal::zeros(self.n_blocks, self.block_size))
+                    .collect()
+            })
+            .collect();
+        for (src, msg) in received.iter().enumerate() {
+            let src_elems = self.element_ranges[src].clone();
+            let mut it = msg.iter();
+            for (c, comp_out) in out.iter_mut().enumerate() {
+                for e in src_elems.clone() {
+                    let id = self.elements[e];
+                    for bt in comp_out.iter_mut().take(n_local) {
+                        let v = *it.next().expect("short backward message");
+                        set_element(bt, id, v);
+                        // Symmetric mirrors are reconstructed on the fly; the
+                        // raw (or full) mirrors arriving below overwrite this
+                        // value when they travel explicitly.
+                        if symmetric[c] && !id.is_self_mirror() {
+                            set_element(bt, id.mirror(), -v.conj());
+                        }
+                    }
+                }
+            }
+            for (c, comp_out) in out.iter_mut().enumerate() {
+                if symmetric[c] && self.symmetry_reduced {
+                    continue;
+                }
+                for e in src_elems.clone() {
+                    let id = self.elements[e];
+                    if id.is_self_mirror() {
+                        continue;
+                    }
+                    let m = id.mirror();
+                    for bt in comp_out.iter_mut().take(n_local) {
+                        let v = *it.next().expect("short backward message");
+                        set_element(bt, m, v);
+                    }
+                }
+            }
+            assert!(it.next().is_none(), "long backward message");
+        }
+        out
+    }
+
+    /// Off-rank wire bytes of a payload produced by one of the scatter
+    /// functions (self-messages stay on the rank and cost nothing).
+    pub fn off_rank_bytes(&self, rank: usize, payloads: &[Vec<c64>]) -> u64 {
+        payloads
+            .iter()
+            .enumerate()
+            .filter(|(q, _)| *q != rank)
+            .map(|(_, m)| (m.len() * BYTES_PER_VALUE) as u64)
+            .sum()
+    }
+}
+
+/// Write one scalar element of a BT quantity.
+fn set_element(bt: &mut BlockTridiagonal, id: ElementId, value: c64) {
+    use quatrex_core::convolution::BlockPos;
+    let block = match id.pos {
+        BlockPos::Diag(i) => bt.diag_mut(i),
+        BlockPos::Upper(i) => bt.upper_mut(i),
+        BlockPos::Lower(i) => bt.lower_mut(i),
+    };
+    block[(id.row, id.col)] = value;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quatrex_core::convolution::element_series;
+    use quatrex_linalg::{cplx, CMatrix};
+    use quatrex_runtime::{RankContext, ThreadComm};
+
+    /// An exactly NEGF-symmetric synthetic quantity.
+    fn symmetric_quantity(ne: usize, nb: usize, bs: usize, seed: f64) -> EnergyResolved {
+        (0..ne)
+            .map(|k| {
+                let mut bt = BlockTridiagonal::zeros(nb, bs);
+                for i in 0..nb {
+                    let raw = CMatrix::from_fn(bs, bs, |r, c| {
+                        cplx(
+                            (seed + (k * 7 + i * 3 + r * 5 + c) as f64).sin(),
+                            (seed * 1.7 + (k + i + 2 * r + 3 * c) as f64).cos(),
+                        )
+                    });
+                    bt.set_block(i, i, raw.negf_antihermitian_part());
+                }
+                for i in 0..nb - 1 {
+                    let u = CMatrix::from_fn(bs, bs, |r, c| {
+                        cplx(
+                            (seed + (k * 11 + i + r + 4 * c) as f64).cos() * 0.3,
+                            (seed + (k * 5 + 2 * i + 3 * r + c) as f64).sin() * 0.2,
+                        )
+                    });
+                    bt.set_block(i, i + 1, u.clone());
+                    bt.set_block(i + 1, i, u.dagger().scaled(cplx(-1.0, 0.0)));
+                }
+                bt
+            })
+            .collect()
+    }
+
+    fn roundtrip(n_ranks: usize, symmetry_reduced: bool) {
+        let (nb, bs, ne) = (3, 2, 8);
+        let plan = std::sync::Arc::new(TranspositionPlan::new(
+            nb,
+            bs,
+            ne,
+            n_ranks,
+            symmetry_reduced,
+            &vec![1.0; ne],
+        ));
+        let gl = std::sync::Arc::new(symmetric_quantity(ne, nb, bs, 0.3));
+        let gg = std::sync::Arc::new(symmetric_quantity(ne, nb, bs, 1.9));
+
+        let plan2 = std::sync::Arc::clone(&plan);
+        let gl2 = std::sync::Arc::clone(&gl);
+        let gg2 = std::sync::Arc::clone(&gg);
+        let (results, stats) = ThreadComm::run(n_ranks, move |ctx: RankContext<Vec<c64>>| {
+            let rank = ctx.rank();
+            let my_e = plan2.energy_ranges[rank].clone();
+            let local_l: Vec<BlockTridiagonal> = gl2[my_e.clone()].to_vec();
+            let local_g: Vec<BlockTridiagonal> = gg2[my_e.clone()].to_vec();
+            // forward: energy-major -> element-major
+            let payloads = plan2.scatter_forward(rank, &[&local_l, &local_g]);
+            let sent = plan2.off_rank_bytes(rank, &payloads);
+            let recv = ctx.alltoallv(payloads, |m| m.len() * BYTES_PER_VALUE);
+            let slab = plan2.gather_elements(rank, recv, 2);
+            // backward: element-major -> energy-major (as-is)
+            let comps = [
+                BackComponent::Symmetric {
+                    canonical: &slab.canonical[0],
+                    mirror: &slab.mirror[0],
+                },
+                BackComponent::Symmetric {
+                    canonical: &slab.canonical[1],
+                    mirror: &slab.mirror[1],
+                },
+            ];
+            let back = plan2.scatter_backward(rank, &comps);
+            let recv = ctx.alltoallv(back, |m| m.len() * BYTES_PER_VALUE);
+            let out = plan2.gather_energies(rank, recv, &[true, true]);
+            (slab, out, sent)
+        });
+
+        // Element slabs must carry the exact series of both quantities.
+        for (rank, (slab, out, _)) in results.iter().enumerate() {
+            for (e_local, e) in plan.element_ranges[rank].clone().enumerate() {
+                let id = plan.elements[e];
+                let want_l = element_series(&gl, id.pos, id.row, id.col);
+                let want_g = element_series(&gg, id.pos, id.row, id.col);
+                assert_eq!(
+                    slab.canonical[0][e_local], want_l,
+                    "canonical lesser {id:?}"
+                );
+                assert_eq!(
+                    slab.canonical[1][e_local], want_g,
+                    "canonical greater {id:?}"
+                );
+                let m = id.mirror();
+                let want_ml = element_series(&gl, m.pos, m.row, m.col);
+                assert_eq!(slab.mirror[0][e_local], want_ml, "mirror lesser {id:?}");
+            }
+            // Round trip restores the energy-major slices exactly.
+            for (k_local, k) in plan.energy_ranges[rank].clone().enumerate() {
+                assert!(out[0][k_local].to_dense().approx_eq(&gl[k].to_dense(), 0.0));
+                assert!(out[1][k_local].to_dense().approx_eq(&gg[k].to_dense(), 0.0));
+            }
+        }
+
+        // Byte accounting: measured == expected exactly.
+        let total_sent: u64 = results.iter().map(|(_, _, s)| *s).sum();
+        assert_eq!(
+            stats
+                .alltoall_bytes
+                .load(std::sync::atomic::Ordering::Relaxed)
+                % 2,
+            0
+        );
+        assert!(total_sent > 0 || n_ranks == 1);
+        if symmetry_reduced {
+            // Exactly the canonical values travel, forward and backward.
+            let mut expect = 0u64;
+            for r in 0..n_ranks {
+                for q in 0..n_ranks {
+                    if q == r {
+                        continue;
+                    }
+                    expect += 2
+                        * 2
+                        * (plan.element_ranges[q].len()
+                            * plan.energy_ranges[r].len()
+                            * BYTES_PER_VALUE) as u64;
+                }
+            }
+            let measured = stats
+                .alltoall_bytes
+                .load(std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(measured, expect);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_symmetry_reduced() {
+        for n_ranks in [1usize, 2, 4] {
+            roundtrip(n_ranks, true);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_full_wire_format() {
+        for n_ranks in [1usize, 2, 3] {
+            roundtrip(n_ranks, false);
+        }
+    }
+
+    #[test]
+    fn symmetry_reduction_roughly_halves_the_wire_volume() {
+        let (nb, bs, ne, n_ranks) = (4, 3, 8, 4);
+        let plan_sym = TranspositionPlan::new(nb, bs, ne, n_ranks, true, &vec![1.0; ne]);
+        let plan_full = TranspositionPlan::new(nb, bs, ne, n_ranks, false, &vec![1.0; ne]);
+        let g = symmetric_quantity(ne, nb, bs, 0.5);
+        let local: Vec<BlockTridiagonal> = g[plan_sym.energy_ranges[0].clone()].to_vec();
+        let sym_bytes = plan_sym.off_rank_bytes(0, &plan_sym.scatter_forward(0, &[&local]));
+        let full_bytes = plan_full.off_rank_bytes(0, &plan_full.scatter_forward(0, &[&local]));
+        let ratio = sym_bytes as f64 / full_bytes as f64;
+        assert!(ratio > 0.5 && ratio < 0.62, "ratio {ratio}");
+    }
+}

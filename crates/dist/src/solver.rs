@@ -1,0 +1,679 @@
+//! The distributed SCBA driver.
+//!
+//! [`DistScbaSolver`] executes the same `G → P → W → Σ` cycle as
+//! `quatrex_core::ScbaSolver`, but across the ranks of a
+//! [`quatrex_runtime::ThreadComm`] communicator following the paper's
+//! two-level decomposition:
+//!
+//! 1. every rank owns a contiguous slice of energy points (balanced by the
+//!    memoizer-aware cost model) and runs OBC + assembly + RGF for them
+//!    against a **per-rank [`ObcMemoizer`]**;
+//! 2. the selected `G^≶` blocks are transposed into element-major layout with
+//!    a real `Alltoallv` (Fig. 3), every rank computes the `P` convolutions
+//!    for its canonical elements *and their mirrors*, symmetrises them
+//!    element-wise, and transposes `P^≶`/`P^R` back;
+//! 3. the `W` systems are assembled and solved per owned energy, `W^≶` is
+//!    transposed forward again, the `Σ` convolutions run on the element
+//!    slices, and `Σ^≶`/`Σ^R` are transposed back to their energy owners;
+//! 4. the self-energies are mixed per owned energy and the convergence norms
+//!    and observables are allreduced.
+//!
+//! Because every per-energy and per-element kernel is the *same function* the
+//! sequential driver calls (`g_step_energy`, `w_step_energy`,
+//! `polarization_series`, `self_energy_series`, `causal_retarded_series`,
+//! `mix_sigma_energy`), the distributed state trajectory matches the
+//! sequential one bit-for-bit except for the allreduce-based residual and
+//! per-iteration current (whose floating-point summation order differs at
+//! machine precision). The equivalence tests pin this at `≤ 1e-10` relative.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use quatrex_core::convolution::{causal_retarded_series, polarization_series, self_energy_series};
+use quatrex_core::observables::{integrate_current, Observables, SpectralData};
+use quatrex_core::scba::{
+    g_step_energy, mix_sigma_energy, w_step_energy, KernelTimings, ScbaConfig,
+};
+use quatrex_device::{thermal_energy_ev, Device, DeviceParams, EnergyGrid};
+use quatrex_linalg::c64;
+use quatrex_linalg::flops::FlopCounter;
+use quatrex_obc::ObcMemoizer;
+use quatrex_runtime::{CommStats, RankContext, ThreadComm};
+use quatrex_sparse::BlockTridiagonal;
+
+use crate::partition::energy_cost_weights;
+use crate::report::{DistReport, TranspositionBudget};
+use crate::slab::{BackComponent, TranspositionPlan, BYTES_PER_VALUE};
+
+/// Configuration of a distributed SCBA run.
+#[derive(Debug, Clone)]
+pub struct DistScbaConfig {
+    /// The physics configuration, shared verbatim with the sequential solver.
+    pub scba: ScbaConfig,
+    /// Number of simulated ranks (threads of the [`ThreadComm`]).
+    pub n_ranks: usize,
+    /// Ship only canonical elements for `≶` quantities and reconstruct the
+    /// mirrors from the NEGF symmetry at the destination (Section 5.2).
+    /// Requires `scba.enforce_symmetry`.
+    pub symmetry_reduced: bool,
+    /// Catalogue parameters of the device, if known: enables the
+    /// memoizer-aware cost model for the energy partition.
+    pub device_params: Option<DeviceParams>,
+}
+
+impl DistScbaConfig {
+    /// Distributed configuration with `n_ranks` ranks and default options.
+    pub fn new(scba: ScbaConfig, n_ranks: usize) -> Self {
+        Self {
+            scba,
+            n_ranks,
+            symmetry_reduced: true,
+            device_params: None,
+        }
+    }
+}
+
+/// Result of a distributed SCBA run: the sequential result fields plus the
+/// communication report.
+#[derive(Debug)]
+pub struct DistScbaResult {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// True if the self-energy update fell below the tolerance.
+    pub converged: bool,
+    /// Relative self-energy update per iteration (allreduced).
+    pub residual_history: Vec<f64>,
+    /// Terminal current per iteration (allreduced).
+    pub current_history: Vec<f64>,
+    /// Final observables, identical to the sequential solver's.
+    pub observables: Observables,
+    /// Per-kernel wall times summed over ranks.
+    pub timings: KernelTimings,
+    /// Per-kernel FLOP counts summed over ranks.
+    pub flops: FlopCounter,
+    /// Fraction of OBC solves answered from the per-rank memoizer caches.
+    pub memoizer_hit_rate: f64,
+    /// Largest relative truncation weight seen by any W assembly.
+    pub max_truncation_error: f64,
+    /// Measured-vs-modelled communication report.
+    pub report: DistReport,
+}
+
+/// Per-rank return value of the communicator closure.
+struct RankOut {
+    iterations: usize,
+    converged: bool,
+    residual_history: Vec<f64>,
+    current_history: Vec<f64>,
+    observables: Observables,
+    full_iterations: usize,
+    max_truncation: f64,
+    transposition_bytes: u64,
+    memo_hits: usize,
+    memo_total: usize,
+}
+
+/// The distributed NEGF+scGW solver bound to one device and configuration.
+pub struct DistScbaSolver {
+    device: Device,
+    config: DistScbaConfig,
+    grid: EnergyGrid,
+}
+
+impl DistScbaSolver {
+    /// Create a solver for `device` with the given configuration.
+    pub fn new(device: Device, config: DistScbaConfig) -> Self {
+        let grid = device.default_energy_grid(config.scba.n_energies);
+        Self {
+            device,
+            config,
+            grid,
+        }
+    }
+
+    /// Create a solver with an explicit energy grid.
+    pub fn with_grid(device: Device, config: DistScbaConfig, grid: EnergyGrid) -> Self {
+        Self {
+            device,
+            config,
+            grid,
+        }
+    }
+
+    /// The transposition plan the run will use.
+    pub fn plan(&self) -> TranspositionPlan {
+        let h = self.device.hamiltonian_bt();
+        let weights = energy_cost_weights(
+            self.config.device_params.as_ref(),
+            self.config.scba.use_memoizer,
+            self.grid.len(),
+        );
+        TranspositionPlan::new(
+            h.n_blocks(),
+            h.block_size(),
+            self.grid.len(),
+            self.config.n_ranks,
+            self.config.symmetry_reduced,
+            &weights,
+        )
+    }
+
+    /// Run a single ballistic iteration across the ranks.
+    pub fn ballistic(&self) -> DistScbaResult {
+        let mut config = self.config.clone();
+        config.scba.max_iterations = 1;
+        DistScbaSolver {
+            device: self.device.clone(),
+            config,
+            grid: self.grid.clone(),
+        }
+        .run()
+    }
+
+    /// Run the distributed SCBA loop until convergence or the iteration limit.
+    pub fn run(&self) -> DistScbaResult {
+        let cfg = self.config.scba.clone();
+        assert!(
+            !self.config.symmetry_reduced || cfg.enforce_symmetry,
+            "symmetry-reduced transposition requires enforce_symmetry",
+        );
+        let n_ranks = self.config.n_ranks;
+        let h = Arc::new(self.device.hamiltonian_bt());
+        let v = Arc::new({
+            let mut v = self.device.coulomb_bt();
+            if cfg.interaction_scale != 1.0 {
+                v.scale_mut(c64::new(cfg.interaction_scale, 0.0));
+            }
+            v
+        });
+        let plan = Arc::new(self.plan());
+        let energies = Arc::new(self.grid.points());
+        let de = self.grid.spacing();
+        let kt = thermal_energy_ev(cfg.temperature_k);
+        let ne = self.grid.len();
+        let nb = h.n_blocks();
+        let flops = Arc::new(FlopCounter::new());
+        let timings = Arc::new(KernelTimings::default());
+
+        let rank_body = {
+            let cfg = cfg.clone();
+            let (h, v, plan, energies) = (h, v, Arc::clone(&plan), energies);
+            let (flops, timings) = (Arc::clone(&flops), Arc::clone(&timings));
+            move |ctx: RankContext<Vec<c64>>| -> RankOut {
+                rank_main(
+                    &ctx, &cfg, &h, &v, &plan, &energies, de, kt, ne, nb, &flops, &timings,
+                )
+            }
+        };
+        let (mut results, stats) = ThreadComm::run(n_ranks, rank_body);
+        let rank0 = results.remove(0);
+
+        let transposition_bytes: u64 =
+            rank0.transposition_bytes + results.iter().map(|r| r.transposition_bytes).sum::<u64>();
+        let memo_hits = rank0.memo_hits + results.iter().map(|r| r.memo_hits).sum::<usize>();
+        let memo_total = rank0.memo_total + results.iter().map(|r| r.memo_total).sum::<usize>();
+
+        let report = self.build_report(&plan, &stats, rank0.full_iterations, transposition_bytes);
+        let result_flops = FlopCounter::new();
+        result_flops.merge(&flops);
+        DistScbaResult {
+            iterations: rank0.iterations,
+            converged: rank0.converged,
+            residual_history: rank0.residual_history,
+            current_history: rank0.current_history,
+            observables: rank0.observables,
+            timings: copy_timings(&timings),
+            flops: result_flops,
+            memoizer_hit_rate: if memo_total > 0 {
+                memo_hits as f64 / memo_total as f64
+            } else {
+                0.0
+            },
+            max_truncation_error: rank0.max_truncation,
+            report,
+        }
+    }
+
+    fn build_report(
+        &self,
+        plan: &TranspositionPlan,
+        stats: &CommStats,
+        full_iterations: usize,
+        transposition_bytes: u64,
+    ) -> DistReport {
+        use std::sync::atomic::Ordering;
+        DistReport {
+            n_ranks: plan.n_ranks,
+            energies_per_rank: plan.energy_ranges.iter().map(|r| r.len()).collect(),
+            elements_per_rank: plan.element_ranges.iter().map(|r| r.len()).collect(),
+            symmetry_reduced: plan.symmetry_reduced,
+            full_iterations,
+            measured_transposition_bytes: transposition_bytes,
+            measured_alltoall_bytes: stats.alltoall_bytes.load(Ordering::Relaxed),
+            measured_max_bytes_per_rank: stats.max_alltoall_bytes_per_rank(),
+            measured_allreduce_bytes: stats.allreduce_bytes.load(Ordering::Relaxed),
+            n_collectives: stats.n_collectives.load(Ordering::Relaxed),
+            budget: TranspositionBudget::new(
+                plan.stored_values(),
+                plan.n_energies,
+                plan.n_ranks,
+                plan.symmetry_reduced,
+            ),
+        }
+    }
+}
+
+/// Element-wise NEGF symmetrisation of a canonical/mirror series pair — the
+/// exact per-element arithmetic of `BlockTridiagonal::symmetrize_negf`.
+fn symmetrize_series_pair(canonical: &mut [c64], mirror: &mut [c64], self_mirror: bool) {
+    let half = c64::new(0.5, 0.0);
+    if self_mirror {
+        for (c, m) in canonical.iter_mut().zip(mirror.iter_mut()) {
+            *c = (*c - c.conj()) * half;
+            *m = *c;
+        }
+    } else {
+        for (c, m) in canonical.iter_mut().zip(mirror.iter_mut()) {
+            let (a, b) = (*c, *m);
+            *c = (a - b.conj()) * half;
+            *m = (b - a.conj()) * half;
+        }
+    }
+}
+
+/// Per-element convolution phase output: canonical and mirror series of the
+/// lesser, greater and retarded components.
+struct ElementPhase {
+    lesser_c: Vec<Vec<c64>>,
+    lesser_m: Vec<Vec<c64>>,
+    greater_c: Vec<Vec<c64>>,
+    greater_m: Vec<Vec<c64>>,
+    retarded_c: Vec<Vec<c64>>,
+    retarded_m: Vec<Vec<c64>>,
+}
+
+impl ElementPhase {
+    fn back_components(&self) -> [BackComponent<'_>; 3] {
+        [
+            BackComponent::Symmetric {
+                canonical: &self.lesser_c,
+                mirror: &self.lesser_m,
+            },
+            BackComponent::Symmetric {
+                canonical: &self.greater_c,
+                mirror: &self.greater_m,
+            },
+            BackComponent::Full {
+                canonical: &self.retarded_c,
+                mirror: &self.retarded_m,
+            },
+        ]
+    }
+}
+
+/// Run the lesser/greater convolution kernel for every owned element (and
+/// mirror), symmetrise, and build the retarded component causally.
+fn element_convolutions(
+    plan: &TranspositionPlan,
+    rank: usize,
+    enforce_symmetry: bool,
+    mut kernel: impl FnMut(usize, bool) -> (Vec<c64>, Vec<c64>),
+    flops: &FlopCounter,
+) -> ElementPhase {
+    let elems = plan.element_ranges[rank].clone();
+    let n_local = elems.len();
+    let mut phase = ElementPhase {
+        lesser_c: Vec::with_capacity(n_local),
+        lesser_m: Vec::with_capacity(n_local),
+        greater_c: Vec::with_capacity(n_local),
+        greater_m: Vec::with_capacity(n_local),
+        retarded_c: Vec::with_capacity(n_local),
+        retarded_m: Vec::with_capacity(n_local),
+    };
+    for (e_local, e) in elems.enumerate() {
+        let id = plan.elements[e];
+        let (mut lc, mut gc) = kernel(e_local, false);
+        let (mut lm, mut gm) = if id.is_self_mirror() {
+            (lc.clone(), gc.clone())
+        } else {
+            kernel(e_local, true)
+        };
+        if enforce_symmetry {
+            symmetrize_series_pair(&mut lc, &mut lm, id.is_self_mirror());
+            symmetrize_series_pair(&mut gc, &mut gm, id.is_self_mirror());
+        }
+        let rc = causal_retarded_series(&lc, &gc, flops);
+        let rm = if id.is_self_mirror() {
+            rc.clone()
+        } else {
+            causal_retarded_series(&lm, &gm, flops)
+        };
+        phase.lesser_c.push(lc);
+        phase.lesser_m.push(lm);
+        phase.greater_c.push(gc);
+        phase.greater_m.push(gm);
+        phase.retarded_c.push(rc);
+        phase.retarded_m.push(rm);
+    }
+    phase
+}
+
+/// The per-rank SCBA main loop.
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    ctx: &RankContext<Vec<c64>>,
+    cfg: &ScbaConfig,
+    h: &BlockTridiagonal,
+    v: &BlockTridiagonal,
+    plan: &TranspositionPlan,
+    energies: &[f64],
+    de: f64,
+    kt: f64,
+    ne: usize,
+    nb: usize,
+    flops: &FlopCounter,
+    timings: &KernelTimings,
+) -> RankOut {
+    let rank = ctx.rank();
+    let my_e = plan.energy_ranges[rank].clone();
+    let n_local = my_e.len();
+    let bs = h.block_size();
+    let wire = |m: &Vec<c64>| m.len() * BYTES_PER_VALUE;
+
+    let mut memoizer = if cfg.use_memoizer {
+        Some(ObcMemoizer::new(cfg.n_fpi, 1e-7))
+    } else {
+        None
+    };
+
+    // Scattering self-energies for the owned energies (energy-major).
+    let mut sigma_r: Vec<BlockTridiagonal> = vec![BlockTridiagonal::zeros(nb, bs); n_local];
+    let mut sigma_l = sigma_r.clone();
+    let mut sigma_g = sigma_r.clone();
+
+    let mut residual_history = Vec::new();
+    let mut current_history = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0usize;
+    let mut full_iterations = 0usize;
+    let mut max_truncation = 0.0f64;
+    let mut transposition_bytes = 0u64;
+
+    // Last-iteration local spectral data. Only the G^< diagonal traces feed
+    // the density, so they are extracted at G-step time instead of keeping
+    // the full block matrices around.
+    let mut local_spectrum: Vec<f64> = Vec::new();
+    let mut local_dos: Vec<Vec<f64>> = Vec::new();
+    let mut local_traces: Vec<Vec<c64>> = Vec::new();
+
+    for _iter in 0..cfg.max_iterations {
+        iterations += 1;
+
+        // ------------------------------------------------------------ G step
+        let mut g_lesser = Vec::with_capacity(n_local);
+        let mut g_greater = Vec::with_capacity(n_local);
+        local_spectrum = Vec::with_capacity(n_local);
+        local_dos = Vec::with_capacity(n_local);
+        local_traces = Vec::with_capacity(n_local);
+        for (k_local, k) in my_e.clone().enumerate() {
+            let out = g_step_energy(
+                h,
+                energies[k],
+                k,
+                cfg,
+                kt,
+                Some(&sigma_r[k_local]),
+                Some(&sigma_l[k_local]),
+                Some(&sigma_g[k_local]),
+                memoizer.as_mut(),
+                flops,
+                timings,
+            )
+            .expect("RGF solve failed: the system matrix became singular");
+            local_traces.push((0..nb).map(|i| out.lesser.diag(i).trace()).collect());
+            g_lesser.push(out.lesser);
+            g_greater.push(out.greater);
+            local_spectrum.push(out.current_spectrum);
+            local_dos.push(out.dos_local);
+        }
+
+        // Observable allreduce: the per-iteration current.
+        let partial: f64 = local_spectrum.iter().sum();
+        let current = ctx.allreduce_sum(partial) * de / (2.0 * std::f64::consts::PI);
+        current_history.push(current);
+
+        if cfg.max_iterations == 1 {
+            break;
+        }
+
+        // ------------------------------------- transposition #1: G^≶ forward
+        let payloads = plan.scatter_forward(rank, &[&g_lesser, &g_greater]);
+        transposition_bytes += plan.off_rank_bytes(rank, &payloads);
+        let g_slab = plan.gather_elements(rank, ctx.alltoallv(payloads, wire), 2);
+
+        // ------------------------------------------------------------ P step
+        let t = Instant::now();
+        let p_phase = element_convolutions(
+            plan,
+            rank,
+            cfg.enforce_symmetry,
+            |e, mirrored| {
+                // P_ij(ω) needs G^<_ij, G^>_ji, G^>_ij, G^<_ji; the mirrored
+                // element swaps canonical and mirror series.
+                let (gl, gg, gl_m, gg_m) = (
+                    &g_slab.canonical[0][e],
+                    &g_slab.canonical[1][e],
+                    &g_slab.mirror[0][e],
+                    &g_slab.mirror[1][e],
+                );
+                if mirrored {
+                    polarization_series(gl_m, gg, gg_m, gl, de, flops)
+                } else {
+                    polarization_series(gl, gg_m, gg, gl_m, de, flops)
+                }
+            },
+            flops,
+        );
+        timings.add(&timings.convolution_ns, t);
+
+        // ------------------------------------ transposition #2: P backward
+        let payloads = plan.scatter_backward(rank, &p_phase.back_components());
+        transposition_bytes += plan.off_rank_bytes(rank, &payloads);
+        let mut p = plan.gather_energies(rank, ctx.alltoallv(payloads, wire), &[true, true, false]);
+        let p_retarded = p.pop().expect("P^R");
+        let p_greater = p.pop().expect("P^>");
+        let p_lesser = p.pop().expect("P^<");
+
+        // ------------------------------------------------------------ W step
+        let mut w_lesser = Vec::with_capacity(n_local);
+        let mut w_greater = Vec::with_capacity(n_local);
+        let mut local_trunc = 0.0f64;
+        for (k_local, k) in my_e.clone().enumerate() {
+            let out = w_step_energy(
+                v,
+                &p_retarded[k_local],
+                &p_lesser[k_local],
+                &p_greater[k_local],
+                k,
+                cfg,
+                memoizer.as_mut(),
+                flops,
+                timings,
+            )
+            .expect("W RGF solve failed");
+            local_trunc = local_trunc.max(out.truncation);
+            w_lesser.push(out.lesser);
+            w_greater.push(out.greater);
+        }
+        // Global truncation maximum (tiny ordered gather).
+        let truncs = ctx.allgather(vec![c64::new(local_trunc, 0.0)], wire);
+        let iter_trunc = truncs.iter().flatten().fold(0.0f64, |m, t| m.max(t.re));
+        max_truncation = max_truncation.max(iter_trunc);
+
+        // ------------------------------------ transposition #3: W^≶ forward
+        let payloads = plan.scatter_forward(rank, &[&w_lesser, &w_greater]);
+        transposition_bytes += plan.off_rank_bytes(rank, &payloads);
+        let w_slab = plan.gather_elements(rank, ctx.alltoallv(payloads, wire), 2);
+
+        // ------------------------------------------------------------ Σ step
+        let t = Instant::now();
+        let s_phase = element_convolutions(
+            plan,
+            rank,
+            cfg.enforce_symmetry,
+            |e, mirrored| {
+                // Σ_ij(E) needs G^≶_ij and W^≶_ij of the same element.
+                if mirrored {
+                    self_energy_series(
+                        &g_slab.mirror[0][e],
+                        &g_slab.mirror[1][e],
+                        &w_slab.mirror[0][e],
+                        &w_slab.mirror[1][e],
+                        de,
+                        flops,
+                    )
+                } else {
+                    self_energy_series(
+                        &g_slab.canonical[0][e],
+                        &g_slab.canonical[1][e],
+                        &w_slab.canonical[0][e],
+                        &w_slab.canonical[1][e],
+                        de,
+                        flops,
+                    )
+                }
+            },
+            flops,
+        );
+        timings.add(&timings.convolution_ns, t);
+
+        // ------------------------------------ transposition #4: Σ backward
+        let payloads = plan.scatter_backward(rank, &s_phase.back_components());
+        transposition_bytes += plan.off_rank_bytes(rank, &payloads);
+        let mut s = plan.gather_energies(rank, ctx.alltoallv(payloads, wire), &[true, true, false]);
+        let s_retarded_new = s.pop().expect("Σ^R");
+        let s_greater_new = s.pop().expect("Σ^>");
+        let s_lesser_new = s.pop().expect("Σ^<");
+        full_iterations += 1;
+
+        // ------------------------------------------- mixing and convergence
+        let t = Instant::now();
+        let mut partial_update = 0.0f64;
+        let mut partial_reference = 0.0f64;
+        for k_local in 0..n_local {
+            let (upd, refr) = mix_sigma_energy(
+                &mut sigma_l[k_local],
+                &mut sigma_g[k_local],
+                &mut sigma_r[k_local],
+                &s_lesser_new[k_local],
+                &s_greater_new[k_local],
+                &s_retarded_new[k_local],
+                cfg.mixing,
+            );
+            partial_update += upd;
+            partial_reference += refr;
+        }
+        timings.add(&timings.other_ns, t);
+        let update_norm = ctx.allreduce_sum(partial_update);
+        let reference_norm = ctx.allreduce_sum(partial_reference);
+        let residual = if reference_norm > 0.0 {
+            (update_norm / reference_norm).sqrt()
+        } else {
+            0.0
+        };
+        residual_history.push(residual);
+        if residual < cfg.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    // ------------------------------------------------- final ordered gathers
+    // Pack, per owned energy: current spectrum, per-block DOS, per-block
+    // G^< diagonal traces — gathered in rank order (= ascending energy), so
+    // every rank can evaluate the observables with the sequential summation
+    // order exactly.
+    let mut packed = Vec::with_capacity(n_local * (1 + 2 * nb));
+    for k_local in 0..n_local {
+        packed.push(c64::new(local_spectrum[k_local], 0.0));
+        for &d in &local_dos[k_local] {
+            packed.push(c64::new(d, 0.0));
+        }
+        packed.extend_from_slice(&local_traces[k_local]);
+    }
+    let gathered = ctx.allgather(packed, wire);
+
+    let mut current_spectrum = Vec::with_capacity(ne);
+    let mut dos_local: Vec<Vec<f64>> = Vec::with_capacity(ne);
+    let mut density = vec![0.0f64; nb];
+    for msg in &gathered {
+        let per_energy = 1 + 2 * nb;
+        assert_eq!(msg.len() % per_energy, 0, "spectral gather shape");
+        for chunk in msg.chunks_exact(per_energy) {
+            current_spectrum.push(chunk[0].re);
+            dos_local.push(chunk[1..1 + nb].iter().map(|v| v.re).collect());
+            // Same accumulation as `observables::electron_density`.
+            for (i, d) in density.iter_mut().enumerate() {
+                let tr = chunk[1 + nb + i];
+                *d += (c64::new(0.0, -1.0) * tr).re * de / (2.0 * std::f64::consts::PI);
+            }
+        }
+    }
+    assert!(
+        iterations == 0 || current_spectrum.len() == ne,
+        "spectral gather covers the grid",
+    );
+    let exact_current = integrate_current(&current_spectrum, de);
+    if let Some(last) = current_history.last_mut() {
+        *last = exact_current;
+    }
+
+    let (memo_hits, memo_total) = match &memoizer {
+        Some(m) => {
+            let s = m.stats();
+            (s.memoized_calls, s.memoized_calls + s.direct_calls)
+        }
+        None => (0, 0),
+    };
+
+    RankOut {
+        iterations,
+        converged,
+        residual_history,
+        current_history,
+        observables: Observables {
+            electron_density: density,
+            current: exact_current,
+            spectral: SpectralData {
+                energies: energies.to_vec(),
+                dos: dos_local.iter().map(|v| v.iter().sum::<f64>()).collect(),
+                dos_local,
+                current_spectrum,
+            },
+        },
+        full_iterations,
+        max_truncation,
+        transposition_bytes,
+        memo_hits,
+        memo_total,
+    }
+}
+
+/// Copy the accumulated timings out of the shared atomics.
+fn copy_timings(shared: &KernelTimings) -> KernelTimings {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let copy = KernelTimings::default();
+    let pairs = [
+        (&copy.g_assembly_ns, &shared.g_assembly_ns),
+        (&copy.g_rgf_ns, &shared.g_rgf_ns),
+        (&copy.w_assembly_ns, &shared.w_assembly_ns),
+        (&copy.w_rgf_ns, &shared.w_rgf_ns),
+        (&copy.convolution_ns, &shared.convolution_ns),
+        (&copy.other_ns, &shared.other_ns),
+    ];
+    for (dst, src) in pairs {
+        let dst: &AtomicU64 = dst;
+        dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+    copy
+}

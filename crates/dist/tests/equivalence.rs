@@ -1,0 +1,199 @@
+//! Distributed-vs-sequential equivalence: `DistScbaSolver` must reproduce the
+//! single-process `ScbaSolver` observables at every rank count, and its
+//! measured all-to-all volume must agree with the analytic
+//! `TranspositionVolume` prediction (acceptance criteria of the subsystem).
+
+use quatrex_core::{ScbaConfig, ScbaResult, ScbaSolver};
+use quatrex_device::{Device, DeviceBuilder};
+use quatrex_dist::{DistScbaConfig, DistScbaResult, DistScbaSolver};
+
+/// Relative tolerance of the equivalence checks.
+const TOL: f64 = 1e-10;
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-30)
+}
+
+fn max_rel_err(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let scale = b.iter().fold(0.0f64, |m, x| m.max(x.abs())).max(1e-30);
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs() / scale))
+}
+
+/// The catalogue of small test devices the equivalence is checked on.
+/// Chosen so the canonical element count sits close to the
+/// `TranspositionVolume` symmetry-reduction model (within its 5% band).
+fn devices() -> Vec<(&'static str, Device)> {
+    vec![
+        ("tiny-nanowire", DeviceBuilder::test_device(3, 2, 4).build()),
+        ("narrow-ribbon", DeviceBuilder::test_device(2, 2, 6).build()),
+    ]
+}
+
+fn gw_config(n_energies: usize, iterations: usize) -> ScbaConfig {
+    ScbaConfig {
+        n_energies,
+        max_iterations: iterations,
+        mixing: 0.4,
+        // Keep iterating to the cap: the distributed residual differs from
+        // the sequential one only at machine precision, but an exact-count
+        // comparison must not sit on a convergence knife edge.
+        tolerance: 1e-14,
+        interaction_scale: 0.2,
+        ..ScbaConfig::default()
+    }
+}
+
+fn assert_equivalent(label: &str, seq: &ScbaResult, dist: &DistScbaResult) {
+    assert_eq!(seq.iterations, dist.iterations, "{label}: iteration counts");
+    assert!(
+        rel_err(dist.observables.current, seq.observables.current) < TOL,
+        "{label}: current {} vs {}",
+        dist.observables.current,
+        seq.observables.current,
+    );
+    let density_err = max_rel_err(
+        &dist.observables.electron_density,
+        &seq.observables.electron_density,
+    );
+    assert!(density_err < TOL, "{label}: density err {density_err}");
+    let dos_err = max_rel_err(
+        &dist.observables.spectral.dos,
+        &seq.observables.spectral.dos,
+    );
+    assert!(dos_err < TOL, "{label}: DOS err {dos_err}");
+    let spectrum_err = max_rel_err(
+        &dist.observables.spectral.current_spectrum,
+        &seq.observables.spectral.current_spectrum,
+    );
+    assert!(
+        spectrum_err < TOL,
+        "{label}: current spectrum err {spectrum_err}"
+    );
+    for (h_dist, h_seq) in dist
+        .residual_history
+        .iter()
+        .zip(seq.residual_history.iter())
+    {
+        assert!(
+            rel_err(*h_dist, *h_seq) < 1e-8,
+            "{label}: residuals {h_dist} vs {h_seq}"
+        );
+    }
+}
+
+#[test]
+fn distributed_gw_matches_sequential_on_the_device_catalog() {
+    for (name, device) in devices() {
+        let config = gw_config(16, 4);
+        let seq = ScbaSolver::new(device.clone(), config.clone()).run();
+        assert!(
+            seq.iterations >= 2,
+            "{name}: sequential reference must iterate"
+        );
+        for n_ranks in [1usize, 2, 4] {
+            let dist =
+                DistScbaSolver::new(device.clone(), DistScbaConfig::new(config.clone(), n_ranks))
+                    .run();
+            assert_equivalent(&format!("{name}/ranks={n_ranks}"), &seq, &dist);
+        }
+    }
+}
+
+#[test]
+fn distributed_ballistic_matches_sequential() {
+    for (name, device) in devices() {
+        let config = gw_config(24, 1);
+        let seq = ScbaSolver::new(device.clone(), config.clone()).ballistic();
+        for n_ranks in [2usize, 4] {
+            let dist =
+                DistScbaSolver::new(device.clone(), DistScbaConfig::new(config.clone(), n_ranks))
+                    .ballistic();
+            assert_equivalent(&format!("{name}/ballistic/ranks={n_ranks}"), &seq, &dist);
+            // No P/W/Σ phases ran: nothing was transposed.
+            assert_eq!(dist.report.full_iterations, 0);
+            assert_eq!(dist.report.measured_transposition_bytes, 0);
+        }
+    }
+}
+
+#[test]
+fn full_wire_format_is_bit_identical_to_sequential() {
+    // Without symmetry reduction every raw element travels, so the distributed
+    // trajectory matches the sequential one exactly (not just to TOL).
+    let device = DeviceBuilder::test_device(3, 2, 4).build();
+    let config = gw_config(12, 3);
+    let seq = ScbaSolver::new(device.clone(), config.clone()).run();
+    let mut dist_config = DistScbaConfig::new(config, 3);
+    dist_config.symmetry_reduced = false;
+    let dist = DistScbaSolver::new(device, dist_config).run();
+    assert_eq!(seq.iterations, dist.iterations);
+    assert_eq!(dist.observables.current, seq.observables.current);
+    assert_eq!(
+        dist.observables.electron_density,
+        seq.observables.electron_density
+    );
+    assert_eq!(
+        dist.observables.spectral.current_spectrum,
+        seq.observables.spectral.current_spectrum
+    );
+}
+
+#[test]
+fn measured_alltoall_volume_agrees_with_the_model_within_5_percent() {
+    for (name, device) in devices() {
+        for n_ranks in [2usize, 4] {
+            let dist = DistScbaSolver::new(
+                device.clone(),
+                DistScbaConfig::new(gw_config(16, 4), n_ranks),
+            )
+            .run();
+            assert!(
+                dist.report.full_iterations >= 2,
+                "{name}: no full iterations ran"
+            );
+            // Exact transposition counter vs. model.
+            let agreement = dist.report.volume_agreement();
+            assert!(
+                agreement.abs() < 0.05,
+                "{name}/ranks={n_ranks}: measured {} vs predicted {} ({:+.2}%)",
+                dist.report.measured_transposition_bytes,
+                dist.report.predicted_alltoall_bytes(),
+                agreement * 100.0,
+            );
+            // The raw CommStats total (transpositions + the small ordered
+            // gathers) also stays within the 5% band of the prediction.
+            let predicted = dist.report.predicted_alltoall_bytes() as f64;
+            let total_agreement =
+                (dist.report.measured_alltoall_bytes as f64 - predicted) / predicted;
+            assert!(
+                total_agreement.abs() < 0.05,
+                "{name}/ranks={n_ranks}: CommStats total {} vs predicted {} ({:+.2}%)",
+                dist.report.measured_alltoall_bytes,
+                dist.report.predicted_alltoall_bytes(),
+                total_agreement * 100.0,
+            );
+            // The dedicated transposition counter is covered by the total.
+            assert!(
+                dist.report.measured_transposition_bytes <= dist.report.measured_alltoall_bytes
+            );
+            assert!(dist.report.measured_max_bytes_per_rank > 0);
+            // Per-iteration per-rank volume feeds the weak-scaling model.
+            assert!(dist.report.measured_bytes_per_rank_per_iteration() > 0);
+        }
+    }
+}
+
+#[test]
+fn memoizer_works_across_ranks() {
+    let device = DeviceBuilder::test_device(3, 2, 4).build();
+    let dist = DistScbaSolver::new(device, DistScbaConfig::new(gw_config(8, 3), 2)).run();
+    assert!(dist.iterations >= 2);
+    assert!(
+        dist.memoizer_hit_rate > 0.2,
+        "hit rate {}",
+        dist.memoizer_hit_rate
+    );
+}

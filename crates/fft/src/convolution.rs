@@ -7,8 +7,8 @@
 //! linear convolution / correlation exactly as a reference `O(N_E²)` sum would
 //! produce them (validated by the tests below).
 
-use crate::transform::{fft, fft_flops, ifft, next_power_of_two};
 use crate::c64;
+use crate::transform::{fft, fft_flops, ifft, next_power_of_two};
 
 /// Linear convolution `c[k] = Σ_m a[m]·b[k−m]` with `k = 0..(len_a + len_b − 1)`.
 ///

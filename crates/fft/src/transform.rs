@@ -31,7 +31,10 @@ pub fn ifft(x: &mut [c64]) {
 
 fn fft_dir(x: &mut [c64], sign: f64) {
     let n = x.len();
-    assert!(is_power_of_two(n), "fft length {n} must be a power of two; use fft_any");
+    assert!(
+        is_power_of_two(n),
+        "fft length {n} must be a power of two; use fft_any"
+    );
     if n <= 1 {
         return;
     }

@@ -47,7 +47,11 @@ pub struct EigError {
 
 impl std::fmt::Display for EigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "QR iteration failed to converge at eigenvalue index {}", self.index)
+        write!(
+            f,
+            "QR iteration failed to converge at eigenvalue index {}",
+            self.index
+        )
     }
 }
 
@@ -91,7 +95,11 @@ pub fn hessenberg(a: &CMatrix) -> (CMatrix, CMatrix) {
             continue;
         }
         let x0 = v[0];
-        let phase = if x0.norm() > 0.0 { x0 / x0.norm() } else { c64::new(1.0, 0.0) };
+        let phase = if x0.norm() > 0.0 {
+            x0 / x0.norm()
+        } else {
+            c64::new(1.0, 0.0)
+        };
         let alpha = -phase * norm_x;
         v[0] -= alpha;
         let vnorm2 = v.iter().map(|c| c.norm_sqr()).sum::<f64>();
@@ -162,7 +170,11 @@ pub fn schur(a: &CMatrix) -> Result<SchurDecomposition, EigError> {
     let n = a.nrows();
     let (mut h, mut z) = hessenberg(a);
     if n <= 1 {
-        return Ok(SchurDecomposition { z, t: h, iterations: 0 });
+        return Ok(SchurDecomposition {
+            z,
+            t: h,
+            iterations: 0,
+        });
     }
 
     let eps = f64::EPSILON;
@@ -201,10 +213,15 @@ pub fn schur(a: &CMatrix) -> Result<SchurDecomposition, EigError> {
 
         // Shift selection: Wilkinson shift, with an exceptional shift every 12
         // stuck iterations to break symmetry-induced cycles.
-        let sigma = if stuck % 12 == 0 {
+        let sigma = if stuck.is_multiple_of(12) {
             h[(hi, hi)] + c64::new(1.5 * h[(hi, hi - 1)].norm(), 0.5 * h[(hi, hi - 1)].norm())
         } else {
-            wilkinson_shift(h[(hi - 1, hi - 1)], h[(hi - 1, hi)], h[(hi, hi - 1)], h[(hi, hi)])
+            wilkinson_shift(
+                h[(hi - 1, hi - 1)],
+                h[(hi - 1, hi)],
+                h[(hi, hi - 1)],
+                h[(hi, hi)],
+            )
         };
 
         // Explicit shifted QR sweep on the active block using Givens rotations.
@@ -253,7 +270,11 @@ pub fn schur(a: &CMatrix) -> Result<SchurDecomposition, EigError> {
             h[(i, j)] = ZERO;
         }
     }
-    Ok(SchurDecomposition { z, t: h, iterations: total_iter })
+    Ok(SchurDecomposition {
+        z,
+        t: h,
+        iterations: total_iter,
+    })
 }
 
 /// Eigenvalues only (diagonal of the Schur form).
@@ -289,7 +310,12 @@ pub fn eigendecomposition(a: &CMatrix) -> Result<Eigendecomposition, EigError> {
     let mut vectors = matmul(&dec.z, &y);
     // Normalise columns.
     for j in 0..n {
-        let nrm = vectors.col(j).iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+        let nrm = vectors
+            .col(j)
+            .iter()
+            .map(|v| v.norm_sqr())
+            .sum::<f64>()
+            .sqrt();
         if nrm > 0.0 {
             let inv = c64::new(1.0 / nrm, 0.0);
             for v in vectors.col_mut(j) {
@@ -297,7 +323,10 @@ pub fn eigendecomposition(a: &CMatrix) -> Result<Eigendecomposition, EigError> {
             }
         }
     }
-    Ok(Eigendecomposition { values: t.diagonal(), vectors })
+    Ok(Eigendecomposition {
+        values: t.diagonal(),
+        vectors,
+    })
 }
 
 /// Spectral radius `max_i |λ_i|` of a general complex square matrix.
@@ -348,7 +377,12 @@ mod tests {
     #[test]
     fn eigenvalues_of_triangular_matrix_are_diagonal() {
         let mut a = CMatrix::zeros(4, 4);
-        let diag = [cplx(1.0, 0.0), cplx(-2.0, 1.0), cplx(0.5, -0.5), cplx(3.0, 0.0)];
+        let diag = [
+            cplx(1.0, 0.0),
+            cplx(-2.0, 1.0),
+            cplx(0.5, -0.5),
+            cplx(3.0, 0.0),
+        ];
         for (i, d) in diag.iter().enumerate() {
             a[(i, i)] = *d;
             for j in (i + 1)..4 {
@@ -387,7 +421,11 @@ mod tests {
             for i in 0..7 {
                 resid += (av[i] - lam * v[i]).norm_sqr();
             }
-            assert!(resid.sqrt() < 1e-7, "eigenpair {j} residual {}", resid.sqrt());
+            assert!(
+                resid.sqrt() < 1e-7,
+                "eigenpair {j} residual {}",
+                resid.sqrt()
+            );
         }
     }
 
@@ -409,7 +447,16 @@ mod tests {
     fn small_matrices_work() {
         let a = CMatrix::from_rows(1, 1, &[cplx(3.0, -4.0)]);
         assert_eq!(eigenvalues(&a).unwrap()[0], cplx(3.0, -4.0));
-        let b = CMatrix::from_rows(2, 2, &[cplx(0.0, 0.0), cplx(1.0, 0.0), cplx(-1.0, 0.0), cplx(0.0, 0.0)]);
+        let b = CMatrix::from_rows(
+            2,
+            2,
+            &[
+                cplx(0.0, 0.0),
+                cplx(1.0, 0.0),
+                cplx(-1.0, 0.0),
+                cplx(0.0, 0.0),
+            ],
+        );
         let mut vals = eigenvalues(&b).unwrap();
         vals.sort_by(|x, y| x.im.partial_cmp(&y.im).unwrap());
         assert!((vals[0] - cplx(0.0, -1.0)).norm() < 1e-10);

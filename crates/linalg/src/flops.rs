@@ -76,7 +76,10 @@ impl FlopCounter {
     }
 
     fn slot(kind: FlopKind) -> usize {
-        FlopKind::ALL.iter().position(|&k| k == kind).expect("kind present in ALL")
+        FlopKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind present in ALL")
     }
 
     /// Add `flops` real floating-point operations to `kind`.
@@ -182,7 +185,8 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::BTreeSet<_> = FlopKind::ALL.iter().map(|k| k.label()).collect();
+        let labels: std::collections::BTreeSet<_> =
+            FlopKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), FlopKind::ALL.len());
     }
 }

@@ -30,7 +30,7 @@ pub mod svd;
 
 pub use eig::{eigendecomposition, eigenvalues, schur, Eigendecomposition, SchurDecomposition};
 pub use flops::{FlopCounter, FlopKind};
-pub use lu::{LuFactorization, LuError};
+pub use lu::{LuError, LuFactorization};
 pub use matrix::CMatrix;
 pub use ops::{matmul, matmul_acc, triple_product};
 pub use qr::QrFactorization;

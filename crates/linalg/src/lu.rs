@@ -18,7 +18,11 @@ pub struct LuError {
 
 impl std::fmt::Display for LuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "singular matrix detected at pivot column {}", self.column)
+        write!(
+            f,
+            "singular matrix detected at pivot column {}",
+            self.column
+        )
     }
 }
 
@@ -80,7 +84,11 @@ impl LuFactorization {
                 }
             }
         }
-        Ok(Self { lu, perm, perm_sign })
+        Ok(Self {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Order of the factorised matrix.
@@ -164,8 +172,8 @@ pub fn inverse_flops(n: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::matmul;
     use crate::cplx;
+    use crate::ops::matmul;
 
     fn well_conditioned(n: usize) -> CMatrix {
         // Diagonally dominant complex matrix => invertible.
@@ -219,7 +227,12 @@ mod tests {
         let a = CMatrix::from_rows(
             2,
             2,
-            &[cplx(1.0, 0.0), cplx(2.0, 0.0), cplx(2.0, 0.0), cplx(4.0, 0.0)],
+            &[
+                cplx(1.0, 0.0),
+                cplx(2.0, 0.0),
+                cplx(2.0, 0.0),
+                cplx(4.0, 0.0),
+            ],
         );
         assert!(LuFactorization::new(&a).is_err());
     }
@@ -246,7 +259,7 @@ mod tests {
 
     #[test]
     fn flop_model_is_cubic() {
-        assert_eq!(inverse_flops(10), 8000 * 1);
+        assert_eq!(inverse_flops(10), 8000);
         assert_eq!(inverse_flops(20) / inverse_flops(10), 8);
     }
 }

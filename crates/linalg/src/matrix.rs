@@ -21,7 +21,11 @@ pub struct CMatrix {
 impl CMatrix {
     /// Create a matrix of zeros with the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, data: vec![ZERO; nrows * ncols] }
+        Self {
+            nrows,
+            ncols,
+            data: vec![ZERO; nrows * ncols],
+        }
     }
 
     /// Create an identity matrix of order `n`.
@@ -48,7 +52,11 @@ impl CMatrix {
     ///
     /// Panics if `values.len() != nrows * ncols`.
     pub fn from_rows(nrows: usize, ncols: usize, values: &[c64]) -> Self {
-        assert_eq!(values.len(), nrows * ncols, "row-major data length mismatch");
+        assert_eq!(
+            values.len(),
+            nrows * ncols,
+            "row-major data length mismatch"
+        );
         Self::from_fn(nrows, ncols, |i, j| values[i * ncols + j])
     }
 
@@ -126,7 +134,9 @@ impl CMatrix {
 
     /// Main diagonal as an owned vector.
     pub fn diagonal(&self) -> Vec<c64> {
-        (0..self.nrows.min(self.ncols)).map(|i| self[(i, i)]).collect()
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Trace (sum of diagonal entries). Requires a square matrix.
@@ -248,7 +258,10 @@ impl CMatrix {
 
     /// Copy a rectangular sub-matrix `A[r0..r0+nr, c0..c0+nc]`.
     pub fn submatrix(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> CMatrix {
-        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "submatrix out of bounds");
+        assert!(
+            r0 + nr <= self.nrows && c0 + nc <= self.ncols,
+            "submatrix out of bounds"
+        );
         CMatrix::from_fn(nr, nc, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -333,7 +346,10 @@ impl Index<(usize, usize)> for CMatrix {
     type Output = c64;
     #[inline(always)]
     fn index(&self, (i, j): (usize, usize)) -> &c64 {
-        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[j * self.nrows + i]
     }
 }
@@ -341,7 +357,10 @@ impl Index<(usize, usize)> for CMatrix {
 impl IndexMut<(usize, usize)> for CMatrix {
     #[inline(always)]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut c64 {
-        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[j * self.nrows + i]
     }
 }
@@ -489,7 +508,16 @@ mod tests {
 
     #[test]
     fn matvec_matches_manual() {
-        let m = CMatrix::from_rows(2, 2, &[cplx(1.0, 0.0), cplx(2.0, 0.0), cplx(3.0, 0.0), cplx(4.0, 0.0)]);
+        let m = CMatrix::from_rows(
+            2,
+            2,
+            &[
+                cplx(1.0, 0.0),
+                cplx(2.0, 0.0),
+                cplx(3.0, 0.0),
+                cplx(4.0, 0.0),
+            ],
+        );
         let y = m.matvec(&[cplx(1.0, 0.0), cplx(1.0, 0.0)]);
         assert_eq!(y[0], cplx(3.0, 0.0));
         assert_eq!(y[1], cplx(7.0, 0.0));

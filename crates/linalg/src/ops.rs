@@ -92,7 +92,12 @@ mod tests {
         CMatrix::from_rows(
             2,
             2,
-            &[cplx(1.0, 1.0), cplx(2.0, 0.0), cplx(0.0, -1.0), cplx(3.0, 2.0)],
+            &[
+                cplx(1.0, 1.0),
+                cplx(2.0, 0.0),
+                cplx(0.0, -1.0),
+                cplx(3.0, 2.0),
+            ],
         )
     }
 
@@ -106,8 +111,26 @@ mod tests {
 
     #[test]
     fn hand_checked_2x2_product() {
-        let a = CMatrix::from_rows(2, 2, &[cplx(1.0, 0.0), cplx(2.0, 0.0), cplx(3.0, 0.0), cplx(4.0, 0.0)]);
-        let b = CMatrix::from_rows(2, 2, &[cplx(0.0, 1.0), cplx(1.0, 0.0), cplx(0.0, 0.0), cplx(1.0, 0.0)]);
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            &[
+                cplx(1.0, 0.0),
+                cplx(2.0, 0.0),
+                cplx(3.0, 0.0),
+                cplx(4.0, 0.0),
+            ],
+        );
+        let b = CMatrix::from_rows(
+            2,
+            2,
+            &[
+                cplx(0.0, 1.0),
+                cplx(1.0, 0.0),
+                cplx(0.0, 0.0),
+                cplx(1.0, 0.0),
+            ],
+        );
         let c = matmul(&a, &b);
         assert!(c[(0, 0)] == cplx(0.0, 1.0));
         assert!(c[(0, 1)] == cplx(3.0, 0.0));

@@ -37,7 +37,11 @@ impl QrFactorization {
             }
             // alpha = -exp(i*arg(x0)) * ||x||
             let x0 = x[0];
-            let phase = if x0.norm() > 0.0 { x0 / x0.norm() } else { c64::new(1.0, 0.0) };
+            let phase = if x0.norm() > 0.0 {
+                x0 / x0.norm()
+            } else {
+                c64::new(1.0, 0.0)
+            };
             let alpha = -phase * norm_x;
             let mut v = x.clone();
             v[0] -= alpha;
@@ -94,7 +98,9 @@ impl QrFactorization {
         if dmax == 0.0 {
             return 0;
         }
-        (0..n).filter(|&i| self.r[(i, i)].norm() > rtol * dmax).count()
+        (0..n)
+            .filter(|&i| self.r[(i, i)].norm() > rtol * dmax)
+            .count()
     }
 }
 
@@ -137,7 +143,10 @@ mod tests {
             let a = random_like(m, n);
             let qr = QrFactorization::new(&a);
             let qtq = matmul(&qr.q.dagger(), &qr.q);
-            assert!(qtq.approx_eq(&CMatrix::identity(m), 1e-10), "Q not unitary for {m}x{n}");
+            assert!(
+                qtq.approx_eq(&CMatrix::identity(m), 1e-10),
+                "Q not unitary for {m}x{n}"
+            );
             assert!(qr.reconstruct().approx_eq(&a, 1e-10), "QR != A for {m}x{n}");
         }
     }

@@ -49,7 +49,10 @@ impl Svd {
 /// Compute the thin SVD of `a` (requires `nrows ≥ ncols`; transpose first otherwise).
 pub fn svd(a: &CMatrix) -> Svd {
     let (m, n) = a.shape();
-    assert!(m >= n, "svd requires nrows >= ncols; pass the adjoint for wide matrices");
+    assert!(
+        m >= n,
+        "svd requires nrows >= ncols; pass the adjoint for wide matrices"
+    );
     let mut u = a.clone();
     let mut v = CMatrix::identity(n);
 
@@ -132,7 +135,11 @@ pub fn svd(a: &CMatrix) -> Svd {
         }
     }
     sigma = sigma_sorted;
-    Svd { u: u_sorted, sigma, v: v_sorted }
+    Svd {
+        u: u_sorted,
+        sigma,
+        v: v_sorted,
+    }
 }
 
 /// Singular values only, in non-increasing order.

@@ -54,7 +54,10 @@ pub fn lyapunov_fixed_point(
             return Ok((w, it, flops));
         }
     }
-    Err(ObcError::NotConverged { residual: lyapunov_residual(&w, a, q), iterations: max_iter })
+    Err(ObcError::NotConverged {
+        residual: lyapunov_residual(&w, a, q),
+        iterations: max_iter,
+    })
 }
 
 /// Smith doubling: the alternating series `w = Σ_k (−1)^k a^k q a^{†k}` is
@@ -85,7 +88,10 @@ pub fn lyapunov_doubling(
             return Ok((w, it, flops));
         }
     }
-    Err(ObcError::NotConverged { residual: lyapunov_residual(&w, a, q), iterations: max_iter })
+    Err(ObcError::NotConverged {
+        residual: lyapunov_residual(&w, a, q),
+        iterations: max_iter,
+    })
 }
 
 /// Direct solution via the eigendecomposition of the propagation matrix `a`.
@@ -129,9 +135,12 @@ mod tests {
     fn stable_problem(dim: usize) -> (CMatrix, CMatrix) {
         let a = CMatrix::from_fn(dim, dim, |i, j| {
             let t = (i * 7 + j * 3) as f64;
-            cplx(0.25 * (t * 0.31).sin(), 0.2 * (t * 0.17).cos()) / (1.0 + (i as f64 - j as f64).abs())
+            cplx(0.25 * (t * 0.31).sin(), 0.2 * (t * 0.17).cos())
+                / (1.0 + (i as f64 - j as f64).abs())
         });
-        let raw = CMatrix::from_fn(dim, dim, |i, j| cplx(0.3 * (i as f64 + 1.0), 0.7 - 0.1 * j as f64));
+        let raw = CMatrix::from_fn(dim, dim, |i, j| {
+            cplx(0.3 * (i as f64 + 1.0), 0.7 - 0.1 * j as f64)
+        });
         let q = raw.negf_antihermitian_part();
         (a, q)
     }
@@ -158,7 +167,11 @@ mod tests {
         let (a, q) = stable_problem(5);
         let (w_db, _, _) = lyapunov_doubling(&a, &q, 1e-14, 60).unwrap();
         let (w_dir, _) = lyapunov_direct(&a, &q).unwrap();
-        assert!(w_dir.approx_eq(&w_db, 1e-8), "distance {}", w_dir.distance(&w_db));
+        assert!(
+            w_dir.approx_eq(&w_db, 1e-8),
+            "distance {}",
+            w_dir.distance(&w_db)
+        );
         assert!(lyapunov_residual(&w_dir, &a, &q) < 1e-9);
     }
 
@@ -184,7 +197,10 @@ mod tests {
         let (a, q) = stable_problem(6);
         let (w_ref, cold_iters, _) = lyapunov_fixed_point(&a, &q, None, 1e-12, 1000).unwrap();
         let (_, warm_iters, _) = lyapunov_fixed_point(&a, &q, Some(&w_ref), 1e-12, 1000).unwrap();
-        assert!(warm_iters < cold_iters, "warm {warm_iters} vs cold {cold_iters}");
+        assert!(
+            warm_iters < cold_iters,
+            "warm {warm_iters} vs cold {cold_iters}"
+        );
         assert!(warm_iters <= 2);
     }
 

@@ -100,7 +100,12 @@ impl ObcMemoizer {
     pub fn new(n_fpi: usize, tol: f64) -> Self {
         assert!(n_fpi >= 1);
         assert!(tol > 0.0);
-        Self { cache: HashMap::new(), n_fpi, tol, stats: MemoizerStats::default() }
+        Self {
+            cache: HashMap::new(),
+            n_fpi,
+            tol,
+            stats: MemoizerStats::default(),
+        }
     }
 
     /// Number of cached OBC blocks.
@@ -159,7 +164,11 @@ impl ObcMemoizer {
             // Second step to estimate the contraction rate.
             let x2 = iterate(&x1);
             let delta2 = x2.distance(&x1) / x2.norm_fro().max(1e-300);
-            let rate = if delta1 > 0.0 { (delta2 / delta1).min(1.0) } else { 0.0 };
+            let rate = if delta1 > 0.0 {
+                (delta2 / delta1).min(1.0)
+            } else {
+                0.0
+            };
             // Predicted residual after exhausting the remaining budget.
             let remaining = self.n_fpi.saturating_sub(2) as i32;
             let predicted = delta2 * rate.powi(remaining);
@@ -196,7 +205,12 @@ mod tests {
     use quatrex_linalg::ops::matmul;
 
     fn key(e: usize) -> ObcKey {
-        ObcKey { contact: Contact::Left, subsystem: Subsystem::Electron, component: 0, energy_index: e }
+        ObcKey {
+            contact: Contact::Left,
+            subsystem: Subsystem::Electron,
+            component: 0,
+            energy_index: e,
+        }
     }
 
     /// Simple contraction map x ↦ (m − n·x·n)⁻¹ with a known fixed point.
@@ -231,7 +245,11 @@ mod tests {
 
         let (x1, mode1) = memo.solve(key(0), |x| step(&m, &n, x), || direct_solution.clone());
         assert_eq!(mode1, ObcMode::Direct);
-        let (x2, mode2) = memo.solve(key(0), |x| step(&m, &n, x), || panic!("direct must not be called"));
+        let (x2, mode2) = memo.solve(
+            key(0),
+            |x| step(&m, &n, x),
+            || panic!("direct must not be called"),
+        );
         assert!(matches!(mode2, ObcMode::Memoized { .. }));
         assert!(x2.approx_eq(&x1, 1e-8));
         assert_eq!(memo.stats().direct_calls, 1);
@@ -261,7 +279,13 @@ mod tests {
         memo.solve(key(0), |x| step(&m, &n, x), || inverse(&m).unwrap());
         // New, very different problem under the same key with a slowly
         // contracting map: budget of 2 refinements cannot reach 1e-14.
-        let m2 = CMatrix::from_fn(3, 3, |i, j| if i == j { cplx(1.2, 0.2) } else { cplx(0.4, -0.1) });
+        let m2 = CMatrix::from_fn(3, 3, |i, j| {
+            if i == j {
+                cplx(1.2, 0.2)
+            } else {
+                cplx(0.4, -0.1)
+            }
+        });
         let n2 = CMatrix::scaled_identity(3, cplx(0.9, 0.0));
         let mut direct_called = false;
         let (_, mode) = memo.solve(

@@ -47,7 +47,10 @@ pub enum ObcError {
 impl std::fmt::Display for ObcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ObcError::NotConverged { residual, iterations } => {
+            ObcError::NotConverged {
+                residual,
+                iterations,
+            } => {
                 write!(f, "OBC solver did not converge: residual {residual:.3e} after {iterations} iterations")
             }
             ObcError::Singular => write!(f, "singular matrix in OBC solver"),
@@ -110,10 +113,18 @@ pub fn fixed_point(
         residual = x_next.distance(&x) / x_next.norm_fro().max(1e-300);
         x = x_next;
         if residual < tol {
-            return Ok(ObcSolution { x, iterations: it, residual, flops });
+            return Ok(ObcSolution {
+                x,
+                iterations: it,
+                residual,
+                flops,
+            });
         }
     }
-    Err(ObcError::NotConverged { residual, iterations: max_iter })
+    Err(ObcError::NotConverged {
+        residual,
+        iterations: max_iter,
+    })
 }
 
 /// Sancho–Rubio decimation for the surface function.
@@ -158,10 +169,18 @@ pub fn sancho_rubio(
             let x = inverse(&eps_s).map_err(|_| ObcError::Singular)?;
             flops += inverse_flops(dim);
             let residual = surface_residual(&x, m, n, nprime);
-            return Ok(ObcSolution { x, iterations: it, residual, flops });
+            return Ok(ObcSolution {
+                x,
+                iterations: it,
+                residual,
+                flops,
+            });
         }
     }
-    Err(ObcError::NotConverged { residual: alpha.norm_fro().max(beta.norm_fro()), iterations: max_iter })
+    Err(ObcError::NotConverged {
+        residual: alpha.norm_fro().max(beta.norm_fro()),
+        iterations: max_iter,
+    })
 }
 
 /// Direct solution of the surface problem via the companion linearisation of
@@ -178,11 +197,7 @@ pub fn sancho_rubio(
 /// whose eigenpairs `(λ, [φ; λφ])` yield the Bloch modes. The decaying modes
 /// (`|λ| < 1`) build the propagation matrix `F = Φ·Λ·Φ⁻¹` and
 /// `x^R = (m + n·F)⁻¹`. Requires an invertible coupling block `n`.
-pub fn pevp_direct(
-    m: &CMatrix,
-    n: &CMatrix,
-    nprime: &CMatrix,
-) -> Result<ObcSolution, ObcError> {
+pub fn pevp_direct(m: &CMatrix, n: &CMatrix, nprime: &CMatrix) -> Result<ObcSolution, ObcError> {
     let dim = m.nrows();
     let n_lu = LuFactorization::new(n).map_err(|_| ObcError::Singular)?;
     let a21 = n_lu.solve(nprime).scaled(c64::new(-1.0, 0.0));
@@ -197,7 +212,12 @@ pub fn pevp_direct(
 
     // Select the decaying modes, keeping the `dim` smallest magnitudes.
     let mut order: Vec<usize> = (0..2 * dim).collect();
-    order.sort_by(|&a, &b| eig.values[a].norm().partial_cmp(&eig.values[b].norm()).unwrap());
+    order.sort_by(|&a, &b| {
+        eig.values[a]
+            .norm()
+            .partial_cmp(&eig.values[b].norm())
+            .unwrap()
+    });
     let selected = &order[..dim];
     let mut phi = CMatrix::zeros(dim, dim);
     let mut lambda = vec![c64::new(0.0, 0.0); dim];
@@ -219,8 +239,14 @@ pub fn pevp_direct(
     let x = inverse(&(m + &matmul(n, &f_mat))).map_err(|_| ObcError::Singular)?;
     let residual = surface_residual(&x, m, n, nprime);
     // Companion eigendecomposition dominates: ~30·(2n)³ real FLOPs.
-    let flops = 30 * (2 * dim as u64).pow(3) + 4 * inverse_flops(dim) + 3 * gemm_flops(dim, dim, dim);
-    Ok(ObcSolution { x, iterations: 1, residual, flops })
+    let flops =
+        30 * (2 * dim as u64).pow(3) + 4 * inverse_flops(dim) + 3 * gemm_flops(dim, dim, dim);
+    Ok(ObcSolution {
+        x,
+        iterations: 1,
+        residual,
+        flops,
+    })
 }
 
 /// Configuration of the Beyn contour-integral solver.
@@ -236,7 +262,11 @@ pub struct BeynConfig {
 
 impl Default for BeynConfig {
     fn default() -> Self {
-        Self { radius: 1.0, n_quadrature: 48, rank_tol: 1e-8 }
+        Self {
+            radius: 1.0,
+            n_quadrature: 48,
+            rank_tol: 1e-8,
+        }
     }
 }
 
@@ -347,7 +377,12 @@ pub fn beyn(
     flops += gemm_flops(dim, dim, dim) + inverse_flops(dim);
 
     let residual = surface_residual(&x, m, n, nprime);
-    Ok(ObcSolution { x, iterations: nq, residual, flops })
+    Ok(ObcSolution {
+        x,
+        iterations: nq,
+        residual,
+        flops,
+    })
 }
 
 #[cfg(test)]
@@ -398,7 +433,11 @@ mod tests {
         let (m, n, np) = lead_problem(4, 1.4, 1e-2);
         let reference = sancho_rubio(&m, &n, &np, 1e-12, 200).unwrap();
         let warm = fixed_point(&m, &n, &np, Some(&reference.x), 1e-10, 50).unwrap();
-        assert!(warm.iterations <= 5, "warm start took {} iterations", warm.iterations);
+        assert!(
+            warm.iterations <= 5,
+            "warm start took {} iterations",
+            warm.iterations
+        );
         assert!(warm.x.approx_eq(&reference.x, 1e-6));
     }
 
@@ -417,7 +456,11 @@ mod tests {
             let (m, n, np) = lead_problem(4, e, eta);
             let sr = sancho_rubio(&m, &n, &np, 1e-12, 200).unwrap();
             let direct = pevp_direct(&m, &n, &np).unwrap();
-            assert!(direct.residual < 1e-7, "PEVP residual {} at E={e}", direct.residual);
+            assert!(
+                direct.residual < 1e-7,
+                "PEVP residual {} at E={e}",
+                direct.residual
+            );
             assert!(
                 direct.x.approx_eq(&sr.x, 1e-5),
                 "distance = {} at E={e}",
@@ -432,7 +475,11 @@ mod tests {
         let sr = sancho_rubio(&m, &n, &np, 1e-12, 200).unwrap();
         let by = beyn(&m, &n, &np, &BeynConfig::default()).unwrap();
         assert!(by.residual < 1e-6, "Beyn residual {}", by.residual);
-        assert!(by.x.approx_eq(&sr.x, 1e-5), "distance = {}", by.x.distance(&sr.x));
+        assert!(
+            by.x.approx_eq(&sr.x, 1e-5),
+            "distance = {}",
+            by.x.distance(&sr.x)
+        );
     }
 
     #[test]
@@ -449,7 +496,11 @@ mod tests {
         let direct = pevp_direct(&m, &n, &np).unwrap();
         assert!(by.residual < 1e-6, "Beyn residual {}", by.residual);
         assert!(direct.residual < 1e-6, "PEVP residual {}", direct.residual);
-        assert!(by.x.approx_eq(&direct.x, 1e-5), "distance = {}", by.x.distance(&direct.x));
+        assert!(
+            by.x.approx_eq(&direct.x, 1e-5),
+            "distance = {}",
+            by.x.distance(&direct.x)
+        );
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub mod tables;
 pub mod workload;
 
 pub use machine::{MachineModel, SystemModel};
-pub use scaling::{table6_rows, weak_scaling_series, Table6Row, WeakScalingPoint};
-pub use tables::{table1_rows, table3_rows, table4_breakdown, table5_rows, KernelRow, Table4Breakdown};
+pub use scaling::{
+    table6_rows, weak_scaling_series, weak_scaling_series_measured, Table6Row, WeakScalingPoint,
+};
+pub use tables::{
+    table1_rows, table3_rows, table4_breakdown, table5_rows, KernelRow, Table4Breakdown,
+};
 pub use workload::{KernelWorkloads, WorkloadModel};

@@ -22,18 +22,36 @@ pub struct MachineModel {
 impl MachineModel {
     /// NVIDIA GH200 superchip (Alps): 67 Tflop/s FP64 tensor peak, 96 GB HBM.
     pub fn gh200() -> Self {
-        Self { name: "GH200 (Alps)", peak_fp64_tflops: 55.3, rmax_tflops: 41.8, sustained_fraction: 0.76, hbm_gb: 96.0 }
+        Self {
+            name: "GH200 (Alps)",
+            peak_fp64_tflops: 55.3,
+            rmax_tflops: 41.8,
+            sustained_fraction: 0.76,
+            hbm_gb: 96.0,
+        }
     }
 
     /// One graphics compute die of an AMD MI250X (Frontier): 26.8 Tflop/s Rpeak
     /// per GCD, 64 GB HBM.
     pub fn mi250x_gcd() -> Self {
-        Self { name: "MI250X GCD (Frontier)", peak_fp64_tflops: 26.8, rmax_tflops: 17.6, sustained_fraction: 0.73, hbm_gb: 64.0 }
+        Self {
+            name: "MI250X GCD (Frontier)",
+            peak_fp64_tflops: 26.8,
+            rmax_tflops: 17.6,
+            sustained_fraction: 0.73,
+            hbm_gb: 64.0,
+        }
     }
 
     /// One LUMI GCD (same silicon as Frontier), used by QuaTrEx24.
     pub fn lumi_gcd() -> Self {
-        Self { name: "MI250X GCD (LUMI)", peak_fp64_tflops: 26.8, rmax_tflops: 17.6, sustained_fraction: 0.55, hbm_gb: 64.0 }
+        Self {
+            name: "MI250X GCD (LUMI)",
+            peak_fp64_tflops: 26.8,
+            rmax_tflops: 17.6,
+            sustained_fraction: 0.55,
+            hbm_gb: 64.0,
+        }
     }
 
     /// Sustained dense-kernel rate in Tflop/s.

@@ -45,27 +45,93 @@ pub fn weak_scaling_series(
     spatial_partitions: usize,
     node_counts: &[usize],
 ) -> Vec<WeakScalingPoint> {
+    // Stored non-zeros per energy of the lesser/greater quantities (the data
+    // that must be transposed), from the paper's G_NNZ column.
+    let nnz = device.g_nnz_paper as usize;
+    series_from_comm_times(
+        device,
+        system,
+        backend,
+        energies_per_element,
+        spatial_partitions,
+        node_counts,
+        |_, elements, n_energies| {
+            // Two transposed quantities per iteration (G≶ -> P, and Σ back),
+            // with the symmetry-reduced storage.
+            let volume = TranspositionVolume::new(nnz, n_energies, elements.max(1), true);
+            2.0 * backend.alltoall_time(system.machine, volume.bytes_per_rank(), elements)
+        },
+    )
+}
+
+/// Weak-scaling series driven by *measured* per-rank, per-iteration Alltoall
+/// volumes instead of the analytic [`TranspositionVolume`] estimate — e.g.
+/// the `measured_bytes_per_rank_per_iteration` of a `quatrex-dist`
+/// `DistReport`, one entry per node count.
+///
+/// The measured entry is the *aggregate* transposition volume one rank ships
+/// per SCBA iteration (all components, all four transpositions), so the
+/// backend cost model prices it as one combined exchange — unlike the
+/// analytic series, which models two separate single-component transpositions
+/// per iteration.
+pub fn weak_scaling_series_measured(
+    device: &DeviceParams,
+    system: &SystemModel,
+    backend: CommBackend,
+    energies_per_element: usize,
+    spatial_partitions: usize,
+    node_counts: &[usize],
+    measured_bytes_per_rank: &[u64],
+) -> Vec<WeakScalingPoint> {
+    assert_eq!(
+        node_counts.len(),
+        measured_bytes_per_rank.len(),
+        "one measured volume per node count",
+    );
+    series_from_comm_times(
+        device,
+        system,
+        backend,
+        energies_per_element,
+        spatial_partitions,
+        node_counts,
+        |idx, elements, _| {
+            backend.alltoall_time(system.machine, measured_bytes_per_rank[idx], elements)
+        },
+    )
+}
+
+/// Shared generator: `comm_time(point_index, elements, n_energies)` supplies
+/// the per-iteration communication time of each series point.
+fn series_from_comm_times(
+    device: &DeviceParams,
+    system: &SystemModel,
+    backend: CommBackend,
+    energies_per_element: usize,
+    spatial_partitions: usize,
+    node_counts: &[usize],
+    comm_time: impl Fn(usize, usize, usize) -> f64,
+) -> Vec<WeakScalingPoint> {
     assert!(!node_counts.is_empty());
     let model = WorkloadModel::new(device.clone(), true);
     // Compute time: the per-element work is constant in weak scaling; the
     // spatial decomposition inflates it by the middle-partition factor.
-    let decomposition_overhead = if spatial_partitions > 1 { 1.35 * 1.57 / spatial_partitions as f64 + 1.0 - 1.0 / spatial_partitions as f64 } else { 1.0 };
-    let compute_s = model.total_time_on(&system.element, energies_per_element) * decomposition_overhead;
-
-    // Stored non-zeros per energy of the lesser/greater quantities (the data
-    // that must be transposed), from the paper's G_NNZ column.
-    let nnz = device.g_nnz_paper as usize;
+    let decomposition_overhead = if spatial_partitions > 1 {
+        1.35 * 1.57 / spatial_partitions as f64 + 1.0 - 1.0 / spatial_partitions as f64
+    } else {
+        1.0
+    };
+    let compute_s =
+        model.total_time_on(&system.element, energies_per_element) * decomposition_overhead;
 
     let mut points: Vec<WeakScalingPoint> = node_counts
         .iter()
-        .map(|&nodes| {
+        .enumerate()
+        .map(|(idx, &nodes)| {
             let elements = nodes * system.elements_per_node;
             let energy_groups = (elements / spatial_partitions).max(1);
             let n_energies = energy_groups * energies_per_element;
-            // Two transposed quantities per iteration (G≶ -> P, and Σ back),
-            // with the symmetry-reduced storage.
-            let volume = TranspositionVolume::new(nnz, n_energies, elements.max(1), true);
-            let comm = 2.0 * backend.alltoall_time(system.machine, volume.bytes_per_rank(), elements);
+            let comm = comm_time(idx, elements, n_energies);
             WeakScalingPoint {
                 nodes,
                 elements,
@@ -129,16 +195,24 @@ pub fn table6_row(
     let model = WorkloadModel::new(device.clone(), true);
     // Total workload: per-energy workload times the decomposition overhead
     // (fill-in + reduced system) times the number of energies.
-    let overhead = if p_s > 1 { 1.0 + 0.45 * (p_s as f64 - 1.0) / p_s as f64 } else { 1.0 };
+    let overhead = if p_s > 1 {
+        1.0 + 0.45 * (p_s as f64 - 1.0) / p_s as f64
+    } else {
+        1.0
+    };
     let per_energy = model.per_energy().total() * overhead;
     let workload_pflop = per_energy * total_energies as f64 / 1e3;
 
     // Time: the busiest (middle) partition bounds the compute time; the
     // Alltoall transposition adds communication.
     let energies_per_group = (total_energies * p_s).div_ceil(elements.max(1)).max(1);
-    let partition_share = if p_s > 1 { 1.35 * 1.57 / p_s as f64 } else { 1.0 };
-    let compute_s =
-        model.total_time_on(&system.element, energies_per_group) * partition_share.max(1.0 / p_s as f64);
+    let partition_share = if p_s > 1 {
+        1.35 * 1.57 / p_s as f64
+    } else {
+        1.0
+    };
+    let compute_s = model.total_time_on(&system.element, energies_per_group)
+        * partition_share.max(1.0 / p_s as f64);
     let nnz = device.g_nnz_paper as usize;
     let volume = TranspositionVolume::new(nnz, total_energies, elements.max(1), true);
     let comm_s = 2.0 * backend.alltoall_time(system.machine, volume.bytes_per_rank(), elements);
@@ -228,7 +302,10 @@ mod tests {
         for w in series.windows(2) {
             assert!(w[1].efficiency <= w[0].efficiency + 1e-9);
         }
-        assert!(series.last().unwrap().efficiency > 0.5, "efficiency collapsed");
+        assert!(
+            series.last().unwrap().efficiency > 0.5,
+            "efficiency collapsed"
+        );
         assert!(series[0].efficiency > 0.99);
     }
 
@@ -253,26 +330,76 @@ mod tests {
         let nr40 = rows.iter().find(|r| r.device == "NR-40").unwrap();
         // Paper: 48,252 Pflop workload, 42.1 s/iteration, 1,146 Pflop/s,
         // 82% scaling efficiency, 84.7% of Rmax, 55.7% of Rpeak.
-        assert!((nr40.workload_pflop - 48_253.0).abs() / 48_253.0 < 0.3, "workload {}", nr40.workload_pflop);
+        assert!(
+            (nr40.workload_pflop - 48_253.0).abs() / 48_253.0 < 0.3,
+            "workload {}",
+            nr40.workload_pflop
+        );
         assert!(nr40.time_per_iteration_s > 25.0 && nr40.time_per_iteration_s < 70.0);
-        assert!(nr40.performance_pflops > 700.0 && nr40.performance_pflops < 1_600.0,
-            "performance {}", nr40.performance_pflops);
+        assert!(
+            nr40.performance_pflops > 700.0 && nr40.performance_pflops < 1_600.0,
+            "performance {}",
+            nr40.performance_pflops
+        );
         assert!(nr40.scaling_efficiency > 0.6 && nr40.scaling_efficiency <= 1.0);
         assert!(nr40.rpeak_fraction > 0.3 && nr40.rpeak_fraction < 0.9);
         assert!(nr40.rmax_fraction > nr40.rpeak_fraction);
         // The exascale headline: Frontier NR-40 exceeds 1 Eflop/s within the
         // model's tolerance band, and Alps stays in the 300-450 Pflop/s range.
         let nr44 = rows.iter().find(|r| r.device == "NR-44").unwrap();
-        assert!(nr44.performance_pflops > 200.0 && nr44.performance_pflops < 600.0,
-            "Alps performance {}", nr44.performance_pflops);
+        assert!(
+            nr44.performance_pflops > 200.0 && nr44.performance_pflops < 600.0,
+            "Alps performance {}",
+            nr44.performance_pflops
+        );
         assert!(nr40.performance_pflops > 2.0 * nr44.performance_pflops);
+    }
+
+    #[test]
+    fn measured_volumes_drive_the_series() {
+        let device = DeviceCatalog::nr16();
+        let system = SystemModel::frontier();
+        let backend = CommBackend::HostMpi;
+        let nodes = [2usize, 8, 32];
+        let volumes: Vec<u64> = [1_000_000u64, 4_000_000, 16_000_000].to_vec();
+        let measured =
+            weak_scaling_series_measured(&device, &system, backend, 1, 1, &nodes, &volumes);
+        // The measured volume is priced as one aggregate Alltoall per
+        // iteration with the backend cost model — exactly.
+        for (point, (&n, &v)) in measured.iter().zip(nodes.iter().zip(volumes.iter())) {
+            let elements = n * system.elements_per_node;
+            let expect = backend.alltoall_time(system.machine, v, elements);
+            assert!((point.communication_s - expect).abs() < 1e-15);
+        }
+        // The compute side matches the analytic series (same workload model).
+        let modelled = weak_scaling_series(&device, &system, backend, 1, 1, &nodes);
+        for (a, b) in modelled.iter().zip(measured.iter()) {
+            assert!((a.compute_s - b.compute_s).abs() < 1e-12);
+        }
+        // Doubling the measured volume must increase the communication time.
+        let doubled: Vec<u64> = volumes.iter().map(|v| v * 2).collect();
+        let slower =
+            weak_scaling_series_measured(&device, &system, backend, 1, 1, &nodes, &doubled);
+        for (a, b) in measured.iter().zip(slower.iter()) {
+            assert!(b.communication_s > a.communication_s);
+        }
     }
 
     #[test]
     fn frontier_run_has_more_total_energies_than_alps() {
         let rows = table6_rows();
-        let frontier_max = rows.iter().filter(|r| r.machine == "Frontier").map(|r| r.total_energies).max().unwrap();
-        let alps_max = rows.iter().filter(|r| r.machine == "Alps").map(|r| r.total_energies).max().unwrap();
+        let frontier_max = rows
+            .iter()
+            .filter(|r| r.machine == "Frontier")
+            .map(|r| r.total_energies)
+            .max()
+            .unwrap();
+        let alps_max = rows
+            .iter()
+            .filter(|r| r.machine == "Alps")
+            .map(|r| r.total_energies)
+            .max()
+            .unwrap();
         assert!(frontier_max > alps_max);
     }
 }

@@ -68,9 +68,19 @@ pub fn table4_breakdown(
         .rows()
         .into_iter()
         .zip(times)
-        .map(|((kernel, workload_tflop), (_, time_s))| KernelRow { kernel, workload_tflop, time_s })
+        .map(|((kernel, workload_tflop), (_, time_s))| KernelRow {
+            kernel,
+            workload_tflop,
+            time_s,
+        })
         .collect();
-    Table4Breakdown { device: device.name, element: element.name, energies, memoizer, rows }
+    Table4Breakdown {
+        device: device.name,
+        element: element.name,
+        energies,
+        memoizer,
+        rows,
+    }
 }
 
 /// One row of the Table 1 ("this work") complexity reproduction: the measured
@@ -93,14 +103,20 @@ pub struct ComplexityRow {
 /// workload model at two points per parameter and fitting the exponent.
 pub fn table1_rows() -> Vec<ComplexityRow> {
     let base = DeviceCatalog::nanoribbon(16);
-    let base_w = WorkloadModel::new(base.clone(), true).for_energies(8).total();
+    let base_w = WorkloadModel::new(base.clone(), true)
+        .for_energies(8)
+        .total();
 
     let mut rows = Vec::new();
     // N_E
-    let w = WorkloadModel::new(base.clone(), true).for_energies(16).total();
+    let w = WorkloadModel::new(base.clone(), true)
+        .for_energies(16)
+        .total();
     rows.push(fit_row("N_E", 2.0, w / base_w, 1.0));
     // N_B
-    let w = WorkloadModel::new(DeviceCatalog::nanoribbon(32), true).for_energies(8).total();
+    let w = WorkloadModel::new(DeviceCatalog::nanoribbon(32), true)
+        .for_energies(8)
+        .total();
     rows.push(fit_row("N_B", 2.0, w / base_w, 1.0));
     // N_BS (scale the primitive cell size by 2 at fixed N_U, N_B)
     let mut bigger = base;
@@ -186,7 +202,12 @@ pub fn table5_rows(device: &DeviceParams, p_s: usize, element: &MachineModel) ->
     let mk = |label, factor: f64| {
         let w = share * factor;
         let t = w / (element.peak_fp64_tflops * eff);
-        Table5Row { partition: label, workload_tflop: w, time_s: t, performance_tflops: w / t }
+        Table5Row {
+            partition: label,
+            workload_tflop: w,
+            time_s: t,
+            performance_tflops: w / t,
+        }
     };
     let mut rows = vec![mk("top", end_factor)];
     if p_s > 2 {
@@ -206,14 +227,22 @@ mod tests {
         let bd = table4_breakdown(DeviceCatalog::nr16(), MachineModel::mi250x_gcd(), 1, true);
         // Paper: 579.6 Tflop, 29.7 s, 19.5 Tflop/s.
         assert!((bd.total_workload() - 580.0).abs() / 580.0 < 0.25);
-        assert!(bd.total_time() > 15.0 && bd.total_time() < 50.0, "time {}", bd.total_time());
+        assert!(
+            bd.total_time() > 15.0 && bd.total_time() < 50.0,
+            "time {}",
+            bd.total_time()
+        );
         assert!(bd.performance() > 12.0 && bd.performance() < 27.0);
         assert_eq!(bd.rows.len(), 8);
     }
 
     #[test]
     fn table4_shows_memoizer_speedup_for_every_device() {
-        for device in [DeviceCatalog::nw2(), DeviceCatalog::nr16(), DeviceCatalog::nr23()] {
+        for device in [
+            DeviceCatalog::nw2(),
+            DeviceCatalog::nr16(),
+            DeviceCatalog::nr23(),
+        ] {
             let with = table4_breakdown(device.clone(), MachineModel::mi250x_gcd(), 1, true);
             let without = table4_breakdown(device, MachineModel::mi250x_gcd(), 1, false);
             assert!(with.total_time() < without.total_time());
@@ -262,7 +291,11 @@ mod tests {
         let middle = rows[1].workload_tflop;
         let bottom = rows[2].workload_tflop;
         // Paper: top 490, middle 772, bottom 532 Tflop -> boundary ≈ 60-70% of middle.
-        assert!(top / middle > 0.5 && top / middle < 0.8, "top/middle {}", top / middle);
+        assert!(
+            top / middle > 0.5 && top / middle < 0.8,
+            "top/middle {}",
+            top / middle
+        );
         assert!(bottom > top);
         assert!((middle - 772.0).abs() / 772.0 < 0.35, "middle {}", middle);
     }

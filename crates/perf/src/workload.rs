@@ -176,7 +176,10 @@ impl WorkloadModel {
             ("G: OBC", w.g_obc / (peak * e.g_obc)),
             ("G: RGF", w.g_rgf / (peak * e.g_rgf)),
             ("W: Assembly (Beyn)", w.w_beyn / (peak * e.w_beyn)),
-            ("W: Assembly (Lyapunov)", w.w_lyapunov / (peak * e.w_lyapunov)),
+            (
+                "W: Assembly (Lyapunov)",
+                w.w_lyapunov / (peak * e.w_lyapunov),
+            ),
             ("W: Assembly (LHS)", w.w_lhs / (peak * e.w_lhs)),
             ("W: Assembly (RHS)", w.w_rhs / (peak * e.w_rhs)),
             ("W: RGF", w.w_rgf / (peak * e.w_rgf)),
@@ -186,7 +189,10 @@ impl WorkloadModel {
 
     /// Total per-iteration time on one element holding `energies` energies.
     pub fn total_time_on(&self, element: &MachineModel, energies: usize) -> f64 {
-        self.times_on(element, energies).iter().map(|(_, t)| t).sum()
+        self.times_on(element, energies)
+            .iter()
+            .map(|(_, t)| t)
+            .sum()
     }
 
     /// Achieved Tflop/s on one element for `energies` energies.
@@ -208,7 +214,11 @@ mod tests {
         let w = model.per_energy();
         assert!((w.g_rgf - 167.7).abs() / 167.7 < 0.2, "G RGF {}", w.g_rgf);
         assert!((w.w_rhs - 181.0).abs() / 181.0 < 0.2, "RHS {}", w.w_rhs);
-        assert!((w.total() - 590.0).abs() / 590.0 < 0.25, "total {}", w.total());
+        assert!(
+            (w.total() - 590.0).abs() / 590.0 < 0.25,
+            "total {}",
+            w.total()
+        );
     }
 
     #[test]
@@ -231,7 +241,10 @@ mod tests {
         let speedup = t_without / t_with;
         assert!(speedup > 1.4 && speedup < 2.4, "speed-up {speedup}");
         // Absolute times in the right ballpark (tens of seconds).
-        assert!(t_without > 25.0 && t_without < 90.0, "t_without = {t_without}");
+        assert!(
+            t_without > 25.0 && t_without < 90.0,
+            "t_without = {t_without}"
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ mod tests {
         });
         let c = CMatrix::from_fn(2, 2, |i, j| cplx(-0.5 + 0.1 * i as f64, 0.05 * j as f64));
         let a = BlockTridiagonal::from_periodic(4, &d, &c);
-        let braw = CMatrix::from_fn(2, 2, |i, j| cplx(0.2 * (i + 1) as f64, 0.3 - 0.1 * j as f64));
+        let braw = CMatrix::from_fn(2, 2, |i, j| {
+            cplx(0.2 * (i + 1) as f64, 0.3 - 0.1 * j as f64)
+        });
         let mut b = BlockTridiagonal::zeros(4, 2);
         for i in 0..4 {
             b.set_block(i, i, braw.negf_antihermitian_part());

@@ -30,7 +30,7 @@ pub mod dense;
 pub mod nested;
 pub mod sequential;
 
-pub use dense::{dense_retarded, dense_lesser};
+pub use dense::{dense_lesser, dense_retarded};
 pub use nested::{nested_dissection_invert, NestedConfig, NestedReport, PartitionWorkload};
 pub use sequential::{rgf_selected_inverse, rgf_solve, RgfError, SelectedSolution};
 

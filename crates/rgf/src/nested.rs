@@ -109,8 +109,16 @@ struct Partition {
 
 impl Partition {
     fn interior(&self) -> std::ops::Range<usize> {
-        let start = if self.left_boundary.is_some() { self.lo + 1 } else { self.lo };
-        let end = if self.right_boundary.is_some() { self.hi } else { self.hi + 1 };
+        let start = if self.left_boundary.is_some() {
+            self.lo + 1
+        } else {
+            self.lo
+        };
+        let end = if self.right_boundary.is_some() {
+            self.hi
+        } else {
+            self.hi + 1
+        };
         start..end
     }
 }
@@ -166,7 +174,11 @@ fn block_column_solve(a: &BlockTridiagonal, j: usize) -> Result<(Vec<CMatrix>, u
     let mut y: Vec<CMatrix> = Vec::with_capacity(n);
     for k in 0..n {
         let mut dk = a.diag(k).clone();
-        let mut rk = if k == j { CMatrix::identity(bs) } else { CMatrix::zeros(bs, bs) };
+        let mut rk = if k == j {
+            CMatrix::identity(bs)
+        } else {
+            CMatrix::zeros(bs, bs)
+        };
         if k > 0 {
             let lower = a.lower(k - 1); // A_{k, k-1}
             let l_dinv = matmul(lower, &d_inv[k - 1]);
@@ -294,14 +306,16 @@ fn eliminate_partition(
         let a_last_hi = a.upper(last); // A_{last, hi}
         let col = col_right.as_ref().expect("right column computed");
         // S_hh -= A_{hi,last} [A_I⁻¹]_{last,last} A_{last,hi}
-        let upd = matmul(&matmul(a_hi_last, &col[n_int - 1]), a_last_hi).scaled(c64::new(-1.0, 0.0));
+        let upd =
+            matmul(&matmul(a_hi_last, &col[n_int - 1]), a_last_hi).scaled(c64::new(-1.0, 0.0));
         schur_updates.push((hi, hi, upd));
         flops += 2 * gemm;
         if let Some(lo) = part.left_boundary {
             let a_first_lo = a.lower(lo); // A_{first, lo}
             let col_l = col_left.as_ref().expect("left column computed");
             // S_hl -= A_{hi,last} [A_I⁻¹]_{last,first} A_{first,lo}
-            let upd = matmul(&matmul(a_hi_last, &col_l[n_int - 1]), a_first_lo).scaled(c64::new(-1.0, 0.0));
+            let upd = matmul(&matmul(a_hi_last, &col_l[n_int - 1]), a_first_lo)
+                .scaled(c64::new(-1.0, 0.0));
             schur_updates.push((hi, lo, upd));
             flops += 2 * gemm;
         }
@@ -384,7 +398,10 @@ pub fn nested_dissection_invert(
         for (bi, bj, upd) in &elim.schur_updates {
             let i = sep_index(*bi);
             let j = sep_index(*bj);
-            let mut blk = reduced.block(i, j).cloned().unwrap_or_else(|| CMatrix::zeros(bs, bs));
+            let mut blk = reduced
+                .block(i, j)
+                .cloned()
+                .unwrap_or_else(|| CMatrix::zeros(bs, bs));
             blk += upd;
             reduced.set_block(i, j, blk);
             communicated_blocks += 1;
@@ -408,7 +425,10 @@ pub fn nested_dissection_invert(
                 return (out, flops);
             }
             let first = interior_range.start;
-            let interior_sel = elim.interior_selected.as_ref().expect("interior selected inverse");
+            let interior_sel = elim
+                .interior_selected
+                .as_ref()
+                .expect("interior selected inverse");
 
             // Boundary descriptors: (separator block, A_{I,b} entry row, A_{b,I} entry, columns, rows)
             struct Boundary<'a> {
@@ -424,8 +444,8 @@ pub fn nested_dissection_invert(
                     sep: lo,
                     cols: elim.col_left.as_ref().expect("left column"),
                     rows: elim.row_left.as_ref().expect("left row"),
-                    a_int_to_sep: a.lower(lo),  // A_{first, lo}
-                    a_sep_to_int: a.upper(lo),  // A_{lo, first}
+                    a_int_to_sep: a.lower(lo), // A_{first, lo}
+                    a_sep_to_int: a.upper(lo), // A_{lo, first}
                 });
             }
             if let Some(hi) = part.right_boundary {
@@ -467,7 +487,10 @@ pub fn nested_dissection_invert(
                 let mut xkk = interior_sel.diag(k).clone();
                 for b1 in 0..boundaries.len() {
                     for b2 in 0..boundaries.len() {
-                        let corr = matmul(&matmul(&left_factors[b1][k], &x_bb(b1, b2)), &right_factors[b2][k]);
+                        let corr = matmul(
+                            &matmul(&left_factors[b1][k], &x_bb(b1, b2)),
+                            &right_factors[b2][k],
+                        );
                         xkk += &corr;
                         flops += 2 * gemm;
                     }
@@ -479,8 +502,14 @@ pub fn nested_dissection_invert(
                     for b1 in 0..boundaries.len() {
                         for b2 in 0..boundaries.len() {
                             let xb = x_bb(b1, b2);
-                            xup += &matmul(&matmul(&left_factors[b1][k], &xb), &right_factors[b2][k + 1]);
-                            xlo += &matmul(&matmul(&left_factors[b1][k + 1], &xb), &right_factors[b2][k]);
+                            xup += &matmul(
+                                &matmul(&left_factors[b1][k], &xb),
+                                &right_factors[b2][k + 1],
+                            );
+                            xlo += &matmul(
+                                &matmul(&left_factors[b1][k + 1], &xb),
+                                &right_factors[b2][k],
+                            );
                             flops += 4 * gemm;
                         }
                     }
@@ -520,7 +549,9 @@ pub fn nested_dissection_invert(
         }
     }
     let mut partition_workloads: Vec<PartitionWorkload> = Vec::with_capacity(parts.len());
-    for ((elim, (blocks, rec_flops)), _part) in eliminations.into_iter().zip(recovered.into_iter()).zip(parts.iter()) {
+    for ((elim, (blocks, rec_flops)), _part) in
+        eliminations.into_iter().zip(recovered).zip(parts.iter())
+    {
         let mut wl = elim.workload;
         wl.flops += rec_flops;
         partition_workloads.push(wl);
@@ -556,8 +587,12 @@ mod tests {
             a.set_block(i, i, d);
         }
         for i in 0..nb - 1 {
-            let u = CMatrix::from_fn(bs, bs, |r, c| cplx(-0.45 + 0.02 * r as f64, 0.03 * c as f64));
-            let l = CMatrix::from_fn(bs, bs, |r, c| cplx(-0.4 - 0.01 * c as f64, -0.02 * r as f64));
+            let u = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(-0.45 + 0.02 * r as f64, 0.03 * c as f64)
+            });
+            let l = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(-0.4 - 0.01 * c as f64, -0.02 * r as f64)
+            });
             a.set_block(i, i + 1, u);
             a.set_block(i + 1, i, l);
         }
@@ -577,8 +612,14 @@ mod tests {
             );
         }
         for i in 0..9 {
-            assert!(dist.upper(i).approx_eq(seq.retarded.upper(i), 1e-8), "upper {i}");
-            assert!(dist.lower(i).approx_eq(seq.retarded.lower(i), 1e-8), "lower {i}");
+            assert!(
+                dist.upper(i).approx_eq(seq.retarded.upper(i), 1e-8),
+                "upper {i}"
+            );
+            assert!(
+                dist.lower(i).approx_eq(seq.retarded.lower(i), 1e-8),
+                "lower {i}"
+            );
         }
         assert_eq!(report.partitions.len(), 2);
         assert_eq!(report.reduced_system_blocks, 2);
@@ -590,11 +631,20 @@ mod tests {
         let seq = rgf_selected_inverse(&a).unwrap();
         let (dist, report) = nested_dissection_invert(&a, &NestedConfig::new(4)).unwrap();
         for i in 0..16 {
-            assert!(dist.diag(i).approx_eq(seq.retarded.diag(i), 1e-8), "diag {i}");
+            assert!(
+                dist.diag(i).approx_eq(seq.retarded.diag(i), 1e-8),
+                "diag {i}"
+            );
         }
         for i in 0..15 {
-            assert!(dist.upper(i).approx_eq(seq.retarded.upper(i), 1e-8), "upper {i}");
-            assert!(dist.lower(i).approx_eq(seq.retarded.lower(i), 1e-8), "lower {i}");
+            assert!(
+                dist.upper(i).approx_eq(seq.retarded.upper(i), 1e-8),
+                "upper {i}"
+            );
+            assert!(
+                dist.lower(i).approx_eq(seq.retarded.lower(i), 1e-8),
+                "lower {i}"
+            );
         }
         assert_eq!(report.partitions.len(), 4);
         // 2 separators per inner boundary: partitions 0|1|2|3 -> 6 separators.
@@ -607,7 +657,10 @@ mod tests {
         let seq = rgf_selected_inverse(&a).unwrap();
         let (dist, _) = nested_dissection_invert(&a, &NestedConfig::new(3)).unwrap();
         for i in 0..11 {
-            assert!(dist.diag(i).approx_eq(seq.retarded.diag(i), 1e-8), "diag {i}");
+            assert!(
+                dist.diag(i).approx_eq(seq.retarded.diag(i), 1e-8),
+                "diag {i}"
+            );
         }
     }
 
@@ -616,7 +669,10 @@ mod tests {
         let a = test_system(24, 2);
         let (_, report) = nested_dissection_invert(&a, &NestedConfig::new(4)).unwrap();
         let ratio = report.boundary_to_middle_ratio().unwrap();
-        assert!(ratio > 0.4 && ratio < 0.95, "boundary/middle ratio = {ratio}");
+        assert!(
+            ratio > 0.4 && ratio < 0.95,
+            "boundary/middle ratio = {ratio}"
+        );
         // Every middle partition performs fill-in work.
         for p in &report.partitions[1..3] {
             assert!(p.fill_in_blocks > 0);

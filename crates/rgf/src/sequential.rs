@@ -163,7 +163,10 @@ pub fn rgf_solve(
             let mut w = xl_next.clone();
             w -= &matmul(&matmul(&x_alo, gli), &matmul(&a_lo_dag, &x_next_dag));
             w += &matmul(&matmul(&x_alo, gi), &matmul(b_up, &x_next_dag));
-            w += &matmul(&matmul(&matmul(&x_next, b_lo), &gi_dag), &matmul(&a_lo_dag, &x_next_dag));
+            w += &matmul(
+                &matmul(&matmul(&x_next, b_lo), &gi_dag),
+                &matmul(&a_lo_dag, &x_next_dag),
+            );
             flops += 12 * gemm;
 
             // Xl_{ii} = Θ gl Θ† + g A_up W A_up† g†
@@ -175,10 +178,7 @@ pub fn rgf_solve(
                 &matmul(&matmul(&theta, gi), b_up),
                 &matmul(&x_next_dag, &matmul(&a_up_dag, &gi_dag)),
             );
-            xl_ii -= &matmul(
-                &matmul(&g_aup_x, b_lo),
-                &matmul(&gi_dag, &theta_dag),
-            );
+            xl_ii -= &matmul(&matmul(&g_aup_x, b_lo), &matmul(&gi_dag, &theta_dag));
             flops += 14 * gemm;
 
             // Xl_{i+1,i} = −X_{i+1} A_{i+1,i} gl_i Θ†
@@ -214,7 +214,11 @@ pub fn rgf_solve(
         }
     }
 
-    Ok(SelectedSolution { retarded: x, lesser: xl, flops })
+    Ok(SelectedSolution {
+        retarded: x,
+        lesser: xl,
+        flops,
+    })
 }
 
 #[cfg(test)]
@@ -233,21 +237,33 @@ mod tests {
                 if r == c {
                     cplx(2.5 + 0.1 * i as f64, 0.3)
                 } else {
-                    cplx(-0.3 / (1.0 + (r as f64 - c as f64).abs()), 0.07 * (r as f64 - c as f64))
+                    cplx(
+                        -0.3 / (1.0 + (r as f64 - c as f64).abs()),
+                        0.07 * (r as f64 - c as f64),
+                    )
                 }
             });
             a.set_block(i, i, d);
             let braw = CMatrix::from_fn(bs, bs, |r, c| {
-                cplx(0.2 * (r + i) as f64 - 0.1 * c as f64, 0.4 - 0.05 * (r + c) as f64)
+                cplx(
+                    0.2 * (r + i) as f64 - 0.1 * c as f64,
+                    0.4 - 0.05 * (r + c) as f64,
+                )
             });
             b.set_block(i, i, braw.negf_antihermitian_part());
         }
         for i in 0..nb - 1 {
-            let u = CMatrix::from_fn(bs, bs, |r, c| cplx(-0.4 + 0.03 * r as f64, 0.05 * c as f64 + 0.01 * i as f64));
-            let l = CMatrix::from_fn(bs, bs, |r, c| cplx(-0.35 - 0.02 * c as f64, -0.04 * r as f64));
+            let u = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(-0.4 + 0.03 * r as f64, 0.05 * c as f64 + 0.01 * i as f64)
+            });
+            let l = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(-0.35 - 0.02 * c as f64, -0.04 * r as f64)
+            });
             a.set_block(i, i + 1, u);
             a.set_block(i + 1, i, l);
-            let bu = CMatrix::from_fn(bs, bs, |r, c| cplx(0.05 * (r as f64 - c as f64), 0.12 + 0.01 * i as f64));
+            let bu = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(0.05 * (r as f64 - c as f64), 0.12 + 0.01 * i as f64)
+            });
             b.set_block(i, i + 1, bu.clone());
             b.set_block(i + 1, i, bu.dagger().scaled(cplx(-1.0, 0.0)));
         }
@@ -359,7 +375,10 @@ mod tests {
     fn shape_mismatch_is_rejected() {
         let (a, _) = test_system(4, 2);
         let (_, b_wrong) = test_system(5, 2);
-        assert_eq!(rgf_solve(&a, &[&b_wrong]).unwrap_err(), RgfError::ShapeMismatch);
+        assert_eq!(
+            rgf_solve(&a, &[&b_wrong]).unwrap_err(),
+            RgfError::ShapeMismatch
+        );
     }
 
     #[test]
@@ -376,7 +395,13 @@ mod tests {
 
     #[test]
     fn single_block_system_degenerates_to_plain_inverse() {
-        let d = CMatrix::from_fn(3, 3, |r, c| if r == c { cplx(2.0, 0.5) } else { cplx(0.1, 0.0) });
+        let d = CMatrix::from_fn(3, 3, |r, c| {
+            if r == c {
+                cplx(2.0, 0.5)
+            } else {
+                cplx(0.1, 0.0)
+            }
+        });
         let a = BlockTridiagonal::from_parts(vec![d.clone()], vec![], vec![]);
         let sol = rgf_selected_inverse(&a).unwrap();
         let want = quatrex_linalg::lu::inverse(&d).unwrap();

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 /// Aggregate communication statistics of one [`ThreadComm`] run.
 #[derive(Debug, Default)]
 pub struct CommStats {
-    /// Bytes moved by all `alltoall` calls.
+    /// Bytes moved by all `alltoall`/`alltoallv` calls.
     pub alltoall_bytes: AtomicU64,
     /// Bytes moved by all `allreduce_sum` calls.
     pub allreduce_bytes: AtomicU64,
@@ -25,14 +25,41 @@ pub struct CommStats {
     pub broadcast_bytes: AtomicU64,
     /// Number of collective calls of any kind.
     pub n_collectives: AtomicU64,
+    /// Rank-pinned accounting: bytes *sent off-rank* by each rank through
+    /// `alltoall`/`alltoallv`, indexed by rank. Empty until the communicator
+    /// is created. The busiest entry bounds the wall-clock of a real network
+    /// Alltoall, so the spread between
+    /// [`CommStats::max_alltoall_bytes_per_rank`] and the mean diagnoses
+    /// partition imbalance.
+    pub per_rank_alltoall_bytes: Vec<AtomicU64>,
 }
 
 impl CommStats {
+    fn with_ranks(n_ranks: usize) -> Self {
+        Self {
+            per_rank_alltoall_bytes: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+
     /// Total bytes over all collective types.
     pub fn total_bytes(&self) -> u64 {
         self.alltoall_bytes.load(Ordering::Relaxed)
             + self.allreduce_bytes.load(Ordering::Relaxed)
             + self.broadcast_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Off-rank Alltoall bytes sent by each rank.
+    pub fn alltoall_bytes_by_rank(&self) -> Vec<u64> {
+        self.per_rank_alltoall_bytes
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Off-rank Alltoall bytes sent by the busiest rank (0 for a single rank).
+    pub fn max_alltoall_bytes_per_rank(&self) -> u64 {
+        self.alltoall_bytes_by_rank().into_iter().max().unwrap_or(0)
     }
 }
 
@@ -70,16 +97,39 @@ impl<T: Send + 'static> RankContext<T> {
     /// `payload_bytes` reports the wire size of one element of `T` for the
     /// byte accounting (the in-memory exchange itself moves ownership).
     pub fn alltoall(&self, send: Vec<T>, payload_bytes: usize) -> Vec<T> {
-        assert_eq!(send.len(), self.n_ranks, "alltoall needs one message per destination");
+        self.alltoallv(send, |_| payload_bytes)
+    }
+
+    /// Variable-size all-to-all personalised exchange (the `Alltoallv` of the
+    /// energy↔element data transposition, whose per-destination messages are
+    /// unequal whenever the element or energy partitions are unbalanced).
+    ///
+    /// `send[j]` goes to rank `j`; the returned vector contains one entry from
+    /// every rank (index = source). `wire_bytes` reports the wire size of one
+    /// message for the byte accounting — it is called once per destination, so
+    /// messages of different sizes are accounted exactly. Off-rank bytes are
+    /// also pinned to this rank in [`CommStats::per_rank_alltoall_bytes`].
+    pub fn alltoallv(&self, send: Vec<T>, wire_bytes: impl Fn(&T) -> usize) -> Vec<T> {
+        assert_eq!(
+            send.len(),
+            self.n_ranks,
+            "alltoall needs one message per destination"
+        );
         let n = self.n_ranks;
         let mut moved_bytes = 0u64;
         for (dest, msg) in send.into_iter().enumerate() {
             if dest != self.rank {
-                moved_bytes += payload_bytes as u64;
+                moved_bytes += wire_bytes(&msg) as u64;
             }
-            self.mailboxes[dest][self.rank].0.send(msg).expect("peer alive");
+            self.mailboxes[dest][self.rank]
+                .0
+                .send(msg)
+                .expect("peer alive");
         }
-        self.stats.alltoall_bytes.fetch_add(moved_bytes, Ordering::Relaxed);
+        self.stats
+            .alltoall_bytes
+            .fetch_add(moved_bytes, Ordering::Relaxed);
+        self.stats.per_rank_alltoall_bytes[self.rank].fetch_add(moved_bytes, Ordering::Relaxed);
         self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
         let mut out = Vec::with_capacity(n);
         for src in 0..n {
@@ -88,13 +138,27 @@ impl<T: Send + 'static> RankContext<T> {
         out
     }
 
+    /// Gather every rank's message on every rank (implemented as an
+    /// `alltoallv` of clones), returned in rank order. Used for the ordered
+    /// reductions whose floating-point summation order must match the
+    /// sequential driver exactly.
+    pub fn allgather(&self, value: T, wire_bytes: impl Fn(&T) -> usize) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let send: Vec<T> = (0..self.n_ranks).map(|_| value.clone()).collect();
+        self.alltoallv(send, wire_bytes)
+    }
+
     /// Sum-reduction of one `f64` across all ranks; every rank receives the sum.
     pub fn allreduce_sum(&self, value: f64) -> f64 {
         {
             let mut slots = self.reduce_slots.lock();
             slots[self.rank] = value;
         }
-        self.stats.allreduce_bytes.fetch_add(8 * (self.n_ranks as u64 - 1), Ordering::Relaxed);
+        self.stats
+            .allreduce_bytes
+            .fetch_add(8 * (self.n_ranks as u64 - 1), Ordering::Relaxed);
         self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
         self.barrier.wait();
         let sum: f64 = self.reduce_slots.lock().iter().sum();
@@ -123,7 +187,7 @@ impl ThreadComm {
         );
         let barrier = Arc::new(std::sync::Barrier::new(n_ranks));
         let reduce_slots = Arc::new(Mutex::new(vec![0.0f64; n_ranks]));
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommStats::with_ranks(n_ranks));
         let f = Arc::new(f);
 
         let mut handles = Vec::with_capacity(n_ranks);
@@ -139,7 +203,10 @@ impl ThreadComm {
             let f = Arc::clone(&f);
             handles.push(std::thread::spawn(move || f(ctx)));
         }
-        let results = handles.into_iter().map(|h| h.join().expect("rank panicked")).collect();
+        let results = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect();
         (results, stats)
     }
 }
@@ -154,7 +221,9 @@ mod tests {
         // must hold [100*src + d for src in 0..n].
         let n = 4;
         let (results, stats) = ThreadComm::run(n, move |ctx: RankContext<u64>| {
-            let send: Vec<u64> = (0..ctx.n_ranks()).map(|d| 100 * ctx.rank() as u64 + d as u64).collect();
+            let send: Vec<u64> = (0..ctx.n_ranks())
+                .map(|d| 100 * ctx.rank() as u64 + d as u64)
+                .collect();
             ctx.alltoall(send, 8)
         });
         for (dest, got) in results.iter().enumerate() {
@@ -163,7 +232,10 @@ mod tests {
             }
         }
         // Each rank sends (n-1) off-rank messages of 8 bytes.
-        assert_eq!(stats.alltoall_bytes.load(Ordering::Relaxed), (n * (n - 1) * 8) as u64);
+        assert_eq!(
+            stats.alltoall_bytes.load(Ordering::Relaxed),
+            (n * (n - 1) * 8) as u64
+        );
         assert_eq!(stats.n_collectives.load(Ordering::Relaxed), n as u64);
     }
 
@@ -194,6 +266,49 @@ mod tests {
         // All ranks must agree after the final allreduce.
         assert!(results.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
         assert!(stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn alltoallv_accounts_variable_message_sizes_per_rank() {
+        // Rank r sends a vector of length r+1 to every destination: the wire
+        // accounting must see (n-1)·(r+1)·8 off-rank bytes pinned to rank r.
+        let n = 3;
+        let (results, stats) = ThreadComm::run(n, move |ctx: RankContext<Vec<u64>>| {
+            let send: Vec<Vec<u64>> = (0..ctx.n_ranks())
+                .map(|_| vec![ctx.rank() as u64; ctx.rank() + 1])
+                .collect();
+            ctx.alltoallv(send, |m| 8 * m.len())
+        });
+        for got in &results {
+            for (src, msg) in got.iter().enumerate() {
+                assert_eq!(msg.len(), src + 1);
+                assert!(msg.iter().all(|&v| v == src as u64));
+            }
+        }
+        let by_rank = stats.alltoall_bytes_by_rank();
+        for (r, bytes) in by_rank.iter().enumerate() {
+            assert_eq!(*bytes, ((n - 1) * (r + 1) * 8) as u64, "rank {r}");
+        }
+        assert_eq!(
+            stats.max_alltoall_bytes_per_rank(),
+            ((n - 1) * n * 8) as u64
+        );
+        assert_eq!(
+            stats.alltoall_bytes.load(Ordering::Relaxed),
+            by_rank.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn allgather_returns_every_rank_in_order() {
+        let n = 4;
+        let (results, _) = ThreadComm::run(n, move |ctx: RankContext<Vec<f64>>| {
+            ctx.allgather(vec![ctx.rank() as f64; 2], |m| 8 * m.len())
+        });
+        for got in results {
+            let flat: Vec<f64> = got.into_iter().flatten().collect();
+            assert_eq!(flat, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        }
     }
 
     #[test]

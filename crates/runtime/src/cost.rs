@@ -104,12 +104,7 @@ impl CommBackend {
 
     /// Time of one Alltoall in which every rank exchanges `bytes_per_rank`
     /// with the others, on `n_ranks` ranks of the given machine.
-    pub fn alltoall_time(
-        &self,
-        machine: MachineKind,
-        bytes_per_rank: u64,
-        n_ranks: usize,
-    ) -> f64 {
+    pub fn alltoall_time(&self, machine: MachineKind, bytes_per_rank: u64, n_ranks: usize) -> f64 {
         if n_ranks <= 1 {
             return 0.0;
         }
@@ -130,8 +125,7 @@ impl CommBackend {
         let link = LinkParameters::for_machine(machine);
         let n_nodes = n_ranks.div_ceil(link.elements_per_node);
         let latency = 2.0 * link.latency_s * (n_ranks as f64).log2().max(1.0);
-        let bandwidth_term =
-            2.0 * bytes as f64 / (link.bandwidth_bytes_per_s * self.efficiency());
+        let bandwidth_term = 2.0 * bytes as f64 / (link.bandwidth_bytes_per_s * self.efficiency());
         (latency + bandwidth_term) * self.instability_penalty(machine, n_nodes)
     }
 }
@@ -162,10 +156,16 @@ mod tests {
 
     #[test]
     fn frontier_ccl_degrades_earlier_than_alps_ccl() {
-        let a = CommBackend::Ccl.instability_threshold_nodes(MachineKind::Alps).unwrap();
-        let f = CommBackend::Ccl.instability_threshold_nodes(MachineKind::Frontier).unwrap();
+        let a = CommBackend::Ccl
+            .instability_threshold_nodes(MachineKind::Alps)
+            .unwrap();
+        let f = CommBackend::Ccl
+            .instability_threshold_nodes(MachineKind::Frontier)
+            .unwrap();
         assert!(f < a);
-        assert!(CommBackend::HostMpi.instability_threshold_nodes(MachineKind::Alps).is_none());
+        assert!(CommBackend::HostMpi
+            .instability_threshold_nodes(MachineKind::Alps)
+            .is_none());
     }
 
     #[test]
@@ -176,7 +176,10 @@ mod tests {
         let few = CommBackend::HostMpi.allreduce_time(MachineKind::Frontier, 8, 8);
         let many = CommBackend::HostMpi.allreduce_time(MachineKind::Frontier, 8, 8_192);
         assert!(many > few);
-        assert_eq!(CommBackend::Ccl.alltoall_time(MachineKind::Alps, 1_000, 1), 0.0);
+        assert_eq!(
+            CommBackend::Ccl.alltoall_time(MachineKind::Alps, 1_000, 1),
+            0.0
+        );
     }
 
     #[test]

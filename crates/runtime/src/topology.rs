@@ -31,7 +31,11 @@ impl DecompositionPlan {
     /// remainder is handled by one partially filled group.
     pub fn new(n_energies: usize, energies_per_group: usize, spatial_partitions: usize) -> Self {
         assert!(n_energies >= 1 && energies_per_group >= 1 && spatial_partitions >= 1);
-        Self { n_energies, energies_per_group, spatial_partitions }
+        Self {
+            n_energies,
+            energies_per_group,
+            spatial_partitions,
+        }
     }
 
     /// Number of rank groups along the energy axis.
@@ -72,8 +76,16 @@ pub struct TranspositionVolume {
 impl TranspositionVolume {
     /// Volume for a quantity with `nnz` stored complex values per energy.
     pub fn new(nnz: usize, n_energies: usize, n_ranks: usize, symmetry_reduced: bool) -> Self {
-        let elements = if symmetry_reduced { nnz.div_ceil(2) + nnz / 20 } else { nnz };
-        Self { elements_per_energy: elements, n_energies, n_ranks }
+        let elements = if symmetry_reduced {
+            nnz.div_ceil(2) + nnz / 20
+        } else {
+            nnz
+        };
+        Self {
+            elements_per_energy: elements,
+            n_energies,
+            n_ranks,
+        }
     }
 
     /// Total number of complex values exchanged by the full Alltoall

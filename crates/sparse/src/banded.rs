@@ -44,7 +44,11 @@ impl BlockBanded {
         let block_size = diag_block.nrows();
         assert!(diag_block.is_square(), "diagonal block must be square");
         for b in off_blocks {
-            assert_eq!(b.shape(), (block_size, block_size), "off-diagonal block shape mismatch");
+            assert_eq!(
+                b.shape(),
+                (block_size, block_size),
+                "off-diagonal block shape mismatch"
+            );
         }
         let bandwidth = off_blocks.len();
         let mut m = Self::zeros(n_blocks, block_size, bandwidth);
@@ -99,7 +103,11 @@ impl BlockBanded {
 
     /// Set block `(i, j)`. Panics if `(i, j)` lies outside the band.
     pub fn set_block(&mut self, i: usize, j: usize, block: CMatrix) {
-        assert_eq!(block.shape(), (self.block_size, self.block_size), "block shape mismatch");
+        assert_eq!(
+            block.shape(),
+            (self.block_size, self.block_size),
+            "block shape mismatch"
+        );
         let s = self
             .slot(i, j)
             .unwrap_or_else(|| panic!("block ({i},{j}) outside bandwidth {}", self.bandwidth));
@@ -180,11 +188,15 @@ impl BlockBanded {
             let klo = i.saturating_sub(self.bandwidth);
             let khi = (i + self.bandwidth).min(self.n_blocks - 1);
             for k in klo..=khi {
-                let Some(a_ik) = self.block(i, k) else { continue };
+                let Some(a_ik) = self.block(i, k) else {
+                    continue;
+                };
                 let jlo = k.saturating_sub(other.bandwidth);
                 let jhi = (k + other.bandwidth).min(self.n_blocks - 1);
                 for j in jlo..=jhi {
-                    let Some(b_kj) = other.block(k, j) else { continue };
+                    let Some(b_kj) = other.block(k, j) else {
+                        continue;
+                    };
                     if (j as isize - i as isize).unsigned_abs() > bw {
                         continue;
                     }
@@ -304,7 +316,7 @@ mod tests {
     #[test]
     fn nnz_counts_stored_blocks() {
         let (d, offs) = cell_blocks(2);
-        let h = BlockBanded::from_periodic_cell(4, &d, &offs[..1].to_vec());
+        let h = BlockBanded::from_periodic_cell(4, &d, &offs[..1]);
         // 4 diagonal + 3 upper + 3 lower = 10 blocks of 4 entries.
         assert_eq!(h.nnz(), 40);
     }
@@ -312,7 +324,7 @@ mod tests {
     #[test]
     fn banded_product_matches_dense_product() {
         let (d, offs) = cell_blocks(2);
-        let a = BlockBanded::from_periodic_cell(5, &d, &offs[..1].to_vec());
+        let a = BlockBanded::from_periodic_cell(5, &d, &offs[..1]);
         let b = BlockBanded::from_periodic_cell(5, &d, &offs);
         let (ab, flops) = a.multiply(&b);
         assert!(flops > 0);
@@ -326,8 +338,8 @@ mod tests {
         // V and P share bandwidth bw; V*P has 2bw and V*P*V† has 3bw
         // (clamped by the matrix size), cf. Section 4.3.1.
         let (d, offs) = cell_blocks(2);
-        let v = BlockBanded::from_periodic_cell(8, &d, &offs[..1].to_vec());
-        let p = BlockBanded::from_periodic_cell(8, &d, &offs[..1].to_vec());
+        let v = BlockBanded::from_periodic_cell(8, &d, &offs[..1]);
+        let p = BlockBanded::from_periodic_cell(8, &d, &offs[..1]);
         let (vp, _) = v.multiply(&p);
         assert_eq!(vp.bandwidth(), 2);
         let (vpv, _) = vp.multiply(&v.dagger());
@@ -337,21 +349,30 @@ mod tests {
     #[test]
     fn add_and_scale() {
         let (d, offs) = cell_blocks(2);
-        let a = BlockBanded::from_periodic_cell(4, &d, &offs[..1].to_vec());
+        let a = BlockBanded::from_periodic_cell(4, &d, &offs[..1]);
         let sum = a.add(cplx(-1.0, 0.0), &a);
         assert!(sum.to_dense().norm_max() < 1e-14);
         let mut b = a.clone();
         b.scale_mut(cplx(2.0, 0.0));
-        assert!(b.to_dense().approx_eq(&a.to_dense().scaled(cplx(2.0, 0.0)), 1e-13));
+        assert!(b
+            .to_dense()
+            .approx_eq(&a.to_dense().scaled(cplx(2.0, 0.0)), 1e-13));
     }
 
     #[test]
     fn dagger_matches_dense_dagger() {
         let (d, offs) = cell_blocks(3);
-        let mut a = BlockBanded::from_periodic_cell(4, &d, &offs[..1].to_vec());
+        let mut a = BlockBanded::from_periodic_cell(4, &d, &offs[..1]);
         // Break hermiticity so dagger is non-trivial.
-        a.set_block(0, 1, CMatrix::from_fn(3, 3, |i, j| cplx(i as f64, j as f64)));
-        assert!(a.dagger().to_dense().approx_eq(&a.to_dense().dagger(), 1e-13));
+        a.set_block(
+            0,
+            1,
+            CMatrix::from_fn(3, 3, |i, j| cplx(i as f64, j as f64)),
+        );
+        assert!(a
+            .dagger()
+            .to_dense()
+            .approx_eq(&a.to_dense().dagger(), 1e-13));
     }
 
     #[test]
@@ -375,7 +396,7 @@ mod tests {
     #[test]
     fn out_of_band_block_access_returns_none() {
         let (d, offs) = cell_blocks(2);
-        let h = BlockBanded::from_periodic_cell(6, &d, &offs[..1].to_vec());
+        let h = BlockBanded::from_periodic_cell(6, &d, &offs[..1]);
         assert!(h.block(0, 3).is_none());
         assert!(h.block(0, 1).is_some());
     }

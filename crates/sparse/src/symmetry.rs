@@ -149,11 +149,15 @@ mod tests {
         // non-symmetric perturbation, mimicking RGF round-off (Section 5.2).
         let mut bt = BlockTridiagonal::zeros(nb, bs);
         for i in 0..nb {
-            let raw = CMatrix::from_fn(bs, bs, |r, c| cplx((r * 3 + c + i) as f64 * 0.1, 0.3 - c as f64 * 0.05));
+            let raw = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx((r * 3 + c + i) as f64 * 0.1, 0.3 - c as f64 * 0.05)
+            });
             bt.set_block(i, i, raw.negf_antihermitian_part());
         }
         for i in 0..nb - 1 {
-            let u = CMatrix::from_fn(bs, bs, |r, c| cplx(0.05 * (r as f64 - c as f64), 0.2 + i as f64 * 0.01));
+            let u = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(0.05 * (r as f64 - c as f64), 0.2 + i as f64 * 0.01)
+            });
             bt.set_block(i, i + 1, u.clone());
             bt.set_block(i + 1, i, u.dagger().scaled(cplx(-1.0, 0.0)));
         }

@@ -33,12 +33,29 @@ impl BlockTridiagonal {
     pub fn from_parts(diag: Vec<CMatrix>, upper: Vec<CMatrix>, lower: Vec<CMatrix>) -> Self {
         assert!(!diag.is_empty(), "at least one diagonal block required");
         let block_size = diag[0].nrows();
-        assert_eq!(upper.len(), diag.len() - 1, "upper diagonal length mismatch");
-        assert_eq!(lower.len(), diag.len() - 1, "lower diagonal length mismatch");
+        assert_eq!(
+            upper.len(),
+            diag.len() - 1,
+            "upper diagonal length mismatch"
+        );
+        assert_eq!(
+            lower.len(),
+            diag.len() - 1,
+            "lower diagonal length mismatch"
+        );
         for b in diag.iter().chain(upper.iter()).chain(lower.iter()) {
-            assert_eq!(b.shape(), (block_size, block_size), "inconsistent block shapes");
+            assert_eq!(
+                b.shape(),
+                (block_size, block_size),
+                "inconsistent block shapes"
+            );
         }
-        Self { diag, upper, lower, block_size }
+        Self {
+            diag,
+            upper,
+            lower,
+            block_size,
+        }
     }
 
     /// Build a block-Toeplitz tridiagonal matrix from one diagonal block and
@@ -117,7 +134,11 @@ impl BlockTridiagonal {
 
     /// Set any block within the tridiagonal band.
     pub fn set_block(&mut self, i: usize, j: usize, block: CMatrix) {
-        assert_eq!(block.shape(), (self.block_size, self.block_size), "block shape mismatch");
+        assert_eq!(
+            block.shape(),
+            (self.block_size, self.block_size),
+            "block shape mismatch"
+        );
         if i == j {
             self.diag[i] = block;
         } else if j == i + 1 {
@@ -161,7 +182,12 @@ impl BlockTridiagonal {
         let diag = self.diag.iter().map(|b| b.dagger()).collect();
         let upper = self.lower.iter().map(|b| b.dagger()).collect();
         let lower = self.upper.iter().map(|b| b.dagger()).collect();
-        BlockTridiagonal { diag, upper, lower, block_size: self.block_size }
+        BlockTridiagonal {
+            diag,
+            upper,
+            lower,
+            block_size: self.block_size,
+        }
     }
 
     /// Enforce the NEGF lesser/greater symmetry `X_ij = −X*_ji` block-wise,
@@ -323,7 +349,10 @@ mod tests {
     #[test]
     fn dagger_matches_dense() {
         let bt = sample_bt(4, 3);
-        assert!(bt.dagger().to_dense().approx_eq(&bt.to_dense().dagger(), 1e-13));
+        assert!(bt
+            .dagger()
+            .to_dense()
+            .approx_eq(&bt.to_dense().dagger(), 1e-13));
     }
 
     #[test]

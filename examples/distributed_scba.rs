@@ -1,0 +1,157 @@
+//! Distributed SCBA demo: run the full `G → P → W → Σ` cycle across 4
+//! simulated ranks, verify the observables against the single-process solver,
+//! and print the measured vs. modelled all-to-all transposition volumes —
+//! the quantities behind the paper's Fig. 3 dataflow and Fig. 6 weak-scaling
+//! study. The measured per-rank volume is then fed into the weak-scaling
+//! model in place of the analytic estimate.
+//!
+//! Run with: `cargo run --release --example distributed_scba`
+
+use quatrex::prelude::*;
+use quatrex_runtime::CommBackend;
+
+fn main() {
+    let device = DeviceBuilder::test_device(3, 2, 4).build();
+    let config = ScbaConfig {
+        n_energies: 16,
+        max_iterations: 4,
+        mixing: 0.4,
+        tolerance: 1e-12,
+        interaction_scale: 0.2,
+        ..Default::default()
+    };
+
+    // Single-process reference.
+    let sequential = ScbaSolver::new(device.clone(), config.clone()).run();
+
+    // The same problem across 4 simulated ranks: each rank runs assembly +
+    // RGF for its energy slice, the element-major convolutions for its slice
+    // of the canonical element list, and four Alltoallv transpositions per
+    // iteration move the data between the two layouts.
+    let n_ranks = 4;
+    let dist_config = DistScbaConfig::new(config, n_ranks);
+    let solver = DistScbaSolver::new(device, dist_config);
+    let plan = solver.plan();
+    println!("distributed SCBA on {n_ranks} simulated ranks");
+    println!(
+        "  energy slices   : {:?}",
+        plan.energy_ranges
+            .iter()
+            .map(|r| r.len())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  element slices  : {:?} of {} canonical elements",
+        plan.element_ranges
+            .iter()
+            .map(|r| r.len())
+            .collect::<Vec<_>>(),
+        plan.n_canonical(),
+    );
+    let result = solver.run();
+
+    let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-30);
+    println!("\nobservable equivalence vs. the sequential solver:");
+    println!(
+        "  current : {:+.9e} vs {:+.9e} (rel err {:.1e})",
+        result.observables.current,
+        sequential.observables.current,
+        rel(result.observables.current, sequential.observables.current),
+    );
+    let density_err = result
+        .observables
+        .electron_density
+        .iter()
+        .zip(&sequential.observables.electron_density)
+        .fold(0.0f64, |m, (a, b)| m.max(rel(*a, *b)));
+    println!("  density : max rel err {density_err:.1e} over transport cells");
+    println!(
+        "  iterations: {} (converged: {}), memoizer hit rate {:.1}%",
+        result.iterations,
+        result.converged,
+        100.0 * result.memoizer_hit_rate,
+    );
+
+    // Measured vs. modelled communication volumes.
+    let report = &result.report;
+    println!(
+        "\nalltoall transposition volume ({} full iterations):",
+        report.full_iterations
+    );
+    println!("  {:<32} {:>14}", "", "bytes");
+    println!(
+        "  {:<32} {:>14}",
+        "measured (transpositions)", report.measured_transposition_bytes
+    );
+    println!(
+        "  {:<32} {:>14}",
+        "measured (all alltoalls)", report.measured_alltoall_bytes
+    );
+    println!(
+        "  {:<32} {:>14}",
+        "modelled (TranspositionVolume)",
+        report.predicted_alltoall_bytes()
+    );
+    println!(
+        "  agreement: {:+.2}% (symmetry-reduced wire format: {})",
+        100.0 * report.volume_agreement(),
+        report.symmetry_reduced,
+    );
+    println!(
+        "  busiest rank sent {} bytes off-rank; {} collectives total",
+        report.measured_max_bytes_per_rank, report.n_collectives,
+    );
+
+    // Feed *measured* volumes into the Fig. 6 weak-scaling model in place of
+    // the analytic estimate: sweep the rank count of the toy run (8 ranks per
+    // Frontier node), collect each run's per-rank, per-iteration transposition
+    // volume, and price those bytes with the same backend cost model the
+    // analytic series uses. (The toy device is orders of magnitude smaller
+    // than the paper's NR-16, so the point is the plumbing, not the scale.)
+    let params = DeviceCatalog::nr16();
+    let system = SystemModel::frontier();
+    let sweep_device = DeviceBuilder::test_device(3, 2, 4).build();
+    let nodes = [1usize, 2, 4];
+    let measured: Vec<u64> = nodes
+        .iter()
+        .map(|&n| {
+            let ranks = n * system.elements_per_node;
+            let cfg = ScbaConfig {
+                n_energies: 32,
+                max_iterations: 2,
+                tolerance: 1e-12,
+                interaction_scale: 0.2,
+                ..Default::default()
+            };
+            let run =
+                DistScbaSolver::new(sweep_device.clone(), DistScbaConfig::new(cfg, ranks)).run();
+            run.report.measured_bytes_per_rank_per_iteration()
+        })
+        .collect();
+    let modelled =
+        quatrex_perf::weak_scaling_series(&params, &system, CommBackend::HostMpi, 1, 1, &nodes);
+    let from_measured = quatrex_perf::weak_scaling_series_measured(
+        &params,
+        &system,
+        CommBackend::HostMpi,
+        1,
+        1,
+        &nodes,
+        &measured,
+    );
+    println!("\nweak-scaling model fed with measured volumes (host MPI, Frontier interconnect):");
+    println!(
+        "  {:>6} {:>8} {:>18} {:>20} {:>16}",
+        "nodes", "ranks", "meas bytes/rank/it", "comm (NR-16 model) s", "comm (meas) s"
+    );
+    for ((m, f), &v) in modelled
+        .iter()
+        .zip(from_measured.iter())
+        .zip(measured.iter())
+    {
+        println!(
+            "  {:>6} {:>8} {:>18} {:>20.3e} {:>16.3e}",
+            m.nodes, m.elements, v, m.communication_s, f.communication_s
+        );
+    }
+}

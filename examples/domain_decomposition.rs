@@ -18,8 +18,19 @@ fn main() {
     let h = device.hamiltonian_bt();
     let flops = FlopCounter::new();
     let asm = assemble_g(
-        &h, 1.0, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
-        ObcMethod::SanchoRubio, None, &flops,
+        &h,
+        1.0,
+        1e-3,
+        0,
+        None,
+        None,
+        None,
+        0.1,
+        -0.1,
+        0.0259,
+        ObcMethod::SanchoRubio,
+        None,
+        &flops,
     );
 
     let sequential = rgf_selected_inverse(&asm.system).expect("sequential RGF");

@@ -28,13 +28,20 @@ fn solve_at_bias(bias: f64, gw_iterations: usize) -> (f64, usize) {
         ..Default::default()
     };
     let solver = ScbaSolver::new(device, config);
-    let result = if gw_iterations <= 1 { solver.ballistic() } else { solver.run() };
+    let result = if gw_iterations <= 1 {
+        solver.ballistic()
+    } else {
+        solver.run()
+    };
     (result.observables.current, result.iterations)
 }
 
 fn main() {
     println!("nanoribbon FET I-V sweep (reduced NR-16 geometry)");
-    println!("{:>10} {:>18} {:>18}", "V_ds [V]", "I ballistic", "I (3 GW iters)");
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "V_ds [V]", "I ballistic", "I (3 GW iters)"
+    );
     for step in 0..=4 {
         let bias = 0.05 * step as f64;
         let (i_ballistic, _) = solve_at_bias(bias, 1);

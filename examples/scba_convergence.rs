@@ -38,7 +38,10 @@ fn main() {
         );
         println!(
             "  residual history: {:?}",
-            res.residual_history.iter().map(|r| (r * 1e4).round() / 1e4).collect::<Vec<_>>()
+            res.residual_history
+                .iter()
+                .map(|r| (r * 1e4).round() / 1e4)
+                .collect::<Vec<_>>()
         );
         println!(
             "  current = {:.4e}, memoizer hit rate = {:.0}%, wall time = {:.2} s\n",

@@ -1,0 +1,196 @@
+//! Offline drop-in replacement for the subset of the `criterion` API used by
+//! the QuaTrEx-RS benches.
+//!
+//! The real criterion performs warm-up, outlier rejection and statistical
+//! regression; this shim runs each benchmark a small fixed number of times and
+//! prints the mean wall time — enough to (a) keep every bench target compiling
+//! and runnable offline and (b) give order-of-magnitude numbers for the
+//! tables. `sample_size` is respected (capped) so quick benches stay quick.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Hard cap on iterations per benchmark, keeping offline runs short.
+const MAX_SAMPLES: usize = 10;
+
+/// Prevent the optimiser from discarding a benchmarked value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Per-iteration timing harness handed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its mean wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples (capped to keep offline runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, MAX_SAMPLES);
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples.min(MAX_SAMPLES),
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ms = if b.iters > 0 {
+            b.total_ns as f64 / b.iters as f64 / 1e6
+        } else {
+            0.0
+        };
+        println!(
+            "bench {:<40} {:>12.3} ms/iter ({} iters)",
+            format!("{}/{}", self.name, id.id),
+            mean_ms,
+            b.iters
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmark a closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 3,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(BenchmarkId::from_parameter("default"), f);
+        group.finish();
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut runs = 0;
+        group.bench_function(BenchmarkId::from_parameter("count"), |b| {
+            b.iter(|| runs += 1)
+        });
+        group.finish();
+        assert_eq!(runs, 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline drop-in replacement for the subset of the `crossbeam` API used by
+//! QuaTrEx-RS: the `channel` module with unbounded MPMC channels whose
+//! `Sender` and `Receiver` are both `Sync` (unlike `std::sync::mpsc`, whose
+//! receiver cannot be shared behind an `Arc` across rank threads).
+//!
+//! Implemented as a `Mutex<VecDeque>` + `Condvar` queue — not lock-free like
+//! the real crossbeam, but the simulated runtime exchanges a handful of large
+//! block payloads per collective, so queue contention is negligible.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake blocked receivers so they can error out.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message. Never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message, blocking until one is available or every sender
+        /// has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.chan.ready.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Dequeue a message if one is immediately available.
+        pub fn try_recv(&self) -> Option<T> {
+            self.chan
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn messages_arrive_in_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..100 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn receiver_is_sync_behind_arc() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx = Arc::new(rx);
+            let handle = {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || rx.recv().unwrap())
+            };
+            tx.send(42).unwrap();
+            assert_eq!(handle.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn recv_errors_once_senders_are_gone() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

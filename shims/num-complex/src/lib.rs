@@ -1,0 +1,455 @@
+//! Offline drop-in replacement for the subset of the `num-complex` API used by
+//! QuaTrEx-RS.
+//!
+//! The build environment of this repository has no access to crates.io, so the
+//! workspace vendors the handful of externally-sourced abstractions it relies
+//! on as minimal local shims (see `shims/README.md`). This crate provides
+//! `Complex<f64>` with the exact operator surface the solver uses: the four
+//! arithmetic operations in every value/reference combination, mixed
+//! complex/real arithmetic, the assigning operators, negation, summation,
+//! conjugation, norms and the principal square root. Layout and semantics
+//! follow the real `num-complex` crate so that swapping the registry version
+//! back in is a one-line change in the workspace manifest.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` over `T`.
+///
+/// Only `T = f64` carries the full method surface; the struct itself is kept
+/// generic so type aliases such as `Complex<f64>` match the upstream crate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// `Complex<f64>`, the only instantiation used by the workspace.
+pub type Complex64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    /// Create a complex number from its real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+}
+
+impl Complex<f64> {
+    /// The imaginary unit `i`.
+    pub const I: Self = Self::new(0.0, 1.0);
+
+    /// Complex conjugate `re − i·im`.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `√(re² + im²)` (hypot, overflow-safe).
+    #[inline(always)]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Absolute value — alias of [`Complex::norm`] kept for API parity.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.norm()
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Construct from polar coordinates `r·exp(iθ)`.
+    #[inline(always)]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline(always)]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(self, t: f64) -> Self {
+        Self::new(self.re * t, self.im * t)
+    }
+
+    /// Principal square root (branch cut along the negative real axis).
+    pub fn sqrt(self) -> Self {
+        if self.im == 0.0 {
+            if self.re >= 0.0 {
+                return Self::new(self.re.sqrt(), 0.0);
+            }
+            // Keep the sign convention of num-complex: the result lies on the
+            // branch with non-negative imaginary part for im = +0.
+            return Self::new(0.0, (-self.re).sqrt().copysign(self.im.signum()));
+        }
+        let r = self.norm();
+        let two = 2.0f64;
+        let re = ((r + self.re) / two).sqrt();
+        let im = ((r - self.re) / two).sqrt() * self.im.signum();
+        Self::new(re, im)
+    }
+
+    /// Complex exponential `exp(z)`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal natural logarithm.
+    pub fn ln(self) -> Self {
+        Self::new(self.norm().ln(), self.arg())
+    }
+
+    /// Integer power by repeated squaring (matches `num-complex::powi` for the
+    /// magnitudes used here).
+    pub fn powi(self, n: i32) -> Self {
+        if n == 0 {
+            return Self::new(1.0, 0.0);
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        let mut k = n.unsigned_abs();
+        let mut acc = Self::new(1.0, 0.0);
+        while k > 0 {
+            if k & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            k >>= 1;
+        }
+        acc
+    }
+
+    /// True if both parts are finite.
+    #[inline(always)]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// True if either part is NaN.
+    #[inline(always)]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl From<f64> for Complex<f64> {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        Self::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex<f64> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im < 0.0 {
+            write!(f, "{}-{}i", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic: complex ∘ complex in every value/reference combination.
+// ---------------------------------------------------------------------------
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $body:expr) => {
+        impl $trait<Complex<f64>> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline(always)]
+            fn $method(self, rhs: Complex<f64>) -> Complex<f64> {
+                let f: fn(Complex<f64>, Complex<f64>) -> Complex<f64> = $body;
+                f(self, rhs)
+            }
+        }
+        impl $trait<&Complex<f64>> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline(always)]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $trait::$method(self, *rhs)
+            }
+        }
+        impl $trait<Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline(always)]
+            fn $method(self, rhs: Complex<f64>) -> Complex<f64> {
+                $trait::$method(*self, rhs)
+            }
+        }
+        impl $trait<&Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline(always)]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $trait::$method(*self, *rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, |a, b| Complex::new(a.re + b.re, a.im + b.im));
+forward_binop!(Sub, sub, |a, b| Complex::new(a.re - b.re, a.im - b.im));
+forward_binop!(Mul, mul, |a, b| Complex::new(
+    a.re * b.re - a.im * b.im,
+    a.re * b.im + a.im * b.re
+));
+forward_binop!(Div, div, |a, b| {
+    // Smith's algorithm for a numerically robust complex division.
+    if b.re.abs() >= b.im.abs() {
+        let r = b.im / b.re;
+        let d = b.re + b.im * r;
+        Complex::new((a.re + a.im * r) / d, (a.im - a.re * r) / d)
+    } else {
+        let r = b.re / b.im;
+        let d = b.re * r + b.im;
+        Complex::new((a.re * r + a.im) / d, (a.im * r - a.re) / d)
+    }
+});
+
+// ---------------------------------------------------------------------------
+// Mixed complex/real arithmetic.
+// ---------------------------------------------------------------------------
+
+macro_rules! real_binop {
+    ($trait:ident, $method:ident, $body:expr) => {
+        impl $trait<f64> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline(always)]
+            fn $method(self, rhs: f64) -> Complex<f64> {
+                let f: fn(Complex<f64>, f64) -> Complex<f64> = $body;
+                f(self, rhs)
+            }
+        }
+        impl $trait<f64> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline(always)]
+            fn $method(self, rhs: f64) -> Complex<f64> {
+                $trait::$method(*self, rhs)
+            }
+        }
+    };
+}
+
+real_binop!(Add, add, |a, b| Complex::new(a.re + b, a.im));
+real_binop!(Sub, sub, |a, b| Complex::new(a.re - b, a.im));
+real_binop!(Mul, mul, |a, b| Complex::new(a.re * b, a.im * b));
+real_binop!(Div, div, |a, b| Complex::new(a.re / b, a.im / b));
+
+impl Add<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline(always)]
+    fn add(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self + rhs.re, rhs.im)
+    }
+}
+
+impl Sub<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline(always)]
+    fn sub(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline(always)]
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self * rhs.re, self * rhs.im)
+    }
+}
+
+impl Div<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline(always)]
+    fn div(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self, 0.0) / rhs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Assigning operators, negation, summation.
+// ---------------------------------------------------------------------------
+
+impl AddAssign for Complex<f64> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl AddAssign<&Complex<f64>> for Complex<f64> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: &Self) {
+        *self = *self + *rhs;
+    }
+}
+
+impl SubAssign for Complex<f64> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl SubAssign<&Complex<f64>> for Complex<f64> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: &Self) {
+        *self = *self - *rhs;
+    }
+}
+
+impl MulAssign for Complex<f64> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex<f64> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex<f64> {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl DivAssign<f64> for Complex<f64> {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl AddAssign<f64> for Complex<f64> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: f64) {
+        self.re += rhs;
+    }
+}
+
+impl SubAssign<f64> for Complex<f64> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: f64) {
+        self.re -= rhs;
+    }
+}
+
+impl Neg for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline(always)]
+    fn neg(self) -> Complex<f64> {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Neg for &Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline(always)]
+    fn neg(self) -> Complex<f64> {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex<f64> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex<f64>> for Complex<f64> {
+    fn sum<I: Iterator<Item = &'a Complex<f64>>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-14;
+
+    #[test]
+    fn field_axioms_hold() {
+        let a = Complex::new(1.5, -2.25);
+        let b = Complex::new(-0.5, 3.0);
+        let prod = a * b;
+        assert!(((prod / b) - a).norm() < EPS);
+        assert!((a + b - b - a).norm() < EPS);
+        assert!((a * a.inv() - Complex::new(1.0, 0.0)).norm() < EPS);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for z in [
+            Complex::new(2.0, 3.0),
+            Complex::new(-2.0, 3.0),
+            Complex::new(-4.0, 0.0),
+            Complex::new(0.0, -9.0),
+            Complex::new(4.0, 0.0),
+        ] {
+            let s = z.sqrt();
+            assert!((s * s - z).norm() < 1e-12, "sqrt({z}) = {s}");
+        }
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let z = Complex::new(0.3, -1.2);
+        assert!((z.exp().ln() - z).norm() < 1e-12);
+    }
+
+    #[test]
+    fn conjugation_reverses_phase() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.conj().arg() + 0.7).abs() < EPS);
+        assert!((z.norm_sqr() - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let z = Complex::new(1.0, 2.0);
+        assert_eq!(2.0 * z, z + z);
+        assert_eq!(z / 2.0, Complex::new(0.5, 1.0));
+        let mut w = z;
+        w *= Complex::new(0.0, 1.0);
+        assert_eq!(w, Complex::new(-2.0, 1.0));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex::new(0.8, 0.4);
+        let mut byhand = Complex::new(1.0, 0.0);
+        for _ in 0..5 {
+            byhand *= z;
+        }
+        assert!((z.powi(5) - byhand).norm() < EPS);
+        assert!((z.powi(-2) * z.powi(2) - Complex::new(1.0, 0.0)).norm() < EPS);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub use quatrex_core as core;
 pub use quatrex_device as device;
+pub use quatrex_dist as dist;
 pub use quatrex_fft as fft;
 pub use quatrex_linalg as linalg;
 pub use quatrex_obc as obc;
@@ -35,9 +36,12 @@ pub use quatrex_sparse as sparse;
 pub mod prelude {
     pub use quatrex_core::{ObcMethod, Observables, ScbaConfig, ScbaResult, ScbaSolver};
     pub use quatrex_device::{Device, DeviceBuilder, DeviceCatalog, DeviceParams, EnergyGrid};
+    pub use quatrex_dist::{DistReport, DistScbaConfig, DistScbaResult, DistScbaSolver};
     pub use quatrex_linalg::{c64, CMatrix};
     pub use quatrex_obc::ObcMemoizer;
-    pub use quatrex_perf::{table4_breakdown, table6_rows, MachineModel, SystemModel, WorkloadModel};
+    pub use quatrex_perf::{
+        table4_breakdown, table6_rows, MachineModel, SystemModel, WorkloadModel,
+    };
     pub use quatrex_rgf::{nested_dissection_invert, rgf_solve, NestedConfig};
     pub use quatrex_runtime::{CommBackend, DecompositionPlan};
     pub use quatrex_sparse::{BlockBanded, BlockTridiagonal, SymmetricLesser};

@@ -32,7 +32,11 @@ fn ballistic_current_increases_with_bias() {
         let res = ScbaSolver::new(device, config).ballistic();
         currents.push(res.observables.current);
     }
-    assert!(currents[0].abs() < 1e-6, "zero-bias current should vanish: {}", currents[0]);
+    assert!(
+        currents[0].abs() < 1e-6,
+        "zero-bias current should vanish: {}",
+        currents[0]
+    );
     assert!(currents[1] >= currents[0] - 1e-9);
     assert!(currents[2] >= currents[1] - 1e-9);
 }
@@ -58,8 +62,22 @@ fn scba_converges_and_respects_physical_invariants() {
 
 #[test]
 fn memoizer_does_not_change_the_physics() {
-    let with = ScbaSolver::new(tiny_device(), ScbaConfig { use_memoizer: true, ..fast_config(12, 4) }).run();
-    let without = ScbaSolver::new(tiny_device(), ScbaConfig { use_memoizer: false, ..fast_config(12, 4) }).run();
+    let with = ScbaSolver::new(
+        tiny_device(),
+        ScbaConfig {
+            use_memoizer: true,
+            ..fast_config(12, 4)
+        },
+    )
+    .run();
+    let without = ScbaSolver::new(
+        tiny_device(),
+        ScbaConfig {
+            use_memoizer: false,
+            ..fast_config(12, 4)
+        },
+    )
+    .run();
     let rel = (with.observables.current - without.observables.current).abs()
         / without.observables.current.abs().max(1e-12);
     assert!(rel < 5e-2, "memoizer changed the current by {rel}");

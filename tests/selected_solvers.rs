@@ -8,13 +8,29 @@ use quatrex_linalg::ops::matmul;
 use quatrex_linalg::FlopCounter;
 use quatrex_rgf::{dense_lesser, dense_retarded, rgf_selected_inverse, rgf_solve};
 
-fn assembled_system(nb: usize) -> (quatrex_sparse::BlockTridiagonal, quatrex_sparse::BlockTridiagonal) {
+fn assembled_system(
+    nb: usize,
+) -> (
+    quatrex_sparse::BlockTridiagonal,
+    quatrex_sparse::BlockTridiagonal,
+) {
     let device = DeviceBuilder::test_device(3, 2, nb).build();
     let h = device.hamiltonian_bt();
     let flops = FlopCounter::new();
     let asm = assemble_g(
-        &h, 0.9, 1e-3, 0, None, None, None, 0.1, -0.1, 0.0259,
-        ObcMethod::SanchoRubio, None, &flops,
+        &h,
+        0.9,
+        1e-3,
+        0,
+        None,
+        None,
+        None,
+        0.1,
+        -0.1,
+        0.0259,
+        ObcMethod::SanchoRubio,
+        None,
+        &flops,
     );
     (asm.system, asm.rhs_lesser)
 }
@@ -39,7 +55,10 @@ fn rgf_lesser_matches_dense_reference_on_a_real_device_system() {
     let bs = a.block_size();
     for i in 0..a.n_blocks() {
         let want = dense.submatrix(i * bs, i * bs, bs, bs);
-        assert!(sol.lesser[0].diag(i).approx_eq(&want, 1e-8), "lesser block {i}");
+        assert!(
+            sol.lesser[0].diag(i).approx_eq(&want, 1e-8),
+            "lesser block {i}"
+        );
     }
 }
 
