@@ -1,11 +1,18 @@
 //! Table 6: near-full-machine runs on Alps and Frontier, regenerated from the
 //! paper-calibrated workload model, the machine models and the communication
-//! cost model.
+//! cost model, with the spatial-decomposition overhead *measured* on this
+//! reproduction's nested-dissection solver.
 
-use quatrex_perf::table6_rows;
+use quatrex_bench::measured_decomposition_overhead;
+use quatrex_perf::table6_rows_with;
 
 fn main() {
     println!("=== Table 6: large-scale simulations on Alps and Frontier (model) ===\n");
+    let overhead = measured_decomposition_overhead(4);
+    println!(
+        "(measured decomposition overhead: middle partition {:.2}x even share, boundary/middle {:.2})\n",
+        overhead.middle_factor, overhead.boundary_to_middle,
+    );
     println!(
         "{:<10} {:<7} {:>4} {:>8} {:>10} {:>8} {:>9} {:>14} {:>10} {:>12} {:>9} {:>8} {:>8}",
         "machine",
@@ -22,7 +29,7 @@ fn main() {
         "%Rmax",
         "%Rpeak"
     );
-    for row in table6_rows() {
+    for row in table6_rows_with(&overhead) {
         println!(
             "{:<10} {:<7} {:>4} {:>8} {:>10} {:>8} {:>9} {:>14.1} {:>10.2} {:>12.1} {:>9.1} {:>8.1} {:>8.1}",
             row.machine,

@@ -149,26 +149,50 @@ pub fn g_step_energy(
     flops.add(FlopKind::GRgf, sol.flops);
     timings.add(&timings.g_rgf_ns, t1);
 
-    let mut lesser = sol.lesser[0].clone();
-    let mut greater = sol.lesser[1].clone();
+    let mut lesser = sol.lesser.into_iter();
+    let g_lesser = lesser.next().expect("lesser RHS solved");
+    let g_greater = lesser.next().expect("greater RHS solved");
+    Ok(g_step_finish(
+        &asm.sigma_obc_left_lesser,
+        &asm.sigma_obc_left_greater,
+        sol.retarded,
+        g_lesser,
+        g_greater,
+        config,
+    ))
+}
+
+/// Finish one per-energy G-step from the left-contact OBC blocks of its
+/// assembly and the selected RGF solution: symmetrisation and the spectral
+/// observables. Split out of [`g_step_energy`] so a solver that routes the
+/// RGF solve elsewhere (e.g. the spatially decomposed `quatrex_dist` driver
+/// with `P_S > 1`) applies the exact same tail arithmetic.
+pub fn g_step_finish(
+    sigma_obc_left_lesser: &quatrex_linalg::CMatrix,
+    sigma_obc_left_greater: &quatrex_linalg::CMatrix,
+    retarded: BlockTridiagonal,
+    mut lesser: BlockTridiagonal,
+    mut greater: BlockTridiagonal,
+    config: &ScbaConfig,
+) -> GStepOutput {
     if config.enforce_symmetry {
         lesser.symmetrize_negf();
         greater.symmetrize_negf();
     }
     let current_spectrum = current_spectrum_left(
-        &asm.sigma_obc_left_lesser,
-        &asm.sigma_obc_left_greater,
+        sigma_obc_left_lesser,
+        sigma_obc_left_greater,
         lesser.diag(0),
         greater.diag(0),
     );
-    let dos_local = local_dos(&sol.retarded);
-    Ok(GStepOutput {
-        retarded: sol.retarded,
+    let dos_local = local_dos(&retarded);
+    GStepOutput {
+        retarded,
         lesser,
         greater,
         current_spectrum,
         dos_local,
-    })
+    }
 }
 
 /// Output of one per-energy W-step.

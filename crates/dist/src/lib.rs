@@ -7,12 +7,16 @@
 //!
 //! The paper (Sections 5.1–5.4) distributes the NEGF+scGW workload along two
 //! axes. The **energy axis** first: the OBC, assembly and RGF phases are
-//! embarrassingly parallel over the `N_E` energy points, so every rank owns a
-//! contiguous slice of them ([`partition`], balanced by the memoizer-aware
-//! cost model of `quatrex-perf`). The **spatial axis** second: devices whose
-//! matrices exceed one memory domain split each energy group over `P_S`
-//! spatial partitions via the nested-dissection solver (an open item, see
-//! ROADMAP.md).
+//! embarrassingly parallel over the `N_E` energy points, so every energy
+//! *group* owns a contiguous slice of them ([`partition`], balanced by the
+//! memoizer-aware cost model of `quatrex-perf`). The **spatial axis** second:
+//! devices whose matrices exceed one memory domain split each energy group
+//! over `P_S` spatial partitions via the nested-dissection solver
+//! ([`spatial`]): the ranks form a `n_energy_groups × P_S` grid, the group's
+//! spatial ranks eliminate and recover their partition interiors
+//! concurrently, and the reduced boundary system is assembled via gather
+//! within the group and solved on the group leader
+//! (`DistScbaConfig::spatial_partitions`).
 //!
 //! ## The transposition dataflow
 //!
@@ -54,8 +58,10 @@ pub mod partition;
 pub mod report;
 pub mod slab;
 pub mod solver;
+pub mod spatial;
 
 pub use partition::{energy_cost_weights, partition_weighted};
 pub use report::{DistReport, TranspositionBudget};
 pub use slab::{BackComponent, ElementSlab, EnergySlab, TranspositionPlan, BYTES_PER_VALUE};
 pub use solver::{DistScbaConfig, DistScbaResult, DistScbaSolver};
+pub use spatial::{spatial_phase_solve, RankGrid};

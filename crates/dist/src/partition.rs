@@ -18,10 +18,18 @@ use quatrex_perf::WorkloadModel;
 ///
 /// Every index is covered exactly once; ranges may be empty when there are
 /// more parts than items.
+///
+/// Degenerate weight vectors (all-zero, or containing NaN/∞ so the total is
+/// not finite and positive) carry no balancing information; the split falls
+/// back to the uniform equal-count partition instead of letting a zero target
+/// hand almost every item to the first range.
 pub fn partition_weighted(weights: &[f64], n_parts: usize) -> Vec<Range<usize>> {
     assert!(n_parts >= 1);
     let n = weights.len();
     let total: f64 = weights.iter().sum();
+    if !(total.is_finite() && total > 0.0) {
+        return partition_uniform(n, n_parts);
+    }
     let mut ranges = Vec::with_capacity(n_parts);
     let mut start = 0usize;
     let mut acc = 0.0f64;
@@ -44,6 +52,22 @@ pub fn partition_weighted(weights: &[f64], n_parts: usize) -> Vec<Range<usize>> 
     if start < n {
         let last = ranges.last_mut().expect("n_parts >= 1");
         *last = last.start..n;
+    }
+    ranges
+}
+
+/// Uniform equal-count contiguous split of `0..n` into `n_parts` ranges whose
+/// sizes differ by at most one (the first `n % n_parts` ranges get the extra
+/// item).
+fn partition_uniform(n: usize, n_parts: usize) -> Vec<Range<usize>> {
+    let base = n / n_parts;
+    let rem = n % n_parts;
+    let mut ranges = Vec::with_capacity(n_parts);
+    let mut start = 0usize;
+    for p in 0..n_parts {
+        let len = base + usize::from(p < rem);
+        ranges.push(start..start + len);
+        start += len;
     }
     ranges
 }
@@ -125,6 +149,37 @@ mod tests {
         let ranges = partition_weighted(&w, 5);
         assert_covers(&ranges, 3);
         assert_eq!(ranges.iter().filter(|r| !r.is_empty()).count(), 3);
+    }
+
+    #[test]
+    fn degenerate_weights_fall_back_to_the_uniform_split() {
+        // All-zero weights used to make the first range greedily claim
+        // n - (n_parts - 1) items (target = 0); now they split evenly.
+        for weights in [
+            vec![0.0; 12],
+            vec![f64::NAN; 12],
+            vec![f64::INFINITY; 12],
+            {
+                let mut w = vec![1.0; 12];
+                w[5] = f64::NAN;
+                w
+            },
+        ] {
+            let ranges = partition_weighted(&weights, 4);
+            assert_covers(&ranges, 12);
+            for r in &ranges {
+                assert_eq!(
+                    r.len(),
+                    3,
+                    "degenerate weights must split evenly: {ranges:?}"
+                );
+            }
+        }
+        // Uneven counts still differ by at most one.
+        let ranges = partition_weighted(&[0.0; 10], 4);
+        assert_covers(&ranges, 10);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
     }
 
     #[test]

@@ -52,11 +52,16 @@ impl TranspositionBudget {
 /// Measured execution report of one [`crate::DistScbaSolver`] run.
 #[derive(Debug, Clone)]
 pub struct DistReport {
-    /// Ranks used.
+    /// Total flat communicator ranks (`energy_groups · spatial_partitions`).
     pub n_ranks: usize,
-    /// Energy points per rank.
+    /// Energy groups (first decomposition level; the transposition
+    /// participants).
+    pub energy_groups: usize,
+    /// Spatial partitions per energy group (`P_S`, second level).
+    pub spatial_partitions: usize,
+    /// Energy points per group.
     pub energies_per_rank: Vec<usize>,
-    /// Canonical elements per rank.
+    /// Canonical elements per group.
     pub elements_per_rank: Vec<usize>,
     /// Whether the wire format was symmetry-reduced (Section 5.2).
     pub symmetry_reduced: bool,
@@ -73,6 +78,12 @@ pub struct DistReport {
     pub measured_max_bytes_per_rank: u64,
     /// Bytes moved by the allreduce collectives.
     pub measured_allreduce_bytes: u64,
+    /// Off-rank bytes of the spatial (second-level) boundary-system traffic
+    /// of the `G` phase: system distribution, reduced-system gather, reduced
+    /// solution broadcast and recovered-block gather. Zero at `P_S = 1`.
+    pub measured_boundary_bytes_g: u64,
+    /// Same for the `W` phase.
+    pub measured_boundary_bytes_w: u64,
     /// Number of collectives executed.
     pub n_collectives: u64,
     /// Predicted volume from the analytic model.
@@ -103,15 +114,22 @@ impl DistReport {
         (self.measured_transposition_bytes as f64 - predicted as f64) / predicted as f64
     }
 
-    /// Measured per-rank transposition bytes of **one** SCBA iteration — the
-    /// quantity `quatrex_perf::weak_scaling_series_measured` consumes (its
-    /// analytic counterpart is the per-iteration Alltoall volume of the
-    /// weak-scaling model). Zero when no full iteration ran.
+    /// Measured per-participant transposition bytes of **one** SCBA iteration
+    /// — the quantity `quatrex_perf::weak_scaling_series_measured` consumes
+    /// (its analytic counterpart is the per-iteration Alltoall volume of the
+    /// weak-scaling model). With `P_S > 1` only the group leaders participate
+    /// in the transpositions, so the divisor is the group count. Zero when no
+    /// full iteration ran.
     pub fn measured_bytes_per_rank_per_iteration(&self) -> u64 {
         if self.full_iterations == 0 {
             return 0;
         }
-        self.measured_transposition_bytes / self.n_ranks as u64 / self.full_iterations as u64
+        self.measured_transposition_bytes / self.energy_groups as u64 / self.full_iterations as u64
+    }
+
+    /// Total spatial boundary-system bytes (both phases).
+    pub fn measured_boundary_bytes(&self) -> u64 {
+        self.measured_boundary_bytes_g + self.measured_boundary_bytes_w
     }
 }
 
@@ -135,6 +153,8 @@ mod tests {
         let predicted = budget.total_bytes(2);
         let report = DistReport {
             n_ranks: 2,
+            energy_groups: 2,
+            spatial_partitions: 1,
             energies_per_rank: vec![4, 4],
             elements_per_rank: vec![10, 10],
             symmetry_reduced: false,
@@ -143,6 +163,8 @@ mod tests {
             measured_alltoall_bytes: predicted + predicted / 10,
             measured_max_bytes_per_rank: predicted / 2,
             measured_allreduce_bytes: 64,
+            measured_boundary_bytes_g: 0,
+            measured_boundary_bytes_w: 0,
             n_collectives: 12,
             budget,
         };
@@ -160,7 +182,9 @@ mod tests {
     fn per_iteration_volume_is_zero_without_full_iterations() {
         let budget = TranspositionBudget::new(100, 8, 2, true);
         let report = DistReport {
-            n_ranks: 2,
+            n_ranks: 4,
+            energy_groups: 2,
+            spatial_partitions: 2,
             energies_per_rank: vec![4, 4],
             elements_per_rank: vec![10, 10],
             symmetry_reduced: true,
@@ -169,10 +193,13 @@ mod tests {
             measured_alltoall_bytes: 128,
             measured_max_bytes_per_rank: 64,
             measured_allreduce_bytes: 64,
+            measured_boundary_bytes_g: 96,
+            measured_boundary_bytes_w: 32,
             n_collectives: 4,
             budget,
         };
         assert_eq!(report.measured_bytes_per_rank_per_iteration(), 0);
         assert_eq!(report.volume_agreement(), 0.0);
+        assert_eq!(report.measured_boundary_bytes(), 128);
     }
 }

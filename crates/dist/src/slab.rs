@@ -77,10 +77,21 @@ pub enum BackComponent<'a> {
 
 /// The fixed geometry of the energy↔element transposition: partitions,
 /// canonical element list and wire format, shared by every rank.
+///
+/// With the two-level decomposition (`spatial_partitions > 1`) the
+/// transposition participants are the **energy groups**, not the flat ranks:
+/// only spatial rank 0 of each group (the *group leader*,
+/// [`crate::spatial::RankGrid::leader_of`]) holds energy-major and
+/// element-major data and exchanges it; the other spatial ranks of a group
+/// join the collectives with empty messages. `n_ranks` therefore counts
+/// groups, and the flat communicator has `n_ranks · spatial_partitions`
+/// ranks.
 #[derive(Debug, Clone)]
 pub struct TranspositionPlan {
-    /// Number of ranks.
+    /// Number of transposition participants (energy groups).
     pub n_ranks: usize,
+    /// Spatial partitions per energy group (`P_S`; 1 = flat decomposition).
+    pub spatial_partitions: usize,
     /// Number of energy points.
     pub n_energies: usize,
     /// Number of transport-cell blocks.
@@ -89,9 +100,9 @@ pub struct TranspositionPlan {
     pub block_size: usize,
     /// Canonical (symmetry-reduced) element list, in fixed order.
     pub elements: Vec<ElementId>,
-    /// Energy ownership per rank (contiguous, ascending).
+    /// Energy ownership per group (contiguous, ascending).
     pub energy_ranges: Vec<Range<usize>>,
-    /// Canonical-element ownership per rank (contiguous, ascending).
+    /// Canonical-element ownership per group (contiguous, ascending).
     pub element_ranges: Vec<Range<usize>>,
     /// Ship only canonical elements for symmetric quantities (Section 5.2).
     pub symmetry_reduced: bool,
@@ -99,21 +110,27 @@ pub struct TranspositionPlan {
 
 impl TranspositionPlan {
     /// Build a plan from the problem shape and per-energy cost weights.
+    /// `n_groups` is the number of energy groups (the transposition
+    /// participants); the flat communicator runs
+    /// `n_groups · spatial_partitions` ranks.
     pub fn new(
         n_blocks: usize,
         block_size: usize,
         n_energies: usize,
-        n_ranks: usize,
+        n_groups: usize,
+        spatial_partitions: usize,
         symmetry_reduced: bool,
         energy_weights: &[f64],
     ) -> Self {
         assert_eq!(energy_weights.len(), n_energies);
+        assert!(spatial_partitions >= 1);
         let elements = canonical_elements(n_blocks, block_size);
-        let energy_ranges = partition_weighted(energy_weights, n_ranks);
+        let energy_ranges = partition_weighted(energy_weights, n_groups);
         let element_weights = vec![1.0; elements.len()];
-        let element_ranges = partition_weighted(&element_weights, n_ranks);
+        let element_ranges = partition_weighted(&element_weights, n_groups);
         Self {
-            n_ranks,
+            n_ranks: n_groups,
+            spatial_partitions,
             n_energies,
             n_blocks,
             block_size,
@@ -127,6 +144,11 @@ impl TranspositionPlan {
     /// Number of canonical elements.
     pub fn n_canonical(&self) -> usize {
         self.elements.len()
+    }
+
+    /// Total flat communicator ranks (`groups · P_S`).
+    pub fn n_total_ranks(&self) -> usize {
+        self.n_ranks * self.spatial_partitions
     }
 
     /// Number of stored scalar values per energy of the full BT pattern.
@@ -347,13 +369,21 @@ impl TranspositionPlan {
     /// Off-rank wire bytes of a payload produced by one of the scatter
     /// functions (self-messages stay on the rank and cost nothing).
     pub fn off_rank_bytes(&self, rank: usize, payloads: &[Vec<c64>]) -> u64 {
-        payloads
-            .iter()
-            .enumerate()
-            .filter(|(q, _)| *q != rank)
-            .map(|(_, m)| (m.len() * BYTES_PER_VALUE) as u64)
-            .sum()
+        off_rank_payload_bytes(rank, payloads)
     }
+}
+
+/// Off-rank wire bytes of any per-destination `Alltoallv` payload: messages
+/// to `rank` itself stay local and cost nothing. Shared by the transposition
+/// accounting and the spatial boundary-system accounting so the
+/// "self-messages are free" convention lives in exactly one place.
+pub fn off_rank_payload_bytes(rank: usize, payloads: &[Vec<c64>]) -> u64 {
+    payloads
+        .iter()
+        .enumerate()
+        .filter(|(q, _)| *q != rank)
+        .map(|(_, m)| (m.len() * BYTES_PER_VALUE) as u64)
+        .sum()
 }
 
 /// Write one scalar element of a BT quantity.
@@ -410,6 +440,7 @@ mod tests {
             bs,
             ne,
             n_ranks,
+            1,
             symmetry_reduced,
             &vec![1.0; ne],
         ));
@@ -520,8 +551,8 @@ mod tests {
     #[test]
     fn symmetry_reduction_roughly_halves_the_wire_volume() {
         let (nb, bs, ne, n_ranks) = (4, 3, 8, 4);
-        let plan_sym = TranspositionPlan::new(nb, bs, ne, n_ranks, true, &vec![1.0; ne]);
-        let plan_full = TranspositionPlan::new(nb, bs, ne, n_ranks, false, &vec![1.0; ne]);
+        let plan_sym = TranspositionPlan::new(nb, bs, ne, n_ranks, 1, true, &vec![1.0; ne]);
+        let plan_full = TranspositionPlan::new(nb, bs, ne, n_ranks, 1, false, &vec![1.0; ne]);
         let g = symmetric_quantity(ne, nb, bs, 0.5);
         let local: Vec<BlockTridiagonal> = g[plan_sym.energy_ranges[0].clone()].to_vec();
         let sym_bytes = plan_sym.off_rank_bytes(0, &plan_sym.scatter_forward(0, &[&local]));

@@ -3,18 +3,28 @@
 //! [`DistScbaSolver`] executes the same `G → P → W → Σ` cycle as
 //! `quatrex_core::ScbaSolver`, but across the ranks of a
 //! [`quatrex_runtime::ThreadComm`] communicator following the paper's
-//! two-level decomposition:
+//! two-level decomposition. The flat ranks form a
+//! `n_energy_groups × P_S` grid ([`crate::spatial::RankGrid`], mirroring
+//! `quatrex_runtime::DecompositionPlan`):
 //!
-//! 1. every rank owns a contiguous slice of energy points (balanced by the
-//!    memoizer-aware cost model) and runs OBC + assembly + RGF for them
-//!    against a **per-rank [`ObcMemoizer`]**;
+//! 1. every energy **group** owns a contiguous slice of energy points
+//!    (balanced by the memoizer-aware cost model); the group *leader*
+//!    (spatial rank 0) runs OBC + assembly for them against a **per-rank
+//!    [`ObcMemoizer`]**. With `spatial_partitions == 1` the leader also runs
+//!    the RGF solves; with `P_S > 1` the group's spatial ranks cooperate on
+//!    every energy point through the nested-dissection solver
+//!    ([`crate::spatial::spatial_phase_solve`]): concurrent interior
+//!    eliminations, a reduced boundary system assembled via gather within
+//!    the group and solved on the leader, and concurrent recoveries;
 //! 2. the selected `G^≶` blocks are transposed into element-major layout with
-//!    a real `Alltoallv` (Fig. 3), every rank computes the `P` convolutions
-//!    for its canonical elements *and their mirrors*, symmetrises them
-//!    element-wise, and transposes `P^≶`/`P^R` back;
-//! 3. the `W` systems are assembled and solved per owned energy, `W^≶` is
-//!    transposed forward again, the `Σ` convolutions run on the element
-//!    slices, and `Σ^≶`/`Σ^R` are transposed back to their energy owners;
+//!    a real `Alltoallv` among the group leaders (Fig. 3), every leader
+//!    computes the `P` convolutions for its canonical elements *and their
+//!    mirrors*, symmetrises them element-wise, and transposes `P^≶`/`P^R`
+//!    back;
+//! 3. the `W` systems are assembled and solved per owned energy (again
+//!    spatially decomposed when `P_S > 1`), `W^≶` is transposed forward
+//!    again, the `Σ` convolutions run on the element slices, and
+//!    `Σ^≶`/`Σ^R` are transposed back to their energy owners;
 //! 4. the self-energies are mixed per owned energy and the convergence norms
 //!    and observables are allreduced.
 //!
@@ -22,36 +32,48 @@
 //! sequential driver calls (`g_step_energy`, `w_step_energy`,
 //! `polarization_series`, `self_energy_series`, `causal_retarded_series`,
 //! `mix_sigma_energy`), the distributed state trajectory matches the
-//! sequential one bit-for-bit except for the allreduce-based residual and
-//! per-iteration current (whose floating-point summation order differs at
-//! machine precision). The equivalence tests pin this at `≤ 1e-10` relative.
+//! sequential one bit-for-bit at `P_S = 1` except for the allreduce-based
+//! residual and per-iteration current (whose floating-point summation order
+//! differs at machine precision). With `P_S > 1` the nested-dissection solver
+//! introduces an additional `≤1e-12`-relative reordering per solve. The
+//! equivalence tests pin the observables at `≤ 1e-10` relative either way.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use quatrex_core::assembly::{assemble_g, assemble_w};
 use quatrex_core::convolution::{causal_retarded_series, polarization_series, self_energy_series};
 use quatrex_core::observables::{integrate_current, Observables, SpectralData};
 use quatrex_core::scba::{
-    g_step_energy, mix_sigma_energy, w_step_energy, KernelTimings, ScbaConfig,
+    g_step_energy, g_step_finish, mix_sigma_energy, w_step_energy, KernelTimings, ScbaConfig,
 };
 use quatrex_device::{thermal_energy_ev, Device, DeviceParams, EnergyGrid};
 use quatrex_linalg::c64;
-use quatrex_linalg::flops::FlopCounter;
+use quatrex_linalg::flops::{FlopCounter, FlopKind};
+use quatrex_linalg::CMatrix;
 use quatrex_obc::ObcMemoizer;
-use quatrex_runtime::{CommStats, RankContext, ThreadComm};
+use quatrex_rgf::{separator_blocks, spatial_partition_layout, SpatialPartition};
+use quatrex_runtime::{CommStats, DecompositionPlan, RankContext, ThreadComm};
 use quatrex_sparse::BlockTridiagonal;
 
 use crate::partition::energy_cost_weights;
 use crate::report::{DistReport, TranspositionBudget};
 use crate::slab::{BackComponent, TranspositionPlan, BYTES_PER_VALUE};
+use crate::spatial::{spatial_phase_solve, RankGrid};
 
 /// Configuration of a distributed SCBA run.
 #[derive(Debug, Clone)]
 pub struct DistScbaConfig {
     /// The physics configuration, shared verbatim with the sequential solver.
     pub scba: ScbaConfig,
-    /// Number of simulated ranks (threads of the [`ThreadComm`]).
+    /// Number of simulated ranks (threads of the [`ThreadComm`]). Must be a
+    /// multiple of `spatial_partitions`.
     pub n_ranks: usize,
+    /// Spatial partitions per energy group (`P_S`, Section 5.4). The ranks
+    /// form `n_ranks / spatial_partitions` energy groups of `P_S` ranks that
+    /// cooperate on each energy point through the nested-dissection solver.
+    /// `1` disables the second decomposition level.
+    pub spatial_partitions: usize,
     /// Ship only canonical elements for `≶` quantities and reconstruct the
     /// mirrors from the NEGF symmetry at the destination (Section 5.2).
     /// Requires `scba.enforce_symmetry`.
@@ -62,14 +84,23 @@ pub struct DistScbaConfig {
 }
 
 impl DistScbaConfig {
-    /// Distributed configuration with `n_ranks` ranks and default options.
+    /// Distributed configuration with `n_ranks` ranks and default options
+    /// (`P_S = 1`).
     pub fn new(scba: ScbaConfig, n_ranks: usize) -> Self {
         Self {
             scba,
             n_ranks,
+            spatial_partitions: 1,
             symmetry_reduced: true,
             device_params: None,
         }
+    }
+
+    /// Enable the second decomposition level: `p_s` spatial ranks per energy
+    /// group.
+    pub fn with_spatial_partitions(mut self, p_s: usize) -> Self {
+        self.spatial_partitions = p_s;
+        self
     }
 }
 
@@ -109,6 +140,8 @@ struct RankOut {
     full_iterations: usize,
     max_truncation: f64,
     transposition_bytes: u64,
+    boundary_bytes_g: u64,
+    boundary_bytes_w: u64,
     memo_hits: usize,
     memo_total: usize,
 }
@@ -140,9 +173,41 @@ impl DistScbaSolver {
         }
     }
 
-    /// The transposition plan the run will use.
+    /// The two-level decomposition the run realises, in the vocabulary of
+    /// `quatrex_runtime::DecompositionPlan`: `n_ranks / P_S` energy groups of
+    /// `P_S` spatial ranks each.
+    ///
+    /// This is the *idealised uniform* description (every group holds
+    /// `ceil(N_E / groups)` energies); the run's actual energy ownership is
+    /// the cost-weighted contiguous partition in
+    /// [`DistScbaSolver::plan`]`().energy_ranges` — use that to locate an
+    /// energy's owner. Panics when `n_ranks` does not factor into
+    /// `groups × P_S`, exactly like [`DistScbaSolver::run`].
+    pub fn decomposition(&self) -> DecompositionPlan {
+        let p_s = self.config.spatial_partitions;
+        assert!(
+            p_s >= 1 && self.config.n_ranks.is_multiple_of(p_s),
+            "n_ranks = {} must factor into energy groups x P_S = {p_s}",
+            self.config.n_ranks,
+        );
+        let groups = self.config.n_ranks / p_s;
+        let energies_per_group = self.grid.len().div_ceil(groups.max(1)).max(1);
+        DecompositionPlan::new(self.grid.len(), energies_per_group, p_s)
+    }
+
+    /// The transposition plan the run will use. Energy and element slices are
+    /// per energy *group*; with `P_S > 1` only the group leaders participate
+    /// in the transpositions.
     pub fn plan(&self) -> TranspositionPlan {
         let h = self.device.hamiltonian_bt();
+        let p_s = self.config.spatial_partitions;
+        assert!(
+            p_s >= 1 && self.config.n_ranks.is_multiple_of(p_s),
+            "n_ranks = {} must factor into energy groups x P_S = {}",
+            self.config.n_ranks,
+            p_s,
+        );
+        let n_groups = self.config.n_ranks / p_s;
         let weights = energy_cost_weights(
             self.config.device_params.as_ref(),
             self.config.scba.use_memoizer,
@@ -152,7 +217,8 @@ impl DistScbaSolver {
             h.n_blocks(),
             h.block_size(),
             self.grid.len(),
-            self.config.n_ranks,
+            n_groups,
+            p_s,
             self.config.symmetry_reduced,
             &weights,
         )
@@ -186,6 +252,15 @@ impl DistScbaSolver {
             }
             v
         });
+        if self.config.spatial_partitions > 1 {
+            assert!(
+                h.n_blocks() >= 2 * self.config.spatial_partitions,
+                "P_S = {} needs at least {} transport blocks (device has {})",
+                self.config.spatial_partitions,
+                2 * self.config.spatial_partitions,
+                h.n_blocks(),
+            );
+        }
         let plan = Arc::new(self.plan());
         let energies = Arc::new(self.grid.points());
         let de = self.grid.spacing();
@@ -210,10 +285,21 @@ impl DistScbaSolver {
 
         let transposition_bytes: u64 =
             rank0.transposition_bytes + results.iter().map(|r| r.transposition_bytes).sum::<u64>();
+        let boundary_bytes_g: u64 =
+            rank0.boundary_bytes_g + results.iter().map(|r| r.boundary_bytes_g).sum::<u64>();
+        let boundary_bytes_w: u64 =
+            rank0.boundary_bytes_w + results.iter().map(|r| r.boundary_bytes_w).sum::<u64>();
         let memo_hits = rank0.memo_hits + results.iter().map(|r| r.memo_hits).sum::<usize>();
         let memo_total = rank0.memo_total + results.iter().map(|r| r.memo_total).sum::<usize>();
 
-        let report = self.build_report(&plan, &stats, rank0.full_iterations, transposition_bytes);
+        let report = self.build_report(
+            &plan,
+            &stats,
+            rank0.full_iterations,
+            transposition_bytes,
+            boundary_bytes_g,
+            boundary_bytes_w,
+        );
         let result_flops = FlopCounter::new();
         result_flops.merge(&flops);
         DistScbaResult {
@@ -240,10 +326,14 @@ impl DistScbaSolver {
         stats: &CommStats,
         full_iterations: usize,
         transposition_bytes: u64,
+        boundary_bytes_g: u64,
+        boundary_bytes_w: u64,
     ) -> DistReport {
         use std::sync::atomic::Ordering;
         DistReport {
-            n_ranks: plan.n_ranks,
+            n_ranks: plan.n_total_ranks(),
+            energy_groups: plan.n_ranks,
+            spatial_partitions: plan.spatial_partitions,
             energies_per_rank: plan.energy_ranges.iter().map(|r| r.len()).collect(),
             elements_per_rank: plan.element_ranges.iter().map(|r| r.len()).collect(),
             symmetry_reduced: plan.symmetry_reduced,
@@ -252,6 +342,8 @@ impl DistScbaSolver {
             measured_alltoall_bytes: stats.alltoall_bytes.load(Ordering::Relaxed),
             measured_max_bytes_per_rank: stats.max_alltoall_bytes_per_rank(),
             measured_allreduce_bytes: stats.allreduce_bytes.load(Ordering::Relaxed),
+            measured_boundary_bytes_g: boundary_bytes_g,
+            measured_boundary_bytes_w: boundary_bytes_w,
             n_collectives: stats.n_collectives.load(Ordering::Relaxed),
             budget: TranspositionBudget::new(
                 plan.stored_values(),
@@ -315,12 +407,12 @@ impl ElementPhase {
 /// mirror), symmetrise, and build the retarded component causally.
 fn element_convolutions(
     plan: &TranspositionPlan,
-    rank: usize,
+    group: usize,
     enforce_symmetry: bool,
     mut kernel: impl FnMut(usize, bool) -> (Vec<c64>, Vec<c64>),
     flops: &FlopCounter,
 ) -> ElementPhase {
-    let elems = plan.element_ranges[rank].clone();
+    let elems = plan.element_ranges[group].clone();
     let n_local = elems.len();
     let mut phase = ElementPhase {
         lesser_c: Vec::with_capacity(n_local),
@@ -358,6 +450,26 @@ fn element_convolutions(
     phase
 }
 
+/// Exchange per-group payloads through the flat communicator: group `g`'s
+/// message rides to (and from) its leader rank. Non-leader ranks participate
+/// with empty messages. Returns the received messages indexed by source
+/// *group*.
+fn leader_alltoallv(
+    ctx: &RankContext<Vec<c64>>,
+    grid: &RankGrid,
+    payloads_by_group: Vec<Vec<c64>>,
+) -> Vec<Vec<c64>> {
+    debug_assert_eq!(payloads_by_group.len(), grid.n_groups);
+    let mut send: Vec<Vec<c64>> = vec![Vec::new(); grid.n_ranks()];
+    for (g, msg) in payloads_by_group.into_iter().enumerate() {
+        send[grid.leader_of(g)] = msg;
+    }
+    let mut recv = ctx.alltoallv(send, |m| m.len() * BYTES_PER_VALUE);
+    (0..grid.n_groups)
+        .map(|g| std::mem::take(&mut recv[grid.leader_of(g)]))
+        .collect()
+}
+
 /// The per-rank SCBA main loop.
 #[allow(clippy::too_many_arguments)]
 fn rank_main(
@@ -375,7 +487,19 @@ fn rank_main(
     timings: &KernelTimings,
 ) -> RankOut {
     let rank = ctx.rank();
-    let my_e = plan.energy_ranges[rank].clone();
+    let grid = RankGrid::new(ctx.n_ranks(), plan.spatial_partitions);
+    let p_s = grid.spatial_partitions;
+    let group = grid.group_of(rank);
+    let is_leader = grid.is_leader(rank);
+    let (parts, separators): (Vec<SpatialPartition>, Vec<usize>) = if p_s > 1 {
+        let parts = spatial_partition_layout(nb, p_s)
+            .expect("spatial partition layout rejected (too few blocks for P_S)");
+        let seps = separator_blocks(&parts);
+        (parts, seps)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let my_e = plan.energy_ranges[group].clone();
     let n_local = my_e.len();
     let bs = h.block_size();
     let wire = |m: &Vec<c64>| m.len() * BYTES_PER_VALUE;
@@ -386,8 +510,10 @@ fn rank_main(
         None
     };
 
-    // Scattering self-energies for the owned energies (energy-major).
-    let mut sigma_r: Vec<BlockTridiagonal> = vec![BlockTridiagonal::zeros(nb, bs); n_local];
+    // Scattering self-energies for the owned energies (energy-major, held by
+    // the group leader; non-leaders carry no per-energy state).
+    let n_state = if is_leader { n_local } else { 0 };
+    let mut sigma_r: Vec<BlockTridiagonal> = vec![BlockTridiagonal::zeros(nb, bs); n_state];
     let mut sigma_l = sigma_r.clone();
     let mut sigma_g = sigma_r.clone();
 
@@ -398,6 +524,8 @@ fn rank_main(
     let mut full_iterations = 0usize;
     let mut max_truncation = 0.0f64;
     let mut transposition_bytes = 0u64;
+    let mut boundary_bytes_g = 0u64;
+    let mut boundary_bytes_w = 0u64;
 
     // Last-iteration local spectral data. Only the G^< diagonal traces feed
     // the density, so they are extracted at G-step time instead of keeping
@@ -410,31 +538,94 @@ fn rank_main(
         iterations += 1;
 
         // ------------------------------------------------------------ G step
-        let mut g_lesser = Vec::with_capacity(n_local);
-        let mut g_greater = Vec::with_capacity(n_local);
-        local_spectrum = Vec::with_capacity(n_local);
-        local_dos = Vec::with_capacity(n_local);
-        local_traces = Vec::with_capacity(n_local);
-        for (k_local, k) in my_e.clone().enumerate() {
-            let out = g_step_energy(
-                h,
-                energies[k],
-                k,
-                cfg,
-                kt,
-                Some(&sigma_r[k_local]),
-                Some(&sigma_l[k_local]),
-                Some(&sigma_g[k_local]),
-                memoizer.as_mut(),
+        let mut g_lesser = Vec::with_capacity(n_state);
+        let mut g_greater = Vec::with_capacity(n_state);
+        local_spectrum = Vec::with_capacity(n_state);
+        local_dos = Vec::with_capacity(n_state);
+        local_traces = Vec::with_capacity(n_state);
+        if p_s == 1 {
+            for (k_local, k) in my_e.clone().enumerate() {
+                let out = g_step_energy(
+                    h,
+                    energies[k],
+                    k,
+                    cfg,
+                    kt,
+                    Some(&sigma_r[k_local]),
+                    Some(&sigma_l[k_local]),
+                    Some(&sigma_g[k_local]),
+                    memoizer.as_mut(),
+                    flops,
+                    timings,
+                )
+                .expect("RGF solve failed: the system matrix became singular");
+                local_traces.push((0..nb).map(|i| out.lesser.diag(i).trace()).collect());
+                g_lesser.push(out.lesser);
+                g_greater.push(out.greater);
+                local_spectrum.push(out.current_spectrum);
+                local_dos.push(out.dos_local);
+            }
+        } else {
+            // Leader assembles; the group's spatial ranks solve cooperatively.
+            let mut systems = Vec::with_capacity(n_state);
+            let mut obc_left: Vec<(CMatrix, CMatrix)> = Vec::with_capacity(n_state);
+            for (k_local, k) in my_e.clone().enumerate().take(n_state) {
+                let t = Instant::now();
+                let asm = assemble_g(
+                    h,
+                    energies[k],
+                    cfg.eta,
+                    k,
+                    Some(&sigma_r[k_local]),
+                    Some(&sigma_l[k_local]),
+                    Some(&sigma_g[k_local]),
+                    cfg.mu_left,
+                    cfg.mu_right,
+                    kt,
+                    cfg.obc_method_g,
+                    memoizer.as_mut(),
+                    flops,
+                );
+                timings.add(&timings.g_assembly_ns, t);
+                obc_left.push((
+                    asm.sigma_obc_left_lesser.clone(),
+                    asm.sigma_obc_left_greater.clone(),
+                ));
+                systems.push((asm.system, asm.rhs_lesser, asm.rhs_greater));
+            }
+            let (sols, bytes) = spatial_phase_solve(
+                ctx,
+                &grid,
+                &parts,
+                &separators,
+                n_local,
+                systems,
+                nb,
+                bs,
                 flops,
+                FlopKind::GRgf,
                 timings,
-            )
-            .expect("RGF solve failed: the system matrix became singular");
-            local_traces.push((0..nb).map(|i| out.lesser.diag(i).trace()).collect());
-            g_lesser.push(out.lesser);
-            g_greater.push(out.greater);
-            local_spectrum.push(out.current_spectrum);
-            local_dos.push(out.dos_local);
+                &timings.g_rgf_ns,
+            );
+            boundary_bytes_g += bytes;
+            for (k_local, sol) in sols.into_iter().enumerate() {
+                let mut lessers = sol.lesser.into_iter();
+                let gl = lessers.next().expect("lesser solved");
+                let gg = lessers.next().expect("greater solved");
+                let out = g_step_finish(
+                    &obc_left[k_local].0,
+                    &obc_left[k_local].1,
+                    sol.retarded,
+                    gl,
+                    gg,
+                    cfg,
+                );
+                local_traces.push((0..nb).map(|i| out.lesser.diag(i).trace()).collect());
+                g_lesser.push(out.lesser);
+                g_greater.push(out.greater);
+                local_spectrum.push(out.current_spectrum);
+                local_dos.push(out.dos_local);
+            }
         }
 
         // Observable allreduce: the per-iteration current.
@@ -447,63 +638,126 @@ fn rank_main(
         }
 
         // ------------------------------------- transposition #1: G^≶ forward
-        let payloads = plan.scatter_forward(rank, &[&g_lesser, &g_greater]);
-        transposition_bytes += plan.off_rank_bytes(rank, &payloads);
-        let g_slab = plan.gather_elements(rank, ctx.alltoallv(payloads, wire), 2);
+        let payloads = if is_leader {
+            plan.scatter_forward(group, &[&g_lesser, &g_greater])
+        } else {
+            vec![Vec::new(); grid.n_groups]
+        };
+        transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        let received = leader_alltoallv(ctx, &grid, payloads);
+        let g_slab = is_leader.then(|| plan.gather_elements(group, received, 2));
 
         // ------------------------------------------------------------ P step
-        let t = Instant::now();
-        let p_phase = element_convolutions(
-            plan,
-            rank,
-            cfg.enforce_symmetry,
-            |e, mirrored| {
-                // P_ij(ω) needs G^<_ij, G^>_ji, G^>_ij, G^<_ji; the mirrored
-                // element swaps canonical and mirror series.
-                let (gl, gg, gl_m, gg_m) = (
-                    &g_slab.canonical[0][e],
-                    &g_slab.canonical[1][e],
-                    &g_slab.mirror[0][e],
-                    &g_slab.mirror[1][e],
-                );
-                if mirrored {
-                    polarization_series(gl_m, gg, gg_m, gl, de, flops)
-                } else {
-                    polarization_series(gl, gg_m, gg, gl_m, de, flops)
-                }
-            },
-            flops,
-        );
-        timings.add(&timings.convolution_ns, t);
+        let p_phase = g_slab.as_ref().map(|g_slab| {
+            let t = Instant::now();
+            let phase = element_convolutions(
+                plan,
+                group,
+                cfg.enforce_symmetry,
+                |e, mirrored| {
+                    // P_ij(ω) needs G^<_ij, G^>_ji, G^>_ij, G^<_ji; the mirrored
+                    // element swaps canonical and mirror series.
+                    let (gl, gg, gl_m, gg_m) = (
+                        &g_slab.canonical[0][e],
+                        &g_slab.canonical[1][e],
+                        &g_slab.mirror[0][e],
+                        &g_slab.mirror[1][e],
+                    );
+                    if mirrored {
+                        polarization_series(gl_m, gg, gg_m, gl, de, flops)
+                    } else {
+                        polarization_series(gl, gg_m, gg, gl_m, de, flops)
+                    }
+                },
+                flops,
+            );
+            timings.add(&timings.convolution_ns, t);
+            phase
+        });
 
         // ------------------------------------ transposition #2: P backward
-        let payloads = plan.scatter_backward(rank, &p_phase.back_components());
-        transposition_bytes += plan.off_rank_bytes(rank, &payloads);
-        let mut p = plan.gather_energies(rank, ctx.alltoallv(payloads, wire), &[true, true, false]);
-        let p_retarded = p.pop().expect("P^R");
-        let p_greater = p.pop().expect("P^>");
-        let p_lesser = p.pop().expect("P^<");
+        let payloads = match &p_phase {
+            Some(p) => plan.scatter_backward(group, &p.back_components()),
+            None => vec![Vec::new(); grid.n_groups],
+        };
+        transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        let received = leader_alltoallv(ctx, &grid, payloads);
+        let (p_lesser, p_greater, p_retarded) = if is_leader {
+            let mut p = plan.gather_energies(group, received, &[true, true, false]);
+            let p_retarded = p.pop().expect("P^R");
+            let p_greater = p.pop().expect("P^>");
+            let p_lesser = p.pop().expect("P^<");
+            (p_lesser, p_greater, p_retarded)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
 
         // ------------------------------------------------------------ W step
-        let mut w_lesser = Vec::with_capacity(n_local);
-        let mut w_greater = Vec::with_capacity(n_local);
+        let mut w_lesser = Vec::with_capacity(n_state);
+        let mut w_greater = Vec::with_capacity(n_state);
         let mut local_trunc = 0.0f64;
-        for (k_local, k) in my_e.clone().enumerate() {
-            let out = w_step_energy(
-                v,
-                &p_retarded[k_local],
-                &p_lesser[k_local],
-                &p_greater[k_local],
-                k,
-                cfg,
-                memoizer.as_mut(),
+        if p_s == 1 {
+            for (k_local, k) in my_e.clone().enumerate() {
+                let out = w_step_energy(
+                    v,
+                    &p_retarded[k_local],
+                    &p_lesser[k_local],
+                    &p_greater[k_local],
+                    k,
+                    cfg,
+                    memoizer.as_mut(),
+                    flops,
+                    timings,
+                )
+                .expect("W RGF solve failed");
+                local_trunc = local_trunc.max(out.truncation);
+                w_lesser.push(out.lesser);
+                w_greater.push(out.greater);
+            }
+        } else {
+            let mut systems = Vec::with_capacity(n_state);
+            for (k_local, k) in my_e.clone().enumerate().take(n_state) {
+                let t = Instant::now();
+                let asm = assemble_w(
+                    v,
+                    &p_retarded[k_local],
+                    &p_lesser[k_local],
+                    &p_greater[k_local],
+                    k,
+                    cfg.obc_method_w,
+                    memoizer.as_mut(),
+                    flops,
+                );
+                timings.add(&timings.w_assembly_ns, t);
+                local_trunc = local_trunc.max(asm.truncation_error);
+                systems.push((asm.system, asm.rhs_lesser, asm.rhs_greater));
+            }
+            let (sols, bytes) = spatial_phase_solve(
+                ctx,
+                &grid,
+                &parts,
+                &separators,
+                n_local,
+                systems,
+                nb,
+                bs,
                 flops,
+                FlopKind::WRgf,
                 timings,
-            )
-            .expect("W RGF solve failed");
-            local_trunc = local_trunc.max(out.truncation);
-            w_lesser.push(out.lesser);
-            w_greater.push(out.greater);
+                &timings.w_rgf_ns,
+            );
+            boundary_bytes_w += bytes;
+            for sol in sols {
+                let mut lessers = sol.lesser.into_iter();
+                let mut wl = lessers.next().expect("lesser solved");
+                let mut wg = lessers.next().expect("greater solved");
+                if cfg.enforce_symmetry {
+                    wl.symmetrize_negf();
+                    wg.symmetrize_negf();
+                }
+                w_lesser.push(wl);
+                w_greater.push(wg);
+            }
         }
         // Global truncation maximum (tiny ordered gather).
         let truncs = ctx.allgather(vec![c64::new(local_trunc, 0.0)], wire);
@@ -511,56 +765,76 @@ fn rank_main(
         max_truncation = max_truncation.max(iter_trunc);
 
         // ------------------------------------ transposition #3: W^≶ forward
-        let payloads = plan.scatter_forward(rank, &[&w_lesser, &w_greater]);
-        transposition_bytes += plan.off_rank_bytes(rank, &payloads);
-        let w_slab = plan.gather_elements(rank, ctx.alltoallv(payloads, wire), 2);
+        let payloads = if is_leader {
+            plan.scatter_forward(group, &[&w_lesser, &w_greater])
+        } else {
+            vec![Vec::new(); grid.n_groups]
+        };
+        transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        let received = leader_alltoallv(ctx, &grid, payloads);
+        let w_slab = is_leader.then(|| plan.gather_elements(group, received, 2));
 
         // ------------------------------------------------------------ Σ step
-        let t = Instant::now();
-        let s_phase = element_convolutions(
-            plan,
-            rank,
-            cfg.enforce_symmetry,
-            |e, mirrored| {
-                // Σ_ij(E) needs G^≶_ij and W^≶_ij of the same element.
-                if mirrored {
-                    self_energy_series(
-                        &g_slab.mirror[0][e],
-                        &g_slab.mirror[1][e],
-                        &w_slab.mirror[0][e],
-                        &w_slab.mirror[1][e],
-                        de,
-                        flops,
-                    )
-                } else {
-                    self_energy_series(
-                        &g_slab.canonical[0][e],
-                        &g_slab.canonical[1][e],
-                        &w_slab.canonical[0][e],
-                        &w_slab.canonical[1][e],
-                        de,
-                        flops,
-                    )
-                }
-            },
-            flops,
-        );
-        timings.add(&timings.convolution_ns, t);
+        let s_phase = match (&g_slab, &w_slab) {
+            (Some(g_slab), Some(w_slab)) => {
+                let t = Instant::now();
+                let phase = element_convolutions(
+                    plan,
+                    group,
+                    cfg.enforce_symmetry,
+                    |e, mirrored| {
+                        // Σ_ij(E) needs G^≶_ij and W^≶_ij of the same element.
+                        if mirrored {
+                            self_energy_series(
+                                &g_slab.mirror[0][e],
+                                &g_slab.mirror[1][e],
+                                &w_slab.mirror[0][e],
+                                &w_slab.mirror[1][e],
+                                de,
+                                flops,
+                            )
+                        } else {
+                            self_energy_series(
+                                &g_slab.canonical[0][e],
+                                &g_slab.canonical[1][e],
+                                &w_slab.canonical[0][e],
+                                &w_slab.canonical[1][e],
+                                de,
+                                flops,
+                            )
+                        }
+                    },
+                    flops,
+                );
+                timings.add(&timings.convolution_ns, t);
+                Some(phase)
+            }
+            _ => None,
+        };
 
         // ------------------------------------ transposition #4: Σ backward
-        let payloads = plan.scatter_backward(rank, &s_phase.back_components());
-        transposition_bytes += plan.off_rank_bytes(rank, &payloads);
-        let mut s = plan.gather_energies(rank, ctx.alltoallv(payloads, wire), &[true, true, false]);
-        let s_retarded_new = s.pop().expect("Σ^R");
-        let s_greater_new = s.pop().expect("Σ^>");
-        let s_lesser_new = s.pop().expect("Σ^<");
+        let payloads = match &s_phase {
+            Some(s) => plan.scatter_backward(group, &s.back_components()),
+            None => vec![Vec::new(); grid.n_groups],
+        };
+        transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        let received = leader_alltoallv(ctx, &grid, payloads);
+        let (s_lesser_new, s_greater_new, s_retarded_new) = if is_leader {
+            let mut s = plan.gather_energies(group, received, &[true, true, false]);
+            let s_retarded_new = s.pop().expect("Σ^R");
+            let s_greater_new = s.pop().expect("Σ^>");
+            let s_lesser_new = s.pop().expect("Σ^<");
+            (s_lesser_new, s_greater_new, s_retarded_new)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
         full_iterations += 1;
 
         // ------------------------------------------- mixing and convergence
         let t = Instant::now();
         let mut partial_update = 0.0f64;
         let mut partial_reference = 0.0f64;
-        for k_local in 0..n_local {
+        for k_local in 0..n_state {
             let (upd, refr) = mix_sigma_energy(
                 &mut sigma_l[k_local],
                 &mut sigma_g[k_local],
@@ -590,11 +864,11 @@ fn rank_main(
 
     // ------------------------------------------------- final ordered gathers
     // Pack, per owned energy: current spectrum, per-block DOS, per-block
-    // G^< diagonal traces — gathered in rank order (= ascending energy), so
-    // every rank can evaluate the observables with the sequential summation
-    // order exactly.
-    let mut packed = Vec::with_capacity(n_local * (1 + 2 * nb));
-    for k_local in 0..n_local {
+    // G^< diagonal traces — gathered in rank order (= ascending energy, as
+    // group leaders appear in group order), so every rank can evaluate the
+    // observables with the sequential summation order exactly.
+    let mut packed = Vec::with_capacity(n_state * (1 + 2 * nb));
+    for k_local in 0..local_spectrum.len() {
         packed.push(c64::new(local_spectrum[k_local], 0.0));
         for &d in &local_dos[k_local] {
             packed.push(c64::new(d, 0.0));
@@ -654,6 +928,8 @@ fn rank_main(
         full_iterations,
         max_truncation,
         transposition_bytes,
+        boundary_bytes_g,
+        boundary_bytes_w,
         memo_hits,
         memo_total,
     }

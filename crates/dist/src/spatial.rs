@@ -1,0 +1,597 @@
+//! The second decomposition level: `P_S` spatial ranks sharing one energy
+//! point (paper Section 5.4).
+//!
+//! [`RankGrid`] arranges the flat `ThreadComm` ranks as a two-level grid of
+//! `n_energy_groups × P_S`, mirroring `quatrex_runtime::DecompositionPlan`:
+//! rank `g·P_S + s` is spatial rank `s` of energy group `g`, and spatial rank
+//! 0 is the *group leader* — it owns the group's energies for the
+//! energy↔element transpositions, assembles the per-energy systems and solves
+//! the reduced boundary systems.
+//!
+//! [`spatial_phase_solve`] executes the per-energy selected solves of one
+//! phase (`G` or `W`) cooperatively across each group: the leader distributes
+//! the assembled systems, every spatial rank eliminates its own partition
+//! interior ([`quatrex_rgf::eliminate_partition_solve`]), the Schur and
+//! quadratic right-hand-side updates are **gathered within the group** to
+//! assemble the reduced boundary system on the leader, the reduced selected
+//! solution is broadcast back, and every rank recovers its interior blocks
+//! ([`quatrex_rgf::recover_partition_solve`]). All group traffic rides the
+//! same byte-accounted `Alltoallv` as the transpositions (out-of-group
+//! destinations receive empty messages), so `DistReport` can report the
+//! boundary-system volume per phase.
+
+use std::sync::atomic::AtomicU64;
+use std::time::Instant;
+
+use quatrex_core::scba::KernelTimings;
+use quatrex_linalg::flops::{FlopCounter, FlopKind};
+use quatrex_linalg::{c64, CMatrix};
+use quatrex_rgf::{
+    assemble_reduced_system, eliminate_partition_solve, recover_partition_solve, rgf_solve,
+    scatter_separator_blocks, PartitionSolveState, PartitionUpdates, RecoveredBlocks,
+    SelectedSolution, SpatialPartition,
+};
+use quatrex_runtime::RankContext;
+use quatrex_sparse::BlockTridiagonal;
+
+use crate::slab::{off_rank_payload_bytes, BYTES_PER_VALUE};
+
+/// Number of lesser/greater right-hand sides of every per-energy solve
+/// (`X^<` and `X^>`).
+const N_RHS: usize = 2;
+
+/// Two-level arrangement of the communicator ranks:
+/// `n_groups × spatial_partitions`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankGrid {
+    /// Number of energy groups (the first decomposition level).
+    pub n_groups: usize,
+    /// Spatial partitions per energy group (`P_S`, the second level).
+    pub spatial_partitions: usize,
+}
+
+impl RankGrid {
+    /// Factor `n_ranks` into `n_ranks / spatial_partitions` energy groups of
+    /// `spatial_partitions` ranks each. Panics when the factorisation does
+    /// not work out.
+    pub fn new(n_ranks: usize, spatial_partitions: usize) -> Self {
+        assert!(spatial_partitions >= 1, "P_S must be at least 1");
+        assert!(
+            n_ranks >= spatial_partitions && n_ranks.is_multiple_of(spatial_partitions),
+            "rank count {n_ranks} must factor into energy groups x {spatial_partitions} spatial partitions",
+        );
+        Self {
+            n_groups: n_ranks / spatial_partitions,
+            spatial_partitions,
+        }
+    }
+
+    /// Total number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n_groups * self.spatial_partitions
+    }
+
+    /// Energy group of a flat rank.
+    pub fn group_of(&self, rank: usize) -> usize {
+        rank / self.spatial_partitions
+    }
+
+    /// Spatial index of a flat rank within its group.
+    pub fn spatial_of(&self, rank: usize) -> usize {
+        rank % self.spatial_partitions
+    }
+
+    /// Flat rank of a group's leader (spatial rank 0).
+    pub fn leader_of(&self, group: usize) -> usize {
+        group * self.spatial_partitions
+    }
+
+    /// Whether the flat rank is its group's leader.
+    pub fn is_leader(&self, rank: usize) -> bool {
+        self.spatial_of(rank) == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire format of the group-level payloads (complex128 streams, like the
+// transposition messages).
+
+fn push_index_pair(buf: &mut Vec<c64>, i: usize, j: usize) {
+    buf.push(c64::new(i as f64, j as f64));
+}
+
+fn push_len(buf: &mut Vec<c64>, len: usize) {
+    buf.push(c64::new(len as f64, 0.0));
+}
+
+fn push_matrix(buf: &mut Vec<c64>, m: &CMatrix) {
+    let (nr, nc) = m.shape();
+    for r in 0..nr {
+        for c in 0..nc {
+            buf.push(m[(r, c)]);
+        }
+    }
+}
+
+fn read_matrix<'a>(it: &mut impl Iterator<Item = &'a c64>, bs: usize) -> CMatrix {
+    let mut m = CMatrix::zeros(bs, bs);
+    for r in 0..bs {
+        for c in 0..bs {
+            m[(r, c)] = *it.next().expect("short spatial message");
+        }
+    }
+    m
+}
+
+fn push_bt(buf: &mut Vec<c64>, bt: &BlockTridiagonal) {
+    let nb = bt.n_blocks();
+    for i in 0..nb {
+        push_matrix(buf, bt.diag(i));
+    }
+    for i in 0..nb.saturating_sub(1) {
+        push_matrix(buf, bt.upper(i));
+        push_matrix(buf, bt.lower(i));
+    }
+}
+
+fn read_bt<'a>(it: &mut impl Iterator<Item = &'a c64>, nb: usize, bs: usize) -> BlockTridiagonal {
+    let mut bt = BlockTridiagonal::zeros(nb, bs);
+    for i in 0..nb {
+        bt.set_block(i, i, read_matrix(it, bs));
+    }
+    for i in 0..nb.saturating_sub(1) {
+        bt.set_block(i, i + 1, read_matrix(it, bs));
+        bt.set_block(i + 1, i, read_matrix(it, bs));
+    }
+    bt
+}
+
+fn push_triples(buf: &mut Vec<c64>, triples: &[(usize, usize, CMatrix)]) {
+    push_len(buf, triples.len());
+    for (i, j, m) in triples {
+        push_index_pair(buf, *i, *j);
+        push_matrix(buf, m);
+    }
+}
+
+fn read_triples<'a>(
+    it: &mut impl Iterator<Item = &'a c64>,
+    bs: usize,
+) -> Vec<(usize, usize, CMatrix)> {
+    let len = it.next().expect("short spatial message").re as usize;
+    (0..len)
+        .map(|_| {
+            let ij = it.next().expect("short spatial message");
+            let (i, j) = (ij.re as usize, ij.im as usize);
+            (i, j, read_matrix(it, bs))
+        })
+        .collect()
+}
+
+fn push_updates(buf: &mut Vec<c64>, u: &PartitionUpdates) {
+    push_triples(buf, &u.schur);
+    for list in &u.rhs {
+        push_triples(buf, list);
+    }
+}
+
+fn read_updates<'a>(
+    it: &mut impl Iterator<Item = &'a c64>,
+    bs: usize,
+    n_rhs: usize,
+) -> PartitionUpdates {
+    let schur = read_triples(it, bs);
+    let rhs = (0..n_rhs).map(|_| read_triples(it, bs)).collect();
+    PartitionUpdates { schur, rhs }
+}
+
+fn push_selected(buf: &mut Vec<c64>, sol: &SelectedSolution) {
+    push_bt(buf, &sol.retarded);
+    for l in &sol.lesser {
+        push_bt(buf, l);
+    }
+}
+
+fn read_selected<'a>(
+    it: &mut impl Iterator<Item = &'a c64>,
+    nb: usize,
+    bs: usize,
+    n_rhs: usize,
+) -> SelectedSolution {
+    SelectedSolution {
+        retarded: read_bt(it, nb, bs),
+        lesser: (0..n_rhs).map(|_| read_bt(it, nb, bs)).collect(),
+        flops: 0,
+    }
+}
+
+fn push_recovered(buf: &mut Vec<c64>, rec: &RecoveredBlocks) {
+    push_triples(buf, &rec.retarded);
+    for list in &rec.lesser {
+        push_triples(buf, list);
+    }
+}
+
+/// Run the per-energy selected solves of one phase across the spatial ranks
+/// of every energy group.
+///
+/// `systems` holds, **on group leaders only**, one `(A, B^<, B^>)` triple per
+/// energy the group owns (`n_owned` on every rank of the group); non-leader
+/// ranks pass an empty vector. Returns the per-energy [`SelectedSolution`]s
+/// on the leader (empty elsewhere) and the off-rank boundary-system bytes
+/// this rank shipped.
+#[allow(clippy::too_many_arguments)]
+pub fn spatial_phase_solve(
+    ctx: &RankContext<Vec<c64>>,
+    grid: &RankGrid,
+    parts: &[SpatialPartition],
+    separators: &[usize],
+    n_owned: usize,
+    systems: Vec<(BlockTridiagonal, BlockTridiagonal, BlockTridiagonal)>,
+    nb: usize,
+    bs: usize,
+    flops: &FlopCounter,
+    kind: FlopKind,
+    timings: &KernelTimings,
+    slot: &AtomicU64,
+) -> (Vec<SelectedSolution>, u64) {
+    let p_s = grid.spatial_partitions;
+    debug_assert!(p_s >= 2, "spatial solve needs at least two partitions");
+    let rank = ctx.rank();
+    let group = grid.group_of(rank);
+    let s = grid.spatial_of(rank);
+    let leader = grid.leader_of(group);
+    let is_leader = rank == leader;
+    let n_ranks = grid.n_ranks();
+    let wire = |m: &Vec<c64>| m.len() * BYTES_PER_VALUE;
+    let mut boundary_bytes = 0u64;
+
+    // ------------------------------------------------------- distribute A, B
+    let mut send: Vec<Vec<c64>> = vec![Vec::new(); n_ranks];
+    if is_leader {
+        let mut buf = Vec::new();
+        for (a, rl, rg) in &systems {
+            push_bt(&mut buf, a);
+            push_bt(&mut buf, rl);
+            push_bt(&mut buf, rg);
+        }
+        for member in 1..p_s {
+            send[leader + member] = buf.clone();
+        }
+    }
+    boundary_bytes += off_rank_payload_bytes(rank, &send);
+    let recv = ctx.alltoallv(send, wire);
+    let local_systems: Vec<(BlockTridiagonal, BlockTridiagonal, BlockTridiagonal)> = if is_leader {
+        systems
+    } else {
+        let mut it = recv[leader].iter();
+        (0..n_owned)
+            .map(|_| {
+                (
+                    read_bt(&mut it, nb, bs),
+                    read_bt(&mut it, nb, bs),
+                    read_bt(&mut it, nb, bs),
+                )
+            })
+            .collect()
+    };
+
+    // ------------------------------------------------ eliminate own partition
+    let t = Instant::now();
+    let my_part = &parts[s];
+    let states: Vec<PartitionSolveState> = local_systems
+        .iter()
+        .map(|(a, rl, rg)| {
+            eliminate_partition_solve(a, &[rl, rg], my_part, s)
+                .expect("spatial elimination failed: the interior became singular")
+        })
+        .collect();
+    flops.add(kind, states.iter().map(|st| st.workload.flops).sum());
+    timings.add(slot, t);
+
+    // -------------------------------- gather the reduced updates to the leader
+    let mut send: Vec<Vec<c64>> = vec![Vec::new(); n_ranks];
+    if !is_leader {
+        let mut buf = Vec::new();
+        for st in &states {
+            push_updates(&mut buf, &st.updates);
+        }
+        send[leader] = buf;
+    }
+    boundary_bytes += off_rank_payload_bytes(rank, &send);
+    let recv = ctx.alltoallv(send, wire);
+
+    // ------------------------- leader: assemble + solve the reduced systems
+    let reduced_local: Vec<SelectedSolution> = if is_leader {
+        let t = Instant::now();
+        let mut member_updates: Vec<Vec<PartitionUpdates>> = Vec::with_capacity(p_s - 1);
+        for member in 1..p_s {
+            let mut it = recv[leader + member].iter();
+            member_updates.push(
+                (0..n_owned)
+                    .map(|_| read_updates(&mut it, bs, N_RHS))
+                    .collect(),
+            );
+        }
+        let sols = local_systems
+            .iter()
+            .zip(states.iter())
+            .enumerate()
+            .map(|(e, ((a, rl, rg), own))| {
+                let mut refs: Vec<&PartitionUpdates> = vec![&own.updates];
+                for mu in &member_updates {
+                    refs.push(&mu[e]);
+                }
+                let (reduced_a, reduced_rhs, _) =
+                    assemble_reduced_system(a, &[rl, rg], separators, &refs);
+                let reduced_refs: Vec<&BlockTridiagonal> = reduced_rhs.iter().collect();
+                let sol = rgf_solve(&reduced_a, &reduced_refs)
+                    .expect("reduced boundary system solve failed");
+                flops.add(kind, sol.flops);
+                sol
+            })
+            .collect();
+        timings.add(slot, t);
+        sols
+    } else {
+        Vec::new()
+    };
+
+    // --------------------------------- broadcast the reduced selected blocks
+    let n_sep = separators.len();
+    let mut send: Vec<Vec<c64>> = vec![Vec::new(); n_ranks];
+    if is_leader {
+        let mut buf = Vec::new();
+        for sol in &reduced_local {
+            push_selected(&mut buf, sol);
+        }
+        for member in 1..p_s {
+            send[leader + member] = buf.clone();
+        }
+    }
+    boundary_bytes += off_rank_payload_bytes(rank, &send);
+    let recv = ctx.alltoallv(send, wire);
+    let reduced_local: Vec<SelectedSolution> = if is_leader {
+        reduced_local
+    } else {
+        let mut it = recv[leader].iter();
+        (0..n_owned)
+            .map(|_| read_selected(&mut it, n_sep, bs, N_RHS))
+            .collect()
+    };
+
+    // ----------------------------------------------- recover interior blocks
+    let t = Instant::now();
+    let recoveries: Vec<RecoveredBlocks> = states
+        .iter()
+        .zip(reduced_local.iter())
+        .map(|(st, red)| recover_partition_solve(my_part, st, separators, red))
+        .collect();
+    flops.add(kind, recoveries.iter().map(|r| r.flops).sum());
+    timings.add(slot, t);
+
+    // --------------------------------- gather recovered blocks to the leader
+    let mut send: Vec<Vec<c64>> = vec![Vec::new(); n_ranks];
+    if !is_leader {
+        let mut buf = Vec::new();
+        for rec in &recoveries {
+            push_recovered(&mut buf, rec);
+        }
+        send[leader] = buf;
+    }
+    boundary_bytes += off_rank_payload_bytes(rank, &send);
+    let recv = ctx.alltoallv(send, wire);
+    if !is_leader {
+        return (Vec::new(), boundary_bytes);
+    }
+
+    // -------------------------- leader: assemble the full selected solutions
+    let mut member_ret: Vec<Vec<(usize, usize, CMatrix)>> = vec![Vec::new(); n_owned];
+    let mut member_les: Vec<Vec<Vec<(usize, usize, CMatrix)>>> =
+        vec![vec![Vec::new(); N_RHS]; n_owned];
+    for member in 1..p_s {
+        let mut it = recv[leader + member].iter();
+        for e in 0..n_owned {
+            member_ret[e].extend(read_triples(&mut it, bs));
+            for r in 0..N_RHS {
+                member_les[e][r].extend(read_triples(&mut it, bs));
+            }
+        }
+    }
+    let sols = recoveries
+        .into_iter()
+        .zip(reduced_local.iter())
+        .enumerate()
+        .map(|(e, (own, reduced))| {
+            let mut x = BlockTridiagonal::zeros(nb, bs);
+            let mut xl: Vec<BlockTridiagonal> = vec![BlockTridiagonal::zeros(nb, bs); N_RHS];
+            scatter_separator_blocks(&mut x, &reduced.retarded, separators);
+            for (r, m) in xl.iter_mut().enumerate() {
+                scatter_separator_blocks(m, &reduced.lesser[r], separators);
+            }
+            for (i, j, blk) in own.retarded.into_iter().chain(member_ret[e].drain(..)) {
+                x.set_block(i, j, blk);
+            }
+            for (r, own_list) in own.lesser.into_iter().enumerate() {
+                for (i, j, blk) in own_list.into_iter().chain(member_les[e][r].drain(..)) {
+                    xl[r].set_block(i, j, blk);
+                }
+            }
+            SelectedSolution {
+                retarded: x,
+                lesser: xl,
+                flops: 0,
+            }
+        })
+        .collect();
+    (sols, boundary_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quatrex_linalg::cplx;
+    use quatrex_rgf::spatial_partition_layout;
+    use quatrex_runtime::ThreadComm;
+
+    fn test_system(nb: usize, bs: usize) -> BlockTridiagonal {
+        let mut a = BlockTridiagonal::zeros(nb, bs);
+        for i in 0..nb {
+            let d = CMatrix::from_fn(bs, bs, |r, c| {
+                if r == c {
+                    cplx(2.4 + 0.07 * i as f64, 0.3)
+                } else {
+                    cplx(-0.2, 0.04 * (r as f64 - c as f64))
+                }
+            });
+            a.set_block(i, i, d);
+        }
+        for i in 0..nb - 1 {
+            let u = CMatrix::from_fn(bs, bs, |r, c| cplx(-0.4 + 0.02 * r as f64, 0.03 * c as f64));
+            let l = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(-0.35 - 0.01 * c as f64, -0.02 * r as f64)
+            });
+            a.set_block(i, i + 1, u);
+            a.set_block(i + 1, i, l);
+        }
+        a
+    }
+
+    fn test_rhs(nb: usize, bs: usize, seed: f64) -> BlockTridiagonal {
+        let mut b = BlockTridiagonal::zeros(nb, bs);
+        for i in 0..nb {
+            let raw = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(seed * (0.1 * (r + i) as f64 - 0.2 * c as f64), 0.3)
+            });
+            b.set_block(i, i, raw.negf_antihermitian_part());
+        }
+        for i in 0..nb - 1 {
+            let bu = CMatrix::from_fn(bs, bs, |r, c| cplx(0.04 * (r + c) as f64 * seed, 0.1));
+            b.set_block(i, i + 1, bu.clone());
+            b.set_block(i + 1, i, bu.dagger().scaled(cplx(-1.0, 0.0)));
+        }
+        b
+    }
+
+    #[test]
+    fn rank_grid_factors_and_addresses() {
+        let grid = RankGrid::new(6, 2);
+        assert_eq!(grid.n_groups, 3);
+        assert_eq!(grid.n_ranks(), 6);
+        assert_eq!(grid.group_of(5), 2);
+        assert_eq!(grid.spatial_of(5), 1);
+        assert_eq!(grid.leader_of(2), 4);
+        assert!(grid.is_leader(4));
+        assert!(!grid.is_leader(5));
+    }
+
+    #[test]
+    fn serialisation_round_trips_exactly() {
+        let bt = test_system(4, 3);
+        let mut buf = Vec::new();
+        push_bt(&mut buf, &bt);
+        let mut it = buf.iter();
+        let back = read_bt(&mut it, 4, 3);
+        assert!(it.next().is_none());
+        assert!(back.to_dense().approx_eq(&bt.to_dense(), 0.0));
+
+        let triples = vec![
+            (
+                0usize,
+                1usize,
+                CMatrix::from_fn(2, 2, |r, c| cplx(r as f64, c as f64)),
+            ),
+            (3, 3, CMatrix::identity(2)),
+        ];
+        let mut buf = Vec::new();
+        push_triples(&mut buf, &triples);
+        let mut it = buf.iter();
+        let back = read_triples(&mut it, 2);
+        assert_eq!(back.len(), 2);
+        assert_eq!((back[0].0, back[0].1), (0, 1));
+        assert_eq!((back[1].0, back[1].1), (3, 3));
+        assert!(back[0].2.approx_eq(&triples[0].2, 0.0));
+    }
+
+    #[test]
+    fn spatial_phase_solve_matches_rgf_solve_within_one_group() {
+        // One energy group of P_S = 2 ranks cooperating on 3 energy points.
+        let (nb, bs, p_s, n_owned) = (6usize, 2usize, 2usize, 3usize);
+        let grid = RankGrid::new(p_s, p_s);
+        let parts = spatial_partition_layout(nb, p_s).unwrap();
+        let separators = quatrex_rgf::separator_blocks(&parts);
+        let problems: Vec<(BlockTridiagonal, BlockTridiagonal, BlockTridiagonal)> = (0..n_owned)
+            .map(|e| {
+                (
+                    test_system(nb, bs),
+                    test_rhs(nb, bs, 1.0 + e as f64),
+                    test_rhs(nb, bs, -0.5 - e as f64),
+                )
+            })
+            .collect();
+        let problems2 = problems.clone();
+
+        let (results, stats) = ThreadComm::run(p_s, move |ctx: RankContext<Vec<c64>>| {
+            let flops = FlopCounter::new();
+            let timings = KernelTimings::default();
+            let systems = if grid.is_leader(ctx.rank()) {
+                problems2.clone()
+            } else {
+                Vec::new()
+            };
+            spatial_phase_solve(
+                &ctx,
+                &grid,
+                &parts,
+                &separators,
+                n_owned,
+                systems,
+                nb,
+                bs,
+                &flops,
+                FlopKind::GRgf,
+                &timings,
+                &timings.g_rgf_ns,
+            )
+        });
+
+        let (leader_sols, leader_bytes) = &results[0];
+        assert_eq!(leader_sols.len(), n_owned);
+        assert!(*leader_bytes > 0, "the leader must ship boundary data");
+        assert!(results[1].0.is_empty(), "non-leaders return nothing");
+        for (e, (a, rl, rg)) in problems.iter().enumerate() {
+            let seq = rgf_solve(a, &[rl, rg]).unwrap();
+            let got = &leader_sols[e];
+            let scale = seq.retarded.norm_fro().max(1e-300);
+            for i in 0..nb {
+                assert!(
+                    got.retarded.diag(i).distance(seq.retarded.diag(i)) / scale < 1e-12,
+                    "energy {e} retarded diag {i}"
+                );
+            }
+            for r in 0..2 {
+                let scale = seq.lesser[r].norm_fro().max(1e-300);
+                for i in 0..nb {
+                    assert!(
+                        got.lesser[r].diag(i).distance(seq.lesser[r].diag(i)) / scale < 1e-12,
+                        "energy {e} lesser[{r}] diag {i}"
+                    );
+                    if i + 1 < nb {
+                        assert!(
+                            got.lesser[r].upper(i).distance(seq.lesser[r].upper(i)) / scale < 1e-12,
+                            "energy {e} lesser[{r}] upper {i}"
+                        );
+                    }
+                }
+            }
+        }
+        // Every byte of group traffic is visible to the communicator stats.
+        let measured: u64 = results.iter().map(|(_, b)| *b).sum();
+        assert_eq!(
+            stats
+                .alltoall_bytes
+                .load(std::sync::atomic::Ordering::Relaxed),
+            measured
+        );
+    }
+}

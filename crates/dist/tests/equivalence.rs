@@ -187,6 +187,64 @@ fn measured_alltoall_volume_agrees_with_the_model_within_5_percent() {
 }
 
 #[test]
+fn spatial_partitions_reproduce_sequential_observables() {
+    // The acceptance case of the two-level decomposition: 4 ranks arranged as
+    // 2 energy groups x P_S = 2 spatial partitions must reproduce the
+    // sequential observables to <= 1e-10 relative.
+    let device = DeviceBuilder::test_device(3, 2, 4).build();
+    let config = gw_config(16, 4);
+    let seq = ScbaSolver::new(device.clone(), config.clone()).run();
+    assert!(seq.iterations >= 2, "sequential reference must iterate");
+    let dist_config = DistScbaConfig::new(config, 4).with_spatial_partitions(2);
+    let dist = DistScbaSolver::new(device, dist_config).run();
+    assert_equivalent("spatial/(n_ranks, P_S)=(4, 2)", &seq, &dist);
+    // The report exposes the grid and the per-phase boundary-system traffic.
+    assert_eq!(dist.report.n_ranks, 4);
+    assert_eq!(dist.report.energy_groups, 2);
+    assert_eq!(dist.report.spatial_partitions, 2);
+    assert_eq!(dist.report.energies_per_rank.len(), 2);
+    assert!(dist.report.measured_boundary_bytes_g > 0);
+    assert!(dist.report.measured_boundary_bytes_w > 0);
+    // The transposition volume model is unchanged: it sees the energy groups.
+    assert!(
+        dist.report.volume_agreement().abs() < 0.05,
+        "transposition volume vs model: {:+.2}%",
+        dist.report.volume_agreement() * 100.0
+    );
+}
+
+#[test]
+fn pure_spatial_decomposition_reproduces_sequential_observables() {
+    // A single energy group whose two ranks share every energy point: the
+    // second decomposition level alone, no energy parallelism.
+    let device = DeviceBuilder::test_device(3, 2, 4).build();
+    let config = gw_config(12, 3);
+    let seq = ScbaSolver::new(device.clone(), config.clone()).run();
+    let dist_config = DistScbaConfig::new(config, 2).with_spatial_partitions(2);
+    let dist = DistScbaSolver::new(device, dist_config).run();
+    assert_equivalent("spatial/(n_ranks, P_S)=(2, 2)", &seq, &dist);
+    assert_eq!(dist.report.energy_groups, 1);
+    // One group: the transpositions are all rank-local (leader to itself).
+    assert_eq!(dist.report.measured_transposition_bytes, 0);
+    assert!(dist.report.measured_boundary_bytes() > 0);
+}
+
+#[test]
+fn spatial_ballistic_matches_sequential() {
+    let device = DeviceBuilder::test_device(2, 2, 6).build();
+    let config = gw_config(12, 1);
+    let seq = ScbaSolver::new(device.clone(), config.clone()).ballistic();
+    for p_s in [2usize, 3] {
+        let dist_config = DistScbaConfig::new(config.clone(), p_s).with_spatial_partitions(p_s);
+        let dist = DistScbaSolver::new(device.clone(), dist_config).ballistic();
+        assert_equivalent(&format!("spatial/ballistic/P_S={p_s}"), &seq, &dist);
+        // Ballistic runs still ship the spatial boundary systems of the G step.
+        assert!(dist.report.measured_boundary_bytes_g > 0);
+        assert_eq!(dist.report.measured_boundary_bytes_w, 0);
+    }
+}
+
+#[test]
 fn memoizer_works_across_ranks() {
     let device = DeviceBuilder::test_device(3, 2, 4).build();
     let dist = DistScbaSolver::new(device, DistScbaConfig::new(gw_config(8, 3), 2)).run();

@@ -13,7 +13,7 @@
 //! * a complex Hessenberg/shifted-QR eigensolver for non-symmetric matrices
 //!   ([`eig`]) as required by the Beyn contour-integral OBC solver and the
 //!   direct Lyapunov solver,
-//! * a one-sided Jacobi SVD ([`svd`]) as required by Beyn's rank-revealing step,
+//! * a one-sided Jacobi SVD ([`svd()`]) as required by Beyn's rank-revealing step,
 //! * FLOP accounting helpers ([`flops`]) used by the performance model to
 //!   regenerate the paper's workload columns.
 //!

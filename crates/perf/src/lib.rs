@@ -28,7 +28,8 @@ pub mod workload;
 
 pub use machine::{MachineModel, SystemModel};
 pub use scaling::{
-    table6_rows, weak_scaling_series, weak_scaling_series_measured, Table6Row, WeakScalingPoint,
+    table6_rows, table6_rows_with, weak_scaling_series, weak_scaling_series_measured,
+    DecompositionOverhead, Table6Row, WeakScalingPoint,
 };
 pub use tables::{
     table1_rows, table3_rows, table4_breakdown, table5_rows, KernelRow, Table4Breakdown,

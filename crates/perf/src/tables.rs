@@ -3,6 +3,7 @@
 use quatrex_device::{DeviceCatalog, DeviceParams};
 
 use crate::machine::MachineModel;
+use crate::scaling::DecompositionOverhead;
 use crate::workload::{KernelWorkloads, WorkloadModel};
 
 /// One row of the Table 4 reproduction: a kernel with its workload, time and
@@ -188,15 +189,21 @@ pub struct Table5Row {
 /// Boundary partitions own a single separator and perform roughly 60% of a
 /// middle partition's workload (no load balancing, as in the paper); the
 /// decomposition itself inflates the total workload through fill-in and the
-/// reduced system.
-pub fn table5_rows(device: &DeviceParams, p_s: usize, element: &MachineModel) -> Vec<Table5Row> {
+/// reduced system. The partition factors come from `overhead` — pass
+/// [`DecompositionOverhead::paper_calibrated`] for the paper's numbers or a
+/// measured instance (`quatrex_bench::measured_decomposition_overhead`) for
+/// this reproduction's own nested-dissection solver.
+pub fn table5_rows(
+    device: &DeviceParams,
+    p_s: usize,
+    element: &MachineModel,
+    overhead: &DecompositionOverhead,
+) -> Vec<Table5Row> {
     assert!(p_s >= 2);
     let per_energy: KernelWorkloads = WorkloadModel::new(device.clone(), true).per_energy();
     let w_total = per_energy.total();
-    // Calibrated against Table 5: end partitions carry ~1.35x their even share,
-    // middle partitions ~1.57x an end partition.
-    let end_factor = 1.35;
-    let middle_factor = 1.35 * 1.57;
+    let end_factor = overhead.end_factor();
+    let middle_factor = overhead.middle_factor;
     let share = w_total / p_s as f64;
     let eff = 0.6; // dense-kernel-dominated partitions sustain ~60% of peak
     let mk = |label, factor: f64| {
@@ -285,7 +292,12 @@ mod tests {
 
     #[test]
     fn table5_reproduces_the_partition_imbalance() {
-        let rows = table5_rows(&DeviceCatalog::nr40(), 4, &MachineModel::mi250x_gcd());
+        let rows = table5_rows(
+            &DeviceCatalog::nr40(),
+            4,
+            &MachineModel::mi250x_gcd(),
+            &DecompositionOverhead::paper_calibrated(),
+        );
         assert_eq!(rows.len(), 3);
         let top = rows[0].workload_tflop;
         let middle = rows[1].workload_tflop;
@@ -302,7 +314,12 @@ mod tests {
 
     #[test]
     fn table5_two_partition_case_has_no_middle_row() {
-        let rows = table5_rows(&DeviceCatalog::nr24(), 2, &MachineModel::mi250x_gcd());
+        let rows = table5_rows(
+            &DeviceCatalog::nr24(),
+            2,
+            &MachineModel::mi250x_gcd(),
+            &DecompositionOverhead::paper_calibrated(),
+        );
         assert_eq!(rows.len(), 2);
         // Paper NR-24: top 483.5, bottom 526.5 Tflop.
         assert!((rows[0].workload_tflop - 483.5).abs() / 483.5 < 0.35);

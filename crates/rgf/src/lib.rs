@@ -17,11 +17,14 @@
 //! * [`sequential::rgf_solve`] — the classical recursive Green's function
 //!   algorithm (paper Section 4.3.2, Eqs. (9)–(12)): a forward Schur-complement
 //!   sweep followed by a backward pass, `O(N_B·N_BS³)` work;
-//! * [`nested::nested_dissection_invert`] — the spatial domain decomposition of
-//!   Section 5.4: the block range is split into `P_S` partitions whose
-//!   interiors are eliminated concurrently, a reduced system over the partition
-//!   boundary blocks is solved, and the interior selected blocks are recovered
-//!   in parallel (at the cost of the fill-in work the paper quantifies).
+//! * [`nested::nested_dissection_invert`] / [`nested::nested_dissection_solve`]
+//!   — the spatial domain decomposition of Section 5.4: the block range is
+//!   split into `P_S` partitions whose interiors are eliminated concurrently,
+//!   a reduced system over the partition boundary blocks is solved (including
+//!   the quadratic lesser/greater right-hand sides), and the interior selected
+//!   blocks are recovered in parallel (at the cost of the fill-in work the
+//!   paper quantifies). The phase-split entry points let a distributed driver
+//!   run elimination and recovery on different ranks.
 //!
 //! The [`dense`] module provides the brute-force dense references used by the
 //! test-suite to validate every selected block.
@@ -31,7 +34,12 @@ pub mod nested;
 pub mod sequential;
 
 pub use dense::{dense_lesser, dense_retarded};
-pub use nested::{nested_dissection_invert, NestedConfig, NestedReport, PartitionWorkload};
+pub use nested::{
+    assemble_reduced_system, eliminate_partition_solve, nested_dissection_invert,
+    nested_dissection_solve, recover_partition_solve, scatter_separator_blocks, separator_blocks,
+    spatial_partition_layout, NestedConfig, NestedReport, PartitionSolveState, PartitionUpdates,
+    PartitionWorkload, RecoveredBlocks, SpatialPartition,
+};
 pub use sequential::{rgf_selected_inverse, rgf_solve, RgfError, SelectedSolution};
 
 pub use quatrex_linalg::{c64, CMatrix};

@@ -1,4 +1,4 @@
-//! Spatial domain decomposition of the selected inversion (paper Section 5.4).
+//! Spatial domain decomposition of the selected solvers (paper Section 5.4).
 //!
 //! The recursive Green's function algorithm is inherently sequential along the
 //! transport axis. To simulate devices whose block count exceeds a single
@@ -12,11 +12,32 @@
 //! partitions perform roughly 60% of a middle partition's workload because
 //! they own a single separator instead of two.
 //!
-//! [`nested_dissection_invert`] reproduces this algorithm for the retarded
-//! selected inverse: it returns exactly the same diagonal and first
-//! off-diagonal blocks as the sequential solver (validated in the tests),
-//! together with a per-partition workload report used by the Table 5
-//! reproduction.
+//! Two entry points are provided:
+//!
+//! * [`nested_dissection_invert`] — the retarded selected inverse only, the
+//!   workload model behind the Table 5 reproduction;
+//! * [`nested_dissection_solve`] — the full quadratic problem: the retarded
+//!   selected inverse *plus* the lesser/greater selected blocks
+//!   `X≶ = A⁻¹·B≶·A⁻†` for any number of right-hand sides. The lesser/greater
+//!   recovery across the separators is the quadratic part: with
+//!   `A⁻¹ = D + U·S⁻¹·Vᵗ` (interior inverse `D`, fill-in factors `U`, `Vᵗ`,
+//!   reduced Schur complement `S`), the solution splits into
+//!
+//!   ```text
+//!   X≶ = D·B·D† + (D·B·Vᵗ†)·S⁻†·U† + U·S⁻¹·(Vᵗ·B·D†) + U·X≶_BB·U†
+//!   ```
+//!
+//!   where `X≶_BB = S⁻¹·(Vᵗ·B·Vᵗ†)·S⁻†` is the reduced *quadratic* boundary
+//!   system: its right-hand side `B̃ = Vᵗ·B·Vᵗ†` is gathered from the
+//!   partitions exactly like the Schur complement of `A`, and the reduced
+//!   problem is itself a selected RGF solve ([`crate::rgf_solve`]).
+//!
+//! The phase-split building blocks ([`spatial_partition_layout`],
+//! [`eliminate_partition_solve`], [`assemble_reduced_system`],
+//! [`recover_partition_solve`], [`scatter_separator_blocks`]) are public so a
+//! distributed driver (`quatrex-dist`) can run the elimination and recovery
+//! phases on different ranks and gather only the reduced-system updates —
+//! the `O(P_S·N_BS²)` boundary traffic of the paper.
 
 use rayon::prelude::*;
 
@@ -25,9 +46,9 @@ use quatrex_linalg::ops::{gemm_flops, matmul};
 use quatrex_linalg::{c64, CMatrix};
 use quatrex_sparse::BlockTridiagonal;
 
-use crate::sequential::{rgf_selected_inverse, RgfError};
+use crate::sequential::{rgf_solve, RgfError, SelectedSolution};
 
-/// Configuration of the nested-dissection solver.
+/// Configuration of the nested-dissection solvers.
 #[derive(Debug, Clone)]
 pub struct NestedConfig {
     /// Number of spatial partitions `P_S` (the paper uses 2 or 4).
@@ -54,7 +75,7 @@ pub struct PartitionWorkload {
     pub flops: u64,
 }
 
-/// Workload report of one distributed selected inversion.
+/// Workload report of one distributed selected inversion / solve.
 #[derive(Debug, Clone)]
 pub struct NestedReport {
     /// Per-partition workloads (parallel phases only).
@@ -94,21 +115,40 @@ impl NestedReport {
         let mid_avg = middle.iter().sum::<f64>() / middle.len() as f64;
         Some(0.5 * (first + last) / mid_avg)
     }
+
+    /// Workload of the average *middle* partition relative to an even
+    /// `1/P_S` share of the given sequential solve — the measured counterpart
+    /// of the `1.35·1.57` middle-partition factor the performance model used
+    /// to hardcode. `None` when there is no middle partition (`P_S < 3`) or
+    /// no sequential reference.
+    pub fn middle_partition_factor(&self, sequential_flops: u64) -> Option<f64> {
+        if self.partitions.len() < 3 || sequential_flops == 0 {
+            return None;
+        }
+        let middle = &self.partitions[1..self.partitions.len() - 1];
+        let mid_avg = middle.iter().map(|p| p.flops as f64).sum::<f64>() / middle.len() as f64;
+        let share = sequential_flops as f64 / self.partitions.len() as f64;
+        Some(mid_avg / share)
+    }
 }
 
-/// One spatial partition of the block range.
-#[derive(Debug, Clone)]
-struct Partition {
-    lo: usize,
-    hi: usize,
+/// One spatial partition of the block range: the owned block interval and the
+/// separators it contributes to the reduced system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialPartition {
+    /// First owned block (inclusive).
+    pub lo: usize,
+    /// Last owned block (inclusive).
+    pub hi: usize,
     /// Separator on the left side (absent for the first partition).
-    left_boundary: Option<usize>,
+    pub left_boundary: Option<usize>,
     /// Separator on the right side (absent for the last partition).
-    right_boundary: Option<usize>,
+    pub right_boundary: Option<usize>,
 }
 
-impl Partition {
-    fn interior(&self) -> std::ops::Range<usize> {
+impl SpatialPartition {
+    /// The interior block range (owned blocks that are not separators).
+    pub fn interior(&self) -> std::ops::Range<usize> {
         let start = if self.left_boundary.is_some() {
             self.lo + 1
         } else {
@@ -123,8 +163,15 @@ impl Partition {
     }
 }
 
-fn make_partitions(n_blocks: usize, n_partitions: usize) -> Result<Vec<Partition>, RgfError> {
-    if n_partitions < 2 || n_blocks < 3 * n_partitions {
+/// Split `n_blocks` into `n_partitions` contiguous spatial partitions with
+/// their separators. Requires `n_partitions ≥ 2` and at least two blocks per
+/// partition (a partition must be able to hold its separators; interiors may
+/// be empty).
+pub fn spatial_partition_layout(
+    n_blocks: usize,
+    n_partitions: usize,
+) -> Result<Vec<SpatialPartition>, RgfError> {
+    if n_partitions < 2 || n_blocks < 2 * n_partitions {
         return Err(RgfError::ShapeMismatch);
     }
     let base = n_blocks / n_partitions;
@@ -134,7 +181,7 @@ fn make_partitions(n_blocks: usize, n_partitions: usize) -> Result<Vec<Partition
     for p in 0..n_partitions {
         let len = base + usize::from(p < rem);
         let hi = lo + len - 1;
-        parts.push(Partition {
+        parts.push(SpatialPartition {
             lo,
             hi,
             left_boundary: (p > 0).then_some(lo),
@@ -145,7 +192,24 @@ fn make_partitions(n_blocks: usize, n_partitions: usize) -> Result<Vec<Partition
     Ok(parts)
 }
 
-/// Extract the interior of a partition as its own block-tridiagonal matrix.
+/// The separator blocks of a partition layout, in ascending block order —
+/// the block pattern of the reduced boundary system.
+pub fn separator_blocks(parts: &[SpatialPartition]) -> Vec<usize> {
+    let mut separators: Vec<usize> = Vec::new();
+    for p in parts {
+        if let Some(lo) = p.left_boundary {
+            separators.push(lo);
+        }
+        if let Some(hi) = p.right_boundary {
+            separators.push(hi);
+        }
+    }
+    separators.sort_unstable();
+    separators.dedup();
+    separators
+}
+
+/// Extract a block range of a BT matrix as its own block-tridiagonal matrix.
 fn interior_matrix(a: &BlockTridiagonal, range: std::ops::Range<usize>) -> BlockTridiagonal {
     let n = range.len();
     let bs = a.block_size();
@@ -160,12 +224,16 @@ fn interior_matrix(a: &BlockTridiagonal, range: std::ops::Range<usize>) -> Block
     m
 }
 
-/// Solve `A·Y = E_j` for one block column of the inverse of a BT matrix
-/// (block Thomas algorithm). Returns all `n` blocks of the column and the
+/// Solve `A·Y = C` for one general block column `C` of a BT matrix (block
+/// Thomas algorithm). Returns all `n` blocks of the solution column and the
 /// FLOPs spent.
-fn block_column_solve(a: &BlockTridiagonal, j: usize) -> Result<(Vec<CMatrix>, u64), RgfError> {
+fn block_column_solve_general(
+    a: &BlockTridiagonal,
+    rhs_col: &[CMatrix],
+) -> Result<(Vec<CMatrix>, u64), RgfError> {
     let n = a.n_blocks();
     let bs = a.block_size();
+    debug_assert_eq!(rhs_col.len(), n);
     let gemm = gemm_flops(bs, bs, bs);
     let mut flops = 0u64;
 
@@ -174,11 +242,7 @@ fn block_column_solve(a: &BlockTridiagonal, j: usize) -> Result<(Vec<CMatrix>, u
     let mut y: Vec<CMatrix> = Vec::with_capacity(n);
     for k in 0..n {
         let mut dk = a.diag(k).clone();
-        let mut rk = if k == j {
-            CMatrix::identity(bs)
-        } else {
-            CMatrix::zeros(bs, bs)
-        };
+        let mut rk = rhs_col[k].clone();
         if k > 0 {
             let lower = a.lower(k - 1); // A_{k, k-1}
             let l_dinv = matmul(lower, &d_inv[k - 1]);
@@ -204,6 +268,14 @@ fn block_column_solve(a: &BlockTridiagonal, j: usize) -> Result<(Vec<CMatrix>, u
     Ok((x, flops))
 }
 
+/// Solve `A·Y = E_j` for one unit block column of the inverse of a BT matrix.
+fn block_column_solve(a: &BlockTridiagonal, j: usize) -> Result<(Vec<CMatrix>, u64), RgfError> {
+    let bs = a.block_size();
+    let mut rhs = vec![CMatrix::zeros(bs, bs); a.n_blocks()];
+    rhs[j] = CMatrix::identity(bs);
+    block_column_solve_general(a, &rhs)
+}
+
 /// Row counterpart: blocks `[A⁻¹]_{j,k}` for all `k`, obtained from the
 /// adjoint system `A†·W = E_j` via `[A⁻¹]_{j,k} = (W_k)†`.
 fn block_row_solve(a: &BlockTridiagonal, j: usize) -> Result<(Vec<CMatrix>, u64), RgfError> {
@@ -211,367 +283,622 @@ fn block_row_solve(a: &BlockTridiagonal, j: usize) -> Result<(Vec<CMatrix>, u64)
     Ok((w.into_iter().map(|b| b.dagger()).collect(), flops))
 }
 
-/// Per-partition result of the parallel elimination phase.
-struct PartitionElimination {
-    /// Schur-complement update to the partition's boundary blocks, as
-    /// (row boundary index, column boundary index, block) triples.
-    schur_updates: Vec<(usize, usize, CMatrix)>,
-    /// `[A_I⁻¹]` block columns towards the left/right separators.
-    col_left: Option<Vec<CMatrix>>,
-    col_right: Option<Vec<CMatrix>>,
-    /// `[A_I⁻¹]` block rows from the left/right separators.
-    row_left: Option<Vec<CMatrix>>,
-    row_right: Option<Vec<CMatrix>>,
-    /// Selected inverse of the interior alone.
-    interior_selected: Option<BlockTridiagonal>,
-    /// Workload bookkeeping.
-    workload: PartitionWorkload,
+/// One separator of a partition: the global separator block, the local index
+/// of the adjacent interior block and the side the separator sits on.
+#[derive(Debug, Clone, Copy)]
+struct BoundarySpec {
+    /// Global block index of the separator.
+    sep: usize,
+    /// Local interior index of the block adjacent to the separator.
+    edge: usize,
+    /// True when the separator sits left of the interior.
+    left: bool,
 }
 
-fn eliminate_partition(
+impl BoundarySpec {
+    /// `M_{sep, edge}` of any BT quantity sharing the system's pattern.
+    fn sep_to_int<'a>(&self, m: &'a BlockTridiagonal) -> &'a CMatrix {
+        if self.left {
+            m.upper(self.sep)
+        } else {
+            m.lower(self.sep - 1)
+        }
+    }
+
+    /// `M_{edge, sep}` of any BT quantity sharing the system's pattern.
+    fn int_to_sep<'a>(&self, m: &'a BlockTridiagonal) -> &'a CMatrix {
+        if self.left {
+            m.lower(self.sep)
+        } else {
+            m.upper(self.sep - 1)
+        }
+    }
+}
+
+/// Fill-in factors of one separator of a partition, for the elimination and
+/// recovery phases.
+struct BoundaryFactors {
+    spec: BoundarySpec,
+    /// `L[k] = [A_I⁻¹·A_{I,b}]_k` — the left fill-in factor.
+    left_f: Vec<CMatrix>,
+    /// `R[k] = [A_{b,I}·A_I⁻¹]_k` — the right fill-in factor.
+    right_f: Vec<CMatrix>,
+    /// Per right-hand side: `q[k] = [A_I⁻¹·(B·Vᵗ†)_{I,b}]_k`.
+    q: Vec<Vec<CMatrix>>,
+    /// Per right-hand side: `s[k] = [(Vᵗ·B)_{b,I}·A_I⁻†]_k`.
+    s: Vec<Vec<CMatrix>>,
+}
+
+/// Recovery state a partition keeps between the elimination and recovery
+/// phases (never communicated).
+struct PartitionFactors {
+    /// Selected solve of the isolated interior (`D·B·D†` restricted to it).
+    interior: SelectedSolution,
+    boundaries: Vec<BoundaryFactors>,
+}
+
+/// The communicated payload of one partition's elimination: the Schur-
+/// complement updates to the reduced system matrix and the quadratic updates
+/// to the reduced right-hand sides `B̃ = Vᵗ·B·Vᵗ†`, as
+/// `(row separator block, column separator block, update)` triples.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionUpdates {
+    /// Updates to the reduced system matrix.
+    pub schur: Vec<(usize, usize, CMatrix)>,
+    /// Updates to the reduced right-hand sides, one list per RHS.
+    pub rhs: Vec<Vec<(usize, usize, CMatrix)>>,
+}
+
+/// Per-partition result of the parallel elimination phase of
+/// [`nested_dissection_solve`]. The [`PartitionUpdates`] must be gathered
+/// wherever the reduced system is assembled; the recovery factors stay local.
+pub struct PartitionSolveState {
+    /// Reduced-system updates to gather.
+    pub updates: PartitionUpdates,
+    /// Workload bookkeeping of the elimination phase.
+    pub workload: PartitionWorkload,
+    factors: Option<PartitionFactors>,
+}
+
+/// Eliminate the interior of one partition: solve the isolated interior
+/// problem, compute the fill-in factors towards both separators and produce
+/// the Schur-complement / reduced-RHS updates.
+pub fn eliminate_partition_solve(
     a: &BlockTridiagonal,
-    part: &Partition,
+    rhs: &[&BlockTridiagonal],
+    part: &SpatialPartition,
     index: usize,
-) -> Result<PartitionElimination, RgfError> {
+) -> Result<PartitionSolveState, RgfError> {
     let bs = a.block_size();
     let gemm = gemm_flops(bs, bs, bs);
     let interior_range = part.interior();
     let n_int = interior_range.len();
+    let blocks = part.hi - part.lo + 1;
     let mut flops = 0u64;
     let mut fill_in_blocks = 0usize;
-    let mut schur_updates = Vec::new();
 
     if n_int == 0 {
-        return Ok(PartitionElimination {
-            schur_updates,
-            col_left: None,
-            col_right: None,
-            row_left: None,
-            row_right: None,
-            interior_selected: None,
+        // Pure-separator partition: nothing to eliminate, nothing to update
+        // (its separator blocks enter the reduced system unmodified).
+        return Ok(PartitionSolveState {
+            updates: PartitionUpdates {
+                schur: Vec::new(),
+                rhs: vec![Vec::new(); rhs.len()],
+            },
             workload: PartitionWorkload {
                 partition: index,
-                blocks: part.hi - part.lo + 1,
+                blocks,
                 fill_in_blocks: 0,
                 flops: 0,
             },
+            factors: None,
         });
     }
 
     let a_int = interior_matrix(a, interior_range.clone());
-    let last = interior_range.end - 1;
+    let rhs_int: Vec<BlockTridiagonal> = rhs
+        .iter()
+        .map(|b| interior_matrix(b, interior_range.clone()))
+        .collect();
+    let rhs_int_refs: Vec<&BlockTridiagonal> = rhs_int.iter().collect();
 
-    // Block-column / block-row solves towards each separator (the fill-in work).
-    let mut col_left = None;
-    let mut row_left = None;
-    let mut col_right = None;
-    let mut row_right = None;
-    if part.left_boundary.is_some() {
-        let (c, f1) = block_column_solve(&a_int, 0)?;
-        let (r, f2) = block_row_solve(&a_int, 0)?;
-        flops += f1 + f2;
-        fill_in_blocks += 2 * n_int;
-        col_left = Some(c);
-        row_left = Some(r);
-    }
-    if part.right_boundary.is_some() {
-        let (c, f1) = block_column_solve(&a_int, n_int - 1)?;
-        let (r, f2) = block_row_solve(&a_int, n_int - 1)?;
-        flops += f1 + f2;
-        fill_in_blocks += 2 * n_int;
-        col_right = Some(c);
-        row_right = Some(r);
-    }
+    // Selected solve of the isolated interior (the `D·B·D†` term).
+    let interior = rgf_solve(&a_int, &rhs_int_refs)?;
+    flops += interior.flops;
 
-    // Schur-complement updates onto the separators.
+    let mut specs: Vec<BoundarySpec> = Vec::new();
     if let Some(lo) = part.left_boundary {
-        let a_lo_first = a.upper(lo); // A_{lo, lo+1} = A_{lo, first}
-        let a_first_lo = a.lower(lo); // A_{first, lo}
-        let col = col_left.as_ref().expect("left column computed");
-        // S_ll -= A_{lo,first} [A_I⁻¹]_{first,first} A_{first,lo}
-        let upd = matmul(&matmul(a_lo_first, &col[0]), a_first_lo).scaled(c64::new(-1.0, 0.0));
-        schur_updates.push((lo, lo, upd));
-        flops += 2 * gemm;
-        if let Some(hi) = part.right_boundary {
-            let a_last_hi = a.upper(last); // A_{last, hi}
-            let col_r = col_right.as_ref().expect("right column computed");
-            // S_lh -= A_{lo,first} [A_I⁻¹]_{first,last} A_{last,hi}
-            let upd = matmul(&matmul(a_lo_first, &col_r[0]), a_last_hi).scaled(c64::new(-1.0, 0.0));
-            schur_updates.push((lo, hi, upd));
-            flops += 2 * gemm;
-        }
+        specs.push(BoundarySpec {
+            sep: lo,
+            edge: 0,
+            left: true,
+        });
     }
     if let Some(hi) = part.right_boundary {
-        let a_hi_last = a.lower(last); // A_{hi, last}
-        let a_last_hi = a.upper(last); // A_{last, hi}
-        let col = col_right.as_ref().expect("right column computed");
-        // S_hh -= A_{hi,last} [A_I⁻¹]_{last,last} A_{last,hi}
-        let upd =
-            matmul(&matmul(a_hi_last, &col[n_int - 1]), a_last_hi).scaled(c64::new(-1.0, 0.0));
-        schur_updates.push((hi, hi, upd));
-        flops += 2 * gemm;
-        if let Some(lo) = part.left_boundary {
-            let a_first_lo = a.lower(lo); // A_{first, lo}
-            let col_l = col_left.as_ref().expect("left column computed");
-            // S_hl -= A_{hi,last} [A_I⁻¹]_{last,first} A_{first,lo}
-            let upd = matmul(&matmul(a_hi_last, &col_l[n_int - 1]), a_first_lo)
-                .scaled(c64::new(-1.0, 0.0));
-            schur_updates.push((hi, lo, upd));
+        specs.push(BoundarySpec {
+            sep: hi,
+            edge: n_int - 1,
+            left: false,
+        });
+    }
+
+    // Fill-in factors per separator: interior inverse columns/rows towards the
+    // adjacent edge, contracted with the separator couplings, plus (per RHS)
+    // the quadratic factors q and s.
+    let mut cols_per_boundary: Vec<Vec<CMatrix>> = Vec::with_capacity(specs.len());
+    let mut boundaries: Vec<BoundaryFactors> = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let (cols, f1) = block_column_solve(&a_int, spec.edge)?;
+        let (rows, f2) = block_row_solve(&a_int, spec.edge)?;
+        flops += f1 + f2;
+        fill_in_blocks += 2 * n_int;
+        let left_f: Vec<CMatrix> = cols.iter().map(|c| matmul(c, spec.int_to_sep(a))).collect();
+        let right_f: Vec<CMatrix> = rows.iter().map(|r| matmul(spec.sep_to_int(a), r)).collect();
+        flops += 2 * n_int as u64 * gemm;
+
+        let mut q: Vec<Vec<CMatrix>> = Vec::with_capacity(rhs.len());
+        let mut s: Vec<Vec<CMatrix>> = Vec::with_capacity(rhs.len());
+        for (r, b) in rhs.iter().enumerate() {
+            let bint = &rhs_int[r];
+            // Column c[j] = (B·Vᵗ†)_{j,b} = B_{j,sep}·δ_{j,edge} − Σ_{j'} B_{j,j'}·R[j']†.
+            let mut c = vec![CMatrix::zeros(bs, bs); n_int];
+            c[spec.edge] += spec.int_to_sep(b);
+            // Row r[j] = (Vᵗ·B)_{b,j} = B_{sep,j}·δ_{j,edge} − Σ_{j'} R[j']·B_{j',j};
+            // assembled daggered so it can run through the column solver.
+            let mut row_dag = vec![CMatrix::zeros(bs, bs); n_int];
+            row_dag[spec.edge] += &spec.sep_to_int(b).dagger();
+            for j in 0..n_int {
+                for j2 in j.saturating_sub(1)..=(j + 1).min(n_int - 1) {
+                    if let Some(bjj2) = bint.block(j, j2) {
+                        c[j] -= &matmul(bjj2, &right_f[j2].dagger());
+                        flops += gemm;
+                    }
+                    if let Some(bj2j) = bint.block(j2, j) {
+                        row_dag[j] -= &matmul(&right_f[j2], bj2j).dagger();
+                        flops += gemm;
+                    }
+                }
+            }
+            let (q_col, fq) = block_column_solve_general(&a_int, &c)?;
+            let (s_dag, fs) = block_column_solve_general(&a_int, &row_dag)?;
+            flops += fq + fs;
+            fill_in_blocks += 2 * n_int;
+            q.push(q_col);
+            s.push(s_dag.into_iter().map(|m| m.dagger()).collect());
+        }
+        cols_per_boundary.push(cols);
+        boundaries.push(BoundaryFactors {
+            spec: *spec,
+            left_f,
+            right_f,
+            q,
+            s,
+        });
+    }
+
+    // Schur-complement updates onto the separators:
+    //   S_{b1,b2} −= A_{b1,e1}·[A_I⁻¹]_{e1,e2}·A_{e2,b2}
+    // and the quadratic reduced-RHS updates:
+    //   B̃_{b1,b2} += −R1[e2]·B_{e2,b2} − B_{b1,e1}·R2[e1]†
+    //              + Σ_{j,j'} R1[j]·B_{j,j'}·R2[j']†.
+    let mut schur = Vec::new();
+    let mut rhs_updates: Vec<Vec<(usize, usize, CMatrix)>> = vec![Vec::new(); rhs.len()];
+    for b1 in boundaries.iter() {
+        for (i2, b2) in boundaries.iter().enumerate() {
+            let e1 = b1.spec.edge;
+            let e2 = b2.spec.edge;
+            // [A_I⁻¹]_{e1,e2} is entry e1 of the block column towards e2.
+            let inv_e1_e2 = &cols_per_boundary[i2][e1];
+            let upd = matmul(
+                &matmul(b1.spec.sep_to_int(a), inv_e1_e2),
+                b2.spec.int_to_sep(a),
+            )
+            .scaled(c64::new(-1.0, 0.0));
+            schur.push((b1.spec.sep, b2.spec.sep, upd));
             flops += 2 * gemm;
+
+            for (r, b) in rhs.iter().enumerate() {
+                let bint = &rhs_int[r];
+                let mut upd =
+                    matmul(&b1.right_f[e2], b2.spec.int_to_sep(b)).scaled(c64::new(-1.0, 0.0));
+                upd -= &matmul(b1.spec.sep_to_int(b), &b2.right_f[e1].dagger());
+                flops += 2 * gemm;
+                for j in 0..n_int {
+                    for j2 in j.saturating_sub(1)..=(j + 1).min(n_int - 1) {
+                        if let Some(bjj2) = bint.block(j, j2) {
+                            upd += &matmul(&matmul(&b1.right_f[j], bjj2), &b2.right_f[j2].dagger());
+                            flops += 2 * gemm;
+                        }
+                    }
+                }
+                rhs_updates[r].push((b1.spec.sep, b2.spec.sep, upd));
+            }
         }
     }
 
-    // Selected inverse of the isolated interior (needed for the recovery phase).
-    let interior_sel = rgf_selected_inverse(&a_int)?;
-    flops += interior_sel.flops;
-
-    Ok(PartitionElimination {
-        schur_updates,
-        col_left,
-        col_right,
-        row_left,
-        row_right,
-        interior_selected: Some(interior_sel.retarded),
+    Ok(PartitionSolveState {
+        updates: PartitionUpdates {
+            schur,
+            rhs: rhs_updates,
+        },
         workload: PartitionWorkload {
             partition: index,
-            blocks: part.hi - part.lo + 1,
+            blocks,
             fill_in_blocks,
             flops,
         },
+        factors: Some(PartitionFactors {
+            interior,
+            boundaries,
+        }),
     })
 }
 
-/// Distributed selected inversion of a block-tridiagonal matrix.
-///
-/// Returns the same selected blocks (diagonal + first off-diagonals) as the
-/// sequential [`rgf_selected_inverse`], plus the per-partition workload report
-/// used by the Table 5 reproduction.
-pub fn nested_dissection_invert(
+/// Assemble the reduced boundary system and its quadratic right-hand sides
+/// from the separator blocks of `a`/`rhs` plus the gathered per-partition
+/// updates. Returns `(reduced system, reduced RHS per input RHS, number of
+/// gathered update blocks)`.
+pub fn assemble_reduced_system(
     a: &BlockTridiagonal,
-    config: &NestedConfig,
-) -> Result<(BlockTridiagonal, NestedReport), RgfError> {
-    let nb = a.n_blocks();
+    rhs: &[&BlockTridiagonal],
+    separators: &[usize],
+    updates: &[&PartitionUpdates],
+) -> (BlockTridiagonal, Vec<BlockTridiagonal>, usize) {
     let bs = a.block_size();
-    let gemm = gemm_flops(bs, bs, bs);
-    let parts = make_partitions(nb, config.n_partitions)?;
-
-    // ---------------------------------------------------------------- phase 1
-    // Parallel elimination of the partition interiors.
-    let eliminations: Vec<PartitionElimination> = parts
-        .par_iter()
-        .enumerate()
-        .map(|(idx, p)| eliminate_partition(a, p, idx))
-        .collect::<Result<Vec<_>, _>>()?;
-
-    // ---------------------------------------------------------------- phase 2
-    // Assemble and solve the reduced system over the separators.
-    let mut separators: Vec<usize> = Vec::new();
-    for p in &parts {
-        if let Some(lo) = p.left_boundary {
-            separators.push(lo);
-        }
-        if let Some(hi) = p.right_boundary {
-            separators.push(hi);
-        }
-    }
-    separators.sort_unstable();
-    separators.dedup();
     let n_sep = separators.len();
-    let sep_index = |block: usize| separators.binary_search(&block).expect("separator present");
-
+    let sep_index = |block: usize| {
+        separators
+            .binary_search(&block)
+            .expect("separator present in layout")
+    };
     let mut reduced = BlockTridiagonal::zeros(n_sep, bs);
+    let mut reduced_rhs: Vec<BlockTridiagonal> = rhs
+        .iter()
+        .map(|_| BlockTridiagonal::zeros(n_sep, bs))
+        .collect();
     for (k, &s) in separators.iter().enumerate() {
         reduced.set_block(k, k, a.diag(s).clone());
-        if k + 1 < n_sep {
-            let next = separators[k + 1];
-            // Adjacent separators of neighbouring partitions keep their
-            // original coupling; separators of the same partition start
-            // uncoupled (their coupling is pure fill-in).
-            if next == s + 1 {
-                reduced.set_block(k, k + 1, a.upper(s).clone());
-                reduced.set_block(k + 1, k, a.lower(s).clone());
+        for (r, b) in rhs.iter().enumerate() {
+            reduced_rhs[r].set_block(k, k, b.diag(s).clone());
+        }
+        if k + 1 < n_sep && separators[k + 1] == s + 1 {
+            // Physically adjacent separators keep their original coupling;
+            // separators of the same partition start uncoupled (their
+            // coupling is pure fill-in from the updates).
+            reduced.set_block(k, k + 1, a.upper(s).clone());
+            reduced.set_block(k + 1, k, a.lower(s).clone());
+            for (r, b) in rhs.iter().enumerate() {
+                reduced_rhs[r].set_block(k, k + 1, b.upper(s).clone());
+                reduced_rhs[r].set_block(k + 1, k, b.lower(s).clone());
             }
         }
     }
     let mut communicated_blocks = 0usize;
-    for elim in &eliminations {
-        for (bi, bj, upd) in &elim.schur_updates {
-            let i = sep_index(*bi);
-            let j = sep_index(*bj);
-            let mut blk = reduced
-                .block(i, j)
-                .cloned()
-                .unwrap_or_else(|| CMatrix::zeros(bs, bs));
-            blk += upd;
-            reduced.set_block(i, j, blk);
+    let add = |m: &mut BlockTridiagonal, bi: usize, bj: usize, upd: &CMatrix| {
+        let i = sep_index(bi);
+        let j = sep_index(bj);
+        let mut blk = m
+            .block(i, j)
+            .cloned()
+            .unwrap_or_else(|| CMatrix::zeros(bs, bs));
+        blk += upd;
+        m.set_block(i, j, blk);
+    };
+    for u in updates {
+        for (bi, bj, upd) in &u.schur {
+            add(&mut reduced, *bi, *bj, upd);
             communicated_blocks += 1;
         }
+        for (r, list) in u.rhs.iter().enumerate() {
+            for (bi, bj, upd) in list {
+                add(&mut reduced_rhs[r], *bi, *bj, upd);
+                communicated_blocks += 1;
+            }
+        }
     }
-    let reduced_sol = rgf_selected_inverse(&reduced)?;
+    (reduced, reduced_rhs, communicated_blocks)
+}
+
+/// The recovered selected blocks of one partition, as
+/// `(global row block, global column block, value)` triples.
+#[derive(Debug, Default)]
+pub struct RecoveredBlocks {
+    /// Retarded selected blocks (interior + separator couplings).
+    pub retarded: Vec<(usize, usize, CMatrix)>,
+    /// Lesser/greater selected blocks, one list per right-hand side.
+    pub lesser: Vec<Vec<(usize, usize, CMatrix)>>,
+    /// FLOPs spent in the recovery.
+    pub flops: u64,
+}
+
+/// Recover the interior selected blocks (and the separator↔interior
+/// couplings) of one partition from its local factors and the selected
+/// solution of the reduced boundary system.
+pub fn recover_partition_solve(
+    part: &SpatialPartition,
+    state: &PartitionSolveState,
+    separators: &[usize],
+    reduced: &SelectedSolution,
+) -> RecoveredBlocks {
+    let n_rhs = state.updates.rhs.len();
+    let mut out = RecoveredBlocks {
+        retarded: Vec::new(),
+        lesser: vec![Vec::new(); n_rhs],
+        flops: 0,
+    };
+    let Some(factors) = &state.factors else {
+        return out;
+    };
+    let interior_range = part.interior();
+    let n_int = interior_range.len();
+    let first = interior_range.start;
+    let bs = reduced.retarded.block_size();
+    let gemm = gemm_flops(bs, bs, bs);
+    let nbd = factors.boundaries.len();
+    let sep_index = |block: usize| {
+        separators
+            .binary_search(&block)
+            .expect("separator present in layout")
+    };
+    let fetch = |m: &BlockTridiagonal, i: usize, j: usize| {
+        m.block(
+            sep_index(factors.boundaries[i].spec.sep),
+            sep_index(factors.boundaries[j].spec.sep),
+        )
+        .cloned()
+        .unwrap_or_else(|| CMatrix::zeros(bs, bs))
+    };
+    // Reduced blocks between this partition's separators.
+    let xr: Vec<Vec<CMatrix>> = (0..nbd)
+        .map(|i| (0..nbd).map(|j| fetch(&reduced.retarded, i, j)).collect())
+        .collect();
+    let xl: Vec<Vec<Vec<CMatrix>>> = (0..n_rhs)
+        .map(|r| {
+            (0..nbd)
+                .map(|i| (0..nbd).map(|j| fetch(&reduced.lesser[r], i, j)).collect())
+                .collect()
+        })
+        .collect();
+    let bd = &factors.boundaries;
+
+    // Interior blocks:
+    //   X^R_{k,k'} = D_{k,k'} + Σ L_i[k]·X_BB[i,j]·R_j[k']
+    //   X^≶_{k,k'} = T1_{k,k'} + Σ [ L_i[k]·X≶_BB[i,j]·L_j[k']†
+    //                               − q_j[k]·X_BB[i,j]†·L_i[k']†
+    //                               − L_i[k]·X_BB[i,j]·s_j[k'] ].
+    let lesser_at = |out: &mut RecoveredBlocks, base: &CMatrix, r: usize, k: usize, k2: usize| {
+        let mut v = base.clone();
+        for i in 0..nbd {
+            for j in 0..nbd {
+                v += &matmul(
+                    &matmul(&bd[i].left_f[k], &xl[r][i][j]),
+                    &bd[j].left_f[k2].dagger(),
+                );
+                v -= &matmul(
+                    &matmul(&bd[j].q[r][k], &xr[i][j].dagger()),
+                    &bd[i].left_f[k2].dagger(),
+                );
+                v -= &matmul(&matmul(&bd[i].left_f[k], &xr[i][j]), &bd[j].s[r][k2]);
+                out.flops += 6 * gemm;
+            }
+        }
+        v
+    };
+    for k in 0..n_int {
+        let gk = first + k;
+        let mut xkk = factors.interior.retarded.diag(k).clone();
+        for i in 0..nbd {
+            for j in 0..nbd {
+                xkk += &matmul(&matmul(&bd[i].left_f[k], &xr[i][j]), &bd[j].right_f[k]);
+                out.flops += 2 * gemm;
+            }
+        }
+        out.retarded.push((gk, gk, xkk));
+        for r in 0..n_rhs {
+            let v = lesser_at(&mut out, factors.interior.lesser[r].diag(k), r, k, k);
+            out.lesser[r].push((gk, gk, v));
+        }
+        if k + 1 < n_int {
+            let mut xup = factors.interior.retarded.upper(k).clone();
+            let mut xlo = factors.interior.retarded.lower(k).clone();
+            for i in 0..nbd {
+                for j in 0..nbd {
+                    xup += &matmul(&matmul(&bd[i].left_f[k], &xr[i][j]), &bd[j].right_f[k + 1]);
+                    xlo += &matmul(&matmul(&bd[i].left_f[k + 1], &xr[i][j]), &bd[j].right_f[k]);
+                    out.flops += 4 * gemm;
+                }
+            }
+            out.retarded.push((gk, gk + 1, xup));
+            out.retarded.push((gk + 1, gk, xlo));
+            for r in 0..n_rhs {
+                let vup = lesser_at(&mut out, factors.interior.lesser[r].upper(k), r, k, k + 1);
+                let vlo = lesser_at(&mut out, factors.interior.lesser[r].lower(k), r, k + 1, k);
+                out.lesser[r].push((gk, gk + 1, vup));
+                out.lesser[r].push((gk + 1, gk, vlo));
+            }
+        }
+    }
+
+    // Separator ↔ interior-edge couplings:
+    //   X^R_{b,e}  = −Σ_j X_BB[b,j]·R_j[e]        X^R_{e,b} = −Σ_j L_j[e]·X_BB[j,b]
+    //   X^≶_{b,e}  = Σ_j X_BB[b,j]·s_j[e] − Σ_j X≶_BB[b,j]·L_j[e]†
+    //   X^≶_{e,b}  = Σ_j q_j[e]·X_BB[b,j]† − Σ_j L_j[e]·X≶_BB[j,b].
+    for (bi, b) in bd.iter().enumerate() {
+        let e = b.spec.edge;
+        let ge = first + e;
+        let mut r_se = CMatrix::zeros(bs, bs);
+        let mut r_es = CMatrix::zeros(bs, bs);
+        for j in 0..nbd {
+            r_se -= &matmul(&xr[bi][j], &bd[j].right_f[e]);
+            r_es -= &matmul(&bd[j].left_f[e], &xr[j][bi]);
+            out.flops += 2 * gemm;
+        }
+        out.retarded.push((b.spec.sep, ge, r_se));
+        out.retarded.push((ge, b.spec.sep, r_es));
+        for r in 0..n_rhs {
+            let mut v_se = CMatrix::zeros(bs, bs);
+            let mut v_es = CMatrix::zeros(bs, bs);
+            for j in 0..nbd {
+                v_se += &matmul(&xr[bi][j], &bd[j].s[r][e]);
+                v_se -= &matmul(&xl[r][bi][j], &bd[j].left_f[e].dagger());
+                v_es += &matmul(&bd[j].q[r][e], &xr[bi][j].dagger());
+                v_es -= &matmul(&bd[j].left_f[e], &xl[r][j][bi]);
+                out.flops += 4 * gemm;
+            }
+            out.lesser[r].push((b.spec.sep, ge, v_se));
+            out.lesser[r].push((ge, b.spec.sep, v_es));
+        }
+    }
+    out
+}
+
+/// Write the separator diagonal blocks and the couplings between physically
+/// adjacent separators of a reduced selected solution back into the global
+/// block pattern.
+pub fn scatter_separator_blocks(
+    x: &mut BlockTridiagonal,
+    reduced: &BlockTridiagonal,
+    separators: &[usize],
+) {
+    for (k, &s) in separators.iter().enumerate() {
+        x.set_block(s, s, reduced.diag(k).clone());
+        if k + 1 < separators.len() && separators[k + 1] == s + 1 {
+            x.set_block(s, s + 1, reduced.upper(k).clone());
+            x.set_block(s + 1, s, reduced.lower(k).clone());
+        }
+    }
+}
+
+/// Distributed selected solve of the quadratic block-tridiagonal problem.
+///
+/// Returns the same selected blocks as the sequential [`rgf_solve`] — the
+/// retarded inverse plus one lesser/greater solution per right-hand side —
+/// together with the per-partition workload report. With
+/// `config.n_partitions == 1` this *is* [`rgf_solve`] (bit-for-bit); for
+/// `P_S ≥ 2` the partition interiors are eliminated concurrently, the reduced
+/// boundary system (and its quadratic right-hand sides) is assembled from the
+/// gathered updates and solved with the sequential RGF, and the interior
+/// blocks are recovered in parallel.
+pub fn nested_dissection_solve(
+    a: &BlockTridiagonal,
+    rhs: &[&BlockTridiagonal],
+    config: &NestedConfig,
+) -> Result<(SelectedSolution, NestedReport), RgfError> {
+    let nb = a.n_blocks();
+    let bs = a.block_size();
+    for b in rhs {
+        if b.n_blocks() != nb || b.block_size() != bs {
+            return Err(RgfError::ShapeMismatch);
+        }
+    }
+    if config.n_partitions == 0 {
+        return Err(RgfError::ShapeMismatch);
+    }
+    if config.n_partitions == 1 {
+        let sol = rgf_solve(a, rhs)?;
+        let report = NestedReport {
+            partitions: vec![PartitionWorkload {
+                partition: 0,
+                blocks: nb,
+                fill_in_blocks: 0,
+                flops: sol.flops,
+            }],
+            reduced_system_flops: 0,
+            reduced_system_blocks: 0,
+            communicated_blocks: 0,
+        };
+        return Ok((sol, report));
+    }
+
+    let parts = spatial_partition_layout(nb, config.n_partitions)?;
+
+    // ---------------------------------------------------------------- phase 1
+    // Parallel elimination of the partition interiors.
+    let states: Vec<PartitionSolveState> = parts
+        .par_iter()
+        .enumerate()
+        .map(|(idx, p)| eliminate_partition_solve(a, rhs, p, idx))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // ---------------------------------------------------------------- phase 2
+    // Assemble and solve the reduced system over the separators.
+    let separators = separator_blocks(&parts);
+    let updates: Vec<&PartitionUpdates> = states.iter().map(|s| &s.updates).collect();
+    let (reduced_a, reduced_rhs, communicated_blocks) =
+        assemble_reduced_system(a, rhs, &separators, &updates);
+    let reduced_rhs_refs: Vec<&BlockTridiagonal> = reduced_rhs.iter().collect();
+    let reduced_sol = rgf_solve(&reduced_a, &reduced_rhs_refs)?;
     let reduced_system_flops = reduced_sol.flops;
-    let x_reduced = reduced_sol.retarded;
 
     // ---------------------------------------------------------------- phase 3
     // Recover the interior selected blocks in parallel.
-    let recovered: Vec<(Vec<(usize, usize, CMatrix)>, u64)> = parts
+    let recoveries: Vec<RecoveredBlocks> = parts
         .par_iter()
-        .zip(eliminations.par_iter())
-        .map(|(part, elim)| {
-            let mut out: Vec<(usize, usize, CMatrix)> = Vec::new();
-            let mut flops = 0u64;
-            let interior_range = part.interior();
-            let n_int = interior_range.len();
-            if n_int == 0 {
-                return (out, flops);
-            }
-            let first = interior_range.start;
-            let interior_sel = elim
-                .interior_selected
-                .as_ref()
-                .expect("interior selected inverse");
-
-            // Boundary descriptors: (separator block, A_{I,b} entry row, A_{b,I} entry, columns, rows)
-            struct Boundary<'a> {
-                sep: usize,
-                cols: &'a [CMatrix],
-                rows: &'a [CMatrix],
-                a_int_to_sep: &'a CMatrix, // A_{interior-edge, sep}
-                a_sep_to_int: &'a CMatrix, // A_{sep, interior-edge}
-            }
-            let mut boundaries: Vec<Boundary> = Vec::new();
-            if let Some(lo) = part.left_boundary {
-                boundaries.push(Boundary {
-                    sep: lo,
-                    cols: elim.col_left.as_ref().expect("left column"),
-                    rows: elim.row_left.as_ref().expect("left row"),
-                    a_int_to_sep: a.lower(lo), // A_{first, lo}
-                    a_sep_to_int: a.upper(lo), // A_{lo, first}
-                });
-            }
-            if let Some(hi) = part.right_boundary {
-                boundaries.push(Boundary {
-                    sep: hi,
-                    cols: elim.col_right.as_ref().expect("right column"),
-                    rows: elim.row_right.as_ref().expect("right row"),
-                    a_int_to_sep: a.upper(hi - 1), // A_{last, hi}
-                    a_sep_to_int: a.lower(hi - 1), // A_{hi, last}
-                });
-            }
-
-            // Pre-compute per-boundary left factors L_b[k] = [A_I⁻¹ A_{I,b}]_k
-            // and right factors R_b[k] = [A_{b,I} A_I⁻¹]_k.
-            let mut left_factors: Vec<Vec<CMatrix>> = Vec::new();
-            let mut right_factors: Vec<Vec<CMatrix>> = Vec::new();
-            for b in &boundaries {
-                let lf: Vec<CMatrix> = b.cols.iter().map(|c| matmul(c, b.a_int_to_sep)).collect();
-                let rf: Vec<CMatrix> = b.rows.iter().map(|r| matmul(b.a_sep_to_int, r)).collect();
-                flops += 2 * n_int as u64 * gemm;
-                left_factors.push(lf);
-                right_factors.push(rf);
-            }
-            // Full-inverse blocks between separators of this partition.
-            let x_bb = |b1: usize, b2: usize| -> CMatrix {
-                let i = sep_index(boundaries[b1].sep);
-                let j = sep_index(boundaries[b2].sep);
-                x_reduced
-                    .block(i, j)
-                    .cloned()
-                    .unwrap_or_else(|| CMatrix::zeros(bs, bs))
-            };
-
-            // Interior diagonal and off-diagonal blocks:
-            // X_kk       = [A_I⁻¹]_kk   + Σ_{b1,b2} L_{b1}[k]·X[b1,b2]·R_{b2}[k]
-            // X_{k,k+1}  = [A_I⁻¹]_{k,k+1} + Σ L_{b1}[k]·X[b1,b2]·R_{b2}[k+1]
-            for k in 0..n_int {
-                let gk = interior_range.start + k;
-                let mut xkk = interior_sel.diag(k).clone();
-                for b1 in 0..boundaries.len() {
-                    for b2 in 0..boundaries.len() {
-                        let corr = matmul(
-                            &matmul(&left_factors[b1][k], &x_bb(b1, b2)),
-                            &right_factors[b2][k],
-                        );
-                        xkk += &corr;
-                        flops += 2 * gemm;
-                    }
-                }
-                out.push((gk, gk, xkk));
-                if k + 1 < n_int {
-                    let mut xup = interior_sel.upper(k).clone();
-                    let mut xlo = interior_sel.lower(k).clone();
-                    for b1 in 0..boundaries.len() {
-                        for b2 in 0..boundaries.len() {
-                            let xb = x_bb(b1, b2);
-                            xup += &matmul(
-                                &matmul(&left_factors[b1][k], &xb),
-                                &right_factors[b2][k + 1],
-                            );
-                            xlo += &matmul(
-                                &matmul(&left_factors[b1][k + 1], &xb),
-                                &right_factors[b2][k],
-                            );
-                            flops += 4 * gemm;
-                        }
-                    }
-                    out.push((gk, gk + 1, xup));
-                    out.push((gk + 1, gk, xlo));
-                }
-            }
-
-            // Blocks coupling separators to the adjacent interior edge:
-            // X_{b, edge} = −Σ_{b2} X[b,b2]·R_{b2}[edge]
-            // X_{edge, b} = −Σ_{b1} L_{b1}[edge]·X[b1,b]
-            for (bi, b) in boundaries.iter().enumerate() {
-                let edge_k = if b.sep < first { 0 } else { n_int - 1 };
-                let edge_g = interior_range.start + edge_k;
-                let mut x_sep_edge = CMatrix::zeros(bs, bs);
-                let mut x_edge_sep = CMatrix::zeros(bs, bs);
-                for b2 in 0..boundaries.len() {
-                    x_sep_edge -= &matmul(&x_bb(bi, b2), &right_factors[b2][edge_k]);
-                    x_edge_sep -= &matmul(&left_factors[b2][edge_k], &x_bb(b2, bi));
-                    flops += 2 * gemm;
-                }
-                out.push((b.sep, edge_g, x_sep_edge));
-                out.push((edge_g, b.sep, x_edge_sep));
-            }
-            (out, flops)
-        })
+        .zip(states.par_iter())
+        .map(|(part, state)| recover_partition_solve(part, state, &separators, &reduced_sol))
         .collect();
 
     // ------------------------------------------------------------- assemble
     let mut x = BlockTridiagonal::zeros(nb, bs);
-    // Separator diagonal blocks and separator-separator couplings.
-    for (k, &s) in separators.iter().enumerate() {
-        x.set_block(s, s, x_reduced.diag(k).clone());
-        if k + 1 < n_sep && separators[k + 1] == s + 1 {
-            x.set_block(s, s + 1, x_reduced.upper(k).clone());
-            x.set_block(s + 1, s, x_reduced.lower(k).clone());
-        }
+    let mut xl: Vec<BlockTridiagonal> = vec![BlockTridiagonal::zeros(nb, bs); rhs.len()];
+    scatter_separator_blocks(&mut x, &reduced_sol.retarded, &separators);
+    for (r, m) in xl.iter_mut().enumerate() {
+        scatter_separator_blocks(m, &reduced_sol.lesser[r], &separators);
     }
     let mut partition_workloads: Vec<PartitionWorkload> = Vec::with_capacity(parts.len());
-    for ((elim, (blocks, rec_flops)), _part) in
-        eliminations.into_iter().zip(recovered).zip(parts.iter())
-    {
-        let mut wl = elim.workload;
-        wl.flops += rec_flops;
+    let mut flops = reduced_system_flops;
+    for (state, rec) in states.into_iter().zip(recoveries) {
+        let mut wl = state.workload;
+        wl.flops += rec.flops;
+        flops += wl.flops;
         partition_workloads.push(wl);
-        for (i, j, blk) in blocks {
+        for (i, j, blk) in rec.retarded {
             x.set_block(i, j, blk);
+        }
+        for (r, blocks) in rec.lesser.into_iter().enumerate() {
+            for (i, j, blk) in blocks {
+                xl[r].set_block(i, j, blk);
+            }
         }
     }
 
     let report = NestedReport {
         partitions: partition_workloads,
         reduced_system_flops,
-        reduced_system_blocks: n_sep,
+        reduced_system_blocks: separators.len(),
         communicated_blocks,
     };
-    Ok((x, report))
+    Ok((
+        SelectedSolution {
+            retarded: x,
+            lesser: xl,
+            flops,
+        },
+        report,
+    ))
+}
+
+/// Distributed selected inversion of a block-tridiagonal matrix.
+///
+/// Returns the same selected blocks (diagonal + first off-diagonals) as the
+/// sequential [`crate::rgf_selected_inverse`], plus the per-partition
+/// workload report used by the Table 5 reproduction. Requires `P_S ≥ 2`; use
+/// [`nested_dissection_solve`] for the degenerate single-partition case.
+pub fn nested_dissection_invert(
+    a: &BlockTridiagonal,
+    config: &NestedConfig,
+) -> Result<(BlockTridiagonal, NestedReport), RgfError> {
+    if config.n_partitions < 2 {
+        return Err(RgfError::ShapeMismatch);
+    }
+    let (sol, report) = nested_dissection_solve(a, &[], config)?;
+    Ok((sol.retarded, report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sequential::rgf_selected_inverse;
     use quatrex_linalg::cplx;
 
     fn test_system(nb: usize, bs: usize) -> BlockTridiagonal {
@@ -597,6 +924,44 @@ mod tests {
             a.set_block(i + 1, i, l);
         }
         a
+    }
+
+    /// An anti-Hermitian-structured RHS like the `Σ^≶` of the solver, plus a
+    /// second unstructured RHS to exercise full generality.
+    fn test_rhs(nb: usize, bs: usize, seed: f64) -> BlockTridiagonal {
+        let mut b = BlockTridiagonal::zeros(nb, bs);
+        for i in 0..nb {
+            let raw = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(
+                    seed * (0.2 * (r + i) as f64 - 0.1 * c as f64),
+                    0.4 - 0.05 * (r + c) as f64 + 0.02 * seed,
+                )
+            });
+            b.set_block(i, i, raw.negf_antihermitian_part());
+        }
+        for i in 0..nb - 1 {
+            let bu = CMatrix::from_fn(bs, bs, |r, c| {
+                cplx(0.05 * (r as f64 - c as f64) * seed, 0.12 + 0.01 * i as f64)
+            });
+            b.set_block(i, i + 1, bu.clone());
+            b.set_block(i + 1, i, bu.dagger().scaled(cplx(-1.0, 0.0)));
+        }
+        b
+    }
+
+    /// Maximum relative error over all selected blocks of `got` vs `want`.
+    fn max_rel_err(got: &BlockTridiagonal, want: &BlockTridiagonal) -> f64 {
+        let scale = want.norm_fro().max(1e-300);
+        let nb = want.n_blocks();
+        let mut err = 0.0f64;
+        for i in 0..nb {
+            err = err.max(got.diag(i).distance(want.diag(i)) / scale);
+            if i + 1 < nb {
+                err = err.max(got.upper(i).distance(want.upper(i)) / scale);
+                err = err.max(got.lower(i).distance(want.lower(i)) / scale);
+            }
+        }
+        err
     }
 
     #[test]
@@ -695,11 +1060,112 @@ mod tests {
         for p in &report.partitions {
             assert!(p.flops > 0);
         }
+        // The measured middle-partition factor feeds the performance model.
+        let factor = report.middle_partition_factor(seq.flops).unwrap();
+        assert!(
+            factor > 1.0,
+            "middle partitions must carry fill-in overhead"
+        );
     }
 
     #[test]
     fn too_many_partitions_are_rejected() {
         let a = test_system(6, 2);
         assert!(nested_dissection_invert(&a, &NestedConfig::new(4)).is_err());
+    }
+
+    #[test]
+    fn solve_is_bit_identical_to_rgf_solve_at_one_partition() {
+        let a = test_system(8, 2);
+        let b = test_rhs(8, 2, 1.0);
+        let seq = rgf_solve(&a, &[&b]).unwrap();
+        let (sol, report) = nested_dissection_solve(&a, &[&b], &NestedConfig::new(1)).unwrap();
+        assert!(sol
+            .retarded
+            .to_dense()
+            .approx_eq(&seq.retarded.to_dense(), 0.0));
+        assert!(sol.lesser[0]
+            .to_dense()
+            .approx_eq(&seq.lesser[0].to_dense(), 0.0));
+        assert_eq!(sol.flops, seq.flops);
+        assert_eq!(report.reduced_system_blocks, 0);
+        assert_eq!(report.communicated_blocks, 0);
+    }
+
+    #[test]
+    fn solve_matches_rgf_solve_across_partition_counts() {
+        let (nb, bs) = (13, 3);
+        let a = test_system(nb, bs);
+        let b1 = test_rhs(nb, bs, 1.0);
+        let b2 = test_rhs(nb, bs, -0.7);
+        let seq = rgf_solve(&a, &[&b1, &b2]).unwrap();
+        for p_s in [2usize, 3, 4] {
+            let (sol, report) =
+                nested_dissection_solve(&a, &[&b1, &b2], &NestedConfig::new(p_s)).unwrap();
+            let err_r = max_rel_err(&sol.retarded, &seq.retarded);
+            assert!(err_r < 1e-12, "P_S={p_s}: retarded err {err_r:.2e}");
+            for r in 0..2 {
+                let err_l = max_rel_err(&sol.lesser[r], &seq.lesser[r]);
+                assert!(err_l < 1e-12, "P_S={p_s}: lesser[{r}] err {err_l:.2e}");
+            }
+            assert_eq!(report.partitions.len(), p_s);
+            assert_eq!(report.reduced_system_blocks, 2 * (p_s - 1));
+            assert!(report.communicated_blocks > 0);
+        }
+    }
+
+    #[test]
+    fn solve_handles_non_uniform_block_counts() {
+        // 11 blocks over 3 partitions: sizes 4, 4, 3.
+        let (nb, bs) = (11, 2);
+        let a = test_system(nb, bs);
+        let b = test_rhs(nb, bs, 0.6);
+        let seq = rgf_solve(&a, &[&b]).unwrap();
+        let (sol, _) = nested_dissection_solve(&a, &[&b], &NestedConfig::new(3)).unwrap();
+        assert!(max_rel_err(&sol.retarded, &seq.retarded) < 1e-12);
+        assert!(max_rel_err(&sol.lesser[0], &seq.lesser[0]) < 1e-12);
+    }
+
+    #[test]
+    fn solve_handles_empty_interior_partitions() {
+        // 6 blocks over 3 partitions of 2 blocks each: the middle partition is
+        // all separators (empty interior), the end partitions have one
+        // interior block each.
+        let (nb, bs) = (6, 2);
+        let a = test_system(nb, bs);
+        let b = test_rhs(nb, bs, 1.3);
+        let parts = spatial_partition_layout(nb, 3).unwrap();
+        assert_eq!(
+            parts[1].interior().len(),
+            0,
+            "middle interior must be empty"
+        );
+        let seq = rgf_solve(&a, &[&b]).unwrap();
+        let (sol, report) = nested_dissection_solve(&a, &[&b], &NestedConfig::new(3)).unwrap();
+        assert!(max_rel_err(&sol.retarded, &seq.retarded) < 1e-12);
+        assert!(max_rel_err(&sol.lesser[0], &seq.lesser[0]) < 1e-12);
+        assert_eq!(report.partitions[1].flops, 0);
+    }
+
+    #[test]
+    fn solve_with_multiple_rhs_is_consistent_with_linearity() {
+        let (nb, bs) = (12, 2);
+        let a = test_system(nb, bs);
+        let b = test_rhs(nb, bs, 1.0);
+        let mut b2 = b.clone();
+        b2.scale_mut(cplx(-0.5, 0.0));
+        let (sol, _) = nested_dissection_solve(&a, &[&b, &b2], &NestedConfig::new(3)).unwrap();
+        for i in 0..nb {
+            let scaled = sol.lesser[0].diag(i).scaled(cplx(-0.5, 0.0));
+            assert!(sol.lesser[1].diag(i).approx_eq(&scaled, 1e-10));
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_and_zero_partitions_are_rejected() {
+        let a = test_system(8, 2);
+        let b_wrong = test_rhs(9, 2, 1.0);
+        assert!(nested_dissection_solve(&a, &[&b_wrong], &NestedConfig::new(2)).is_err());
+        assert!(nested_dissection_solve(&a, &[], &NestedConfig::new(0)).is_err());
     }
 }

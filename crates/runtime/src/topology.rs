@@ -48,15 +48,28 @@ impl DecompositionPlan {
         self.n_energy_groups() * self.spatial_partitions
     }
 
-    /// Energy indices owned by a given energy group.
+    /// Energy indices owned by a given energy group. The last group may be
+    /// partially filled; `start` is clamped to the grid so the returned range
+    /// is never inverted (`start > end`) even for an out-of-grid group.
     pub fn energies_of_group(&self, group: usize) -> std::ops::Range<usize> {
-        let start = group * self.energies_per_group;
+        debug_assert!(
+            group < self.n_energy_groups(),
+            "group {group} out of range (n_energy_groups = {})",
+            self.n_energy_groups()
+        );
+        let start = (group * self.energies_per_group).min(self.n_energies);
         let end = ((group + 1) * self.energies_per_group).min(self.n_energies);
         start..end
     }
 
-    /// Group that owns a given energy index.
+    /// Group that owns a given energy index. The energy must be on the grid:
+    /// out-of-grid indices would silently map to nonexistent groups.
     pub fn group_of_energy(&self, energy: usize) -> usize {
+        debug_assert!(
+            energy < self.n_energies,
+            "energy {energy} out of range (n_energies = {})",
+            self.n_energies
+        );
         energy / self.energies_per_group
     }
 }
@@ -102,9 +115,11 @@ impl TranspositionVolume {
         16 * self.total_values()
     }
 
-    /// Bytes sent by each rank (assuming a balanced distribution).
+    /// Bytes sent by each rank (assuming a balanced distribution). Rounded
+    /// *up* so the per-rank figure is a conservative bound on the busiest
+    /// rank rather than an integer-division under-report.
     pub fn bytes_per_rank(&self) -> u64 {
-        self.total_bytes() / self.n_ranks as u64
+        self.total_bytes().div_ceil(self.n_ranks as u64)
     }
 }
 
@@ -140,6 +155,40 @@ mod tests {
     }
 
     #[test]
+    fn boundary_group_is_partial_but_never_inverted() {
+        // 10 energies in groups of 3: the last group (index 3) holds only one
+        // energy. The old arithmetic returned an inverted range (start > end)
+        // one past it; the clamped version keeps start <= end everywhere.
+        let plan = DecompositionPlan::new(10, 3, 2);
+        assert_eq!(plan.n_energy_groups(), 4);
+        let last = plan.energies_of_group(3);
+        assert_eq!(last, 9..10);
+        for g in 0..plan.n_energy_groups() {
+            let r = plan.energies_of_group(g);
+            assert!(r.start <= r.end, "group {g} range inverted: {r:?}");
+        }
+        // Exactly-divisible grids keep full groups everywhere.
+        let exact = DecompositionPlan::new(12, 3, 1);
+        assert_eq!(exact.energies_of_group(3), 9..12);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_grid_group_is_rejected_in_debug_builds() {
+        let plan = DecompositionPlan::new(10, 3, 1);
+        let _ = plan.energies_of_group(plan.n_energy_groups());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_grid_energy_is_rejected_in_debug_builds() {
+        let plan = DecompositionPlan::new(10, 3, 1);
+        let _ = plan.group_of_energy(10);
+    }
+
+    #[test]
     fn symmetry_reduction_halves_the_transposition_volume() {
         let full = TranspositionVolume::new(1_000_000, 64, 16, false);
         let sym = TranspositionVolume::new(1_000_000, 64, 16, true);
@@ -161,5 +210,19 @@ mod tests {
         let v = TranspositionVolume::new(100, 1, 100, false);
         assert_eq!(v.total_bytes(), 16 * v.total_values());
         assert!(v.bytes_per_rank() <= v.total_bytes());
+    }
+
+    #[test]
+    fn bytes_per_rank_rounds_up_to_bound_the_busiest_rank() {
+        // 3 ranks moving 10 values x 16 bytes = 160 bytes total; truncating
+        // division would claim 53 bytes/rank, under the real 54-byte bound.
+        let v = TranspositionVolume {
+            elements_per_energy: 3,
+            n_energies: 5,
+            n_ranks: 3,
+        };
+        assert_eq!(v.total_values(), 10);
+        assert_eq!(v.bytes_per_rank(), 54);
+        assert!(3 * v.bytes_per_rank() >= v.total_bytes());
     }
 }

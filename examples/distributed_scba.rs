@@ -128,14 +128,23 @@ fn main() {
             run.report.measured_bytes_per_rank_per_iteration()
         })
         .collect();
-    let modelled =
-        quatrex_perf::weak_scaling_series(&params, &system, CommBackend::HostMpi, 1, 1, &nodes);
+    let overhead = quatrex_perf::DecompositionOverhead::paper_calibrated();
+    let modelled = quatrex_perf::weak_scaling_series(
+        &params,
+        &system,
+        CommBackend::HostMpi,
+        1,
+        1,
+        &overhead,
+        &nodes,
+    );
     let from_measured = quatrex_perf::weak_scaling_series_measured(
         &params,
         &system,
         CommBackend::HostMpi,
         1,
         1,
+        &overhead,
         &nodes,
         &measured,
     );

@@ -40,9 +40,12 @@ pub mod prelude {
     pub use quatrex_linalg::{c64, CMatrix};
     pub use quatrex_obc::ObcMemoizer;
     pub use quatrex_perf::{
-        table4_breakdown, table6_rows, MachineModel, SystemModel, WorkloadModel,
+        table4_breakdown, table6_rows, DecompositionOverhead, MachineModel, SystemModel,
+        WorkloadModel,
     };
-    pub use quatrex_rgf::{nested_dissection_invert, rgf_solve, NestedConfig};
+    pub use quatrex_rgf::{
+        nested_dissection_invert, nested_dissection_solve, rgf_solve, NestedConfig,
+    };
     pub use quatrex_runtime::{CommBackend, DecompositionPlan};
     pub use quatrex_sparse::{BlockBanded, BlockTridiagonal, SymmetricLesser};
 }
