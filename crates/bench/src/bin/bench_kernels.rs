@@ -1,0 +1,268 @@
+//! `BENCH_kernels.json` generator: before/after numbers for the operand-flag
+//! GEMM engine of `quatrex-linalg`.
+//!
+//! Three measurements, all on transport-cell-sized blocks:
+//!
+//! * **gemm_chain** — the RGF forward-step product pattern (Schur chain
+//!   `(A_lo·g)·A_up` plus congruence `(g·B)·g†`) at `N_BS ∈ {32, 64, 128}`:
+//!   the pre-refactor scalar kernels with materialized daggers and fresh
+//!   allocations ("before") against the register-tiled engine with fused
+//!   daggers and workspace reuse ("after"). The acceptance target is ≥2×.
+//! * **rgf_solve** — a full selected RGF solve (retarded + two quadratic
+//!   right-hand sides) through the frozen pre-refactor solver
+//!   (`quatrex_rgf::reference`) vs the refactored one.
+//! * **scba_iteration** — wall time of a full SCBA run on the reduced NW-1
+//!   device with the current engine, recorded so the perf trajectory has a
+//!   longitudinal data point per PR.
+//!
+//! Run with `cargo run --release -p quatrex-bench --bin bench_kernels`;
+//! set `QUATREX_BENCH_QUICK=1` for the CI smoke mode (fewer repetitions,
+//! same JSON shape). The file is written to the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use quatrex_bench::{bench_solver, chain_operand};
+use quatrex_linalg::ops::reference::{congruence_ref, matmul_ref};
+use quatrex_linalg::ops::{congruence, gemm, matmul, Op};
+use quatrex_linalg::{cplx, Workspace, ONE, ZERO};
+use quatrex_rgf::reference::rgf_solve_reference;
+use quatrex_rgf::{rgf_solve_scratch, BlockTridiagonal, RgfScratch};
+
+fn quick_mode() -> bool {
+    std::env::var("QUATREX_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// Median-of-runs wall time per repetition, in nanoseconds.
+fn time_ns(runs: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches, arenas and the allocator
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct ChainRow {
+    n_bs: usize,
+    before_ns: f64,
+    after_ns: f64,
+}
+
+impl ChainRow {
+    fn speedup(&self) -> f64 {
+        self.before_ns / self.after_ns
+    }
+}
+
+/// The transport-cell GEMM chain of one RGF forward step.
+fn bench_gemm_chain(n_bs: usize, runs: usize, reps: usize) -> ChainRow {
+    let a_lo = chain_operand(n_bs, 0.3);
+    let a_up = chain_operand(n_bs, 1.1);
+    let g = chain_operand(n_bs, 2.3);
+    let b = chain_operand(n_bs, 3.7);
+
+    // Before: pre-refactor scalar kernels, fresh allocation per product,
+    // materialized dagger.
+    let before_ns = time_ns(runs, reps, || {
+        let schur = matmul_ref(&matmul_ref(&a_lo, &g), &a_up);
+        let inner = congruence_ref(&g, &b);
+        std::hint::black_box((&schur, &inner));
+    });
+
+    // After: register-tiled engine, fused dagger, workspace-recycled buffers.
+    let mut ws = Workspace::new();
+    let after_ns = time_ns(runs, reps, || {
+        let mut t = ws.take(n_bs, n_bs);
+        let mut schur = ws.take(n_bs, n_bs);
+        gemm(&mut t, ONE, Op::None(&a_lo), Op::None(&g), ZERO);
+        gemm(&mut schur, ONE, Op::None(&t), Op::None(&a_up), ZERO);
+        let mut inner = ws.take(n_bs, n_bs);
+        gemm(&mut t, ONE, Op::None(&g), Op::None(&b), ZERO);
+        gemm(&mut inner, ONE, Op::None(&t), Op::Dagger(&g), ZERO);
+        std::hint::black_box((&schur, &inner));
+        ws.give(t);
+        ws.give(schur);
+        ws.give(inner);
+    });
+
+    // Cross-check while we are here: both paths agree.
+    let want = matmul(&matmul(&a_lo, &g), &a_up);
+    let got = matmul_ref(&matmul_ref(&a_lo, &g), &a_up);
+    assert!(want.approx_eq(&got, 1e-10), "kernel mismatch at {n_bs}");
+    let want = congruence(&g, &b);
+    let got = congruence_ref(&g, &b);
+    assert!(want.approx_eq(&got, 1e-10), "congruence mismatch at {n_bs}");
+
+    ChainRow {
+        n_bs,
+        before_ns,
+        after_ns,
+    }
+}
+
+fn rgf_system(nb: usize, bs: usize) -> (BlockTridiagonal, BlockTridiagonal, BlockTridiagonal) {
+    let mut a = BlockTridiagonal::zeros(nb, bs);
+    let mut bl = BlockTridiagonal::zeros(nb, bs);
+    for i in 0..nb {
+        let mut d = chain_operand(bs, 0.2 + i as f64);
+        for k in 0..bs {
+            d[(k, k)] += cplx(4.0, 0.5);
+        }
+        a.set_block(i, i, d);
+        bl.set_block(
+            i,
+            i,
+            chain_operand(bs, 5.0 + i as f64).negf_antihermitian_part(),
+        );
+    }
+    for i in 0..nb - 1 {
+        a.set_block(
+            i,
+            i + 1,
+            chain_operand(bs, 7.0 + i as f64).scaled(cplx(-0.3, 0.0)),
+        );
+        a.set_block(
+            i + 1,
+            i,
+            chain_operand(bs, 9.0 + i as f64).scaled(cplx(-0.3, 0.0)),
+        );
+        let bu = chain_operand(bs, 11.0 + i as f64).scaled(cplx(0.1, 0.0));
+        bl.set_block(i, i + 1, bu.clone());
+        bl.set_block(i + 1, i, bu.dagger().scaled(cplx(-1.0, 0.0)));
+    }
+    let mut bg = bl.clone();
+    bg.scale_mut(cplx(-0.8, 0.0));
+    (a, bl, bg)
+}
+
+fn bench_rgf(nb: usize, bs: usize, runs: usize, reps: usize) -> ChainRow {
+    let (a, bl, bg) = rgf_system(nb, bs);
+    let rhs = [&bl, &bg];
+    let before_ns = time_ns(runs, reps, || {
+        let sol = rgf_solve_reference(&a, &rhs).unwrap();
+        std::hint::black_box(&sol);
+    });
+    let mut scratch = RgfScratch::new();
+    let after_ns = time_ns(runs, reps, || {
+        let sol = rgf_solve_scratch(&a, &rhs, &mut scratch).unwrap();
+        std::hint::black_box(&sol);
+    });
+    ChainRow {
+        n_bs: bs,
+        before_ns,
+        after_ns,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let runs = if quick { 3 } else { 7 };
+
+    let mut chain_rows = Vec::new();
+    for n_bs in [32usize, 64, 128] {
+        // Scale repetitions so each size measures comparable wall time.
+        let base = (256 / n_bs).pow(3).max(1);
+        let reps = if quick { base.div_ceil(8).max(1) } else { base };
+        let row = bench_gemm_chain(n_bs, runs, reps);
+        println!(
+            "gemm_chain  N_BS={:>4}: before {:>12.0} ns  after {:>12.0} ns  speedup {:>5.2}x",
+            row.n_bs,
+            row.before_ns,
+            row.after_ns,
+            row.speedup()
+        );
+        chain_rows.push(row);
+    }
+
+    let mut rgf_rows = Vec::new();
+    for (nb, bs) in [(8usize, 32usize), (8, 64)] {
+        let reps = if quick {
+            1
+        } else if bs >= 64 {
+            2
+        } else {
+            6
+        };
+        let row = bench_rgf(nb, bs, runs.min(5), reps);
+        println!(
+            "rgf_solve   N_BS={:>4} (N_B={nb}): before {:>12.0} ns  after {:>12.0} ns  speedup {:>5.2}x",
+            row.n_bs,
+            row.before_ns,
+            row.after_ns,
+            row.speedup()
+        );
+        rgf_rows.push((nb, row));
+    }
+
+    // Full SCBA trajectory point (current engine): reduced NW-1 device.
+    let solver = bench_solver(if quick { 4 } else { 8 }, 2, true);
+    let t = Instant::now();
+    let res = solver.run();
+    let scba_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "scba        full run: {scba_ms:.1} ms ({} iterations, {:.3e} FLOPs)",
+        res.iterations,
+        res.flops.total() as f64
+    );
+
+    // ---------------------------------------------------------------- JSON
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"quatrex-bench bench_kernels\",\n");
+    let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    json.push_str("  \"gemm_chain\": [\n");
+    for (i, row) in chain_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n_bs\": {}, \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.3}}}",
+            row.n_bs,
+            row.before_ns,
+            row.after_ns,
+            row.speedup()
+        );
+        json.push_str(if i + 1 < chain_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"rgf_solve\": [\n");
+    for (i, (nb, row)) in rgf_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n_b\": {nb}, \"n_bs\": {}, \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.3}}}",
+            row.n_bs,
+            row.before_ns,
+            row.after_ns,
+            row.speedup()
+        );
+        json.push_str(if i + 1 < rgf_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"scba_iteration\": {{\"device\": \"NW-1/26\", \"wall_ms\": {scba_ms:.1}, \"iterations\": {}, \"total_flops\": {}}}",
+        res.iterations,
+        res.flops.total()
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+
+    let min_speedup = chain_rows
+        .iter()
+        .map(|r| r.speedup())
+        .fold(f64::INFINITY, f64::min);
+    if min_speedup < 2.0 {
+        println!("WARNING: GEMM-chain speedup below the 2x target: {min_speedup:.2}x");
+    }
+}

@@ -102,6 +102,18 @@ pub fn measured_decomposition_overhead(p_s: usize) -> DecompositionOverhead {
     )
 }
 
+/// Deterministic dense transport-cell-sized operand for the GEMM-chain
+/// benches. Shared by the criterion bench (`benches/kernels.rs`) and the
+/// `bench_kernels` bin so both measure the identical chain.
+pub fn chain_operand(n: usize, seed: f64) -> quatrex_linalg::CMatrix {
+    quatrex_linalg::CMatrix::from_fn(n, n, |i, j| {
+        quatrex_linalg::cplx(
+            (seed + (i * 7 + j * 3) as f64 * 0.01).sin(),
+            (seed * 1.7 + (i + 2 * j) as f64 * 0.01).cos(),
+        )
+    })
+}
+
 /// Format a floating point cell with a fixed width for table printing.
 pub fn cell(value: f64) -> String {
     if value.abs() >= 1000.0 {

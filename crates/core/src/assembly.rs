@@ -20,8 +20,11 @@
 
 use quatrex_device::fermi;
 use quatrex_linalg::flops::{FlopCounter, FlopKind};
-use quatrex_linalg::ops::{gemm_flops, matmul};
-use quatrex_linalg::{c64, CMatrix};
+use quatrex_linalg::lu::LuScratch;
+use quatrex_linalg::ops::{
+    congruence, gemm, gemm_flops, matmul, triple_product, triple_product_flops, Op,
+};
+use quatrex_linalg::{c64, CMatrix, ONE, ZERO};
 use quatrex_obc::{
     beyn, greater_from_retarded, lesser_from_retarded, lyapunov_doubling, lyapunov_fixed_point,
     sancho_rubio, BeynConfig, Contact, ObcKey, ObcMemoizer, ObcMode, Subsystem,
@@ -131,13 +134,22 @@ fn solve_surface(
     match memoizer {
         Some((memo, key)) => {
             let dim = m.nrows();
-            let iterate = |x: &CMatrix| {
+            // One fixed-point step x ↦ (m − n·x·n')⁻¹, written into the
+            // memoizer's ping-pong buffer with reused LU/product scratch.
+            let mut lu = LuScratch::new();
+            let mut nx = CMatrix::zeros(dim, dim);
+            let mut rhs = CMatrix::zeros(dim, dim);
+            let iterate = move |x: &CMatrix, out: &mut CMatrix| {
                 flops.add(
                     kind,
                     2 * gemm_flops(dim, dim, dim) + 8 * (dim as u64).pow(3),
                 );
-                let nxn = matmul(&matmul(n, x), nprime);
-                quatrex_linalg::lu::inverse(&(m - &nxn)).unwrap_or_else(|_| x.clone())
+                gemm(&mut nx, ONE, Op::None(n), Op::None(x), ZERO);
+                rhs.copy_from(m);
+                gemm(&mut rhs, -ONE, Op::None(&nx), Op::None(nprime), ONE);
+                if lu.invert_into(&rhs, out).is_err() {
+                    *out = x.clone();
+                }
             };
             memo.solve(key, iterate, || direct(flops))
         }
@@ -202,7 +214,9 @@ pub fn assemble_g(
         flops,
         FlopKind::GObc,
     );
-    let sigma_left = matmul(&matmul(&n_l, &x_l), &np_l);
+    // Boundary self-energy Σ_OBC = n·x·n′: a triple product whose association
+    // order (and FLOP count) is picked from the operand shapes.
+    let sigma_left = triple_product(&n_l, &x_l, &np_l);
     // Right lead.
     let m_r = system.diag(nb - 1).clone();
     let n_r = system.upper(nb - 2).clone(); // M̃_{i,i+1}
@@ -222,8 +236,12 @@ pub fn assemble_g(
         flops,
         FlopKind::GObc,
     );
-    let sigma_right = matmul(&matmul(&n_r, &x_r), &np_r);
-    flops.add(FlopKind::GObc, 4 * gemm_flops(bs, bs, bs));
+    let sigma_right = triple_product(&n_r, &x_r, &np_r);
+    flops.add(
+        FlopKind::GObc,
+        triple_product_flops(n_l.shape(), x_l.shape(), np_l.shape())
+            + triple_product_flops(n_r.shape(), x_r.shape(), np_r.shape()),
+    );
 
     // Subtract the boundary self-energies from the first/last diagonal blocks.
     {
@@ -325,7 +343,6 @@ pub fn assemble_w(
     let nb = coulomb.n_blocks();
     let bs = coulomb.block_size();
     let v_banded = bt_to_banded(coulomb);
-    let vdag_banded = v_banded.dagger();
 
     // LHS: I − V·P^R (bandwidth 2, truncated to BT).
     let (vpr, fl1) = v_banded.multiply(&bt_to_banded(p_r));
@@ -344,11 +361,12 @@ pub fn assemble_w(
         }
     }
 
-    // RHS: V·P≶·V† (bandwidth 3, truncated to BT).
+    // RHS: V·P≶·V† (bandwidth 3, truncated to BT). The V† factor is fused
+    // into the kernel loads (`multiply_dagger`), never materialized.
     let (vpl, fl2) = v_banded.multiply(&bt_to_banded(p_lesser));
-    let (vplv, fl3) = vpl.multiply(&vdag_banded);
+    let (vplv, fl3) = vpl.multiply_dagger(&v_banded);
     let (vpg, fl4) = v_banded.multiply(&bt_to_banded(p_greater));
-    let (vpgv, fl5) = vpg.multiply(&vdag_banded);
+    let (vpgv, fl5) = vpg.multiply_dagger(&v_banded);
     flops.add(FlopKind::WAssemblyRhs, fl2 + fl3 + fl4 + fl5);
     let (mut rhs_lesser, err_l) = truncate_to_bt(&vplv);
     let (mut rhs_greater, err_g) = truncate_to_bt(&vpgv);
@@ -372,7 +390,7 @@ pub fn assemble_w(
         flops,
         FlopKind::WBeyn,
     );
-    let b_obc_left = matmul(&matmul(&n_l, &w_l), &np_l);
+    let b_obc_left = triple_product(&n_l, &w_l, &np_l);
     let m_r = system.diag(nb - 1).clone();
     let n_r = system.upper(nb - 2).clone();
     let np_r = system.lower(nb - 2).clone();
@@ -391,8 +409,12 @@ pub fn assemble_w(
         flops,
         FlopKind::WBeyn,
     );
-    let b_obc_right = matmul(&matmul(&n_r, &w_r), &np_r);
-    flops.add(FlopKind::WBeyn, 4 * gemm_flops(bs, bs, bs));
+    let b_obc_right = triple_product(&n_r, &w_r, &np_r);
+    flops.add(
+        FlopKind::WBeyn,
+        triple_product_flops(n_l.shape(), w_l.shape(), np_l.shape())
+            + triple_product_flops(n_r.shape(), w_r.shape(), np_r.shape()),
+    );
     {
         let d0 = system.diag_mut(0);
         *d0 = &*d0 - &b_obc_left;
@@ -413,8 +435,8 @@ pub fn assemble_w(
                           memo: Option<&mut ObcMemoizer>,
                           contact: Contact| {
         let a_prop = matmul(surface, coupling);
-        let q_l = matmul(&matmul(surface, lead_rhs_l), &surface.dagger());
-        let q_g = matmul(&matmul(surface, lead_rhs_g), &surface.dagger());
+        let q_l = congruence(surface, lead_rhs_l);
+        let q_g = congruence(surface, lead_rhs_g);
         flops.add(FlopKind::WLyapunov, 5 * gemm_flops(bs_dim, bs_dim, bs_dim));
         let solve_one = |q: &CMatrix, component: u8, memo: Option<&mut ObcMemoizer>| -> CMatrix {
             let direct = || {
@@ -435,11 +457,12 @@ pub fn assemble_w(
                     };
                     let (w, _) = memo.solve(
                         key,
-                        |x| {
+                        |x, out: &mut CMatrix| {
                             flops.add(FlopKind::WLyapunov, 2 * gemm_flops(bs_dim, bs_dim, bs_dim));
-                            lyapunov_fixed_point(&a_prop, q, Some(x), 1e-30, 1)
-                                .map(|(w, _, _)| w)
-                                .unwrap_or_else(|_| x.clone())
+                            match lyapunov_fixed_point(&a_prop, q, Some(x), 1e-30, 1) {
+                                Ok((w, _, _)) => *out = w,
+                                Err(_) => *out = x.clone(),
+                            }
                         },
                         direct,
                     );
@@ -456,9 +479,9 @@ pub fn assemble_w(
             }
             None => (solve_one(&q_l, 1, None), solve_one(&q_g, 2, None)),
         };
-        // Inject through the coupling: B≶_OBC = t·w≶·t†.
-        let inj_l = matmul(&matmul(coupling, &w_lesser), &coupling.dagger());
-        let inj_g = matmul(&matmul(coupling, &w_greater), &coupling.dagger());
+        // Inject through the coupling: B≶_OBC = t·w≶·t† (dagger fused).
+        let inj_l = congruence(coupling, &w_lesser);
+        let inj_g = congruence(coupling, &w_greater);
         flops.add(FlopKind::WLyapunov, 4 * gemm_flops(bs_dim, bs_dim, bs_dim));
         (block, inj_l, inj_g)
     };

@@ -27,7 +27,7 @@ use rayon::prelude::*;
 use quatrex_device::{thermal_energy_ev, Device, EnergyGrid};
 use quatrex_linalg::flops::{FlopCounter, FlopKind};
 use quatrex_obc::{ObcMemoizer, ObcMode};
-use quatrex_rgf::{rgf_solve, RgfError};
+use quatrex_rgf::{rgf_solve_scratch, RgfError, RgfScratch};
 use quatrex_sparse::BlockTridiagonal;
 
 use crate::assembly::{assemble_g, assemble_w, ObcMethod};
@@ -123,6 +123,7 @@ pub fn g_step_energy(
     sigma_lesser: Option<&BlockTridiagonal>,
     sigma_greater: Option<&BlockTridiagonal>,
     memoizer: Option<&mut ObcMemoizer>,
+    scratch: &mut RgfScratch,
     flops: &FlopCounter,
     timings: &KernelTimings,
 ) -> Result<GStepOutput, RgfError> {
@@ -145,7 +146,7 @@ pub fn g_step_energy(
     timings.add(&timings.g_assembly_ns, t0);
 
     let t1 = Instant::now();
-    let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater])?;
+    let sol = rgf_solve_scratch(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater], scratch)?;
     flops.add(FlopKind::GRgf, sol.flops);
     timings.add(&timings.g_rgf_ns, t1);
 
@@ -217,6 +218,7 @@ pub fn w_step_energy(
     energy_index: usize,
     config: &ScbaConfig,
     memoizer: Option<&mut ObcMemoizer>,
+    scratch: &mut RgfScratch,
     flops: &FlopCounter,
     timings: &KernelTimings,
 ) -> Result<WStepOutput, RgfError> {
@@ -234,7 +236,7 @@ pub fn w_step_energy(
     timings.add(&timings.w_assembly_ns, t0);
 
     let t1 = Instant::now();
-    let sol = rgf_solve(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater])?;
+    let sol = rgf_solve_scratch(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater], scratch)?;
     flops.add(FlopKind::WRgf, sol.flops);
     timings.add(&timings.w_rgf_ns, t1);
     let mut lesser = sol.lesser[0].clone();
@@ -442,6 +444,11 @@ impl ScbaSolver {
         let memoizers: Vec<Mutex<ObcMemoizer>> = (0..ne)
             .map(|_| Mutex::new(ObcMemoizer::new(self.config.n_fpi, 1e-7)))
             .collect();
+        // One RGF scratch per energy point: after the first iteration the
+        // per-energy solves run against warmed buffers (zero allocations in
+        // the RGF inner loops).
+        let scratches: Vec<Mutex<RgfScratch>> =
+            (0..ne).map(|_| Mutex::new(RgfScratch::new())).collect();
 
         // Final-iteration spectral data.
         let mut final_g_lesser: EnergyResolved = Vec::new();
@@ -470,6 +477,7 @@ impl ScbaSolver {
                         Some(&sigma_l[k]),
                         Some(&sigma_g[k]),
                         memo_guard.as_deref_mut(),
+                        &mut scratches[k].lock(),
                         &flops,
                         &timings,
                     )
@@ -534,6 +542,7 @@ impl ScbaSolver {
                         k,
                         &self.config,
                         memo_guard.as_deref_mut(),
+                        &mut scratches[k].lock(),
                         &flops,
                         &timings,
                     )

@@ -84,6 +84,11 @@ pub struct DistReport {
     pub measured_boundary_bytes_g: u64,
     /// Same for the `W` phase.
     pub measured_boundary_bytes_w: u64,
+    /// Number of times the measured-wall-time rebalancer actually moved the
+    /// energy partition between iterations (zero when rebalancing is off).
+    pub energy_rebalances: usize,
+    /// Off-rank bytes of the self-energy state migrated by rebalances.
+    pub measured_rebalance_bytes: u64,
     /// Number of collectives executed.
     pub n_collectives: u64,
     /// Predicted volume from the analytic model.
@@ -165,6 +170,8 @@ mod tests {
             measured_allreduce_bytes: 64,
             measured_boundary_bytes_g: 0,
             measured_boundary_bytes_w: 0,
+            energy_rebalances: 0,
+            measured_rebalance_bytes: 0,
             n_collectives: 12,
             budget,
         };
@@ -195,6 +202,8 @@ mod tests {
             measured_allreduce_bytes: 64,
             measured_boundary_bytes_g: 96,
             measured_boundary_bytes_w: 32,
+            energy_rebalances: 0,
+            measured_rebalance_bytes: 0,
             n_collectives: 4,
             budget,
         };

@@ -52,13 +52,13 @@ use quatrex_linalg::c64;
 use quatrex_linalg::flops::{FlopCounter, FlopKind};
 use quatrex_linalg::CMatrix;
 use quatrex_obc::ObcMemoizer;
-use quatrex_rgf::{separator_blocks, spatial_partition_layout, SpatialPartition};
+use quatrex_rgf::{separator_blocks, spatial_partition_layout, RgfScratch, SpatialPartition};
 use quatrex_runtime::{CommStats, DecompositionPlan, RankContext, ThreadComm};
 use quatrex_sparse::BlockTridiagonal;
 
-use crate::partition::energy_cost_weights;
+use crate::partition::{energy_cost_weights, partition_weighted};
 use crate::report::{DistReport, TranspositionBudget};
-use crate::slab::{BackComponent, TranspositionPlan, BYTES_PER_VALUE};
+use crate::slab::{off_rank_payload_bytes, BackComponent, TranspositionPlan, BYTES_PER_VALUE};
 use crate::spatial::{spatial_phase_solve, RankGrid};
 
 /// Configuration of a distributed SCBA run.
@@ -81,6 +81,15 @@ pub struct DistScbaConfig {
     /// Catalogue parameters of the device, if known: enables the
     /// memoizer-aware cost model for the energy partition.
     pub device_params: Option<DeviceParams>,
+    /// Rebalance the energy partition between SCBA iterations from *measured*
+    /// per-energy wall times (ROADMAP "energy-cost weights from measurement"):
+    /// the wall seconds each energy spent in assembly + solve during
+    /// iteration `n` feed `partition_weighted` for iteration `n+1`, and the
+    /// per-energy self-energy state migrates between group leaders when the
+    /// split moves. Off by default: rebalancing reorders the residual
+    /// reductions, so the bit-exact full-wire-format equivalence only holds
+    /// without it (the observables still agree to ≤1e-10).
+    pub rebalance_energies: bool,
 }
 
 impl DistScbaConfig {
@@ -93,6 +102,7 @@ impl DistScbaConfig {
             spatial_partitions: 1,
             symmetry_reduced: true,
             device_params: None,
+            rebalance_energies: false,
         }
     }
 
@@ -100,6 +110,12 @@ impl DistScbaConfig {
     /// group.
     pub fn with_spatial_partitions(mut self, p_s: usize) -> Self {
         self.spatial_partitions = p_s;
+        self
+    }
+
+    /// Enable measured-wall-time energy rebalancing between iterations.
+    pub fn with_energy_rebalancing(mut self, enabled: bool) -> Self {
+        self.rebalance_energies = enabled;
         self
     }
 }
@@ -144,6 +160,8 @@ struct RankOut {
     boundary_bytes_w: u64,
     memo_hits: usize,
     memo_total: usize,
+    energy_rebalances: usize,
+    rebalance_bytes: u64,
 }
 
 /// The distributed NEGF+scGW solver bound to one device and configuration.
@@ -274,9 +292,11 @@ impl DistScbaSolver {
             let cfg = cfg.clone();
             let (h, v, plan, energies) = (h, v, Arc::clone(&plan), energies);
             let (flops, timings) = (Arc::clone(&flops), Arc::clone(&timings));
+            let rebalance = self.config.rebalance_energies;
             move |ctx: RankContext<Vec<c64>>| -> RankOut {
                 rank_main(
-                    &ctx, &cfg, &h, &v, &plan, &energies, de, kt, ne, nb, &flops, &timings,
+                    &ctx, &cfg, &h, &v, &plan, &energies, de, kt, ne, nb, rebalance, &flops,
+                    &timings,
                 )
             }
         };
@@ -291,6 +311,8 @@ impl DistScbaSolver {
             rank0.boundary_bytes_w + results.iter().map(|r| r.boundary_bytes_w).sum::<u64>();
         let memo_hits = rank0.memo_hits + results.iter().map(|r| r.memo_hits).sum::<usize>();
         let memo_total = rank0.memo_total + results.iter().map(|r| r.memo_total).sum::<usize>();
+        let rebalance_bytes: u64 =
+            rank0.rebalance_bytes + results.iter().map(|r| r.rebalance_bytes).sum::<u64>();
 
         let report = self.build_report(
             &plan,
@@ -299,6 +321,8 @@ impl DistScbaSolver {
             transposition_bytes,
             boundary_bytes_g,
             boundary_bytes_w,
+            rank0.energy_rebalances,
+            rebalance_bytes,
         );
         let result_flops = FlopCounter::new();
         result_flops.merge(&flops);
@@ -320,6 +344,7 @@ impl DistScbaSolver {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_report(
         &self,
         plan: &TranspositionPlan,
@@ -328,6 +353,8 @@ impl DistScbaSolver {
         transposition_bytes: u64,
         boundary_bytes_g: u64,
         boundary_bytes_w: u64,
+        energy_rebalances: usize,
+        rebalance_bytes: u64,
     ) -> DistReport {
         use std::sync::atomic::Ordering;
         DistReport {
@@ -344,6 +371,8 @@ impl DistScbaSolver {
             measured_allreduce_bytes: stats.allreduce_bytes.load(Ordering::Relaxed),
             measured_boundary_bytes_g: boundary_bytes_g,
             measured_boundary_bytes_w: boundary_bytes_w,
+            energy_rebalances,
+            measured_rebalance_bytes: rebalance_bytes,
             n_collectives: stats.n_collectives.load(Ordering::Relaxed),
             budget: TranspositionBudget::new(
                 plan.stored_values(),
@@ -483,6 +512,7 @@ fn rank_main(
     kt: f64,
     ne: usize,
     nb: usize,
+    rebalance: bool,
     flops: &FlopCounter,
     timings: &KernelTimings,
 ) -> RankOut {
@@ -499,8 +529,10 @@ fn rank_main(
     } else {
         (Vec::new(), Vec::new())
     };
-    let my_e = plan.energy_ranges[group].clone();
-    let n_local = my_e.len();
+    // Rebalancing mutates the energy ownership between iterations; only then
+    // does each rank take a private plan copy (the default path keeps the
+    // shared, read-only plan).
+    let mut plan_rebalanced: Option<TranspositionPlan> = rebalance.then(|| plan.clone());
     let bs = h.block_size();
     let wire = |m: &Vec<c64>| m.len() * BYTES_PER_VALUE;
 
@@ -509,10 +541,17 @@ fn rank_main(
     } else {
         None
     };
+    // Per-rank RGF scratch: all owned energies share one transport-cell
+    // shape, so the buffers stay warm across energies and iterations.
+    let mut rgf_scratch = RgfScratch::new();
 
     // Scattering self-energies for the owned energies (energy-major, held by
     // the group leader; non-leaders carry no per-energy state).
-    let n_state = if is_leader { n_local } else { 0 };
+    let n_state = if is_leader {
+        plan.energy_ranges[group].len()
+    } else {
+        0
+    };
     let mut sigma_r: Vec<BlockTridiagonal> = vec![BlockTridiagonal::zeros(nb, bs); n_state];
     let mut sigma_l = sigma_r.clone();
     let mut sigma_g = sigma_r.clone();
@@ -526,6 +565,8 @@ fn rank_main(
     let mut transposition_bytes = 0u64;
     let mut boundary_bytes_g = 0u64;
     let mut boundary_bytes_w = 0u64;
+    let mut energy_rebalances = 0usize;
+    let mut rebalance_bytes = 0u64;
 
     // Last-iteration local spectral data. Only the G^< diagonal traces feed
     // the density, so they are extracted at G-step time instead of keeping
@@ -536,6 +577,13 @@ fn rank_main(
 
     for _iter in 0..cfg.max_iterations {
         iterations += 1;
+        let plan_local: &TranspositionPlan = plan_rebalanced.as_ref().unwrap_or(plan);
+        let my_e = plan_local.energy_ranges[group].clone();
+        let n_local = my_e.len();
+        let n_state = if is_leader { n_local } else { 0 };
+        // Wall seconds each owned energy spends in assembly + solve this
+        // iteration — the measured cost weights of the next rebalance.
+        let mut energy_seconds = vec![0.0f64; n_state];
 
         // ------------------------------------------------------------ G step
         let mut g_lesser = Vec::with_capacity(n_state);
@@ -545,6 +593,7 @@ fn rank_main(
         local_traces = Vec::with_capacity(n_state);
         if p_s == 1 {
             for (k_local, k) in my_e.clone().enumerate() {
+                let t_energy = Instant::now();
                 let out = g_step_energy(
                     h,
                     energies[k],
@@ -555,10 +604,12 @@ fn rank_main(
                     Some(&sigma_l[k_local]),
                     Some(&sigma_g[k_local]),
                     memoizer.as_mut(),
+                    &mut rgf_scratch,
                     flops,
                     timings,
                 )
                 .expect("RGF solve failed: the system matrix became singular");
+                energy_seconds[k_local] += t_energy.elapsed().as_secs_f64();
                 local_traces.push((0..nb).map(|i| out.lesser.diag(i).trace()).collect());
                 g_lesser.push(out.lesser);
                 g_greater.push(out.greater);
@@ -587,6 +638,7 @@ fn rank_main(
                     flops,
                 );
                 timings.add(&timings.g_assembly_ns, t);
+                energy_seconds[k_local] += t.elapsed().as_secs_f64();
                 obc_left.push((
                     asm.sigma_obc_left_lesser.clone(),
                     asm.sigma_obc_left_greater.clone(),
@@ -639,19 +691,19 @@ fn rank_main(
 
         // ------------------------------------- transposition #1: G^≶ forward
         let payloads = if is_leader {
-            plan.scatter_forward(group, &[&g_lesser, &g_greater])
+            plan_local.scatter_forward(group, &[&g_lesser, &g_greater])
         } else {
             vec![Vec::new(); grid.n_groups]
         };
-        transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        transposition_bytes += plan_local.off_rank_bytes(group, &payloads);
         let received = leader_alltoallv(ctx, &grid, payloads);
-        let g_slab = is_leader.then(|| plan.gather_elements(group, received, 2));
+        let g_slab = is_leader.then(|| plan_local.gather_elements(group, received, 2));
 
         // ------------------------------------------------------------ P step
         let p_phase = g_slab.as_ref().map(|g_slab| {
             let t = Instant::now();
             let phase = element_convolutions(
-                plan,
+                plan_local,
                 group,
                 cfg.enforce_symmetry,
                 |e, mirrored| {
@@ -677,13 +729,13 @@ fn rank_main(
 
         // ------------------------------------ transposition #2: P backward
         let payloads = match &p_phase {
-            Some(p) => plan.scatter_backward(group, &p.back_components()),
+            Some(p) => plan_local.scatter_backward(group, &p.back_components()),
             None => vec![Vec::new(); grid.n_groups],
         };
-        transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        transposition_bytes += plan_local.off_rank_bytes(group, &payloads);
         let received = leader_alltoallv(ctx, &grid, payloads);
         let (p_lesser, p_greater, p_retarded) = if is_leader {
-            let mut p = plan.gather_energies(group, received, &[true, true, false]);
+            let mut p = plan_local.gather_energies(group, received, &[true, true, false]);
             let p_retarded = p.pop().expect("P^R");
             let p_greater = p.pop().expect("P^>");
             let p_lesser = p.pop().expect("P^<");
@@ -698,6 +750,7 @@ fn rank_main(
         let mut local_trunc = 0.0f64;
         if p_s == 1 {
             for (k_local, k) in my_e.clone().enumerate() {
+                let t_energy = Instant::now();
                 let out = w_step_energy(
                     v,
                     &p_retarded[k_local],
@@ -706,10 +759,12 @@ fn rank_main(
                     k,
                     cfg,
                     memoizer.as_mut(),
+                    &mut rgf_scratch,
                     flops,
                     timings,
                 )
                 .expect("W RGF solve failed");
+                energy_seconds[k_local] += t_energy.elapsed().as_secs_f64();
                 local_trunc = local_trunc.max(out.truncation);
                 w_lesser.push(out.lesser);
                 w_greater.push(out.greater);
@@ -729,6 +784,7 @@ fn rank_main(
                     flops,
                 );
                 timings.add(&timings.w_assembly_ns, t);
+                energy_seconds[k_local] += t.elapsed().as_secs_f64();
                 local_trunc = local_trunc.max(asm.truncation_error);
                 systems.push((asm.system, asm.rhs_lesser, asm.rhs_greater));
             }
@@ -766,20 +822,20 @@ fn rank_main(
 
         // ------------------------------------ transposition #3: W^≶ forward
         let payloads = if is_leader {
-            plan.scatter_forward(group, &[&w_lesser, &w_greater])
+            plan_local.scatter_forward(group, &[&w_lesser, &w_greater])
         } else {
             vec![Vec::new(); grid.n_groups]
         };
-        transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        transposition_bytes += plan_local.off_rank_bytes(group, &payloads);
         let received = leader_alltoallv(ctx, &grid, payloads);
-        let w_slab = is_leader.then(|| plan.gather_elements(group, received, 2));
+        let w_slab = is_leader.then(|| plan_local.gather_elements(group, received, 2));
 
         // ------------------------------------------------------------ Σ step
         let s_phase = match (&g_slab, &w_slab) {
             (Some(g_slab), Some(w_slab)) => {
                 let t = Instant::now();
                 let phase = element_convolutions(
-                    plan,
+                    plan_local,
                     group,
                     cfg.enforce_symmetry,
                     |e, mirrored| {
@@ -814,13 +870,13 @@ fn rank_main(
 
         // ------------------------------------ transposition #4: Σ backward
         let payloads = match &s_phase {
-            Some(s) => plan.scatter_backward(group, &s.back_components()),
+            Some(s) => plan_local.scatter_backward(group, &s.back_components()),
             None => vec![Vec::new(); grid.n_groups],
         };
-        transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        transposition_bytes += plan_local.off_rank_bytes(group, &payloads);
         let received = leader_alltoallv(ctx, &grid, payloads);
         let (s_lesser_new, s_greater_new, s_retarded_new) = if is_leader {
-            let mut s = plan.gather_energies(group, received, &[true, true, false]);
+            let mut s = plan_local.gather_energies(group, received, &[true, true, false]);
             let s_retarded_new = s.pop().expect("Σ^R");
             let s_greater_new = s.pop().expect("Σ^>");
             let s_lesser_new = s.pop().expect("Σ^<");
@@ -859,6 +915,29 @@ fn rank_main(
         if residual < cfg.tolerance {
             converged = true;
             break;
+        }
+
+        // -------------------------------------- measured energy rebalancing
+        if let (true, Some(plan_mut)) = (_iter + 1 < cfg.max_iterations, plan_rebalanced.as_mut()) {
+            let moved = rebalance_energy_partition(
+                ctx,
+                &grid,
+                plan_mut,
+                &my_e,
+                &energy_seconds,
+                ne,
+                nb,
+                bs,
+                is_leader,
+                &mut sigma_l,
+                &mut sigma_g,
+                &mut sigma_r,
+                memoizer.as_mut(),
+                &mut rebalance_bytes,
+            );
+            if moved {
+                energy_rebalances += 1;
+            }
         }
     }
 
@@ -932,6 +1011,8 @@ fn rank_main(
         boundary_bytes_w,
         memo_hits,
         memo_total,
+        energy_rebalances,
+        rebalance_bytes,
     }
 }
 
@@ -952,4 +1033,205 @@ fn copy_timings(shared: &KernelTimings) -> KernelTimings {
         dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
     }
     copy
+}
+
+/// Serialise every stored block of a BT quantity in deterministic order
+/// (diagonals, then per row the upper and lower couplings).
+fn pack_bt(buf: &mut Vec<c64>, bt: &BlockTridiagonal) {
+    let nb = bt.n_blocks();
+    for i in 0..nb {
+        buf.extend_from_slice(bt.diag(i).as_slice());
+    }
+    for i in 0..nb.saturating_sub(1) {
+        buf.extend_from_slice(bt.upper(i).as_slice());
+        buf.extend_from_slice(bt.lower(i).as_slice());
+    }
+}
+
+/// Inverse of [`pack_bt`], advancing `pos` through `msg`.
+fn unpack_bt(msg: &[c64], pos: &mut usize, nb: usize, bs: usize) -> BlockTridiagonal {
+    let mut bt = BlockTridiagonal::zeros(nb, bs);
+    let mut read = |dst: &mut [c64]| {
+        dst.copy_from_slice(&msg[*pos..*pos + dst.len()]);
+        *pos += dst.len();
+    };
+    for i in 0..nb {
+        read(bt.diag_mut(i).as_mut_slice());
+    }
+    for i in 0..nb.saturating_sub(1) {
+        read(bt.upper_mut(i).as_mut_slice());
+        read(bt.lower_mut(i).as_mut_slice());
+    }
+    bt
+}
+
+/// Recompute the energy partition from measured per-energy wall seconds and
+/// migrate the per-energy self-energy state between group leaders when the
+/// split moves (the ROADMAP "energy-cost weights from measurement" item: the
+/// memoizer's direct-vs-refine asymmetry makes per-energy costs uneven, and
+/// iteration `n`'s measurements rebalance iteration `n+1`). Every rank joins
+/// the collectives and applies the same deterministic update to its plan
+/// copy. Returns true when the ownership actually changed.
+#[allow(clippy::too_many_arguments)]
+fn rebalance_energy_partition(
+    ctx: &RankContext<Vec<c64>>,
+    grid: &RankGrid,
+    plan_local: &mut TranspositionPlan,
+    my_e: &std::ops::Range<usize>,
+    energy_seconds: &[f64],
+    ne: usize,
+    nb: usize,
+    bs: usize,
+    is_leader: bool,
+    sigma_l: &mut Vec<BlockTridiagonal>,
+    sigma_g: &mut Vec<BlockTridiagonal>,
+    sigma_r: &mut Vec<BlockTridiagonal>,
+    mut memoizer: Option<&mut ObcMemoizer>,
+    rebalance_bytes: &mut u64,
+) -> bool {
+    let rank = ctx.rank();
+    let wire = |m: &Vec<c64>| m.len() * BYTES_PER_VALUE;
+
+    // Every leader contributes (energy index, measured seconds) pairs; the
+    // gather gives all ranks the identical full weight vector.
+    let mut packed: Vec<c64> = Vec::with_capacity(energy_seconds.len());
+    for (k_local, k) in my_e.clone().enumerate().take(energy_seconds.len()) {
+        packed.push(c64::new(k as f64, energy_seconds[k_local]));
+    }
+    let gathered = ctx.allgather(packed, wire);
+    let mut weights = vec![0.0f64; ne];
+    for msg in &gathered {
+        for v in msg {
+            weights[v.re as usize] = v.im.max(f64::MIN_POSITIVE);
+        }
+    }
+    let new_ranges = partition_weighted(&weights, grid.n_groups);
+    if new_ranges == plan_local.energy_ranges {
+        // Still run the (empty) migration collective so every rank executes
+        // the same collective sequence regardless of local state.
+        let send: Vec<Vec<c64>> = vec![Vec::new(); ctx.n_ranks()];
+        let _ = ctx.alltoallv(send, wire);
+        return false;
+    }
+
+    // Migrate departing energies to their new owner's group leader.
+    let group = grid.group_of(rank);
+    let old_ranges = plan_local.energy_ranges.clone();
+    let mut send: Vec<Vec<c64>> = vec![Vec::new(); ctx.n_ranks()];
+    if is_leader {
+        for (k_local, k) in my_e.clone().enumerate() {
+            let new_group = new_ranges
+                .iter()
+                .position(|r| r.contains(&k))
+                .expect("every energy stays owned");
+            if new_group != group {
+                let dst = grid.leader_of(new_group);
+                pack_bt(&mut send[dst], &sigma_l[k_local]);
+                pack_bt(&mut send[dst], &sigma_g[k_local]);
+                pack_bt(&mut send[dst], &sigma_r[k_local]);
+                // The OBC memoizer cache of this energy travels too: without
+                // it the new owner would fall back to direct solves and the
+                // refinement trajectory (and hence the observables at the
+                // memoizer tolerance) would drift.
+                let entries = match memoizer.as_deref_mut() {
+                    Some(m) => m.extract_energy(k),
+                    None => Vec::new(),
+                };
+                send[dst].push(c64::new(entries.len() as f64, 0.0));
+                for (key, block) in entries {
+                    send[dst].push(encode_obc_key(&key));
+                    send[dst].extend_from_slice(block.as_slice());
+                }
+            }
+        }
+    }
+    *rebalance_bytes += off_rank_payload_bytes(rank, &send);
+    let received = ctx.alltoallv(send, wire);
+
+    if is_leader {
+        let new_my = new_ranges[group].clone();
+        let mut old_l: Vec<Option<BlockTridiagonal>> =
+            std::mem::take(sigma_l).into_iter().map(Some).collect();
+        let mut old_g: Vec<Option<BlockTridiagonal>> =
+            std::mem::take(sigma_g).into_iter().map(Some).collect();
+        let mut old_r: Vec<Option<BlockTridiagonal>> =
+            std::mem::take(sigma_r).into_iter().map(Some).collect();
+        let mut cursors = vec![0usize; ctx.n_ranks()];
+        for k in new_my {
+            if my_e.contains(&k) {
+                let k_local = k - my_e.start;
+                sigma_l.push(old_l[k_local].take().expect("kept energy"));
+                sigma_g.push(old_g[k_local].take().expect("kept energy"));
+                sigma_r.push(old_r[k_local].take().expect("kept energy"));
+            } else {
+                let src_group = old_ranges
+                    .iter()
+                    .position(|r| r.contains(&k))
+                    .expect("every energy was owned");
+                let src = grid.leader_of(src_group);
+                let msg = &received[src];
+                sigma_l.push(unpack_bt(msg, &mut cursors[src], nb, bs));
+                sigma_g.push(unpack_bt(msg, &mut cursors[src], nb, bs));
+                sigma_r.push(unpack_bt(msg, &mut cursors[src], nb, bs));
+                let pos = &mut cursors[src];
+                let n_entries = msg[*pos].re as usize;
+                *pos += 1;
+                for _ in 0..n_entries {
+                    let key = decode_obc_key(msg[*pos], k);
+                    *pos += 1;
+                    let mut block = CMatrix::zeros(bs, bs);
+                    block
+                        .as_mut_slice()
+                        .copy_from_slice(&msg[*pos..*pos + bs * bs]);
+                    *pos += bs * bs;
+                    if let Some(m) = memoizer.as_deref_mut() {
+                        m.insert_cached(key, block);
+                    }
+                }
+            }
+        }
+        for (src, msg) in received.iter().enumerate() {
+            assert_eq!(cursors[src], msg.len(), "rebalance message fully consumed");
+        }
+    }
+    plan_local.energy_ranges = new_ranges;
+    true
+}
+
+/// Encode an [`ObcKey`] (minus the energy index, which is implied by the
+/// message position) into one wire value.
+fn encode_obc_key(key: &quatrex_obc::ObcKey) -> c64 {
+    use quatrex_obc::{Contact, Subsystem};
+    let contact = match key.contact {
+        Contact::Left => 0u8,
+        Contact::Right => 1,
+    };
+    let subsystem = match key.subsystem {
+        Subsystem::Electron => 0u8,
+        Subsystem::ScreenedCoulomb => 1,
+    };
+    c64::new(
+        (contact as f64) + 2.0 * (subsystem as f64) + 4.0 * (key.component as f64),
+        0.0,
+    )
+}
+
+/// Inverse of [`encode_obc_key`] for the given energy index.
+fn decode_obc_key(v: c64, energy_index: usize) -> quatrex_obc::ObcKey {
+    use quatrex_obc::{Contact, Subsystem};
+    let code = v.re as u64;
+    quatrex_obc::ObcKey {
+        contact: if code & 1 == 0 {
+            Contact::Left
+        } else {
+            Contact::Right
+        },
+        subsystem: if (code >> 1) & 1 == 0 {
+            Subsystem::Electron
+        } else {
+            Subsystem::ScreenedCoulomb
+        },
+        component: (code >> 2) as u8,
+        energy_index,
+    }
 }

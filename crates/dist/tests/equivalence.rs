@@ -245,6 +245,45 @@ fn spatial_ballistic_matches_sequential() {
 }
 
 #[test]
+fn measured_energy_rebalancing_preserves_the_observables() {
+    // ROADMAP "energy-cost weights from measurement": per-energy wall times
+    // measured in iteration n feed `partition_weighted` for iteration n+1 and
+    // the self-energy state migrates between leaders. The observables must
+    // still match the sequential reference at the pinned tolerance.
+    let device = DeviceBuilder::test_device(3, 2, 4).build();
+    let config = gw_config(24, 4);
+    let seq = ScbaSolver::new(device.clone(), config.clone()).run();
+    assert!(
+        seq.iterations >= 3,
+        "reference must iterate enough to rebalance"
+    );
+    let dist_config = DistScbaConfig::new(config, 4).with_energy_rebalancing(true);
+    let dist = DistScbaSolver::new(device, dist_config).run();
+    assert_equivalent("rebalance/ranks=4", &seq, &dist);
+    // Real wall-time noise over several iterations across 4 groups moves the
+    // boundary essentially always; when it does, state bytes must have moved
+    // with it, and the report records both.
+    if dist.report.energy_rebalances > 0 {
+        assert!(
+            dist.report.measured_rebalance_bytes > 0,
+            "a rebalance without migrated state is a no-op"
+        );
+    }
+}
+
+#[test]
+fn rebalancing_composes_with_spatial_partitions() {
+    let device = DeviceBuilder::test_device(3, 2, 4).build();
+    let config = gw_config(16, 4);
+    let seq = ScbaSolver::new(device.clone(), config.clone()).run();
+    let dist_config = DistScbaConfig::new(config, 4)
+        .with_spatial_partitions(2)
+        .with_energy_rebalancing(true);
+    let dist = DistScbaSolver::new(device, dist_config).run();
+    assert_equivalent("rebalance/(n_ranks, P_S)=(4, 2)", &seq, &dist);
+}
+
+#[test]
 fn memoizer_works_across_ranks() {
     let device = DeviceBuilder::test_device(3, 2, 4).build();
     let dist = DistScbaSolver::new(device, DistScbaConfig::new(gw_config(8, 3), 2)).run();

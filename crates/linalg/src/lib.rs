@@ -7,7 +7,11 @@
 //! implementations of exactly the kernel set the NEGF+scGW algorithm needs:
 //!
 //! * [`CMatrix`] — a column-major dense complex (`f64`) matrix,
-//! * matrix products ([`ops::matmul`], [`ops::triple_product`], …),
+//! * the operand-flag GEMM engine ([`ops::gemm`] with [`ops::Op`] flags,
+//!   register-tiled micro-kernels, fused conjugate transposes) plus the
+//!   classic wrappers ([`ops::matmul`], [`ops::triple_product`], …),
+//! * the [`workspace::Workspace`] scratch arena giving the hot loops
+//!   checkout/restore buffer reuse (zero steady-state allocations),
 //! * LU factorisation, linear solves and explicit inverses ([`lu`]),
 //! * Householder QR ([`qr`]),
 //! * a complex Hessenberg/shifted-QR eigensolver for non-symmetric matrices
@@ -27,14 +31,16 @@ pub mod matrix;
 pub mod ops;
 pub mod qr;
 pub mod svd;
+pub mod workspace;
 
 pub use eig::{eigendecomposition, eigenvalues, schur, Eigendecomposition, SchurDecomposition};
 pub use flops::{FlopCounter, FlopKind};
-pub use lu::{LuError, LuFactorization};
+pub use lu::{LuError, LuFactorization, LuScratch};
 pub use matrix::CMatrix;
-pub use ops::{matmul, matmul_acc, triple_product};
+pub use ops::{gemm, matmul, matmul_acc, triple_product, triple_product_flops, Op};
 pub use qr::QrFactorization;
 pub use svd::{singular_values, svd, Svd};
+pub use workspace::Workspace;
 
 /// Double-precision complex scalar used throughout QuaTrEx-RS.
 #[allow(non_camel_case_types)]

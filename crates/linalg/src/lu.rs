@@ -39,6 +39,52 @@ pub struct LuFactorization {
     perm_sign: f64,
 }
 
+/// In-place partially-pivoted factorisation of `lu` (which holds the input on
+/// entry and the packed factors on exit). `perm` must hold `0..n`. Returns the
+/// permutation sign. Shared by [`LuFactorization::new`] and [`LuScratch`] so
+/// both paths perform bit-identical arithmetic.
+fn factor_in_place(lu: &mut CMatrix, perm: &mut [usize]) -> Result<f64, LuError> {
+    let n = lu.nrows();
+    let mut perm_sign = 1.0;
+    for k in 0..n {
+        // Find pivot row.
+        let mut p = k;
+        let mut pmax = lu[(k, k)].norm();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].norm();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if pmax == 0.0 || !pmax.is_finite() {
+            return Err(LuError { column: k });
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+            perm.swap(k, p);
+            perm_sign = -perm_sign;
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let factor = lu[(i, k)] / pivot;
+            lu[(i, k)] = factor;
+            if factor == ZERO {
+                continue;
+            }
+            for j in (k + 1)..n {
+                let u_kj = lu[(k, j)];
+                lu[(i, j)] -= factor * u_kj;
+            }
+        }
+    }
+    Ok(perm_sign)
+}
+
 impl LuFactorization {
     /// Factorise a square matrix. Returns an error if a pivot is (numerically) zero.
     pub fn new(a: &CMatrix) -> Result<Self, LuError> {
@@ -46,44 +92,7 @@ impl LuFactorization {
         let n = a.nrows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
-
-        for k in 0..n {
-            // Find pivot row.
-            let mut p = k;
-            let mut pmax = lu[(k, k)].norm();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].norm();
-                if v > pmax {
-                    pmax = v;
-                    p = i;
-                }
-            }
-            if pmax == 0.0 || !pmax.is_finite() {
-                return Err(LuError { column: k });
-            }
-            if p != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(p, j)];
-                    lu[(p, j)] = tmp;
-                }
-                perm.swap(k, p);
-                perm_sign = -perm_sign;
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                if factor == ZERO {
-                    continue;
-                }
-                for j in (k + 1)..n {
-                    let u_kj = lu[(k, j)];
-                    lu[(i, j)] -= factor * u_kj;
-                }
-            }
-        }
+        let perm_sign = factor_in_place(&mut lu, &mut perm)?;
         Ok(Self {
             lu,
             perm,
@@ -146,6 +155,73 @@ impl LuFactorization {
             det *= self.lu[(i, i)];
         }
         det
+    }
+}
+
+/// Reusable factor/pivot/column storage for allocation-free inversions.
+///
+/// [`LuScratch::invert_into`] is the hot kernel of the workspace-reusing RGF
+/// forward pass: once the scratch has been warmed at a block size, repeated
+/// inversions at that size perform zero heap allocations. The arithmetic
+/// (pivoting, substitution order) is identical to
+/// [`LuFactorization::new`] + [`LuFactorization::inverse`].
+#[derive(Debug, Default)]
+pub struct LuScratch {
+    lu: CMatrix,
+    perm: Vec<usize>,
+    col: Vec<c64>,
+}
+
+impl LuScratch {
+    /// Create an empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute `out = a⁻¹`, reusing the scratch buffers. `out` is reshaped if
+    /// necessary (only that path allocates once the scratch is warm).
+    pub fn invert_into(&mut self, a: &CMatrix, out: &mut CMatrix) -> Result<(), LuError> {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.nrows();
+        if self.lu.shape() != (n, n) {
+            self.lu.resize_zeroed(n, n);
+        }
+        self.lu.copy_from(a);
+        self.perm.clear();
+        self.perm.extend(0..n);
+        factor_in_place(&mut self.lu, &mut self.perm)?;
+        if out.shape() != (n, n) {
+            out.resize_zeroed(n, n);
+        }
+        self.col.clear();
+        self.col.resize(n, ZERO);
+        for j in 0..n {
+            // Unit column e_j with the row permutation applied, then the same
+            // forward/backward substitution as `solve_vec`.
+            for i in 0..n {
+                self.col[i] = if self.perm[i] == j {
+                    c64::new(1.0, 0.0)
+                } else {
+                    ZERO
+                };
+            }
+            for i in 1..n {
+                let mut acc = self.col[i];
+                for l in 0..i {
+                    acc -= self.lu[(i, l)] * self.col[l];
+                }
+                self.col[i] = acc;
+            }
+            for i in (0..n).rev() {
+                let mut acc = self.col[i];
+                for l in (i + 1)..n {
+                    acc -= self.lu[(i, l)] * self.col[l];
+                }
+                self.col[i] = acc / self.lu[(i, i)];
+            }
+            out.col_mut(j).copy_from_slice(&self.col);
+        }
+        Ok(())
     }
 }
 
@@ -255,6 +331,35 @@ mod tests {
         );
         let inv = inverse(&a).unwrap();
         assert!(matmul(&a, &inv).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn scratch_inverse_matches_factorization_inverse_bit_for_bit() {
+        let mut scratch = LuScratch::new();
+        for n in [1usize, 3, 8, 17] {
+            let a = well_conditioned(n);
+            let want = inverse(&a).unwrap();
+            let mut out = CMatrix::zeros(1, 1); // wrong shape: must be resized
+            scratch.invert_into(&a, &mut out).unwrap();
+            assert!(out.approx_eq(&want, 0.0), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn scratch_reports_singular_matrices() {
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            &[
+                cplx(1.0, 0.0),
+                cplx(2.0, 0.0),
+                cplx(2.0, 0.0),
+                cplx(4.0, 0.0),
+            ],
+        );
+        let mut scratch = LuScratch::new();
+        let mut out = CMatrix::zeros(2, 2);
+        assert!(scratch.invert_into(&a, &mut out).is_err());
     }
 
     #[test]

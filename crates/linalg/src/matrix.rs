@@ -11,7 +11,10 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
 /// Dense, column-major, double-precision complex matrix.
-#[derive(Clone, PartialEq)]
+///
+/// The `Default` is the empty `0 × 0` matrix (used by scratch types that are
+/// warmed lazily).
+#[derive(Clone, PartialEq, Default)]
 pub struct CMatrix {
     nrows: usize,
     ncols: usize,
@@ -77,6 +80,35 @@ impl CMatrix {
             m[(i, i)] = alpha;
         }
         m
+    }
+
+    /// Wrap an existing column-major buffer. Panics if the length does not
+    /// match the shape. Used by the scratch arena to recycle buffers without
+    /// reallocating.
+    pub fn from_raw(nrows: usize, ncols: usize, data: Vec<c64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "raw buffer length mismatch");
+        Self { nrows, ncols, data }
+    }
+
+    /// Recover the raw column-major buffer (for arena reuse).
+    pub fn into_raw(self) -> Vec<c64> {
+        self.data
+    }
+
+    /// Overwrite every entry with `other`'s (same shape required). Never
+    /// reallocates.
+    pub fn copy_from(&mut self, other: &CMatrix) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Reshape in place to a zero `nrows × ncols` matrix, reusing the buffer
+    /// when its capacity allows.
+    pub fn resize_zeroed(&mut self, nrows: usize, ncols: usize) {
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.data.clear();
+        self.data.resize(nrows * ncols, ZERO);
     }
 
     /// Number of rows.
@@ -176,6 +208,20 @@ impl CMatrix {
         let mut out = self.clone();
         out.scale_mut(alpha);
         out
+    }
+
+    /// In-place `self += alpha * other†` without materializing the dagger.
+    pub fn axpy_dagger(&mut self, alpha: c64, other: &CMatrix) {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.ncols, other.nrows),
+            "axpy_dagger shape mismatch"
+        );
+        for j in 0..self.ncols {
+            for i in 0..self.nrows {
+                self[(i, j)] += alpha * other[(j, i)].conj();
+            }
+        }
     }
 
     /// In-place `self += alpha * other`.

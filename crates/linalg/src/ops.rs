@@ -1,38 +1,104 @@
-//! Dense matrix products.
+//! Dense matrix products: the operand-flag GEMM engine.
 //!
 //! The RGF recursions (paper Eqs. (9)–(12)) and the W-assembly (`V P^R`,
 //! `V P≶ V†`) are dominated by general complex matrix-matrix multiplications
 //! of transport-cell-sized blocks. These are exactly the BLAS-3 `zgemm` calls
-//! that dominate the paper's FLOP counts. The implementation here uses a
-//! cache-friendly `jki` loop order over column-major data with a simple
-//! blocking over the `k` dimension; it is not meant to compete with vendor
-//! BLAS but to be predictable, correct and fast enough for laptop-scale
-//! reproductions.
+//! that dominate the paper's FLOP counts, and the paper's sustained-exascale
+//! result rests on never letting them stall on memory traffic.
+//!
+//! The engine here follows the same playbook at laptop scale:
+//!
+//! * [`gemm`] takes *operand flags* ([`Op::None`], [`Op::Trans`],
+//!   [`Op::Dagger`]): conjugate transposes are folded into the kernel's load
+//!   instructions instead of being materialized as temporary matrices — the
+//!   87 `dagger()` call sites of the pre-refactor hot loops each paid an
+//!   `O(N_BS²)` allocation + copy per block per energy per SCBA iteration;
+//! * the inner loop is a register-tiled micro-kernel (a 4×2 complex
+//!   accumulator tile over the column-major `jki` order) on split
+//!   real/imaginary planes: both operands are packed — flag applied — into
+//!   structure-of-arrays panels (`A` tile-major, `B` column-major), so the
+//!   kernel is pure `f64` lane arithmetic the compiler vectorises, replacing
+//!   the scalar read-modify-write column loop that previously round-tripped
+//!   every output element through memory `k` times;
+//! * callers recycle output and temporary buffers through
+//!   [`crate::workspace::Workspace`], so the steady-state RGF inner loop
+//!   performs zero heap allocations.
+//!
+//! The pre-refactor scalar kernel is preserved verbatim in [`mod@reference`]; the
+//! equivalence tests and the before/after numbers of `BENCH_kernels.json`
+//! (see `quatrex-bench`, `--bin bench_kernels`) are measured against it.
 
 use crate::matrix::CMatrix;
-use crate::{c64, ZERO};
+use crate::{c64, ONE, ZERO};
 
-/// `C = A · B`.
-pub fn matmul(a: &CMatrix, b: &CMatrix) -> CMatrix {
-    assert_eq!(a.ncols(), b.nrows(), "matmul inner dimension mismatch");
-    let mut c = CMatrix::zeros(a.nrows(), b.ncols());
-    gemm_into(&mut c, c64::new(1.0, 0.0), a, b, ZERO);
-    c
+/// One operand of a [`gemm`] call: the matrix together with the transposition
+/// flag that is applied *inside* the kernel loops — nothing is materialized.
+#[derive(Clone, Copy)]
+pub enum Op<'a> {
+    /// Use the matrix as stored.
+    None(&'a CMatrix),
+    /// Use the (unconjugated) transpose `Aᵀ`.
+    Trans(&'a CMatrix),
+    /// Use the conjugate transpose `A†` ("dagger").
+    Dagger(&'a CMatrix),
 }
 
-/// `C += alpha · A · B` (general accumulate form).
-pub fn matmul_acc(c: &mut CMatrix, alpha: c64, a: &CMatrix, b: &CMatrix) {
-    gemm_into(c, alpha, a, b, c64::new(1.0, 0.0));
+impl<'a> Op<'a> {
+    /// The underlying matrix, ignoring the flag.
+    #[inline(always)]
+    pub fn matrix(&self) -> &'a CMatrix {
+        match self {
+            Op::None(m) | Op::Trans(m) | Op::Dagger(m) => m,
+        }
+    }
+
+    /// Number of rows of the *effective* (flag-applied) operand.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        match self {
+            Op::None(m) => m.nrows(),
+            Op::Trans(m) | Op::Dagger(m) => m.ncols(),
+        }
+    }
+
+    /// Number of columns of the *effective* (flag-applied) operand.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        match self {
+            Op::None(m) => m.ncols(),
+            Op::Trans(m) | Op::Dagger(m) => m.nrows(),
+        }
+    }
 }
 
-/// Full GEMM: `C = alpha · A · B + beta · C`.
-pub fn gemm_into(c: &mut CMatrix, alpha: c64, a: &CMatrix, b: &CMatrix, beta: c64) {
-    let (m, k) = a.shape();
-    let (k2, n) = b.shape();
+/// Full operand-flag GEMM: `C = alpha · op(A) · op(B) + beta · C`.
+///
+/// The `A` operand is packed — flag applied — into thread-local split
+/// real/imaginary planes (structure-of-arrays), an `O(m·k)` copy amortised
+/// over the `n` output columns; the packing buffers are reused across calls,
+/// so the steady state allocates nothing. The kernel proper is a 4×2
+/// register tile over the column-major `jki` order whose inner loop is pure
+/// `f64` multiply-add arithmetic (no interleaved-complex shuffles), which
+/// the compiler auto-vectorises. `B` elements are read flag-fused, one
+/// broadcast scalar per inner step.
+///
+/// The accumulation over the inner dimension runs in ascending order with
+/// the exact `num_complex` multiply expression, so for `alpha = ±1` and
+/// `beta = 0` the rounding matches the pre-refactor scalar kernel (and a
+/// materialize-then-multiply formulation) term by term — bit for bit. With
+/// `beta = 1` the product sum is formed in registers and added to `C` once,
+/// where the pre-refactor kernel accumulated each inner-dimension term into
+/// `C` directly: those two orderings agree only to the ULP level, which is
+/// why the pinned bit-for-bit equivalences all sit on `beta = 0` paths
+/// (product-then-add translations keep their old rounding; in-place
+/// accumulate paths like the banded multiply shift by machine epsilon).
+pub fn gemm(c: &mut CMatrix, alpha: c64, a: Op<'_>, b: Op<'_>, beta: c64) {
+    let (m, k) = (a.nrows(), a.ncols());
+    let (k2, n) = (b.nrows(), b.ncols());
     assert_eq!(k, k2, "gemm inner dimension mismatch");
     assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
 
-    if beta != c64::new(1.0, 0.0) {
+    if beta != ONE {
         if beta == ZERO {
             c.as_mut_slice().fill(ZERO);
         } else {
@@ -42,45 +108,340 @@ pub fn gemm_into(c: &mut CMatrix, alpha: c64, a: &CMatrix, b: &CMatrix, beta: c6
     if alpha == ZERO || m == 0 || n == 0 || k == 0 {
         return;
     }
+    PACK.with(|pack| {
+        let pack = &mut *pack.borrow_mut();
+        pack.pack_a(a, m, k);
+        pack.pack_b(b, k, n);
+        packed_kernel(c, alpha, pack, m, k, n);
+    });
+}
 
-    // Column-major friendly loop order: for each output column j, accumulate
-    // contributions of every column l of A scaled by alpha * B[l, j].
-    const KB: usize = 64;
-    for j in 0..n {
-        // Split borrows: the output column lives in c, inputs in a and b.
-        for l0 in (0..k).step_by(KB) {
-            let l1 = (l0 + KB).min(k);
-            for l in l0..l1 {
-                let blj = alpha * b[(l, j)];
-                if blj == ZERO {
-                    continue;
+thread_local! {
+    /// Per-thread packing planes for the `A` operand (checkout/restore across
+    /// calls: zero allocations once warmed at the largest shape seen).
+    static PACK: std::cell::RefCell<PackBuf> = std::cell::RefCell::new(PackBuf::default());
+}
+
+#[derive(Default)]
+struct PackBuf {
+    re: Vec<f64>,
+    im: Vec<f64>,
+    bre: Vec<f64>,
+    bim: Vec<f64>,
+}
+
+impl PackBuf {
+    /// Pack the effective `m × k` operand `op(A)` into tile-major split
+    /// planes: rows are grouped into 4-lane tiles (zero-padded at the edge),
+    /// and within a tile the `k` sweep is contiguous — the micro-kernel
+    /// streams the panel strictly sequentially. The flag is applied during
+    /// the copy.
+    fn pack_a(&mut self, a: Op<'_>, m: usize, k: usize) {
+        let tiles = m.div_ceil(4);
+        ensure_len(&mut self.re, tiles * 4 * k);
+        ensure_len(&mut self.im, tiles * 4 * k);
+        for t in 0..tiles {
+            let dst0 = t * 4 * k;
+            let rows = (m - t * 4).min(4);
+            if rows < 4 {
+                // Zero the padding lanes of the edge tile explicitly (the
+                // buffer is only zero-filled when it is first grown).
+                for l in 0..k {
+                    for r in rows..4 {
+                        self.re[dst0 + l * 4 + r] = 0.0;
+                        self.im[dst0 + l * 4 + r] = 0.0;
+                    }
                 }
-                let acol = a.col(l);
-                let ccol = c.col_mut(j);
-                for i in 0..m {
-                    ccol[i] += acol[i] * blj;
+            }
+            match a {
+                Op::None(a) => {
+                    for l in 0..k {
+                        let col = &a.col(l)[t * 4..t * 4 + rows];
+                        for (r, v) in col.iter().enumerate() {
+                            self.re[dst0 + l * 4 + r] = v.re;
+                            self.im[dst0 + l * 4 + r] = v.im;
+                        }
+                    }
+                }
+                Op::Trans(a) => {
+                    // op(A)[i, l] = A[l, i]: storage column i feeds lane r.
+                    for r in 0..rows {
+                        let col = a.col(t * 4 + r);
+                        for l in 0..k {
+                            self.re[dst0 + l * 4 + r] = col[l].re;
+                            self.im[dst0 + l * 4 + r] = col[l].im;
+                        }
+                    }
+                }
+                Op::Dagger(a) => {
+                    for r in 0..rows {
+                        let col = a.col(t * 4 + r);
+                        for l in 0..k {
+                            self.re[dst0 + l * 4 + r] = col[l].re;
+                            self.im[dst0 + l * 4 + r] = -col[l].im;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pack the effective `k × n` operand `op(B)` into column-major split
+    /// planes (`plane[j·k + l] = op(B)[l, j]`). For an untransposed `B` this
+    /// is a straight linear copy (the layouts coincide); the transposed
+    /// flags apply the conjugate transpose during the strided copy.
+    fn pack_b(&mut self, b: Op<'_>, k: usize, n: usize) {
+        ensure_len(&mut self.bre, k * n);
+        ensure_len(&mut self.bim, k * n);
+        match b {
+            Op::None(b) => {
+                for (idx, v) in b.as_slice().iter().enumerate() {
+                    self.bre[idx] = v.re;
+                    self.bim[idx] = v.im;
+                }
+            }
+            Op::Trans(b) => {
+                // op(B)[l, j] = B[j, l]: storage column l scatters into row l
+                // of every plane column.
+                for l in 0..k {
+                    for (j, &v) in b.col(l).iter().enumerate() {
+                        self.bre[j * k + l] = v.re;
+                        self.bim[j * k + l] = v.im;
+                    }
+                }
+            }
+            Op::Dagger(b) => {
+                for l in 0..k {
+                    for (j, &v) in b.col(l).iter().enumerate() {
+                        self.bre[j * k + l] = v.re;
+                        self.bim[j * k + l] = -v.im;
+                    }
                 }
             }
         }
     }
 }
 
-/// `A · B · C` evaluated left-to-right (`(A·B)·C`).
+/// Resize `v` to exactly `len` elements, zero-filling only when the length
+/// actually changes — the packing loops overwrite every live element.
+fn ensure_len(v: &mut Vec<f64>, len: usize) {
+    if v.len() != len {
+        v.clear();
+        v.resize(len, 0.0);
+    }
+}
+
+/// The register-tiled micro-kernel: 4 rows × 2 columns of `C` accumulate in
+/// `f64` registers over the full `k` sweep. Both operands are packed into
+/// split planes (`A` tile-major, `B` column-major), so the inner loop reads
+/// six strictly sequential `f64` streams with no index arithmetic — plain
+/// lane code the compiler vectorises.
+#[inline(always)]
+fn packed_kernel(c: &mut CMatrix, alpha: c64, pack: &PackBuf, m: usize, k: usize, n: usize) {
+    let (are, aim) = (&pack.re[..], &pack.im[..]);
+    let tiles = m.div_ceil(4);
+    let cs = c.as_mut_slice();
+    let mut j = 0;
+    while j + 2 <= n {
+        let b0r = &pack.bre[j * k..(j + 1) * k];
+        let b1r = &pack.bre[(j + 1) * k..(j + 2) * k];
+        let b0i = &pack.bim[j * k..(j + 1) * k];
+        let b1i = &pack.bim[(j + 1) * k..(j + 2) * k];
+        let (c0, c1) = cs[j * m..(j + 2) * m].split_at_mut(m);
+        for t in 0..tiles {
+            let at_re = &are[t * 4 * k..(t + 1) * 4 * k];
+            let at_im = &aim[t * 4 * k..(t + 1) * 4 * k];
+            let mut re0 = [0f64; 4];
+            let mut im0 = [0f64; 4];
+            let mut re1 = [0f64; 4];
+            let mut im1 = [0f64; 4];
+            for l in 0..k {
+                let ar = &at_re[l * 4..l * 4 + 4];
+                let ai = &at_im[l * 4..l * 4 + 4];
+                for r in 0..4 {
+                    re0[r] += ar[r] * b0r[l] - ai[r] * b0i[l];
+                    im0[r] += ar[r] * b0i[l] + ai[r] * b0r[l];
+                    re1[r] += ar[r] * b1r[l] - ai[r] * b1i[l];
+                    im1[r] += ar[r] * b1i[l] + ai[r] * b1r[l];
+                }
+            }
+            let i = t * 4;
+            for r in 0..(m - i).min(4) {
+                c0[i + r] += alpha * c64::new(re0[r], im0[r]);
+                c1[i + r] += alpha * c64::new(re1[r], im1[r]);
+            }
+        }
+        j += 2;
+    }
+    if j < n {
+        let b0r = &pack.bre[j * k..(j + 1) * k];
+        let b0i = &pack.bim[j * k..(j + 1) * k];
+        let c0 = &mut cs[j * m..(j + 1) * m];
+        for t in 0..tiles {
+            let at_re = &are[t * 4 * k..(t + 1) * 4 * k];
+            let at_im = &aim[t * 4 * k..(t + 1) * 4 * k];
+            let mut re0 = [0f64; 4];
+            let mut im0 = [0f64; 4];
+            for l in 0..k {
+                let ar = &at_re[l * 4..l * 4 + 4];
+                let ai = &at_im[l * 4..l * 4 + 4];
+                for r in 0..4 {
+                    re0[r] += ar[r] * b0r[l] - ai[r] * b0i[l];
+                    im0[r] += ar[r] * b0i[l] + ai[r] * b0r[l];
+                }
+            }
+            let i = t * 4;
+            for r in 0..(m - i).min(4) {
+                c0[i + r] += alpha * c64::new(re0[r], im0[r]);
+            }
+        }
+    }
+}
+
+/// `C = A · B`.
+pub fn matmul(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    assert_eq!(a.ncols(), b.nrows(), "matmul inner dimension mismatch");
+    let mut c = CMatrix::zeros(a.nrows(), b.ncols());
+    gemm(&mut c, ONE, Op::None(a), Op::None(b), ZERO);
+    c
+}
+
+/// `C += alpha · A · B` (general accumulate form).
+pub fn matmul_acc(c: &mut CMatrix, alpha: c64, a: &CMatrix, b: &CMatrix) {
+    gemm(c, alpha, Op::None(a), Op::None(b), ONE);
+}
+
+/// Full GEMM without operand flags: `C = alpha · A · B + beta · C`.
+pub fn gemm_into(c: &mut CMatrix, alpha: c64, a: &CMatrix, b: &CMatrix, beta: c64) {
+    gemm(c, alpha, Op::None(a), Op::None(b), beta);
+}
+
+/// Complex multiply-add count of the cheaper association order of
+/// `A · B · C`, given the operand shapes.
+fn triple_product_madds(
+    (m, k1): (usize, usize),
+    (_, n1): (usize, usize),
+    (_, n2): (usize, usize),
+) -> (u64, u64) {
+    let left = (m * k1 * n1 + m * n1 * n2) as u64; // (A·B)·C
+    let right = (k1 * n1 * n2 + m * k1 * n2) as u64; // A·(B·C)
+    (left, right)
+}
+
+/// `A · B · C`, evaluated in the cheaper association order — `(A·B)·C` or
+/// `A·(B·C)` — chosen from the operand shapes. For transport-cell-square
+/// blocks both orders cost the same and the left-to-right order of the
+/// pre-refactor implementation is kept.
 pub fn triple_product(a: &CMatrix, b: &CMatrix, c: &CMatrix) -> CMatrix {
-    matmul(&matmul(a, b), c)
+    let (left, right) = triple_product_madds(a.shape(), b.shape(), c.shape());
+    if left <= right {
+        matmul(&matmul(a, b), c)
+    } else {
+        matmul(a, &matmul(b, c))
+    }
+}
+
+/// Real FLOPs actually spent by [`triple_product`] on these shapes (the
+/// cheaper association order), in the same 8-FLOPs-per-complex-madd terms as
+/// [`gemm_flops`]. Callers that account a chain's work must use this instead
+/// of summing two square [`gemm_flops`] so the saved FLOPs are counted.
+pub fn triple_product_flops(
+    a_shape: (usize, usize),
+    b_shape: (usize, usize),
+    c_shape: (usize, usize),
+) -> u64 {
+    let (left, right) = triple_product_madds(a_shape, b_shape, c_shape);
+    8 * left.min(right)
 }
 
 /// `A · B · A†`, the congruence transform that appears in the lesser/greater
-/// RGF recursion (`x^R B x^{R†}`) and in the boundary self-energies.
+/// RGF recursion (`x^R B x^{R†}`) and in the boundary self-energies. The
+/// dagger is fused into the second product.
 pub fn congruence(a: &CMatrix, b: &CMatrix) -> CMatrix {
     let ab = matmul(a, b);
-    matmul(&ab, &a.dagger())
+    let mut out = CMatrix::zeros(ab.nrows(), a.nrows());
+    gemm(&mut out, ONE, Op::None(&ab), Op::Dagger(a), ZERO);
+    out
 }
 
 /// Number of real FLOPs of a complex GEMM `m×k · k×n` (paper counting:
 /// one complex multiply-add = 8 real FLOPs).
 pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
     8 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// The pre-refactor scalar kernels, preserved verbatim.
+///
+/// These are the "before" side of the equivalence tests and of the
+/// `BENCH_kernels.json` before/after numbers: a cache-friendly but scalar
+/// `jki` loop that allocates a fresh output per product and streams every
+/// output element through memory once per inner-dimension step.
+pub mod reference {
+    use super::gemm_flops;
+    use crate::matrix::CMatrix;
+    use crate::{c64, ZERO};
+
+    /// Pre-refactor `C = A · B` (allocates the output).
+    pub fn matmul_ref(a: &CMatrix, b: &CMatrix) -> CMatrix {
+        assert_eq!(a.ncols(), b.nrows(), "matmul inner dimension mismatch");
+        let mut c = CMatrix::zeros(a.nrows(), b.ncols());
+        gemm_into_ref(&mut c, c64::new(1.0, 0.0), a, b, ZERO);
+        c
+    }
+
+    /// Pre-refactor scalar GEMM: `C = alpha · A · B + beta · C`.
+    pub fn gemm_into_ref(c: &mut CMatrix, alpha: c64, a: &CMatrix, b: &CMatrix, beta: c64) {
+        let (m, k) = a.shape();
+        let (k2, n) = b.shape();
+        assert_eq!(k, k2, "gemm inner dimension mismatch");
+        assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+
+        if beta != c64::new(1.0, 0.0) {
+            if beta == ZERO {
+                c.as_mut_slice().fill(ZERO);
+            } else {
+                c.scale_mut(beta);
+            }
+        }
+        if alpha == ZERO || m == 0 || n == 0 || k == 0 {
+            return;
+        }
+
+        // Column-major friendly loop order: for each output column j,
+        // accumulate contributions of every column l of A scaled by
+        // alpha * B[l, j].
+        const KB: usize = 64;
+        for j in 0..n {
+            for l0 in (0..k).step_by(KB) {
+                let l1 = (l0 + KB).min(k);
+                for l in l0..l1 {
+                    let blj = alpha * b[(l, j)];
+                    if blj == ZERO {
+                        continue;
+                    }
+                    let acol = a.col(l);
+                    let ccol = c.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += acol[i] * blj;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-refactor `A · B · C` (always left-to-right) with its FLOP cost.
+    pub fn triple_product_ref(a: &CMatrix, b: &CMatrix, c: &CMatrix) -> (CMatrix, u64) {
+        let ab = matmul_ref(a, b);
+        let flops = gemm_flops(a.nrows(), a.ncols(), b.ncols())
+            + gemm_flops(ab.nrows(), ab.ncols(), c.ncols());
+        (matmul_ref(&ab, c), flops)
+    }
+
+    /// Pre-refactor congruence `A · B · A†` (materializes the dagger).
+    pub fn congruence_ref(a: &CMatrix, b: &CMatrix) -> CMatrix {
+        let ab = matmul_ref(a, b);
+        matmul_ref(&ab, &a.dagger())
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +540,33 @@ mod tests {
     }
 
     #[test]
+    fn triple_product_picks_the_cheaper_association_order() {
+        // A: 1×8, B: 8×8, C: 8×8 — left order costs 64 + 64 = 128 madds,
+        // right order 512 + 64 = 576: the thin first operand must propagate.
+        let a = CMatrix::from_fn(1, 8, |_, j| cplx(j as f64, 1.0));
+        let b = CMatrix::from_fn(8, 8, |i, j| cplx(i as f64, j as f64));
+        let c = CMatrix::from_fn(8, 8, |i, j| cplx((i + j) as f64, -1.0));
+        assert_eq!(
+            triple_product_flops(a.shape(), b.shape(), c.shape()),
+            8 * 128
+        );
+        let got = triple_product(&a, &b, &c);
+        let want = matmul(&matmul(&a, &b), &c);
+        assert!(got.approx_eq(&want, 1e-10));
+
+        // Mirrored skew: A: 8×8, B: 8×8, C: 8×1 — right order wins.
+        let a = CMatrix::from_fn(8, 8, |i, j| cplx(i as f64, j as f64));
+        let c1 = CMatrix::from_fn(8, 1, |i, _| cplx(i as f64, 0.5));
+        assert_eq!(
+            triple_product_flops(a.shape(), b.shape(), c1.shape()),
+            8 * 128
+        );
+        let got = triple_product(&a, &b, &c1);
+        let want = matmul(&matmul(&a, &b), &c1);
+        assert!(got.approx_eq(&want, 1e-10));
+    }
+
+    #[test]
     fn congruence_of_hermitian_stays_hermitian() {
         let a = a22();
         let h = a.hermitian_part();
@@ -199,5 +587,18 @@ mod tests {
     #[test]
     fn flop_count_formula() {
         assert_eq!(gemm_flops(2, 3, 4), 8 * 24);
+    }
+
+    #[test]
+    fn gemm_matches_reference_kernel_exactly_for_unit_alpha() {
+        // alpha = 1, beta = 0 accumulates in the same ascending-k order as the
+        // reference kernel, so the results agree bit for bit.
+        for (m, k, n) in [(7, 5, 9), (16, 16, 16), (33, 17, 21)] {
+            let a = CMatrix::from_fn(m, k, |i, j| cplx((i * 3 + j) as f64 * 0.1, j as f64 * 0.2));
+            let b = CMatrix::from_fn(k, n, |i, j| cplx(i as f64 * 0.3, (j * 2 + i) as f64 * 0.1));
+            let fast = matmul(&a, &b);
+            let slow = reference::matmul_ref(&a, &b);
+            assert!(fast.approx_eq(&slow, 0.0), "({m},{k},{n})");
+        }
     }
 }

@@ -1,0 +1,155 @@
+//! Reusable scratch arena for the GEMM-dominated hot loops.
+//!
+//! Every temporary of the pre-refactor RGF/OBC/assembly hot loops was a fresh
+//! `CMatrix` allocation — per block, per energy, per SCBA iteration. The
+//! [`Workspace`] arena gives those loops checkout/restore semantics instead:
+//! [`Workspace::take`] hands out a zeroed matrix backed by a recycled buffer,
+//! [`Workspace::give`] returns the buffer to the free list. Once the arena has
+//! seen one pass of a loop (one energy point, one OBC iteration), every later
+//! pass re-uses the warmed buffers and performs **zero heap allocations** —
+//! the property the counting-allocator test of `quatrex-rgf` pins.
+//!
+//! The arena is deliberately not thread-safe: the solvers hold one workspace
+//! per worker (per energy in the data-parallel loops), exactly like the
+//! per-rank scratch buffers of the paper's GPU implementation.
+
+use crate::matrix::CMatrix;
+use crate::{c64, ZERO};
+
+/// A free-list arena of column-major complex buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<c64>>,
+    fresh_allocations: usize,
+}
+
+impl Workspace {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a zeroed `nrows × ncols` matrix, recycling the smallest free
+    /// buffer whose capacity suffices. Allocates only when no free buffer
+    /// fits (counted in [`Workspace::fresh_allocations`]).
+    pub fn take(&mut self, nrows: usize, ncols: usize) -> CMatrix {
+        let need = nrows * ncols;
+        let mut best: Option<usize> = None;
+        for (idx, buf) in self.free.iter().enumerate() {
+            if buf.capacity() >= need
+                && best.is_none_or(|b| buf.capacity() < self.free[b].capacity())
+            {
+                best = Some(idx);
+            }
+        }
+        let mut data = match best {
+            Some(idx) => self.free.swap_remove(idx),
+            None => {
+                self.fresh_allocations += 1;
+                Vec::with_capacity(need)
+            }
+        };
+        data.clear();
+        data.resize(need, ZERO);
+        CMatrix::from_raw(nrows, ncols, data)
+    }
+
+    /// Check out a copy of `src` (same shape, recycled buffer).
+    pub fn take_copy(&mut self, src: &CMatrix) -> CMatrix {
+        let mut m = self.take(src.nrows(), src.ncols());
+        m.copy_from(src);
+        m
+    }
+
+    /// Restore a matrix's buffer to the free list.
+    pub fn give(&mut self, m: CMatrix) {
+        self.free.push(m.into_raw());
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of times [`Workspace::take`] had to allocate a fresh buffer
+    /// because nothing on the free list fit. Stays constant once a loop has
+    /// reached its steady state.
+    pub fn fresh_allocations(&self) -> usize {
+        self.fresh_allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cplx;
+
+    #[test]
+    fn take_is_zeroed_and_shaped() {
+        let mut ws = Workspace::new();
+        let m = ws.take(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.norm_fro(), 0.0);
+    }
+
+    #[test]
+    fn steady_state_take_give_cycle_stops_allocating() {
+        let mut ws = Workspace::new();
+        // Warm-up pass: three live buffers of different shapes.
+        for _ in 0..2 {
+            let a = ws.take(4, 4);
+            let b = ws.take(2, 6);
+            let c = ws.take(4, 4);
+            ws.give(a);
+            ws.give(b);
+            ws.give(c);
+        }
+        let warm = ws.fresh_allocations();
+        assert!(warm <= 3);
+        // Steady state: identical checkout pattern, zero fresh allocations.
+        for _ in 0..10 {
+            let a = ws.take(4, 4);
+            let b = ws.take(2, 6);
+            let c = ws.take(4, 4);
+            ws.give(a);
+            ws.give(b);
+            ws.give(c);
+        }
+        assert_eq!(ws.fresh_allocations(), warm);
+    }
+
+    #[test]
+    fn buffers_are_reshaped_across_checkouts() {
+        let mut ws = Workspace::new();
+        let a = ws.take(6, 6);
+        ws.give(a);
+        // A smaller shape reuses the same capacity.
+        let b = ws.take(3, 3);
+        assert_eq!(b.shape(), (3, 3));
+        ws.give(b);
+        assert_eq!(ws.fresh_allocations(), 1);
+    }
+
+    #[test]
+    fn take_copy_matches_source() {
+        let mut ws = Workspace::new();
+        let src = CMatrix::from_fn(3, 3, |i, j| cplx(i as f64, j as f64));
+        let cp = ws.take_copy(&src);
+        assert!(cp.approx_eq(&src, 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_the_smallest_adequate_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.take(8, 8);
+        let small = ws.take(2, 2);
+        ws.give(big);
+        ws.give(small);
+        // A 2×2 checkout must reuse the small buffer, leaving the big one free.
+        let m = ws.take(2, 2);
+        assert_eq!(ws.free_buffers(), 1);
+        assert!(ws.free.first().map(|b| b.capacity() >= 64).unwrap_or(false));
+        ws.give(m);
+        assert_eq!(ws.fresh_allocations(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Randomized shape sweep of the operand-flag GEMM engine: every `Op`
+//! combination, including empty, 1×n and non-square operands, is compared
+//! against a naive index-based reference multiply.
+
+use quatrex_linalg::ops::{gemm, Op};
+use quatrex_linalg::{c64, cplx, CMatrix, ZERO};
+
+/// Deterministic LCG so the sweep is reproducible without external crates.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        // Numerical Recipes LCG constants.
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    fn next_c64(&mut self) -> c64 {
+        cplx(self.next_f64(), self.next_f64())
+    }
+
+    fn matrix(&mut self, m: usize, n: usize) -> CMatrix {
+        let mut out = CMatrix::zeros(m, n);
+        out.fill_with(|| self.next_c64());
+        out
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Flag {
+    N,
+    T,
+    D,
+}
+
+impl Flag {
+    fn wrap<'a>(&self, m: &'a CMatrix) -> Op<'a> {
+        match self {
+            Flag::N => Op::None(m),
+            Flag::T => Op::Trans(m),
+            Flag::D => Op::Dagger(m),
+        }
+    }
+
+    /// Element `(i, j)` of the flag-applied operand.
+    fn at(&self, m: &CMatrix, i: usize, j: usize) -> c64 {
+        match self {
+            Flag::N => m[(i, j)],
+            Flag::T => m[(j, i)],
+            Flag::D => m[(j, i)].conj(),
+        }
+    }
+
+    /// Storage shape producing an effective `rows × cols` operand.
+    fn storage(&self, rows: usize, cols: usize) -> (usize, usize) {
+        match self {
+            Flag::N => (rows, cols),
+            Flag::T | Flag::D => (cols, rows),
+        }
+    }
+}
+
+const FLAGS: [Flag; 3] = [Flag::N, Flag::T, Flag::D];
+
+/// Naive reference: `C = alpha · op(A) · op(B) + beta · C` by index arithmetic.
+fn naive_gemm(
+    c: &mut CMatrix,
+    alpha: c64,
+    fa: Flag,
+    a: &CMatrix,
+    fb: Flag,
+    b: &CMatrix,
+    beta: c64,
+) {
+    let (m, n) = c.shape();
+    let k = match fa {
+        Flag::N => a.ncols(),
+        _ => a.nrows(),
+    };
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = ZERO;
+            for l in 0..k {
+                acc += fa.at(a, i, l) * fb.at(b, l, j);
+            }
+            c[(i, j)] = alpha * acc + beta * c[(i, j)];
+        }
+    }
+}
+
+fn max_abs(m: &CMatrix) -> f64 {
+    m.norm_max().max(1.0)
+}
+
+#[test]
+fn every_op_combination_matches_the_naive_reference() {
+    let mut rng = Lcg(0x5eed_cafe);
+    // (m, k, n) sweep: empty, single row/column, non-square, odd sizes that
+    // exercise every micro-kernel remainder path, and a transport-cell size.
+    let shapes = [
+        (0usize, 3usize, 2usize),
+        (3, 0, 2),
+        (3, 2, 0),
+        (1, 1, 1),
+        (1, 7, 5),
+        (5, 7, 1),
+        (2, 2, 2),
+        (3, 5, 4),
+        (4, 4, 4),
+        (5, 5, 5),
+        (6, 3, 9),
+        (7, 11, 13),
+        (8, 8, 8),
+        (9, 6, 3),
+        (17, 13, 19),
+        (32, 32, 32),
+    ];
+    for &(m, k, n) in &shapes {
+        for fa in FLAGS {
+            for fb in FLAGS {
+                let (ar, ac) = fa.storage(m, k);
+                let (br, bc) = fb.storage(k, n);
+                let a = rng.matrix(ar, ac);
+                let b = rng.matrix(br, bc);
+                for (alpha, beta) in [
+                    (cplx(1.0, 0.0), ZERO),
+                    (cplx(1.0, 0.0), cplx(1.0, 0.0)),
+                    (cplx(-1.0, 0.0), cplx(1.0, 0.0)),
+                    (cplx(0.7, -0.3), cplx(-0.2, 0.9)),
+                    (ZERO, cplx(0.5, 0.0)),
+                ] {
+                    let seed = rng.matrix(m, n);
+                    let mut fast = seed.clone();
+                    gemm(&mut fast, alpha, fa.wrap(&a), fb.wrap(&b), beta);
+                    let mut slow = seed.clone();
+                    naive_gemm(&mut slow, alpha, fa, &a, fb, &b, beta);
+                    let err = fast.distance(&slow) / max_abs(&slow);
+                    assert!(
+                        err < 1e-13,
+                        "({m},{k},{n}) {fa:?}x{fb:?} alpha={alpha} beta={beta}: err {err:.2e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unit_alpha_results_are_bit_identical_across_flag_encodings() {
+    // op(A)·B computed with the flag must equal materializing the transpose
+    // first and multiplying with Op::None — exactly, since the accumulation
+    // order over the inner dimension is the same.
+    let mut rng = Lcg(0xdead_beef);
+    for &(m, k, n) in &[(5usize, 7usize, 3usize), (16, 16, 16), (33, 9, 21)] {
+        let a = rng.matrix(k, m); // stored transposed
+        let b = rng.matrix(k, n);
+        let mut fused = CMatrix::zeros(m, n);
+        gemm(
+            &mut fused,
+            cplx(1.0, 0.0),
+            Op::Dagger(&a),
+            Op::None(&b),
+            ZERO,
+        );
+        let mut materialized = CMatrix::zeros(m, n);
+        gemm(
+            &mut materialized,
+            cplx(1.0, 0.0),
+            Op::None(&a.dagger()),
+            Op::None(&b),
+            ZERO,
+        );
+        assert!(fused.approx_eq(&materialized, 0.0), "({m},{k},{n})");
+    }
+}
+
+#[test]
+fn shape_mismatches_panic() {
+    let a = CMatrix::zeros(3, 4);
+    let b = CMatrix::zeros(5, 2);
+    let mut c = CMatrix::zeros(3, 2);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        gemm(&mut c, cplx(1.0, 0.0), Op::None(&a), Op::None(&b), ZERO);
+    }));
+    assert!(r.is_err(), "inner dimension mismatch must panic");
+    let mut c_bad = CMatrix::zeros(4, 5);
+    let b_ok = CMatrix::zeros(4, 5);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        gemm(
+            &mut c_bad,
+            cplx(1.0, 0.0),
+            Op::None(&a),
+            Op::None(&b_ok),
+            ZERO,
+        );
+    }));
+    assert!(r.is_err(), "output shape mismatch must panic");
+}

@@ -134,9 +134,38 @@ impl ObcMemoizer {
         self.cache.values().map(|m| m.nrows() * m.ncols()).sum()
     }
 
+    /// Remove and return every cached block of one energy index, in
+    /// deterministic (sorted-key) order — the migration payload when a
+    /// distributed driver moves an energy point to another rank. Migrating
+    /// the cache with the energy keeps the memoized refinement trajectory
+    /// identical to a run without migration.
+    pub fn extract_energy(&mut self, energy_index: usize) -> Vec<(ObcKey, CMatrix)> {
+        let mut keys: Vec<ObcKey> = self
+            .cache
+            .keys()
+            .filter(|k| k.energy_index == energy_index)
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|k| {
+                let v = self.cache.remove(&k).expect("key just listed");
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// Insert an externally produced cache entry (the receiving side of a
+    /// migration).
+    pub fn insert_cached(&mut self, key: ObcKey, value: CMatrix) {
+        self.cache.insert(key, value);
+    }
+
     /// Solve one OBC problem.
     ///
-    /// * `iterate` applies **one** step of the fixed-point map `x ↦ F(x)`;
+    /// * `iterate` applies **one** step of the fixed-point map, writing
+    ///   `F(x)` into the provided output buffer (so refinement steps recycle
+    ///   two ping-pong buffers instead of allocating a matrix per step);
     /// * `direct` produces the solution from scratch with the robust solver.
     ///
     /// If a cached solution exists, one trial refinement estimates the
@@ -147,12 +176,15 @@ impl ObcMemoizer {
     pub fn solve(
         &mut self,
         key: ObcKey,
-        mut iterate: impl FnMut(&CMatrix) -> CMatrix,
+        mut iterate: impl FnMut(&CMatrix, &mut CMatrix),
         direct: impl FnOnce() -> CMatrix,
     ) -> (CMatrix, ObcMode) {
-        if let Some(cached) = self.cache.get(&key).cloned() {
+        // `remove` instead of `get().cloned()`: the cached block becomes one
+        // of the two refinement buffers, so a memoized solve copies nothing.
+        if let Some(cached) = self.cache.remove(&key) {
             // Trial refinement step.
-            let x1 = iterate(&cached);
+            let mut x1 = CMatrix::zeros(cached.nrows(), cached.ncols());
+            iterate(&cached, &mut x1);
             let scale = x1.norm_fro().max(1e-300);
             let delta1 = x1.distance(&cached) / scale;
             if delta1 < self.tol {
@@ -162,7 +194,8 @@ impl ObcMemoizer {
                 return (x1, ObcMode::Memoized { refinements: 1 });
             }
             // Second step to estimate the contraction rate.
-            let x2 = iterate(&x1);
+            let mut x2 = cached;
+            iterate(&x1, &mut x2);
             let delta2 = x2.distance(&x1) / x2.norm_fro().max(1e-300);
             let rate = if delta1 > 0.0 {
                 (delta2 / delta1).min(1.0)
@@ -174,12 +207,13 @@ impl ObcMemoizer {
             let predicted = delta2 * rate.powi(remaining);
             if predicted < self.tol && rate < 1.0 {
                 let mut x = x2;
+                let mut x_next = x1;
                 let mut used = 2;
                 let mut delta = delta2;
                 while used < self.n_fpi && delta >= self.tol {
-                    let x_next = iterate(&x);
+                    iterate(&x, &mut x_next);
                     delta = x_next.distance(&x) / x_next.norm_fro().max(1e-300);
-                    x = x_next;
+                    std::mem::swap(&mut x, &mut x_next);
                     used += 1;
                 }
                 if delta < self.tol {
@@ -243,11 +277,15 @@ mod tests {
             x
         };
 
-        let (x1, mode1) = memo.solve(key(0), |x| step(&m, &n, x), || direct_solution.clone());
+        let (x1, mode1) = memo.solve(
+            key(0),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            || direct_solution.clone(),
+        );
         assert_eq!(mode1, ObcMode::Direct);
         let (x2, mode2) = memo.solve(
             key(0),
-            |x| step(&m, &n, x),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
             || panic!("direct must not be called"),
         );
         assert!(matches!(mode2, ObcMode::Memoized { .. }));
@@ -262,9 +300,17 @@ mod tests {
         let (m, n) = contraction_problem();
         let mut memo = ObcMemoizer::new(8, 1e-10);
         let direct = || inverse(&m).unwrap();
-        memo.solve(key(0), |x| step(&m, &n, x), direct);
+        memo.solve(
+            key(0),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            direct,
+        );
         // A different energy index must trigger a direct solve again.
-        let (_, mode) = memo.solve(key(1), |x| step(&m, &n, x), || inverse(&m).unwrap());
+        let (_, mode) = memo.solve(
+            key(1),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            || inverse(&m).unwrap(),
+        );
         assert_eq!(mode, ObcMode::Direct);
         assert_eq!(memo.cached_entries(), 2);
         assert!(memo.cached_values() > 0);
@@ -276,7 +322,11 @@ mod tests {
         // the refinement budget cannot converge, the direct solver must run.
         let (m, n) = contraction_problem();
         let mut memo = ObcMemoizer::new(2, 1e-14);
-        memo.solve(key(0), |x| step(&m, &n, x), || inverse(&m).unwrap());
+        memo.solve(
+            key(0),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            || inverse(&m).unwrap(),
+        );
         // New, very different problem under the same key with a slowly
         // contracting map: budget of 2 refinements cannot reach 1e-14.
         let m2 = CMatrix::from_fn(3, 3, |i, j| {
@@ -290,7 +340,7 @@ mod tests {
         let mut direct_called = false;
         let (_, mode) = memo.solve(
             key(0),
-            |x| step(&m2, &n2, x),
+            |x, out: &mut CMatrix| *out = step(&m2, &n2, x),
             || {
                 direct_called = true;
                 inverse(&m2).unwrap()
@@ -304,7 +354,11 @@ mod tests {
     fn clear_empties_the_cache() {
         let (m, n) = contraction_problem();
         let mut memo = ObcMemoizer::new(8, 1e-10);
-        memo.solve(key(0), |x| step(&m, &n, x), || inverse(&m).unwrap());
+        memo.solve(
+            key(0),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            || inverse(&m).unwrap(),
+        );
         assert_eq!(memo.cached_entries(), 1);
         memo.clear();
         assert_eq!(memo.cached_entries(), 0);

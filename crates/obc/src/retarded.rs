@@ -22,10 +22,10 @@
 //!   reduced eigenvalue problem), and the surface function is reconstructed as
 //!   `x^R = (m − n·F)⁻¹` with the propagation matrix `F = Φ·Λ·Φ⁻¹`.
 
-use quatrex_linalg::lu::{inverse, inverse_flops, LuFactorization};
-use quatrex_linalg::ops::{gemm_flops, matmul};
+use quatrex_linalg::lu::{inverse, inverse_flops, LuFactorization, LuScratch};
+use quatrex_linalg::ops::{gemm, gemm_flops, matmul, Op};
 use quatrex_linalg::svd::svd;
-use quatrex_linalg::{c64, eigendecomposition, CMatrix};
+use quatrex_linalg::{c64, eigendecomposition, CMatrix, ONE, ZERO};
 use std::f64::consts::PI;
 
 /// Failure modes of the OBC solvers.
@@ -104,14 +104,22 @@ pub fn fixed_point(
             inverse(m).map_err(|_| ObcError::Singular)?
         }
     };
+    // Per-iteration temporaries live outside the loop: the iteration itself
+    // performs no heap allocations.
+    let mut lu = LuScratch::new();
+    let mut nx = CMatrix::zeros(dim, dim);
+    let mut rhs = CMatrix::zeros(dim, dim);
+    let mut x_next = CMatrix::zeros(dim, dim);
     let mut residual = f64::INFINITY;
     for it in 1..=max_iter {
-        let nxn = matmul(&matmul(n, &x), nprime);
-        let rhs = m - &nxn;
-        let x_next = inverse(&rhs).map_err(|_| ObcError::Singular)?;
+        gemm(&mut nx, ONE, Op::None(n), Op::None(&x), ZERO);
+        rhs.copy_from(m);
+        gemm(&mut rhs, -ONE, Op::None(&nx), Op::None(nprime), ONE);
+        lu.invert_into(&rhs, &mut x_next)
+            .map_err(|_| ObcError::Singular)?;
         flops += 2 * gemm_flops(dim, dim, dim) + inverse_flops(dim);
         residual = x_next.distance(&x) / x_next.norm_fro().max(1e-300);
-        x = x_next;
+        std::mem::swap(&mut x, &mut x_next);
         if residual < tol {
             return Ok(ObcSolution {
                 x,
@@ -148,22 +156,34 @@ pub fn sancho_rubio(
     let mut alpha = n.clone();
     let mut beta = nprime.clone();
 
+    // Loop temporaries are hoisted: each decimation step is allocation-free.
+    let mut lu = LuScratch::new();
+    let mut g = CMatrix::zeros(dim, dim);
+    let mut ag = CMatrix::zeros(dim, dim);
+    let mut bg = CMatrix::zeros(dim, dim);
+    let mut agb = CMatrix::zeros(dim, dim);
+    let mut bga = CMatrix::zeros(dim, dim);
+    let mut alpha_next = CMatrix::zeros(dim, dim);
+    let mut beta_next = CMatrix::zeros(dim, dim);
+
     for it in 1..=max_iter {
-        let g = inverse(&eps).map_err(|_| ObcError::Singular)?;
+        lu.invert_into(&eps, &mut g)
+            .map_err(|_| ObcError::Singular)?;
         flops += inverse_flops(dim);
-        let ag = matmul(&alpha, &g);
-        let bg = matmul(&beta, &g);
-        let agb = matmul(&ag, &beta);
-        let bga = matmul(&bg, &alpha);
+        gemm(&mut ag, ONE, Op::None(&alpha), Op::None(&g), ZERO);
+        gemm(&mut bg, ONE, Op::None(&beta), Op::None(&g), ZERO);
+        gemm(&mut agb, ONE, Op::None(&ag), Op::None(&beta), ZERO);
+        gemm(&mut bga, ONE, Op::None(&bg), Op::None(&alpha), ZERO);
         flops += 4 * gemm_flops(dim, dim, dim);
         // Update
-        eps_s = &eps_s - &agb;
-        eps = &(&eps - &agb) - &bga;
-        let alpha_new = matmul(&ag, &alpha);
-        let beta_new = matmul(&bg, &beta);
+        eps_s -= &agb;
+        eps -= &agb;
+        eps -= &bga;
+        gemm(&mut alpha_next, ONE, Op::None(&ag), Op::None(&alpha), ZERO);
+        gemm(&mut beta_next, ONE, Op::None(&bg), Op::None(&beta), ZERO);
         flops += 2 * gemm_flops(dim, dim, dim);
-        alpha = alpha_new;
-        beta = beta_new;
+        std::mem::swap(&mut alpha, &mut alpha_next);
+        std::mem::swap(&mut beta, &mut beta_next);
 
         if alpha.norm_fro() < tol && beta.norm_fro() < tol {
             let x = inverse(&eps_s).map_err(|_| ObcError::Singular)?;
@@ -289,20 +309,24 @@ pub fn beyn(
     let mut flops = 0u64;
 
     // Probe with the full identity: the number of enclosed eigenvalues equals
-    // the block dimension for a well-posed lead problem.
-    let probe = CMatrix::identity(dim);
+    // the block dimension for a well-posed lead problem, so T(z)⁻¹·V is the
+    // plain inverse (computed into reused scratch across quadrature points).
     let mut a0 = CMatrix::zeros(dim, dim);
     let mut a1 = CMatrix::zeros(dim, dim);
+    let mut lu = LuScratch::new();
+    let mut t = CMatrix::zeros(dim, dim);
+    let mut tinv_v = CMatrix::zeros(dim, dim);
     let nq = config.n_quadrature.max(4);
     for k in 0..nq {
         let theta = 2.0 * PI * (k as f64 + 0.5) / nq as f64;
         let z = c64::new(theta.cos(), theta.sin()) * config.radius;
         // T(z) = z²·n + z·m + n'
-        let mut t = m.scaled(z);
+        t.copy_from(m);
+        t.scale_mut(z);
         t.axpy(z * z, n);
         t.axpy(c64::new(1.0, 0.0), nprime);
-        let lu = LuFactorization::new(&t).map_err(|_| ObcError::Singular)?;
-        let tinv_v = lu.solve(&probe);
+        lu.invert_into(&t, &mut tinv_v)
+            .map_err(|_| ObcError::Singular)?;
         flops += inverse_flops(dim);
         // Quadrature weights: dz = i·z·dθ; Beyn moments A_p = (1/2πi)∮ z^p T(z)^{-1} V dz
         // → A_p ≈ (1/nq) Σ_k z_k^{p+1} T(z_k)^{-1} V.
@@ -328,7 +352,8 @@ pub fn beyn(
             *v *= inv_sigma;
         }
     }
-    let b = matmul(&u_k.dagger(), &a1w);
+    let mut b = CMatrix::zeros(rank, rank);
+    gemm(&mut b, ONE, Op::Dagger(&u_k), Op::None(&a1w), ZERO);
     flops += 2 * gemm_flops(dim, rank, rank);
 
     // Reduced eigenvalue problem: eigenvalues are the enclosed Bloch factors,

@@ -31,6 +31,7 @@
 
 pub mod dense;
 pub mod nested;
+pub mod reference;
 pub mod sequential;
 
 pub use dense::{dense_lesser, dense_retarded};
@@ -40,7 +41,10 @@ pub use nested::{
     spatial_partition_layout, NestedConfig, NestedReport, PartitionSolveState, PartitionUpdates,
     PartitionWorkload, RecoveredBlocks, SpatialPartition,
 };
-pub use sequential::{rgf_selected_inverse, rgf_solve, RgfError, SelectedSolution};
+pub use sequential::{
+    rgf_selected_inverse, rgf_solve, rgf_solve_into, rgf_solve_scratch, RgfError, RgfScratch,
+    SelectedSolution,
+};
 
 pub use quatrex_linalg::{c64, CMatrix};
 pub use quatrex_sparse::BlockTridiagonal;

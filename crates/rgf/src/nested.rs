@@ -42,8 +42,8 @@
 use rayon::prelude::*;
 
 use quatrex_linalg::lu::{inverse_flops, LuFactorization};
-use quatrex_linalg::ops::{gemm_flops, matmul};
-use quatrex_linalg::{c64, CMatrix};
+use quatrex_linalg::ops::{gemm, gemm_flops, matmul, Op};
+use quatrex_linalg::{c64, CMatrix, ONE, ZERO};
 use quatrex_sparse::BlockTridiagonal;
 
 use crate::sequential::{rgf_solve, RgfError, SelectedSolution};
@@ -234,7 +234,7 @@ fn block_column_solve_general(
     let n = a.n_blocks();
     let bs = a.block_size();
     debug_assert_eq!(rhs_col.len(), n);
-    let gemm = gemm_flops(bs, bs, bs);
+    let gemm_c = gemm_flops(bs, bs, bs);
     let mut flops = 0u64;
 
     // Forward factorisation D_k and RHS reduction.
@@ -248,7 +248,7 @@ fn block_column_solve_general(
             let l_dinv = matmul(lower, &d_inv[k - 1]);
             dk -= &matmul(&l_dinv, a.upper(k - 1));
             rk -= &matmul(&l_dinv, &y[k - 1]);
-            flops += 3 * gemm;
+            flops += 3 * gemm_c;
         }
         let lu = LuFactorization::new(&dk).map_err(|_| RgfError::SingularBlock(k))?;
         d_inv.push(lu.inverse());
@@ -258,12 +258,12 @@ fn block_column_solve_general(
     // Backward substitution.
     let mut x = vec![CMatrix::zeros(bs, bs); n];
     x[n - 1] = matmul(&d_inv[n - 1], &y[n - 1]);
-    flops += gemm;
+    flops += gemm_c;
     for k in (0..n - 1).rev() {
         let mut rhs = y[k].clone();
         rhs -= &matmul(a.upper(k), &x[k + 1]);
         x[k] = matmul(&d_inv[k], &rhs);
-        flops += 2 * gemm;
+        flops += 2 * gemm_c;
     }
     Ok((x, flops))
 }
@@ -370,7 +370,7 @@ pub fn eliminate_partition_solve(
     index: usize,
 ) -> Result<PartitionSolveState, RgfError> {
     let bs = a.block_size();
-    let gemm = gemm_flops(bs, bs, bs);
+    let gemm_c = gemm_flops(bs, bs, bs);
     let interior_range = part.interior();
     let n_int = interior_range.len();
     let blocks = part.hi - part.lo + 1;
@@ -434,7 +434,7 @@ pub fn eliminate_partition_solve(
         fill_in_blocks += 2 * n_int;
         let left_f: Vec<CMatrix> = cols.iter().map(|c| matmul(c, spec.int_to_sep(a))).collect();
         let right_f: Vec<CMatrix> = rows.iter().map(|r| matmul(spec.sep_to_int(a), r)).collect();
-        flops += 2 * n_int as u64 * gemm;
+        flops += 2 * n_int as u64 * gemm_c;
 
         let mut q: Vec<Vec<CMatrix>> = Vec::with_capacity(rhs.len());
         let mut s: Vec<Vec<CMatrix>> = Vec::with_capacity(rhs.len());
@@ -446,16 +446,29 @@ pub fn eliminate_partition_solve(
             // Row r[j] = (Vᵗ·B)_{b,j} = B_{sep,j}·δ_{j,edge} − Σ_{j'} R[j']·B_{j',j};
             // assembled daggered so it can run through the column solver.
             let mut row_dag = vec![CMatrix::zeros(bs, bs); n_int];
-            row_dag[spec.edge] += &spec.sep_to_int(b).dagger();
+            row_dag[spec.edge].axpy_dagger(ONE, spec.sep_to_int(b));
             for j in 0..n_int {
                 for j2 in j.saturating_sub(1)..=(j + 1).min(n_int - 1) {
                     if let Some(bjj2) = bint.block(j, j2) {
-                        c[j] -= &matmul(bjj2, &right_f[j2].dagger());
-                        flops += gemm;
+                        gemm(
+                            &mut c[j],
+                            -ONE,
+                            Op::None(bjj2),
+                            Op::Dagger(&right_f[j2]),
+                            ONE,
+                        );
+                        flops += gemm_c;
                     }
                     if let Some(bj2j) = bint.block(j2, j) {
-                        row_dag[j] -= &matmul(&right_f[j2], bj2j).dagger();
-                        flops += gemm;
+                        // −(R·B)† accumulated dagger-fused as −B†·R†.
+                        gemm(
+                            &mut row_dag[j],
+                            -ONE,
+                            Op::Dagger(bj2j),
+                            Op::Dagger(&right_f[j2]),
+                            ONE,
+                        );
+                        flops += gemm_c;
                     }
                 }
             }
@@ -495,19 +508,32 @@ pub fn eliminate_partition_solve(
             )
             .scaled(c64::new(-1.0, 0.0));
             schur.push((b1.spec.sep, b2.spec.sep, upd));
-            flops += 2 * gemm;
+            flops += 2 * gemm_c;
 
             for (r, b) in rhs.iter().enumerate() {
                 let bint = &rhs_int[r];
                 let mut upd =
                     matmul(&b1.right_f[e2], b2.spec.int_to_sep(b)).scaled(c64::new(-1.0, 0.0));
-                upd -= &matmul(b1.spec.sep_to_int(b), &b2.right_f[e1].dagger());
-                flops += 2 * gemm;
+                gemm(
+                    &mut upd,
+                    -ONE,
+                    Op::None(b1.spec.sep_to_int(b)),
+                    Op::Dagger(&b2.right_f[e1]),
+                    ONE,
+                );
+                flops += 2 * gemm_c;
                 for j in 0..n_int {
                     for j2 in j.saturating_sub(1)..=(j + 1).min(n_int - 1) {
                         if let Some(bjj2) = bint.block(j, j2) {
-                            upd += &matmul(&matmul(&b1.right_f[j], bjj2), &b2.right_f[j2].dagger());
-                            flops += 2 * gemm;
+                            let t = matmul(&b1.right_f[j], bjj2);
+                            gemm(
+                                &mut upd,
+                                ONE,
+                                Op::None(&t),
+                                Op::Dagger(&b2.right_f[j2]),
+                                ONE,
+                            );
+                            flops += 2 * gemm_c;
                         }
                     }
                 }
@@ -633,7 +659,7 @@ pub fn recover_partition_solve(
     let n_int = interior_range.len();
     let first = interior_range.start;
     let bs = reduced.retarded.block_size();
-    let gemm = gemm_flops(bs, bs, bs);
+    let gemm_c = gemm_flops(bs, bs, bs);
     let nbd = factors.boundaries.len();
     let sep_index = |block: usize| {
         separators
@@ -666,20 +692,64 @@ pub fn recover_partition_solve(
     //   X^≶_{k,k'} = T1_{k,k'} + Σ [ L_i[k]·X≶_BB[i,j]·L_j[k']†
     //                               − q_j[k]·X_BB[i,j]†·L_i[k']†
     //                               − L_i[k]·X_BB[i,j]·s_j[k'] ].
-    let lesser_at = |out: &mut RecoveredBlocks, base: &CMatrix, r: usize, k: usize, k2: usize| {
+    // One scratch block shared by every recovered block (the nbd² inner loop
+    // must not allocate per term).
+    let mut scratch = CMatrix::zeros(bs, bs);
+    let mut scratch2 = CMatrix::zeros(bs, bs);
+    let lesser_at = |out: &mut RecoveredBlocks,
+                     scratch: &mut CMatrix,
+                     scratch2: &mut CMatrix,
+                     base: &CMatrix,
+                     r: usize,
+                     k: usize,
+                     k2: usize| {
         let mut v = base.clone();
         for i in 0..nbd {
             for j in 0..nbd {
-                v += &matmul(
-                    &matmul(&bd[i].left_f[k], &xl[r][i][j]),
-                    &bd[j].left_f[k2].dagger(),
+                gemm(
+                    scratch,
+                    ONE,
+                    Op::None(&bd[i].left_f[k]),
+                    Op::None(&xl[r][i][j]),
+                    ZERO,
                 );
-                v -= &matmul(
-                    &matmul(&bd[j].q[r][k], &xr[i][j].dagger()),
-                    &bd[i].left_f[k2].dagger(),
+                gemm(
+                    &mut v,
+                    ONE,
+                    Op::None(scratch),
+                    Op::Dagger(&bd[j].left_f[k2]),
+                    ONE,
                 );
-                v -= &matmul(&matmul(&bd[i].left_f[k], &xr[i][j]), &bd[j].s[r][k2]);
-                out.flops += 6 * gemm;
+                gemm(
+                    scratch,
+                    ONE,
+                    Op::None(&bd[j].q[r][k]),
+                    Op::Dagger(&xr[i][j]),
+                    ZERO,
+                );
+                gemm(
+                    &mut v,
+                    -ONE,
+                    Op::None(scratch),
+                    Op::Dagger(&bd[i].left_f[k2]),
+                    ONE,
+                );
+                gemm(
+                    scratch,
+                    ONE,
+                    Op::None(&bd[i].left_f[k]),
+                    Op::None(&xr[i][j]),
+                    ZERO,
+                );
+                gemm(
+                    scratch2,
+                    ONE,
+                    Op::None(scratch),
+                    Op::None(&bd[j].s[r][k2]),
+                    ZERO,
+                );
+                v -= &*scratch2;
+                out.flops += 6 * gemm_c;
             }
         }
         v
@@ -690,12 +760,20 @@ pub fn recover_partition_solve(
         for i in 0..nbd {
             for j in 0..nbd {
                 xkk += &matmul(&matmul(&bd[i].left_f[k], &xr[i][j]), &bd[j].right_f[k]);
-                out.flops += 2 * gemm;
+                out.flops += 2 * gemm_c;
             }
         }
         out.retarded.push((gk, gk, xkk));
         for r in 0..n_rhs {
-            let v = lesser_at(&mut out, factors.interior.lesser[r].diag(k), r, k, k);
+            let v = lesser_at(
+                &mut out,
+                &mut scratch,
+                &mut scratch2,
+                factors.interior.lesser[r].diag(k),
+                r,
+                k,
+                k,
+            );
             out.lesser[r].push((gk, gk, v));
         }
         if k + 1 < n_int {
@@ -705,14 +783,30 @@ pub fn recover_partition_solve(
                 for j in 0..nbd {
                     xup += &matmul(&matmul(&bd[i].left_f[k], &xr[i][j]), &bd[j].right_f[k + 1]);
                     xlo += &matmul(&matmul(&bd[i].left_f[k + 1], &xr[i][j]), &bd[j].right_f[k]);
-                    out.flops += 4 * gemm;
+                    out.flops += 4 * gemm_c;
                 }
             }
             out.retarded.push((gk, gk + 1, xup));
             out.retarded.push((gk + 1, gk, xlo));
             for r in 0..n_rhs {
-                let vup = lesser_at(&mut out, factors.interior.lesser[r].upper(k), r, k, k + 1);
-                let vlo = lesser_at(&mut out, factors.interior.lesser[r].lower(k), r, k + 1, k);
+                let vup = lesser_at(
+                    &mut out,
+                    &mut scratch,
+                    &mut scratch2,
+                    factors.interior.lesser[r].upper(k),
+                    r,
+                    k,
+                    k + 1,
+                );
+                let vlo = lesser_at(
+                    &mut out,
+                    &mut scratch,
+                    &mut scratch2,
+                    factors.interior.lesser[r].lower(k),
+                    r,
+                    k + 1,
+                    k,
+                );
                 out.lesser[r].push((gk, gk + 1, vup));
                 out.lesser[r].push((gk + 1, gk, vlo));
             }
@@ -731,7 +825,7 @@ pub fn recover_partition_solve(
         for j in 0..nbd {
             r_se -= &matmul(&xr[bi][j], &bd[j].right_f[e]);
             r_es -= &matmul(&bd[j].left_f[e], &xr[j][bi]);
-            out.flops += 2 * gemm;
+            out.flops += 2 * gemm_c;
         }
         out.retarded.push((b.spec.sep, ge, r_se));
         out.retarded.push((ge, b.spec.sep, r_es));
@@ -740,10 +834,22 @@ pub fn recover_partition_solve(
             let mut v_es = CMatrix::zeros(bs, bs);
             for j in 0..nbd {
                 v_se += &matmul(&xr[bi][j], &bd[j].s[r][e]);
-                v_se -= &matmul(&xl[r][bi][j], &bd[j].left_f[e].dagger());
-                v_es += &matmul(&bd[j].q[r][e], &xr[bi][j].dagger());
+                gemm(
+                    &mut v_se,
+                    -ONE,
+                    Op::None(&xl[r][bi][j]),
+                    Op::Dagger(&bd[j].left_f[e]),
+                    ONE,
+                );
+                gemm(
+                    &mut v_es,
+                    ONE,
+                    Op::None(&bd[j].q[r][e]),
+                    Op::Dagger(&xr[bi][j]),
+                    ONE,
+                );
                 v_es -= &matmul(&bd[j].left_f[e], &xl[r][j][bi]);
-                out.flops += 4 * gemm;
+                out.flops += 4 * gemm_c;
             }
             out.lesser[r].push((b.spec.sep, ge, v_se));
             out.lesser[r].push((ge, b.spec.sep, v_es));

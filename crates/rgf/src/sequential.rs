@@ -12,10 +12,25 @@
 //! `B≶` (i.e. including the off-diagonal self-energy blocks that plain
 //! ballistic RGF formulations drop); every block is validated against the
 //! dense reference in the tests.
+//!
+//! ## Hot-loop engineering
+//!
+//! All block products run through the operand-flag GEMM engine
+//! ([`quatrex_linalg::ops::gemm`]): conjugate transposes (`g_i†`, `Θ†`,
+//! `A_{i,i+1}†`, …) are fused into the kernel loads instead of being
+//! materialized, and every temporary comes from the [`RgfScratch`] arena.
+//! [`rgf_solve_into`] writes the selected blocks into a caller-owned
+//! [`SelectedSolution`]; once scratch and solution are warmed at a given
+//! shape, the steady-state solve performs **zero heap allocations** (pinned
+//! by the counting-allocator test in `tests/alloc_free.rs`). The multiply
+//! structure — which products are formed, in which association order — is
+//! unchanged from the pre-refactor implementation, so the `gemm_flops`
+//! accounting is identical term by term (see `tests/reference_equivalence.rs`
+//! for the pinned pre-refactor path).
 
-use quatrex_linalg::lu::{inverse, inverse_flops};
-use quatrex_linalg::ops::{gemm_flops, matmul};
-use quatrex_linalg::{c64, CMatrix};
+use quatrex_linalg::lu::{inverse_flops, LuScratch};
+use quatrex_linalg::ops::{gemm, gemm_flops, Op};
+use quatrex_linalg::{c64, CMatrix, Workspace, ONE, ZERO};
 use quatrex_sparse::BlockTridiagonal;
 
 /// Errors produced by the RGF solvers.
@@ -50,6 +65,53 @@ pub struct SelectedSolution {
     pub flops: u64,
 }
 
+impl SelectedSolution {
+    /// A zero-filled solution of the given shape, ready for
+    /// [`rgf_solve_into`].
+    pub fn zeros(n_blocks: usize, block_size: usize, n_rhs: usize) -> Self {
+        Self {
+            retarded: BlockTridiagonal::zeros(n_blocks, block_size),
+            lesser: vec![BlockTridiagonal::zeros(n_blocks, block_size); n_rhs],
+            flops: 0,
+        }
+    }
+}
+
+/// Reusable per-thread (per-energy) scratch state of the RGF solver: the
+/// buffer arena, the LU factor scratch and the left-connected forward-pass
+/// quantities. Hold one per worker and reuse it across solves — after the
+/// first solve at a given shape, every later solve allocates nothing.
+#[derive(Debug, Default)]
+pub struct RgfScratch {
+    ws: Workspace,
+    lu: LuScratch,
+    /// Left-connected retarded functions `g_i` of the forward pass.
+    g: Vec<CMatrix>,
+    /// Left-connected lesser/greater functions `gl[r][i]`, one row per RHS.
+    gl: Vec<Vec<CMatrix>>,
+}
+
+impl RgfScratch {
+    /// Create an empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of fresh buffer allocations the arena has performed; constant
+    /// once the solver has reached its steady state.
+    pub fn fresh_allocations(&self) -> usize {
+        self.ws.fresh_allocations()
+    }
+}
+
+/// Reshape `m` to `bs × bs` if necessary (no-op in the steady state).
+#[inline]
+fn ensure_block(m: &mut CMatrix, bs: usize) {
+    if m.shape() != (bs, bs) {
+        m.resize_zeroed(bs, bs);
+    }
+}
+
 /// Selected inverse only (no lesser/greater right-hand sides).
 pub fn rgf_selected_inverse(a: &BlockTridiagonal) -> Result<SelectedSolution, RgfError> {
     rgf_solve(a, &[])
@@ -57,10 +119,38 @@ pub fn rgf_selected_inverse(a: &BlockTridiagonal) -> Result<SelectedSolution, Rg
 
 /// Full selected RGF solve with an arbitrary number of lesser/greater
 /// right-hand sides sharing the same system matrix.
+///
+/// Allocates a fresh solution and scratch; loops should prefer
+/// [`rgf_solve_scratch`] (or [`rgf_solve_into`]) to amortise both.
 pub fn rgf_solve(
     a: &BlockTridiagonal,
     rhs: &[&BlockTridiagonal],
 ) -> Result<SelectedSolution, RgfError> {
+    let mut scratch = RgfScratch::new();
+    rgf_solve_scratch(a, rhs, &mut scratch)
+}
+
+/// Selected RGF solve reusing a caller-held [`RgfScratch`] (the per-energy
+/// workspace of the SCBA drivers). Only the returned solution is allocated.
+pub fn rgf_solve_scratch(
+    a: &BlockTridiagonal,
+    rhs: &[&BlockTridiagonal],
+    scratch: &mut RgfScratch,
+) -> Result<SelectedSolution, RgfError> {
+    let mut sol = SelectedSolution::zeros(a.n_blocks(), a.block_size(), rhs.len());
+    rgf_solve_into(a, rhs, &mut sol, scratch)?;
+    Ok(sol)
+}
+
+/// Selected RGF solve writing into a caller-owned solution, with all
+/// temporaries drawn from `scratch`. In the steady state (solution and
+/// scratch warmed at this shape) the call performs zero heap allocations.
+pub fn rgf_solve_into(
+    a: &BlockTridiagonal,
+    rhs: &[&BlockTridiagonal],
+    sol: &mut SelectedSolution,
+    scratch: &mut RgfScratch,
+) -> Result<(), RgfError> {
     let nb = a.n_blocks();
     let bs = a.block_size();
     for b in rhs {
@@ -68,157 +158,325 @@ pub fn rgf_solve(
             return Err(RgfError::ShapeMismatch);
         }
     }
+    let n_rhs = rhs.len();
     let mut flops = 0u64;
-    let gemm = gemm_flops(bs, bs, bs);
+    let gemm_c = gemm_flops(bs, bs, bs);
     let inv_cost = inverse_flops(bs);
+
+    // Shape the output and scratch (no-ops in the steady state).
+    let fits = |bt: &BlockTridiagonal| bt.n_blocks() == nb && bt.block_size() == bs;
+    if !fits(&sol.retarded) {
+        sol.retarded = BlockTridiagonal::zeros(nb, bs);
+    }
+    sol.lesser.truncate(n_rhs);
+    for l in sol.lesser.iter_mut() {
+        if !fits(l) {
+            *l = BlockTridiagonal::zeros(nb, bs);
+        }
+    }
+    while sol.lesser.len() < n_rhs {
+        sol.lesser.push(BlockTridiagonal::zeros(nb, bs));
+    }
+    let RgfScratch { ws, lu, g, gl } = scratch;
+    if g.len() != nb {
+        g.resize_with(nb, CMatrix::default);
+    }
+    gl.truncate(n_rhs);
+    while gl.len() < n_rhs {
+        gl.push(Vec::new());
+    }
+    for row in gl.iter_mut() {
+        if row.len() != nb {
+            row.resize_with(nb, CMatrix::default);
+        }
+    }
 
     // ------------------------------------------------------------------ forward
     // Left-connected retarded g[i] and lesser gl[r][i].
-    let mut g: Vec<CMatrix> = Vec::with_capacity(nb);
-    let mut gl: Vec<Vec<CMatrix>> = vec![Vec::with_capacity(nb); rhs.len()];
-
-    let g0 = inverse(a.diag(0)).map_err(|_| RgfError::SingularBlock(0))?;
+    lu.invert_into(a.diag(0), &mut g[0])
+        .map_err(|_| RgfError::SingularBlock(0))?;
     flops += inv_cost;
     for (r, b) in rhs.iter().enumerate() {
-        let v = matmul(&matmul(&g0, b.diag(0)), &g0.dagger());
-        flops += 2 * gemm;
-        gl[r].push(v);
+        // gl_0 = g_0 · B_00 · g_0†
+        let mut t = ws.take(bs, bs);
+        gemm(&mut t, ONE, Op::None(&g[0]), Op::None(b.diag(0)), ZERO);
+        ensure_block(&mut gl[r][0], bs);
+        gemm(&mut gl[r][0], ONE, Op::None(&t), Op::Dagger(&g[0]), ZERO);
+        flops += 2 * gemm_c;
+        ws.give(t);
     }
-    g.push(g0);
 
     for i in 1..nb {
         let a_lo = a.lower(i - 1); // A_{i, i-1}
         let a_up = a.upper(i - 1); // A_{i-1, i}
-        let prev = &g[i - 1];
-        let schur = matmul(&matmul(a_lo, prev), a_up);
-        flops += 2 * gemm;
-        let gi = inverse(&(a.diag(i) - &schur)).map_err(|_| RgfError::SingularBlock(i))?;
+
+        // Schur complement d = A_ii − A_{i,i-1} g_{i-1} A_{i-1,i}.
+        let mut t1 = ws.take(bs, bs);
+        gemm(&mut t1, ONE, Op::None(a_lo), Op::None(&g[i - 1]), ZERO);
+        let mut t2 = ws.take(bs, bs);
+        gemm(&mut t2, ONE, Op::None(&t1), Op::None(a_up), ZERO);
+        flops += 2 * gemm_c;
+        let mut d = ws.take_copy(a.diag(i));
+        d -= &t2;
+        lu.invert_into(&d, &mut g[i])
+            .map_err(|_| RgfError::SingularBlock(i))?;
         flops += inv_cost;
 
         for (r, b) in rhs.iter().enumerate() {
             // inner = B_ii + A_{i,i-1} gl_{i-1} A_{i,i-1}†
             //       − A_{i,i-1} g_{i-1} B_{i-1,i} − B_{i,i-1} g_{i-1}† A_{i,i-1}†
-            let a_lo_dag = a_lo.dagger();
-            let mut inner = b.diag(i).clone();
-            inner += &matmul(&matmul(a_lo, &gl[r][i - 1]), &a_lo_dag);
-            inner -= &matmul(&matmul(a_lo, prev), b.upper(i - 1));
-            inner -= &matmul(&matmul(b.lower(i - 1), &prev.dagger()), &a_lo_dag);
-            flops += 6 * gemm;
-            let v = matmul(&matmul(&gi, &inner), &gi.dagger());
-            flops += 2 * gemm;
-            gl[r].push(v);
+            let mut inner = ws.take_copy(b.diag(i));
+            let mut u = ws.take(bs, bs);
+            gemm(&mut u, ONE, Op::None(a_lo), Op::None(&gl[r][i - 1]), ZERO);
+            gemm(&mut inner, ONE, Op::None(&u), Op::Dagger(a_lo), ONE);
+            gemm(&mut u, ONE, Op::None(a_lo), Op::None(&g[i - 1]), ZERO);
+            gemm(
+                &mut inner,
+                -ONE,
+                Op::None(&u),
+                Op::None(b.upper(i - 1)),
+                ONE,
+            );
+            gemm(
+                &mut u,
+                ONE,
+                Op::None(b.lower(i - 1)),
+                Op::Dagger(&g[i - 1]),
+                ZERO,
+            );
+            gemm(&mut inner, -ONE, Op::None(&u), Op::Dagger(a_lo), ONE);
+            flops += 6 * gemm_c;
+            // gl_i = g_i · inner · g_i†
+            gemm(&mut u, ONE, Op::None(&g[i]), Op::None(&inner), ZERO);
+            ensure_block(&mut gl[r][i], bs);
+            gemm(&mut gl[r][i], ONE, Op::None(&u), Op::Dagger(&g[i]), ZERO);
+            flops += 2 * gemm_c;
+            ws.give(inner);
+            ws.give(u);
         }
-        g.push(gi);
+        ws.give(t1);
+        ws.give(t2);
+        ws.give(d);
     }
 
     // ----------------------------------------------------------------- backward
-    let mut x = BlockTridiagonal::zeros(nb, bs);
-    let mut xl: Vec<BlockTridiagonal> = vec![BlockTridiagonal::zeros(nb, bs); rhs.len()];
-
-    x.set_block(nb - 1, nb - 1, g[nb - 1].clone());
-    for (r, _) in rhs.iter().enumerate() {
-        xl[r].set_block(nb - 1, nb - 1, gl[r][nb - 1].clone());
+    sol.retarded.diag_mut(nb - 1).copy_from(&g[nb - 1]);
+    for r in 0..n_rhs {
+        sol.lesser[r].diag_mut(nb - 1).copy_from(&gl[r][nb - 1]);
     }
 
-    for i in (0..nb - 1).rev() {
+    for i in (0..nb.saturating_sub(1)).rev() {
         let a_up = a.upper(i); // A_{i, i+1}
         let a_lo = a.lower(i); // A_{i+1, i}
         let gi = &g[i];
-        let x_next = x.diag(i + 1).clone();
+        let x_next = ws.take_copy(sol.retarded.diag(i + 1));
 
         // Θ_i = I + g_i A_{i,i+1} X_{i+1,i+1} A_{i+1,i}
-        let g_aup = matmul(gi, a_up);
-        let g_aup_x = matmul(&g_aup, &x_next);
-        let mut theta = matmul(&g_aup_x, a_lo);
-        flops += 3 * gemm;
+        let mut g_aup = ws.take(bs, bs);
+        gemm(&mut g_aup, ONE, Op::None(gi), Op::None(a_up), ZERO);
+        let mut g_aup_x = ws.take(bs, bs);
+        gemm(&mut g_aup_x, ONE, Op::None(&g_aup), Op::None(&x_next), ZERO);
+        let mut theta = ws.take(bs, bs);
+        gemm(&mut theta, ONE, Op::None(&g_aup_x), Op::None(a_lo), ZERO);
+        flops += 3 * gemm_c;
         for k in 0..bs {
             theta[(k, k)] += c64::new(1.0, 0.0);
         }
 
         // Retarded selected blocks.
-        let x_ii = matmul(&theta, gi);
-        let x_up = g_aup_x.scaled(c64::new(-1.0, 0.0)); // X^R_{i,i+1} = −g_i A_{i,i+1} X_{i+1,i+1}
-        let x_lo = matmul(&matmul(&x_next, a_lo), gi).scaled(c64::new(-1.0, 0.0));
-        flops += 3 * gemm;
-        x.set_block(i, i, x_ii);
-        x.set_block(i, i + 1, x_up);
-        x.set_block(i + 1, i, x_lo);
+        gemm(
+            sol.retarded.diag_mut(i),
+            ONE,
+            Op::None(&theta),
+            Op::None(gi),
+            ZERO,
+        );
+        {
+            // X^R_{i,i+1} = −g_i A_{i,i+1} X_{i+1,i+1}
+            let xu = sol.retarded.upper_mut(i);
+            xu.copy_from(&g_aup_x);
+            xu.scale_mut(c64::new(-1.0, 0.0));
+        }
+        let mut x_alo = ws.take(bs, bs);
+        gemm(&mut x_alo, ONE, Op::None(&x_next), Op::None(a_lo), ZERO);
+        gemm(
+            sol.retarded.lower_mut(i),
+            -ONE,
+            Op::None(&x_alo),
+            Op::None(gi),
+            ZERO,
+        );
+        flops += 3 * gemm_c;
+        ws.give(x_alo);
 
         for (r, b) in rhs.iter().enumerate() {
             let gli = &gl[r][i];
-            let xl_next = xl[r].diag(i + 1).clone();
+            let xl_next = ws.take_copy(sol.lesser[r].diag(i + 1));
             let b_up = b.upper(i); // B_{i, i+1}
             let b_lo = b.lower(i); // B_{i+1, i}
 
-            let gi_dag = gi.dagger();
-            let theta_dag = theta.dagger();
-            let a_up_dag = a_up.dagger();
-            let a_lo_dag = a_lo.dagger();
-            let x_next_dag = x_next.dagger();
+            let mut ta = ws.take(bs, bs);
+            let mut tb = ws.take(bs, bs);
+            let mut tc = ws.take(bs, bs);
 
             // W_{i+1} = Xl_{i+1} − X_{i+1} A_{i+1,i} gl_i A_{i+1,i}† X_{i+1}†
             //          + X_{i+1} A_{i+1,i} g_i B_{i,i+1} X_{i+1}†
             //          + X_{i+1} B_{i+1,i} g_i† A_{i+1,i}† X_{i+1}†
-            let x_alo = matmul(&x_next, a_lo);
-            let mut w = xl_next.clone();
-            w -= &matmul(&matmul(&x_alo, gli), &matmul(&a_lo_dag, &x_next_dag));
-            w += &matmul(&matmul(&x_alo, gi), &matmul(b_up, &x_next_dag));
-            w += &matmul(
-                &matmul(&matmul(&x_next, b_lo), &gi_dag),
-                &matmul(&a_lo_dag, &x_next_dag),
-            );
-            flops += 12 * gemm;
+            let mut x_alo = ws.take(bs, bs);
+            gemm(&mut x_alo, ONE, Op::None(&x_next), Op::None(a_lo), ZERO);
+            let mut w = ws.take_copy(&xl_next);
+            gemm(&mut ta, ONE, Op::None(&x_alo), Op::None(gli), ZERO);
+            gemm(&mut tb, ONE, Op::Dagger(a_lo), Op::Dagger(&x_next), ZERO);
+            gemm(&mut w, -ONE, Op::None(&ta), Op::None(&tb), ONE);
+            gemm(&mut ta, ONE, Op::None(&x_alo), Op::None(gi), ZERO);
+            gemm(&mut tb, ONE, Op::None(b_up), Op::Dagger(&x_next), ZERO);
+            gemm(&mut w, ONE, Op::None(&ta), Op::None(&tb), ONE);
+            gemm(&mut ta, ONE, Op::None(&x_next), Op::None(b_lo), ZERO);
+            gemm(&mut tc, ONE, Op::None(&ta), Op::Dagger(gi), ZERO);
+            gemm(&mut tb, ONE, Op::Dagger(a_lo), Op::Dagger(&x_next), ZERO);
+            gemm(&mut w, ONE, Op::None(&tc), Op::None(&tb), ONE);
+            flops += 12 * gemm_c;
 
             // Xl_{ii} = Θ gl Θ† + g A_up W A_up† g†
             //          − Θ g B_{i,i+1} X_{i+1}† A_up† g†
             //          − g A_up X_{i+1} B_{i+1,i} g† Θ†
-            let mut xl_ii = matmul(&matmul(&theta, gli), &theta_dag);
-            xl_ii += &matmul(&matmul(&g_aup, &w), &matmul(&a_up_dag, &gi_dag));
-            xl_ii -= &matmul(
-                &matmul(&matmul(&theta, gi), b_up),
-                &matmul(&x_next_dag, &matmul(&a_up_dag, &gi_dag)),
+            gemm(&mut ta, ONE, Op::None(&theta), Op::None(gli), ZERO);
+            gemm(
+                sol.lesser[r].diag_mut(i),
+                ONE,
+                Op::None(&ta),
+                Op::Dagger(&theta),
+                ZERO,
             );
-            xl_ii -= &matmul(&matmul(&g_aup_x, b_lo), &matmul(&gi_dag, &theta_dag));
-            flops += 14 * gemm;
+            gemm(&mut ta, ONE, Op::None(&g_aup), Op::None(&w), ZERO);
+            gemm(&mut tb, ONE, Op::Dagger(a_up), Op::Dagger(gi), ZERO);
+            gemm(
+                sol.lesser[r].diag_mut(i),
+                ONE,
+                Op::None(&ta),
+                Op::None(&tb),
+                ONE,
+            );
+            gemm(&mut ta, ONE, Op::None(&theta), Op::None(gi), ZERO);
+            gemm(&mut tc, ONE, Op::None(&ta), Op::None(b_up), ZERO);
+            gemm(&mut ta, ONE, Op::Dagger(a_up), Op::Dagger(gi), ZERO);
+            gemm(&mut tb, ONE, Op::Dagger(&x_next), Op::None(&ta), ZERO);
+            gemm(
+                sol.lesser[r].diag_mut(i),
+                -ONE,
+                Op::None(&tc),
+                Op::None(&tb),
+                ONE,
+            );
+            gemm(&mut ta, ONE, Op::None(&g_aup_x), Op::None(b_lo), ZERO);
+            gemm(&mut tb, ONE, Op::Dagger(gi), Op::Dagger(&theta), ZERO);
+            gemm(
+                sol.lesser[r].diag_mut(i),
+                -ONE,
+                Op::None(&ta),
+                Op::None(&tb),
+                ONE,
+            );
+            flops += 14 * gemm_c;
 
             // Xl_{i+1,i} = −X_{i+1} A_{i+1,i} gl_i Θ†
             //             + X_{i+1} A_{i+1,i} g_i B_{i,i+1} X_{i+1}† A_{i,i+1}† g_i†
             //             + X_{i+1} B_{i+1,i} g_i† Θ†
             //             − W A_{i,i+1}† g_i†
-            let mut xl_lo = matmul(&matmul(&x_alo, gli), &theta_dag).scaled(c64::new(-1.0, 0.0));
-            xl_lo += &matmul(
-                &matmul(&matmul(&x_alo, gi), b_up),
-                &matmul(&x_next_dag, &matmul(&a_up_dag, &gi_dag)),
+            gemm(&mut ta, ONE, Op::None(&x_alo), Op::None(gli), ZERO);
+            gemm(
+                sol.lesser[r].lower_mut(i),
+                -ONE,
+                Op::None(&ta),
+                Op::Dagger(&theta),
+                ZERO,
             );
-            xl_lo += &matmul(&matmul(&matmul(&x_next, b_lo), &gi_dag), &theta_dag);
-            xl_lo -= &matmul(&w, &matmul(&a_up_dag, &gi_dag));
-            flops += 13 * gemm;
+            gemm(&mut ta, ONE, Op::None(&x_alo), Op::None(gi), ZERO);
+            gemm(&mut tc, ONE, Op::None(&ta), Op::None(b_up), ZERO);
+            gemm(&mut ta, ONE, Op::Dagger(a_up), Op::Dagger(gi), ZERO);
+            gemm(&mut tb, ONE, Op::Dagger(&x_next), Op::None(&ta), ZERO);
+            gemm(
+                sol.lesser[r].lower_mut(i),
+                ONE,
+                Op::None(&tc),
+                Op::None(&tb),
+                ONE,
+            );
+            gemm(&mut ta, ONE, Op::None(&x_next), Op::None(b_lo), ZERO);
+            gemm(&mut tc, ONE, Op::None(&ta), Op::Dagger(gi), ZERO);
+            gemm(
+                sol.lesser[r].lower_mut(i),
+                ONE,
+                Op::None(&tc),
+                Op::Dagger(&theta),
+                ONE,
+            );
+            gemm(&mut ta, ONE, Op::Dagger(a_up), Op::Dagger(gi), ZERO);
+            gemm(
+                sol.lesser[r].lower_mut(i),
+                -ONE,
+                Op::None(&w),
+                Op::None(&ta),
+                ONE,
+            );
+            flops += 13 * gemm_c;
 
             // Xl_{i,i+1} = −Θ gl_i A_{i+1,i}† X_{i+1}†
             //             + Θ g_i B_{i,i+1} X_{i+1}†
             //             + g_i A_{i,i+1} X_{i+1} B_{i+1,i} g_i† A_{i+1,i}† X_{i+1}†
             //             − g_i A_{i,i+1} W
-            let mut xl_up = matmul(&matmul(&theta, gli), &matmul(&a_lo_dag, &x_next_dag))
-                .scaled(c64::new(-1.0, 0.0));
-            xl_up += &matmul(&matmul(&theta, gi), &matmul(b_up, &x_next_dag));
-            xl_up += &matmul(
-                &matmul(&g_aup_x, b_lo),
-                &matmul(&gi_dag, &matmul(&a_lo_dag, &x_next_dag)),
+            gemm(&mut ta, ONE, Op::None(&theta), Op::None(gli), ZERO);
+            gemm(&mut tb, ONE, Op::Dagger(a_lo), Op::Dagger(&x_next), ZERO);
+            gemm(
+                sol.lesser[r].upper_mut(i),
+                -ONE,
+                Op::None(&ta),
+                Op::None(&tb),
+                ZERO,
             );
-            xl_up -= &matmul(&g_aup, &w);
-            flops += 12 * gemm;
+            gemm(&mut ta, ONE, Op::None(&theta), Op::None(gi), ZERO);
+            gemm(&mut tb, ONE, Op::None(b_up), Op::Dagger(&x_next), ZERO);
+            gemm(
+                sol.lesser[r].upper_mut(i),
+                ONE,
+                Op::None(&ta),
+                Op::None(&tb),
+                ONE,
+            );
+            gemm(&mut ta, ONE, Op::None(&g_aup_x), Op::None(b_lo), ZERO);
+            gemm(&mut tb, ONE, Op::Dagger(a_lo), Op::Dagger(&x_next), ZERO);
+            gemm(&mut tc, ONE, Op::Dagger(gi), Op::None(&tb), ZERO);
+            gemm(
+                sol.lesser[r].upper_mut(i),
+                ONE,
+                Op::None(&ta),
+                Op::None(&tc),
+                ONE,
+            );
+            gemm(
+                sol.lesser[r].upper_mut(i),
+                -ONE,
+                Op::None(&g_aup),
+                Op::None(&w),
+                ONE,
+            );
+            flops += 12 * gemm_c;
 
-            xl[r].set_block(i, i, xl_ii);
-            xl[r].set_block(i + 1, i, xl_lo);
-            xl[r].set_block(i, i + 1, xl_up);
+            ws.give(ta);
+            ws.give(tb);
+            ws.give(tc);
+            ws.give(x_alo);
+            ws.give(w);
+            ws.give(xl_next);
         }
+        ws.give(x_next);
+        ws.give(g_aup);
+        ws.give(g_aup_x);
+        ws.give(theta);
     }
 
-    Ok(SelectedSolution {
-        retarded: x,
-        lesser: xl,
-        flops,
-    })
+    sol.flops = flops;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -406,5 +664,48 @@ mod tests {
         let sol = rgf_selected_inverse(&a).unwrap();
         let want = quatrex_linalg::lu::inverse(&d).unwrap();
         assert!(sol.retarded.diag(0).approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn scratch_reuse_is_exact_across_shapes_and_solves() {
+        // One scratch driven across different shapes and repeated solves must
+        // reproduce the fresh-scratch result bit for bit.
+        let mut scratch = RgfScratch::new();
+        for (nb, bs) in [(4, 3), (6, 2), (4, 3)] {
+            let (a, b) = test_system(nb, bs);
+            let fresh = rgf_solve(&a, &[&b]).unwrap();
+            let reused = rgf_solve_scratch(&a, &[&b], &mut scratch).unwrap();
+            assert!(reused
+                .retarded
+                .to_dense()
+                .approx_eq(&fresh.retarded.to_dense(), 0.0));
+            assert!(reused.lesser[0]
+                .to_dense()
+                .approx_eq(&fresh.lesser[0].to_dense(), 0.0));
+            assert_eq!(reused.flops, fresh.flops);
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_the_solution_storage() {
+        let (a, b) = test_system(5, 2);
+        let mut scratch = RgfScratch::new();
+        let mut sol = SelectedSolution::zeros(5, 2, 1);
+        rgf_solve_into(&a, &[&b], &mut sol, &mut scratch).unwrap();
+        let first = sol.retarded.to_dense();
+        // Overwrite with garbage, solve again into the same storage.
+        for i in 0..5 {
+            sol.retarded.set_block(
+                i,
+                i,
+                CMatrix::from_fn(2, 2, |r, c| cplx(9.0 + r as f64, c as f64)),
+            );
+        }
+        rgf_solve_into(&a, &[&b], &mut sol, &mut scratch).unwrap();
+        assert!(sol.retarded.to_dense().approx_eq(&first, 0.0));
+        // Steady state: the second solve performed no fresh arena allocations.
+        let warm = scratch.fresh_allocations();
+        rgf_solve_into(&a, &[&b], &mut sol, &mut scratch).unwrap();
+        assert_eq!(scratch.fresh_allocations(), warm);
     }
 }

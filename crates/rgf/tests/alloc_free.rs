@@ -1,0 +1,132 @@
+//! Counting-allocator proof that the steady-state RGF solve is
+//! allocation-free: once the scratch arena and the output solution have been
+//! warmed at a shape, `rgf_solve_into` performs **zero** heap allocations —
+//! the whole forward/backward recursion (GEMMs, LU inversions, block writes)
+//! runs on recycled buffers.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use quatrex_linalg::cplx;
+use quatrex_linalg::CMatrix;
+use quatrex_rgf::{rgf_solve_into, RgfScratch, SelectedSolution};
+use quatrex_sparse::BlockTridiagonal;
+
+/// Global allocator wrapper that counts allocations while the *current
+/// thread* is armed (tests run on parallel threads; a global flag would count
+/// the sibling tests' allocations too).
+struct CountingAlloc;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn armed() -> bool {
+    ARMED.try_with(|f| f.get()).unwrap_or(false)
+}
+
+fn set_armed(on: bool) {
+    ARMED.with(|f| f.set(on));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn test_system(nb: usize, bs: usize) -> (BlockTridiagonal, BlockTridiagonal) {
+    let mut a = BlockTridiagonal::zeros(nb, bs);
+    let mut b = BlockTridiagonal::zeros(nb, bs);
+    for i in 0..nb {
+        let d = CMatrix::from_fn(bs, bs, |r, c| {
+            if r == c {
+                cplx(2.5 + 0.1 * i as f64, 0.3)
+            } else {
+                cplx(-0.3 / (1.0 + (r as f64 - c as f64).abs()), 0.05)
+            }
+        });
+        a.set_block(i, i, d);
+        let braw = CMatrix::from_fn(bs, bs, |r, c| {
+            cplx(
+                0.2 * (r + i) as f64 - 0.1 * c as f64,
+                0.4 - 0.05 * (r + c) as f64,
+            )
+        });
+        b.set_block(i, i, braw.negf_antihermitian_part());
+    }
+    for i in 0..nb - 1 {
+        let u = CMatrix::from_fn(bs, bs, |r, c| cplx(-0.4 + 0.03 * r as f64, 0.05 * c as f64));
+        let l = CMatrix::from_fn(bs, bs, |r, c| {
+            cplx(-0.35 - 0.02 * c as f64, -0.04 * r as f64)
+        });
+        a.set_block(i, i + 1, u);
+        a.set_block(i + 1, i, l);
+        let bu = CMatrix::from_fn(bs, bs, |r, c| cplx(0.05 * (r as f64 - c as f64), 0.12));
+        b.set_block(i, i + 1, bu.clone());
+        b.set_block(i + 1, i, bu.dagger().scaled(cplx(-1.0, 0.0)));
+    }
+    (a, b)
+}
+
+#[test]
+fn steady_state_rgf_solve_performs_zero_heap_allocations() {
+    let (nb, bs) = (6, 8);
+    let (a, b) = test_system(nb, bs);
+    let rhs = [&b];
+    let mut scratch = RgfScratch::new();
+    let mut sol = SelectedSolution::zeros(nb, bs, rhs.len());
+
+    // Warm-up: the first solve allocates the arena buffers and LU scratch.
+    rgf_solve_into(&a, &rhs, &mut sol, &mut scratch).unwrap();
+    let reference = sol.retarded.to_dense();
+
+    // Steady state: count every global allocation across three full solves.
+    ALLOCS.store(0, Ordering::SeqCst);
+    set_armed(true);
+    for _ in 0..3 {
+        rgf_solve_into(&a, &rhs, &mut sol, &mut scratch).unwrap();
+    }
+    set_armed(false);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state RGF inner loop must not allocate (saw {allocs} allocations)"
+    );
+    // And it still computes the right thing.
+    assert!(sol.retarded.to_dense().approx_eq(&reference, 0.0));
+}
+
+#[test]
+fn warmup_allocations_do_not_grow_with_repeated_solves() {
+    let (a, b) = test_system(5, 4);
+    let rhs = [&b];
+    let mut scratch = RgfScratch::new();
+    let mut sol = SelectedSolution::zeros(5, 4, 1);
+    rgf_solve_into(&a, &rhs, &mut sol, &mut scratch).unwrap();
+    let warm = scratch.fresh_allocations();
+    for _ in 0..5 {
+        rgf_solve_into(&a, &rhs, &mut sol, &mut scratch).unwrap();
+    }
+    assert_eq!(scratch.fresh_allocations(), warm);
+}

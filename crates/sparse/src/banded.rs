@@ -1,7 +1,7 @@
 //! General block-banded matrices with uniform block size.
 
-use quatrex_linalg::ops::{gemm_flops, matmul_acc};
-use quatrex_linalg::{c64, CMatrix};
+use quatrex_linalg::ops::{gemm, gemm_flops, matmul_acc, Op};
+use quatrex_linalg::{c64, CMatrix, ONE};
 
 use crate::tridiag::BlockTridiagonal;
 
@@ -218,6 +218,54 @@ impl BlockBanded {
         (out, flops)
     }
 
+    /// Banded × daggered-banded product `A · B†` without materializing `B†`:
+    /// the per-block conjugate transposes are fused into the GEMM kernel
+    /// loads ([`Op::Dagger`]). Result bandwidth and FLOP count are exactly
+    /// those of `self.multiply(&other.dagger())`, and the block accumulation
+    /// order matches, so the results agree bit for bit — this is the
+    /// `V·P≶·V†` right-hand-side path of the W assembly (paper
+    /// Section 4.3.1).
+    pub fn multiply_dagger(&self, other: &BlockBanded) -> (BlockBanded, u64) {
+        assert_eq!(self.n_blocks, other.n_blocks, "block count mismatch");
+        assert_eq!(self.block_size, other.block_size, "block size mismatch");
+        let bw = (self.bandwidth + other.bandwidth).min(self.n_blocks.saturating_sub(1));
+        let mut out = BlockBanded::zeros(self.n_blocks, self.block_size, bw);
+        let mut flops = 0u64;
+        for i in 0..self.n_blocks {
+            let klo = i.saturating_sub(self.bandwidth);
+            let khi = (i + self.bandwidth).min(self.n_blocks - 1);
+            for k in klo..=khi {
+                let Some(a_ik) = self.block(i, k) else {
+                    continue;
+                };
+                // B†[k, j] = (B[j, k])†: stored blocks of column k of B.
+                let jlo = k.saturating_sub(other.bandwidth);
+                let jhi = (k + other.bandwidth).min(self.n_blocks - 1);
+                for j in jlo..=jhi {
+                    let Some(b_jk) = other.block(j, k) else {
+                        continue;
+                    };
+                    if (j as isize - i as isize).unsigned_abs() > bw {
+                        continue;
+                    }
+                    let s = out.slot(i, j).expect("within result bandwidth");
+                    if out.blocks[s].is_none() {
+                        out.blocks[s] = Some(CMatrix::zeros(self.block_size, self.block_size));
+                    }
+                    gemm(
+                        out.blocks[s].as_mut().expect("just created"),
+                        ONE,
+                        Op::None(a_ik),
+                        Op::Dagger(b_jk),
+                        ONE,
+                    );
+                    flops += gemm_flops(self.block_size, self.block_size, self.block_size);
+                }
+            }
+        }
+        (out, flops)
+    }
+
     /// Conjugate transpose of the whole banded matrix.
     pub fn dagger(&self) -> BlockBanded {
         let mut out = BlockBanded::zeros(self.n_blocks, self.block_size, self.bandwidth);
@@ -331,6 +379,29 @@ mod tests {
         assert_eq!(ab.bandwidth(), 3);
         let dense = matmul(&a.to_dense(), &b.to_dense());
         assert!(ab.to_dense().approx_eq(&dense, 1e-10));
+    }
+
+    #[test]
+    fn multiply_dagger_matches_materialized_dagger_bit_for_bit() {
+        let (d, offs) = cell_blocks(2);
+        let mut a = BlockBanded::from_periodic_cell(6, &d, &offs[..1]);
+        let mut b = BlockBanded::from_periodic_cell(6, &d, &offs);
+        // Break hermiticity so the dagger is non-trivial.
+        a.set_block(
+            0,
+            1,
+            CMatrix::from_fn(2, 2, |i, j| cplx(i as f64, 1.0 + j as f64)),
+        );
+        b.set_block(
+            2,
+            1,
+            CMatrix::from_fn(2, 2, |i, j| cplx(-(i as f64), j as f64)),
+        );
+        let (fused, fl_fused) = a.multiply_dagger(&b);
+        let (materialized, fl_mat) = a.multiply(&b.dagger());
+        assert_eq!(fl_fused, fl_mat);
+        assert_eq!(fused.bandwidth(), materialized.bandwidth());
+        assert!(fused.to_dense().approx_eq(&materialized.to_dense(), 0.0));
     }
 
     #[test]

@@ -25,6 +25,13 @@ fn worker_count(len: usize) -> usize {
 }
 
 /// Run `f` on every element of `items`, in parallel, preserving order.
+///
+/// Work is claimed in *chunks*: the items are pre-split into contiguous
+/// batches and workers claim whole batches with one `fetch_add` — two mutex
+/// locks and one atomic per **chunk** instead of per item, so the per-item
+/// overhead no longer dominates maps over many small work items (e.g. the
+/// per-element convolution batches). Chunks are sized to hand every worker
+/// several batches, preserving load balancing for uneven item costs.
 fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let n = items.len();
     if n == 0 {
@@ -34,29 +41,37 @@ fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> V
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // 4 chunks per worker keeps dynamic balancing while amortising the
+    // claim/synchronisation cost over the chunk.
+    let chunk = n.div_ceil(workers * 4).max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let mut iter = items.into_iter();
+    let work: Vec<Mutex<Vec<T>>> = (0..n_chunks)
+        .map(|_| Mutex::new(iter.by_ref().take(chunk).collect()))
+        .collect();
+    let out: Vec<Mutex<Vec<R>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
                     break;
                 }
-                let item = work[i]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("work item taken twice");
-                let result = f(item);
-                *out[i].lock().unwrap() = Some(result);
+                let batch = std::mem::take(&mut *work[c].lock().unwrap());
+                debug_assert!(!batch.is_empty(), "chunk claimed twice");
+                let results: Vec<R> = batch.into_iter().map(&f).collect();
+                *out[c].lock().unwrap() = results;
             });
         }
     });
-    out.into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("work item not finished"))
-        .collect()
+    let mut flat = Vec::with_capacity(n);
+    for slot in out {
+        let mut results = slot.into_inner().unwrap();
+        flat.append(&mut results);
+    }
+    assert_eq!(flat.len(), n, "chunked map lost items");
+    flat
 }
 
 /// An eager "parallel iterator": the items are materialised up front and every
@@ -223,6 +238,15 @@ mod tests {
     fn map_preserves_order() {
         let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_length() {
+        // Lengths around chunk boundaries: nothing lost, order preserved.
+        for n in [1usize, 2, 3, 7, 8, 9, 31, 32, 33, 63, 64, 65, 255, 257] {
+            let v: Vec<usize> = (0..n).into_par_iter().map(|i| i + 1).collect();
+            assert_eq!(v, (1..=n).collect::<Vec<_>>(), "n = {n}");
+        }
     }
 
     #[test]
