@@ -3,7 +3,7 @@
 //! computation / communication split and the parallel efficiency per node
 //! count, i.e. the data series behind the paper's figure.
 
-use quatrex_bench::measured_decomposition_overhead;
+use quatrex_bench::measured_decomposition_overhead_balanced;
 use quatrex_device::DeviceCatalog;
 use quatrex_perf::{weak_scaling_series, DecompositionOverhead, SystemModel};
 use quatrex_runtime::CommBackend;
@@ -70,14 +70,14 @@ fn main() {
         let overhead = if p_s > 1 {
             *measured
                 .entry(p_s)
-                .or_insert_with(|| measured_decomposition_overhead(p_s))
+                .or_insert_with(|| measured_decomposition_overhead_balanced(p_s))
         } else {
             DecompositionOverhead::paper_calibrated()
         };
         println!("--- {label} ---");
         if p_s > 1 {
             println!(
-                "    measured decomposition overhead: middle {:.2}x even share, boundary/middle {:.2}",
+                "    measured decomposition overhead (FLOP-balanced layout): middle {:.2}x even share, boundary/middle {:.2}",
                 overhead.middle_factor, overhead.boundary_to_middle,
             );
         }

@@ -2,7 +2,7 @@
 //! workload, time and performance for one energy point, plus the measured
 //! per-partition FLOP report of this reproduction's nested-dissection solver.
 
-use quatrex_bench::{bench_device, cell, measured_decomposition_overhead};
+use quatrex_bench::{bench_device, cell, measured_decomposition_overhead_balanced};
 use quatrex_core::assembly::{assemble_g, ObcMethod};
 use quatrex_device::DeviceCatalog;
 use quatrex_linalg::FlopCounter;
@@ -11,7 +11,8 @@ use quatrex_rgf::{nested_dissection_invert, rgf_selected_inverse, NestedConfig};
 
 fn model_section() {
     println!("--- Full-scale model (one energy point) ---");
-    println!("    (partition factors measured on this reproduction's nested-dissection solver)\n");
+    println!("    (partition factors measured on this reproduction's nested-dissection solver,");
+    println!("     FLOP-balanced uneven partition layout)\n");
     let cases = [
         (
             "Frontier",
@@ -33,7 +34,7 @@ fn model_section() {
     for (machine, params, element, p_s) in cases {
         let overhead = *measured
             .entry(p_s)
-            .or_insert_with(|| measured_decomposition_overhead(p_s));
+            .or_insert_with(|| measured_decomposition_overhead_balanced(p_s));
         println!(
             "{} / {} with P_S = {p_s} (measured middle factor {:.2}, boundary/middle {:.2}):",
             machine, params.name, overhead.middle_factor, overhead.boundary_to_middle,

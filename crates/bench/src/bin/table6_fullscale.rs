@@ -3,14 +3,14 @@
 //! cost model, with the spatial-decomposition overhead *measured* on this
 //! reproduction's nested-dissection solver.
 
-use quatrex_bench::measured_decomposition_overhead;
+use quatrex_bench::measured_decomposition_overhead_balanced;
 use quatrex_perf::table6_rows_with;
 
 fn main() {
     println!("=== Table 6: large-scale simulations on Alps and Frontier (model) ===\n");
-    let overhead = measured_decomposition_overhead(4);
+    let overhead = measured_decomposition_overhead_balanced(4);
     println!(
-        "(measured decomposition overhead: middle partition {:.2}x even share, boundary/middle {:.2})\n",
+        "(measured decomposition overhead, FLOP-balanced layout: middle partition {:.2}x even share, boundary/middle {:.2})\n",
         overhead.middle_factor, overhead.boundary_to_middle,
     );
     println!(

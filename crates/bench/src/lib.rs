@@ -19,7 +19,10 @@ use quatrex_core::{ObcMethod, ScbaConfig, ScbaSolver};
 use quatrex_device::{Device, DeviceBuilder, DeviceCatalog, DeviceParams};
 use quatrex_linalg::FlopCounter;
 use quatrex_perf::DecompositionOverhead;
-use quatrex_rgf::{nested_dissection_solve, rgf_solve, NestedConfig};
+use quatrex_rgf::{
+    nested_dissection_solve, nested_dissection_solve_with_layout, partition_layout_balanced,
+    rgf_solve, NestedConfig,
+};
 
 /// Reduced-scale instance of a catalogue device: the primitive-cell size is
 /// divided by `reduction` while `N_U` and `N_B` are preserved, so every solver
@@ -69,6 +72,22 @@ pub fn bench_solver(n_energies: usize, iterations: usize, memoizer: bool) -> Scb
 /// `NestedReport::boundary_to_middle_ratio`). Middle partitions only exist
 /// for `P_S ≥ 3`, so smaller `p_s` values are measured at `P_S = 3`.
 pub fn measured_decomposition_overhead(p_s: usize) -> DecompositionOverhead {
+    measured_decomposition_overhead_with(p_s, false)
+}
+
+/// [`measured_decomposition_overhead`] on the **FLOP-balanced** uneven layout
+/// (`quatrex_rgf::partition_layout_balanced`): the uniform-layout report of
+/// the same solve provides the cost model, the balanced layout is re-solved,
+/// and the overhead factors come from the balanced per-partition FLOP
+/// counters. This is what the Table 5/6 and Fig. 6 binaries consume — with
+/// balancing the boundary/middle ratio climbs from ~0.6 towards 1 and the
+/// middle-partition factor (the critical path) drops accordingly.
+pub fn measured_decomposition_overhead_balanced(p_s: usize) -> DecompositionOverhead {
+    measured_decomposition_overhead_with(p_s, true)
+}
+
+/// Shared measurement body of the two overhead entry points.
+fn measured_decomposition_overhead_with(p_s: usize, balanced: bool) -> DecompositionOverhead {
     let device = bench_device(24, 4);
     let h = device.hamiltonian_bt();
     let flops = FlopCounter::new();
@@ -92,6 +111,15 @@ pub fn measured_decomposition_overhead(p_s: usize) -> DecompositionOverhead {
     let measured_p = p_s.max(3);
     let (_, report) = nested_dissection_solve(&asm.system, &rhs, &NestedConfig::new(measured_p))
         .expect("nested-dissection solve");
+    let report = if balanced {
+        let parts = partition_layout_balanced(h.n_blocks(), measured_p, &report)
+            .expect("balanced partition layout");
+        let (_, balanced_report) = nested_dissection_solve_with_layout(&asm.system, &rhs, &parts)
+            .expect("balanced nested-dissection solve");
+        balanced_report
+    } else {
+        report
+    };
     DecompositionOverhead::measured(
         report
             .middle_partition_factor(seq.flops)
@@ -163,5 +191,25 @@ mod tests {
             "{overhead:?}"
         );
         assert!(overhead.end_factor() < overhead.middle_factor);
+    }
+
+    #[test]
+    fn balanced_overhead_closes_the_boundary_gap() {
+        let uniform = measured_decomposition_overhead(4);
+        let balanced = measured_decomposition_overhead_balanced(4);
+        // Balancing grows the end partitions: the boundary/middle ratio
+        // approaches 1 and the middle-partition factor (critical path) drops.
+        assert!(
+            balanced.boundary_to_middle > uniform.boundary_to_middle,
+            "balanced {balanced:?} vs uniform {uniform:?}"
+        );
+        assert!(
+            (balanced.boundary_to_middle - 1.0).abs() < 0.15,
+            "{balanced:?}"
+        );
+        assert!(
+            balanced.middle_factor < uniform.middle_factor,
+            "balanced {balanced:?} vs uniform {uniform:?}"
+        );
     }
 }

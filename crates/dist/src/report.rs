@@ -59,6 +59,11 @@ pub struct DistReport {
     pub energy_groups: usize,
     /// Spatial partitions per energy group (`P_S`, second level).
     pub spatial_partitions: usize,
+    /// Whether the spatial layout was the FLOP-balanced uneven one
+    /// (`quatrex_rgf::partition_layout_balanced`) instead of the uniform
+    /// split. Always false at `P_S ≤ 2`: with no middle partition the
+    /// balanced layout degenerates to the uniform one.
+    pub balanced_partitions: bool,
     /// Energy points per group.
     pub energies_per_rank: Vec<usize>,
     /// Canonical elements per group.
@@ -84,6 +89,19 @@ pub struct DistReport {
     pub measured_boundary_bytes_g: u64,
     /// Same for the `W` phase.
     pub measured_boundary_bytes_w: u64,
+    /// The system-distribution share of `measured_boundary_bytes_g`: the
+    /// off-rank bytes of the `PartitionSlice` messages (each spatial rank
+    /// receives only its partition's interior blocks + separator couplings).
+    pub measured_slice_bytes_g: u64,
+    /// Same for the `W` phase.
+    pub measured_slice_bytes_w: u64,
+    /// What the pre-slice broadcast path would have shipped for the same `G`
+    /// system distributions: the full `(A, B^<, B^>)` triple per energy to
+    /// every group member. The ratio against `measured_slice_bytes_g` is the
+    /// measured `~P_S`-fold saving of the slice-wise distribution.
+    pub broadcast_equivalent_bytes_g: u64,
+    /// Same for the `W` phase.
+    pub broadcast_equivalent_bytes_w: u64,
     /// Number of times the measured-wall-time rebalancer actually moved the
     /// energy partition between iterations (zero when rebalancing is off).
     pub energy_rebalances: usize,
@@ -136,6 +154,17 @@ impl DistReport {
     pub fn measured_boundary_bytes(&self) -> u64 {
         self.measured_boundary_bytes_g + self.measured_boundary_bytes_w
     }
+
+    /// Fold reduction of the system-distribution bytes delivered by the
+    /// slice-wise distribution over the pre-slice full broadcast, both phases
+    /// combined (`broadcast_equivalent / sliced`, ideally `≈ P_S`). `None`
+    /// when no slices were shipped (`P_S = 1`, or a single group whose
+    /// messages all stayed rank-local).
+    pub fn slice_saving_factor(&self) -> Option<f64> {
+        let sliced = self.measured_slice_bytes_g + self.measured_slice_bytes_w;
+        let broadcast = self.broadcast_equivalent_bytes_g + self.broadcast_equivalent_bytes_w;
+        (sliced > 0).then(|| broadcast as f64 / sliced as f64)
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +189,7 @@ mod tests {
             n_ranks: 2,
             energy_groups: 2,
             spatial_partitions: 1,
+            balanced_partitions: false,
             energies_per_rank: vec![4, 4],
             elements_per_rank: vec![10, 10],
             symmetry_reduced: false,
@@ -170,6 +200,10 @@ mod tests {
             measured_allreduce_bytes: 64,
             measured_boundary_bytes_g: 0,
             measured_boundary_bytes_w: 0,
+            measured_slice_bytes_g: 0,
+            measured_slice_bytes_w: 0,
+            broadcast_equivalent_bytes_g: 0,
+            broadcast_equivalent_bytes_w: 0,
             energy_rebalances: 0,
             measured_rebalance_bytes: 0,
             n_collectives: 12,
@@ -192,6 +226,7 @@ mod tests {
             n_ranks: 4,
             energy_groups: 2,
             spatial_partitions: 2,
+            balanced_partitions: false,
             energies_per_rank: vec![4, 4],
             elements_per_rank: vec![10, 10],
             symmetry_reduced: true,
@@ -202,6 +237,10 @@ mod tests {
             measured_allreduce_bytes: 64,
             measured_boundary_bytes_g: 96,
             measured_boundary_bytes_w: 32,
+            measured_slice_bytes_g: 48,
+            measured_slice_bytes_w: 16,
+            broadcast_equivalent_bytes_g: 96,
+            broadcast_equivalent_bytes_w: 32,
             energy_rebalances: 0,
             measured_rebalance_bytes: 0,
             n_collectives: 4,

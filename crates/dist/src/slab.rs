@@ -23,13 +23,184 @@ use std::ops::Range;
 
 use quatrex_core::convolution::{canonical_elements, ElementId};
 use quatrex_core::EnergyResolved;
-use quatrex_linalg::c64;
+use quatrex_linalg::{c64, CMatrix};
+use quatrex_rgf::{BoundaryCouplings, PartitionSystemSlice, SpatialPartition};
 use quatrex_sparse::BlockTridiagonal;
 
 use crate::partition::partition_weighted;
 
 /// Bytes on the wire per complex value (complex128).
 pub const BYTES_PER_VALUE: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Shared complex128-stream primitives of the group-level wire formats (the
+// spatial boundary-system messages ride the same byte-accounted `Alltoallv`
+// as the transpositions).
+
+/// Append every entry of a matrix in row-major order.
+pub(crate) fn push_matrix(buf: &mut Vec<c64>, m: &CMatrix) {
+    let (nr, nc) = m.shape();
+    for r in 0..nr {
+        for c in 0..nc {
+            buf.push(m[(r, c)]);
+        }
+    }
+}
+
+/// Read one `bs × bs` matrix written by [`push_matrix`].
+pub(crate) fn read_matrix<'a>(it: &mut impl Iterator<Item = &'a c64>, bs: usize) -> CMatrix {
+    let mut m = CMatrix::zeros(bs, bs);
+    for r in 0..bs {
+        for c in 0..bs {
+            m[(r, c)] = *it.next().expect("short spatial message");
+        }
+    }
+    m
+}
+
+/// Append a block-tridiagonal quantity: diagonals first, then per row the
+/// upper and lower couplings.
+pub(crate) fn push_bt(buf: &mut Vec<c64>, bt: &BlockTridiagonal) {
+    let nb = bt.n_blocks();
+    for i in 0..nb {
+        push_matrix(buf, bt.diag(i));
+    }
+    for i in 0..nb.saturating_sub(1) {
+        push_matrix(buf, bt.upper(i));
+        push_matrix(buf, bt.lower(i));
+    }
+}
+
+/// Read a block-tridiagonal quantity written by [`push_bt`].
+pub(crate) fn read_bt<'a>(
+    it: &mut impl Iterator<Item = &'a c64>,
+    nb: usize,
+    bs: usize,
+) -> BlockTridiagonal {
+    let mut bt = BlockTridiagonal::zeros(nb, bs);
+    for i in 0..nb {
+        bt.set_block(i, i, read_matrix(it, bs));
+    }
+    for i in 0..nb.saturating_sub(1) {
+        bt.set_block(i, i + 1, read_matrix(it, bs));
+        bt.set_block(i + 1, i, read_matrix(it, bs));
+    }
+    bt
+}
+
+/// Wire type of the slice-wise system distribution: everything one spatial
+/// rank needs to eliminate its partition of one per-energy system — the
+/// partition's interior blocks of `A`, `B^<`, `B^>` plus the separator
+/// coupling blocks ([`quatrex_rgf::PartitionSystemSlice`]) — instead of the
+/// full `3·(3·N_B − 2)`-block broadcast the pre-slice path shipped. Cutting
+/// the distribution payload to each rank's own slice reduces the per-phase
+/// boundary-system bytes by `~1/P_S`; `DistReport` tracks the measured saving
+/// against the broadcast-equivalent volume.
+#[derive(Debug, Clone)]
+pub struct PartitionSlice {
+    /// Index of the partition (spatial rank) this slice feeds.
+    pub partition: usize,
+    /// The sliced system: interior blocks + separator couplings of `A` and of
+    /// every right-hand side.
+    pub system: PartitionSystemSlice,
+}
+
+impl PartitionSlice {
+    /// Cut the slice of `part` out of a full per-energy system.
+    pub fn extract(
+        a: &BlockTridiagonal,
+        rhs: &[&BlockTridiagonal],
+        part: &SpatialPartition,
+        partition: usize,
+    ) -> Self {
+        Self {
+            partition,
+            system: PartitionSystemSlice::extract(a, rhs, part),
+        }
+    }
+
+    /// Complex values of the wire encoding (headers included).
+    pub fn wire_values(&self) -> usize {
+        2 + self.system.boundaries.len() + self.system.stored_values()
+    }
+
+    /// Complex values the pre-slice broadcast path shipped per destination
+    /// for the same distribution: the full block-tridiagonal system and
+    /// `n_rhs` right-hand sides.
+    pub fn full_broadcast_values(nb: usize, bs: usize, n_rhs: usize) -> usize {
+        (1 + n_rhs) * (nb + 2 * nb.saturating_sub(1)) * bs * bs
+    }
+
+    /// Serialise into a complex128 stream.
+    pub fn encode(&self, buf: &mut Vec<c64>) {
+        let sys = &self.system;
+        buf.push(c64::new(self.partition as f64, sys.n_rhs() as f64));
+        buf.push(c64::new(
+            sys.a_int.n_blocks() as f64,
+            sys.boundaries.len() as f64,
+        ));
+        for b in &sys.boundaries {
+            buf.push(c64::new(b.sep as f64, f64::from(u8::from(b.left))));
+        }
+        push_bt(buf, &sys.a_int);
+        for b in &sys.rhs_int {
+            push_bt(buf, b);
+        }
+        for b in &sys.boundaries {
+            push_matrix(buf, &b.a_sep_to_int);
+            push_matrix(buf, &b.a_int_to_sep);
+            for r in 0..sys.n_rhs() {
+                push_matrix(buf, &b.rhs_sep_to_int[r]);
+                push_matrix(buf, &b.rhs_int_to_sep[r]);
+            }
+        }
+    }
+
+    /// Deserialise one slice written by [`Self::encode`].
+    pub fn decode<'a>(it: &mut impl Iterator<Item = &'a c64>, bs: usize) -> Self {
+        let head = it.next().expect("short partition-slice message");
+        let (partition, n_rhs) = (head.re as usize, head.im as usize);
+        let head = it.next().expect("short partition-slice message");
+        let (n_int, n_boundaries) = (head.re as usize, head.im as usize);
+        let specs: Vec<(usize, bool)> = (0..n_boundaries)
+            .map(|_| {
+                let b = it.next().expect("short partition-slice message");
+                (b.re as usize, b.im != 0.0)
+            })
+            .collect();
+        let a_int = read_bt(it, n_int, bs);
+        let rhs_int: Vec<BlockTridiagonal> = (0..n_rhs).map(|_| read_bt(it, n_int, bs)).collect();
+        let boundaries = specs
+            .into_iter()
+            .map(|(sep, left)| {
+                let a_sep_to_int = read_matrix(it, bs);
+                let a_int_to_sep = read_matrix(it, bs);
+                let mut rhs_sep_to_int = Vec::with_capacity(n_rhs);
+                let mut rhs_int_to_sep = Vec::with_capacity(n_rhs);
+                for _ in 0..n_rhs {
+                    rhs_sep_to_int.push(read_matrix(it, bs));
+                    rhs_int_to_sep.push(read_matrix(it, bs));
+                }
+                BoundaryCouplings {
+                    sep,
+                    left,
+                    a_sep_to_int,
+                    a_int_to_sep,
+                    rhs_sep_to_int,
+                    rhs_int_to_sep,
+                }
+            })
+            .collect();
+        Self {
+            partition,
+            system: PartitionSystemSlice {
+                a_int,
+                rhs_int,
+                boundaries,
+            },
+        }
+    }
+}
 
 /// A rank's energy-major slice of one or more BT quantities.
 #[derive(Debug, Clone)]
@@ -546,6 +717,69 @@ mod tests {
         for n_ranks in [1usize, 2, 3] {
             roundtrip(n_ranks, false);
         }
+    }
+
+    #[test]
+    fn partition_slice_round_trips_exactly_and_beats_the_broadcast() {
+        use quatrex_rgf::spatial_partition_layout;
+        let (nb, bs) = (9, 3);
+        let a = symmetric_quantity(1, nb, bs, 0.7).pop().unwrap();
+        let b1 = symmetric_quantity(1, nb, bs, 1.3).pop().unwrap();
+        let b2 = symmetric_quantity(1, nb, bs, -0.4).pop().unwrap();
+        let parts = spatial_partition_layout(nb, 3).unwrap();
+        let full = PartitionSlice::full_broadcast_values(nb, bs, 2);
+        for (p, part) in parts.iter().enumerate() {
+            let slice = PartitionSlice::extract(&a, &[&b1, &b2], part, p);
+            assert!(
+                slice.wire_values() * 2 < full,
+                "slice {} of full {full}",
+                slice.wire_values()
+            );
+            let mut buf = Vec::new();
+            slice.encode(&mut buf);
+            assert_eq!(buf.len(), slice.wire_values());
+            let mut it = buf.iter();
+            let back = PartitionSlice::decode(&mut it, bs);
+            assert!(it.next().is_none(), "decode consumes the full message");
+            assert_eq!(back.partition, p);
+            assert_eq!(back.system.n_rhs(), 2);
+            assert!(back
+                .system
+                .a_int
+                .to_dense()
+                .approx_eq(&slice.system.a_int.to_dense(), 0.0));
+            for (x, y) in back.system.rhs_int.iter().zip(&slice.system.rhs_int) {
+                assert!(x.to_dense().approx_eq(&y.to_dense(), 0.0));
+            }
+            assert_eq!(back.system.boundaries.len(), slice.system.boundaries.len());
+            for (x, y) in back.system.boundaries.iter().zip(&slice.system.boundaries) {
+                assert_eq!((x.sep, x.left), (y.sep, y.left));
+                assert!(x.a_sep_to_int.approx_eq(&y.a_sep_to_int, 0.0));
+                assert!(x.a_int_to_sep.approx_eq(&y.a_int_to_sep, 0.0));
+                for r in 0..2 {
+                    assert!(x.rhs_sep_to_int[r].approx_eq(&y.rhs_sep_to_int[r], 0.0));
+                    assert!(x.rhs_int_to_sep[r].approx_eq(&y.rhs_int_to_sep[r], 0.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_interior_partition_slice_is_header_only() {
+        use quatrex_rgf::spatial_partition_layout;
+        let (nb, bs) = (6, 2);
+        let a = symmetric_quantity(1, nb, bs, 0.5).pop().unwrap();
+        let b = symmetric_quantity(1, nb, bs, 2.1).pop().unwrap();
+        let parts = spatial_partition_layout(nb, 3).unwrap();
+        assert_eq!(parts[1].interior().len(), 0);
+        let slice = PartitionSlice::extract(&a, &[&b], &parts[1], 1);
+        assert_eq!(slice.wire_values(), 2, "empty interior ships headers only");
+        let mut buf = Vec::new();
+        slice.encode(&mut buf);
+        let mut it = buf.iter();
+        let back = PartitionSlice::decode(&mut it, bs);
+        assert_eq!(back.system.a_int.n_blocks(), 0);
+        assert!(back.system.boundaries.is_empty());
     }
 
     #[test]

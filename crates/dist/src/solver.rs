@@ -52,14 +52,20 @@ use quatrex_linalg::c64;
 use quatrex_linalg::flops::{FlopCounter, FlopKind};
 use quatrex_linalg::CMatrix;
 use quatrex_obc::ObcMemoizer;
-use quatrex_rgf::{separator_blocks, spatial_partition_layout, RgfScratch, SpatialPartition};
+use quatrex_rgf::{
+    partition_layout_balanced, probe_partition_flops, separator_blocks, spatial_partition_layout,
+    RgfScratch, SpatialPartition,
+};
 use quatrex_runtime::{CommStats, DecompositionPlan, RankContext, ThreadComm};
 use quatrex_sparse::BlockTridiagonal;
 
 use crate::partition::{energy_cost_weights, partition_weighted};
 use crate::report::{DistReport, TranspositionBudget};
-use crate::slab::{off_rank_payload_bytes, BackComponent, TranspositionPlan, BYTES_PER_VALUE};
-use crate::spatial::{spatial_phase_solve, RankGrid};
+use crate::slab::{
+    off_rank_payload_bytes, push_bt, push_matrix, read_bt, read_matrix, BackComponent,
+    TranspositionPlan, BYTES_PER_VALUE,
+};
+use crate::spatial::{spatial_phase_solve, RankGrid, SpatialTraffic};
 
 /// Configuration of a distributed SCBA run.
 #[derive(Debug, Clone)]
@@ -74,6 +80,16 @@ pub struct DistScbaConfig {
     /// cooperate on each energy point through the nested-dissection solver.
     /// `1` disables the second decomposition level.
     pub spatial_partitions: usize,
+    /// Use the FLOP-balanced uneven partition layout
+    /// (`quatrex_rgf::partition_layout_balanced`) instead of the uniform
+    /// split: the end partitions grow until the per-partition elimination +
+    /// recovery FLOPs equalise (paper Section 5.4's load balancing; the
+    /// uniform split leaves the boundary partitions at ~60% of a middle
+    /// partition). The layout is computed once per run from the shape-only
+    /// FLOP probe (`quatrex_rgf::probe_partition_flops`), so every rank
+    /// derives the identical layout deterministically. Ignored at `P_S ≤ 2`
+    /// (no middle partition exists to balance against).
+    pub balanced_partitions: bool,
     /// Ship only canonical elements for `≶` quantities and reconstruct the
     /// mirrors from the NEGF symmetry at the destination (Section 5.2).
     /// Requires `scba.enforce_symmetry`.
@@ -100,6 +116,7 @@ impl DistScbaConfig {
             scba,
             n_ranks,
             spatial_partitions: 1,
+            balanced_partitions: false,
             symmetry_reduced: true,
             device_params: None,
             rebalance_energies: false,
@@ -110,6 +127,13 @@ impl DistScbaConfig {
     /// group.
     pub fn with_spatial_partitions(mut self, p_s: usize) -> Self {
         self.spatial_partitions = p_s;
+        self
+    }
+
+    /// Enable the FLOP-balanced uneven partition layout for the spatial
+    /// level.
+    pub fn with_balanced_partitions(mut self, enabled: bool) -> Self {
+        self.balanced_partitions = enabled;
         self
     }
 
@@ -156,8 +180,8 @@ struct RankOut {
     full_iterations: usize,
     max_truncation: f64,
     transposition_bytes: u64,
-    boundary_bytes_g: u64,
-    boundary_bytes_w: u64,
+    traffic_g: SpatialTraffic,
+    traffic_w: SpatialTraffic,
     memo_hits: usize,
     memo_total: usize,
     energy_rebalances: usize,
@@ -279,6 +303,27 @@ impl DistScbaSolver {
                 h.n_blocks(),
             );
         }
+        // The spatial partition layout is fixed for the whole run and shared
+        // by every rank: uniform by default, FLOP-balanced (from the
+        // shape-only probe, so it is deterministic) when requested. At
+        // P_S = 2 there is no middle partition to balance against, so the
+        // balanced layout IS the uniform one — skip the probe and report the
+        // run as uniform.
+        let balanced = self.config.balanced_partitions && self.config.spatial_partitions > 2;
+        let spatial_layout: Arc<Vec<SpatialPartition>> =
+            Arc::new(if self.config.spatial_partitions > 1 {
+                let p_s = self.config.spatial_partitions;
+                if balanced {
+                    let probe = probe_partition_flops(h.n_blocks(), h.block_size(), p_s, 2)
+                        .expect("FLOP probe of the spatial layout failed");
+                    partition_layout_balanced(h.n_blocks(), p_s, &probe)
+                } else {
+                    spatial_partition_layout(h.n_blocks(), p_s)
+                }
+                .expect("spatial partition layout rejected (too few blocks for P_S)")
+            } else {
+                Vec::new()
+            });
         let plan = Arc::new(self.plan());
         let energies = Arc::new(self.grid.points());
         let de = self.grid.spacing();
@@ -293,10 +338,11 @@ impl DistScbaSolver {
             let (h, v, plan, energies) = (h, v, Arc::clone(&plan), energies);
             let (flops, timings) = (Arc::clone(&flops), Arc::clone(&timings));
             let rebalance = self.config.rebalance_energies;
+            let layout = Arc::clone(&spatial_layout);
             move |ctx: RankContext<Vec<c64>>| -> RankOut {
                 rank_main(
-                    &ctx, &cfg, &h, &v, &plan, &energies, de, kt, ne, nb, rebalance, &flops,
-                    &timings,
+                    &ctx, &cfg, &h, &v, &plan, &layout, &energies, de, kt, ne, nb, rebalance,
+                    &flops, &timings,
                 )
             }
         };
@@ -305,10 +351,12 @@ impl DistScbaSolver {
 
         let transposition_bytes: u64 =
             rank0.transposition_bytes + results.iter().map(|r| r.transposition_bytes).sum::<u64>();
-        let boundary_bytes_g: u64 =
-            rank0.boundary_bytes_g + results.iter().map(|r| r.boundary_bytes_g).sum::<u64>();
-        let boundary_bytes_w: u64 =
-            rank0.boundary_bytes_w + results.iter().map(|r| r.boundary_bytes_w).sum::<u64>();
+        let mut traffic_g = rank0.traffic_g;
+        let mut traffic_w = rank0.traffic_w;
+        for r in &results {
+            traffic_g.merge(&r.traffic_g);
+            traffic_w.merge(&r.traffic_w);
+        }
         let memo_hits = rank0.memo_hits + results.iter().map(|r| r.memo_hits).sum::<usize>();
         let memo_total = rank0.memo_total + results.iter().map(|r| r.memo_total).sum::<usize>();
         let rebalance_bytes: u64 =
@@ -317,10 +365,11 @@ impl DistScbaSolver {
         let report = self.build_report(
             &plan,
             &stats,
+            balanced,
             rank0.full_iterations,
             transposition_bytes,
-            boundary_bytes_g,
-            boundary_bytes_w,
+            &traffic_g,
+            &traffic_w,
             rank0.energy_rebalances,
             rebalance_bytes,
         );
@@ -349,10 +398,11 @@ impl DistScbaSolver {
         &self,
         plan: &TranspositionPlan,
         stats: &CommStats,
+        balanced: bool,
         full_iterations: usize,
         transposition_bytes: u64,
-        boundary_bytes_g: u64,
-        boundary_bytes_w: u64,
+        traffic_g: &SpatialTraffic,
+        traffic_w: &SpatialTraffic,
         energy_rebalances: usize,
         rebalance_bytes: u64,
     ) -> DistReport {
@@ -361,6 +411,9 @@ impl DistScbaSolver {
             n_ranks: plan.n_total_ranks(),
             energy_groups: plan.n_ranks,
             spatial_partitions: plan.spatial_partitions,
+            // The flag `run` selected the layout with: false at P_S = 2,
+            // where the balanced layout degenerates to the uniform split.
+            balanced_partitions: balanced,
             energies_per_rank: plan.energy_ranges.iter().map(|r| r.len()).collect(),
             elements_per_rank: plan.element_ranges.iter().map(|r| r.len()).collect(),
             symmetry_reduced: plan.symmetry_reduced,
@@ -369,8 +422,12 @@ impl DistScbaSolver {
             measured_alltoall_bytes: stats.alltoall_bytes.load(Ordering::Relaxed),
             measured_max_bytes_per_rank: stats.max_alltoall_bytes_per_rank(),
             measured_allreduce_bytes: stats.allreduce_bytes.load(Ordering::Relaxed),
-            measured_boundary_bytes_g: boundary_bytes_g,
-            measured_boundary_bytes_w: boundary_bytes_w,
+            measured_boundary_bytes_g: traffic_g.boundary_bytes,
+            measured_boundary_bytes_w: traffic_w.boundary_bytes,
+            measured_slice_bytes_g: traffic_g.slice_bytes,
+            measured_slice_bytes_w: traffic_w.slice_bytes,
+            broadcast_equivalent_bytes_g: traffic_g.broadcast_equivalent_bytes,
+            broadcast_equivalent_bytes_w: traffic_w.broadcast_equivalent_bytes,
             energy_rebalances,
             measured_rebalance_bytes: rebalance_bytes,
             n_collectives: stats.n_collectives.load(Ordering::Relaxed),
@@ -507,6 +564,7 @@ fn rank_main(
     h: &BlockTridiagonal,
     v: &BlockTridiagonal,
     plan: &TranspositionPlan,
+    parts: &[SpatialPartition],
     energies: &[f64],
     de: f64,
     kt: f64,
@@ -521,13 +579,11 @@ fn rank_main(
     let p_s = grid.spatial_partitions;
     let group = grid.group_of(rank);
     let is_leader = grid.is_leader(rank);
-    let (parts, separators): (Vec<SpatialPartition>, Vec<usize>) = if p_s > 1 {
-        let parts = spatial_partition_layout(nb, p_s)
-            .expect("spatial partition layout rejected (too few blocks for P_S)");
-        let seps = separator_blocks(&parts);
-        (parts, seps)
+    let separators: Vec<usize> = if p_s > 1 {
+        debug_assert_eq!(parts.len(), p_s, "spatial layout matches P_S");
+        separator_blocks(parts)
     } else {
-        (Vec::new(), Vec::new())
+        Vec::new()
     };
     // Rebalancing mutates the energy ownership between iterations; only then
     // does each rank take a private plan copy (the default path keeps the
@@ -563,8 +619,8 @@ fn rank_main(
     let mut full_iterations = 0usize;
     let mut max_truncation = 0.0f64;
     let mut transposition_bytes = 0u64;
-    let mut boundary_bytes_g = 0u64;
-    let mut boundary_bytes_w = 0u64;
+    let mut traffic_g = SpatialTraffic::default();
+    let mut traffic_w = SpatialTraffic::default();
     let mut energy_rebalances = 0usize;
     let mut rebalance_bytes = 0u64;
 
@@ -645,10 +701,10 @@ fn rank_main(
                 ));
                 systems.push((asm.system, asm.rhs_lesser, asm.rhs_greater));
             }
-            let (sols, bytes) = spatial_phase_solve(
+            let (sols, traffic) = spatial_phase_solve(
                 ctx,
                 &grid,
-                &parts,
+                parts,
                 &separators,
                 n_local,
                 systems,
@@ -659,7 +715,7 @@ fn rank_main(
                 timings,
                 &timings.g_rgf_ns,
             );
-            boundary_bytes_g += bytes;
+            traffic_g.merge(&traffic);
             for (k_local, sol) in sols.into_iter().enumerate() {
                 let mut lessers = sol.lesser.into_iter();
                 let gl = lessers.next().expect("lesser solved");
@@ -788,10 +844,10 @@ fn rank_main(
                 local_trunc = local_trunc.max(asm.truncation_error);
                 systems.push((asm.system, asm.rhs_lesser, asm.rhs_greater));
             }
-            let (sols, bytes) = spatial_phase_solve(
+            let (sols, traffic) = spatial_phase_solve(
                 ctx,
                 &grid,
-                &parts,
+                parts,
                 &separators,
                 n_local,
                 systems,
@@ -802,7 +858,7 @@ fn rank_main(
                 timings,
                 &timings.w_rgf_ns,
             );
-            boundary_bytes_w += bytes;
+            traffic_w.merge(&traffic);
             for sol in sols {
                 let mut lessers = sol.lesser.into_iter();
                 let mut wl = lessers.next().expect("lesser solved");
@@ -1007,8 +1063,8 @@ fn rank_main(
         full_iterations,
         max_truncation,
         transposition_bytes,
-        boundary_bytes_g,
-        boundary_bytes_w,
+        traffic_g,
+        traffic_w,
         memo_hits,
         memo_total,
         energy_rebalances,
@@ -1033,36 +1089,6 @@ fn copy_timings(shared: &KernelTimings) -> KernelTimings {
         dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
     }
     copy
-}
-
-/// Serialise every stored block of a BT quantity in deterministic order
-/// (diagonals, then per row the upper and lower couplings).
-fn pack_bt(buf: &mut Vec<c64>, bt: &BlockTridiagonal) {
-    let nb = bt.n_blocks();
-    for i in 0..nb {
-        buf.extend_from_slice(bt.diag(i).as_slice());
-    }
-    for i in 0..nb.saturating_sub(1) {
-        buf.extend_from_slice(bt.upper(i).as_slice());
-        buf.extend_from_slice(bt.lower(i).as_slice());
-    }
-}
-
-/// Inverse of [`pack_bt`], advancing `pos` through `msg`.
-fn unpack_bt(msg: &[c64], pos: &mut usize, nb: usize, bs: usize) -> BlockTridiagonal {
-    let mut bt = BlockTridiagonal::zeros(nb, bs);
-    let mut read = |dst: &mut [c64]| {
-        dst.copy_from_slice(&msg[*pos..*pos + dst.len()]);
-        *pos += dst.len();
-    };
-    for i in 0..nb {
-        read(bt.diag_mut(i).as_mut_slice());
-    }
-    for i in 0..nb.saturating_sub(1) {
-        read(bt.upper_mut(i).as_mut_slice());
-        read(bt.lower_mut(i).as_mut_slice());
-    }
-    bt
 }
 
 /// Recompute the energy partition from measured per-energy wall seconds and
@@ -1126,9 +1152,9 @@ fn rebalance_energy_partition(
                 .expect("every energy stays owned");
             if new_group != group {
                 let dst = grid.leader_of(new_group);
-                pack_bt(&mut send[dst], &sigma_l[k_local]);
-                pack_bt(&mut send[dst], &sigma_g[k_local]);
-                pack_bt(&mut send[dst], &sigma_r[k_local]);
+                push_bt(&mut send[dst], &sigma_l[k_local]);
+                push_bt(&mut send[dst], &sigma_g[k_local]);
+                push_bt(&mut send[dst], &sigma_r[k_local]);
                 // The OBC memoizer cache of this energy travels too: without
                 // it the new owner would fall back to direct solves and the
                 // refinement trajectory (and hence the observables at the
@@ -1140,7 +1166,7 @@ fn rebalance_energy_partition(
                 send[dst].push(c64::new(entries.len() as f64, 0.0));
                 for (key, block) in entries {
                     send[dst].push(encode_obc_key(&key));
-                    send[dst].extend_from_slice(block.as_slice());
+                    push_matrix(&mut send[dst], &block);
                 }
             }
         }
@@ -1156,7 +1182,11 @@ fn rebalance_energy_partition(
             std::mem::take(sigma_g).into_iter().map(Some).collect();
         let mut old_r: Vec<Option<BlockTridiagonal>> =
             std::mem::take(sigma_r).into_iter().map(Some).collect();
-        let mut cursors = vec![0usize; ctx.n_ranks()];
+        // One read cursor (iterator) per source leader, shared by every
+        // migrated energy; the wire codec is the same push/read helpers the
+        // PartitionSlice messages use.
+        let mut readers: Vec<std::slice::Iter<'_, c64>> =
+            received.iter().map(|m| m.iter()).collect();
         for k in new_my {
             if my_e.contains(&k) {
                 let k_local = k - my_e.start;
@@ -1169,29 +1199,25 @@ fn rebalance_energy_partition(
                     .position(|r| r.contains(&k))
                     .expect("every energy was owned");
                 let src = grid.leader_of(src_group);
-                let msg = &received[src];
-                sigma_l.push(unpack_bt(msg, &mut cursors[src], nb, bs));
-                sigma_g.push(unpack_bt(msg, &mut cursors[src], nb, bs));
-                sigma_r.push(unpack_bt(msg, &mut cursors[src], nb, bs));
-                let pos = &mut cursors[src];
-                let n_entries = msg[*pos].re as usize;
-                *pos += 1;
+                let it = &mut readers[src];
+                sigma_l.push(read_bt(it, nb, bs));
+                sigma_g.push(read_bt(it, nb, bs));
+                sigma_r.push(read_bt(it, nb, bs));
+                let n_entries = it.next().expect("rebalance message").re as usize;
                 for _ in 0..n_entries {
-                    let key = decode_obc_key(msg[*pos], k);
-                    *pos += 1;
-                    let mut block = CMatrix::zeros(bs, bs);
-                    block
-                        .as_mut_slice()
-                        .copy_from_slice(&msg[*pos..*pos + bs * bs]);
-                    *pos += bs * bs;
+                    let key = decode_obc_key(*it.next().expect("rebalance message"), k);
+                    let block = read_matrix(it, bs);
                     if let Some(m) = memoizer.as_deref_mut() {
                         m.insert_cached(key, block);
                     }
                 }
             }
         }
-        for (src, msg) in received.iter().enumerate() {
-            assert_eq!(cursors[src], msg.len(), "rebalance message fully consumed");
+        for (src, mut it) in readers.into_iter().enumerate() {
+            assert!(
+                it.next().is_none(),
+                "rebalance message from {src} fully consumed"
+            );
         }
     }
     plan_local.energy_ranges = new_ranges;

@@ -46,10 +46,43 @@ fn gw_config(n_energies: usize, iterations: usize) -> ScbaConfig {
     }
 }
 
+/// [`gw_config`] with a bias window deep in the band: at the default ±0.1 V
+/// the toy devices carry a current of ~1e-14–1e-10 produced by a 4-orders
+/// cancellation, so "1e-10 relative to the current" compares noise against
+/// noise. The larger bias makes the current an O(1e-2) well-conditioned
+/// observable the spatial-equivalence pins can be measured against.
+fn biased_gw_config(n_energies: usize, iterations: usize) -> ScbaConfig {
+    ScbaConfig {
+        mu_left: 0.6,
+        mu_right: -0.6,
+        ..gw_config(n_energies, iterations)
+    }
+}
+
 fn assert_equivalent(label: &str, seq: &ScbaResult, dist: &DistScbaResult) {
     assert_eq!(seq.iterations, dist.iterations, "{label}: iteration counts");
+    // The terminal current is an integral with near-perfect cancellation close
+    // to equilibrium, so "relative to itself" is no scale at all; compare
+    // against the absolute (non-cancelled) spectrum integral instead, at the
+    // same 1e-10 tolerance.
+    let energies = &seq.observables.spectral.energies;
+    let de = if energies.len() > 1 {
+        energies[1] - energies[0]
+    } else {
+        1.0
+    };
+    let abs_integral = seq
+        .observables
+        .spectral
+        .current_spectrum
+        .iter()
+        .map(|x| x.abs())
+        .sum::<f64>()
+        * de
+        / (2.0 * std::f64::consts::PI);
+    let current_scale = seq.observables.current.abs().max(abs_integral).max(1e-30);
     assert!(
-        rel_err(dist.observables.current, seq.observables.current) < TOL,
+        (dist.observables.current - seq.observables.current).abs() / current_scale < TOL,
         "{label}: current {} vs {}",
         dist.observables.current,
         seq.observables.current,
@@ -186,6 +219,45 @@ fn measured_alltoall_volume_agrees_with_the_model_within_5_percent() {
     }
 }
 
+/// Assert the slice-wise system distribution delivered the promised byte
+/// saving: per phase, the `PartitionSlice` bytes must undercut the
+/// broadcast-equivalent volume by at least `0.8·P_S`-fold (i.e. the bytes
+/// drop to at most `1.25/P_S` of the broadcast path).
+fn assert_slice_saving(label: &str, report: &quatrex_dist::DistReport, p_s: usize) {
+    for (phase, sliced, broadcast, boundary) in [
+        (
+            "G",
+            report.measured_slice_bytes_g,
+            report.broadcast_equivalent_bytes_g,
+            report.measured_boundary_bytes_g,
+        ),
+        (
+            "W",
+            report.measured_slice_bytes_w,
+            report.broadcast_equivalent_bytes_w,
+            report.measured_boundary_bytes_w,
+        ),
+    ] {
+        assert!(sliced > 0, "{label}/{phase}: no slices shipped");
+        assert!(broadcast > 0, "{label}/{phase}: no broadcast equivalent");
+        assert!(
+            sliced as f64 * 0.8 * p_s as f64 <= broadcast as f64,
+            "{label}/{phase}: sliced {sliced} bytes must drop ≥ {:.1}-fold \
+             below the broadcast path's {broadcast}",
+            0.8 * p_s as f64,
+        );
+        assert!(
+            sliced <= boundary,
+            "{label}/{phase}: slices are part of this phase's boundary counter"
+        );
+    }
+    let factor = report.slice_saving_factor().expect("slices shipped");
+    assert!(
+        factor >= 0.8 * p_s as f64,
+        "{label}: combined saving factor {factor:.2} < 0.8·P_S"
+    );
+}
+
 #[test]
 fn spatial_partitions_reproduce_sequential_observables() {
     // The acceptance case of the two-level decomposition: 4 ranks arranged as
@@ -205,11 +277,80 @@ fn spatial_partitions_reproduce_sequential_observables() {
     assert_eq!(dist.report.energies_per_rank.len(), 2);
     assert!(dist.report.measured_boundary_bytes_g > 0);
     assert!(dist.report.measured_boundary_bytes_w > 0);
+    // Tentpole acceptance: the slice-wise distribution cuts the
+    // system-distribution bytes ≥ 0.8·P_S-fold vs the broadcast path.
+    assert_slice_saving("spatial/(4, 2)", &dist.report, 2);
     // The transposition volume model is unchanged: it sees the energy groups.
     assert!(
         dist.report.volume_agreement().abs() < 0.05,
         "transposition volume vs model: {:+.2}%",
         dist.report.volume_agreement() * 100.0
+    );
+}
+
+#[test]
+fn three_spatial_partitions_reproduce_sequential_observables() {
+    // The second pinned grid: 6 ranks as 2 energy groups x P_S = 3 on the
+    // 6-block ribbon, alone and composed with energy rebalancing.
+    let device = DeviceBuilder::test_device(2, 2, 6).build();
+    let config = biased_gw_config(16, 3);
+    let seq = ScbaSolver::new(device.clone(), config.clone()).run();
+    assert!(seq.iterations >= 2, "sequential reference must iterate");
+    let dist_config = DistScbaConfig::new(config.clone(), 6).with_spatial_partitions(3);
+    let dist = DistScbaSolver::new(device.clone(), dist_config).run();
+    assert_equivalent("spatial/(n_ranks, P_S)=(6, 3)", &seq, &dist);
+    assert_eq!(dist.report.energy_groups, 2);
+    assert_eq!(dist.report.spatial_partitions, 3);
+    assert_slice_saving("spatial/(6, 3)", &dist.report, 3);
+
+    let dist_config = DistScbaConfig::new(config, 6)
+        .with_spatial_partitions(3)
+        .with_energy_rebalancing(true);
+    let dist = DistScbaSolver::new(device, dist_config).run();
+    assert_equivalent("rebalance/(n_ranks, P_S)=(6, 3)", &seq, &dist);
+    assert_slice_saving("rebalance/(6, 3)", &dist.report, 3);
+}
+
+#[test]
+fn balanced_partitions_reproduce_sequential_observables() {
+    // FLOP-balanced uneven partitions compose with everything else: the
+    // layout changes, the observables must not. The 8-block device at
+    // P_S = 3 genuinely moves a block between partitions.
+    let device = DeviceBuilder::test_device(2, 2, 8).build();
+    let config = biased_gw_config(12, 3);
+    let seq = ScbaSolver::new(device.clone(), config.clone()).run();
+    let dist_config = DistScbaConfig::new(config, 3)
+        .with_spatial_partitions(3)
+        .with_balanced_partitions(true);
+    let dist = DistScbaSolver::new(device, dist_config).run();
+    assert_equivalent("balanced/(n_ranks, P_S)=(3, 3)", &seq, &dist);
+    assert!(dist.report.balanced_partitions);
+    assert!(dist.report.measured_boundary_bytes() > 0);
+}
+
+#[test]
+fn empty_energy_groups_are_handled() {
+    // Regression for the empty-group edge: more energy groups than energy
+    // points (8 ranks = 4 groups x P_S = 2 over only 3 energies) leaves the
+    // trailing group with no energies, yet its spatial ranks still join every
+    // per-iteration collective.
+    let device = DeviceBuilder::test_device(3, 2, 4).build();
+    let config = gw_config(3, 3);
+    let seq = ScbaSolver::new(device.clone(), config.clone()).run();
+    let dist_config = DistScbaConfig::new(config, 8).with_spatial_partitions(2);
+    let dist = DistScbaSolver::new(device, dist_config).run();
+    assert_equivalent("empty-group/(n_ranks, P_S)=(8, 2)", &seq, &dist);
+    assert_eq!(dist.report.energy_groups, 4);
+    let empty_groups = dist
+        .report
+        .energies_per_rank
+        .iter()
+        .filter(|&&n| n == 0)
+        .count();
+    assert!(
+        empty_groups >= 1,
+        "the configuration must actually produce an empty group: {:?}",
+        dist.report.energies_per_rank
     );
 }
 

@@ -350,6 +350,91 @@ mod tests {
         assert!(direct_called);
     }
 
+    fn component_key(e: usize, component: u8) -> ObcKey {
+        ObcKey {
+            contact: Contact::Left,
+            subsystem: Subsystem::Electron,
+            component,
+            energy_index: e,
+        }
+    }
+
+    #[test]
+    fn cache_migration_round_trips_between_memoizers() {
+        // The distributed rebalancer moves an energy's cache entries to
+        // another rank's memoizer via extract_energy → insert_cached; the
+        // entries, stats and the memoized refinement behaviour must survive
+        // the trip.
+        let (m, n) = contraction_problem();
+        let mut source = ObcMemoizer::new(10, 1e-10);
+        for e in [0usize, 1] {
+            for component in 0..2u8 {
+                source.solve(
+                    component_key(e, component),
+                    |x, out: &mut CMatrix| *out = step(&m, &n, x),
+                    || inverse(&m).unwrap(),
+                );
+            }
+        }
+        assert_eq!(source.cached_entries(), 4);
+        let stats_before = source.stats();
+
+        let moved = source.extract_energy(0);
+        assert_eq!(moved.len(), 2, "both components of energy 0 travel");
+        assert!(
+            moved.windows(2).all(|w| w[0].0 <= w[1].0),
+            "extraction order is deterministic (sorted keys)"
+        );
+        assert!(moved.iter().all(|(k, _)| k.energy_index == 0));
+        assert_eq!(source.cached_entries(), 2, "energy 1 stays behind");
+        assert!(
+            source.extract_energy(0).is_empty(),
+            "a second extraction finds nothing"
+        );
+        assert_eq!(
+            source.stats(),
+            stats_before,
+            "migration does not count as solves"
+        );
+
+        let mut destination = ObcMemoizer::new(10, 1e-10);
+        for (key, value) in moved {
+            destination.insert_cached(key, value);
+        }
+        assert_eq!(destination.cached_entries(), 2);
+        assert_eq!(destination.stats(), MemoizerStats::default());
+        assert!(destination.cached_values() > 0);
+
+        // The migrated cache answers without the direct solver and still
+        // refines to tolerance.
+        let (x, mode) = destination.solve(
+            component_key(0, 0),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            || panic!("direct must not be called on a migrated cache"),
+        );
+        assert!(matches!(mode, ObcMode::Memoized { .. }));
+        let fixed_point = step(&m, &n, &x);
+        assert!(
+            x.distance(&fixed_point) / fixed_point.norm_fro() < 1e-9,
+            "migrated solve refined to the fixed point"
+        );
+        // The source still answers for the energy it kept.
+        let (_, mode) = source.solve(
+            component_key(1, 0),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            || panic!("direct must not be called for the kept energy"),
+        );
+        assert!(matches!(mode, ObcMode::Memoized { .. }));
+    }
+
+    #[test]
+    fn extracting_a_missing_energy_is_a_no_op() {
+        let mut memo = ObcMemoizer::new(4, 1e-8);
+        assert!(memo.extract_energy(7).is_empty());
+        assert_eq!(memo.cached_entries(), 0);
+        assert_eq!(memo.stats(), MemoizerStats::default());
+    }
+
     #[test]
     fn clear_empties_the_cache() {
         let (m, n) = contraction_problem();

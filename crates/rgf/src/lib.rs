@@ -36,9 +36,11 @@ pub mod sequential;
 
 pub use dense::{dense_lesser, dense_retarded};
 pub use nested::{
-    assemble_reduced_system, eliminate_partition_solve, nested_dissection_invert,
-    nested_dissection_solve, recover_partition_solve, scatter_separator_blocks, separator_blocks,
-    spatial_partition_layout, NestedConfig, NestedReport, PartitionSolveState, PartitionUpdates,
+    assemble_reduced_system, eliminate_partition_slice, eliminate_partition_solve,
+    nested_dissection_invert, nested_dissection_solve, nested_dissection_solve_with_layout,
+    partition_layout_balanced, probe_partition_flops, recover_partition_solve,
+    scatter_separator_blocks, separator_blocks, spatial_partition_layout, BoundaryCouplings,
+    NestedConfig, NestedReport, PartitionSolveState, PartitionSystemSlice, PartitionUpdates,
     PartitionWorkload, RecoveredBlocks, SpatialPartition,
 };
 pub use sequential::{

@@ -192,6 +192,210 @@ pub fn spatial_partition_layout(
     Ok(parts)
 }
 
+/// Validate that a partition layout is a contiguous cover of `0..n_blocks`
+/// with consistent separator annotations and at least two blocks per
+/// partition (the invariants [`spatial_partition_layout`] guarantees, so
+/// externally supplied layouts — e.g. FLOP-balanced ones — are held to the
+/// same contract).
+fn validate_partition_layout(parts: &[SpatialPartition], n_blocks: usize) -> Result<(), RgfError> {
+    if parts.len() < 2 {
+        return Err(RgfError::ShapeMismatch);
+    }
+    let mut next = 0usize;
+    for (p, part) in parts.iter().enumerate() {
+        let ok = part.lo == next
+            && part.hi > part.lo
+            && part.left_boundary == (p > 0).then_some(part.lo)
+            && part.right_boundary == (p + 1 < parts.len()).then_some(part.hi);
+        if !ok {
+            return Err(RgfError::ShapeMismatch);
+        }
+        next = part.hi + 1;
+    }
+    if next != n_blocks {
+        return Err(RgfError::ShapeMismatch);
+    }
+    Ok(())
+}
+
+/// Split `n_blocks` into `n_partitions` contiguous partitions whose interiors
+/// are sized so the per-partition FLOPs of the elimination + recovery phases
+/// equalise, using measured per-partition FLOP counters as the cost model
+/// (paper Section 5.4's load balancing: boundary partitions own a single
+/// separator and therefore perform only ~60% of a middle partition's work
+/// under the uniform split — growing the end partitions restores balance).
+///
+/// `report` must come from a solve of the same `n_blocks` over the same
+/// `n_partitions` (typically the uniform [`spatial_partition_layout`], e.g.
+/// via [`nested_dissection_solve`] or [`probe_partition_flops`]): the FLOPs
+/// of each partition are divided by its interior length to obtain
+/// per-interior-block rates for end (one separator) and middle (two
+/// separators) partitions — both elimination and recovery cost are linear in
+/// the interior length for a fixed separator count — and the interior sizes
+/// are re-chosen so the predicted per-partition FLOPs equalise.
+///
+/// With `n_partitions == 2` (no middle partition) or a degenerate report the
+/// uniform layout is returned unchanged.
+pub fn partition_layout_balanced(
+    n_blocks: usize,
+    n_partitions: usize,
+    report: &NestedReport,
+) -> Result<Vec<SpatialPartition>, RgfError> {
+    let uniform = spatial_partition_layout(n_blocks, n_partitions)?;
+    if n_partitions == 2 || report.partitions.len() != n_partitions {
+        return Ok(uniform);
+    }
+    // Per-interior-block FLOP rates of end and middle partitions. The
+    // workload's `blocks` count includes the separators the partition owns
+    // (one for ends, two for middles).
+    let rate_of = |wl: &PartitionWorkload, n_sep: usize| {
+        let n_int = wl.blocks.saturating_sub(n_sep);
+        (n_int > 0).then(|| wl.flops as f64 / n_int as f64)
+    };
+    let last = n_partitions - 1;
+    let ends: Vec<f64> = [0, last]
+        .iter()
+        .filter_map(|&p| rate_of(&report.partitions[p], 1))
+        .collect();
+    let mids: Vec<f64> = (1..last)
+        .filter_map(|p| rate_of(&report.partitions[p], 2))
+        .collect();
+    if ends.is_empty() || mids.is_empty() {
+        return Ok(uniform);
+    }
+    let k_end = ends.iter().sum::<f64>() / ends.len() as f64;
+    let k_mid = mids.iter().sum::<f64>() / mids.len() as f64;
+    if !(k_end > 0.0 && k_mid > 0.0 && k_mid.is_finite() && k_end.is_finite()) {
+        return Ok(uniform);
+    }
+    // Equalise n_end·k_end = n_mid·k_mid subject to
+    // 2·n_end + (P−2)·n_mid = interior_total.
+    let interior_total = n_blocks - 2 * (n_partitions - 1);
+    let r = k_mid / k_end;
+    let n_mid_real = interior_total as f64 / (2.0 * r + (n_partitions - 2) as f64);
+    let n_end_real = r * n_mid_real;
+    // Largest-remainder rounding over [end, mid × (P−2), end].
+    let targets: Vec<f64> = std::iter::once(n_end_real)
+        .chain(std::iter::repeat_n(n_mid_real, n_partitions - 2))
+        .chain(std::iter::once(n_end_real))
+        .collect();
+    let mut interiors: Vec<usize> = targets.iter().map(|t| t.floor() as usize).collect();
+    let mut leftover = interior_total - interiors.iter().sum::<usize>();
+    let mut order: Vec<usize> = (0..n_partitions).collect();
+    order.sort_by(|&i, &j| {
+        let fi = targets[i] - targets[i].floor();
+        let fj = targets[j] - targets[j].floor();
+        fj.partial_cmp(&fi).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for &p in order.iter().cycle().take(n_partitions * 8) {
+        if leftover == 0 {
+            break;
+        }
+        interiors[p] += 1;
+        leftover -= 1;
+    }
+    // End partitions must keep at least one interior block (they hold only
+    // one separator, so a one-block end partition would violate the two-block
+    // floor); steal from the largest partition when rounding emptied one.
+    for p in [0, last] {
+        if interiors[p] == 0 {
+            let donor = (0..n_partitions)
+                .max_by_key(|&q| interiors[q])
+                .expect("non-empty layout");
+            if interiors[donor] == 0 {
+                return Ok(uniform);
+            }
+            interiors[donor] -= 1;
+            interiors[p] += 1;
+        }
+    }
+    // Materialise the contiguous layout: blocks = interior + owned separators.
+    let mut parts = Vec::with_capacity(n_partitions);
+    let mut lo = 0usize;
+    for (p, &n_int) in interiors.iter().enumerate() {
+        let n_sep = usize::from(p > 0) + usize::from(p < last);
+        let hi = lo + n_int + n_sep - 1;
+        parts.push(SpatialPartition {
+            lo,
+            hi,
+            left_boundary: (p > 0).then_some(lo),
+            right_boundary: (p < last).then_some(hi),
+        });
+        lo = hi + 1;
+    }
+    validate_partition_layout(&parts, n_blocks)?;
+    Ok(parts)
+}
+
+/// Per-partition FLOP report of the uniform layout, measured on a synthetic
+/// well-conditioned system of the given shape. The elimination/recovery FLOP
+/// counters depend only on the problem *shape* (block count, block size,
+/// separator structure, number of right-hand sides), never on the matrix
+/// values, so a distributed driver can compute the same FLOP-balanced layout
+/// on every rank deterministically before the first real system is assembled.
+pub fn probe_partition_flops(
+    n_blocks: usize,
+    block_size: usize,
+    n_partitions: usize,
+    n_rhs: usize,
+) -> Result<NestedReport, RgfError> {
+    let (a, rhs) = synthetic_probe_system(n_blocks, block_size, n_rhs);
+    let rhs_refs: Vec<&BlockTridiagonal> = rhs.iter().collect();
+    let (_, report) = nested_dissection_solve(&a, &rhs_refs, &NestedConfig::new(n_partitions))?;
+    Ok(report)
+}
+
+/// A deterministic diagonally-dominant system + anti-Hermitian-structured
+/// right-hand sides of the given shape, for the FLOP probe.
+fn synthetic_probe_system(
+    nb: usize,
+    bs: usize,
+    n_rhs: usize,
+) -> (BlockTridiagonal, Vec<BlockTridiagonal>) {
+    let mut a = BlockTridiagonal::zeros(nb, bs);
+    for i in 0..nb {
+        let d = CMatrix::from_fn(bs, bs, |r, c| {
+            if r == c {
+                c64::new(2.5 + 0.05 * i as f64, 0.4)
+            } else {
+                c64::new(-0.2, 0.03 * (r as f64 - c as f64))
+            }
+        });
+        a.set_block(i, i, d);
+    }
+    for i in 0..nb.saturating_sub(1) {
+        let u = CMatrix::from_fn(bs, bs, |r, c| {
+            c64::new(-0.4 + 0.02 * r as f64, 0.03 * c as f64)
+        });
+        let l = CMatrix::from_fn(bs, bs, |r, c| {
+            c64::new(-0.35 - 0.01 * c as f64, -0.02 * r as f64)
+        });
+        a.set_block(i, i + 1, u);
+        a.set_block(i + 1, i, l);
+    }
+    let rhs = (0..n_rhs)
+        .map(|r| {
+            let seed = 1.0 + 0.7 * r as f64;
+            let mut b = BlockTridiagonal::zeros(nb, bs);
+            for i in 0..nb {
+                let raw = CMatrix::from_fn(bs, bs, |rr, cc| {
+                    c64::new(seed * (0.1 * (rr + i) as f64 - 0.2 * cc as f64), 0.3)
+                });
+                b.set_block(i, i, raw.negf_antihermitian_part());
+            }
+            for i in 0..nb.saturating_sub(1) {
+                let bu = CMatrix::from_fn(bs, bs, |rr, cc| {
+                    c64::new(0.04 * (rr + cc) as f64 * seed, 0.1)
+                });
+                b.set_block(i, i + 1, bu.clone());
+                b.set_block(i + 1, i, bu.dagger().scaled(c64::new(-1.0, 0.0)));
+            }
+            b
+        })
+        .collect();
+    (a, rhs)
+}
+
 /// The separator blocks of a partition layout, in ascending block order —
 /// the block pattern of the reduced boundary system.
 pub fn separator_blocks(parts: &[SpatialPartition]) -> Vec<usize> {
@@ -315,6 +519,113 @@ impl BoundarySpec {
     }
 }
 
+/// The separator-coupling blocks of one side of a partition, extracted from
+/// the global system: together with the interior blocks these are **all** the
+/// matrix entries the elimination phase reads.
+#[derive(Debug, Clone)]
+pub struct BoundaryCouplings {
+    /// Global block index of the separator.
+    pub sep: usize,
+    /// True when the separator sits left of the interior.
+    pub left: bool,
+    /// `A_{sep, edge}` — the separator→interior coupling of the system matrix.
+    pub a_sep_to_int: CMatrix,
+    /// `A_{edge, sep}` — the interior→separator coupling of the system matrix.
+    pub a_int_to_sep: CMatrix,
+    /// `B_{sep, edge}` per right-hand side.
+    pub rhs_sep_to_int: Vec<CMatrix>,
+    /// `B_{edge, sep}` per right-hand side.
+    pub rhs_int_to_sep: Vec<CMatrix>,
+}
+
+/// Everything one partition reads from the global per-energy system: its
+/// interior blocks of `A` and of every right-hand side, plus the separator
+/// coupling blocks towards its boundaries.
+///
+/// This is the payload of the *slice-wise* system distribution: instead of
+/// broadcasting the full `3·(3·N_B − 2)`-block system to every spatial rank,
+/// a distributed driver ships each rank only its slice (`quatrex-dist` wraps
+/// it in a `PartitionSlice` wire message), cutting the per-phase
+/// boundary-system bytes by `~1/P_S`. [`eliminate_partition_slice`] consumes
+/// it directly; [`eliminate_partition_solve`] extracts it from the full
+/// system first and is bit-identical.
+#[derive(Debug, Clone)]
+pub struct PartitionSystemSlice {
+    /// Interior blocks of the system matrix (`n_int` blocks; may be empty for
+    /// a pure-separator partition).
+    pub a_int: BlockTridiagonal,
+    /// Interior blocks of every right-hand side.
+    pub rhs_int: Vec<BlockTridiagonal>,
+    /// Separator couplings, left side first. Empty when the interior is empty
+    /// (a pure-separator partition reads no matrix entries at all).
+    pub boundaries: Vec<BoundaryCouplings>,
+}
+
+impl PartitionSystemSlice {
+    /// Extract the slice of `part` from the full system.
+    pub fn extract(
+        a: &BlockTridiagonal,
+        rhs: &[&BlockTridiagonal],
+        part: &SpatialPartition,
+    ) -> Self {
+        let interior_range = part.interior();
+        let n_int = interior_range.len();
+        let a_int = interior_matrix(a, interior_range.clone());
+        let rhs_int: Vec<BlockTridiagonal> = rhs
+            .iter()
+            .map(|b| interior_matrix(b, interior_range.clone()))
+            .collect();
+        let mut boundaries = Vec::new();
+        if n_int > 0 {
+            let mut push = |sep: usize, edge: usize, left: bool| {
+                let spec = BoundarySpec { sep, edge, left };
+                boundaries.push(BoundaryCouplings {
+                    sep,
+                    left,
+                    a_sep_to_int: spec.sep_to_int(a).clone(),
+                    a_int_to_sep: spec.int_to_sep(a).clone(),
+                    rhs_sep_to_int: rhs.iter().map(|b| spec.sep_to_int(b).clone()).collect(),
+                    rhs_int_to_sep: rhs.iter().map(|b| spec.int_to_sep(b).clone()).collect(),
+                });
+            };
+            if let Some(lo) = part.left_boundary {
+                push(lo, 0, true);
+            }
+            if let Some(hi) = part.right_boundary {
+                push(hi, n_int - 1, false);
+            }
+        }
+        Self {
+            a_int,
+            rhs_int,
+            boundaries,
+        }
+    }
+
+    /// Number of right-hand sides the slice carries.
+    pub fn n_rhs(&self) -> usize {
+        self.rhs_int.len()
+    }
+
+    /// Stored complex values of the slice — the wire payload size (headers
+    /// excluded).
+    pub fn stored_values(&self) -> usize {
+        let bt = |m: &BlockTridiagonal| {
+            let bs = m.block_size();
+            (m.n_blocks() + 2 * m.n_blocks().saturating_sub(1)) * bs * bs
+        };
+        let mut values = bt(&self.a_int);
+        for b in &self.rhs_int {
+            values += bt(b);
+        }
+        for c in &self.boundaries {
+            let bs = c.a_sep_to_int.nrows();
+            values += (2 + c.rhs_sep_to_int.len() + c.rhs_int_to_sep.len()) * bs * bs;
+        }
+        values
+    }
+}
+
 /// Fill-in factors of one separator of a partition, for the elimination and
 /// recovery phases.
 struct BoundaryFactors {
@@ -363,17 +674,33 @@ pub struct PartitionSolveState {
 /// Eliminate the interior of one partition: solve the isolated interior
 /// problem, compute the fill-in factors towards both separators and produce
 /// the Schur-complement / reduced-RHS updates.
+///
+/// Equivalent to [`PartitionSystemSlice::extract`] followed by
+/// [`eliminate_partition_slice`] — use the split form when the slice arrives
+/// over the wire instead of being cut from a locally held full system.
 pub fn eliminate_partition_solve(
     a: &BlockTridiagonal,
     rhs: &[&BlockTridiagonal],
     part: &SpatialPartition,
     index: usize,
 ) -> Result<PartitionSolveState, RgfError> {
-    let bs = a.block_size();
-    let gemm_c = gemm_flops(bs, bs, bs);
+    eliminate_partition_slice(&PartitionSystemSlice::extract(a, rhs, part), part, index)
+}
+
+/// Eliminate the interior of one partition from its system *slice* alone —
+/// the interior blocks plus the separator couplings, with no access to the
+/// rest of the global system. Bit-identical (values and FLOP counters) to
+/// [`eliminate_partition_solve`] on the full system.
+pub fn eliminate_partition_slice(
+    slice: &PartitionSystemSlice,
+    part: &SpatialPartition,
+    index: usize,
+) -> Result<PartitionSolveState, RgfError> {
     let interior_range = part.interior();
     let n_int = interior_range.len();
+    let n_rhs = slice.n_rhs();
     let blocks = part.hi - part.lo + 1;
+    debug_assert_eq!(slice.a_int.n_blocks(), n_int, "slice/partition mismatch");
     let mut flops = 0u64;
     let mut fill_in_blocks = 0usize;
 
@@ -383,7 +710,7 @@ pub fn eliminate_partition_solve(
         return Ok(PartitionSolveState {
             updates: PartitionUpdates {
                 schur: Vec::new(),
-                rhs: vec![Vec::new(); rhs.len()],
+                rhs: vec![Vec::new(); n_rhs],
             },
             workload: PartitionWorkload {
                 partition: index,
@@ -395,15 +722,14 @@ pub fn eliminate_partition_solve(
         });
     }
 
-    let a_int = interior_matrix(a, interior_range.clone());
-    let rhs_int: Vec<BlockTridiagonal> = rhs
-        .iter()
-        .map(|b| interior_matrix(b, interior_range.clone()))
-        .collect();
+    let bs = slice.a_int.block_size();
+    let gemm_c = gemm_flops(bs, bs, bs);
+    let a_int = &slice.a_int;
+    let rhs_int = &slice.rhs_int;
     let rhs_int_refs: Vec<&BlockTridiagonal> = rhs_int.iter().collect();
 
     // Selected solve of the isolated interior (the `D·B·D†` term).
-    let interior = rgf_solve(&a_int, &rhs_int_refs)?;
+    let interior = rgf_solve(a_int, &rhs_int_refs)?;
     flops += interior.flops;
 
     let mut specs: Vec<BoundarySpec> = Vec::new();
@@ -421,32 +747,37 @@ pub fn eliminate_partition_solve(
             left: false,
         });
     }
+    debug_assert_eq!(specs.len(), slice.boundaries.len(), "slice boundaries");
+    debug_assert!(specs
+        .iter()
+        .zip(&slice.boundaries)
+        .all(|(sp, c)| sp.sep == c.sep && sp.left == c.left));
 
     // Fill-in factors per separator: interior inverse columns/rows towards the
     // adjacent edge, contracted with the separator couplings, plus (per RHS)
     // the quadratic factors q and s.
     let mut cols_per_boundary: Vec<Vec<CMatrix>> = Vec::with_capacity(specs.len());
     let mut boundaries: Vec<BoundaryFactors> = Vec::with_capacity(specs.len());
-    for spec in &specs {
-        let (cols, f1) = block_column_solve(&a_int, spec.edge)?;
-        let (rows, f2) = block_row_solve(&a_int, spec.edge)?;
+    for (spec, cpl) in specs.iter().zip(&slice.boundaries) {
+        let (cols, f1) = block_column_solve(a_int, spec.edge)?;
+        let (rows, f2) = block_row_solve(a_int, spec.edge)?;
         flops += f1 + f2;
         fill_in_blocks += 2 * n_int;
-        let left_f: Vec<CMatrix> = cols.iter().map(|c| matmul(c, spec.int_to_sep(a))).collect();
-        let right_f: Vec<CMatrix> = rows.iter().map(|r| matmul(spec.sep_to_int(a), r)).collect();
+        let left_f: Vec<CMatrix> = cols.iter().map(|c| matmul(c, &cpl.a_int_to_sep)).collect();
+        let right_f: Vec<CMatrix> = rows.iter().map(|r| matmul(&cpl.a_sep_to_int, r)).collect();
         flops += 2 * n_int as u64 * gemm_c;
 
-        let mut q: Vec<Vec<CMatrix>> = Vec::with_capacity(rhs.len());
-        let mut s: Vec<Vec<CMatrix>> = Vec::with_capacity(rhs.len());
-        for (r, b) in rhs.iter().enumerate() {
+        let mut q: Vec<Vec<CMatrix>> = Vec::with_capacity(n_rhs);
+        let mut s: Vec<Vec<CMatrix>> = Vec::with_capacity(n_rhs);
+        for r in 0..n_rhs {
             let bint = &rhs_int[r];
             // Column c[j] = (B·Vᵗ†)_{j,b} = B_{j,sep}·δ_{j,edge} − Σ_{j'} B_{j,j'}·R[j']†.
             let mut c = vec![CMatrix::zeros(bs, bs); n_int];
-            c[spec.edge] += spec.int_to_sep(b);
+            c[spec.edge] += &cpl.rhs_int_to_sep[r];
             // Row r[j] = (Vᵗ·B)_{b,j} = B_{sep,j}·δ_{j,edge} − Σ_{j'} R[j']·B_{j',j};
             // assembled daggered so it can run through the column solver.
             let mut row_dag = vec![CMatrix::zeros(bs, bs); n_int];
-            row_dag[spec.edge].axpy_dagger(ONE, spec.sep_to_int(b));
+            row_dag[spec.edge].axpy_dagger(ONE, &cpl.rhs_sep_to_int[r]);
             for j in 0..n_int {
                 for j2 in j.saturating_sub(1)..=(j + 1).min(n_int - 1) {
                     if let Some(bjj2) = bint.block(j, j2) {
@@ -472,8 +803,8 @@ pub fn eliminate_partition_solve(
                     }
                 }
             }
-            let (q_col, fq) = block_column_solve_general(&a_int, &c)?;
-            let (s_dag, fs) = block_column_solve_general(&a_int, &row_dag)?;
+            let (q_col, fq) = block_column_solve_general(a_int, &c)?;
+            let (s_dag, fs) = block_column_solve_general(a_int, &row_dag)?;
             flops += fq + fs;
             fill_in_blocks += 2 * n_int;
             q.push(q_col);
@@ -495,29 +826,28 @@ pub fn eliminate_partition_solve(
     //   B̃_{b1,b2} += −R1[e2]·B_{e2,b2} − B_{b1,e1}·R2[e1]†
     //              + Σ_{j,j'} R1[j]·B_{j,j'}·R2[j']†.
     let mut schur = Vec::new();
-    let mut rhs_updates: Vec<Vec<(usize, usize, CMatrix)>> = vec![Vec::new(); rhs.len()];
-    for b1 in boundaries.iter() {
+    let mut rhs_updates: Vec<Vec<(usize, usize, CMatrix)>> = vec![Vec::new(); n_rhs];
+    for (i1, b1) in boundaries.iter().enumerate() {
+        let c1 = &slice.boundaries[i1];
         for (i2, b2) in boundaries.iter().enumerate() {
+            let c2 = &slice.boundaries[i2];
             let e1 = b1.spec.edge;
             let e2 = b2.spec.edge;
             // [A_I⁻¹]_{e1,e2} is entry e1 of the block column towards e2.
             let inv_e1_e2 = &cols_per_boundary[i2][e1];
-            let upd = matmul(
-                &matmul(b1.spec.sep_to_int(a), inv_e1_e2),
-                b2.spec.int_to_sep(a),
-            )
-            .scaled(c64::new(-1.0, 0.0));
+            let upd = matmul(&matmul(&c1.a_sep_to_int, inv_e1_e2), &c2.a_int_to_sep)
+                .scaled(c64::new(-1.0, 0.0));
             schur.push((b1.spec.sep, b2.spec.sep, upd));
             flops += 2 * gemm_c;
 
-            for (r, b) in rhs.iter().enumerate() {
+            for r in 0..n_rhs {
                 let bint = &rhs_int[r];
                 let mut upd =
-                    matmul(&b1.right_f[e2], b2.spec.int_to_sep(b)).scaled(c64::new(-1.0, 0.0));
+                    matmul(&b1.right_f[e2], &c2.rhs_int_to_sep[r]).scaled(c64::new(-1.0, 0.0));
                 gemm(
                     &mut upd,
                     -ONE,
-                    Op::None(b1.spec.sep_to_int(b)),
+                    Op::None(&c1.rhs_sep_to_int[r]),
                     Op::Dagger(&b2.right_f[e1]),
                     ONE,
                 );
@@ -917,6 +1247,26 @@ pub fn nested_dissection_solve(
     }
 
     let parts = spatial_partition_layout(nb, config.n_partitions)?;
+    nested_dissection_solve_with_layout(a, rhs, &parts)
+}
+
+/// [`nested_dissection_solve`] with an explicit partition layout (`P_S ≥ 2`),
+/// e.g. the FLOP-balanced one produced by [`partition_layout_balanced`]. The
+/// layout must satisfy the [`spatial_partition_layout`] invariants
+/// (contiguous cover, consistent separators, ≥ 2 blocks per partition).
+pub fn nested_dissection_solve_with_layout(
+    a: &BlockTridiagonal,
+    rhs: &[&BlockTridiagonal],
+    parts: &[SpatialPartition],
+) -> Result<(SelectedSolution, NestedReport), RgfError> {
+    let nb = a.n_blocks();
+    let bs = a.block_size();
+    for b in rhs {
+        if b.n_blocks() != nb || b.block_size() != bs {
+            return Err(RgfError::ShapeMismatch);
+        }
+    }
+    validate_partition_layout(parts, nb)?;
 
     // ---------------------------------------------------------------- phase 1
     // Parallel elimination of the partition interiors.
@@ -928,7 +1278,7 @@ pub fn nested_dissection_solve(
 
     // ---------------------------------------------------------------- phase 2
     // Assemble and solve the reduced system over the separators.
-    let separators = separator_blocks(&parts);
+    let separators = separator_blocks(parts);
     let updates: Vec<&PartitionUpdates> = states.iter().map(|s| &s.updates).collect();
     let (reduced_a, reduced_rhs, communicated_blocks) =
         assemble_reduced_system(a, rhs, &separators, &updates);
@@ -1265,6 +1615,170 @@ mod tests {
             let scaled = sol.lesser[0].diag(i).scaled(cplx(-0.5, 0.0));
             assert!(sol.lesser[1].diag(i).approx_eq(&scaled, 1e-10));
         }
+    }
+
+    /// Relative spread of the per-partition FLOPs: `(max − min) / max`.
+    fn flop_spread(report: &NestedReport) -> f64 {
+        let max = report.partitions.iter().map(|p| p.flops).max().unwrap() as f64;
+        let min = report.partitions.iter().map(|p| p.flops).min().unwrap() as f64;
+        (max - min) / max
+    }
+
+    #[test]
+    fn slice_extraction_feeds_an_identical_elimination() {
+        let (nb, bs) = (12, 2);
+        let a = test_system(nb, bs);
+        let b1 = test_rhs(nb, bs, 1.0);
+        let b2 = test_rhs(nb, bs, -0.4);
+        let full_values = 3 * (3 * nb - 2) * bs * bs;
+        let parts = spatial_partition_layout(nb, 3).unwrap();
+        for (idx, part) in parts.iter().enumerate() {
+            let slice = PartitionSystemSlice::extract(&a, &[&b1, &b2], part);
+            assert_eq!(slice.n_rhs(), 2);
+            // The slice is a strict subset of the full system payload.
+            assert!(
+                slice.stored_values() < full_values / 2,
+                "slice {} vs full {full_values}",
+                slice.stored_values()
+            );
+            let sliced = eliminate_partition_slice(&slice, part, idx).unwrap();
+            let full = eliminate_partition_solve(&a, &[&b1, &b2], part, idx).unwrap();
+            assert_eq!(full.workload, sliced.workload);
+            assert_eq!(full.updates.schur.len(), sliced.updates.schur.len());
+            for (x, y) in full.updates.schur.iter().zip(&sliced.updates.schur) {
+                assert_eq!((x.0, x.1), (y.0, y.1));
+                assert!(x.2.approx_eq(&y.2, 0.0), "schur updates bit-identical");
+            }
+            for (xl, yl) in full.updates.rhs.iter().zip(&sliced.updates.rhs) {
+                for (x, y) in xl.iter().zip(yl) {
+                    assert_eq!((x.0, x.1), (y.0, y.1));
+                    assert!(x.2.approx_eq(&y.2, 0.0), "rhs updates bit-identical");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_interior_slices_carry_no_matrix_data() {
+        let (nb, bs) = (6, 2);
+        let a = test_system(nb, bs);
+        let b = test_rhs(nb, bs, 1.3);
+        let parts = spatial_partition_layout(nb, 3).unwrap();
+        assert_eq!(parts[1].interior().len(), 0);
+        let slice = PartitionSystemSlice::extract(&a, &[&b], &parts[1]);
+        assert_eq!(slice.stored_values(), 0);
+        assert!(slice.boundaries.is_empty());
+        let state = eliminate_partition_slice(&slice, &parts[1], 1).unwrap();
+        assert_eq!(state.workload.flops, 0);
+        assert_eq!(state.updates.rhs.len(), 1);
+    }
+
+    #[test]
+    fn balanced_layout_equalises_partition_flops() {
+        // Acceptance case: at P_S = 4 on a cell whose block count does not
+        // divide evenly, the uniform layout leaves the partitions ≥ 40%
+        // apart; the FLOP-balanced layout closes the gap to within 15% while
+        // reproducing the sequential solution.
+        let (nb, bs) = (22, 2);
+        let a = test_system(nb, bs);
+        let b1 = test_rhs(nb, bs, 1.0);
+        let b2 = test_rhs(nb, bs, -0.7);
+        let seq = rgf_solve(&a, &[&b1, &b2]).unwrap();
+        let (_, uniform) = nested_dissection_solve(&a, &[&b1, &b2], &NestedConfig::new(4)).unwrap();
+        let uniform_spread = flop_spread(&uniform);
+        assert!(uniform_spread >= 0.40, "uniform spread {uniform_spread}");
+
+        let parts = partition_layout_balanced(nb, 4, &uniform).unwrap();
+        assert_ne!(parts, spatial_partition_layout(nb, 4).unwrap());
+        let (sol, balanced) = nested_dissection_solve_with_layout(&a, &[&b1, &b2], &parts).unwrap();
+        assert!(max_rel_err(&sol.retarded, &seq.retarded) < 1e-12);
+        for r in 0..2 {
+            assert!(max_rel_err(&sol.lesser[r], &seq.lesser[r]) < 1e-12);
+        }
+        let balanced_spread = flop_spread(&balanced);
+        assert!(
+            balanced_spread <= 0.15,
+            "balanced spread {balanced_spread} (uniform was {uniform_spread})"
+        );
+    }
+
+    #[test]
+    fn balanced_layout_degenerates_to_uniform_at_two_partitions() {
+        let report = probe_partition_flops(10, 2, 2, 2).unwrap();
+        let parts = partition_layout_balanced(10, 2, &report).unwrap();
+        assert_eq!(parts, spatial_partition_layout(10, 2).unwrap());
+    }
+
+    #[test]
+    fn probe_flops_depend_only_on_the_problem_shape() {
+        // The probe runs on a synthetic system, yet its per-partition FLOP
+        // counters match a real solve of the same shape exactly — the
+        // counters are structural.
+        let (nb, bs) = (16, 2);
+        let probe = probe_partition_flops(nb, bs, 4, 2).unwrap();
+        let a = test_system(nb, bs);
+        let b1 = test_rhs(nb, bs, 0.9);
+        let b2 = test_rhs(nb, bs, -1.1);
+        let (_, real) = nested_dissection_solve(&a, &[&b1, &b2], &NestedConfig::new(4)).unwrap();
+        for (p, q) in probe.partitions.iter().zip(&real.partitions) {
+            assert_eq!(p.flops, q.flops);
+            assert_eq!(p.blocks, q.blocks);
+        }
+        assert_eq!(probe.reduced_system_flops, real.reduced_system_flops);
+    }
+
+    #[test]
+    fn with_layout_rejects_inconsistent_layouts() {
+        let a = test_system(8, 2);
+        let b = test_rhs(8, 2, 1.0);
+        // Gap between partitions.
+        let bad = vec![
+            SpatialPartition {
+                lo: 0,
+                hi: 3,
+                left_boundary: None,
+                right_boundary: Some(3),
+            },
+            SpatialPartition {
+                lo: 5,
+                hi: 7,
+                left_boundary: Some(5),
+                right_boundary: None,
+            },
+        ];
+        assert!(nested_dissection_solve_with_layout(&a, &[&b], &bad).is_err());
+        // One-block partition.
+        let bad = vec![
+            SpatialPartition {
+                lo: 0,
+                hi: 0,
+                left_boundary: None,
+                right_boundary: Some(0),
+            },
+            SpatialPartition {
+                lo: 1,
+                hi: 7,
+                left_boundary: Some(1),
+                right_boundary: None,
+            },
+        ];
+        assert!(nested_dissection_solve_with_layout(&a, &[&b], &bad).is_err());
+        // Missing separator annotation.
+        let bad = vec![
+            SpatialPartition {
+                lo: 0,
+                hi: 3,
+                left_boundary: None,
+                right_boundary: None,
+            },
+            SpatialPartition {
+                lo: 4,
+                hi: 7,
+                left_boundary: Some(4),
+                right_boundary: None,
+            },
+        ];
+        assert!(nested_dissection_solve_with_layout(&a, &[&b], &bad).is_err());
     }
 
     #[test]

@@ -3,18 +3,28 @@
 //! and print the measured vs. modelled all-to-all transposition volumes —
 //! the quantities behind the paper's Fig. 3 dataflow and Fig. 6 weak-scaling
 //! study. The measured per-rank volume is then fed into the weak-scaling
-//! model in place of the analytic estimate.
+//! model in place of the analytic estimate, and a second run at `P_S = 2`
+//! exercises the slice-wise spatial distribution and writes its
+//! `DistReport` byte counters to `DIST_report.json` (uploaded per PR by the
+//! CI bench-smoke job, next to `BENCH_kernels.json`, so byte regressions are
+//! visible).
 //!
 //! Run with: `cargo run --release --example distributed_scba`
+//! (`QUATREX_BENCH_QUICK=1` shrinks the grids for the CI smoke job — same
+//! output shape, fewer energies/iterations).
 
 use quatrex::prelude::*;
 use quatrex_runtime::CommBackend;
 
 fn main() {
+    let quick = std::env::var("QUATREX_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let (ne, iters) = if quick { (8, 2) } else { (16, 4) };
     let device = DeviceBuilder::test_device(3, 2, 4).build();
     let config = ScbaConfig {
-        n_energies: 16,
-        max_iterations: 4,
+        n_energies: ne,
+        max_iterations: iters,
         mixing: 0.4,
         tolerance: 1e-12,
         interaction_scale: 0.2,
@@ -29,6 +39,7 @@ fn main() {
     // of the canonical element list, and four Alltoallv transpositions per
     // iteration move the data between the two layouts.
     let n_ranks = 4;
+    let spatial_config = config.clone();
     let dist_config = DistScbaConfig::new(config, n_ranks);
     let solver = DistScbaSolver::new(device, dist_config);
     let plan = solver.plan();
@@ -102,6 +113,60 @@ fn main() {
         report.measured_max_bytes_per_rank, report.n_collectives,
     );
 
+    // --- Second decomposition level: P_S = 2 slice-wise distribution -------
+    // The same problem on a 2 energy groups x P_S = 2 grid: each energy's
+    // G/W systems are solved cooperatively, and the group leader ships every
+    // spatial rank only its PartitionSlice (interior blocks + separator
+    // couplings) instead of broadcasting the full system. The byte counters
+    // land in DIST_report.json so the per-PR CI artifact tracks them.
+    let spatial = DistScbaSolver::new(
+        DeviceBuilder::test_device(3, 2, 4).build(),
+        DistScbaConfig::new(spatial_config, 4).with_spatial_partitions(2),
+    )
+    .run();
+    let sr = &spatial.report;
+    println!(
+        "\nspatial P_S = {} slice-wise distribution ({} energy groups):",
+        sr.spatial_partitions, sr.energy_groups
+    );
+    println!(
+        "  boundary-system bytes : G {} + W {}",
+        sr.measured_boundary_bytes_g, sr.measured_boundary_bytes_w
+    );
+    println!(
+        "  slice distribution    : {} bytes (broadcast path would ship {})",
+        sr.measured_slice_bytes_g + sr.measured_slice_bytes_w,
+        sr.broadcast_equivalent_bytes_g + sr.broadcast_equivalent_bytes_w,
+    );
+    if let Some(factor) = sr.slice_saving_factor() {
+        println!("  slice saving          : {factor:.2}x (ideal ~P_S)");
+    }
+    let json = format!(
+        "{{\n  \"n_ranks\": {},\n  \"energy_groups\": {},\n  \"spatial_partitions\": {},\n  \
+         \"balanced_partitions\": {},\n  \"full_iterations\": {},\n  \
+         \"measured_transposition_bytes\": {},\n  \"measured_alltoall_bytes\": {},\n  \
+         \"measured_boundary_bytes_g\": {},\n  \"measured_boundary_bytes_w\": {},\n  \
+         \"measured_slice_bytes_g\": {},\n  \"measured_slice_bytes_w\": {},\n  \
+         \"broadcast_equivalent_bytes_g\": {},\n  \"broadcast_equivalent_bytes_w\": {},\n  \
+         \"slice_saving_factor\": {:.4}\n}}\n",
+        sr.n_ranks,
+        sr.energy_groups,
+        sr.spatial_partitions,
+        sr.balanced_partitions,
+        sr.full_iterations,
+        sr.measured_transposition_bytes,
+        sr.measured_alltoall_bytes,
+        sr.measured_boundary_bytes_g,
+        sr.measured_boundary_bytes_w,
+        sr.measured_slice_bytes_g,
+        sr.measured_slice_bytes_w,
+        sr.broadcast_equivalent_bytes_g,
+        sr.broadcast_equivalent_bytes_w,
+        sr.slice_saving_factor().unwrap_or(0.0),
+    );
+    std::fs::write("DIST_report.json", json).expect("write DIST_report.json");
+    println!("  wrote DIST_report.json");
+
     // Feed *measured* volumes into the Fig. 6 weak-scaling model in place of
     // the analytic estimate: sweep the rank count of the toy run (8 ranks per
     // Frontier node), collect each run's per-rank, per-iteration transposition
@@ -111,7 +176,7 @@ fn main() {
     let params = DeviceCatalog::nr16();
     let system = SystemModel::frontier();
     let sweep_device = DeviceBuilder::test_device(3, 2, 4).build();
-    let nodes = [1usize, 2, 4];
+    let nodes: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4] };
     let measured: Vec<u64> = nodes
         .iter()
         .map(|&n| {

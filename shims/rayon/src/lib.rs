@@ -13,7 +13,8 @@
 //! item order in `collect`, closures must be `Sync`, and `collect` supports
 //! both `Vec<T>` and `Result<Vec<T>, E>` targets (via `FromIterator`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of worker threads used for parallel stages.
@@ -24,6 +25,14 @@ fn worker_count(len: usize) -> usize {
     hw.min(len).max(1)
 }
 
+/// Lock a mutex regardless of poisoning: every work/out slot is claimed by
+/// exactly one worker, so a poisoned lock carries no torn state — and a
+/// panicking sibling worker must never escalate into a second panic (which
+/// would abort the process).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Run `f` on every element of `items`, in parallel, preserving order.
 ///
 /// Work is claimed in *chunks*: the items are pre-split into contiguous
@@ -32,6 +41,12 @@ fn worker_count(len: usize) -> usize {
 /// overhead no longer dominates maps over many small work items (e.g. the
 /// per-element convolution batches). Chunks are sized to hand every worker
 /// several batches, preserving load balancing for uneven item costs.
+///
+/// Panic semantics match rayon: a panic inside `f` is caught on the worker,
+/// the remaining workers drain without starting new chunks, and the **first**
+/// panic payload is re-raised on the calling thread with
+/// [`std::panic::resume_unwind`] once the scope has joined — one clean
+/// panic, never a poisoned-mutex double panic that aborts the process.
 fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let n = items.len();
     if n == 0 {
@@ -51,23 +66,42 @@ fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> V
         .collect();
     let out: Vec<Mutex<Vec<R>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if panicked.load(Ordering::Relaxed) {
+                    break;
+                }
                 let c = next.fetch_add(1, Ordering::Relaxed);
                 if c >= n_chunks {
                     break;
                 }
-                let batch = std::mem::take(&mut *work[c].lock().unwrap());
+                let batch = std::mem::take(&mut *lock_unpoisoned(&work[c]));
                 debug_assert!(!batch.is_empty(), "chunk claimed twice");
-                let results: Vec<R> = batch.into_iter().map(&f).collect();
-                *out[c].lock().unwrap() = results;
+                match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    batch.into_iter().map(&f).collect::<Vec<R>>()
+                })) {
+                    Ok(results) => *lock_unpoisoned(&out[c]) = results,
+                    Err(payload) => {
+                        panicked.store(true, Ordering::Relaxed);
+                        let mut slot = lock_unpoisoned(&first_panic);
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = lock_unpoisoned(&first_panic).take() {
+        std::panic::resume_unwind(payload);
+    }
     let mut flat = Vec::with_capacity(n);
     for slot in out {
-        let mut results = slot.into_inner().unwrap();
+        let mut results = slot.into_inner().unwrap_or_else(|p| p.into_inner());
         flat.append(&mut results);
     }
     assert_eq!(flat.len(), n, "chunked map lost items");
@@ -282,5 +316,49 @@ mod tests {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn a_panicking_closure_surfaces_as_one_clean_panic() {
+        // A panic inside a worker used to risk a poisoned-mutex double panic
+        // (process abort); now the first payload is re-raised on the calling
+        // thread and is catchable like any ordinary panic.
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..512)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 137 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .collect();
+        });
+        let payload = result.expect_err("the panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert_eq!(msg, "boom at 137");
+        // The pool is still usable after a propagated panic.
+        let v: Vec<usize> = (0..64).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_from_multiple_workers_propagate_exactly_one_payload() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..512)
+                .into_par_iter()
+                .map(|i| {
+                    if i % 7 == 3 {
+                        panic!("many panics");
+                    }
+                    i
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "one of the panics must propagate");
     }
 }
