@@ -229,6 +229,152 @@ pub fn self_energy_series(
     (pick(&conv_l), pick(&conv_g))
 }
 
+// ---------------------------------------------------------------------------
+// Batch-view kernels: the energy-batched transposition pipeline of
+// `quatrex-dist` delivers the Green's-function / screened-interaction series
+// one *energy batch* at a time (the global indices that arrived in one
+// `Alltoallv` batch), and accumulates each batch's convolution contribution
+// while the next batch is still in flight. The decompositions below are
+// exact:
+//
+// * `Σ = Σ_b conv(Δw_b, g)` — the self-energy is *linear* in `W`, so each
+//   arriving `W` batch contributes independently against the complete `G`
+//   series;
+// * `P = Σ_b [corr(Δa_b, B_≤b) + corr(A_<b, Δb_b)]` — the polarisation is
+//   *bilinear* in `G`, so batch `b` contributes its cross terms against
+//   everything that has arrived up to and including it; summed over batches
+//   every pair of batches is counted exactly once.
+//
+// With a single batch both reduce to the unbatched kernels above with the
+// identical floating-point operations, which is what makes `B = 1` of the
+// distributed pipeline bit-identical to the unbatched path.
+
+/// `x` restricted to the batch indices (zero elsewhere): the values that
+/// arrived in this batch.
+fn batch_delta(x: &[c64], batch: &[usize]) -> Vec<c64> {
+    let mut d = vec![c64::new(0.0, 0.0); x.len()];
+    for &k in batch {
+        d[k] = x[k];
+    }
+    d
+}
+
+/// `x` with the batch indices zeroed: the values that had arrived *before*
+/// this batch.
+fn batch_complement(x: &[c64], batch: &[usize]) -> Vec<c64> {
+    let mut c = x.to_vec();
+    for &k in batch {
+        c[k] = c64::new(0.0, 0.0);
+    }
+    c
+}
+
+/// Accumulate one energy batch's polarisation contribution into
+/// `p_lesser`/`p_greater` (length-`N_E` accumulators, zero-initialised before
+/// the first batch).
+///
+/// The four input series are the **arrived-so-far** data *including* this
+/// batch (un-arrived energies still zero); `batch` lists the global energy
+/// indices that arrived in this batch (ascending; may be non-contiguous when
+/// several source ranks contribute); `arrived_before` states whether any
+/// earlier batch contributed energies. Summed over all batches of one
+/// iteration the accumulators equal [`polarization_series`] up to
+/// floating-point summation order — and bit-exactly when everything arrives
+/// in a single batch.
+#[allow(clippy::too_many_arguments)]
+pub fn polarization_series_accumulate(
+    p_lesser: &mut [c64],
+    p_greater: &mut [c64],
+    g_lesser_ij: &[c64],
+    g_greater_ji: &[c64],
+    g_greater_ij: &[c64],
+    g_lesser_ji: &[c64],
+    batch: &[usize],
+    arrived_before: bool,
+    de: f64,
+    flops: &FlopCounter,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let ne = g_lesser_ij.len();
+    let prefactor = c64::new(0.0, -de / (2.0 * std::f64::consts::PI));
+    let zero_lag = ne - 1;
+    let half = ne / 2;
+    let accumulate = |acc: &mut [c64], corr: &[c64]| {
+        for (j, slot) in acc.iter_mut().enumerate() {
+            let lag = j as isize - half as isize;
+            let idx = zero_lag as isize + lag;
+            *slot += prefactor * corr[idx as usize];
+        }
+    };
+    // lesser: corr(G^<_ij, G^>_ji); greater: corr(G^>_ij, G^<_ji).
+    let corr_l = cross_correlate(&batch_delta(g_lesser_ij, batch), g_greater_ji);
+    let corr_g = cross_correlate(&batch_delta(g_greater_ij, batch), g_lesser_ji);
+    accumulate(p_lesser, &corr_l);
+    accumulate(p_greater, &corr_g);
+    let mut n_corr = 2u64;
+    if arrived_before {
+        // Cross terms of this batch's second factor against the earlier
+        // batches' first factor.
+        let corr_l = cross_correlate(
+            &batch_complement(g_lesser_ij, batch),
+            &batch_delta(g_greater_ji, batch),
+        );
+        let corr_g = cross_correlate(
+            &batch_complement(g_greater_ij, batch),
+            &batch_delta(g_lesser_ji, batch),
+        );
+        accumulate(p_lesser, &corr_l);
+        accumulate(p_greater, &corr_g);
+        n_corr += 2;
+    }
+    flops.add(
+        FlopKind::Convolution,
+        n_corr * quatrex_fft::convolution_flops(ne, ne),
+    );
+}
+
+/// Accumulate one `W` energy batch's self-energy contribution into
+/// `s_lesser`/`s_greater` (length-`N_E` accumulators, zero-initialised before
+/// the first batch).
+///
+/// `g_lesser_ij`/`g_greater_ij` are the **complete** Green's-function series
+/// (they arrived in the earlier `G` transposition); the `W` series carry the
+/// arrived-so-far data including this batch. Because `Σ` is linear in `W`,
+/// each batch's contribution `conv(Δw_b, g)` is independent and the sum over
+/// batches equals [`self_energy_series`] up to floating-point summation order
+/// — bit-exactly when everything arrives in a single batch.
+#[allow(clippy::too_many_arguments)]
+pub fn self_energy_series_accumulate(
+    s_lesser: &mut [c64],
+    s_greater: &mut [c64],
+    g_lesser_ij: &[c64],
+    g_greater_ij: &[c64],
+    w_lesser_ij: &[c64],
+    w_greater_ij: &[c64],
+    batch: &[usize],
+    de: f64,
+    flops: &FlopCounter,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let ne = g_lesser_ij.len();
+    let prefactor = c64::new(0.0, de / (2.0 * std::f64::consts::PI));
+    let half = ne / 2;
+    let conv_l = convolve(&batch_delta(w_lesser_ij, batch), g_lesser_ij);
+    let conv_g = convolve(&batch_delta(w_greater_ij, batch), g_greater_ij);
+    flops.add(
+        FlopKind::Convolution,
+        2 * quatrex_fft::convolution_flops(ne, ne),
+    );
+    for k in 0..ne {
+        s_lesser[k] += prefactor * conv_l[k + half];
+        s_greater[k] += prefactor * conv_g[k + half];
+    }
+}
+
 /// Per-element causality construction: `X^R(t) = θ(t)·[X^>(t) − X^<(t)]`
 /// evaluated with FFTs over the energy axis, returning the retarded series.
 pub fn causal_retarded_series(lesser: &[c64], greater: &[c64], flops: &FlopCounter) -> Vec<c64> {
@@ -581,6 +727,139 @@ mod tests {
         assert_eq!(seen.len(), stored_values(nb, bs));
         // Count matches the closed form used by the volume model.
         assert_eq!(canon.len(), nb * bs * (bs + 1) / 2 + (nb - 1) * bs * bs);
+    }
+
+    /// Deterministic synthetic series for the batch-kernel tests.
+    fn synthetic_series(ne: usize, seed: f64) -> Vec<c64> {
+        (0..ne)
+            .map(|k| {
+                cplx(
+                    (seed + 0.37 * k as f64).sin(),
+                    (1.3 * seed - 0.21 * k as f64).cos(),
+                )
+            })
+            .collect()
+    }
+
+    /// Mask a series to a set of arrived indices (zero elsewhere).
+    fn arrived(x: &[c64], upto: &[usize]) -> Vec<c64> {
+        let mut m = vec![cplx(0.0, 0.0); x.len()];
+        for &k in upto {
+            m[k] = x[k];
+        }
+        m
+    }
+
+    #[test]
+    fn batched_polarization_accumulation_is_exact() {
+        let ne = 16;
+        let gl = synthetic_series(ne, 0.4);
+        let gg_t = synthetic_series(ne, -1.1);
+        let gg = synthetic_series(ne, 2.3);
+        let gl_t = synthetic_series(ne, 0.9);
+        let de = 0.05;
+        let flops = FlopCounter::new();
+        let (want_l, want_g) = polarization_series(&gl, &gg_t, &gg, &gl_t, de, &flops);
+
+        // Non-contiguous batches (as produced by multiple source ranks),
+        // covering every index exactly once.
+        let batches: Vec<Vec<usize>> = vec![
+            vec![0, 1, 8, 9],
+            vec![2, 3, 10, 11, 12],
+            vec![],
+            vec![4, 5, 6, 7, 13, 14, 15],
+        ];
+        let mut acc_l = vec![cplx(0.0, 0.0); ne];
+        let mut acc_g = vec![cplx(0.0, 0.0); ne];
+        let mut seen: Vec<usize> = Vec::new();
+        for batch in &batches {
+            let before = !seen.is_empty();
+            seen.extend_from_slice(batch);
+            polarization_series_accumulate(
+                &mut acc_l,
+                &mut acc_g,
+                &arrived(&gl, &seen),
+                &arrived(&gg_t, &seen),
+                &arrived(&gg, &seen),
+                &arrived(&gl_t, &seen),
+                batch,
+                before,
+                de,
+                &flops,
+            );
+        }
+        for j in 0..ne {
+            assert!((acc_l[j] - want_l[j]).norm() < 1e-12, "lesser at {j}");
+            assert!((acc_g[j] - want_g[j]).norm() < 1e-12, "greater at {j}");
+        }
+    }
+
+    #[test]
+    fn single_batch_polarization_is_bit_identical_to_the_full_kernel() {
+        let ne = 12;
+        let gl = synthetic_series(ne, 0.7);
+        let gg_t = synthetic_series(ne, -0.2);
+        let gg = synthetic_series(ne, 1.9);
+        let gl_t = synthetic_series(ne, -1.4);
+        let de = 0.11;
+        let flops = FlopCounter::new();
+        let (want_l, want_g) = polarization_series(&gl, &gg_t, &gg, &gl_t, de, &flops);
+        let mut acc_l = vec![cplx(0.0, 0.0); ne];
+        let mut acc_g = vec![cplx(0.0, 0.0); ne];
+        let all: Vec<usize> = (0..ne).collect();
+        polarization_series_accumulate(
+            &mut acc_l, &mut acc_g, &gl, &gg_t, &gg, &gl_t, &all, false, de, &flops,
+        );
+        assert_eq!(acc_l, want_l);
+        assert_eq!(acc_g, want_g);
+    }
+
+    #[test]
+    fn batched_self_energy_accumulation_is_exact_and_bit_identical_at_one_batch() {
+        let ne = 16;
+        let gl = synthetic_series(ne, 0.3);
+        let gg = synthetic_series(ne, -0.8);
+        let wl = synthetic_series(ne, 1.5);
+        let wg = synthetic_series(ne, -2.2);
+        let de = 0.07;
+        let flops = FlopCounter::new();
+        let (want_l, want_g) = self_energy_series(&gl, &gg, &wl, &wg, de, &flops);
+
+        // One batch: bit-identical.
+        let all: Vec<usize> = (0..ne).collect();
+        let mut acc_l = vec![cplx(0.0, 0.0); ne];
+        let mut acc_g = vec![cplx(0.0, 0.0); ne];
+        self_energy_series_accumulate(&mut acc_l, &mut acc_g, &gl, &gg, &wl, &wg, &all, de, &flops);
+        assert_eq!(acc_l, want_l);
+        assert_eq!(acc_g, want_g);
+
+        // Several batches (Σ is linear in W): exact up to summation order.
+        let batches: Vec<Vec<usize>> = vec![
+            vec![5, 6, 7, 12],
+            vec![0, 1, 2, 3, 4],
+            vec![8, 9, 10, 11, 13, 14, 15],
+        ];
+        let mut acc_l = vec![cplx(0.0, 0.0); ne];
+        let mut acc_g = vec![cplx(0.0, 0.0); ne];
+        let mut seen: Vec<usize> = Vec::new();
+        for batch in &batches {
+            seen.extend_from_slice(batch);
+            self_energy_series_accumulate(
+                &mut acc_l,
+                &mut acc_g,
+                &gl,
+                &gg,
+                &arrived(&wl, &seen),
+                &arrived(&wg, &seen),
+                batch,
+                de,
+                &flops,
+            );
+        }
+        for k in 0..ne {
+            assert!((acc_l[k] - want_l[k]).norm() < 1e-12, "lesser at {k}");
+            assert!((acc_g[k] - want_g[k]).norm() < 1e-12, "greater at {k}");
+        }
     }
 
     #[test]

@@ -18,6 +18,23 @@
 //! * [`observables`] — density of states, electron/hole densities and the
 //!   terminal current (Meir–Wingreen) derived from the selected Green's
 //!   function blocks (Section 4.5).
+//!
+//! The one-stop entry point is [`ScbaSolver`]:
+//!
+//! ```
+//! use quatrex_core::{ScbaConfig, ScbaSolver};
+//! use quatrex_device::DeviceBuilder;
+//!
+//! let device = DeviceBuilder::test_device(2, 2, 4).build();
+//! let config = ScbaConfig {
+//!     n_energies: 8,
+//!     max_iterations: 1,
+//!     ..ScbaConfig::default()
+//! };
+//! let result = ScbaSolver::new(device, config).ballistic();
+//! assert!(result.observables.current.is_finite());
+//! assert_eq!(result.observables.spectral.energies.len(), 8);
+//! ```
 
 pub mod assembly;
 pub mod convolution;
@@ -27,8 +44,10 @@ pub mod scba;
 pub use assembly::{GAssembly, ObcMethod, WAssembly};
 pub use convolution::{
     block_positions, canonical_elements, causal_retarded_series, element_series,
-    polarization_from_g, polarization_series, retarded_from_lesser_greater, self_energy_from_gw,
-    self_energy_series, stored_values, symmetrize_all, BlockPos, ElementId, EnergyResolved,
+    polarization_from_g, polarization_series, polarization_series_accumulate,
+    retarded_from_lesser_greater, self_energy_from_gw, self_energy_series,
+    self_energy_series_accumulate, stored_values, symmetrize_all, BlockPos, ElementId,
+    EnergyResolved,
 };
 pub use observables::{Observables, SpectralData};
 pub use scba::{

@@ -17,6 +17,21 @@
 //! The [`catalog`] module reproduces the paper's Table 3 device catalogue
 //! (NW-1, NW-2, NR-16 … NR-80 and the generic NR-`N_B` scaling row) both as
 //! analytic parameter sets and as constructible reduced-scale instances.
+//!
+//! The entry point is [`DeviceBuilder`]:
+//!
+//! ```
+//! use quatrex_device::DeviceBuilder;
+//!
+//! // A 4-block synthetic device: 3 orbitals per primitive cell, 2 coupled
+//! // neighbouring cells (N_U = 2).
+//! let device = DeviceBuilder::test_device(3, 2, 4).build();
+//! let h = device.hamiltonian_bt();
+//! assert_eq!(h.n_blocks(), 4);
+//! assert_eq!(h.block_size(), device.transport_cell_size());
+//! let grid = device.default_energy_grid(16);
+//! assert_eq!(grid.len(), 16);
+//! ```
 
 pub mod catalog;
 pub mod energy;

@@ -63,7 +63,8 @@ pub mod spatial;
 pub use partition::{energy_cost_weights, partition_weighted};
 pub use report::{DistReport, TranspositionBudget};
 pub use slab::{
-    BackComponent, ElementSlab, EnergySlab, PartitionSlice, TranspositionPlan, BYTES_PER_VALUE,
+    BackComponent, ElementSlab, EnergySlab, PartitionSlice, TranspositionBatchPlan,
+    TranspositionPlan, BYTES_PER_VALUE,
 };
 pub use solver::{DistScbaConfig, DistScbaResult, DistScbaSolver};
 pub use spatial::{spatial_phase_solve, RankGrid, SpatialTraffic};

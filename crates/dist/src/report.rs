@@ -107,6 +107,21 @@ pub struct DistReport {
     pub energy_rebalances: usize,
     /// Off-rank bytes of the self-energy state migrated by rebalances.
     pub measured_rebalance_bytes: u64,
+    /// Energy batches per transposition (`DistScbaConfig::energy_batches`).
+    /// `1` = the unbatched (whole-iteration) path.
+    pub batch_count: usize,
+    /// Peak in-flight transposition buffer bytes on the busiest rank: every
+    /// posted and received batch payload counts until its batch has been
+    /// consumed. Shrinks ~`batch_count / 2`-fold under the double-buffered
+    /// pipeline (the pipeline keeps ~2 batches in flight, where the unbatched
+    /// path held the sent and received whole-iteration payloads) — the
+    /// measured memory win of the energy batching.
+    pub peak_slab_bytes: u64,
+    /// Wall seconds (summed over ranks) of convolution/unpack compute that
+    /// ran while at least one transposition batch was in flight — the
+    /// measured communication/computation overlap window. Zero at
+    /// `batch_count = 1` (nothing is ever in flight during compute).
+    pub overlap_window_seconds: f64,
     /// Number of collectives executed.
     pub n_collectives: u64,
     /// Predicted volume from the analytic model.
@@ -206,6 +221,9 @@ mod tests {
             broadcast_equivalent_bytes_w: 0,
             energy_rebalances: 0,
             measured_rebalance_bytes: 0,
+            batch_count: 1,
+            peak_slab_bytes: 0,
+            overlap_window_seconds: 0.0,
             n_collectives: 12,
             budget,
         };
@@ -243,6 +261,9 @@ mod tests {
             broadcast_equivalent_bytes_w: 32,
             energy_rebalances: 0,
             measured_rebalance_bytes: 0,
+            batch_count: 1,
+            peak_slab_bytes: 0,
+            overlap_window_seconds: 0.0,
             n_collectives: 4,
             budget,
         };

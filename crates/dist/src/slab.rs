@@ -224,6 +224,21 @@ pub struct ElementSlab {
     pub mirror: Vec<Vec<Vec<c64>>>,
 }
 
+impl ElementSlab {
+    /// An all-zero slab for `elements`, ready to absorb forward batches
+    /// ([`TranspositionPlan::absorb_forward_batch`]). Energies that have not
+    /// arrived yet read as zero.
+    pub fn zeroed(elements: Range<usize>, n_components: usize, n_energies: usize) -> Self {
+        let n_local = elements.len();
+        let zero = || vec![vec![vec![c64::new(0.0, 0.0); n_energies]; n_local]; n_components];
+        Self {
+            elements,
+            canonical: zero(),
+            mirror: zero(),
+        }
+    }
+}
+
 /// A backward-travelling component: whether the mirror series ride along or
 /// are reconstructed from the NEGF symmetry at the destination.
 pub enum BackComponent<'a> {
@@ -335,7 +350,23 @@ impl TranspositionPlan {
     /// for every canonical element owned by `q` (ascending), the values at
     /// this rank's energies (ascending); then, when not symmetry-reduced, the
     /// same loop again for the mirror elements (self-mirror elements skipped).
+    ///
+    /// Equivalent to [`Self::scatter_forward_batch`] over the full local
+    /// energy range (a single batch).
     pub fn scatter_forward(&self, rank: usize, comps: &[&[BlockTridiagonal]]) -> Vec<Vec<c64>> {
+        self.scatter_forward_batch(rank, comps, 0..self.energy_ranges[rank].len())
+    }
+
+    /// Forward serialisation of one energy batch: like
+    /// [`Self::scatter_forward`], but the messages carry only the energies in
+    /// `local` (a sub-range of this rank's *local* energy indices). `comps`
+    /// still hold the rank's full local data; the batch selects from them.
+    pub fn scatter_forward_batch(
+        &self,
+        rank: usize,
+        comps: &[&[BlockTridiagonal]],
+        local: Range<usize>,
+    ) -> Vec<Vec<c64>> {
         let my_energies = self.energy_ranges[rank].clone();
         for c in comps {
             assert_eq!(c.len(), my_energies.len());
@@ -343,11 +374,11 @@ impl TranspositionPlan {
         (0..self.n_ranks)
             .map(|q| {
                 let elems = self.element_ranges[q].clone();
-                let mut msg = Vec::with_capacity(2 * comps.len() * elems.len() * my_energies.len());
+                let mut msg = Vec::with_capacity(2 * comps.len() * elems.len() * local.len());
                 for comp in comps {
                     for e in elems.clone() {
                         let id = self.elements[e];
-                        for bt in comp.iter() {
+                        for bt in comp[local.clone()].iter() {
                             msg.push(id.value_in(bt));
                         }
                     }
@@ -360,7 +391,7 @@ impl TranspositionPlan {
                                 continue;
                             }
                             let m = id.mirror();
-                            for bt in comp.iter() {
+                            for bt in comp[local.clone()].iter() {
                                 msg.push(m.value_in(bt));
                             }
                         }
@@ -374,30 +405,61 @@ impl TranspositionPlan {
     /// Forward deserialisation at the element owner: reassemble the full
     /// energy series of the owned canonical elements (and their mirrors) from
     /// the per-source messages (in rank order).
+    ///
+    /// Equivalent to one [`Self::absorb_forward_batch`] covering every
+    /// source's full energy range.
     pub fn gather_elements(
         &self,
         rank: usize,
         received: Vec<Vec<c64>>,
         n_components: usize,
     ) -> ElementSlab {
+        let mut slab = ElementSlab::zeroed(
+            self.element_ranges[rank].clone(),
+            n_components,
+            self.n_energies,
+        );
+        self.absorb_forward_batch(rank, &mut slab, received, &self.energy_ranges);
+        slab
+    }
+
+    /// Absorb one forward batch into an accumulating [`ElementSlab`]:
+    /// `received[src]` carries source `src`'s energies in `src_ranges[src]`
+    /// (global indices; the batch's slice of the source's energy range). The
+    /// canonical values are written and the mirror values of the arrived
+    /// energies are filled immediately — read from the message when the plan
+    /// is not symmetry-reduced, reconstructed from `X^≶_ji = −X^≶*_ij`
+    /// otherwise — so the per-batch convolution kernels can consume the batch
+    /// while the next one is still in flight.
+    pub fn absorb_forward_batch(
+        &self,
+        rank: usize,
+        slab: &mut ElementSlab,
+        received: Vec<Vec<c64>>,
+        src_ranges: &[Range<usize>],
+    ) {
         let elems = self.element_ranges[rank].clone();
         let n_local = elems.len();
-        let mut canonical =
-            vec![vec![vec![c64::new(0.0, 0.0); self.n_energies]; n_local]; n_components];
-        let mut mirror =
-            vec![vec![vec![c64::new(0.0, 0.0); self.n_energies]; n_local]; n_components];
         for (src, msg) in received.iter().enumerate() {
-            let src_energies = self.energy_ranges[src].clone();
+            let src_energies = src_ranges[src].clone();
             let mut it = msg.iter();
-            for canon_comp in canonical.iter_mut() {
-                for series in canon_comp.iter_mut().take(n_local) {
+            for (c, canon_comp) in slab.canonical.iter_mut().enumerate() {
+                for (e_local, series) in canon_comp.iter_mut().enumerate().take(n_local) {
+                    let id = self.elements[elems.start + e_local];
+                    let self_mirror = id.is_self_mirror();
                     for k in src_energies.clone() {
-                        series[k] = *it.next().expect("short forward message");
+                        let v = *it.next().expect("short forward message");
+                        series[k] = v;
+                        // Mirror of the arrived energy: its own value for
+                        // self-mirror elements, the NEGF reconstruction under
+                        // symmetry reduction, and the explicitly shipped value
+                        // below otherwise (which overwrites this one).
+                        slab.mirror[c][e_local][k] = if self_mirror { v } else { -v.conj() };
                     }
                 }
             }
             if !self.symmetry_reduced {
-                for mirror_comp in mirror.iter_mut() {
+                for mirror_comp in slab.mirror.iter_mut() {
                     for (e_local, series) in mirror_comp.iter_mut().enumerate().take(n_local) {
                         if self.elements[elems.start + e_local].is_self_mirror() {
                             continue;
@@ -410,23 +472,6 @@ impl TranspositionPlan {
             }
             assert!(it.next().is_none(), "long forward message");
         }
-        // Mirrors of symmetric quantities: derive from X_ji = −X*_ij; the
-        // self-mirror series are their own mirrors in either mode.
-        for c in 0..n_components {
-            for e_local in 0..n_local {
-                let id = self.elements[elems.start + e_local];
-                if id.is_self_mirror() {
-                    mirror[c][e_local] = canonical[c][e_local].clone();
-                } else if self.symmetry_reduced {
-                    mirror[c][e_local] = canonical[c][e_local].iter().map(|v| -v.conj()).collect();
-                }
-            }
-        }
-        ElementSlab {
-            elements: elems,
-            canonical,
-            mirror,
-        }
     }
 
     /// Backward serialisation (element-major → energy-major): build the
@@ -437,11 +482,27 @@ impl TranspositionPlan {
     /// energies (ascending); then for every component, the mirror series of
     /// the non-self-mirror elements — skipped for [`BackComponent::Symmetric`]
     /// under symmetry reduction.
+    ///
+    /// Equivalent to [`Self::scatter_backward_batch`] with every
+    /// destination's full energy range (a single batch).
     pub fn scatter_backward(&self, rank: usize, comps: &[BackComponent<'_>]) -> Vec<Vec<c64>> {
+        self.scatter_backward_batch(rank, comps, &self.energy_ranges)
+    }
+
+    /// Backward serialisation of one energy batch: like
+    /// [`Self::scatter_backward`], but the message to rank `q` carries only
+    /// the energies in `dst_ranges[q]` (global indices; the batch's slice of
+    /// `q`'s energy range).
+    pub fn scatter_backward_batch(
+        &self,
+        rank: usize,
+        comps: &[BackComponent<'_>],
+        dst_ranges: &[Range<usize>],
+    ) -> Vec<Vec<c64>> {
         let elems = self.element_ranges[rank].clone();
         (0..self.n_ranks)
             .map(|q| {
-                let dst_energies = self.energy_ranges[q].clone();
+                let dst_energies = dst_ranges[q].clone();
                 let mut msg = Vec::new();
                 for comp in comps {
                     let canonical = match comp {
@@ -482,6 +543,9 @@ impl TranspositionPlan {
     /// BT quantities (one per component) for the owned energies from the
     /// per-source messages. `symmetric[c]` states whether component `c`
     /// travelled as [`BackComponent::Symmetric`].
+    ///
+    /// Equivalent to pre-allocating zeros and absorbing one
+    /// [`Self::absorb_backward_batch`] covering the full local range.
     pub fn gather_energies(
         &self,
         rank: usize,
@@ -490,21 +554,38 @@ impl TranspositionPlan {
     ) -> Vec<EnergyResolved> {
         let my_energies = self.energy_ranges[rank].clone();
         let n_local = my_energies.len();
-        let n_components = symmetric.len();
-        let mut out: Vec<EnergyResolved> = (0..n_components)
+        let mut out: Vec<EnergyResolved> = (0..symmetric.len())
             .map(|_| {
                 (0..n_local)
                     .map(|_| BlockTridiagonal::zeros(self.n_blocks, self.block_size))
                     .collect()
             })
             .collect();
+        self.absorb_backward_batch(rank, &mut out, received, symmetric, my_energies);
+        out
+    }
+
+    /// Absorb one backward batch into pre-allocated energy-major outputs:
+    /// `received` carries, from every source, this rank's energies in
+    /// `my_range` (global indices; the batch's slice of this rank's energy
+    /// range). Only the matrices of those energies are touched.
+    pub fn absorb_backward_batch(
+        &self,
+        rank: usize,
+        out: &mut [EnergyResolved],
+        received: Vec<Vec<c64>>,
+        symmetric: &[bool],
+        my_range: Range<usize>,
+    ) {
+        let my_start = self.energy_ranges[rank].start;
         for (src, msg) in received.iter().enumerate() {
             let src_elems = self.element_ranges[src].clone();
             let mut it = msg.iter();
             for (c, comp_out) in out.iter_mut().enumerate() {
                 for e in src_elems.clone() {
                     let id = self.elements[e];
-                    for bt in comp_out.iter_mut().take(n_local) {
+                    for k in my_range.clone() {
+                        let bt = &mut comp_out[k - my_start];
                         let v = *it.next().expect("short backward message");
                         set_element(bt, id, v);
                         // Symmetric mirrors are reconstructed on the fly; the
@@ -526,21 +607,89 @@ impl TranspositionPlan {
                         continue;
                     }
                     let m = id.mirror();
-                    for bt in comp_out.iter_mut().take(n_local) {
+                    for k in my_range.clone() {
                         let v = *it.next().expect("short backward message");
-                        set_element(bt, m, v);
+                        set_element(&mut comp_out[k - my_start], m, v);
                     }
                 }
             }
             assert!(it.next().is_none(), "long backward message");
         }
-        out
     }
 
     /// Off-rank wire bytes of a payload produced by one of the scatter
     /// functions (self-messages stay on the rank and cost nothing).
     pub fn off_rank_bytes(&self, rank: usize, payloads: &[Vec<c64>]) -> u64 {
         off_rank_payload_bytes(rank, payloads)
+    }
+}
+
+/// The energy-batch schedule of one iteration's transpositions (the paper's
+/// communication/computation overlap): every group's owned energy range is
+/// cut into `n_batches` contiguous sub-ranges, and each transposition ships
+/// one sub-range per `Alltoallv` instead of the whole range at once. The
+/// solver double-buffers the batches — batch `k+1` is posted non-blocking
+/// ([`quatrex_runtime::RankContext::alltoallv_start`]) while batch `k` is
+/// unpacked and its convolution contribution accumulated — which bounds the
+/// in-flight transposition buffers to a batch (`DistReport::peak_slab_bytes`)
+/// instead of a whole iteration.
+///
+/// With `n_batches = 1` the single batch covers every range in full, and the
+/// pipeline degenerates to the original blocking transposition bit-for-bit.
+/// More batches than a group has energies leave the surplus batches empty —
+/// harmless degenerate collectives that ship no bytes.
+#[derive(Debug, Clone)]
+pub struct TranspositionBatchPlan {
+    /// Number of batches every transposition is cut into (`B ≥ 1`).
+    pub n_batches: usize,
+    /// `local_ranges[group][batch]` — sub-range of the group's *local* energy
+    /// indices shipped in that batch. Per group the sub-ranges are
+    /// contiguous, ascending, and cover `0..n_local` exactly.
+    pub local_ranges: Vec<Vec<Range<usize>>>,
+}
+
+impl TranspositionBatchPlan {
+    /// Cut every group's energy range of `plan` into `n_batches` near-equal
+    /// contiguous batches. Deterministic: every rank derives the identical
+    /// schedule from the shared plan.
+    pub fn new(plan: &TranspositionPlan, n_batches: usize) -> Self {
+        assert!(n_batches >= 1, "at least one batch per transposition");
+        let local_ranges = plan
+            .energy_ranges
+            .iter()
+            .map(|r| partition_weighted(&vec![1.0; r.len()], n_batches))
+            .collect();
+        Self {
+            n_batches,
+            local_ranges,
+        }
+    }
+
+    /// The *global* energy sub-range group `group` contributes to batch `b`.
+    pub fn global_range(&self, plan: &TranspositionPlan, group: usize, b: usize) -> Range<usize> {
+        let start = plan.energy_ranges[group].start;
+        let local = &self.local_ranges[group][b];
+        (start + local.start)..(start + local.end)
+    }
+
+    /// The global sub-ranges of every group for batch `b`, in group order
+    /// (the per-source shapes of one forward batch, and the per-destination
+    /// shapes of one backward batch).
+    pub fn global_ranges(&self, plan: &TranspositionPlan, b: usize) -> Vec<Range<usize>> {
+        (0..plan.n_ranks)
+            .map(|g| self.global_range(plan, g, b))
+            .collect()
+    }
+
+    /// All global energy indices arriving in forward batch `b` (ascending —
+    /// the groups' ranges are ordered and disjoint). This is the batch view
+    /// the accumulation kernels in `quatrex_core::convolution` consume.
+    pub fn arrived_global(&self, plan: &TranspositionPlan, b: usize) -> Vec<usize> {
+        let mut v = Vec::new();
+        for g in 0..plan.n_ranks {
+            v.extend(self.global_range(plan, g, b));
+        }
+        v
     }
 }
 
@@ -780,6 +929,150 @@ mod tests {
         let back = PartitionSlice::decode(&mut it, bs);
         assert_eq!(back.system.a_int.n_blocks(), 0);
         assert!(back.system.boundaries.is_empty());
+    }
+
+    #[test]
+    fn batched_transposition_reproduces_the_unbatched_slabs_exactly() {
+        // Forward and backward batches must reassemble the identical slabs
+        // and energy-major matrices the single-shot path produces, for every
+        // batch count including the degenerate B > n_energies_per_group case.
+        let (nb, bs, ne, n_groups) = (3usize, 2usize, 8usize, 2usize);
+        for symmetry_reduced in [true, false] {
+            let plan =
+                TranspositionPlan::new(nb, bs, ne, n_groups, 1, symmetry_reduced, &vec![1.0; ne]);
+            let gl = symmetric_quantity(ne, nb, bs, 0.3);
+            let gg = symmetric_quantity(ne, nb, bs, 1.9);
+            let local = |x: &EnergyResolved, src: usize| -> Vec<BlockTridiagonal> {
+                x[plan.energy_ranges[src].clone()].to_vec()
+            };
+            for b in [1usize, 2, 3, 7] {
+                let batches = TranspositionBatchPlan::new(&plan, b);
+                // Forward: batch-wise absorption must reproduce the
+                // single-shot slab of every group exactly.
+                let mut slabs = Vec::new();
+                for group in 0..n_groups {
+                    let want = plan.gather_elements(
+                        group,
+                        (0..n_groups)
+                            .map(|src| {
+                                let mut p = plan
+                                    .scatter_forward(src, &[&local(&gl, src), &local(&gg, src)]);
+                                std::mem::take(&mut p[group])
+                            })
+                            .collect(),
+                        2,
+                    );
+                    let mut slab =
+                        ElementSlab::zeroed(plan.element_ranges[group].clone(), 2, plan.n_energies);
+                    for batch in 0..b {
+                        let recv = (0..n_groups)
+                            .map(|src| {
+                                let mut p = plan.scatter_forward_batch(
+                                    src,
+                                    &[&local(&gl, src), &local(&gg, src)],
+                                    batches.local_ranges[src][batch].clone(),
+                                );
+                                std::mem::take(&mut p[group])
+                            })
+                            .collect();
+                        plan.absorb_forward_batch(
+                            group,
+                            &mut slab,
+                            recv,
+                            &batches.global_ranges(&plan, batch),
+                        );
+                    }
+                    assert_eq!(slab.canonical, want.canonical, "canonical B={b}");
+                    assert_eq!(slab.mirror, want.mirror, "mirror B={b}");
+                    slabs.push(slab);
+                }
+
+                // Backward: batch-wise shipping must reproduce the
+                // single-shot energy-major gather of every destination.
+                fn comps_of(s: &ElementSlab) -> [BackComponent<'_>; 2] {
+                    [
+                        BackComponent::Symmetric {
+                            canonical: &s.canonical[0],
+                            mirror: &s.mirror[0],
+                        },
+                        BackComponent::Symmetric {
+                            canonical: &s.canonical[1],
+                            mirror: &s.mirror[1],
+                        },
+                    ]
+                }
+                for dst in 0..n_groups {
+                    let want_out = plan.gather_energies(
+                        dst,
+                        (0..n_groups)
+                            .map(|src| {
+                                let mut p = plan.scatter_backward(src, &comps_of(&slabs[src]));
+                                std::mem::take(&mut p[dst])
+                            })
+                            .collect(),
+                        &[true, true],
+                    );
+                    let n_local = plan.energy_ranges[dst].len();
+                    let mut got: Vec<EnergyResolved> = (0..2)
+                        .map(|_| vec![BlockTridiagonal::zeros(nb, bs); n_local])
+                        .collect();
+                    for batch in 0..b {
+                        let recv = (0..n_groups)
+                            .map(|src| {
+                                let mut p = plan.scatter_backward_batch(
+                                    src,
+                                    &comps_of(&slabs[src]),
+                                    &batches.global_ranges(&plan, batch),
+                                );
+                                std::mem::take(&mut p[dst])
+                            })
+                            .collect();
+                        plan.absorb_backward_batch(
+                            dst,
+                            &mut got,
+                            recv,
+                            &[true, true],
+                            batches.global_range(&plan, dst, batch),
+                        );
+                    }
+                    for c in 0..2 {
+                        for k in 0..n_local {
+                            assert!(
+                                got[c][k]
+                                    .to_dense()
+                                    .approx_eq(&want_out[c][k].to_dense(), 0.0),
+                                "backward B={b} comp {c} energy {k}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_plan_covers_every_energy_exactly_once() {
+        let plan = TranspositionPlan::new(3, 2, 10, 3, 1, true, &[1.0; 10]);
+        for b in [1usize, 2, 4, 11] {
+            let batches = TranspositionBatchPlan::new(&plan, b);
+            // Per group the local sub-ranges tile 0..n_local.
+            for (g, ranges) in batches.local_ranges.iter().enumerate() {
+                assert_eq!(ranges.len(), b);
+                let mut next = 0usize;
+                for r in ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, plan.energy_ranges[g].len());
+            }
+            // The union of the arrived batches is the full grid, in order.
+            let mut all = Vec::new();
+            for batch in 0..b {
+                all.extend(batches.arrived_global(&plan, batch));
+            }
+            all.sort_unstable();
+            assert_eq!(all, (0..10).collect::<Vec<_>>());
+        }
     }
 
     #[test]

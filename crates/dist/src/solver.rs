@@ -38,11 +38,14 @@
 //! introduces an additional `≤1e-12`-relative reordering per solve. The
 //! equivalence tests pin the observables at `≤ 1e-10` relative either way.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
 use quatrex_core::assembly::{assemble_g, assemble_w};
-use quatrex_core::convolution::{causal_retarded_series, polarization_series, self_energy_series};
+use quatrex_core::convolution::{
+    causal_retarded_series, polarization_series_accumulate, self_energy_series_accumulate,
+};
 use quatrex_core::observables::{integrate_current, Observables, SpectralData};
 use quatrex_core::scba::{
     g_step_energy, g_step_finish, mix_sigma_energy, w_step_energy, KernelTimings, ScbaConfig,
@@ -56,18 +59,49 @@ use quatrex_rgf::{
     partition_layout_balanced, probe_partition_flops, separator_blocks, spatial_partition_layout,
     RgfScratch, SpatialPartition,
 };
-use quatrex_runtime::{CommStats, DecompositionPlan, RankContext, ThreadComm};
+use quatrex_runtime::{CommHandle, CommStats, DecompositionPlan, RankContext, ThreadComm};
 use quatrex_sparse::BlockTridiagonal;
 
 use crate::partition::{energy_cost_weights, partition_weighted};
 use crate::report::{DistReport, TranspositionBudget};
 use crate::slab::{
-    off_rank_payload_bytes, push_bt, push_matrix, read_bt, read_matrix, BackComponent,
-    TranspositionPlan, BYTES_PER_VALUE,
+    off_rank_payload_bytes, push_bt, push_matrix, read_bt, read_matrix, BackComponent, ElementSlab,
+    TranspositionBatchPlan, TranspositionPlan, BYTES_PER_VALUE,
 };
 use crate::spatial::{spatial_phase_solve, RankGrid, SpatialTraffic};
 
 /// Configuration of a distributed SCBA run.
+///
+/// Beyond the rank count, four knobs shape how the work is decomposed and
+/// moved; each is documented with *when it pays off* on its field/builder.
+/// They compose freely — the equivalence suite pins the observables against
+/// the sequential solver with all of them enabled at once:
+///
+/// ```
+/// use quatrex_core::ScbaConfig;
+/// use quatrex_device::DeviceBuilder;
+/// use quatrex_dist::{DistScbaConfig, DistScbaSolver};
+///
+/// let device = DeviceBuilder::test_device(2, 2, 6).build();
+/// let scba = ScbaConfig {
+///     n_energies: 6,
+///     max_iterations: 2,
+///     interaction_scale: 0.2,
+///     ..ScbaConfig::default()
+/// };
+/// // 4 ranks as 2 energy groups x P_S = 2 spatial partitions, FLOP-balanced
+/// // layout, measured energy rebalancing, and 2-batch overlapped
+/// // transpositions — every knob composed.
+/// let config = DistScbaConfig::new(scba, 4)
+///     .with_spatial_partitions(2)
+///     .with_balanced_partitions(true)
+///     .with_energy_rebalancing(true)
+///     .with_energy_batches(2);
+/// let result = DistScbaSolver::new(device, config).run();
+/// assert_eq!(result.report.spatial_partitions, 2);
+/// assert_eq!(result.report.batch_count, 2);
+/// assert!(result.observables.current.is_finite());
+/// ```
 #[derive(Debug, Clone)]
 pub struct DistScbaConfig {
     /// The physics configuration, shared verbatim with the sequential solver.
@@ -79,6 +113,12 @@ pub struct DistScbaConfig {
     /// form `n_ranks / spatial_partitions` energy groups of `P_S` ranks that
     /// cooperate on each energy point through the nested-dissection solver.
     /// `1` disables the second decomposition level.
+    ///
+    /// **When it pays off:** when one energy point's matrices no longer fit
+    /// (or solve fast enough) on a single rank — large `N_B` devices. The
+    /// nested-dissection reduced system adds work (~2.1× per middle partition
+    /// on the paper's devices), so `P_S > 1` only wins when the per-energy
+    /// solve, not the energy count, is the bottleneck.
     pub spatial_partitions: usize,
     /// Use the FLOP-balanced uneven partition layout
     /// (`quatrex_rgf::partition_layout_balanced`) instead of the uniform
@@ -89,10 +129,22 @@ pub struct DistScbaConfig {
     /// FLOP probe (`quatrex_rgf::probe_partition_flops`), so every rank
     /// derives the identical layout deterministically. Ignored at `P_S ≤ 2`
     /// (no middle partition exists to balance against).
+    ///
+    /// **When it pays off:** at `P_S ≥ 3`, where the uniform split leaves the
+    /// two boundary partitions idle ~40% of every solve; the balanced layout
+    /// cuts the per-partition FLOP spread from ~50% to under 15% on the
+    /// 24-block bench cell at `P_S = 4`. At `P_S = 2` there is no middle
+    /// partition and the flag is a no-op.
     pub balanced_partitions: bool,
     /// Ship only canonical elements for `≶` quantities and reconstruct the
     /// mirrors from the NEGF symmetry at the destination (Section 5.2).
     /// Requires `scba.enforce_symmetry`.
+    ///
+    /// **When it pays off:** always, when the physics allows symmetrisation —
+    /// it halves the transposition volume of 8 of the 10 component transfers
+    /// per iteration (~1.8× on the total). Turn it off only to pin bit-exact
+    /// equivalence against the sequential solver (the full wire format ships
+    /// raw, unsymmetrised mirrors).
     pub symmetry_reduced: bool,
     /// Catalogue parameters of the device, if known: enables the
     /// memoizer-aware cost model for the energy partition.
@@ -105,12 +157,37 @@ pub struct DistScbaConfig {
     /// split moves. Off by default: rebalancing reorders the residual
     /// reductions, so the bit-exact full-wire-format equivalence only holds
     /// without it (the observables still agree to ≤1e-10).
+    ///
+    /// **When it pays off:** when per-energy costs are genuinely uneven and
+    /// unpredictable — the OBC memoizer answers some energies from cache and
+    /// refines others, so static cost models drift. For short runs (1–2
+    /// iterations) there is nothing to measure and the migrations are pure
+    /// overhead.
     pub rebalance_energies: bool,
+    /// Number of energy batches (`B`) each of the four per-iteration
+    /// transpositions is cut into ([`TranspositionBatchPlan`]). With `B > 1`
+    /// the solver double-buffers: batch `k+1`'s `Alltoallv` is posted
+    /// non-blocking while the element convolutions consume batch `k`, and
+    /// the in-flight transposition buffers shrink ~`B/2`-fold (double
+    /// buffering keeps ~2 batches in flight;
+    /// `DistReport::peak_slab_bytes`). `B = 1` (the default) is bit-identical
+    /// to the unbatched path.
+    ///
+    /// **When it pays off:** on network-bound runs — the paper's sustained
+    /// exascale numbers rest on the transposition flying behind the
+    /// convolutions — and whenever the whole-iteration wire buffers dominate
+    /// peak memory. In this thread-backed simulation the bandwidth is memory
+    /// bandwidth, so the visible win is the measured buffer reduction and the
+    /// measured overlap window (`DistReport::overlap_window_seconds`), not
+    /// wall-clock; note the polarisation's bilinear batching re-runs its
+    /// correlation kernel per batch, so very large `B` trades FLOPs for
+    /// memory/overlap.
+    pub energy_batches: usize,
 }
 
 impl DistScbaConfig {
     /// Distributed configuration with `n_ranks` ranks and default options
-    /// (`P_S = 1`).
+    /// (`P_S = 1`, one transposition batch).
     pub fn new(scba: ScbaConfig, n_ranks: usize) -> Self {
         Self {
             scba,
@@ -120,26 +197,39 @@ impl DistScbaConfig {
             symmetry_reduced: true,
             device_params: None,
             rebalance_energies: false,
+            energy_batches: 1,
         }
     }
 
     /// Enable the second decomposition level: `p_s` spatial ranks per energy
-    /// group.
+    /// group. See [`DistScbaConfig::spatial_partitions`] for when it pays
+    /// off.
     pub fn with_spatial_partitions(mut self, p_s: usize) -> Self {
         self.spatial_partitions = p_s;
         self
     }
 
     /// Enable the FLOP-balanced uneven partition layout for the spatial
-    /// level.
+    /// level. See [`DistScbaConfig::balanced_partitions`] for when it pays
+    /// off.
     pub fn with_balanced_partitions(mut self, enabled: bool) -> Self {
         self.balanced_partitions = enabled;
         self
     }
 
-    /// Enable measured-wall-time energy rebalancing between iterations.
+    /// Enable measured-wall-time energy rebalancing between iterations. See
+    /// [`DistScbaConfig::rebalance_energies`] for when it pays off.
     pub fn with_energy_rebalancing(mut self, enabled: bool) -> Self {
         self.rebalance_energies = enabled;
+        self
+    }
+
+    /// Cut every transposition into `batches` energy batches and overlap each
+    /// batch's `Alltoallv` with the previous batch's convolutions. See
+    /// [`DistScbaConfig::energy_batches`] for when it pays off.
+    pub fn with_energy_batches(mut self, batches: usize) -> Self {
+        assert!(batches >= 1, "at least one transposition batch");
+        self.energy_batches = batches;
         self
     }
 }
@@ -186,6 +276,8 @@ struct RankOut {
     memo_total: usize,
     energy_rebalances: usize,
     rebalance_bytes: u64,
+    peak_slab_bytes: u64,
+    overlap_seconds: f64,
 }
 
 /// The distributed NEGF+scGW solver bound to one device and configuration.
@@ -285,6 +377,10 @@ impl DistScbaSolver {
             !self.config.symmetry_reduced || cfg.enforce_symmetry,
             "symmetry-reduced transposition requires enforce_symmetry",
         );
+        assert!(
+            self.config.energy_batches >= 1,
+            "energy_batches must be at least 1",
+        );
         let n_ranks = self.config.n_ranks;
         let h = Arc::new(self.device.hamiltonian_bt());
         let v = Arc::new({
@@ -338,11 +434,12 @@ impl DistScbaSolver {
             let (h, v, plan, energies) = (h, v, Arc::clone(&plan), energies);
             let (flops, timings) = (Arc::clone(&flops), Arc::clone(&timings));
             let rebalance = self.config.rebalance_energies;
+            let n_batches = self.config.energy_batches;
             let layout = Arc::clone(&spatial_layout);
             move |ctx: RankContext<Vec<c64>>| -> RankOut {
                 rank_main(
                     &ctx, &cfg, &h, &v, &plan, &layout, &energies, de, kt, ne, nb, rebalance,
-                    &flops, &timings,
+                    n_batches, &flops, &timings,
                 )
             }
         };
@@ -361,6 +458,14 @@ impl DistScbaSolver {
         let memo_total = rank0.memo_total + results.iter().map(|r| r.memo_total).sum::<usize>();
         let rebalance_bytes: u64 =
             rank0.rebalance_bytes + results.iter().map(|r| r.rebalance_bytes).sum::<u64>();
+        // The busiest rank's in-flight buffer bounds the per-node memory; the
+        // overlap windows add up across ranks like the kernel timings do.
+        let peak_slab_bytes = results
+            .iter()
+            .map(|r| r.peak_slab_bytes)
+            .fold(rank0.peak_slab_bytes, u64::max);
+        let overlap_window_seconds =
+            rank0.overlap_seconds + results.iter().map(|r| r.overlap_seconds).sum::<f64>();
 
         let report = self.build_report(
             &plan,
@@ -372,6 +477,8 @@ impl DistScbaSolver {
             &traffic_w,
             rank0.energy_rebalances,
             rebalance_bytes,
+            peak_slab_bytes,
+            overlap_window_seconds,
         );
         let result_flops = FlopCounter::new();
         result_flops.merge(&flops);
@@ -405,6 +512,8 @@ impl DistScbaSolver {
         traffic_w: &SpatialTraffic,
         energy_rebalances: usize,
         rebalance_bytes: u64,
+        peak_slab_bytes: u64,
+        overlap_window_seconds: f64,
     ) -> DistReport {
         use std::sync::atomic::Ordering;
         DistReport {
@@ -430,6 +539,9 @@ impl DistScbaSolver {
             broadcast_equivalent_bytes_w: traffic_w.broadcast_equivalent_bytes,
             energy_rebalances,
             measured_rebalance_bytes: rebalance_bytes,
+            batch_count: self.config.energy_batches,
+            peak_slab_bytes,
+            overlap_window_seconds,
             n_collectives: stats.n_collectives.load(Ordering::Relaxed),
             budget: TranspositionBudget::new(
                 plan.stored_values(),
@@ -489,71 +601,289 @@ impl ElementPhase {
     }
 }
 
-/// Run the lesser/greater convolution kernel for every owned element (and
-/// mirror), symmetrise, and build the retarded component causally.
-fn element_convolutions(
-    plan: &TranspositionPlan,
-    group: usize,
-    enforce_symmetry: bool,
-    mut kernel: impl FnMut(usize, bool) -> (Vec<c64>, Vec<c64>),
-    flops: &FlopCounter,
-) -> ElementPhase {
-    let elems = plan.element_ranges[group].clone();
-    let n_local = elems.len();
-    let mut phase = ElementPhase {
-        lesser_c: Vec::with_capacity(n_local),
-        lesser_m: Vec::with_capacity(n_local),
-        greater_c: Vec::with_capacity(n_local),
-        greater_m: Vec::with_capacity(n_local),
-        retarded_c: Vec::with_capacity(n_local),
-        retarded_m: Vec::with_capacity(n_local),
-    };
-    for (e_local, e) in elems.enumerate() {
-        let id = plan.elements[e];
-        let (mut lc, mut gc) = kernel(e_local, false);
-        let (mut lm, mut gm) = if id.is_self_mirror() {
-            (lc.clone(), gc.clone())
-        } else {
-            kernel(e_local, true)
-        };
-        if enforce_symmetry {
-            symmetrize_series_pair(&mut lc, &mut lm, id.is_self_mirror());
-            symmetrize_series_pair(&mut gc, &mut gm, id.is_self_mirror());
-        }
-        let rc = causal_retarded_series(&lc, &gc, flops);
-        let rm = if id.is_self_mirror() {
-            rc.clone()
-        } else {
-            causal_retarded_series(&lm, &gm, flops)
-        };
-        phase.lesser_c.push(lc);
-        phase.lesser_m.push(lm);
-        phase.greater_c.push(gc);
-        phase.greater_m.push(gm);
-        phase.retarded_c.push(rc);
-        phase.retarded_m.push(rm);
-    }
-    phase
+/// Running per-element convolution accumulators: one series per owned
+/// element (canonical and mirror), filled batch by batch by the
+/// `quatrex_core::convolution::*_accumulate` kernels while later batches are
+/// still in flight.
+struct ConvAccumulators {
+    lesser_c: Vec<Vec<c64>>,
+    lesser_m: Vec<Vec<c64>>,
+    greater_c: Vec<Vec<c64>>,
+    greater_m: Vec<Vec<c64>>,
 }
 
-/// Exchange per-group payloads through the flat communicator: group `g`'s
-/// message rides to (and from) its leader rank. Non-leader ranks participate
-/// with empty messages. Returns the received messages indexed by source
-/// *group*.
-fn leader_alltoallv(
+impl ConvAccumulators {
+    fn zeroed(n_local: usize, ne: usize) -> Self {
+        let zero = || vec![vec![c64::new(0.0, 0.0); ne]; n_local];
+        Self {
+            lesser_c: zero(),
+            lesser_m: zero(),
+            greater_c: zero(),
+            greater_m: zero(),
+        }
+    }
+
+    /// The phase epilogue after the last batch has been consumed: symmetrise
+    /// the canonical/mirror pairs and build the retarded components causally
+    /// — arithmetic identical to the pre-batch per-element loop.
+    fn finish(
+        mut self,
+        plan: &TranspositionPlan,
+        group: usize,
+        enforce_symmetry: bool,
+        flops: &FlopCounter,
+    ) -> ElementPhase {
+        let elems = plan.element_ranges[group].clone();
+        let n_local = elems.len();
+        let mut phase = ElementPhase {
+            lesser_c: Vec::with_capacity(n_local),
+            lesser_m: Vec::with_capacity(n_local),
+            greater_c: Vec::with_capacity(n_local),
+            greater_m: Vec::with_capacity(n_local),
+            retarded_c: Vec::with_capacity(n_local),
+            retarded_m: Vec::with_capacity(n_local),
+        };
+        for (e_local, e) in elems.enumerate() {
+            let id = plan.elements[e];
+            let mut lc = std::mem::take(&mut self.lesser_c[e_local]);
+            let mut gc = std::mem::take(&mut self.greater_c[e_local]);
+            let (mut lm, mut gm) = if id.is_self_mirror() {
+                (lc.clone(), gc.clone())
+            } else {
+                (
+                    std::mem::take(&mut self.lesser_m[e_local]),
+                    std::mem::take(&mut self.greater_m[e_local]),
+                )
+            };
+            if enforce_symmetry {
+                symmetrize_series_pair(&mut lc, &mut lm, id.is_self_mirror());
+                symmetrize_series_pair(&mut gc, &mut gm, id.is_self_mirror());
+            }
+            let rc = causal_retarded_series(&lc, &gc, flops);
+            let rm = if id.is_self_mirror() {
+                rc.clone()
+            } else {
+                causal_retarded_series(&lm, &gm, flops)
+            };
+            phase.lesser_c.push(lc);
+            phase.lesser_m.push(lm);
+            phase.greater_c.push(gc);
+            phase.greater_m.push(gm);
+            phase.retarded_c.push(rc);
+            phase.retarded_m.push(rm);
+        }
+        phase
+    }
+}
+
+/// In-flight transposition buffer accounting and overlap stopwatch of one
+/// rank: every posted (and received) batch payload counts toward the current
+/// buffer footprint until its batch has been consumed; the peak is what
+/// `DistReport::peak_slab_bytes` reports, and the overlap clock accumulates
+/// the compute time that ran while at least one batch was in flight.
+#[derive(Default)]
+struct PipelineMetrics {
+    in_flight_bytes: u64,
+    peak_bytes: u64,
+    overlap_seconds: f64,
+}
+
+impl PipelineMetrics {
+    fn track(&mut self, bytes: u64) {
+        self.in_flight_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.in_flight_bytes);
+    }
+
+    fn release(&mut self, bytes: u64) {
+        self.in_flight_bytes -= bytes;
+    }
+}
+
+/// Buffer bytes of a per-destination payload set (self-messages included —
+/// they occupy memory even though they never touch the wire).
+fn payload_bytes(payloads: &[Vec<c64>]) -> u64 {
+    payloads
+        .iter()
+        .map(|m| (m.len() * BYTES_PER_VALUE) as u64)
+        .sum()
+}
+
+/// Post a per-group exchange through the flat communicator without blocking:
+/// group `g`'s message rides to its leader rank, non-leader ranks contribute
+/// empty messages. Completed by [`leader_wait`].
+fn leader_alltoallv_start(
     ctx: &RankContext<Vec<c64>>,
     grid: &RankGrid,
     payloads_by_group: Vec<Vec<c64>>,
-) -> Vec<Vec<c64>> {
+) -> CommHandle<Vec<c64>> {
     debug_assert_eq!(payloads_by_group.len(), grid.n_groups);
     let mut send: Vec<Vec<c64>> = vec![Vec::new(); grid.n_ranks()];
     for (g, msg) in payloads_by_group.into_iter().enumerate() {
         send[grid.leader_of(g)] = msg;
     }
-    let mut recv = ctx.alltoallv(send, |m| m.len() * BYTES_PER_VALUE);
+    ctx.alltoallv_start(send, |m| m.len() * BYTES_PER_VALUE)
+}
+
+/// Complete an exchange posted by [`leader_alltoallv_start`]: returns the
+/// received messages indexed by source *group*.
+fn leader_wait(
+    ctx: &RankContext<Vec<c64>>,
+    grid: &RankGrid,
+    handle: CommHandle<Vec<c64>>,
+) -> Vec<Vec<c64>> {
+    let mut recv = handle.wait(ctx);
     (0..grid.n_groups)
         .map(|g| std::mem::take(&mut recv[grid.leader_of(g)]))
         .collect()
+}
+
+/// Drive one forward transposition (energy-major → element-major) through the
+/// double-buffered batch pipeline: batch `k+1`'s `Alltoallv` is posted
+/// non-blocking before batch `k` is unpacked, so `consume` (the per-batch
+/// convolution accumulation; called on leaders for every non-empty batch with
+/// the slab-so-far, the arrived global energy indices, and whether earlier
+/// batches arrived) computes while the next batch flies. Non-leader ranks
+/// join every batch collective with empty messages. Returns the fully
+/// assembled element slab on leaders.
+#[allow(clippy::too_many_arguments)]
+fn forward_pipeline(
+    ctx: &RankContext<Vec<c64>>,
+    grid: &RankGrid,
+    plan: &TranspositionPlan,
+    batches: &TranspositionBatchPlan,
+    group: usize,
+    is_leader: bool,
+    comps: &[&[BlockTridiagonal]],
+    n_components: usize,
+    transposition_bytes: &mut u64,
+    metrics: &mut PipelineMetrics,
+    mut consume: impl FnMut(&ElementSlab, &[usize], bool),
+) -> Option<ElementSlab> {
+    let n_batches = batches.n_batches;
+    let mut slab = is_leader.then(|| {
+        ElementSlab::zeroed(
+            plan.element_ranges[group].clone(),
+            n_components,
+            plan.n_energies,
+        )
+    });
+    let post = |b: usize,
+                transposition_bytes: &mut u64,
+                metrics: &mut PipelineMetrics|
+     -> (CommHandle<Vec<c64>>, u64) {
+        let payloads = if is_leader {
+            plan.scatter_forward_batch(group, comps, batches.local_ranges[group][b].clone())
+        } else {
+            vec![Vec::new(); grid.n_groups]
+        };
+        *transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        let bytes = payload_bytes(&payloads);
+        metrics.track(bytes);
+        (leader_alltoallv_start(ctx, grid, payloads), bytes)
+    };
+    let mut handles: VecDeque<(CommHandle<Vec<c64>>, u64)> = VecDeque::new();
+    let first = post(0, transposition_bytes, metrics);
+    handles.push_back(first);
+    let mut arrived_before = false;
+    for b in 0..n_batches {
+        if b + 1 < n_batches {
+            let next = post(b + 1, transposition_bytes, metrics);
+            handles.push_back(next);
+        }
+        let (handle, sent_bytes) = handles.pop_front().expect("batch in flight");
+        let received = leader_wait(ctx, grid, handle);
+        let recv_bytes = payload_bytes(&received);
+        metrics.track(recv_bytes);
+        let overlapped = !handles.is_empty();
+        let t = Instant::now();
+        if let Some(slab) = slab.as_mut() {
+            plan.absorb_forward_batch(group, slab, received, &batches.global_ranges(plan, b));
+            let batch_view = batches.arrived_global(plan, b);
+            if !batch_view.is_empty() {
+                consume(slab, &batch_view, arrived_before);
+                arrived_before = true;
+            }
+        }
+        if overlapped {
+            metrics.overlap_seconds += t.elapsed().as_secs_f64();
+        }
+        metrics.release(sent_bytes + recv_bytes);
+    }
+    slab
+}
+
+/// Drive one backward transposition (element-major → energy-major) through
+/// the double-buffered batch pipeline: batch `k+1` is packed and posted
+/// before batch `k` is scattered into the pre-allocated energy-major
+/// matrices. `comps` is the leader's element-phase output (`None` on
+/// non-leaders); returns one energy-major quantity per `symmetric` entry on
+/// leaders, empty vectors elsewhere.
+#[allow(clippy::too_many_arguments)]
+fn backward_pipeline(
+    ctx: &RankContext<Vec<c64>>,
+    grid: &RankGrid,
+    plan: &TranspositionPlan,
+    batches: &TranspositionBatchPlan,
+    group: usize,
+    is_leader: bool,
+    comps: Option<&[BackComponent<'_>]>,
+    symmetric: &[bool],
+    transposition_bytes: &mut u64,
+    metrics: &mut PipelineMetrics,
+) -> Vec<Vec<BlockTridiagonal>> {
+    let n_batches = batches.n_batches;
+    let n_local = plan.energy_ranges[group].len();
+    let mut out: Vec<Vec<BlockTridiagonal>> = if is_leader {
+        (0..symmetric.len())
+            .map(|_| vec![BlockTridiagonal::zeros(plan.n_blocks, plan.block_size); n_local])
+            .collect()
+    } else {
+        (0..symmetric.len()).map(|_| Vec::new()).collect()
+    };
+    let post = |b: usize,
+                transposition_bytes: &mut u64,
+                metrics: &mut PipelineMetrics|
+     -> (CommHandle<Vec<c64>>, u64) {
+        let payloads = match comps {
+            Some(comps) => {
+                plan.scatter_backward_batch(group, comps, &batches.global_ranges(plan, b))
+            }
+            None => vec![Vec::new(); grid.n_groups],
+        };
+        *transposition_bytes += plan.off_rank_bytes(group, &payloads);
+        let bytes = payload_bytes(&payloads);
+        metrics.track(bytes);
+        (leader_alltoallv_start(ctx, grid, payloads), bytes)
+    };
+    let mut handles: VecDeque<(CommHandle<Vec<c64>>, u64)> = VecDeque::new();
+    let first = post(0, transposition_bytes, metrics);
+    handles.push_back(first);
+    for b in 0..n_batches {
+        if b + 1 < n_batches {
+            let next = post(b + 1, transposition_bytes, metrics);
+            handles.push_back(next);
+        }
+        let (handle, sent_bytes) = handles.pop_front().expect("batch in flight");
+        let received = leader_wait(ctx, grid, handle);
+        let recv_bytes = payload_bytes(&received);
+        metrics.track(recv_bytes);
+        let overlapped = !handles.is_empty();
+        let t = Instant::now();
+        if is_leader {
+            plan.absorb_backward_batch(
+                group,
+                &mut out,
+                received,
+                symmetric,
+                batches.global_range(plan, group, b),
+            );
+        }
+        if overlapped {
+            metrics.overlap_seconds += t.elapsed().as_secs_f64();
+        }
+        metrics.release(sent_bytes + recv_bytes);
+    }
+    out
 }
 
 /// The per-rank SCBA main loop.
@@ -571,6 +901,7 @@ fn rank_main(
     ne: usize,
     nb: usize,
     rebalance: bool,
+    n_batches: usize,
     flops: &FlopCounter,
     timings: &KernelTimings,
 ) -> RankOut {
@@ -623,6 +954,7 @@ fn rank_main(
     let mut traffic_w = SpatialTraffic::default();
     let mut energy_rebalances = 0usize;
     let mut rebalance_bytes = 0u64;
+    let mut pipe = PipelineMetrics::default();
 
     // Last-iteration local spectral data. Only the G^< diagonal traces feed
     // the density, so they are extracted at G-step time instead of keeping
@@ -634,6 +966,9 @@ fn rank_main(
     for _iter in 0..cfg.max_iterations {
         iterations += 1;
         let plan_local: &TranspositionPlan = plan_rebalanced.as_ref().unwrap_or(plan);
+        // The batch schedule follows the (possibly rebalanced) energy
+        // ownership of this iteration.
+        let batch_plan = TranspositionBatchPlan::new(plan_local, n_batches);
         let my_e = plan_local.energy_ranges[group].clone();
         let n_local = my_e.len();
         let n_state = if is_leader { n_local } else { 0 };
@@ -745,56 +1080,89 @@ fn rank_main(
             break;
         }
 
-        // ------------------------------------- transposition #1: G^≶ forward
-        let payloads = if is_leader {
-            plan_local.scatter_forward(group, &[&g_lesser, &g_greater])
-        } else {
-            vec![Vec::new(); grid.n_groups]
-        };
-        transposition_bytes += plan_local.off_rank_bytes(group, &payloads);
-        let received = leader_alltoallv(ctx, &grid, payloads);
-        let g_slab = is_leader.then(|| plan_local.gather_elements(group, received, 2));
-
-        // ------------------------------------------------------------ P step
-        let p_phase = g_slab.as_ref().map(|g_slab| {
-            let t = Instant::now();
-            let phase = element_convolutions(
-                plan_local,
-                group,
-                cfg.enforce_symmetry,
-                |e, mirrored| {
-                    // P_ij(ω) needs G^<_ij, G^>_ji, G^>_ij, G^<_ji; the mirrored
-                    // element swaps canonical and mirror series.
-                    let (gl, gg, gl_m, gg_m) = (
-                        &g_slab.canonical[0][e],
-                        &g_slab.canonical[1][e],
-                        &g_slab.mirror[0][e],
-                        &g_slab.mirror[1][e],
+        // ------------- transposition #1 + P step (pipelined over B batches)
+        // Batch k+1's Alltoallv flies while the polarisation kernels consume
+        // batch k: P is bilinear in G, so each arriving batch contributes its
+        // cross terms against everything arrived so far (exact; see
+        // `polarization_series_accumulate`).
+        let elems = plan_local.element_ranges[group].clone();
+        let n_elems = elems.len();
+        let mut p_acc = is_leader.then(|| ConvAccumulators::zeroed(n_elems, ne));
+        let g_slab = forward_pipeline(
+            ctx,
+            &grid,
+            plan_local,
+            &batch_plan,
+            group,
+            is_leader,
+            &[&g_lesser, &g_greater],
+            2,
+            &mut transposition_bytes,
+            &mut pipe,
+            |slab, batch, arrived_before| {
+                let acc = p_acc.as_mut().expect("leader accumulators");
+                let t = Instant::now();
+                for e_local in 0..n_elems {
+                    let id = plan_local.elements[elems.start + e_local];
+                    // P_ij(ω) needs G^<_ij, G^>_ji, G^>_ij, G^<_ji; the
+                    // mirrored element swaps canonical and mirror series.
+                    let (gl, gg) = (&slab.canonical[0][e_local], &slab.canonical[1][e_local]);
+                    let (gl_m, gg_m) = (&slab.mirror[0][e_local], &slab.mirror[1][e_local]);
+                    polarization_series_accumulate(
+                        &mut acc.lesser_c[e_local],
+                        &mut acc.greater_c[e_local],
+                        gl,
+                        gg_m,
+                        gg,
+                        gl_m,
+                        batch,
+                        arrived_before,
+                        de,
+                        flops,
                     );
-                    if mirrored {
-                        polarization_series(gl_m, gg, gg_m, gl, de, flops)
-                    } else {
-                        polarization_series(gl, gg_m, gg, gl_m, de, flops)
+                    if !id.is_self_mirror() {
+                        polarization_series_accumulate(
+                            &mut acc.lesser_m[e_local],
+                            &mut acc.greater_m[e_local],
+                            gl_m,
+                            gg,
+                            gg_m,
+                            gl,
+                            batch,
+                            arrived_before,
+                            de,
+                            flops,
+                        );
                     }
-                },
-                flops,
-            );
+                }
+                timings.add(&timings.convolution_ns, t);
+            },
+        );
+        let p_phase = p_acc.map(|acc| {
+            let t = Instant::now();
+            let phase = acc.finish(plan_local, group, cfg.enforce_symmetry, flops);
             timings.add(&timings.convolution_ns, t);
             phase
         });
 
         // ------------------------------------ transposition #2: P backward
-        let payloads = match &p_phase {
-            Some(p) => plan_local.scatter_backward(group, &p.back_components()),
-            None => vec![Vec::new(); grid.n_groups],
-        };
-        transposition_bytes += plan_local.off_rank_bytes(group, &payloads);
-        let received = leader_alltoallv(ctx, &grid, payloads);
+        let p_comps = p_phase.as_ref().map(|p| p.back_components());
+        let mut p_out = backward_pipeline(
+            ctx,
+            &grid,
+            plan_local,
+            &batch_plan,
+            group,
+            is_leader,
+            p_comps.as_ref().map(|c| c.as_slice()),
+            &[true, true, false],
+            &mut transposition_bytes,
+            &mut pipe,
+        );
         let (p_lesser, p_greater, p_retarded) = if is_leader {
-            let mut p = plan_local.gather_energies(group, received, &[true, true, false]);
-            let p_retarded = p.pop().expect("P^R");
-            let p_greater = p.pop().expect("P^>");
-            let p_lesser = p.pop().expect("P^<");
+            let p_retarded = p_out.pop().expect("P^R");
+            let p_greater = p_out.pop().expect("P^>");
+            let p_lesser = p_out.pop().expect("P^<");
             (p_lesser, p_greater, p_retarded)
         } else {
             (Vec::new(), Vec::new(), Vec::new())
@@ -876,66 +1244,83 @@ fn rank_main(
         let iter_trunc = truncs.iter().flatten().fold(0.0f64, |m, t| m.max(t.re));
         max_truncation = max_truncation.max(iter_trunc);
 
-        // ------------------------------------ transposition #3: W^≶ forward
-        let payloads = if is_leader {
-            plan_local.scatter_forward(group, &[&w_lesser, &w_greater])
-        } else {
-            vec![Vec::new(); grid.n_groups]
-        };
-        transposition_bytes += plan_local.off_rank_bytes(group, &payloads);
-        let received = leader_alltoallv(ctx, &grid, payloads);
-        let w_slab = is_leader.then(|| plan_local.gather_elements(group, received, 2));
-
-        // ------------------------------------------------------------ Σ step
-        let s_phase = match (&g_slab, &w_slab) {
-            (Some(g_slab), Some(w_slab)) => {
+        // ------------- transposition #3 + Σ step (pipelined over B batches)
+        // Σ is linear in W, so each arriving W batch contributes
+        // `conv(Δw, g)` against the complete G slab (held since #1) while the
+        // next batch flies (see `self_energy_series_accumulate`).
+        let mut s_acc = is_leader.then(|| ConvAccumulators::zeroed(n_elems, ne));
+        let w_slab = forward_pipeline(
+            ctx,
+            &grid,
+            plan_local,
+            &batch_plan,
+            group,
+            is_leader,
+            &[&w_lesser, &w_greater],
+            2,
+            &mut transposition_bytes,
+            &mut pipe,
+            |w_slab, batch, _arrived_before| {
+                let g_slab = g_slab.as_ref().expect("leader holds the G slab");
+                let acc = s_acc.as_mut().expect("leader accumulators");
                 let t = Instant::now();
-                let phase = element_convolutions(
-                    plan_local,
-                    group,
-                    cfg.enforce_symmetry,
-                    |e, mirrored| {
-                        // Σ_ij(E) needs G^≶_ij and W^≶_ij of the same element.
-                        if mirrored {
-                            self_energy_series(
-                                &g_slab.mirror[0][e],
-                                &g_slab.mirror[1][e],
-                                &w_slab.mirror[0][e],
-                                &w_slab.mirror[1][e],
-                                de,
-                                flops,
-                            )
-                        } else {
-                            self_energy_series(
-                                &g_slab.canonical[0][e],
-                                &g_slab.canonical[1][e],
-                                &w_slab.canonical[0][e],
-                                &w_slab.canonical[1][e],
-                                de,
-                                flops,
-                            )
-                        }
-                    },
-                    flops,
-                );
+                for e_local in 0..n_elems {
+                    let id = plan_local.elements[elems.start + e_local];
+                    // Σ_ij(E) needs G^≶_ij and W^≶_ij of the same element.
+                    self_energy_series_accumulate(
+                        &mut acc.lesser_c[e_local],
+                        &mut acc.greater_c[e_local],
+                        &g_slab.canonical[0][e_local],
+                        &g_slab.canonical[1][e_local],
+                        &w_slab.canonical[0][e_local],
+                        &w_slab.canonical[1][e_local],
+                        batch,
+                        de,
+                        flops,
+                    );
+                    if !id.is_self_mirror() {
+                        self_energy_series_accumulate(
+                            &mut acc.lesser_m[e_local],
+                            &mut acc.greater_m[e_local],
+                            &g_slab.mirror[0][e_local],
+                            &g_slab.mirror[1][e_local],
+                            &w_slab.mirror[0][e_local],
+                            &w_slab.mirror[1][e_local],
+                            batch,
+                            de,
+                            flops,
+                        );
+                    }
+                }
                 timings.add(&timings.convolution_ns, t);
-                Some(phase)
-            }
-            _ => None,
-        };
+            },
+        );
+        drop(w_slab);
+        let s_phase = s_acc.map(|acc| {
+            let t = Instant::now();
+            let phase = acc.finish(plan_local, group, cfg.enforce_symmetry, flops);
+            timings.add(&timings.convolution_ns, t);
+            phase
+        });
 
         // ------------------------------------ transposition #4: Σ backward
-        let payloads = match &s_phase {
-            Some(s) => plan_local.scatter_backward(group, &s.back_components()),
-            None => vec![Vec::new(); grid.n_groups],
-        };
-        transposition_bytes += plan_local.off_rank_bytes(group, &payloads);
-        let received = leader_alltoallv(ctx, &grid, payloads);
+        let s_comps = s_phase.as_ref().map(|s| s.back_components());
+        let mut s_out = backward_pipeline(
+            ctx,
+            &grid,
+            plan_local,
+            &batch_plan,
+            group,
+            is_leader,
+            s_comps.as_ref().map(|c| c.as_slice()),
+            &[true, true, false],
+            &mut transposition_bytes,
+            &mut pipe,
+        );
         let (s_lesser_new, s_greater_new, s_retarded_new) = if is_leader {
-            let mut s = plan_local.gather_energies(group, received, &[true, true, false]);
-            let s_retarded_new = s.pop().expect("Σ^R");
-            let s_greater_new = s.pop().expect("Σ^>");
-            let s_lesser_new = s.pop().expect("Σ^<");
+            let s_retarded_new = s_out.pop().expect("Σ^R");
+            let s_greater_new = s_out.pop().expect("Σ^>");
+            let s_lesser_new = s_out.pop().expect("Σ^<");
             (s_lesser_new, s_greater_new, s_retarded_new)
         } else {
             (Vec::new(), Vec::new(), Vec::new())
@@ -1069,6 +1454,8 @@ fn rank_main(
         memo_total,
         energy_rebalances,
         rebalance_bytes,
+        peak_slab_bytes: pipe.peak_bytes,
+        overlap_seconds: pipe.overlap_seconds,
     }
 }
 

@@ -255,35 +255,46 @@ pub fn spatial_phase_solve(
     }
     traffic.slice_bytes = off_rank_payload_bytes(rank, &send);
     traffic.boundary_bytes += traffic.slice_bytes;
-    let recv = ctx.alltoallv(send, wire);
-    let local_slices: Vec<PartitionSystemSlice> = if is_leader {
-        systems
+    // Post the slices non-blocking: the leader needs nothing from this
+    // exchange (the messages addressed to it are empty), so it extracts and
+    // eliminates its own partition while the members' slices are in flight —
+    // the same communication/computation overlap the batched transpositions
+    // use, applied to the system distribution.
+    let handle = ctx.alltoallv_start(send, wire);
+    let my_part = &parts[s];
+    let eliminate = |slices: &[PartitionSystemSlice]| -> Vec<PartitionSolveState> {
+        let t = Instant::now();
+        let states: Vec<PartitionSolveState> = slices
+            .iter()
+            .map(|slice| {
+                eliminate_partition_slice(slice, my_part, s)
+                    .expect("spatial elimination failed: the interior became singular")
+            })
+            .collect();
+        flops.add(kind, states.iter().map(|st| st.workload.flops).sum());
+        timings.add(slot, t);
+        states
+    };
+    let states: Vec<PartitionSolveState> = if is_leader {
+        let local_slices: Vec<PartitionSystemSlice> = systems
             .iter()
             .map(|(a, rl, rg)| PartitionSystemSlice::extract(a, &[rl, rg], &parts[0]))
-            .collect()
+            .collect();
+        let states = eliminate(&local_slices);
+        let _ = handle.wait(ctx); // empty messages; drain to stay in sync
+        states
     } else {
+        let recv = handle.wait(ctx);
         let mut it = recv[leader].iter();
-        (0..n_owned)
+        let local_slices: Vec<PartitionSystemSlice> = (0..n_owned)
             .map(|_| {
                 let slice = PartitionSlice::decode(&mut it, bs);
                 debug_assert_eq!(slice.partition, s, "slice addressed to this rank");
                 slice.system
             })
-            .collect()
+            .collect();
+        eliminate(&local_slices)
     };
-
-    // ------------------------------------------------ eliminate own partition
-    let t = Instant::now();
-    let my_part = &parts[s];
-    let states: Vec<PartitionSolveState> = local_slices
-        .iter()
-        .map(|slice| {
-            eliminate_partition_slice(slice, my_part, s)
-                .expect("spatial elimination failed: the interior became singular")
-        })
-        .collect();
-    flops.add(kind, states.iter().map(|st| st.workload.flops).sum());
-    timings.add(slot, t);
 
     // -------------------------------- gather the reduced updates to the leader
     let mut send: Vec<Vec<c64>> = vec![Vec::new(); n_ranks];

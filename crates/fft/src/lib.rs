@@ -14,6 +14,22 @@
 //! * [`fft_any`] / [`ifft_any`] — Bluestein's algorithm for arbitrary sizes,
 //! * [`convolve`] / [`correlate`] — zero-padded linear convolution /
 //!   correlation, the exact primitives used by the `P` and `Σ` kernels.
+//!
+//! ```
+//! use quatrex_fft::{c64, convolve, fft, ifft};
+//!
+//! // Round trip: FFT then inverse FFT restores the signal.
+//! let signal: Vec<c64> = (0..8).map(|k| c64::new(k as f64, -0.5)).collect();
+//! let mut x = signal.clone();
+//! fft(&mut x);
+//! ifft(&mut x);
+//! for (a, b) in x.iter().zip(&signal) {
+//!     assert!((*a - *b).norm() < 1e-12);
+//! }
+//! // Zero-padded linear convolution, the primitive behind the P/Σ kernels.
+//! let out = convolve(&signal, &signal);
+//! assert_eq!(out.len(), 2 * signal.len() - 1);
+//! ```
 
 pub mod convolution;
 pub mod transform;

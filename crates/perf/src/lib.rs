@@ -20,6 +20,26 @@
 //! (complexity), Table 3 (devices), Table 4 (kernel breakdown, memoizer
 //! on/off), Table 5 (spatial domain decomposition), Table 6 (full-machine
 //! runs) and Figure 6 (weak scaling with the *CCL / host-MPI crossover).
+//!
+//! The central entry point is the Fig. 6 weak-scaling series:
+//!
+//! ```
+//! use quatrex_device::DeviceCatalog;
+//! use quatrex_perf::{weak_scaling_series, DecompositionOverhead, SystemModel};
+//! use quatrex_runtime::CommBackend;
+//!
+//! let series = weak_scaling_series(
+//!     &DeviceCatalog::nr16(),
+//!     &SystemModel::frontier(),
+//!     CommBackend::HostMpi,
+//!     1, // P_S
+//!     1, // iterations
+//!     &DecompositionOverhead::paper_calibrated(),
+//!     &[1, 2, 4], // nodes
+//! );
+//! assert_eq!(series.len(), 3);
+//! assert!(series.iter().all(|point| point.total_s() > 0.0));
+//! ```
 
 pub mod machine;
 pub mod scaling;

@@ -7,7 +7,15 @@
 //! `barrier`. Every operation records the number of bytes a real network
 //! would have carried, so the weak-scaling model can be driven by measured
 //! volumes rather than estimates.
+//!
+//! The all-to-all exchange also exists in a split, non-blocking form
+//! ([`RankContext::alltoallv_start`] returning a [`CommHandle`]): the sends
+//! are posted immediately and the receives are deferred until
+//! [`CommHandle::wait`], so a rank can compute while a batch of messages is
+//! in flight — the communication/computation overlap of the paper's
+//! energy-batched transpositions.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -73,6 +81,28 @@ pub struct RankContext<T: Send + 'static> {
     barrier: Arc<std::sync::Barrier>,
     reduce_slots: Arc<Mutex<Vec<f64>>>,
     stats: Arc<CommStats>,
+    /// Sequence number handed to the next [`RankContext::alltoallv_start`].
+    next_post_seq: Cell<u64>,
+    /// Sequence number the next [`CommHandle::wait`] must present. The
+    /// per-pair channels are FIFO, so in-flight exchanges are matched purely
+    /// by posting order — waits must therefore happen in that same order.
+    next_wait_seq: Cell<u64>,
+}
+
+/// An in-flight non-blocking all-to-all started by
+/// [`RankContext::alltoallv_start`]: the sends have been posted, the receives
+/// are deferred until [`CommHandle::wait`].
+///
+/// Handles must be waited **in posting order** (the channel pairs are FIFO,
+/// so ordering is the matching rule — like MPI's non-overtaking guarantee),
+/// and every handle must be waited before the rank issues any other
+/// message-carrying collective (`alltoallv`, `allgather`); both rules are
+/// enforced by assertions. Dropping a handle without waiting would leave the
+/// peers' messages queued and desynchronise every later collective.
+#[must_use = "an un-waited alltoallv leaves its messages queued and breaks every later collective"]
+pub struct CommHandle<T: Send + 'static> {
+    seq: u64,
+    _marker: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<T: Send + 'static> RankContext<T> {
@@ -109,13 +139,30 @@ impl<T: Send + 'static> RankContext<T> {
     /// message for the byte accounting — it is called once per destination, so
     /// messages of different sizes are accounted exactly. Off-rank bytes are
     /// also pinned to this rank in [`CommStats::per_rank_alltoall_bytes`].
+    ///
+    /// This is literally [`RankContext::alltoallv_start`] followed by an
+    /// immediate [`CommHandle::wait`], so the blocking path and a
+    /// single-batch pipeline execute identical code.
     pub fn alltoallv(&self, send: Vec<T>, wire_bytes: impl Fn(&T) -> usize) -> Vec<T> {
+        self.alltoallv_start(send, wire_bytes).wait(self)
+    }
+
+    /// Post the sends of a variable-size all-to-all and return immediately;
+    /// the receives happen in [`CommHandle::wait`]. Between `start` and
+    /// `wait` the rank is free to compute — that window is the
+    /// communication/computation overlap of the energy-batched
+    /// transpositions.
+    ///
+    /// Several exchanges may be in flight at once, but they are matched by
+    /// posting order (FIFO channels): handles must be waited in the order
+    /// they were started, and all of them before any other message-carrying
+    /// collective. Byte and collective counts are recorded at post time.
+    pub fn alltoallv_start(&self, send: Vec<T>, wire_bytes: impl Fn(&T) -> usize) -> CommHandle<T> {
         assert_eq!(
             send.len(),
             self.n_ranks,
             "alltoall needs one message per destination"
         );
-        let n = self.n_ranks;
         let mut moved_bytes = 0u64;
         for (dest, msg) in send.into_iter().enumerate() {
             if dest != self.rank {
@@ -131,11 +178,17 @@ impl<T: Send + 'static> RankContext<T> {
             .fetch_add(moved_bytes, Ordering::Relaxed);
         self.stats.per_rank_alltoall_bytes[self.rank].fetch_add(moved_bytes, Ordering::Relaxed);
         self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
-        let mut out = Vec::with_capacity(n);
-        for src in 0..n {
-            out.push(self.mailboxes[self.rank][src].1.recv().expect("peer alive"));
+        let seq = self.next_post_seq.get();
+        self.next_post_seq.set(seq + 1);
+        CommHandle {
+            seq,
+            _marker: std::marker::PhantomData,
         }
-        out
+    }
+
+    /// Number of exchanges started but not yet waited on this rank.
+    pub fn outstanding_exchanges(&self) -> u64 {
+        self.next_post_seq.get() - self.next_wait_seq.get()
     }
 
     /// Gather every rank's message on every rank (implemented as an
@@ -164,6 +217,25 @@ impl<T: Send + 'static> RankContext<T> {
         let sum: f64 = self.reduce_slots.lock().iter().sum();
         self.barrier.wait();
         sum
+    }
+}
+
+impl<T: Send + 'static> CommHandle<T> {
+    /// Complete the exchange: receive one message from every rank (index =
+    /// source). Panics when called out of posting order — the FIFO channel
+    /// pairs match in-flight messages purely by that order.
+    pub fn wait(self, ctx: &RankContext<T>) -> Vec<T> {
+        assert_eq!(
+            self.seq,
+            ctx.next_wait_seq.get(),
+            "alltoallv handles must be waited in posting order"
+        );
+        ctx.next_wait_seq.set(self.seq + 1);
+        let mut out = Vec::with_capacity(ctx.n_ranks);
+        for src in 0..ctx.n_ranks {
+            out.push(ctx.mailboxes[ctx.rank][src].1.recv().expect("peer alive"));
+        }
+        out
     }
 }
 
@@ -199,6 +271,8 @@ impl ThreadComm {
                 barrier: Arc::clone(&barrier),
                 reduce_slots: Arc::clone(&reduce_slots),
                 stats: Arc::clone(&stats),
+                next_post_seq: Cell::new(0),
+                next_wait_seq: Cell::new(0),
             };
             let f = Arc::clone(&f);
             handles.push(std::thread::spawn(move || f(ctx)));
@@ -309,6 +383,87 @@ mod tests {
             let flat: Vec<f64> = got.into_iter().flatten().collect();
             assert_eq!(flat, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
         }
+    }
+
+    #[test]
+    fn nonblocking_exchanges_overlap_and_match_by_posting_order() {
+        // Two exchanges in flight at once: batch 0 and batch 1 are posted
+        // before either is waited. FIFO matching must deliver batch 0's
+        // messages to the first wait and batch 1's to the second, on every
+        // rank, regardless of thread interleaving.
+        let n = 4;
+        let (results, stats) = ThreadComm::run(n, move |ctx: RankContext<Vec<u64>>| {
+            let batch = |b: u64| -> Vec<Vec<u64>> {
+                (0..ctx.n_ranks())
+                    .map(|d| vec![1000 * b + 10 * ctx.rank() as u64 + d as u64])
+                    .collect()
+            };
+            let h0 = ctx.alltoallv_start(batch(0), |m| 8 * m.len());
+            let h1 = ctx.alltoallv_start(batch(1), |m| 8 * m.len());
+            assert_eq!(ctx.outstanding_exchanges(), 2);
+            let r0 = h0.wait(&ctx);
+            assert_eq!(ctx.outstanding_exchanges(), 1);
+            let r1 = h1.wait(&ctx);
+            assert_eq!(ctx.outstanding_exchanges(), 0);
+            (r0, r1)
+        });
+        for (dest, (r0, r1)) in results.iter().enumerate() {
+            for src in 0..n {
+                assert_eq!(r0[src], vec![10 * src as u64 + dest as u64]);
+                assert_eq!(r1[src], vec![1000 + 10 * src as u64 + dest as u64]);
+            }
+        }
+        // Both exchanges' off-rank bytes were accounted at post time.
+        assert_eq!(
+            stats.alltoall_bytes.load(Ordering::Relaxed),
+            (2 * n * (n - 1) * 8) as u64
+        );
+        assert_eq!(stats.n_collectives.load(Ordering::Relaxed), 2 * n as u64);
+    }
+
+    #[test]
+    fn blocking_alltoallv_still_works_after_a_nonblocking_round() {
+        // A pipeline of non-blocking batches followed by an ordinary blocking
+        // collective must stay correctly matched.
+        let n = 3;
+        let (results, _) = ThreadComm::run(n, move |ctx: RankContext<u64>| {
+            let h = ctx.alltoallv_start(vec![ctx.rank() as u64; ctx.n_ranks()], |_| 8);
+            let first = h.wait(&ctx);
+            let second = ctx.alltoallv(vec![100 + ctx.rank() as u64; ctx.n_ranks()], |_| 8);
+            (first, second)
+        });
+        for (first, second) in results {
+            assert_eq!(first, (0..n as u64).collect::<Vec<_>>());
+            assert_eq!(second, (100..100 + n as u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn out_of_order_wait_is_rejected() {
+        let (results, _) = ThreadComm::run(1, move |ctx: RankContext<u8>| {
+            let h0 = ctx.alltoallv_start(vec![1], |_| 1);
+            let h1 = ctx.alltoallv_start(vec![2], |_| 1);
+            // Waiting h1 before h0 violates the FIFO matching rule.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h1.wait(&ctx)))
+                .expect_err("out-of-order wait must panic");
+            std::panic::set_hook(hook);
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            // Drain the queues in the correct order so the run ends cleanly.
+            let _ = h0.wait(&ctx);
+            let h1 = CommHandle {
+                seq: 1,
+                _marker: std::marker::PhantomData,
+            };
+            let _ = h1.wait(&ctx);
+            msg
+        });
+        assert!(
+            results[0].contains("posting order"),
+            "unexpected panic message: {}",
+            results[0]
+        );
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Documentation cross-reference checks (the in-test half of the CI
+//! docs-link check): `ARCHITECTURE.md` exists and is linked from
+//! `README.md`, every relative markdown link in either file resolves to a
+//! real path, and the architecture document keeps covering every workspace
+//! crate. The CI lint job runs the same link checks as a shell step so
+//! doc-only breakage fails fast without a build.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(name: &str) -> String {
+    let path = repo_root().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Extract the targets of inline markdown links `[text](target)`, dropping
+/// external URLs and in-page fragments.
+fn relative_link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                let target = &text[i + 2..i + 2 + end];
+                let target = target.split('#').next().unwrap_or("");
+                if !target.is_empty()
+                    && !target.starts_with("http://")
+                    && !target.starts_with("https://")
+                    && !target.starts_with("mailto:")
+                    && !target.contains(char::is_whitespace)
+                {
+                    out.push(target.to_string());
+                }
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn architecture_doc_exists_and_is_linked_from_the_readme() {
+    assert!(
+        repo_root().join("ARCHITECTURE.md").is_file(),
+        "ARCHITECTURE.md missing"
+    );
+    let readme = read("README.md");
+    assert!(
+        readme.contains("ARCHITECTURE.md"),
+        "README.md must link to ARCHITECTURE.md"
+    );
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    for doc in ["README.md", "ARCHITECTURE.md"] {
+        let text = read(doc);
+        let targets = relative_link_targets(&text);
+        assert!(!targets.is_empty(), "{doc}: no relative links found");
+        for target in targets {
+            assert!(
+                repo_root().join(Path::new(&target)).exists(),
+                "{doc}: broken relative link `{target}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn architecture_doc_covers_every_workspace_crate() {
+    let text = read("ARCHITECTURE.md");
+    let crates_dir = repo_root().join("crates");
+    for entry in std::fs::read_dir(&crates_dir).expect("crates/ directory") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        let crate_name = format!("quatrex-{name}");
+        assert!(
+            text.contains(&crate_name),
+            "ARCHITECTURE.md does not mention `{crate_name}`"
+        );
+    }
+    // The shims and the umbrella crate are part of the map too.
+    assert!(text.contains("shims/"), "ARCHITECTURE.md must cover shims/");
+    assert!(
+        text.contains("umbrella"),
+        "ARCHITECTURE.md must cover the umbrella crate"
+    );
+}
