@@ -66,6 +66,13 @@ impl KernelTimings {
         slot.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Accumulate `seconds` of wall time into `slot` — for call sites that
+    /// already measured a duration (e.g. through a probe span) rather than
+    /// holding an `Instant`.
+    pub fn add_seconds(&self, slot: &AtomicU64, seconds: f64) {
+        slot.fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+    }
+
     /// Total accumulated wall time in seconds.
     pub fn total_seconds(&self) -> f64 {
         (self.g_assembly_ns.load(Ordering::Relaxed)
@@ -128,25 +135,29 @@ pub fn g_step_energy(
     timings: &KernelTimings,
 ) -> Result<GStepOutput, RgfError> {
     let t0 = Instant::now();
-    let asm = assemble_g(
-        h,
-        energy,
-        config.eta,
-        energy_index,
-        sigma_r,
-        sigma_lesser,
-        sigma_greater,
-        config.mu_left,
-        config.mu_right,
-        kt,
-        config.obc_method_g,
-        memoizer,
-        flops,
-    );
+    let asm = quatrex_probe::span("g.assembly", "g.assembly", || {
+        assemble_g(
+            h,
+            energy,
+            config.eta,
+            energy_index,
+            sigma_r,
+            sigma_lesser,
+            sigma_greater,
+            config.mu_left,
+            config.mu_right,
+            kt,
+            config.obc_method_g,
+            memoizer,
+            flops,
+        )
+    });
     timings.add(&timings.g_assembly_ns, t0);
 
     let t1 = Instant::now();
-    let sol = rgf_solve_scratch(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater], scratch)?;
+    let sol = quatrex_probe::span("g.rgf", "g.rgf", || {
+        rgf_solve_scratch(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater], scratch)
+    })?;
     flops.add(FlopKind::GRgf, sol.flops);
     timings.add(&timings.g_rgf_ns, t1);
 
@@ -223,20 +234,24 @@ pub fn w_step_energy(
     timings: &KernelTimings,
 ) -> Result<WStepOutput, RgfError> {
     let t0 = Instant::now();
-    let asm = assemble_w(
-        coulomb,
-        p_retarded,
-        p_lesser,
-        p_greater,
-        energy_index,
-        config.obc_method_w,
-        memoizer,
-        flops,
-    );
+    let asm = quatrex_probe::span("w.assembly", "w.assembly", || {
+        assemble_w(
+            coulomb,
+            p_retarded,
+            p_lesser,
+            p_greater,
+            energy_index,
+            config.obc_method_w,
+            memoizer,
+            flops,
+        )
+    });
     timings.add(&timings.w_assembly_ns, t0);
 
     let t1 = Instant::now();
-    let sol = rgf_solve_scratch(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater], scratch)?;
+    let sol = quatrex_probe::span("w.rgf", "w.rgf", || {
+        rgf_solve_scratch(&asm.system, &[&asm.rhs_lesser, &asm.rhs_greater], scratch)
+    })?;
     flops.add(FlopKind::WRgf, sol.flops);
     timings.add(&timings.w_rgf_ns, t1);
     let mut lesser = sol.lesser[0].clone();
@@ -516,13 +531,17 @@ impl ScbaSolver {
 
             // ------------------------------------------------------------ P step
             let t2 = Instant::now();
-            let (mut p_lesser, mut p_greater) =
-                polarization_from_g(&g_lesser, &g_greater, de, &flops);
-            if self.config.enforce_symmetry {
-                symmetrize_all(&mut p_lesser);
-                symmetrize_all(&mut p_greater);
-            }
-            let p_retarded = retarded_from_lesser_greater(&p_lesser, &p_greater, &flops);
+            let (p_lesser, p_greater, p_retarded) =
+                quatrex_probe::span("scba.p.convolution", "conv.p", || {
+                    let (mut p_lesser, mut p_greater) =
+                        polarization_from_g(&g_lesser, &g_greater, de, &flops);
+                    if self.config.enforce_symmetry {
+                        symmetrize_all(&mut p_lesser);
+                        symmetrize_all(&mut p_greater);
+                    }
+                    let p_retarded = retarded_from_lesser_greater(&p_lesser, &p_greater, &flops);
+                    (p_lesser, p_greater, p_retarded)
+                });
             timings.add(&timings.convolution_ns, t2);
 
             // ------------------------------------------------------------ W step
@@ -559,33 +578,41 @@ impl ScbaSolver {
 
             // ------------------------------------------------------------ Σ step
             let t3 = Instant::now();
-            let (mut s_lesser_new, mut s_greater_new) =
-                self_energy_from_gw(&g_lesser, &g_greater, &w_lesser, &w_greater, de, &flops);
-            if self.config.enforce_symmetry {
-                symmetrize_all(&mut s_lesser_new);
-                symmetrize_all(&mut s_greater_new);
-            }
-            let s_retarded_new =
-                retarded_from_lesser_greater(&s_lesser_new, &s_greater_new, &flops);
+            let (s_lesser_new, s_greater_new, s_retarded_new) =
+                quatrex_probe::span("scba.sigma.convolution", "conv.sigma", || {
+                    let (mut s_lesser_new, mut s_greater_new) = self_energy_from_gw(
+                        &g_lesser, &g_greater, &w_lesser, &w_greater, de, &flops,
+                    );
+                    if self.config.enforce_symmetry {
+                        symmetrize_all(&mut s_lesser_new);
+                        symmetrize_all(&mut s_greater_new);
+                    }
+                    let s_retarded_new =
+                        retarded_from_lesser_greater(&s_lesser_new, &s_greater_new, &flops);
+                    (s_lesser_new, s_greater_new, s_retarded_new)
+                });
             timings.add(&timings.convolution_ns, t3);
 
             // Mixing and convergence check.
             let t4 = Instant::now();
-            let mut update_norm = 0.0f64;
-            let mut reference_norm = 0.0f64;
-            for k in 0..ne {
-                let (update_sq, reference_sq) = mix_sigma_energy(
-                    &mut sigma_l[k],
-                    &mut sigma_g[k],
-                    &mut sigma_r[k],
-                    &s_lesser_new[k],
-                    &s_greater_new[k],
-                    &s_retarded_new[k],
-                    self.config.mixing,
-                );
-                update_norm += update_sq;
-                reference_norm += reference_sq;
-            }
+            let (update_norm, reference_norm) = quatrex_probe::span("scba.mix", "mix", || {
+                let mut update_norm = 0.0f64;
+                let mut reference_norm = 0.0f64;
+                for k in 0..ne {
+                    let (update_sq, reference_sq) = mix_sigma_energy(
+                        &mut sigma_l[k],
+                        &mut sigma_g[k],
+                        &mut sigma_r[k],
+                        &s_lesser_new[k],
+                        &s_greater_new[k],
+                        &s_retarded_new[k],
+                        self.config.mixing,
+                    );
+                    update_norm += update_sq;
+                    reference_norm += reference_sq;
+                }
+                (update_norm, reference_norm)
+            });
             timings.add(&timings.other_ns, t4);
             let residual = if reference_norm > 0.0 {
                 (update_norm / reference_norm).sqrt()

@@ -124,6 +124,38 @@ pub struct DistReport {
     pub overlap_window_seconds: f64,
     /// Number of collectives executed.
     pub n_collectives: u64,
+    /// Off-rank all-to-all bytes split by [`quatrex_runtime::CommPhase`] tag
+    /// (`(label, bytes)` in `CommPhase::ALL` order): the four transpositions
+    /// (`fwd_g`, `bwd_p`, `fwd_w`, `bwd_sigma`), the spatial slice
+    /// distribution, the small ordered gathers, the rebalance migrations and
+    /// the untagged remainder. The entries sum to `measured_alltoall_bytes`
+    /// exactly.
+    pub alltoall_bytes_per_phase: Vec<(&'static str, u64)>,
+    /// Wall seconds per probe span category, summed over ranks (nested spans
+    /// of the same category are counted once). Sorted by category name. Empty
+    /// when the probe was disabled (`DistScbaConfig::probe = false`).
+    pub phase_seconds: Vec<(String, f64)>,
+    /// Measured overlap efficiency: the fraction of in-flight transposition
+    /// time (post → wait end, per exchange, unioned per rank) that was hidden
+    /// under convolution compute. `None` when the probe was disabled or no
+    /// transposition was posted. Complements `overlap_window_seconds` (which
+    /// measures the compute side of the same overlap).
+    pub overlap_efficiency: Option<f64>,
+    /// Time-based load-imbalance factor over the
+    /// `n_energy_groups × P_S` rank grid: max over ranks of non-communication
+    /// busy seconds divided by the mean (1.0 = perfectly balanced). `None`
+    /// when the probe was disabled.
+    pub time_imbalance: Option<f64>,
+    /// Fraction of OBC memoizer solves answered from cache, per full SCBA
+    /// iteration (summed over ranks before dividing). Empty when the memoizer
+    /// was disabled or no full iteration ran; recorded independently of the
+    /// probe flag.
+    pub memoizer_hit_rate_per_iteration: Vec<f64>,
+    /// Measured FLOP rate per phase in FLOP/s, joining the probe's per-phase
+    /// wall seconds with the `FlopCounter` accounting (`(phase, rate)`; only
+    /// phases with both nonzero seconds and nonzero FLOPs appear). Empty when
+    /// the probe was disabled.
+    pub phase_flop_rates: Vec<(String, f64)>,
     /// Predicted volume from the analytic model.
     pub budget: TranspositionBudget,
 }
@@ -225,6 +257,12 @@ mod tests {
             peak_slab_bytes: 0,
             overlap_window_seconds: 0.0,
             n_collectives: 12,
+            alltoall_bytes_per_phase: Vec::new(),
+            phase_seconds: Vec::new(),
+            overlap_efficiency: None,
+            time_imbalance: None,
+            memoizer_hit_rate_per_iteration: Vec::new(),
+            phase_flop_rates: Vec::new(),
             budget,
         };
         // The agreement uses the exact transposition counter, not the total
@@ -265,6 +303,12 @@ mod tests {
             peak_slab_bytes: 0,
             overlap_window_seconds: 0.0,
             n_collectives: 4,
+            alltoall_bytes_per_phase: Vec::new(),
+            phase_seconds: Vec::new(),
+            overlap_efficiency: None,
+            time_imbalance: None,
+            memoizer_hit_rate_per_iteration: Vec::new(),
+            phase_flop_rates: Vec::new(),
             budget,
         };
         assert_eq!(report.measured_bytes_per_rank_per_iteration(), 0);

@@ -55,11 +55,14 @@ use quatrex_linalg::c64;
 use quatrex_linalg::flops::{FlopCounter, FlopKind};
 use quatrex_linalg::CMatrix;
 use quatrex_obc::ObcMemoizer;
+use quatrex_probe::{RankTrace, Timeline};
 use quatrex_rgf::{
     partition_layout_balanced, probe_partition_flops, separator_blocks, spatial_partition_layout,
     RgfScratch, SpatialPartition,
 };
-use quatrex_runtime::{CommHandle, CommStats, DecompositionPlan, RankContext, ThreadComm};
+use quatrex_runtime::{
+    CommHandle, CommPhase, CommStats, DecompositionPlan, RankContext, ThreadComm,
+};
 use quatrex_sparse::BlockTridiagonal;
 
 use crate::partition::{energy_cost_weights, partition_weighted};
@@ -183,6 +186,19 @@ pub struct DistScbaConfig {
     /// correlation kernel per batch, so very large `B` trades FLOPs for
     /// memory/overlap.
     pub energy_batches: usize,
+    /// Record a per-rank probe trace of the run (`quatrex_probe`): every rank
+    /// installs a thread-local span/counter recorder for the duration of its
+    /// closure, and the merged [`Timeline`] lands in
+    /// [`DistScbaResult::timeline`] with the derived phase metrics in
+    /// [`DistReport`] (per-phase wall seconds, overlap efficiency, time-based
+    /// load imbalance, per-phase FLOP rates). On by default.
+    ///
+    /// **When to turn it off:** essentially never in this simulation — the
+    /// recorder is a few stores per span into pre-reserved buffers, pinned
+    /// ≤2% of the RGF kernel cost by the bench overhead check. Disable it to
+    /// pin the absolute floor of the hot path (the disabled probe is one
+    /// thread-local read per call, allocation-free by test).
+    pub probe: bool,
 }
 
 impl DistScbaConfig {
@@ -198,6 +214,7 @@ impl DistScbaConfig {
             device_params: None,
             rebalance_energies: false,
             energy_batches: 1,
+            probe: true,
         }
     }
 
@@ -232,6 +249,13 @@ impl DistScbaConfig {
         self.energy_batches = batches;
         self
     }
+
+    /// Enable or disable the per-rank probe trace. See
+    /// [`DistScbaConfig::probe`].
+    pub fn with_probe(mut self, enabled: bool) -> Self {
+        self.probe = enabled;
+        self
+    }
 }
 
 /// Result of a distributed SCBA run: the sequential result fields plus the
@@ -258,6 +282,11 @@ pub struct DistScbaResult {
     pub max_truncation_error: f64,
     /// Measured-vs-modelled communication report.
     pub report: DistReport,
+    /// Merged per-rank probe timeline of the run — one track per rank on a
+    /// shared clock. Serialise with [`Timeline::chrome_trace_json`] for
+    /// Perfetto / `chrome://tracing`. Empty when
+    /// [`DistScbaConfig::probe`] is false.
+    pub timeline: Timeline,
 }
 
 /// Per-rank return value of the communicator closure.
@@ -278,6 +307,9 @@ struct RankOut {
     rebalance_bytes: u64,
     peak_slab_bytes: u64,
     overlap_seconds: f64,
+    /// Cumulative memoizer (hits, total solves) after each full iteration.
+    memo_per_iteration: Vec<(usize, usize)>,
+    trace: Option<RankTrace>,
 }
 
 /// The distributed NEGF+scGW solver bound to one device and configuration.
@@ -429,22 +461,26 @@ impl DistScbaSolver {
         let flops = Arc::new(FlopCounter::new());
         let timings = Arc::new(KernelTimings::default());
 
+        // One shared clock zero for every rank's probe recorder, taken before
+        // the threads spawn so the merged tracks align.
+        let epoch = Instant::now();
         let rank_body = {
             let cfg = cfg.clone();
             let (h, v, plan, energies) = (h, v, Arc::clone(&plan), energies);
             let (flops, timings) = (Arc::clone(&flops), Arc::clone(&timings));
             let rebalance = self.config.rebalance_energies;
             let n_batches = self.config.energy_batches;
+            let probe = self.config.probe;
             let layout = Arc::clone(&spatial_layout);
             move |ctx: RankContext<Vec<c64>>| -> RankOut {
                 rank_main(
                     &ctx, &cfg, &h, &v, &plan, &layout, &energies, de, kt, ne, nb, rebalance,
-                    n_batches, &flops, &timings,
+                    n_batches, probe, epoch, &flops, &timings,
                 )
             }
         };
         let (mut results, stats) = ThreadComm::run(n_ranks, rank_body);
-        let rank0 = results.remove(0);
+        let mut rank0 = results.remove(0);
 
         let transposition_bytes: u64 =
             rank0.transposition_bytes + results.iter().map(|r| r.transposition_bytes).sum::<u64>();
@@ -467,6 +503,57 @@ impl DistScbaSolver {
         let overlap_window_seconds =
             rank0.overlap_seconds + results.iter().map(|r| r.overlap_seconds).sum::<f64>();
 
+        // Merge the per-rank probe buffers into one timeline and derive the
+        // phase metrics for the report.
+        let mut traces: Vec<RankTrace> = Vec::with_capacity(n_ranks);
+        if let Some(t) = rank0.trace.take() {
+            traces.push(t);
+        }
+        for r in &mut results {
+            if let Some(t) = r.trace.take() {
+                traces.push(t);
+            }
+        }
+        let timeline = Timeline::merge(traces);
+        let phase_seconds = timeline.phase_seconds();
+        // The k-th posted exchange pairs with the k-th wait on each rank
+        // (FIFO wait order); restrict the pairs to the four energy↔element
+        // transpositions and ask how much of their in-flight time ran under
+        // the convolution kernels.
+        let transposition_posts: Vec<&'static str> = CommPhase::ALL
+            .iter()
+            .filter(|p| p.is_transposition())
+            .map(|p| p.post_name())
+            .collect();
+        let overlap_efficiency = timeline.overlap_efficiency(
+            |name| transposition_posts.contains(&name),
+            |cat| cat.starts_with("conv."),
+        );
+        let time_imbalance = timeline.imbalance_factor(|cat| !cat.starts_with("comm."));
+        let flop_rates = phase_flop_rates(&phase_seconds, &flops);
+
+        // Per-iteration memoizer hit rate: the per-rank snapshots are
+        // cumulative, so consecutive differences give each iteration's solves.
+        let n_iter_stats = rank0.memo_per_iteration.len();
+        let mut memo_rate_per_iteration = Vec::with_capacity(n_iter_stats);
+        let mut prev = (0usize, 0usize);
+        for i in 0..n_iter_stats {
+            let mut hits = rank0.memo_per_iteration[i].0;
+            let mut total = rank0.memo_per_iteration[i].1;
+            for r in &results {
+                if let Some(&(h, t)) = r.memo_per_iteration.get(i) {
+                    hits += h;
+                    total += t;
+                }
+            }
+            let (dh, dt) = (hits - prev.0, total - prev.1);
+            memo_rate_per_iteration.push(if dt > 0 { dh as f64 / dt as f64 } else { 0.0 });
+            prev = (hits, total);
+        }
+        if memo_total == 0 {
+            memo_rate_per_iteration.clear();
+        }
+
         let report = self.build_report(
             &plan,
             &stats,
@@ -479,6 +566,13 @@ impl DistScbaSolver {
             rebalance_bytes,
             peak_slab_bytes,
             overlap_window_seconds,
+            ProbeMetrics {
+                phase_seconds,
+                overlap_efficiency,
+                time_imbalance,
+                memoizer_hit_rate_per_iteration: memo_rate_per_iteration,
+                phase_flop_rates: flop_rates,
+            },
         );
         let result_flops = FlopCounter::new();
         result_flops.merge(&flops);
@@ -497,6 +591,7 @@ impl DistScbaSolver {
             },
             max_truncation_error: rank0.max_truncation,
             report,
+            timeline,
         }
     }
 
@@ -514,6 +609,7 @@ impl DistScbaSolver {
         rebalance_bytes: u64,
         peak_slab_bytes: u64,
         overlap_window_seconds: f64,
+        probe: ProbeMetrics,
     ) -> DistReport {
         use std::sync::atomic::Ordering;
         DistReport {
@@ -543,6 +639,12 @@ impl DistScbaSolver {
             peak_slab_bytes,
             overlap_window_seconds,
             n_collectives: stats.n_collectives.load(Ordering::Relaxed),
+            alltoall_bytes_per_phase: stats.phase_breakdown(),
+            phase_seconds: probe.phase_seconds,
+            overlap_efficiency: probe.overlap_efficiency,
+            time_imbalance: probe.time_imbalance,
+            memoizer_hit_rate_per_iteration: probe.memoizer_hit_rate_per_iteration,
+            phase_flop_rates: probe.phase_flop_rates,
             budget: TranspositionBudget::new(
                 plan.stored_values(),
                 plan.n_energies,
@@ -551,6 +653,62 @@ impl DistScbaSolver {
             ),
         }
     }
+}
+
+/// The probe-derived metrics folded into [`DistReport`]; all empty/`None`
+/// when [`DistScbaConfig::probe`] is false.
+struct ProbeMetrics {
+    phase_seconds: Vec<(String, f64)>,
+    overlap_efficiency: Option<f64>,
+    time_imbalance: Option<f64>,
+    memoizer_hit_rate_per_iteration: Vec<f64>,
+    phase_flop_rates: Vec<(String, f64)>,
+}
+
+/// Join the probe's per-category wall seconds with the [`FlopCounter`]
+/// accounting into measured FLOP/s per phase. Only phases with nonzero
+/// seconds *and* nonzero FLOPs appear; the per-subsystem RGF entries come
+/// from the `g.rgf`/`w.rgf` categories at `P_S = 1`, while the cooperative
+/// spatial solves (`P_S > 1`) report one combined `spatial.rgf` rate (the
+/// partition eliminations/recoveries and the reduced systems serve both
+/// subsystems and cannot be split by category).
+fn phase_flop_rates(phase_seconds: &[(String, f64)], flops: &FlopCounter) -> Vec<(String, f64)> {
+    let secs = |cats: &[&str]| -> f64 {
+        phase_seconds
+            .iter()
+            .filter(|(c, _)| cats.iter().any(|k| c == k))
+            .map(|&(_, s)| s)
+            .sum()
+    };
+    let mut out = Vec::new();
+    let mut push = |label: &str, flop: u64, s: f64| {
+        if flop > 0 && s > 0.0 {
+            out.push((label.to_string(), flop as f64 / s));
+        }
+    };
+    push(
+        "g.assembly",
+        flops.get(FlopKind::GObc),
+        secs(&["g.assembly"]),
+    );
+    push("g.rgf", flops.get(FlopKind::GRgf), secs(&["g.rgf"]));
+    let w_assembly = flops.get(FlopKind::WBeyn)
+        + flops.get(FlopKind::WLyapunov)
+        + flops.get(FlopKind::WAssemblyLhs)
+        + flops.get(FlopKind::WAssemblyRhs);
+    push("w.assembly", w_assembly, secs(&["w.assembly"]));
+    push("w.rgf", flops.get(FlopKind::WRgf), secs(&["w.rgf"]));
+    push(
+        "convolution",
+        flops.get(FlopKind::Convolution),
+        secs(&["conv.p", "conv.sigma"]),
+    );
+    push(
+        "spatial.rgf",
+        flops.get(FlopKind::GRgf) + flops.get(FlopKind::WRgf),
+        secs(&["rgf.partition", "rgf.reduced"]),
+    );
+    out
 }
 
 /// Element-wise NEGF symmetrisation of a canonical/mirror series pair — the
@@ -710,18 +868,43 @@ fn payload_bytes(payloads: &[Vec<c64>]) -> u64 {
 
 /// Post a per-group exchange through the flat communicator without blocking:
 /// group `g`'s message rides to its leader rank, non-leader ranks contribute
-/// empty messages. Completed by [`leader_wait`].
+/// empty messages. Completed by [`leader_wait`]. The `phase` tag splits the
+/// byte accounting per transposition and names the probe post/wait events.
 fn leader_alltoallv_start(
     ctx: &RankContext<Vec<c64>>,
     grid: &RankGrid,
     payloads_by_group: Vec<Vec<c64>>,
+    phase: CommPhase,
 ) -> CommHandle<Vec<c64>> {
     debug_assert_eq!(payloads_by_group.len(), grid.n_groups);
     let mut send: Vec<Vec<c64>> = vec![Vec::new(); grid.n_ranks()];
     for (g, msg) in payloads_by_group.into_iter().enumerate() {
         send[grid.leader_of(g)] = msg;
     }
-    ctx.alltoallv_start(send, |m| m.len() * BYTES_PER_VALUE)
+    ctx.alltoallv_start_tagged(send, |m| m.len() * BYTES_PER_VALUE, phase)
+}
+
+/// Static probe span name of the batch pack (scatter) stage per transposition.
+fn scatter_span_name(phase: CommPhase) -> &'static str {
+    match phase {
+        CommPhase::FwdG => "transposition.scatter.fwd_g",
+        CommPhase::BwdP => "transposition.scatter.bwd_p",
+        CommPhase::FwdW => "transposition.scatter.fwd_w",
+        CommPhase::BwdSigma => "transposition.scatter.bwd_sigma",
+        _ => "transposition.scatter.other",
+    }
+}
+
+/// Static probe span name of the batch unpack (absorb) stage per
+/// transposition.
+fn absorb_span_name(phase: CommPhase) -> &'static str {
+    match phase {
+        CommPhase::FwdG => "transposition.absorb.fwd_g",
+        CommPhase::BwdP => "transposition.absorb.bwd_p",
+        CommPhase::FwdW => "transposition.absorb.fwd_w",
+        CommPhase::BwdSigma => "transposition.absorb.bwd_sigma",
+        _ => "transposition.absorb.other",
+    }
 }
 
 /// Complete an exchange posted by [`leader_alltoallv_start`]: returns the
@@ -755,6 +938,7 @@ fn forward_pipeline(
     is_leader: bool,
     comps: &[&[BlockTridiagonal]],
     n_components: usize,
+    phase: CommPhase,
     transposition_bytes: &mut u64,
     metrics: &mut PipelineMetrics,
     mut consume: impl FnMut(&ElementSlab, &[usize], bool),
@@ -772,14 +956,16 @@ fn forward_pipeline(
                 metrics: &mut PipelineMetrics|
      -> (CommHandle<Vec<c64>>, u64) {
         let payloads = if is_leader {
-            plan.scatter_forward_batch(group, comps, batches.local_ranges[group][b].clone())
+            quatrex_probe::span(scatter_span_name(phase), "transposition.pack", || {
+                plan.scatter_forward_batch(group, comps, batches.local_ranges[group][b].clone())
+            })
         } else {
             vec![Vec::new(); grid.n_groups]
         };
         *transposition_bytes += plan.off_rank_bytes(group, &payloads);
         let bytes = payload_bytes(&payloads);
         metrics.track(bytes);
-        (leader_alltoallv_start(ctx, grid, payloads), bytes)
+        (leader_alltoallv_start(ctx, grid, payloads, phase), bytes)
     };
     let mut handles: VecDeque<(CommHandle<Vec<c64>>, u64)> = VecDeque::new();
     let first = post(0, transposition_bytes, metrics);
@@ -797,7 +983,9 @@ fn forward_pipeline(
         let overlapped = !handles.is_empty();
         let t = Instant::now();
         if let Some(slab) = slab.as_mut() {
-            plan.absorb_forward_batch(group, slab, received, &batches.global_ranges(plan, b));
+            quatrex_probe::span(absorb_span_name(phase), "transposition.unpack", || {
+                plan.absorb_forward_batch(group, slab, received, &batches.global_ranges(plan, b));
+            });
             let batch_view = batches.arrived_global(plan, b);
             if !batch_view.is_empty() {
                 consume(slab, &batch_view, arrived_before);
@@ -828,6 +1016,7 @@ fn backward_pipeline(
     is_leader: bool,
     comps: Option<&[BackComponent<'_>]>,
     symmetric: &[bool],
+    phase: CommPhase,
     transposition_bytes: &mut u64,
     metrics: &mut PipelineMetrics,
 ) -> Vec<Vec<BlockTridiagonal>> {
@@ -846,14 +1035,16 @@ fn backward_pipeline(
      -> (CommHandle<Vec<c64>>, u64) {
         let payloads = match comps {
             Some(comps) => {
-                plan.scatter_backward_batch(group, comps, &batches.global_ranges(plan, b))
+                quatrex_probe::span(scatter_span_name(phase), "transposition.pack", || {
+                    plan.scatter_backward_batch(group, comps, &batches.global_ranges(plan, b))
+                })
             }
             None => vec![Vec::new(); grid.n_groups],
         };
         *transposition_bytes += plan.off_rank_bytes(group, &payloads);
         let bytes = payload_bytes(&payloads);
         metrics.track(bytes);
-        (leader_alltoallv_start(ctx, grid, payloads), bytes)
+        (leader_alltoallv_start(ctx, grid, payloads, phase), bytes)
     };
     let mut handles: VecDeque<(CommHandle<Vec<c64>>, u64)> = VecDeque::new();
     let first = post(0, transposition_bytes, metrics);
@@ -870,13 +1061,15 @@ fn backward_pipeline(
         let overlapped = !handles.is_empty();
         let t = Instant::now();
         if is_leader {
-            plan.absorb_backward_batch(
-                group,
-                &mut out,
-                received,
-                symmetric,
-                batches.global_range(plan, group, b),
-            );
+            quatrex_probe::span(absorb_span_name(phase), "transposition.unpack", || {
+                plan.absorb_backward_batch(
+                    group,
+                    &mut out,
+                    received,
+                    symmetric,
+                    batches.global_range(plan, group, b),
+                );
+            });
         }
         if overlapped {
             metrics.overlap_seconds += t.elapsed().as_secs_f64();
@@ -902,10 +1095,15 @@ fn rank_main(
     nb: usize,
     rebalance: bool,
     n_batches: usize,
+    probe: bool,
+    epoch: Instant,
     flops: &FlopCounter,
     timings: &KernelTimings,
 ) -> RankOut {
     let rank = ctx.rank();
+    if probe {
+        quatrex_probe::install(rank, epoch);
+    }
     let grid = RankGrid::new(ctx.n_ranks(), plan.spatial_partitions);
     let p_s = grid.spatial_partitions;
     let group = grid.group_of(rank);
@@ -955,6 +1153,7 @@ fn rank_main(
     let mut energy_rebalances = 0usize;
     let mut rebalance_bytes = 0u64;
     let mut pipe = PipelineMetrics::default();
+    let mut memo_per_iteration: Vec<(usize, usize)> = Vec::new();
 
     // Last-iteration local spectral data. Only the G^< diagonal traces feed
     // the density, so they are extracted at G-step time instead of keeping
@@ -984,23 +1183,26 @@ fn rank_main(
         local_traces = Vec::with_capacity(n_state);
         if p_s == 1 {
             for (k_local, k) in my_e.clone().enumerate() {
-                let t_energy = Instant::now();
-                let out = g_step_energy(
-                    h,
-                    energies[k],
-                    k,
-                    cfg,
-                    kt,
-                    Some(&sigma_r[k_local]),
-                    Some(&sigma_l[k_local]),
-                    Some(&sigma_g[k_local]),
-                    memoizer.as_mut(),
-                    &mut rgf_scratch,
-                    flops,
-                    timings,
-                )
-                .expect("RGF solve failed: the system matrix became singular");
-                energy_seconds[k_local] += t_energy.elapsed().as_secs_f64();
+                // One span per owned energy; its measured duration doubles as
+                // the rebalancer's cost weight (same clock as the trace).
+                let (out, secs) = quatrex_probe::span_timed("scba.g.energy", "g.energy", || {
+                    g_step_energy(
+                        h,
+                        energies[k],
+                        k,
+                        cfg,
+                        kt,
+                        Some(&sigma_r[k_local]),
+                        Some(&sigma_l[k_local]),
+                        Some(&sigma_g[k_local]),
+                        memoizer.as_mut(),
+                        &mut rgf_scratch,
+                        flops,
+                        timings,
+                    )
+                });
+                let out = out.expect("RGF solve failed: the system matrix became singular");
+                energy_seconds[k_local] += secs;
                 local_traces.push((0..nb).map(|i| out.lesser.diag(i).trace()).collect());
                 g_lesser.push(out.lesser);
                 g_greater.push(out.greater);
@@ -1012,24 +1214,25 @@ fn rank_main(
             let mut systems = Vec::with_capacity(n_state);
             let mut obc_left: Vec<(CMatrix, CMatrix)> = Vec::with_capacity(n_state);
             for (k_local, k) in my_e.clone().enumerate().take(n_state) {
-                let t = Instant::now();
-                let asm = assemble_g(
-                    h,
-                    energies[k],
-                    cfg.eta,
-                    k,
-                    Some(&sigma_r[k_local]),
-                    Some(&sigma_l[k_local]),
-                    Some(&sigma_g[k_local]),
-                    cfg.mu_left,
-                    cfg.mu_right,
-                    kt,
-                    cfg.obc_method_g,
-                    memoizer.as_mut(),
-                    flops,
-                );
-                timings.add(&timings.g_assembly_ns, t);
-                energy_seconds[k_local] += t.elapsed().as_secs_f64();
+                let (asm, secs) = quatrex_probe::span_timed("g.assembly", "g.assembly", || {
+                    assemble_g(
+                        h,
+                        energies[k],
+                        cfg.eta,
+                        k,
+                        Some(&sigma_r[k_local]),
+                        Some(&sigma_l[k_local]),
+                        Some(&sigma_g[k_local]),
+                        cfg.mu_left,
+                        cfg.mu_right,
+                        kt,
+                        cfg.obc_method_g,
+                        memoizer.as_mut(),
+                        flops,
+                    )
+                });
+                timings.add_seconds(&timings.g_assembly_ns, secs);
+                energy_seconds[k_local] += secs;
                 obc_left.push((
                     asm.sigma_obc_left_lesser.clone(),
                     asm.sigma_obc_left_greater.clone(),
@@ -1097,52 +1300,57 @@ fn rank_main(
             is_leader,
             &[&g_lesser, &g_greater],
             2,
+            CommPhase::FwdG,
             &mut transposition_bytes,
             &mut pipe,
             |slab, batch, arrived_before| {
                 let acc = p_acc.as_mut().expect("leader accumulators");
-                let t = Instant::now();
-                for e_local in 0..n_elems {
-                    let id = plan_local.elements[elems.start + e_local];
-                    // P_ij(ω) needs G^<_ij, G^>_ji, G^>_ij, G^<_ji; the
-                    // mirrored element swaps canonical and mirror series.
-                    let (gl, gg) = (&slab.canonical[0][e_local], &slab.canonical[1][e_local]);
-                    let (gl_m, gg_m) = (&slab.mirror[0][e_local], &slab.mirror[1][e_local]);
-                    polarization_series_accumulate(
-                        &mut acc.lesser_c[e_local],
-                        &mut acc.greater_c[e_local],
-                        gl,
-                        gg_m,
-                        gg,
-                        gl_m,
-                        batch,
-                        arrived_before,
-                        de,
-                        flops,
-                    );
-                    if !id.is_self_mirror() {
+                quatrex_probe::span("scba.p.accumulate", "conv.p", || {
+                    let t = Instant::now();
+                    for e_local in 0..n_elems {
+                        let id = plan_local.elements[elems.start + e_local];
+                        // P_ij(ω) needs G^<_ij, G^>_ji, G^>_ij, G^<_ji; the
+                        // mirrored element swaps canonical and mirror series.
+                        let (gl, gg) = (&slab.canonical[0][e_local], &slab.canonical[1][e_local]);
+                        let (gl_m, gg_m) = (&slab.mirror[0][e_local], &slab.mirror[1][e_local]);
                         polarization_series_accumulate(
-                            &mut acc.lesser_m[e_local],
-                            &mut acc.greater_m[e_local],
-                            gl_m,
-                            gg,
-                            gg_m,
+                            &mut acc.lesser_c[e_local],
+                            &mut acc.greater_c[e_local],
                             gl,
+                            gg_m,
+                            gg,
+                            gl_m,
                             batch,
                             arrived_before,
                             de,
                             flops,
                         );
+                        if !id.is_self_mirror() {
+                            polarization_series_accumulate(
+                                &mut acc.lesser_m[e_local],
+                                &mut acc.greater_m[e_local],
+                                gl_m,
+                                gg,
+                                gg_m,
+                                gl,
+                                batch,
+                                arrived_before,
+                                de,
+                                flops,
+                            );
+                        }
                     }
-                }
-                timings.add(&timings.convolution_ns, t);
+                    timings.add(&timings.convolution_ns, t);
+                });
             },
         );
         let p_phase = p_acc.map(|acc| {
-            let t = Instant::now();
-            let phase = acc.finish(plan_local, group, cfg.enforce_symmetry, flops);
-            timings.add(&timings.convolution_ns, t);
-            phase
+            quatrex_probe::span("scba.p.finish", "conv.p", || {
+                let t = Instant::now();
+                let phase = acc.finish(plan_local, group, cfg.enforce_symmetry, flops);
+                timings.add(&timings.convolution_ns, t);
+                phase
+            })
         });
 
         // ------------------------------------ transposition #2: P backward
@@ -1156,6 +1364,7 @@ fn rank_main(
             is_leader,
             p_comps.as_ref().map(|c| c.as_slice()),
             &[true, true, false],
+            CommPhase::BwdP,
             &mut transposition_bytes,
             &mut pipe,
         );
@@ -1174,21 +1383,22 @@ fn rank_main(
         let mut local_trunc = 0.0f64;
         if p_s == 1 {
             for (k_local, k) in my_e.clone().enumerate() {
-                let t_energy = Instant::now();
-                let out = w_step_energy(
-                    v,
-                    &p_retarded[k_local],
-                    &p_lesser[k_local],
-                    &p_greater[k_local],
-                    k,
-                    cfg,
-                    memoizer.as_mut(),
-                    &mut rgf_scratch,
-                    flops,
-                    timings,
-                )
-                .expect("W RGF solve failed");
-                energy_seconds[k_local] += t_energy.elapsed().as_secs_f64();
+                let (out, secs) = quatrex_probe::span_timed("scba.w.energy", "w.energy", || {
+                    w_step_energy(
+                        v,
+                        &p_retarded[k_local],
+                        &p_lesser[k_local],
+                        &p_greater[k_local],
+                        k,
+                        cfg,
+                        memoizer.as_mut(),
+                        &mut rgf_scratch,
+                        flops,
+                        timings,
+                    )
+                });
+                let out = out.expect("W RGF solve failed");
+                energy_seconds[k_local] += secs;
                 local_trunc = local_trunc.max(out.truncation);
                 w_lesser.push(out.lesser);
                 w_greater.push(out.greater);
@@ -1196,19 +1406,20 @@ fn rank_main(
         } else {
             let mut systems = Vec::with_capacity(n_state);
             for (k_local, k) in my_e.clone().enumerate().take(n_state) {
-                let t = Instant::now();
-                let asm = assemble_w(
-                    v,
-                    &p_retarded[k_local],
-                    &p_lesser[k_local],
-                    &p_greater[k_local],
-                    k,
-                    cfg.obc_method_w,
-                    memoizer.as_mut(),
-                    flops,
-                );
-                timings.add(&timings.w_assembly_ns, t);
-                energy_seconds[k_local] += t.elapsed().as_secs_f64();
+                let (asm, secs) = quatrex_probe::span_timed("w.assembly", "w.assembly", || {
+                    assemble_w(
+                        v,
+                        &p_retarded[k_local],
+                        &p_lesser[k_local],
+                        &p_greater[k_local],
+                        k,
+                        cfg.obc_method_w,
+                        memoizer.as_mut(),
+                        flops,
+                    )
+                });
+                timings.add_seconds(&timings.w_assembly_ns, secs);
+                energy_seconds[k_local] += secs;
                 local_trunc = local_trunc.max(asm.truncation_error);
                 systems.push((asm.system, asm.rhs_lesser, asm.rhs_greater));
             }
@@ -1240,7 +1451,8 @@ fn rank_main(
             }
         }
         // Global truncation maximum (tiny ordered gather).
-        let truncs = ctx.allgather(vec![c64::new(local_trunc, 0.0)], wire);
+        let truncs =
+            ctx.allgather_tagged(vec![c64::new(local_trunc, 0.0)], wire, CommPhase::Gathers);
         let iter_trunc = truncs.iter().flatten().fold(0.0f64, |m, t| m.max(t.re));
         max_truncation = max_truncation.max(iter_trunc);
 
@@ -1258,49 +1470,54 @@ fn rank_main(
             is_leader,
             &[&w_lesser, &w_greater],
             2,
+            CommPhase::FwdW,
             &mut transposition_bytes,
             &mut pipe,
             |w_slab, batch, _arrived_before| {
                 let g_slab = g_slab.as_ref().expect("leader holds the G slab");
                 let acc = s_acc.as_mut().expect("leader accumulators");
-                let t = Instant::now();
-                for e_local in 0..n_elems {
-                    let id = plan_local.elements[elems.start + e_local];
-                    // Σ_ij(E) needs G^≶_ij and W^≶_ij of the same element.
-                    self_energy_series_accumulate(
-                        &mut acc.lesser_c[e_local],
-                        &mut acc.greater_c[e_local],
-                        &g_slab.canonical[0][e_local],
-                        &g_slab.canonical[1][e_local],
-                        &w_slab.canonical[0][e_local],
-                        &w_slab.canonical[1][e_local],
-                        batch,
-                        de,
-                        flops,
-                    );
-                    if !id.is_self_mirror() {
+                quatrex_probe::span("scba.sigma.accumulate", "conv.sigma", || {
+                    let t = Instant::now();
+                    for e_local in 0..n_elems {
+                        let id = plan_local.elements[elems.start + e_local];
+                        // Σ_ij(E) needs G^≶_ij and W^≶_ij of the same element.
                         self_energy_series_accumulate(
-                            &mut acc.lesser_m[e_local],
-                            &mut acc.greater_m[e_local],
-                            &g_slab.mirror[0][e_local],
-                            &g_slab.mirror[1][e_local],
-                            &w_slab.mirror[0][e_local],
-                            &w_slab.mirror[1][e_local],
+                            &mut acc.lesser_c[e_local],
+                            &mut acc.greater_c[e_local],
+                            &g_slab.canonical[0][e_local],
+                            &g_slab.canonical[1][e_local],
+                            &w_slab.canonical[0][e_local],
+                            &w_slab.canonical[1][e_local],
                             batch,
                             de,
                             flops,
                         );
+                        if !id.is_self_mirror() {
+                            self_energy_series_accumulate(
+                                &mut acc.lesser_m[e_local],
+                                &mut acc.greater_m[e_local],
+                                &g_slab.mirror[0][e_local],
+                                &g_slab.mirror[1][e_local],
+                                &w_slab.mirror[0][e_local],
+                                &w_slab.mirror[1][e_local],
+                                batch,
+                                de,
+                                flops,
+                            );
+                        }
                     }
-                }
-                timings.add(&timings.convolution_ns, t);
+                    timings.add(&timings.convolution_ns, t);
+                });
             },
         );
         drop(w_slab);
         let s_phase = s_acc.map(|acc| {
-            let t = Instant::now();
-            let phase = acc.finish(plan_local, group, cfg.enforce_symmetry, flops);
-            timings.add(&timings.convolution_ns, t);
-            phase
+            quatrex_probe::span("scba.sigma.finish", "conv.sigma", || {
+                let t = Instant::now();
+                let phase = acc.finish(plan_local, group, cfg.enforce_symmetry, flops);
+                timings.add(&timings.convolution_ns, t);
+                phase
+            })
         });
 
         // ------------------------------------ transposition #4: Σ backward
@@ -1314,6 +1531,7 @@ fn rank_main(
             is_leader,
             s_comps.as_ref().map(|c| c.as_slice()),
             &[true, true, false],
+            CommPhase::BwdSigma,
             &mut transposition_bytes,
             &mut pipe,
         );
@@ -1326,25 +1544,37 @@ fn rank_main(
             (Vec::new(), Vec::new(), Vec::new())
         };
         full_iterations += 1;
+        // Cumulative memoizer snapshot: consecutive differences give the
+        // per-iteration hit rates reported by `DistReport`.
+        memo_per_iteration.push(match &memoizer {
+            Some(m) => {
+                let s = m.stats();
+                (s.hits(), s.total())
+            }
+            None => (0, 0),
+        });
 
         // ------------------------------------------- mixing and convergence
-        let t = Instant::now();
-        let mut partial_update = 0.0f64;
-        let mut partial_reference = 0.0f64;
-        for k_local in 0..n_state {
-            let (upd, refr) = mix_sigma_energy(
-                &mut sigma_l[k_local],
-                &mut sigma_g[k_local],
-                &mut sigma_r[k_local],
-                &s_lesser_new[k_local],
-                &s_greater_new[k_local],
-                &s_retarded_new[k_local],
-                cfg.mixing,
-            );
-            partial_update += upd;
-            partial_reference += refr;
-        }
-        timings.add(&timings.other_ns, t);
+        let (partial_update, partial_reference) = quatrex_probe::span("scba.mix", "mix", || {
+            let t = Instant::now();
+            let mut partial_update = 0.0f64;
+            let mut partial_reference = 0.0f64;
+            for k_local in 0..n_state {
+                let (upd, refr) = mix_sigma_energy(
+                    &mut sigma_l[k_local],
+                    &mut sigma_g[k_local],
+                    &mut sigma_r[k_local],
+                    &s_lesser_new[k_local],
+                    &s_greater_new[k_local],
+                    &s_retarded_new[k_local],
+                    cfg.mixing,
+                );
+                partial_update += upd;
+                partial_reference += refr;
+            }
+            timings.add(&timings.other_ns, t);
+            (partial_update, partial_reference)
+        });
         let update_norm = ctx.allreduce_sum(partial_update);
         let reference_norm = ctx.allreduce_sum(partial_reference);
         let residual = if reference_norm > 0.0 {
@@ -1360,22 +1590,24 @@ fn rank_main(
 
         // -------------------------------------- measured energy rebalancing
         if let (true, Some(plan_mut)) = (_iter + 1 < cfg.max_iterations, plan_rebalanced.as_mut()) {
-            let moved = rebalance_energy_partition(
-                ctx,
-                &grid,
-                plan_mut,
-                &my_e,
-                &energy_seconds,
-                ne,
-                nb,
-                bs,
-                is_leader,
-                &mut sigma_l,
-                &mut sigma_g,
-                &mut sigma_r,
-                memoizer.as_mut(),
-                &mut rebalance_bytes,
-            );
+            let moved = quatrex_probe::span("scba.rebalance", "rebalance", || {
+                rebalance_energy_partition(
+                    ctx,
+                    &grid,
+                    plan_mut,
+                    &my_e,
+                    &energy_seconds,
+                    ne,
+                    nb,
+                    bs,
+                    is_leader,
+                    &mut sigma_l,
+                    &mut sigma_g,
+                    &mut sigma_r,
+                    memoizer.as_mut(),
+                    &mut rebalance_bytes,
+                )
+            });
             if moved {
                 energy_rebalances += 1;
             }
@@ -1395,7 +1627,7 @@ fn rank_main(
         }
         packed.extend_from_slice(&local_traces[k_local]);
     }
-    let gathered = ctx.allgather(packed, wire);
+    let gathered = ctx.allgather_tagged(packed, wire, CommPhase::Gathers);
 
     let mut current_spectrum = Vec::with_capacity(ne);
     let mut dos_local: Vec<Vec<f64>> = Vec::with_capacity(ne);
@@ -1456,6 +1688,8 @@ fn rank_main(
         rebalance_bytes,
         peak_slab_bytes: pipe.peak_bytes,
         overlap_seconds: pipe.overlap_seconds,
+        memo_per_iteration,
+        trace: quatrex_probe::finish(),
     }
 }
 
@@ -1511,7 +1745,7 @@ fn rebalance_energy_partition(
     for (k_local, k) in my_e.clone().enumerate().take(energy_seconds.len()) {
         packed.push(c64::new(k as f64, energy_seconds[k_local]));
     }
-    let gathered = ctx.allgather(packed, wire);
+    let gathered = ctx.allgather_tagged(packed, wire, CommPhase::Rebalance);
     let mut weights = vec![0.0f64; ne];
     for msg in &gathered {
         for v in msg {
@@ -1523,7 +1757,7 @@ fn rebalance_energy_partition(
         // Still run the (empty) migration collective so every rank executes
         // the same collective sequence regardless of local state.
         let send: Vec<Vec<c64>> = vec![Vec::new(); ctx.n_ranks()];
-        let _ = ctx.alltoallv(send, wire);
+        let _ = ctx.alltoallv_tagged(send, wire, CommPhase::Rebalance);
         return false;
     }
 
@@ -1559,7 +1793,7 @@ fn rebalance_energy_partition(
         }
     }
     *rebalance_bytes += off_rank_payload_bytes(rank, &send);
-    let received = ctx.alltoallv(send, wire);
+    let received = ctx.alltoallv_tagged(send, wire, CommPhase::Rebalance);
 
     if is_leader {
         let new_my = new_ranges[group].clone();

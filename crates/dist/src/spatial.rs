@@ -35,7 +35,7 @@ use quatrex_rgf::{
     scatter_separator_blocks, PartitionSolveState, PartitionSystemSlice, PartitionUpdates,
     RecoveredBlocks, SelectedSolution, SpatialPartition,
 };
-use quatrex_runtime::RankContext;
+use quatrex_runtime::{CommPhase, RankContext};
 use quatrex_sparse::BlockTridiagonal;
 
 use crate::slab::{
@@ -260,20 +260,22 @@ pub fn spatial_phase_solve(
     // eliminates its own partition while the members' slices are in flight —
     // the same communication/computation overlap the batched transpositions
     // use, applied to the system distribution.
-    let handle = ctx.alltoallv_start(send, wire);
+    let handle = ctx.alltoallv_start_tagged(send, wire, CommPhase::Slices);
     let my_part = &parts[s];
     let eliminate = |slices: &[PartitionSystemSlice]| -> Vec<PartitionSolveState> {
-        let t = Instant::now();
-        let states: Vec<PartitionSolveState> = slices
-            .iter()
-            .map(|slice| {
-                eliminate_partition_slice(slice, my_part, s)
-                    .expect("spatial elimination failed: the interior became singular")
-            })
-            .collect();
-        flops.add(kind, states.iter().map(|st| st.workload.flops).sum());
-        timings.add(slot, t);
-        states
+        quatrex_probe::span("spatial.eliminate", "rgf.partition", || {
+            let t = Instant::now();
+            let states: Vec<PartitionSolveState> = slices
+                .iter()
+                .map(|slice| {
+                    eliminate_partition_slice(slice, my_part, s)
+                        .expect("spatial elimination failed: the interior became singular")
+                })
+                .collect();
+            flops.add(kind, states.iter().map(|st| st.workload.flops).sum());
+            timings.add(slot, t);
+            states
+        })
     };
     let states: Vec<PartitionSolveState> = if is_leader {
         let local_slices: Vec<PartitionSystemSlice> = systems
@@ -306,40 +308,42 @@ pub fn spatial_phase_solve(
         send[leader] = buf;
     }
     traffic.boundary_bytes += off_rank_payload_bytes(rank, &send);
-    let recv = ctx.alltoallv(send, wire);
+    let recv = ctx.alltoallv_tagged(send, wire, CommPhase::Gathers);
 
     // ------------------------- leader: assemble + solve the reduced systems
     let reduced_local: Vec<SelectedSolution> = if is_leader {
-        let t = Instant::now();
-        let mut member_updates: Vec<Vec<PartitionUpdates>> = Vec::with_capacity(p_s - 1);
-        for member in 1..p_s {
-            let mut it = recv[leader + member].iter();
-            member_updates.push(
-                (0..n_owned)
-                    .map(|_| read_updates(&mut it, bs, N_RHS))
-                    .collect(),
-            );
-        }
-        let sols = systems
-            .iter()
-            .zip(states.iter())
-            .enumerate()
-            .map(|(e, ((a, rl, rg), own))| {
-                let mut refs: Vec<&PartitionUpdates> = vec![&own.updates];
-                for mu in &member_updates {
-                    refs.push(&mu[e]);
-                }
-                let (reduced_a, reduced_rhs, _) =
-                    assemble_reduced_system(a, &[rl, rg], separators, &refs);
-                let reduced_refs: Vec<&BlockTridiagonal> = reduced_rhs.iter().collect();
-                let sol = rgf_solve(&reduced_a, &reduced_refs)
-                    .expect("reduced boundary system solve failed");
-                flops.add(kind, sol.flops);
-                sol
-            })
-            .collect();
-        timings.add(slot, t);
-        sols
+        quatrex_probe::span("spatial.reduced", "rgf.reduced", || {
+            let t = Instant::now();
+            let mut member_updates: Vec<Vec<PartitionUpdates>> = Vec::with_capacity(p_s - 1);
+            for member in 1..p_s {
+                let mut it = recv[leader + member].iter();
+                member_updates.push(
+                    (0..n_owned)
+                        .map(|_| read_updates(&mut it, bs, N_RHS))
+                        .collect(),
+                );
+            }
+            let sols = systems
+                .iter()
+                .zip(states.iter())
+                .enumerate()
+                .map(|(e, ((a, rl, rg), own))| {
+                    let mut refs: Vec<&PartitionUpdates> = vec![&own.updates];
+                    for mu in &member_updates {
+                        refs.push(&mu[e]);
+                    }
+                    let (reduced_a, reduced_rhs, _) =
+                        assemble_reduced_system(a, &[rl, rg], separators, &refs);
+                    let reduced_refs: Vec<&BlockTridiagonal> = reduced_rhs.iter().collect();
+                    let sol = rgf_solve(&reduced_a, &reduced_refs)
+                        .expect("reduced boundary system solve failed");
+                    flops.add(kind, sol.flops);
+                    sol
+                })
+                .collect();
+            timings.add(slot, t);
+            sols
+        })
     } else {
         Vec::new()
     };
@@ -357,7 +361,7 @@ pub fn spatial_phase_solve(
         }
     }
     traffic.boundary_bytes += off_rank_payload_bytes(rank, &send);
-    let recv = ctx.alltoallv(send, wire);
+    let recv = ctx.alltoallv_tagged(send, wire, CommPhase::Gathers);
     let reduced_local: Vec<SelectedSolution> = if is_leader {
         reduced_local
     } else {
@@ -368,14 +372,18 @@ pub fn spatial_phase_solve(
     };
 
     // ----------------------------------------------- recover interior blocks
-    let t = Instant::now();
-    let recoveries: Vec<RecoveredBlocks> = states
-        .iter()
-        .zip(reduced_local.iter())
-        .map(|(st, red)| recover_partition_solve(my_part, st, separators, red))
-        .collect();
-    flops.add(kind, recoveries.iter().map(|r| r.flops).sum());
-    timings.add(slot, t);
+    let recoveries: Vec<RecoveredBlocks> =
+        quatrex_probe::span("spatial.recover", "rgf.partition", || {
+            let t = Instant::now();
+            let recoveries: Vec<RecoveredBlocks> = states
+                .iter()
+                .zip(reduced_local.iter())
+                .map(|(st, red)| recover_partition_solve(my_part, st, separators, red))
+                .collect();
+            flops.add(kind, recoveries.iter().map(|r| r.flops).sum());
+            timings.add(slot, t);
+            recoveries
+        });
 
     // --------------------------------- gather recovered blocks to the leader
     let mut send: Vec<Vec<c64>> = vec![Vec::new(); n_ranks];
@@ -387,7 +395,7 @@ pub fn spatial_phase_solve(
         send[leader] = buf;
     }
     traffic.boundary_bytes += off_rank_payload_bytes(rank, &send);
-    let recv = ctx.alltoallv(send, wire);
+    let recv = ctx.alltoallv_tagged(send, wire, CommPhase::Gathers);
     if !is_leader {
         return (Vec::new(), traffic);
     }

@@ -66,12 +66,33 @@ pub struct MemoizerStats {
     pub direct_calls: usize,
     /// Number of solves answered from the cache + fixed-point refinement.
     pub memoized_calls: usize,
+    /// Number of cache entries created cold by a solve (a direct solve for a
+    /// key never seen before). Migrated entries ([`ObcMemoizer::insert_cached`])
+    /// are not counted — they were created (and counted) on the sending rank.
+    pub inserts: usize,
 }
 
 impl MemoizerStats {
+    /// Solves answered from the cache (alias of `memoized_calls`).
+    pub fn hits(&self) -> usize {
+        self.memoized_calls
+    }
+
+    /// Solves that fell through to the direct solver (alias of
+    /// `direct_calls`): cold keys plus stale entries whose refinement budget
+    /// could not reach tolerance.
+    pub fn misses(&self) -> usize {
+        self.direct_calls
+    }
+
+    /// Total solves answered.
+    pub fn total(&self) -> usize {
+        self.direct_calls + self.memoized_calls
+    }
+
     /// Fraction of solves that avoided the direct solver.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.direct_calls + self.memoized_calls;
+        let total = self.total();
         if total == 0 {
             0.0
         } else {
@@ -181,7 +202,9 @@ impl ObcMemoizer {
     ) -> (CMatrix, ObcMode) {
         // `remove` instead of `get().cloned()`: the cached block becomes one
         // of the two refinement buffers, so a memoized solve copies nothing.
-        if let Some(cached) = self.cache.remove(&key) {
+        let cached = self.cache.remove(&key);
+        let had_cached = cached.is_some();
+        if let Some(cached) = cached {
             // Trial refinement step.
             let mut x1 = CMatrix::zeros(cached.nrows(), cached.ncols());
             iterate(&cached, &mut x1);
@@ -191,6 +214,7 @@ impl ObcMemoizer {
                 // Already converged: the cached value barely moved.
                 self.cache.insert(key, x1.clone());
                 self.stats.memoized_calls += 1;
+                quatrex_probe::counter("obc.memo.hit", 1);
                 return (x1, ObcMode::Memoized { refinements: 1 });
             }
             // Second step to estimate the contraction rate.
@@ -219,14 +243,20 @@ impl ObcMemoizer {
                 if delta < self.tol {
                     self.cache.insert(key, x.clone());
                     self.stats.memoized_calls += 1;
+                    quatrex_probe::counter("obc.memo.hit", 1);
                     return (x, ObcMode::Memoized { refinements: used });
                 }
             }
         }
         // Cold start or pessimistic estimate: run the direct solver.
-        let x = direct();
+        let x = quatrex_probe::span("obc.direct", "obc.direct", direct);
         self.cache.insert(key, x.clone());
         self.stats.direct_calls += 1;
+        quatrex_probe::counter("obc.memo.miss", 1);
+        if !had_cached {
+            self.stats.inserts += 1;
+            quatrex_probe::counter("obc.memo.insert", 1);
+        }
         (x, ObcMode::Direct)
     }
 }
@@ -453,5 +483,52 @@ mod tests {
     fn hit_rate_of_empty_memoizer_is_zero() {
         let memo = ObcMemoizer::new(4, 1e-8);
         assert_eq!(memo.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_miss_insert_counters_are_exposed() {
+        let (m, n) = contraction_problem();
+        let mut memo = ObcMemoizer::new(10, 1e-10);
+        // Cold key: a miss that creates a cache entry.
+        memo.solve(
+            key(0),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            || inverse(&m).unwrap(),
+        );
+        assert_eq!(memo.stats().misses(), 1);
+        assert_eq!(memo.stats().hits(), 0);
+        assert_eq!(memo.stats().inserts, 1);
+        // Warm key: a hit, no new entry.
+        memo.solve(
+            key(0),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            || panic!("direct must not be called"),
+        );
+        assert_eq!(memo.stats().hits(), 1);
+        assert_eq!(memo.stats().inserts, 1);
+        assert_eq!(memo.stats().total(), 2);
+        // Stale entry under a hopeless budget: a miss, but the key already
+        // existed, so no insert is counted.
+        let mut memo2 = ObcMemoizer::new(2, 1e-14);
+        memo2.solve(
+            key(0),
+            |x, out: &mut CMatrix| *out = step(&m, &n, x),
+            || inverse(&m).unwrap(),
+        );
+        let m2 = CMatrix::from_fn(3, 3, |i, j| {
+            if i == j {
+                cplx(1.2, 0.2)
+            } else {
+                cplx(0.4, -0.1)
+            }
+        });
+        let n2 = CMatrix::scaled_identity(3, cplx(0.9, 0.0));
+        memo2.solve(
+            key(0),
+            |x, out: &mut CMatrix| *out = step(&m2, &n2, x),
+            || inverse(&m2).unwrap(),
+        );
+        assert_eq!(memo2.stats().misses(), 2);
+        assert_eq!(memo2.stats().inserts, 1, "stale re-solve is not an insert");
     }
 }

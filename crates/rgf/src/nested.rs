@@ -696,6 +696,16 @@ pub fn eliminate_partition_slice(
     part: &SpatialPartition,
     index: usize,
 ) -> Result<PartitionSolveState, RgfError> {
+    quatrex_probe::span("rgf.eliminate_partition", "rgf.partition", || {
+        eliminate_partition_slice_impl(slice, part, index)
+    })
+}
+
+fn eliminate_partition_slice_impl(
+    slice: &PartitionSystemSlice,
+    part: &SpatialPartition,
+    index: usize,
+) -> Result<PartitionSolveState, RgfError> {
     let interior_range = part.interior();
     let n_int = interior_range.len();
     let n_rhs = slice.n_rhs();
@@ -971,6 +981,17 @@ pub struct RecoveredBlocks {
 /// couplings) of one partition from its local factors and the selected
 /// solution of the reduced boundary system.
 pub fn recover_partition_solve(
+    part: &SpatialPartition,
+    state: &PartitionSolveState,
+    separators: &[usize],
+    reduced: &SelectedSolution,
+) -> RecoveredBlocks {
+    quatrex_probe::span("rgf.recover_partition", "rgf.partition", || {
+        recover_partition_solve_impl(part, state, separators, reduced)
+    })
+}
+
+fn recover_partition_solve_impl(
     part: &SpatialPartition,
     state: &PartitionSolveState,
     separators: &[usize],

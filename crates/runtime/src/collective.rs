@@ -22,6 +22,113 @@ use std::sync::Arc;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+/// The SCBA phase an `alltoall`/`alltoallv` belongs to. Tagging each call
+/// site splits the [`CommStats`] byte totals by transposition (fwd-G / bwd-P
+/// / fwd-W / bwd-Σ / slices / gathers) instead of one aggregate, and names
+/// the probe post/wait events so the merged timeline can attribute every
+/// in-flight window to a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommPhase {
+    /// Forward energy→element transposition of `G` (before the `P` step).
+    FwdG,
+    /// Backward element→energy transposition of `P` (before the `W` step).
+    BwdP,
+    /// Forward energy→element transposition of `W` (before the `Σ` step).
+    FwdW,
+    /// Backward element→energy transposition of `Σ` (closing the cycle).
+    BwdSigma,
+    /// Partition-slice distribution of the `P_S > 1` spatial solve.
+    Slices,
+    /// Update/recovery/result gathers (spatial solve rounds and the final
+    /// ordered observable gathers).
+    Gathers,
+    /// Energy-rebalance migrations between iterations.
+    Rebalance,
+    /// Anything untagged (the default for legacy call sites).
+    #[default]
+    Other,
+}
+
+impl CommPhase {
+    /// Every phase, in [`CommPhase::index`] order.
+    pub const ALL: [CommPhase; 8] = [
+        CommPhase::FwdG,
+        CommPhase::BwdP,
+        CommPhase::FwdW,
+        CommPhase::BwdSigma,
+        CommPhase::Slices,
+        CommPhase::Gathers,
+        CommPhase::Rebalance,
+        CommPhase::Other,
+    ];
+
+    /// Dense index into per-phase counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            CommPhase::FwdG => 0,
+            CommPhase::BwdP => 1,
+            CommPhase::FwdW => 2,
+            CommPhase::BwdSigma => 3,
+            CommPhase::Slices => 4,
+            CommPhase::Gathers => 5,
+            CommPhase::Rebalance => 6,
+            CommPhase::Other => 7,
+        }
+    }
+
+    /// Short label used in reports and JSON artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommPhase::FwdG => "fwd_g",
+            CommPhase::BwdP => "bwd_p",
+            CommPhase::FwdW => "fwd_w",
+            CommPhase::BwdSigma => "bwd_sigma",
+            CommPhase::Slices => "slices",
+            CommPhase::Gathers => "gathers",
+            CommPhase::Rebalance => "rebalance",
+            CommPhase::Other => "other",
+        }
+    }
+
+    /// Whether this phase is one of the four per-iteration energy↔element
+    /// transpositions (the exchanges the overlap-efficiency metric pairs
+    /// with convolution compute).
+    pub fn is_transposition(self) -> bool {
+        matches!(
+            self,
+            CommPhase::FwdG | CommPhase::BwdP | CommPhase::FwdW | CommPhase::BwdSigma
+        )
+    }
+
+    /// Probe mark name recorded when the exchange is posted.
+    pub fn post_name(self) -> &'static str {
+        match self {
+            CommPhase::FwdG => "alltoallv.post.fwd_g",
+            CommPhase::BwdP => "alltoallv.post.bwd_p",
+            CommPhase::FwdW => "alltoallv.post.fwd_w",
+            CommPhase::BwdSigma => "alltoallv.post.bwd_sigma",
+            CommPhase::Slices => "alltoallv.post.slices",
+            CommPhase::Gathers => "alltoallv.post.gathers",
+            CommPhase::Rebalance => "alltoallv.post.rebalance",
+            CommPhase::Other => "alltoallv.post.other",
+        }
+    }
+
+    /// Probe span name recorded around the blocking wait.
+    pub fn wait_name(self) -> &'static str {
+        match self {
+            CommPhase::FwdG => "alltoallv.wait.fwd_g",
+            CommPhase::BwdP => "alltoallv.wait.bwd_p",
+            CommPhase::FwdW => "alltoallv.wait.fwd_w",
+            CommPhase::BwdSigma => "alltoallv.wait.bwd_sigma",
+            CommPhase::Slices => "alltoallv.wait.slices",
+            CommPhase::Gathers => "alltoallv.wait.gathers",
+            CommPhase::Rebalance => "alltoallv.wait.rebalance",
+            CommPhase::Other => "alltoallv.wait.other",
+        }
+    }
+}
+
 /// Aggregate communication statistics of one [`ThreadComm`] run.
 #[derive(Debug, Default)]
 pub struct CommStats {
@@ -40,14 +147,35 @@ pub struct CommStats {
     /// [`CommStats::max_alltoall_bytes_per_rank`] and the mean diagnoses
     /// partition imbalance.
     pub per_rank_alltoall_bytes: Vec<AtomicU64>,
+    /// Off-rank `alltoall`/`alltoallv` bytes split by [`CommPhase`], indexed
+    /// by [`CommPhase::index`]. Always has [`CommPhase::ALL`] entries.
+    pub alltoall_bytes_per_phase: Vec<AtomicU64>,
 }
 
 impl CommStats {
     fn with_ranks(n_ranks: usize) -> Self {
         Self {
             per_rank_alltoall_bytes: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            alltoall_bytes_per_phase: CommPhase::ALL.iter().map(|_| AtomicU64::new(0)).collect(),
             ..Self::default()
         }
+    }
+
+    /// Off-rank Alltoall bytes attributed to one phase (0 when the
+    /// communicator predates phase accounting).
+    pub fn phase_bytes(&self, phase: CommPhase) -> u64 {
+        self.alltoall_bytes_per_phase
+            .get(phase.index())
+            .map(|a| a.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// `(label, bytes)` per phase, in [`CommPhase::ALL`] order.
+    pub fn phase_breakdown(&self) -> Vec<(&'static str, u64)> {
+        CommPhase::ALL
+            .iter()
+            .map(|&p| (p.label(), self.phase_bytes(p)))
+            .collect()
     }
 
     /// Total bytes over all collective types.
@@ -102,6 +230,8 @@ pub struct RankContext<T: Send + 'static> {
 #[must_use = "an un-waited alltoallv leaves its messages queued and breaks every later collective"]
 pub struct CommHandle<T: Send + 'static> {
     seq: u64,
+    phase: CommPhase,
+    bytes: u64,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -147,6 +277,18 @@ impl<T: Send + 'static> RankContext<T> {
         self.alltoallv_start(send, wire_bytes).wait(self)
     }
 
+    /// [`RankContext::alltoallv`] with a [`CommPhase`] tag for the byte
+    /// accounting and the probe timeline.
+    pub fn alltoallv_tagged(
+        &self,
+        send: Vec<T>,
+        wire_bytes: impl Fn(&T) -> usize,
+        phase: CommPhase,
+    ) -> Vec<T> {
+        self.alltoallv_start_tagged(send, wire_bytes, phase)
+            .wait(self)
+    }
+
     /// Post the sends of a variable-size all-to-all and return immediately;
     /// the receives happen in [`CommHandle::wait`]. Between `start` and
     /// `wait` the rank is free to compute — that window is the
@@ -157,7 +299,24 @@ impl<T: Send + 'static> RankContext<T> {
     /// posting order (FIFO channels): handles must be waited in the order
     /// they were started, and all of them before any other message-carrying
     /// collective. Byte and collective counts are recorded at post time.
+    ///
+    /// Untagged exchanges are attributed to [`CommPhase::Other`]; solver call
+    /// sites use [`RankContext::alltoallv_start_tagged`] so the byte totals
+    /// split by transposition.
     pub fn alltoallv_start(&self, send: Vec<T>, wire_bytes: impl Fn(&T) -> usize) -> CommHandle<T> {
+        self.alltoallv_start_tagged(send, wire_bytes, CommPhase::Other)
+    }
+
+    /// [`RankContext::alltoallv_start`] with a [`CommPhase`] tag. The post is
+    /// recorded as an instantaneous probe mark carrying the off-rank byte
+    /// count; the matching [`CommHandle::wait`] records a span, so the merged
+    /// timeline sees the full in-flight window of every exchange.
+    pub fn alltoallv_start_tagged(
+        &self,
+        send: Vec<T>,
+        wire_bytes: impl Fn(&T) -> usize,
+        phase: CommPhase,
+    ) -> CommHandle<T> {
         assert_eq!(
             send.len(),
             self.n_ranks,
@@ -177,11 +336,17 @@ impl<T: Send + 'static> RankContext<T> {
             .alltoall_bytes
             .fetch_add(moved_bytes, Ordering::Relaxed);
         self.stats.per_rank_alltoall_bytes[self.rank].fetch_add(moved_bytes, Ordering::Relaxed);
+        if let Some(slot) = self.stats.alltoall_bytes_per_phase.get(phase.index()) {
+            slot.fetch_add(moved_bytes, Ordering::Relaxed);
+        }
         self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
+        quatrex_probe::mark(phase.post_name(), quatrex_probe::CAT_COMM_POST, moved_bytes);
         let seq = self.next_post_seq.get();
         self.next_post_seq.set(seq + 1);
         CommHandle {
             seq,
+            phase,
+            bytes: moved_bytes,
             _marker: std::marker::PhantomData,
         }
     }
@@ -199,24 +364,44 @@ impl<T: Send + 'static> RankContext<T> {
     where
         T: Clone,
     {
+        self.allgather_tagged(value, wire_bytes, CommPhase::Other)
+    }
+
+    /// [`RankContext::allgather`] with a [`CommPhase`] tag.
+    pub fn allgather_tagged(
+        &self,
+        value: T,
+        wire_bytes: impl Fn(&T) -> usize,
+        phase: CommPhase,
+    ) -> Vec<T>
+    where
+        T: Clone,
+    {
         let send: Vec<T> = (0..self.n_ranks).map(|_| value.clone()).collect();
-        self.alltoallv(send, wire_bytes)
+        self.alltoallv_tagged(send, wire_bytes, phase)
     }
 
     /// Sum-reduction of one `f64` across all ranks; every rank receives the sum.
     pub fn allreduce_sum(&self, value: f64) -> f64 {
-        {
-            let mut slots = self.reduce_slots.lock();
-            slots[self.rank] = value;
-        }
-        self.stats
-            .allreduce_bytes
-            .fetch_add(8 * (self.n_ranks as u64 - 1), Ordering::Relaxed);
-        self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
-        self.barrier.wait();
-        let sum: f64 = self.reduce_slots.lock().iter().sum();
-        self.barrier.wait();
-        sum
+        quatrex_probe::span_bytes(
+            "allreduce",
+            "comm.allreduce",
+            8 * (self.n_ranks as u64 - 1),
+            || {
+                {
+                    let mut slots = self.reduce_slots.lock();
+                    slots[self.rank] = value;
+                }
+                self.stats
+                    .allreduce_bytes
+                    .fetch_add(8 * (self.n_ranks as u64 - 1), Ordering::Relaxed);
+                self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
+                self.barrier.wait();
+                let sum: f64 = self.reduce_slots.lock().iter().sum();
+                self.barrier.wait();
+                sum
+            },
+        )
     }
 }
 
@@ -224,18 +409,30 @@ impl<T: Send + 'static> CommHandle<T> {
     /// Complete the exchange: receive one message from every rank (index =
     /// source). Panics when called out of posting order — the FIFO channel
     /// pairs match in-flight messages purely by that order.
+    ///
+    /// The receive loop is recorded as a probe span named by the handle's
+    /// [`CommPhase`] and carrying its off-rank byte count; together with the
+    /// post mark, the timeline can reconstruct every in-flight window.
     pub fn wait(self, ctx: &RankContext<T>) -> Vec<T> {
-        assert_eq!(
-            self.seq,
-            ctx.next_wait_seq.get(),
-            "alltoallv handles must be waited in posting order"
-        );
-        ctx.next_wait_seq.set(self.seq + 1);
-        let mut out = Vec::with_capacity(ctx.n_ranks);
-        for src in 0..ctx.n_ranks {
-            out.push(ctx.mailboxes[ctx.rank][src].1.recv().expect("peer alive"));
-        }
-        out
+        let (phase, bytes) = (self.phase, self.bytes);
+        quatrex_probe::span_bytes(
+            phase.wait_name(),
+            quatrex_probe::CAT_COMM_WAIT,
+            bytes,
+            || {
+                assert_eq!(
+                    self.seq,
+                    ctx.next_wait_seq.get(),
+                    "alltoallv handles must be waited in posting order"
+                );
+                ctx.next_wait_seq.set(self.seq + 1);
+                let mut out = Vec::with_capacity(ctx.n_ranks);
+                for src in 0..ctx.n_ranks {
+                    out.push(ctx.mailboxes[ctx.rank][src].1.recv().expect("peer alive"));
+                }
+                out
+            },
+        )
     }
 }
 
@@ -454,6 +651,8 @@ mod tests {
             let _ = h0.wait(&ctx);
             let h1 = CommHandle {
                 seq: 1,
+                phase: CommPhase::Other,
+                bytes: 0,
                 _marker: std::marker::PhantomData,
             };
             let _ = h1.wait(&ctx);
@@ -464,6 +663,57 @@ mod tests {
             "unexpected panic message: {}",
             results[0]
         );
+    }
+
+    #[test]
+    fn phase_tags_split_alltoall_bytes() {
+        let n = 3;
+        let (_, stats) = ThreadComm::run(n, move |ctx: RankContext<u64>| {
+            let v: Vec<u64> = vec![ctx.rank() as u64; ctx.n_ranks()];
+            let _ = ctx.alltoallv_tagged(v.clone(), |_| 8, CommPhase::FwdG);
+            let h = ctx.alltoallv_start_tagged(v.clone(), |_| 8, CommPhase::BwdSigma);
+            let _ = h.wait(&ctx);
+            let _ = ctx.alltoallv(v, |_| 8); // untagged → Other
+        });
+        let per_phase = (n * (n - 1) * 8) as u64;
+        assert_eq!(stats.phase_bytes(CommPhase::FwdG), per_phase);
+        assert_eq!(stats.phase_bytes(CommPhase::BwdSigma), per_phase);
+        assert_eq!(stats.phase_bytes(CommPhase::Other), per_phase);
+        assert_eq!(stats.phase_bytes(CommPhase::FwdW), 0);
+        // The phase split partitions the aggregate total exactly.
+        let split: u64 = stats.phase_breakdown().iter().map(|&(_, b)| b).sum();
+        assert_eq!(split, stats.alltoall_bytes.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn tagged_exchanges_record_probe_post_and_wait_events() {
+        let n = 2;
+        let (results, _) = ThreadComm::run(n, move |ctx: RankContext<u64>| {
+            quatrex_probe::install(ctx.rank(), std::time::Instant::now());
+            let v: Vec<u64> = vec![7; ctx.n_ranks()];
+            let h = ctx.alltoallv_start_tagged(v, |_| 16, CommPhase::FwdW);
+            let _ = h.wait(&ctx);
+            quatrex_probe::finish().expect("probe installed")
+        });
+        for trace in results {
+            let posts: Vec<_> = trace
+                .marks
+                .iter()
+                .filter(|m| m.cat == quatrex_probe::CAT_COMM_POST)
+                .collect();
+            let waits: Vec<_> = trace
+                .spans
+                .iter()
+                .filter(|s| s.cat == quatrex_probe::CAT_COMM_WAIT)
+                .collect();
+            assert_eq!(posts.len(), 1);
+            assert_eq!(waits.len(), 1);
+            assert_eq!(posts[0].name, "alltoallv.post.fwd_w");
+            assert_eq!(waits[0].name, "alltoallv.wait.fwd_w");
+            // One off-rank message of 16 bytes.
+            assert_eq!(posts[0].bytes, 16);
+            assert_eq!(waits[0].bytes, 16);
+        }
     }
 
     #[test]

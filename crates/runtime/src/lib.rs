@@ -34,6 +34,6 @@ pub mod collective;
 pub mod cost;
 pub mod topology;
 
-pub use collective::{CommHandle, CommStats, RankContext, ThreadComm};
+pub use collective::{CommHandle, CommPhase, CommStats, RankContext, ThreadComm};
 pub use cost::{CommBackend, LinkParameters, MachineKind};
 pub use topology::{DecompositionPlan, TranspositionVolume};

@@ -3,11 +3,15 @@
 //! and print the measured vs. modelled all-to-all transposition volumes —
 //! the quantities behind the paper's Fig. 3 dataflow and Fig. 6 weak-scaling
 //! study. The measured per-rank volume is then fed into the weak-scaling
-//! model in place of the analytic estimate, and a second run at `P_S = 2`
+//! model in place of the analytic estimate, and a second run on a
+//! 4 energy groups × `P_S = 2` grid with `B = 2` transposition batches
 //! exercises the slice-wise spatial distribution and writes its
-//! `DistReport` byte counters to `DIST_report.json` (uploaded per PR by the
-//! CI bench-smoke job, next to `BENCH_kernels.json`, so byte regressions are
-//! visible).
+//! `DistReport` byte counters and probe metrics to `DIST_report.json`, plus
+//! the merged per-rank span timeline to `DIST_trace.json` — Chrome
+//! trace-event JSON, loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`, one track per simulated rank. Both are uploaded per
+//! PR by the CI bench-smoke job, next to `BENCH_kernels.json`, so byte and
+//! phase-timing regressions are visible.
 //!
 //! Run with: `cargo run --release --example distributed_scba`
 //! (`QUATREX_BENCH_QUICK=1` shrinks the grids for the CI smoke job — same
@@ -114,25 +118,27 @@ fn main() {
     );
 
     // --- Second decomposition level + batched transpositions ---------------
-    // The same problem on a 2 energy groups x P_S = 2 grid with the
-    // transpositions cut into 2 energy batches: each energy's G/W systems are
-    // solved cooperatively, the group leader ships every spatial rank only
-    // its PartitionSlice (interior blocks + separator couplings) instead of
-    // broadcasting the full system, and each batch's Alltoallv flies while
-    // the previous batch's convolutions compute. The byte counters (slices,
-    // batches, peak in-flight buffers, overlap) land in DIST_report.json so
-    // the per-PR CI artifact tracks them.
+    // The same problem on a 4 energy groups x P_S = 2 grid (8 ranks) with
+    // the transpositions cut into 2 energy batches: each energy's G/W
+    // systems are solved cooperatively, the group leader ships every spatial
+    // rank only its PartitionSlice (interior blocks + separator couplings)
+    // instead of broadcasting the full system, and each batch's Alltoallv
+    // flies while the previous batch's convolutions compute. The byte
+    // counters (slices, batches, peak in-flight buffers, overlap) and the
+    // probe metrics (per-phase seconds, overlap efficiency, time imbalance,
+    // memoizer hit rates) land in DIST_report.json so the per-PR CI artifact
+    // tracks them.
     let batches = 2;
     // Unbatched reference on the identical problem: the peak-buffer line
     // below reports the measured reduction, not an estimate.
     let unbatched = DistScbaSolver::new(
         DeviceBuilder::test_device(3, 2, 4).build(),
-        DistScbaConfig::new(spatial_config.clone(), 4).with_spatial_partitions(2),
+        DistScbaConfig::new(spatial_config.clone(), 8).with_spatial_partitions(2),
     )
     .run();
     let spatial = DistScbaSolver::new(
         DeviceBuilder::test_device(3, 2, 4).build(),
-        DistScbaConfig::new(spatial_config, 4)
+        DistScbaConfig::new(spatial_config, 8)
             .with_spatial_partitions(2)
             .with_energy_batches(batches),
     )
@@ -165,8 +171,58 @@ fn main() {
         "  overlap window        : {:.3e} s of convolution/unpack behind in-flight batches",
         sr.overlap_window_seconds,
     );
+
+    // Probe metrics: the merged span timeline condensed into the numbers the
+    // bench gate tracks.
+    println!(
+        "\nprobe timeline ({} rank tracks):",
+        spatial.timeline.n_ranks()
+    );
+    println!("  alltoall bytes by phase:");
+    for &(label, bytes) in &sr.alltoall_bytes_per_phase {
+        if bytes > 0 {
+            println!("    {label:<12} {bytes:>12}");
+        }
+    }
+    if let Some(eff) = sr.overlap_efficiency {
+        println!(
+            "  overlap efficiency    : {:.1}% of transposition time hidden under convolutions",
+            100.0 * eff
+        );
+    }
+    if let Some(imb) = sr.time_imbalance {
+        println!("  time imbalance        : {imb:.3}x (max/mean busy seconds over the rank grid)");
+    }
+    let rates = sr
+        .memoizer_hit_rate_per_iteration
+        .iter()
+        .map(|r| format!("{:.0}%", 100.0 * r))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("  memoizer hit rate     : per iteration [{rates}]");
+    for (phase, rate) in &sr.phase_flop_rates {
+        println!("  flop rate             : {phase:<12} {:.3e} flop/s", rate);
+    }
+
+    let fmt_u64_obj = |v: &[(&'static str, u64)]| {
+        v.iter()
+            .map(|&(k, b)| format!("\"{k}\": {b}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let fmt_f64_obj = |v: &[(String, f64)]| {
+        v.iter()
+            .map(|(k, s)| format!("\"{k}\": {s:.6e}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.6}"),
+        None => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"n_ranks\": {},\n  \"energy_groups\": {},\n  \"spatial_partitions\": {},\n  \
+        "{{\n  \"quick_mode\": {},\n  \"n_ranks\": {},\n  \"energy_groups\": {},\n  \
+         \"spatial_partitions\": {},\n  \
          \"balanced_partitions\": {},\n  \"full_iterations\": {},\n  \
          \"measured_transposition_bytes\": {},\n  \"measured_alltoall_bytes\": {},\n  \
          \"measured_boundary_bytes_g\": {},\n  \"measured_boundary_bytes_w\": {},\n  \
@@ -174,7 +230,13 @@ fn main() {
          \"broadcast_equivalent_bytes_g\": {},\n  \"broadcast_equivalent_bytes_w\": {},\n  \
          \"slice_saving_factor\": {:.4},\n  \"batch_count\": {},\n  \
          \"peak_slab_bytes\": {},\n  \"unbatched_peak_slab_bytes\": {},\n  \
-         \"overlap_window_seconds\": {:.6e}\n}}\n",
+         \"overlap_window_seconds\": {:.6e},\n  \
+         \"alltoall_bytes_per_phase\": {{{}}},\n  \
+         \"phase_seconds\": {{{}}},\n  \
+         \"overlap_efficiency\": {},\n  \"time_imbalance\": {},\n  \
+         \"memoizer_hit_rate_per_iteration\": [{}],\n  \
+         \"phase_flop_rates\": {{{}}}\n}}\n",
+        quick,
         sr.n_ranks,
         sr.energy_groups,
         sr.spatial_partitions,
@@ -193,9 +255,21 @@ fn main() {
         sr.peak_slab_bytes,
         unbatched.report.peak_slab_bytes,
         sr.overlap_window_seconds,
+        fmt_u64_obj(&sr.alltoall_bytes_per_phase),
+        fmt_f64_obj(&sr.phase_seconds),
+        fmt_opt(sr.overlap_efficiency),
+        fmt_opt(sr.time_imbalance),
+        sr.memoizer_hit_rate_per_iteration
+            .iter()
+            .map(|r| format!("{r:.6}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        fmt_f64_obj(&sr.phase_flop_rates),
     );
     std::fs::write("DIST_report.json", json).expect("write DIST_report.json");
-    println!("  wrote DIST_report.json");
+    std::fs::write("DIST_trace.json", spatial.timeline.chrome_trace_json())
+        .expect("write DIST_trace.json");
+    println!("  wrote DIST_report.json and DIST_trace.json (open in https://ui.perfetto.dev)");
 
     // Feed *measured* volumes into the Fig. 6 weak-scaling model in place of
     // the analytic estimate: sweep the rank count of the toy run (8 ranks per

@@ -28,6 +28,7 @@ pub use quatrex_fft as fft;
 pub use quatrex_linalg as linalg;
 pub use quatrex_obc as obc;
 pub use quatrex_perf as perf;
+pub use quatrex_probe as probe;
 pub use quatrex_rgf as rgf;
 pub use quatrex_runtime as runtime;
 pub use quatrex_sparse as sparse;
@@ -43,6 +44,7 @@ pub mod prelude {
         table4_breakdown, table6_rows, DecompositionOverhead, MachineModel, SystemModel,
         WorkloadModel,
     };
+    pub use quatrex_probe::Timeline;
     pub use quatrex_rgf::{
         nested_dissection_invert, nested_dissection_solve, rgf_solve, NestedConfig,
     };
