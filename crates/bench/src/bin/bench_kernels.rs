@@ -19,8 +19,8 @@
 //! set `QUATREX_BENCH_QUICK=1` for the CI smoke mode (fewer repetitions,
 //! same JSON shape). The file is written to the current directory.
 
+use quatrex_probe::clock::Instant;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use quatrex_bench::{bench_solver, chain_operand};
 use quatrex_linalg::ops::reference::{congruence_ref, matmul_ref};

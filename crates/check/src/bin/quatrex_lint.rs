@@ -1,0 +1,43 @@
+//! Repo-invariant lint runner: scans `crates/` under the given root (default
+//! the current directory) and exits non-zero when any invariant is violated.
+//!
+//! ```text
+//! quatrex_lint [ROOT]
+//! ```
+//!
+//! See `quatrex_check::lint` for the rule set and the
+//! `// lint:allow(<rule>): <reason>` escape hatch.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let report = match quatrex_check::lint_tree(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("quatrex-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.violations.is_empty() {
+        println!(
+            "quatrex-lint: clean ({} file(s) scanned)",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "quatrex-lint: {} violation(s) in {} file(s) scanned",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

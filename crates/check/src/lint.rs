@@ -1,0 +1,428 @@
+//! Registry-free repo-invariant lints for the QuaTrEx-RS workspace.
+//!
+//! A deliberately small line/token scanner (no `syn`, no proc-macro
+//! machinery — the container has no registry access) that enforces the
+//! conventions the runtime's verification story depends on:
+//!
+//! | rule            | invariant                                                        |
+//! |-----------------|------------------------------------------------------------------|
+//! | `comm-phase-tag`| message-carrying collectives outside `crates/runtime` use the `_tagged` variants, so byte accounting and the checker's sequence log are phase-attributed |
+//! | `one-clock`     | no `std::time::Instant` outside `quatrex-probe`; all timing goes through `quatrex_probe::clock` so traces share one epoch |
+//! | `no-unwrap`     | no `.unwrap()` / `.expect(...)` in `crates/{dist,runtime}` library code — rank threads must fail with diagnostics, not anonymous panics |
+//! | `no-println`    | no `println!` / `print!` in library crates — reports go through returned structs or probe counters, stdout belongs to the bin targets |
+//!
+//! Test code (`tests/`, `benches/`, `#[cfg(test)]` modules) is exempt, and a
+//! justified exception is granted in place with
+//! `// lint:allow(<rule>): <reason>` on the offending line or the line
+//! directly above it.
+//!
+//! The scanner strips comments and string literals (including raw strings
+//! with any hash depth and nested block comments) before matching, tracks
+//! `#[cfg(test)]` item extents by brace depth, and never parses — which keeps
+//! it fast enough to run on every CI push and simple enough to be obviously
+//! correct on the token patterns above.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The enforced rules. `name()` is the identifier used in
+/// `// lint:allow(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Untagged `alltoall`/`alltoallv`/`alltoallv_start`/`allgather` call.
+    CommPhaseTag,
+    /// `std::time::Instant` outside `quatrex-probe`.
+    OneClock,
+    /// `.unwrap()` / `.expect(` in dist/runtime library code.
+    NoUnwrap,
+    /// `println!` / `print!` in library code.
+    NoPrintln,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 4] = [
+        Rule::CommPhaseTag,
+        Rule::OneClock,
+        Rule::NoUnwrap,
+        Rule::NoPrintln,
+    ];
+
+    /// The rule identifier used in diagnostics and `lint:allow`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::CommPhaseTag => "comm-phase-tag",
+            Rule::OneClock => "one-clock",
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoPrintln => "no-println",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Path of the offending file, relative to the scanned root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Result of a tree scan.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, in path/line order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Which rules apply to a file, derived from its path relative to the repo
+/// root (forward-slash normalised).
+fn applicable_rules(rel: &str) -> Vec<Rule> {
+    if !rel.starts_with("crates/") || rel.contains("/fixtures/") {
+        return Vec::new();
+    }
+    // Integration tests, benches and examples are exempt from every rule.
+    if rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/") {
+        return Vec::new();
+    }
+    let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
+    let mut rules = Vec::new();
+    if !rel.starts_with("crates/runtime/") {
+        rules.push(Rule::CommPhaseTag);
+    }
+    if !rel.starts_with("crates/probe/") {
+        rules.push(Rule::OneClock);
+    }
+    if (rel.starts_with("crates/dist/src/") || rel.starts_with("crates/runtime/src/")) && !is_bin {
+        rules.push(Rule::NoUnwrap);
+    }
+    if !is_bin {
+        rules.push(Rule::NoPrintln);
+    }
+    rules
+}
+
+/// `true` when `code` contains `token` not preceded by an identifier
+/// character (so `println!` does not match inside `eprintln!`).
+fn has_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let preceded = at > 0
+            && code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if !preceded {
+            return true;
+        }
+        from = at + token.len();
+    }
+    false
+}
+
+/// Does this stripped line use `std::time::Instant` (directly or via a
+/// brace-grouped `use std::time::{...}`)?
+fn uses_std_instant(code: &str) -> bool {
+    if code.contains("std::time::Instant") {
+        return true;
+    }
+    if let Some(pos) = code.find("std::time::{") {
+        let group = &code[pos + "std::time::{".len()..];
+        let group = group.split('}').next().unwrap_or(group);
+        return group.split(',').any(|item| item.trim() == "Instant");
+    }
+    false
+}
+
+/// Multi-line lexer state: what construct is open at the end of a line.
+enum LexState {
+    Code,
+    /// Inside `/* */` comments, with nesting depth.
+    BlockComment(u32),
+    /// Inside a regular `"` string.
+    Str,
+    /// Inside a raw string with `hashes` trailing `#` characters.
+    RawStr(u32),
+}
+
+/// Strip comments and string/char literals from one line, replacing their
+/// contents with spaces so byte offsets keep meaning, and carry the lexer
+/// state to the next line.
+fn strip_line(line: &str, state: LexState) -> (String, LexState) {
+    let bytes = line.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    let mut state = state;
+    while i < bytes.len() {
+        match state {
+            LexState::BlockComment(depth) => {
+                if bytes[i..].starts_with(b"*/") {
+                    state = if depth == 1 {
+                        LexState::Code
+                    } else {
+                        LexState::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if bytes[i..].starts_with(b"/*") {
+                    state = LexState::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    state = LexState::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::RawStr(hashes) => {
+                if bytes[i] == b'"' {
+                    let tail = &bytes[i + 1..];
+                    let n = hashes as usize;
+                    if tail.len() >= n && tail[..n].iter().all(|&b| b == b'#') {
+                        state = LexState::Code;
+                        i += 1 + n;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::Code => {
+                if bytes[i..].starts_with(b"//") {
+                    break; // rest of the line is a comment
+                }
+                if bytes[i..].starts_with(b"/*") {
+                    state = LexState::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw string start: r"..." or r#"..."# (also br/cr prefixes).
+                if bytes[i] == b'r'
+                    && !(i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_'))
+                {
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while j < bytes.len() && bytes[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b'"' {
+                        out[i..j + 1].copy_from_slice(&bytes[i..j + 1]);
+                        state = LexState::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                    // A lone `r#` is a raw identifier prefix: fall through.
+                }
+                if bytes[i] == b'"' {
+                    out[i] = b'"';
+                    state = LexState::Str;
+                    i += 1;
+                    continue;
+                }
+                // Char literal (incl. escapes) vs lifetime: a lifetime has no
+                // closing quote within the next few bytes.
+                if bytes[i] == b'\'' {
+                    let rest = &bytes[i + 1..];
+                    let close = if rest.first() == Some(&b'\\') {
+                        rest.iter().skip(1).position(|&b| b == b'\'').map(|p| p + 1)
+                    } else if rest.len() >= 2 && rest[1] == b'\'' {
+                        Some(1)
+                    } else {
+                        None
+                    };
+                    if let Some(close) = close {
+                        i += close + 2;
+                        continue;
+                    }
+                    out[i] = b'\'';
+                    i += 1;
+                    continue;
+                }
+                out[i] = bytes[i];
+                i += 1;
+            }
+        }
+    }
+    (String::from_utf8_lossy(&out).into_owned(), state)
+}
+
+/// Rules suppressed by a `// lint:allow(...)` marker in `raw`.
+fn allowed_rules(raw: &str) -> Vec<Rule> {
+    let Some(pos) = raw.find("lint:allow(") else {
+        return Vec::new();
+    };
+    let args = &raw[pos + "lint:allow(".len()..];
+    let args = args.split(')').next().unwrap_or("");
+    args.split(',')
+        .map(str::trim)
+        .filter_map(|name| Rule::ALL.into_iter().find(|r| r.name() == name))
+        .collect()
+}
+
+/// Lint one file's source. `rel_path` is the repo-root-relative path used
+/// both for rule selection and in diagnostics.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let rules = applicable_rules(rel_path);
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    let mut state = LexState::Code;
+    let mut depth: i64 = 0;
+    // `#[cfg(test)]` handling: once seen, the next item (tracked by brace
+    // depth) is test code; the region ends when depth falls back below the
+    // depth at which the item's first `{` opened.
+    let mut pending_cfg_test = false;
+    let mut test_region_floor: Option<i64> = None;
+    let mut prev_allows: Vec<Rule> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let (code, next_state) = strip_line(raw, state);
+        state = next_state;
+        let in_test_before = test_region_floor.is_some();
+
+        if !in_test_before && code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && !in_test_before && code.contains('{') {
+            // The gated item's body opens here; everything until the matching
+            // close brace is test code.
+            test_region_floor = Some(depth);
+            pending_cfg_test = false;
+        }
+        for b in code.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(floor) = test_region_floor {
+            if depth <= floor {
+                test_region_floor = None;
+            }
+        }
+        let in_test = in_test_before || test_region_floor.is_some();
+
+        let line_allows = allowed_rules(raw);
+        if !in_test {
+            for &rule in &rules {
+                if line_allows.contains(&rule) || prev_allows.contains(&rule) {
+                    continue;
+                }
+                let finding = match rule {
+                    Rule::CommPhaseTag => [
+                        ".alltoall(",
+                        ".alltoallv(",
+                        ".alltoallv_start(",
+                        ".allgather(",
+                    ]
+                    .iter()
+                    .any(|t| code.contains(t))
+                    .then(|| {
+                        "untagged collective call: use the `_tagged` variant with a \
+                             CommPhase so bytes and traces are phase-attributed"
+                            .to_string()
+                    }),
+                    Rule::OneClock => uses_std_instant(&code).then(|| {
+                        "std::time::Instant outside quatrex-probe: use \
+                         quatrex_probe::clock::Instant so all timing shares one clock"
+                            .to_string()
+                    }),
+                    Rule::NoUnwrap => (code.contains(".unwrap()") || code.contains(".expect("))
+                        .then(|| {
+                            "unwrap/expect in dist/runtime library code: return a diagnostic \
+                             or justify with lint:allow(no-unwrap)"
+                                .to_string()
+                        }),
+                    Rule::NoPrintln => (has_token(&code, "println!") || has_token(&code, "print!"))
+                        .then(|| {
+                            "println!/print! in library code: stdout belongs to bin targets"
+                                .to_string()
+                        }),
+                };
+                if let Some(message) = finding {
+                    violations.push(Violation {
+                        path: rel_path.to_string(),
+                        line: lineno,
+                        rule,
+                        message,
+                    });
+                }
+            }
+        }
+        prev_allows = line_allows;
+    }
+    violations
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every `.rs` file under `<root>/crates` and return the findings.
+pub fn lint_tree(root: &Path) -> std::io::Result<LintReport> {
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    if crates.is_dir() {
+        walk(&crates, &mut files)?;
+    }
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        report.violations.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}

@@ -1,0 +1,17 @@
+// Lint fixture: stdout in library code (no-println rule).
+
+pub fn report(total: u64) {
+    println!("total = {total}");
+    print!("partial");
+    eprintln!("stderr diagnostics are tolerated");
+    let _line = format!("not printed: {total}");
+}
+
+pub fn allowed(total: u64) {
+    println!("sanctioned: {total}"); // lint:allow(no-println): fixture exception
+}
+
+pub fn raw_strings_do_not_count() {
+    let _doc = r#"call println!("x") to print"#;
+    let _s = "println!(\"quoted\")";
+}

@@ -1,0 +1,24 @@
+// Lint fixture: std::time::Instant outside quatrex-probe (one-clock rule).
+
+use std::time::Instant;
+use std::time::{Duration, Instant};
+
+pub fn timed() {
+    let _t = std::time::Instant::now();
+    let _s = "std::time::Instant"; // inside a string literal: not flagged
+    /* a block comment mentioning std::time::Instant is not flagged */
+    let _d = Duration::from_millis(1);
+}
+
+pub fn allowed() {
+    let _t = std::time::Instant::now(); // lint:allow(one-clock): fixture exception
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    pub fn in_tests() {
+        let _ = Instant::now();
+    }
+}

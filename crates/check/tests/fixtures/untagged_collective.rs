@@ -1,0 +1,25 @@
+// Lint fixture: untagged collective calls (comm-phase-tag rule).
+
+pub fn exchange(ctx: &RankContext<Vec<u8>>, send: Vec<Vec<u8>>) {
+    let _ = ctx.alltoallv(send, |m| m.len());
+}
+
+pub fn exchange_tagged(ctx: &RankContext<Vec<u8>>, send: Vec<Vec<u8>>) {
+    let _ = ctx.alltoallv_tagged(send, |m| m.len(), CommPhase::FwdG);
+}
+
+pub fn exchange_allowed(ctx: &RankContext<Vec<u8>>, send: Vec<Vec<u8>>) {
+    // lint:allow(comm-phase-tag): fixture-sanctioned untagged call
+    let _ = ctx.alltoallv_start(send, |m| m.len());
+}
+
+pub fn gather(ctx: &RankContext<Vec<u8>>, mine: Vec<u8>) {
+    let _ = ctx.allgather(mine, |m| m.len());
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests(ctx: &RankContext<Vec<u8>>, send: Vec<Vec<u8>>) {
+        let _ = ctx.alltoallv(send, |m| m.len());
+    }
+}

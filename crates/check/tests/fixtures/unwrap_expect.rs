@@ -1,0 +1,25 @@
+// Lint fixture: unwrap/expect in dist/runtime library code (no-unwrap rule).
+
+pub fn bad(values: &[u64]) -> u64 {
+    let first = values.first().unwrap();
+    let last = values.last().expect("non-empty");
+    first + last
+}
+
+pub fn fine(values: &[u64]) -> u64 {
+    let first = values.first().copied().unwrap_or(0);
+    let last = values.last().copied().unwrap_or_else(|| 0);
+    first + last
+}
+
+pub fn justified(values: &[u64]) -> u64 {
+    // lint:allow(no-unwrap): the caller guarantees a non-empty slice
+    *values.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests(values: &[u64]) -> u64 {
+        *values.first().unwrap()
+    }
+}

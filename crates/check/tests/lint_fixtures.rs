@@ -1,0 +1,110 @@
+//! Fixture-based self-tests of the lint scanner: each fixture file seeds
+//! known violations (plus decoys that must *not* fire — strings, comments,
+//! `#[cfg(test)]` modules, `lint:allow` escapes) and the tests assert the
+//! exact (rule, line) findings.
+
+use quatrex_check::{lint_source, Rule};
+
+/// Findings as (rule name, line) pairs for compact assertions.
+fn findings(rel_path: &str, source: &str) -> Vec<(String, usize)> {
+    lint_source(rel_path, source)
+        .into_iter()
+        .map(|v| (v.rule.name().to_string(), v.line))
+        .collect()
+}
+
+#[test]
+fn untagged_collectives_are_flagged_outside_runtime() {
+    let src = include_str!("fixtures/untagged_collective.rs");
+    let got = findings("crates/dist/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("comm-phase-tag".to_string(), 4),
+            ("comm-phase-tag".to_string(), 17),
+        ]
+    );
+}
+
+#[test]
+fn untagged_collectives_are_exempt_inside_runtime_and_tests() {
+    let src = include_str!("fixtures/untagged_collective.rs");
+    assert!(findings("crates/runtime/src/fixture.rs", src).is_empty());
+    assert!(findings("crates/dist/tests/fixture.rs", src).is_empty());
+    assert!(findings("crates/dist/benches/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn std_instant_is_flagged_outside_probe() {
+    let src = include_str!("fixtures/std_instant.rs");
+    let got = findings("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("one-clock".to_string(), 3),
+            ("one-clock".to_string(), 4),
+            ("one-clock".to_string(), 7),
+        ]
+    );
+    assert!(findings("crates/probe/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn unwrap_is_flagged_only_in_dist_and_runtime_library_code() {
+    let src = include_str!("fixtures/unwrap_expect.rs");
+    let got = findings("crates/dist/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![("no-unwrap".to_string(), 4), ("no-unwrap".to_string(), 5)]
+    );
+    let runtime = lint_source("crates/runtime/src/fixture.rs", src);
+    assert!(runtime.iter().all(|v| v.rule == Rule::NoUnwrap));
+    assert_eq!(runtime.len(), 2);
+    // Other crates may unwrap: the rule is scoped to rank-thread code.
+    assert!(findings("crates/core/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn println_is_flagged_in_library_code_but_not_bins() {
+    let src = include_str!("fixtures/println_lib.rs");
+    let got = findings("crates/perf/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![("no-println".to_string(), 4), ("no-println".to_string(), 5)]
+    );
+    assert!(findings("crates/bench/src/bin/fixture.rs", src).is_empty());
+    assert!(findings("crates/bench/src/main.rs", src).is_empty());
+}
+
+#[test]
+fn allow_marker_must_name_the_right_rule() {
+    let src = "pub fn f(v: &[u8]) -> u8 {\n    // lint:allow(no-println): wrong rule named\n    *v.first().unwrap()\n}\n";
+    let got = findings("crates/dist/src/fixture.rs", src);
+    assert_eq!(got, vec![("no-unwrap".to_string(), 3)]);
+}
+
+#[test]
+fn multi_line_constructs_are_stripped() {
+    let src = "pub fn f() {\n    /* comment opens\n       x.unwrap() still comment\n    */\n    let s = \"multi\n        line .unwrap() string\";\n    let r = r#\"raw\n        .expect( string\"#;\n}\n";
+    assert!(findings("crates/dist/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn lint_tree_skips_fixture_directories() {
+    // Scanning this very crate must not pick up the seeded fixture
+    // violations (the walker skips `fixtures/` and test code).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let report = quatrex_check::lint_tree(root).expect("scan workspace");
+    assert!(
+        !report
+            .violations
+            .iter()
+            .any(|v| v.path.contains("fixtures")),
+        "fixture files must be exempt: {:?}",
+        report.violations
+    );
+    assert!(report.files_scanned > 10);
+}

@@ -1,0 +1,51 @@
+//! Mutation test for the lock-order recorder: an intentional A→B / B→A
+//! acquisition inversion must panic with a diagnostic naming the offending
+//! lock pair — without requiring the interleaving that would actually
+//! deadlock. Kept in its own test binary because the recorder's graph is
+//! process-global.
+
+use parking_lot::{lock_order, Mutex};
+
+#[test]
+fn seeded_lock_inversion_names_the_offending_pair() {
+    lock_order::reset();
+    lock_order::enable();
+
+    let a = Mutex::new("a");
+    let b = Mutex::new("b");
+
+    // Thread 1 establishes the A → B ordering.
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        });
+    });
+
+    // Thread 2 takes them in the reverse order — the classic ABBA deadlock
+    // seed. The recorder reports it at acquisition time, deterministically.
+    let err = std::thread::scope(|s| {
+        s.spawn(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }))
+        })
+        .join()
+        .expect("scoped join")
+    })
+    .expect_err("the inversion must be diagnosed");
+
+    lock_order::disable();
+    lock_order::reset();
+
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic payload>".into());
+    assert!(
+        msg.contains("lock-order cycle detected"),
+        "diagnostic: {msg}"
+    );
+    assert!(msg.contains("Offending lock pair"), "diagnostic: {msg}");
+}

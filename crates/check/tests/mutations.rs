@@ -1,0 +1,165 @@
+//! Mutation tests: seed the communication bugs the checker exists to catch
+//! and assert each one produces its *named* diagnostic — not a hang, not a
+//! generic join failure.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use quatrex_check::CollectiveChecker;
+use quatrex_runtime::{CollectiveObserver, CommPhase, RankContext, ThreadComm};
+
+/// Run `f` under a fresh checker and return the panic diagnostic it must
+/// produce.
+fn diagnostic_of<F>(n_ranks: usize, f: F) -> String
+where
+    F: Fn(RankContext<Vec<u64>>) -> Vec<u64> + Send + Sync + 'static,
+{
+    let checker: Arc<dyn CollectiveObserver> = Arc::new(CollectiveChecker::new(n_ranks));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        ThreadComm::run_with_observer(n_ranks, Some(checker), f)
+    }))
+    .expect_err("the seeded bug must abort the run");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".into())
+}
+
+#[test]
+fn clean_run_passes_and_is_observed() {
+    let checker = Arc::new(CollectiveChecker::new(3));
+    let observer: Arc<dyn CollectiveObserver> = Arc::clone(&checker) as _;
+    let (results, _) =
+        ThreadComm::run_with_observer(3, Some(observer), |ctx: RankContext<Vec<u64>>| {
+            let send: Vec<Vec<u64>> = (0..ctx.n_ranks()).map(|j| vec![j as u64; 4]).collect();
+            let h = ctx.alltoallv_start_tagged(send, |m: &Vec<u64>| m.len() * 8, CommPhase::FwdG);
+            let recv = h.wait(&ctx);
+            ctx.barrier();
+            let total = ctx.allreduce_sum(recv.iter().flatten().sum::<u64>() as f64);
+            vec![total as u64]
+        });
+    assert!(results.iter().all(|r| r == &results[0]));
+    // 3 ranks × (post + wait + barrier + allreduce) events at minimum.
+    assert!(checker.events_verified() >= 12);
+}
+
+#[test]
+fn skipped_transposition_is_diagnosed_as_deadlock() {
+    let diag = diagnostic_of(2, |ctx| {
+        if ctx.rank() == 0 {
+            // Rank 0 runs the transposition; rank 1 "forgot" it and exits.
+            let send: Vec<Vec<u64>> = (0..ctx.n_ranks()).map(|_| vec![1, 2, 3]).collect();
+            let h = ctx.alltoallv_start_tagged(send, |m: &Vec<u64>| m.len() * 8, CommPhase::FwdG);
+            h.wait(&ctx).into_iter().flatten().collect()
+        } else {
+            Vec::new()
+        }
+    });
+    assert!(diag.contains("deadlock detected"), "diagnostic: {diag}");
+    assert!(
+        diag.contains("rank 0: blocked waiting for the message"),
+        "diagnostic: {diag}"
+    );
+    assert!(
+        diag.contains("rank 1") && diag.contains("has exited"),
+        "diagnostic: {diag}"
+    );
+}
+
+#[test]
+fn swapped_posting_order_is_diagnosed() {
+    let diag = diagnostic_of(2, |ctx| {
+        // The two ranks post the same pair of transpositions in opposite
+        // orders — the FIFO channels would silently cross-match the
+        // payloads; the checker names the divergence instead.
+        let phases = if ctx.rank() == 0 {
+            [CommPhase::FwdG, CommPhase::BwdP]
+        } else {
+            [CommPhase::BwdP, CommPhase::FwdG]
+        };
+        let mut out = Vec::new();
+        for phase in phases {
+            let send: Vec<Vec<u64>> = (0..ctx.n_ranks()).map(|_| vec![7]).collect();
+            let h = ctx.alltoallv_start_tagged(send, |m: &Vec<u64>| m.len() * 8, phase);
+            out.extend(h.wait(&ctx).into_iter().flatten());
+        }
+        out
+    });
+    assert!(
+        diag.contains("collective sequence mismatch at step 0"),
+        "diagnostic: {diag}"
+    );
+    assert!(
+        diag.contains("alltoallv[fwd_g]") && diag.contains("alltoallv[bwd_p]"),
+        "diagnostic: {diag}"
+    );
+}
+
+#[test]
+fn leaked_handle_is_diagnosed() {
+    let diag = diagnostic_of(2, |ctx| {
+        let send: Vec<Vec<u64>> = (0..ctx.n_ranks()).map(|_| vec![4, 5]).collect();
+        let h = ctx.alltoallv_start_tagged(send, |m: &Vec<u64>| m.len() * 8, CommPhase::BwdSigma);
+        if ctx.rank() == 0 {
+            drop(h); // the seeded bug: the exchange is never completed
+            Vec::new()
+        } else {
+            h.wait(&ctx).into_iter().flatten().collect()
+        }
+    });
+    assert!(diag.contains("leaked CommHandle"), "diagnostic: {diag}");
+    assert!(
+        diag.contains("rank 0") && diag.contains("seq 0") && diag.contains("bwd_sigma"),
+        "diagnostic: {diag}"
+    );
+}
+
+#[test]
+fn byte_matrix_mismatch_is_diagnosed() {
+    let diag = diagnostic_of(2, |ctx| {
+        // The two call sites disagree about the wire format: rank 0 declares
+        // 8 bytes per value, rank 1 sizes the same messages at 16.
+        let bytes_per_value = if ctx.rank() == 0 { 8 } else { 16 };
+        let send: Vec<Vec<u64>> = (0..ctx.n_ranks()).map(|_| vec![1, 2]).collect();
+        let h = ctx.alltoallv_start_tagged(
+            send,
+            move |m: &Vec<u64>| m.len() * bytes_per_value,
+            CommPhase::FwdW,
+        );
+        h.wait(&ctx).into_iter().flatten().collect()
+    });
+    assert!(diag.contains("byte-matrix mismatch"), "diagnostic: {diag}");
+    assert!(
+        diag.contains("declared") && diag.contains("measured"),
+        "diagnostic: {diag}"
+    );
+}
+
+#[test]
+fn sequence_kind_mismatch_is_diagnosed() {
+    let diag = diagnostic_of(2, |ctx| {
+        if ctx.rank() == 0 {
+            let send: Vec<Vec<u64>> = (0..ctx.n_ranks()).map(|_| vec![9]).collect();
+            let h = ctx.alltoallv_start_tagged(send, |m: &Vec<u64>| m.len() * 8, CommPhase::FwdG);
+            h.wait(&ctx).into_iter().flatten().collect()
+        } else {
+            ctx.barrier(); // rank 1 thinks this step is a barrier
+            Vec::new()
+        }
+    });
+    assert!(
+        diag.contains("collective sequence mismatch"),
+        "diagnostic: {diag}"
+    );
+    assert!(diag.contains("barrier"), "diagnostic: {diag}");
+}
+
+#[test]
+fn installed_factory_checks_plain_thread_comm_run() {
+    // `install_collective_checker` wires the verifier under the public
+    // `ThreadComm::run` without any parameter threading.
+    quatrex_check::install_collective_checker();
+    let (sums, _) = ThreadComm::run(2, |ctx: RankContext<()>| ctx.allreduce_sum(1.0));
+    quatrex_check::uninstall_collective_checker();
+    assert_eq!(sums, vec![2.0, 2.0]);
+}

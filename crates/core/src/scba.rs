@@ -18,8 +18,8 @@
 //! per-kernel wall times and FLOPs are accumulated in the same categories as
 //! the paper's Table 4.
 
+use quatrex_probe::clock::Instant;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 use parking_lot::Mutex;
 use rayon::prelude::*;

@@ -65,7 +65,7 @@ pub fn partition_weighted(weights: &[f64], n_parts: usize) -> Vec<Range<usize>> 
     }
     // Any tail (possible only through rounding) goes to the last part.
     if start < n {
-        let last = ranges.last_mut().expect("n_parts >= 1");
+        let last = ranges.last_mut().expect("n_parts >= 1"); // lint:allow(no-unwrap): ranges is non-empty: n_parts >= 1 is asserted on entry
         *last = last.start..n;
     }
     ranges

@@ -38,9 +38,9 @@
 //! introduces an additional `≤1e-12`-relative reordering per solve. The
 //! equivalence tests pin the observables at `≤ 1e-10` relative either way.
 
+use quatrex_probe::clock::Instant;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
 
 use quatrex_core::assembly::{assemble_g, assemble_w};
 use quatrex_core::convolution::{
@@ -443,11 +443,12 @@ impl DistScbaSolver {
                 let p_s = self.config.spatial_partitions;
                 if balanced {
                     let probe = probe_partition_flops(h.n_blocks(), h.block_size(), p_s, 2)
-                        .expect("FLOP probe of the spatial layout failed");
+                        .expect("FLOP probe of the spatial layout failed"); // lint:allow(no-unwrap): a failed FLOP probe means the layout constructor is broken
                     partition_layout_balanced(h.n_blocks(), p_s, &probe)
                 } else {
                     spatial_partition_layout(h.n_blocks(), p_s)
                 }
+                // lint:allow(no-unwrap): the layout was validated against n_blocks at config build
                 .expect("spatial partition layout rejected (too few blocks for P_S)")
             } else {
                 Vec::new()
@@ -976,7 +977,7 @@ fn forward_pipeline(
             let next = post(b + 1, transposition_bytes, metrics);
             handles.push_back(next);
         }
-        let (handle, sent_bytes) = handles.pop_front().expect("batch in flight");
+        let (handle, sent_bytes) = handles.pop_front().expect("batch in flight"); // lint:allow(no-unwrap): pipeline invariant: a send always precedes this pop
         let received = leader_wait(ctx, grid, handle);
         let recv_bytes = payload_bytes(&received);
         metrics.track(recv_bytes);
@@ -1054,7 +1055,7 @@ fn backward_pipeline(
             let next = post(b + 1, transposition_bytes, metrics);
             handles.push_back(next);
         }
-        let (handle, sent_bytes) = handles.pop_front().expect("batch in flight");
+        let (handle, sent_bytes) = handles.pop_front().expect("batch in flight"); // lint:allow(no-unwrap): pipeline invariant: a send always precedes this pop
         let received = leader_wait(ctx, grid, handle);
         let recv_bytes = payload_bytes(&received);
         metrics.track(recv_bytes);
@@ -1201,7 +1202,7 @@ fn rank_main(
                         timings,
                     )
                 });
-                let out = out.expect("RGF solve failed: the system matrix became singular");
+                let out = out.expect("RGF solve failed: the system matrix became singular"); // lint:allow(no-unwrap): a singular system matrix is a fatal numeric error
                 energy_seconds[k_local] += secs;
                 local_traces.push((0..nb).map(|i| out.lesser.diag(i).trace()).collect());
                 g_lesser.push(out.lesser);
@@ -1256,8 +1257,8 @@ fn rank_main(
             traffic_g.merge(&traffic);
             for (k_local, sol) in sols.into_iter().enumerate() {
                 let mut lessers = sol.lesser.into_iter();
-                let gl = lessers.next().expect("lesser solved");
-                let gg = lessers.next().expect("greater solved");
+                let gl = lessers.next().expect("lesser solved"); // lint:allow(no-unwrap): rgf_solve returns one grid per requested RHS
+                let gg = lessers.next().expect("greater solved"); // lint:allow(no-unwrap): rgf_solve returns one grid per requested RHS
                 let out = g_step_finish(
                     &obc_left[k_local].0,
                     &obc_left[k_local].1,
@@ -1304,7 +1305,7 @@ fn rank_main(
             &mut transposition_bytes,
             &mut pipe,
             |slab, batch, arrived_before| {
-                let acc = p_acc.as_mut().expect("leader accumulators");
+                let acc = p_acc.as_mut().expect("leader accumulators"); // lint:allow(no-unwrap): this closure runs on the leader rank only
                 quatrex_probe::span("scba.p.accumulate", "conv.p", || {
                     let t = Instant::now();
                     for e_local in 0..n_elems {
@@ -1369,9 +1370,9 @@ fn rank_main(
             &mut pipe,
         );
         let (p_lesser, p_greater, p_retarded) = if is_leader {
-            let p_retarded = p_out.pop().expect("P^R");
-            let p_greater = p_out.pop().expect("P^>");
-            let p_lesser = p_out.pop().expect("P^<");
+            let p_retarded = p_out.pop().expect("P^R"); // lint:allow(no-unwrap): the P convolution pushes exactly three grids
+            let p_greater = p_out.pop().expect("P^>"); // lint:allow(no-unwrap): the P convolution pushes exactly three grids
+            let p_lesser = p_out.pop().expect("P^<"); // lint:allow(no-unwrap): the P convolution pushes exactly three grids
             (p_lesser, p_greater, p_retarded)
         } else {
             (Vec::new(), Vec::new(), Vec::new())
@@ -1397,7 +1398,7 @@ fn rank_main(
                         timings,
                     )
                 });
-                let out = out.expect("W RGF solve failed");
+                let out = out.expect("W RGF solve failed"); // lint:allow(no-unwrap): a singular W system is a fatal numeric error
                 energy_seconds[k_local] += secs;
                 local_trunc = local_trunc.max(out.truncation);
                 w_lesser.push(out.lesser);
@@ -1440,8 +1441,8 @@ fn rank_main(
             traffic_w.merge(&traffic);
             for sol in sols {
                 let mut lessers = sol.lesser.into_iter();
-                let mut wl = lessers.next().expect("lesser solved");
-                let mut wg = lessers.next().expect("greater solved");
+                let mut wl = lessers.next().expect("lesser solved"); // lint:allow(no-unwrap): rgf_solve returns one grid per requested RHS
+                let mut wg = lessers.next().expect("greater solved"); // lint:allow(no-unwrap): rgf_solve returns one grid per requested RHS
                 if cfg.enforce_symmetry {
                     wl.symmetrize_negf();
                     wg.symmetrize_negf();
@@ -1474,8 +1475,8 @@ fn rank_main(
             &mut transposition_bytes,
             &mut pipe,
             |w_slab, batch, _arrived_before| {
-                let g_slab = g_slab.as_ref().expect("leader holds the G slab");
-                let acc = s_acc.as_mut().expect("leader accumulators");
+                let g_slab = g_slab.as_ref().expect("leader holds the G slab"); // lint:allow(no-unwrap): this closure runs on the leader rank only
+                let acc = s_acc.as_mut().expect("leader accumulators"); // lint:allow(no-unwrap): this closure runs on the leader rank only
                 quatrex_probe::span("scba.sigma.accumulate", "conv.sigma", || {
                     let t = Instant::now();
                     for e_local in 0..n_elems {
@@ -1536,9 +1537,9 @@ fn rank_main(
             &mut pipe,
         );
         let (s_lesser_new, s_greater_new, s_retarded_new) = if is_leader {
-            let s_retarded_new = s_out.pop().expect("Σ^R");
-            let s_greater_new = s_out.pop().expect("Σ^>");
-            let s_lesser_new = s_out.pop().expect("Σ^<");
+            let s_retarded_new = s_out.pop().expect("Σ^R"); // lint:allow(no-unwrap): the Sigma convolution pushes exactly three grids
+            let s_greater_new = s_out.pop().expect("Σ^>"); // lint:allow(no-unwrap): the Sigma convolution pushes exactly three grids
+            let s_lesser_new = s_out.pop().expect("Σ^<"); // lint:allow(no-unwrap): the Sigma convolution pushes exactly three grids
             (s_lesser_new, s_greater_new, s_retarded_new)
         } else {
             (Vec::new(), Vec::new(), Vec::new())
@@ -1770,7 +1771,7 @@ fn rebalance_energy_partition(
             let new_group = new_ranges
                 .iter()
                 .position(|r| r.contains(&k))
-                .expect("every energy stays owned");
+                .expect("every energy stays owned"); // lint:allow(no-unwrap): the ownership ranges partition the energy grid
             if new_group != group {
                 let dst = grid.leader_of(new_group);
                 push_bt(&mut send[dst], &sigma_l[k_local]);
@@ -1811,22 +1812,22 @@ fn rebalance_energy_partition(
         for k in new_my {
             if my_e.contains(&k) {
                 let k_local = k - my_e.start;
-                sigma_l.push(old_l[k_local].take().expect("kept energy"));
-                sigma_g.push(old_g[k_local].take().expect("kept energy"));
-                sigma_r.push(old_r[k_local].take().expect("kept energy"));
+                sigma_l.push(old_l[k_local].take().expect("kept energy")); // lint:allow(no-unwrap): every kept energy was stored by the previous loop
+                sigma_g.push(old_g[k_local].take().expect("kept energy")); // lint:allow(no-unwrap): every kept energy was stored by the previous loop
+                sigma_r.push(old_r[k_local].take().expect("kept energy")); // lint:allow(no-unwrap): every kept energy was stored by the previous loop
             } else {
                 let src_group = old_ranges
                     .iter()
                     .position(|r| r.contains(&k))
-                    .expect("every energy was owned");
+                    .expect("every energy was owned"); // lint:allow(no-unwrap): the previous ownership ranges also partition the grid
                 let src = grid.leader_of(src_group);
                 let it = &mut readers[src];
                 sigma_l.push(read_bt(it, nb, bs));
                 sigma_g.push(read_bt(it, nb, bs));
                 sigma_r.push(read_bt(it, nb, bs));
-                let n_entries = it.next().expect("rebalance message").re as usize;
+                let n_entries = it.next().expect("rebalance message").re as usize; // lint:allow(no-unwrap): encoder fixes the rebalance message length
                 for _ in 0..n_entries {
-                    let key = decode_obc_key(*it.next().expect("rebalance message"), k);
+                    let key = decode_obc_key(*it.next().expect("rebalance message"), k); // lint:allow(no-unwrap): encoder fixes the rebalance message length
                     let block = read_matrix(it, bs);
                     if let Some(m) = memoizer.as_deref_mut() {
                         m.insert_cached(key, block);

@@ -36,6 +36,16 @@
 
 pub mod json;
 
+/// The one clock of the workspace. Everything that timestamps — solvers,
+/// kernels, benches — imports [`clock::Instant`] from here instead of
+/// `std::time`, so every measured duration is taken against the same
+/// monotonic source as the probe spans and the merged timeline never has to
+/// reconcile mixed clocks. The `one-clock` rule of `quatrex-lint` enforces
+/// the convention; this module is the sanctioned import path.
+pub mod clock {
+    pub use std::time::{Duration, Instant};
+}
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::Instant;

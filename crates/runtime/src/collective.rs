@@ -17,10 +17,170 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, OnceLock};
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+
+/// What a rank is currently blocked on, reported to the
+/// [`CollectiveObserver`] on every poll tick while the block lasts. The
+/// observer turns these reports into a wait-for graph: a diagnosed deadlock
+/// is returned as an `Err`, which panics the rank with the diagnostic
+/// instead of hanging the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Blocked in [`RankContext::barrier`] (or the internal barrier of
+    /// [`RankContext::allreduce_sum`]) until every rank arrives.
+    Barrier,
+    /// Blocked in [`CommHandle::wait`] until the `seq`-th collective's
+    /// message from rank `src` arrives.
+    Recv {
+        /// The source rank whose message is outstanding.
+        src: usize,
+        /// Posting sequence number of the exchange being completed.
+        seq: u64,
+    },
+}
+
+/// Which synchronising collective a sequence entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    /// A plain [`RankContext::barrier`].
+    Barrier,
+    /// An [`RankContext::allreduce_sum`].
+    Allreduce,
+}
+
+/// Hooks a collective verifier installs around [`ThreadComm::run`]. Every
+/// method returning `Result` may report a diagnosed violation as `Err`; the
+/// runtime panics the offending rank with that diagnostic (a *named* failure
+/// instead of a hang or silent corruption). Implementations must be
+/// internally synchronised — ranks call concurrently.
+///
+/// The production implementation is `quatrex_check::CollectiveChecker`; the
+/// runtime only defines the seam so the checker crate can stay out of every
+/// non-CI build.
+pub trait CollectiveObserver: Send + Sync {
+    /// An `alltoallv` (or `allgather`) was posted: `per_dest_bytes[j]` is the
+    /// declared wire size of the message to rank `j` (self included).
+    fn on_post(
+        &self,
+        rank: usize,
+        seq: u64,
+        phase: CommPhase,
+        per_dest_bytes: &[u64],
+    ) -> Result<(), String>;
+
+    /// A [`CommHandle::wait`] completed: `per_src_bytes[i]` is the wire size
+    /// of the message actually received from rank `i`, measured on the
+    /// receiver with its own sizing function.
+    fn on_wait_end(&self, rank: usize, seq: u64, per_src_bytes: &[u64]) -> Result<(), String>;
+
+    /// The rank reached a synchronising collective (barrier / allreduce).
+    fn on_sync_enter(&self, rank: usize, kind: SyncKind) -> Result<(), String>;
+
+    /// The synchronising collective completed on this rank.
+    fn on_sync_exit(&self, rank: usize);
+
+    /// Called on every poll tick while the rank is blocked; `Err` aborts the
+    /// rank with the diagnostic (deadlock detection).
+    fn on_blocked(&self, rank: usize, blocked: BlockedOn) -> Result<(), String>;
+
+    /// A [`CommHandle`] was dropped without being waited (a leaked
+    /// exchange). `Err` carries the leak diagnostic.
+    fn on_handle_leak(&self, rank: usize, seq: u64, phase: CommPhase) -> Result<(), String>;
+
+    /// The rank's closure returned with `outstanding` exchanges un-waited.
+    fn on_rank_exit(&self, rank: usize, outstanding: u64) -> Result<(), String>;
+
+    /// All ranks joined: final cross-rank verification (sequence equality,
+    /// leak summary).
+    fn on_comm_done(&self) -> Result<(), String>;
+}
+
+/// Factory invoked by [`ThreadComm::run`] to create one observer per
+/// communicator, keyed by rank count.
+pub type ObserverFactory = dyn Fn(usize) -> Arc<dyn CollectiveObserver> + Send + Sync;
+
+fn observer_factory() -> &'static std::sync::RwLock<Option<Arc<ObserverFactory>>> {
+    static FACTORY: OnceLock<std::sync::RwLock<Option<Arc<ObserverFactory>>>> = OnceLock::new();
+    FACTORY.get_or_init(|| std::sync::RwLock::new(None))
+}
+
+/// Install (or clear, with `None`) a process-global observer factory; every
+/// subsequent [`ThreadComm::run`] wraps its collectives with a fresh observer
+/// from it. `quatrex_check::install_collective_checker` uses this to put the
+/// verifier under every existing solver entry point without threading a
+/// parameter through the stack.
+pub fn set_observer_factory(factory: Option<Arc<ObserverFactory>>) {
+    *observer_factory()
+        .write()
+        .unwrap_or_else(|p| p.into_inner()) = factory;
+}
+
+fn current_observer(n_ranks: usize) -> Option<Arc<dyn CollectiveObserver>> {
+    observer_factory()
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .as_ref()
+        .map(|f| f(n_ranks))
+}
+
+/// Poll interval of observed blocking operations: long enough to stay off
+/// the hot path (a tick only happens when a rank is already stalled), short
+/// enough that a diagnosed deadlock surfaces promptly.
+const OBSERVED_POLL_TICK: Duration = Duration::from_millis(20);
+
+/// A barrier whose waiters poll the observer instead of blocking
+/// indefinitely, so a deadlock is diagnosed rather than hung on. Only used
+/// when an observer is installed; unobserved runs keep `std::sync::Barrier`.
+struct PollBarrier {
+    state: std::sync::Mutex<(usize, u64)>,
+    ready: Condvar,
+    n: usize,
+}
+
+impl PollBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            state: std::sync::Mutex::new((0, 0)),
+            ready: Condvar::new(),
+            n,
+        }
+    }
+
+    /// Wait for all `n` ranks, invoking `on_tick` on every poll interval. An
+    /// `Err` from the tick aborts the wait by panicking with the diagnostic.
+    fn wait(&self, mut on_tick: impl FnMut() -> Result<(), String>) {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let generation = s.1;
+        s.0 += 1;
+        if s.0 == self.n {
+            s.0 = 0;
+            s.1 += 1;
+            drop(s);
+            self.ready.notify_all();
+            return;
+        }
+        while s.1 == generation {
+            let (guard, timeout) = self
+                .ready
+                .wait_timeout(s, OBSERVED_POLL_TICK)
+                .unwrap_or_else(|p| p.into_inner());
+            s = guard;
+            if s.1 != generation {
+                break;
+            }
+            if timeout.timed_out() {
+                if let Err(diagnostic) = on_tick() {
+                    drop(s);
+                    panic!("{diagnostic}");
+                }
+            }
+        }
+    }
+}
 
 /// The SCBA phase an `alltoall`/`alltoallv` belongs to. Tagging each call
 /// site splits the [`CommStats`] byte totals by transposition (fwd-G / bwd-P
@@ -207,6 +367,10 @@ pub struct RankContext<T: Send + 'static> {
     n_ranks: usize,
     mailboxes: Mailbox<T>,
     barrier: Arc<std::sync::Barrier>,
+    /// Timeout-capable barrier used instead of `barrier` when an observer is
+    /// installed, so barrier waits can poll the deadlock detector.
+    poll_barrier: Option<Arc<PollBarrier>>,
+    observer: Option<Arc<dyn CollectiveObserver>>,
     reduce_slots: Arc<Mutex<Vec<f64>>>,
     stats: Arc<CommStats>,
     /// Sequence number handed to the next [`RankContext::alltoallv_start`].
@@ -215,6 +379,29 @@ pub struct RankContext<T: Send + 'static> {
     /// per-pair channels are FIFO, so in-flight exchanges are matched purely
     /// by posting order — waits must therefore happen in that same order.
     next_wait_seq: Cell<u64>,
+}
+
+impl<T: Send + 'static> Drop for RankContext<T> {
+    /// Every exchange must be completed before the rank closure returns: an
+    /// un-waited handle leaves its peers' messages queued and would
+    /// desynchronise any later run sharing the channels. Skipped when the
+    /// rank is already panicking (the original diagnostic wins).
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        let outstanding = self.outstanding_exchanges();
+        if let Some(obs) = &self.observer {
+            if let Err(diagnostic) = obs.on_rank_exit(self.rank, outstanding) {
+                panic!("{diagnostic}");
+            }
+        }
+        assert_eq!(
+            outstanding, 0,
+            "rank {} exited ThreadComm::run with {} un-waited exchange(s)",
+            self.rank, outstanding
+        );
+    }
 }
 
 /// An in-flight non-blocking all-to-all started by
@@ -230,9 +417,45 @@ pub struct RankContext<T: Send + 'static> {
 #[must_use = "an un-waited alltoallv leaves its messages queued and breaks every later collective"]
 pub struct CommHandle<T: Send + 'static> {
     seq: u64,
+    rank: usize,
     phase: CommPhase,
     bytes: u64,
+    waited: bool,
+    /// Receiver-side sizing function, captured only when an observer is
+    /// installed: [`CommHandle::wait`] sizes every received message with it
+    /// so the checker can compare declared-sent vs actually-received bytes.
+    sizer: Option<Box<dyn Fn(&T) -> usize>>,
+    observer: Option<Arc<dyn CollectiveObserver>>,
     _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Send + 'static> Drop for CommHandle<T> {
+    /// Dropping an un-waited handle silently loses the exchange: the peers'
+    /// messages stay queued and every later collective on this rank receives
+    /// the wrong batch. Flag it loudly — through the observer when one is
+    /// installed (the checker records it as a leak and names rank + posting
+    /// seq), and as a debug panic otherwise.
+    fn drop(&mut self) {
+        if self.waited || std::thread::panicking() {
+            return;
+        }
+        if let Some(obs) = &self.observer {
+            if let Err(diagnostic) = obs.on_handle_leak(self.rank, self.seq, self.phase) {
+                panic!("{diagnostic}");
+            }
+            // The observer recorded the leak and chose not to abort; it owns
+            // the reporting policy, so skip the unconditional debug panic.
+            return;
+        }
+        debug_assert!(
+            false,
+            "CommHandle dropped without wait (rank {}, posting seq {}, phase {}): \
+             the exchange's messages are lost and every later collective desynchronises",
+            self.rank,
+            self.seq,
+            self.phase.label()
+        );
+    }
 }
 
 impl<T: Send + 'static> RankContext<T> {
@@ -248,7 +471,29 @@ impl<T: Send + 'static> RankContext<T> {
 
     /// Block until every rank reached this point.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        if let Some(obs) = &self.observer {
+            if let Err(diagnostic) = obs.on_sync_enter(self.rank, SyncKind::Barrier) {
+                panic!("{diagnostic}");
+            }
+            self.barrier_wait_raw();
+            obs.on_sync_exit(self.rank);
+        } else {
+            self.barrier_wait_raw();
+        }
+    }
+
+    /// The barrier wait itself, without logging a sequence entry — the
+    /// internal synchronisation of [`RankContext::allreduce_sum`] uses this
+    /// so an allreduce counts as *one* entry in the collective sequence.
+    fn barrier_wait_raw(&self) {
+        match (&self.poll_barrier, &self.observer) {
+            (Some(pb), Some(obs)) => {
+                pb.wait(|| obs.on_blocked(self.rank, BlockedOn::Barrier));
+            }
+            _ => {
+                self.barrier.wait();
+            }
+        }
     }
 
     /// All-to-all personalised exchange: `send[j]` goes to rank `j`; the
@@ -257,7 +502,7 @@ impl<T: Send + 'static> RankContext<T> {
     /// `payload_bytes` reports the wire size of one element of `T` for the
     /// byte accounting (the in-memory exchange itself moves ownership).
     pub fn alltoall(&self, send: Vec<T>, payload_bytes: usize) -> Vec<T> {
-        self.alltoallv(send, |_| payload_bytes)
+        self.alltoallv(send, move |_| payload_bytes)
     }
 
     /// Variable-size all-to-all personalised exchange (the `Alltoallv` of the
@@ -273,7 +518,7 @@ impl<T: Send + 'static> RankContext<T> {
     /// This is literally [`RankContext::alltoallv_start`] followed by an
     /// immediate [`CommHandle::wait`], so the blocking path and a
     /// single-batch pipeline execute identical code.
-    pub fn alltoallv(&self, send: Vec<T>, wire_bytes: impl Fn(&T) -> usize) -> Vec<T> {
+    pub fn alltoallv(&self, send: Vec<T>, wire_bytes: impl Fn(&T) -> usize + 'static) -> Vec<T> {
         self.alltoallv_start(send, wire_bytes).wait(self)
     }
 
@@ -282,7 +527,7 @@ impl<T: Send + 'static> RankContext<T> {
     pub fn alltoallv_tagged(
         &self,
         send: Vec<T>,
-        wire_bytes: impl Fn(&T) -> usize,
+        wire_bytes: impl Fn(&T) -> usize + 'static,
         phase: CommPhase,
     ) -> Vec<T> {
         self.alltoallv_start_tagged(send, wire_bytes, phase)
@@ -303,7 +548,11 @@ impl<T: Send + 'static> RankContext<T> {
     /// Untagged exchanges are attributed to [`CommPhase::Other`]; solver call
     /// sites use [`RankContext::alltoallv_start_tagged`] so the byte totals
     /// split by transposition.
-    pub fn alltoallv_start(&self, send: Vec<T>, wire_bytes: impl Fn(&T) -> usize) -> CommHandle<T> {
+    pub fn alltoallv_start(
+        &self,
+        send: Vec<T>,
+        wire_bytes: impl Fn(&T) -> usize + 'static,
+    ) -> CommHandle<T> {
         self.alltoallv_start_tagged(send, wire_bytes, CommPhase::Other)
     }
 
@@ -314,7 +563,7 @@ impl<T: Send + 'static> RankContext<T> {
     pub fn alltoallv_start_tagged(
         &self,
         send: Vec<T>,
-        wire_bytes: impl Fn(&T) -> usize,
+        wire_bytes: impl Fn(&T) -> usize + 'static,
         phase: CommPhase,
     ) -> CommHandle<T> {
         assert_eq!(
@@ -322,6 +571,17 @@ impl<T: Send + 'static> RankContext<T> {
             self.n_ranks,
             "alltoall needs one message per destination"
         );
+        let seq = self.next_post_seq.get();
+        if let Some(obs) = &self.observer {
+            // Declare the full per-destination byte row (self included)
+            // before anything hits the wire: a diagnosed sequence mismatch
+            // panics *here*, before this rank's messages can corrupt its
+            // peers' FIFO matching.
+            let row: Vec<u64> = send.iter().map(|m| wire_bytes(m) as u64).collect();
+            if let Err(diagnostic) = obs.on_post(self.rank, seq, phase, &row) {
+                panic!("{diagnostic}");
+            }
+        }
         let mut moved_bytes = 0u64;
         for (dest, msg) in send.into_iter().enumerate() {
             if dest != self.rank {
@@ -330,7 +590,7 @@ impl<T: Send + 'static> RankContext<T> {
             self.mailboxes[dest][self.rank]
                 .0
                 .send(msg)
-                .expect("peer alive");
+                .expect("peer alive"); // lint:allow(no-unwrap): rank threads outlive the run; a dead peer means a rank already panicked
         }
         self.stats
             .alltoall_bytes
@@ -341,12 +601,18 @@ impl<T: Send + 'static> RankContext<T> {
         }
         self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
         quatrex_probe::mark(phase.post_name(), quatrex_probe::CAT_COMM_POST, moved_bytes);
-        let seq = self.next_post_seq.get();
         self.next_post_seq.set(seq + 1);
         CommHandle {
             seq,
+            rank: self.rank,
             phase,
             bytes: moved_bytes,
+            waited: false,
+            sizer: self
+                .observer
+                .is_some()
+                .then(|| Box::new(wire_bytes) as Box<dyn Fn(&T) -> usize>),
+            observer: self.observer.clone(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -356,11 +622,36 @@ impl<T: Send + 'static> RankContext<T> {
         self.next_post_seq.get() - self.next_wait_seq.get()
     }
 
+    /// Receive one message from `src` for exchange `seq`. Unobserved: a
+    /// plain blocking receive. Observed: a timeout loop that reports the
+    /// block to the observer on every tick, so an unmatched collective is
+    /// diagnosed as a deadlock instead of hanging the run.
+    fn recv_from(&self, src: usize, seq: u64) -> T {
+        let rx = &self.mailboxes[self.rank][src].1;
+        let Some(obs) = &self.observer else {
+            return rx.recv().expect("peer alive"); // lint:allow(no-unwrap): rank threads outlive the run; a dead peer means a rank already panicked
+        };
+        loop {
+            match rx.recv_timeout(OBSERVED_POLL_TICK) {
+                Ok(msg) => return msg,
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {}: peer {src} disconnected mid-collective", self.rank)
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Err(diagnostic) = obs.on_blocked(self.rank, BlockedOn::Recv { src, seq })
+                    {
+                        panic!("{diagnostic}");
+                    }
+                }
+            }
+        }
+    }
+
     /// Gather every rank's message on every rank (implemented as an
     /// `alltoallv` of clones), returned in rank order. Used for the ordered
     /// reductions whose floating-point summation order must match the
     /// sequential driver exactly.
-    pub fn allgather(&self, value: T, wire_bytes: impl Fn(&T) -> usize) -> Vec<T>
+    pub fn allgather(&self, value: T, wire_bytes: impl Fn(&T) -> usize + 'static) -> Vec<T>
     where
         T: Clone,
     {
@@ -371,7 +662,7 @@ impl<T: Send + 'static> RankContext<T> {
     pub fn allgather_tagged(
         &self,
         value: T,
-        wire_bytes: impl Fn(&T) -> usize,
+        wire_bytes: impl Fn(&T) -> usize + 'static,
         phase: CommPhase,
     ) -> Vec<T>
     where
@@ -383,7 +674,12 @@ impl<T: Send + 'static> RankContext<T> {
 
     /// Sum-reduction of one `f64` across all ranks; every rank receives the sum.
     pub fn allreduce_sum(&self, value: f64) -> f64 {
-        quatrex_probe::span_bytes(
+        if let Some(obs) = &self.observer {
+            if let Err(diagnostic) = obs.on_sync_enter(self.rank, SyncKind::Allreduce) {
+                panic!("{diagnostic}");
+            }
+        }
+        let sum = quatrex_probe::span_bytes(
             "allreduce",
             "comm.allreduce",
             8 * (self.n_ranks as u64 - 1),
@@ -396,12 +692,16 @@ impl<T: Send + 'static> RankContext<T> {
                     .allreduce_bytes
                     .fetch_add(8 * (self.n_ranks as u64 - 1), Ordering::Relaxed);
                 self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
-                self.barrier.wait();
+                self.barrier_wait_raw();
                 let sum: f64 = self.reduce_slots.lock().iter().sum();
-                self.barrier.wait();
+                self.barrier_wait_raw();
                 sum
             },
-        )
+        );
+        if let Some(obs) = &self.observer {
+            obs.on_sync_exit(self.rank);
+        }
+        sum
     }
 }
 
@@ -413,22 +713,31 @@ impl<T: Send + 'static> CommHandle<T> {
     /// The receive loop is recorded as a probe span named by the handle's
     /// [`CommPhase`] and carrying its off-rank byte count; together with the
     /// post mark, the timeline can reconstruct every in-flight window.
-    pub fn wait(self, ctx: &RankContext<T>) -> Vec<T> {
-        let (phase, bytes) = (self.phase, self.bytes);
+    pub fn wait(mut self, ctx: &RankContext<T>) -> Vec<T> {
+        let (phase, bytes, seq) = (self.phase, self.bytes, self.seq);
+        let sizer = self.sizer.take();
+        self.waited = true;
+        drop(self); // Drop is a no-op once `waited` is set
         quatrex_probe::span_bytes(
             phase.wait_name(),
             quatrex_probe::CAT_COMM_WAIT,
             bytes,
             || {
                 assert_eq!(
-                    self.seq,
+                    seq,
                     ctx.next_wait_seq.get(),
                     "alltoallv handles must be waited in posting order"
                 );
-                ctx.next_wait_seq.set(self.seq + 1);
+                ctx.next_wait_seq.set(seq + 1);
                 let mut out = Vec::with_capacity(ctx.n_ranks);
                 for src in 0..ctx.n_ranks {
-                    out.push(ctx.mailboxes[ctx.rank][src].1.recv().expect("peer alive"));
+                    out.push(ctx.recv_from(src, seq));
+                }
+                if let (Some(obs), Some(sizer)) = (&ctx.observer, &sizer) {
+                    let row: Vec<u64> = out.iter().map(|m| sizer(m) as u64).collect();
+                    if let Err(diagnostic) = obs.on_wait_end(ctx.rank, seq, &row) {
+                        panic!("{diagnostic}");
+                    }
                 }
                 out
             },
@@ -442,7 +751,30 @@ pub struct ThreadComm;
 impl ThreadComm {
     /// Run `f` on `n_ranks` threads and collect the per-rank results in rank
     /// order, together with the communication statistics.
+    ///
+    /// When a process-global observer factory is installed (see
+    /// [`set_observer_factory`]) the run is wrapped with a fresh observer —
+    /// this is how `quatrex-check` slides its collective verifier under every
+    /// existing solver entry point.
     pub fn run<T, R, F>(n_ranks: usize, f: F) -> (Vec<R>, Arc<CommStats>)
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(RankContext<T>) -> R + Send + Sync + 'static,
+    {
+        Self::run_with_observer(n_ranks, current_observer(n_ranks), f)
+    }
+
+    /// [`ThreadComm::run`] with an explicit [`CollectiveObserver`] wrapped
+    /// around every collective call. A rank whose observer diagnoses a
+    /// violation panics with the diagnostic; the panic payload is re-raised
+    /// here so the named diagnosis (not a generic join error) reaches the
+    /// caller.
+    pub fn run_with_observer<T, R, F>(
+        n_ranks: usize,
+        observer: Option<Arc<dyn CollectiveObserver>>,
+        f: F,
+    ) -> (Vec<R>, Arc<CommStats>)
     where
         T: Send + 'static,
         R: Send + 'static,
@@ -455,6 +787,9 @@ impl ThreadComm {
                 .collect(),
         );
         let barrier = Arc::new(std::sync::Barrier::new(n_ranks));
+        let poll_barrier = observer
+            .as_ref()
+            .map(|_| Arc::new(PollBarrier::new(n_ranks)));
         let reduce_slots = Arc::new(Mutex::new(vec![0.0f64; n_ranks]));
         let stats = Arc::new(CommStats::with_ranks(n_ranks));
         let f = Arc::new(f);
@@ -466,18 +801,38 @@ impl ThreadComm {
                 n_ranks,
                 mailboxes: Arc::clone(&mailboxes),
                 barrier: Arc::clone(&barrier),
+                poll_barrier: poll_barrier.clone(),
+                observer: observer.clone(),
                 reduce_slots: Arc::clone(&reduce_slots),
                 stats: Arc::clone(&stats),
                 next_post_seq: Cell::new(0),
                 next_wait_seq: Cell::new(0),
             };
             let f = Arc::clone(&f);
-            handles.push(std::thread::spawn(move || f(ctx)));
+            let handle = std::thread::Builder::new()
+                .name(format!("quatrex-rank-{rank}"))
+                .spawn(move || f(ctx))
+                .expect("spawn rank thread"); // lint:allow(no-unwrap): thread spawn only fails on resource exhaustion
+            handles.push(handle);
         }
-        let results = handles
-            .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect();
+        let mut results = Vec::with_capacity(n_ranks);
+        let mut first_panic = None;
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(obs) = &observer {
+            if let Err(diagnostic) = obs.on_comm_done() {
+                panic!("{diagnostic}");
+            }
+        }
         (results, stats)
     }
 }
@@ -651,8 +1006,12 @@ mod tests {
             let _ = h0.wait(&ctx);
             let h1 = CommHandle {
                 seq: 1,
+                rank: 0,
                 phase: CommPhase::Other,
                 bytes: 0,
+                waited: false,
+                sizer: None,
+                observer: None,
                 _marker: std::marker::PhantomData,
             };
             let _ = h1.wait(&ctx);

@@ -34,6 +34,9 @@ pub mod collective;
 pub mod cost;
 pub mod topology;
 
-pub use collective::{CommHandle, CommPhase, CommStats, RankContext, ThreadComm};
+pub use collective::{
+    set_observer_factory, BlockedOn, CollectiveObserver, CommHandle, CommPhase, CommStats,
+    ObserverFactory, RankContext, SyncKind, ThreadComm,
+};
 pub use cost::{CommBackend, LinkParameters, MachineKind};
 pub use topology::{DecompositionPlan, TranspositionVolume};

@@ -44,6 +44,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(f, "sending on a disconnected channel")
@@ -116,6 +125,42 @@ pub mod channel {
             }
         }
 
+        /// Dequeue a message, blocking for at most `timeout`. Returns
+        /// [`RecvTimeoutError::Timeout`] when the deadline passes with the
+        /// channel still empty — the hook the checked runtime uses to poll a
+        /// deadlock detector instead of blocking a rank forever.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, timed_out) = self
+                    .chan
+                    .ready
+                    .wait_timeout(q, left)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+                if timed_out.timed_out() && q.is_empty() {
+                    if self.chan.senders.load(Ordering::Acquire) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
         /// Dequeue a message if one is immediately available.
         pub fn try_recv(&self) -> Option<T> {
             self.chan
@@ -161,6 +206,28 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv(), Ok(1));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_returns_messages_and_times_out() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(9).unwrap();
+            let short = std::time::Duration::from_millis(5);
+            assert_eq!(rx.recv_timeout(short), Ok(9));
+            assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Timeout));
+            drop(tx);
+            assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_wakes_on_late_send() {
+            let (tx, rx) = unbounded::<u8>();
+            let handle = std::thread::spawn(move || {
+                rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(3).unwrap();
+            assert_eq!(handle.join().unwrap(), 3);
         }
     }
 }

@@ -5,17 +5,28 @@
 //! Poisoning is handled the way parking_lot does by construction — a panic
 //! while holding the lock simply releases it; subsequent `lock()` calls
 //! proceed. (`std`'s poison flag is cleared via `into_inner` on the error.)
+//!
+//! The [`lock_order`] module adds an opt-in lockdep-style acquisition-order
+//! recorder (enabled via `QUATREX_LOCK_ORDER=1` or
+//! [`lock_order::enable`]): ordering inversions that could deadlock panic
+//! with a diagnostic naming the lock pair, before any thread blocks. When
+//! disabled the cost is one relaxed atomic load per acquire/release.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU64;
+
+pub mod lock_order;
 
 /// A mutual-exclusion lock whose `lock` returns the guard directly.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    order_id: AtomicU64,
     inner: std::sync::Mutex<T>,
 }
 
 /// RAII guard of a [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    order_id: u64,
     inner: std::sync::MutexGuard<'a, T>,
 }
 
@@ -23,6 +34,7 @@ impl<T> Mutex<T> {
     /// Create a new mutex.
     pub const fn new(value: T) -> Self {
         Self {
+            order_id: AtomicU64::new(0),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -35,8 +47,14 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until it is available.
+    ///
+    /// When the [`lock_order`] recorder is enabled the acquisition is checked
+    /// against the global acquisition-order graph *before* blocking, so an
+    /// ordering inversion panics with a diagnostic instead of deadlocking.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let order_id = lock_order::acquire(&self.order_id);
         MutexGuard {
+            order_id,
             inner: self.inner.lock().unwrap_or_else(|p| p.into_inner()),
         }
     }
@@ -44,8 +62,12 @@ impl<T: ?Sized> Mutex<T> {
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
+            Ok(g) => Some(MutexGuard {
+                order_id: lock_order::acquire_try(&self.order_id),
+                inner: g,
+            }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                order_id: lock_order::acquire_try(&self.order_id),
                 inner: p.into_inner(),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
@@ -55,6 +77,12 @@ impl<T: ?Sized> Mutex<T> {
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::release(self.order_id);
     }
 }
 
@@ -74,16 +102,19 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 /// A reader-writer lock whose guards are returned directly.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    order_id: AtomicU64,
     inner: std::sync::RwLock<T>,
 }
 
 /// Shared read guard of a [`RwLock`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    order_id: u64,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 /// Exclusive write guard of a [`RwLock`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    order_id: u64,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
@@ -91,6 +122,7 @@ impl<T> RwLock<T> {
     /// Create a new reader-writer lock.
     pub const fn new(value: T) -> Self {
         Self {
+            order_id: AtomicU64::new(0),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -98,17 +130,37 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read lock.
+    ///
+    /// The [`lock_order`] recorder treats read acquisitions exactly like
+    /// write acquisitions: a read lock can still deadlock against a pending
+    /// writer, so ordering inversions through read guards are real bugs.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let order_id = lock_order::acquire(&self.order_id);
         RwLockReadGuard {
+            order_id,
             inner: self.inner.read().unwrap_or_else(|p| p.into_inner()),
         }
     }
 
     /// Acquire an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let order_id = lock_order::acquire(&self.order_id);
         RwLockWriteGuard {
+            order_id,
             inner: self.inner.write().unwrap_or_else(|p| p.into_inner()),
         }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::release(self.order_id);
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::release(self.order_id);
     }
 }
 

@@ -1,0 +1,324 @@
+//! Opt-in lock-acquisition-order recorder: a lockdep-style deadlock detector
+//! for the [`Mutex`](crate::Mutex)/[`RwLock`](crate::RwLock) shims the whole
+//! runtime stands on.
+//!
+//! When enabled (programmatically via [`enable`], or by setting
+//! `QUATREX_LOCK_ORDER=1` in the environment), every blocking acquisition is
+//! checked against a global acquisition-order graph *before* the thread
+//! blocks: acquiring lock `B` while holding lock `A` records the directed
+//! edge `A → B`, and an acquisition that would close a cycle (some thread
+//! previously took `A` while holding `B`) panics with a diagnostic naming the
+//! offending lock pair and the ordering path — instead of the two threads
+//! deadlocking at some later, timing-dependent run. Like classic lockdep,
+//! the inversion is reported the first time the *ordering* is observed, even
+//! if the interleaving that would actually deadlock never occurs.
+//!
+//! Cost when disabled: one relaxed atomic load and a branch per
+//! acquire/release — the same discipline as `quatrex-probe`'s disabled path.
+//! Locks are identified by a per-instance id assigned on first checked
+//! acquisition (stable across moves, unlike the address).
+//!
+//! `try_lock` acquisitions never block, so they add no ordering edges; they
+//! are still pushed onto the holder's stack so that locks taken *while
+//! holding* a try-locked lock are ordered against it.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Recorder state: lazily initialised from the environment on first use.
+const STATE_UNINIT: u8 = 2;
+const STATE_OFF: u8 = 0;
+const STATE_ON: u8 = 1;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Acquisition-order graph: `edges[a]` holds every lock id that has been
+/// acquired while `a` was held, with the thread name that first recorded the
+/// edge (for the diagnostic).
+struct Graph {
+    edges: HashMap<u64, HashMap<u64, String>>,
+}
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| {
+        StdMutex::new(Graph {
+            edges: HashMap::new(),
+        })
+    })
+}
+
+thread_local! {
+    /// Lock ids currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Enable the recorder for the whole process.
+pub fn enable() {
+    STATE.store(STATE_ON, Ordering::Relaxed);
+}
+
+/// Disable the recorder. Already-recorded edges are kept until [`reset`].
+pub fn disable() {
+    STATE.store(STATE_OFF, Ordering::Relaxed);
+}
+
+/// Whether the recorder is currently enabled (initialising from
+/// `QUATREX_LOCK_ORDER` on first call).
+pub fn is_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => {
+            let on = std::env::var("QUATREX_LOCK_ORDER").is_ok_and(|v| v != "0" && !v.is_empty());
+            STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Drop every recorded edge and this thread's held stack — test isolation
+/// between intentionally-seeded violations.
+pub fn reset() {
+    graph()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .edges
+        .clear();
+    HELD.with(|h| h.borrow_mut().clear());
+}
+
+/// Number of distinct ordering edges recorded so far.
+pub fn edge_count() -> u64 {
+    graph()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .edges
+        .values()
+        .map(|m| m.len() as u64)
+        .sum()
+}
+
+fn id_of(slot: &AtomicU64) -> u64 {
+    let id = slot.load(Ordering::Relaxed);
+    if id != 0 {
+        return id;
+    }
+    let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(existing) => existing,
+    }
+}
+
+/// Depth-first search for a path `from →* to` in the edge graph, returning
+/// the path (inclusive of both endpoints) when one exists.
+fn find_path(g: &Graph, from: u64, to: u64) -> Option<Vec<u64>> {
+    let mut stack = vec![vec![from]];
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(from);
+    while let Some(path) = stack.pop() {
+        let last = *path.last().unwrap_or(&from);
+        if last == to {
+            return Some(path);
+        }
+        if let Some(next) = g.edges.get(&last) {
+            for &n in next.keys() {
+                if visited.insert(n) {
+                    let mut p = path.clone();
+                    p.push(n);
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn fmt_path(path: &[u64]) -> String {
+    path.iter()
+        .map(|id| format!("#{id}"))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Checked blocking acquisition: record `held → acquiring` edges and panic
+/// on an ordering cycle. Returns the lock id (0 when the recorder is off),
+/// which the guard hands back to [`release`].
+pub(crate) fn acquire(slot: &AtomicU64) -> u64 {
+    if !is_enabled() {
+        return 0;
+    }
+    let id = id_of(slot);
+    let thread = std::thread::current();
+    let name = thread.name().unwrap_or("<unnamed>").to_string();
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        {
+            let mut g = graph().lock().unwrap_or_else(|p| p.into_inner());
+            for &hid in held.iter() {
+                if hid == id {
+                    continue; // re-acquisition; the runtime lock will complain
+                }
+                // Adding hid -> id: a cycle exists iff id already reaches hid.
+                if let Some(path) = find_path(&g, id, hid) {
+                    let first_seen = g
+                        .edges
+                        .get(&path[0])
+                        .and_then(|m| m.get(&path[1]))
+                        .cloned()
+                        .unwrap_or_default();
+                    panic!(
+                        "lock-order cycle detected: acquiring lock #{id} while holding \
+                         lock #{hid}, but the reverse ordering {} was recorded earlier \
+                         (first on thread '{first_seen}'; this acquisition on thread \
+                         '{name}'). Offending lock pair: (#{hid}, #{id}).",
+                        fmt_path(&path),
+                    );
+                }
+                g.edges
+                    .entry(hid)
+                    .or_default()
+                    .entry(id)
+                    .or_insert_with(|| name.clone());
+            }
+        }
+        held.push(id);
+    });
+    id
+}
+
+/// Non-blocking acquisition: push onto the held stack without adding edges
+/// (a `try_lock` cannot deadlock, but later blocking locks must still be
+/// ordered against it).
+pub(crate) fn acquire_try(slot: &AtomicU64) -> u64 {
+    if !is_enabled() {
+        return 0;
+    }
+    let id = id_of(slot);
+    HELD.with(|h| h.borrow_mut().push(id));
+    id
+}
+
+/// Pop a released lock from the holder's stack (release order need not be
+/// LIFO — the last matching entry is removed).
+pub(crate) fn release(id: u64) {
+    if id == 0 {
+        return;
+    }
+    let _ = HELD.try_with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&x| x == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lock_order, Mutex};
+    use std::sync::Mutex as StdMutex;
+
+    /// The recorder's graph is process-global; serialise the tests that
+    /// enable it.
+    static SERIAL: StdMutex<()> = StdMutex::new(());
+
+    fn with_recorder(f: impl FnOnce()) {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        lock_order::reset();
+        lock_order::enable();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        lock_order::disable();
+        lock_order::reset();
+        if let Err(p) = result {
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    #[test]
+    fn consistent_ordering_passes() {
+        with_recorder(|| {
+            let a = Mutex::new(1);
+            let b = Mutex::new(2);
+            for _ in 0..3 {
+                let ga = a.lock();
+                let gb = b.lock();
+                assert_eq!(*ga + *gb, 3);
+            }
+            assert!(lock_order::edge_count() >= 1);
+        });
+    }
+
+    #[test]
+    fn inversion_is_detected_without_a_deadlock() {
+        with_recorder(|| {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            {
+                let _ga = a.lock();
+                let _gb = b.lock(); // records A -> B
+            }
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.lock(); // B -> A closes the cycle
+            }))
+            .expect_err("inversion must panic");
+            std::panic::set_hook(hook);
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "<non-string panic>".into());
+            assert!(
+                msg.contains("lock-order cycle"),
+                "unexpected diagnostic: {msg}"
+            );
+            assert!(msg.contains("Offending lock pair"), "diagnostic: {msg}");
+        });
+    }
+
+    #[test]
+    fn disabled_recorder_costs_nothing_and_detects_nothing() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        lock_order::disable();
+        lock_order::reset();
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock(); // inverted, but nobody is watching
+        }
+        assert_eq!(lock_order::edge_count(), 0);
+    }
+
+    #[test]
+    fn release_out_of_lifo_order_is_tolerated() {
+        with_recorder(|| {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(ga); // release A before B
+            drop(gb);
+            // The held stack is empty again: a fresh B -> A ordering is the
+            // reverse of the recorded A -> B edge and must still be caught.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }))
+            .expect_err("inversion must panic");
+            std::panic::set_hook(hook);
+            drop(err);
+        });
+    }
+}
