@@ -25,7 +25,9 @@ use std::fmt::Write as _;
 use quatrex_bench::{bench_solver, chain_operand};
 use quatrex_linalg::ops::reference::{congruence_ref, matmul_ref};
 use quatrex_linalg::ops::{congruence, gemm, matmul, Op};
-use quatrex_linalg::{cplx, Workspace, ONE, ZERO};
+use quatrex_linalg::{
+    cplx, gemm_batch, BatchOp, CMatrix, MatrixBatch, OpKind, Workspace, ONE, ZERO,
+};
 use quatrex_rgf::reference::rgf_solve_reference;
 use quatrex_rgf::{rgf_solve_scratch, BlockTridiagonal, RgfScratch};
 
@@ -108,6 +110,93 @@ fn bench_gemm_chain(n_bs: usize, runs: usize, reps: usize) -> ChainRow {
     }
 }
 
+/// The energy-batched product `C_e = V · B_e` over a block of energies, with
+/// an energy-independent left operand — the W-assembly pattern the batch
+/// layer was built for. "Before" is the frozen per-energy path: one `gemm`
+/// per energy, re-packing the shared operand for every plane. "After" is a
+/// single `gemm_batch` call with [`BatchOp::Shared`], which packs it once.
+///
+/// The two paths differ by ~10–40%, not the engine refactor's 2–3×, so the
+/// samples are interleaved (before, after, before, after, …) to cancel
+/// machine drift between the two measurement windows before taking the
+/// per-path medians.
+fn bench_gemm_batch(n_bs: usize, n_e: usize, runs: usize, reps: usize) -> ChainRow {
+    let shared = chain_operand(n_bs, 0.7);
+    let mut b = MatrixBatch::zeros(n_e, n_bs, n_bs);
+    for e in 0..n_e {
+        b.plane_mut(e)
+            .copy_from_slice(chain_operand(n_bs, 13.0 + e as f64).as_slice());
+    }
+    let b_planes: Vec<CMatrix> = (0..n_e).map(|e| b.plane_matrix(e)).collect();
+
+    let mut ws = Workspace::new();
+    let mut outs: Vec<CMatrix> = (0..n_e).map(|_| ws.take(n_bs, n_bs)).collect();
+    let mut c = MatrixBatch::zeros(n_e, n_bs, n_bs);
+    let mut before = |reps: usize| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            for e in 0..n_e {
+                // lint:allow(per-energy-gemm) — this IS the per-energy baseline.
+                gemm(
+                    &mut outs[e],
+                    ONE,
+                    Op::None(&shared),
+                    Op::None(&b_planes[e]),
+                    ZERO,
+                );
+            }
+            std::hint::black_box(&outs);
+        }
+        t.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let mut after = |reps: usize| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            gemm_batch(
+                &mut c,
+                ONE,
+                BatchOp::Shared(Op::None(&shared)),
+                BatchOp::Each(OpKind::None, &b),
+                ZERO,
+            );
+            std::hint::black_box(&c);
+        }
+        t.elapsed().as_nanos() as f64 / reps as f64
+    };
+    before(1); // warm caches, arenas and the allocator on both paths
+    after(1);
+    let mut before_samples = Vec::with_capacity(runs);
+    let mut after_samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        before_samples.push(before(reps));
+        after_samples.push(after(reps));
+    }
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+    let before_ns = median(&mut before_samples);
+    let after_ns = median(&mut after_samples);
+
+    // Cross-check: the batched planes are bit-identical to the per-energy path.
+    for e in 0..n_e {
+        assert_eq!(
+            c.plane(e),
+            outs[e].as_slice(),
+            "gemm_batch plane {e} mismatch at N_BS={n_bs}"
+        );
+    }
+    for out in outs.drain(..) {
+        ws.give(out);
+    }
+
+    ChainRow {
+        n_bs,
+        before_ns,
+        after_ns,
+    }
+}
+
 fn rgf_system(nb: usize, bs: usize) -> (BlockTridiagonal, BlockTridiagonal, BlockTridiagonal) {
     let mut a = BlockTridiagonal::zeros(nb, bs);
     let mut bl = BlockTridiagonal::zeros(nb, bs);
@@ -182,6 +271,24 @@ fn main() {
         chain_rows.push(row);
     }
 
+    // Energy-batched GEMM: one packing of the shared operand, all energies.
+    let batch_energies = 8usize;
+    let batch_runs = if quick { 5 } else { 11 };
+    let mut batch_rows = Vec::new();
+    for n_bs in [32usize, 64, 128] {
+        let base = (256 / n_bs).pow(3).max(1);
+        let reps = if quick { base.div_ceil(8).max(1) } else { base };
+        let row = bench_gemm_batch(n_bs, batch_energies, batch_runs, reps);
+        println!(
+            "gemm_batch  N_BS={:>4} (B={batch_energies}): before {:>12.0} ns  after {:>12.0} ns  speedup {:>5.2}x",
+            row.n_bs,
+            row.before_ns,
+            row.after_ns,
+            row.speedup()
+        );
+        batch_rows.push(row);
+    }
+
     let mut rgf_rows = Vec::new();
     for (nb, bs) in [(8usize, 32usize), (8, 64)] {
         let reps = if quick {
@@ -229,6 +336,23 @@ fn main() {
             row.speedup()
         );
         json.push_str(if i + 1 < chain_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"gemm_batch\": [\n");
+    for (i, row) in batch_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n_bs\": {}, \"batch\": {batch_energies}, \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.3}}}",
+            row.n_bs,
+            row.before_ns,
+            row.after_ns,
+            row.speedup()
+        );
+        json.push_str(if i + 1 < batch_rows.len() {
             ",\n"
         } else {
             "\n"

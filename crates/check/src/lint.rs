@@ -10,11 +10,13 @@
 //! | `one-clock`     | no `std::time::Instant` outside `quatrex-probe`; all timing goes through `quatrex_probe::clock` so traces share one epoch |
 //! | `no-unwrap`     | no `.unwrap()` / `.expect(...)` in `crates/{dist,runtime}` library code — rank threads must fail with diagnostics, not anonymous panics |
 //! | `no-println`    | no `println!` / `print!` in library crates — reports go through returned structs or probe counters, stdout belongs to the bin targets |
+//! | `per-energy-gemm`| library code in `crates/{rgf,obc,core}` calls the batched GEMM entry points (`gemm_batch`), not raw per-energy `gemm`, so loops over energies share one operand packing — frozen reference paths carry explicit `lint:allow(per-energy-gemm)` markers |
 //!
 //! Test code (`tests/`, `benches/`, `#[cfg(test)]` modules) is exempt, and a
 //! justified exception is granted in place with
 //! `// lint:allow(<rule>): <reason>` on the offending line or the line
-//! directly above it.
+//! directly above it. A file that is a frozen reference implementation in
+//! its entirety may carry `// lint:allow-file(<rule>): <reason>` instead.
 //!
 //! The scanner strips comments and string literals (including raw strings
 //! with any hash depth and nested block comments) before matching, tracks
@@ -37,15 +39,18 @@ pub enum Rule {
     NoUnwrap,
     /// `println!` / `print!` in library code.
     NoPrintln,
+    /// Raw per-energy `gemm(` in `crates/{rgf,obc,core}` library code.
+    PerEnergyGemm,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::CommPhaseTag,
         Rule::OneClock,
         Rule::NoUnwrap,
         Rule::NoPrintln,
+        Rule::PerEnergyGemm,
     ];
 
     /// The rule identifier used in diagnostics and `lint:allow`.
@@ -55,6 +60,7 @@ impl Rule {
             Rule::OneClock => "one-clock",
             Rule::NoUnwrap => "no-unwrap",
             Rule::NoPrintln => "no-println",
+            Rule::PerEnergyGemm => "per-energy-gemm",
         }
     }
 }
@@ -117,6 +123,13 @@ fn applicable_rules(rel: &str) -> Vec<Rule> {
     }
     if !is_bin {
         rules.push(Rule::NoPrintln);
+    }
+    if (rel.starts_with("crates/rgf/src/")
+        || rel.starts_with("crates/obc/src/")
+        || rel.starts_with("crates/core/src/"))
+        && !is_bin
+    {
+        rules.push(Rule::PerEnergyGemm);
     }
     rules
 }
@@ -287,10 +300,32 @@ fn allowed_rules(raw: &str) -> Vec<Rule> {
         .collect()
 }
 
+/// Rules suppressed for the whole file by `// lint:allow-file(...)` markers —
+/// for files that are a frozen reference implementation in their entirety
+/// (e.g. the per-energy RGF recipe the batch layer replays plane-by-plane),
+/// where a per-line marker on dozens of sites would drown the code.
+fn file_allowed_rules(source: &str) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = source[from..].find("lint:allow-file(") {
+        let at = from + pos + "lint:allow-file(".len();
+        let args = source[at..].split(')').next().unwrap_or("");
+        rules.extend(
+            args.split(',')
+                .map(str::trim)
+                .filter_map(|name| Rule::ALL.into_iter().find(|r| r.name() == name)),
+        );
+        from = at;
+    }
+    rules
+}
+
 /// Lint one file's source. `rel_path` is the repo-root-relative path used
 /// both for rule selection and in diagnostics.
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
-    let rules = applicable_rules(rel_path);
+    let mut rules = applicable_rules(rel_path);
+    let file_allows = file_allowed_rules(source);
+    rules.retain(|r| !file_allows.contains(r));
     if rules.is_empty() {
         return Vec::new();
     }
@@ -369,6 +404,12 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
                             "println!/print! in library code: stdout belongs to bin targets"
                                 .to_string()
                         }),
+                    Rule::PerEnergyGemm => has_token(&code, "gemm(").then(|| {
+                        "raw per-energy gemm in batchable library code: route energy loops \
+                         through gemm_batch so shared operands pack once, or justify with \
+                         lint:allow(per-energy-gemm)"
+                            .to_string()
+                    }),
                 };
                 if let Some(message) = finding {
                     violations.push(Violation {

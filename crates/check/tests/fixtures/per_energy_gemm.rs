@@ -1,0 +1,20 @@
+//! Lint fixture: raw per-energy `gemm` calls in batchable library code.
+//! Decoys that must not fire: the batched entry points, flop helpers,
+//! strings/comments, and a justified `lint:allow` escape.
+
+pub fn per_energy_loop(out: &mut [CMatrix], a: &CMatrix, bs: &[CMatrix]) {
+    for (o, b) in out.iter_mut().zip(bs) {
+        gemm(o, ONE, Op::None(a), Op::None(b), ZERO);
+    }
+}
+
+pub fn batched(c: &mut MatrixBatch, a: &CMatrix, b: &MatrixBatch) {
+    gemm_batch(c, ONE, BatchOp::Shared(Op::None(a)), BatchOp::Each(OpKind::None, b), ZERO);
+    let _flops = gemm_batch_flops(4, 4, 4, 4) + gemm_flops(4, 4, 4);
+    let _s = "a gemm( inside a string is not a call";
+    // a gemm( inside a comment is not a call either
+    // lint:allow(per-energy-gemm): frozen reference path, justified in place.
+    gemm(c, ONE, Op::None(a), Op::None(a), ZERO);
+    gemm(c, ONE, Op::Dagger(a), Op::None(a), ZERO); // lint:allow(per-energy-gemm): same line.
+    bench_gemm(c);
+}

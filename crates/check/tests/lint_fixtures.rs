@@ -77,6 +77,31 @@ fn println_is_flagged_in_library_code_but_not_bins() {
 }
 
 #[test]
+fn per_energy_gemm_is_flagged_in_rgf_obc_core_but_not_elsewhere() {
+    let src = include_str!("fixtures/per_energy_gemm.rs");
+    for root in ["rgf", "obc", "core"] {
+        let got = findings(&format!("crates/{root}/src/fixture.rs"), src);
+        assert_eq!(got, vec![("per-energy-gemm".to_string(), 7)], "{root}");
+    }
+    // Other crates (and test code) may call the scalar kernel directly.
+    assert!(findings("crates/linalg/src/fixture.rs", src).is_empty());
+    assert!(findings("crates/rgf/tests/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn allow_file_marker_suppresses_a_rule_for_the_whole_file() {
+    let src = "// lint:allow-file(per-energy-gemm): frozen reference recipe.\n\
+               pub fn f(c: &mut CMatrix, a: &CMatrix) {\n    \
+               gemm(c, ONE, Op::None(a), Op::None(a), ZERO);\n    \
+               gemm(c, ONE, Op::Dagger(a), Op::None(a), ZERO);\n}\n";
+    assert!(findings("crates/rgf/src/fixture.rs", src).is_empty());
+    // The marker only names one rule: others still fire.
+    let src = format!("{src}pub fn g() {{ println!(\"nope\"); }}\n");
+    let got = findings("crates/rgf/src/fixture.rs", &src);
+    assert_eq!(got, vec![("no-println".to_string(), 6)]);
+}
+
+#[test]
 fn allow_marker_must_name_the_right_rule() {
     let src = "pub fn f(v: &[u8]) -> u8 {\n    // lint:allow(no-println): wrong rule named\n    *v.first().unwrap()\n}\n";
     let got = findings("crates/dist/src/fixture.rs", src);

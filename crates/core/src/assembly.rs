@@ -144,8 +144,12 @@ fn solve_surface(
                     kind,
                     2 * gemm_flops(dim, dim, dim) + 8 * (dim as u64).pow(3),
                 );
+                // The memoizer refinement is one fixed-point step on one
+                // energy's cached guess by design, so it stays per energy.
+                // lint:allow(per-energy-gemm): single-energy memoizer step.
                 gemm(&mut nx, ONE, Op::None(n), Op::None(x), ZERO);
                 rhs.copy_from(m);
+                // lint:allow(per-energy-gemm): see above.
                 gemm(&mut rhs, -ONE, Op::None(&nx), Op::None(nprime), ONE);
                 if lu.invert_into(&rhs, out).is_err() {
                     *out = x.clone();

@@ -27,7 +27,10 @@ use rayon::prelude::*;
 use quatrex_device::{thermal_energy_ev, Device, EnergyGrid};
 use quatrex_linalg::flops::{FlopCounter, FlopKind};
 use quatrex_obc::{ObcMemoizer, ObcMode};
-use quatrex_rgf::{rgf_solve_scratch, RgfError, RgfScratch};
+use quatrex_rgf::{
+    rgf_solve_batch_into, rgf_solve_scratch, RgfBatchScratch, RgfError, RgfScratch,
+    SelectedSolution,
+};
 use quatrex_sparse::BlockTridiagonal;
 
 use crate::assembly::{assemble_g, assemble_w, ObcMethod};
@@ -267,6 +270,180 @@ pub fn w_step_energy(
     })
 }
 
+/// Run the G-step for a batch of energy points: per-energy assembly (OBC
+/// cascade + memoizer, identical to [`g_step_energy`]) followed by **one**
+/// energy-batched RGF solve ([`rgf_solve_batch_into`]) whose block products
+/// run as `gemm_batch` sweeps over the whole batch. Every energy's output is
+/// bit-identical to [`g_step_energy`]; only the kernel launch structure
+/// changes.
+#[allow(clippy::too_many_arguments)]
+pub fn g_step_batch(
+    h: &BlockTridiagonal,
+    energies: &[f64],
+    energy_indices: &[usize],
+    config: &ScbaConfig,
+    kt: f64,
+    sigma_r: &[Option<&BlockTridiagonal>],
+    sigma_lesser: &[Option<&BlockTridiagonal>],
+    sigma_greater: &[Option<&BlockTridiagonal>],
+    memoizers: &mut [Option<&mut ObcMemoizer>],
+    scratch: &mut RgfBatchScratch,
+    flops: &FlopCounter,
+    timings: &KernelTimings,
+) -> Result<Vec<GStepOutput>, RgfError> {
+    let bsz = energies.len();
+    assert!(
+        energy_indices.len() == bsz
+            && sigma_r.len() == bsz
+            && sigma_lesser.len() == bsz
+            && sigma_greater.len() == bsz
+            && memoizers.len() == bsz,
+        "per-energy inputs must match the batch length"
+    );
+
+    let mut asms = Vec::with_capacity(bsz);
+    for i in 0..bsz {
+        let t0 = Instant::now();
+        let asm = quatrex_probe::span("g.assembly", "g.assembly", || {
+            assemble_g(
+                h,
+                energies[i],
+                config.eta,
+                energy_indices[i],
+                sigma_r[i],
+                sigma_lesser[i],
+                sigma_greater[i],
+                config.mu_left,
+                config.mu_right,
+                kt,
+                config.obc_method_g,
+                memoizers[i].as_deref_mut(),
+                flops,
+            )
+        });
+        timings.add(&timings.g_assembly_ns, t0);
+        asms.push(asm);
+    }
+
+    let t1 = Instant::now();
+    let systems: Vec<&BlockTridiagonal> = asms.iter().map(|a| &a.system).collect();
+    let rhs: Vec<[&BlockTridiagonal; 2]> = asms
+        .iter()
+        .map(|a| [&a.rhs_lesser, &a.rhs_greater])
+        .collect();
+    let rhs_slices: Vec<&[&BlockTridiagonal]> = rhs.iter().map(|r| r.as_slice()).collect();
+    let mut sols = vec![SelectedSolution::zeros(h.n_blocks(), h.block_size(), 2); bsz];
+    quatrex_probe::span("g.rgf", "g.rgf", || {
+        rgf_solve_batch_into(&systems, &rhs_slices, &mut sols, scratch)
+    })
+    .map_err(|e| e.error)?;
+    for sol in &sols {
+        flops.add(FlopKind::GRgf, sol.flops);
+    }
+    timings.add(&timings.g_rgf_ns, t1);
+
+    Ok(sols
+        .into_iter()
+        .zip(asms.iter())
+        .map(|(sol, asm)| {
+            let SelectedSolution {
+                retarded, lesser, ..
+            } = sol;
+            let mut it = lesser.into_iter();
+            let g_lesser = it.next().expect("lesser RHS solved");
+            let g_greater = it.next().expect("greater RHS solved");
+            g_step_finish(
+                &asm.sigma_obc_left_lesser,
+                &asm.sigma_obc_left_greater,
+                retarded,
+                g_lesser,
+                g_greater,
+                config,
+            )
+        })
+        .collect())
+}
+
+/// Run the W-step for a batch of (boson) energy points: per-energy assembly
+/// (identical to [`w_step_energy`]) followed by one energy-batched RGF solve.
+/// Bit-identical per energy to the per-energy path.
+#[allow(clippy::too_many_arguments)]
+pub fn w_step_batch(
+    coulomb: &BlockTridiagonal,
+    p_retarded: &[&BlockTridiagonal],
+    p_lesser: &[&BlockTridiagonal],
+    p_greater: &[&BlockTridiagonal],
+    energy_indices: &[usize],
+    config: &ScbaConfig,
+    memoizers: &mut [Option<&mut ObcMemoizer>],
+    scratch: &mut RgfBatchScratch,
+    flops: &FlopCounter,
+    timings: &KernelTimings,
+) -> Result<Vec<WStepOutput>, RgfError> {
+    let bsz = energy_indices.len();
+    assert!(
+        p_retarded.len() == bsz
+            && p_lesser.len() == bsz
+            && p_greater.len() == bsz
+            && memoizers.len() == bsz,
+        "per-energy inputs must match the batch length"
+    );
+
+    let mut asms = Vec::with_capacity(bsz);
+    for i in 0..bsz {
+        let t0 = Instant::now();
+        let asm = quatrex_probe::span("w.assembly", "w.assembly", || {
+            assemble_w(
+                coulomb,
+                p_retarded[i],
+                p_lesser[i],
+                p_greater[i],
+                energy_indices[i],
+                config.obc_method_w,
+                memoizers[i].as_deref_mut(),
+                flops,
+            )
+        });
+        timings.add(&timings.w_assembly_ns, t0);
+        asms.push(asm);
+    }
+
+    let t1 = Instant::now();
+    let systems: Vec<&BlockTridiagonal> = asms.iter().map(|a| &a.system).collect();
+    let rhs: Vec<[&BlockTridiagonal; 2]> = asms
+        .iter()
+        .map(|a| [&a.rhs_lesser, &a.rhs_greater])
+        .collect();
+    let rhs_slices: Vec<&[&BlockTridiagonal]> = rhs.iter().map(|r| r.as_slice()).collect();
+    let mut sols = vec![SelectedSolution::zeros(coulomb.n_blocks(), coulomb.block_size(), 2); bsz];
+    quatrex_probe::span("w.rgf", "w.rgf", || {
+        rgf_solve_batch_into(&systems, &rhs_slices, &mut sols, scratch)
+    })
+    .map_err(|e| e.error)?;
+    for sol in &sols {
+        flops.add(FlopKind::WRgf, sol.flops);
+    }
+    timings.add(&timings.w_rgf_ns, t1);
+
+    Ok(sols
+        .into_iter()
+        .zip(asms.iter())
+        .map(|(sol, asm)| {
+            let mut lesser = sol.lesser[0].clone();
+            let mut greater = sol.lesser[1].clone();
+            if config.enforce_symmetry {
+                lesser.symmetrize_negf();
+                greater.symmetrize_negf();
+            }
+            WStepOutput {
+                lesser,
+                greater,
+                truncation: asm.truncation_error,
+            }
+        })
+        .collect())
+}
+
 /// Linearly mix the new self-energies of one energy point into the previous
 /// iteration's (`mixed = mix·new + (1−mix)·old`, applied to `Σ^<`, `Σ^>` and
 /// `Σ^R` in place) and return this energy's contribution to the convergence
@@ -329,6 +506,12 @@ pub struct ScbaConfig {
     /// Strength of the GW self-energy fed back into the G-solver (1.0 = full
     /// scGW; smaller values damp the interaction for difficult bias points).
     pub interaction_scale: f64,
+    /// Number of energy points grouped into one batched RGF kernel call
+    /// ([`g_step_batch`] / [`w_step_batch`]): shared per-call setup is paid
+    /// once per batch and every block product runs as a `gemm_batch` sweep.
+    /// `1` selects the frozen per-energy path ([`g_step_energy`] /
+    /// [`w_step_energy`]); both paths are bit-identical per energy.
+    pub kernel_batch: usize,
 }
 
 impl Default for ScbaConfig {
@@ -348,6 +531,7 @@ impl Default for ScbaConfig {
             obc_method_w: ObcMethod::Beyn,
             enforce_symmetry: true,
             interaction_scale: 1.0,
+            kernel_batch: 8,
         }
     }
 }
@@ -464,6 +648,15 @@ impl ScbaSolver {
         // the RGF inner loops).
         let scratches: Vec<Mutex<RgfScratch>> =
             (0..ne).map(|_| Mutex::new(RgfScratch::new())).collect();
+        // Kernel-batch decomposition of the energy grid: `kernel_batch`
+        // energies share one batched RGF call (and one warm batch scratch per
+        // chunk). `kernel_batch == 1` keeps the frozen per-energy path.
+        let kb = self.config.kernel_batch.max(1);
+        let chunk_bounds: Vec<(usize, usize)> =
+            (0..ne).step_by(kb).map(|s| (s, (s + kb).min(ne))).collect();
+        let batch_scratches: Vec<Mutex<RgfBatchScratch>> = (0..chunk_bounds.len())
+            .map(|_| Mutex::new(RgfBatchScratch::new()))
+            .collect();
 
         // Final-iteration spectral data.
         let mut final_g_lesser: EnergyResolved = Vec::new();
@@ -474,30 +667,69 @@ impl ScbaSolver {
             iterations += 1;
 
             // ------------------------------------------------------------ G step
-            let g_results: Vec<Result<GStepOutput, RgfError>> = (0..ne)
-                .into_par_iter()
-                .map(|k| {
-                    let mut memo_guard = if self.config.use_memoizer {
-                        Some(memoizers[k].lock())
-                    } else {
-                        None
-                    };
-                    g_step_energy(
-                        &h,
-                        energies[k],
-                        k,
-                        &self.config,
-                        kt,
-                        Some(&sigma_r[k]),
-                        Some(&sigma_l[k]),
-                        Some(&sigma_g[k]),
-                        memo_guard.as_deref_mut(),
-                        &mut scratches[k].lock(),
-                        &flops,
-                        &timings,
-                    )
-                })
-                .collect();
+            let g_results: Vec<Result<GStepOutput, RgfError>> = if kb == 1 {
+                (0..ne)
+                    .into_par_iter()
+                    .map(|k| {
+                        let mut memo_guard = if self.config.use_memoizer {
+                            Some(memoizers[k].lock())
+                        } else {
+                            None
+                        };
+                        g_step_energy(
+                            &h,
+                            energies[k],
+                            k,
+                            &self.config,
+                            kt,
+                            Some(&sigma_r[k]),
+                            Some(&sigma_l[k]),
+                            Some(&sigma_g[k]),
+                            memo_guard.as_deref_mut(),
+                            &mut scratches[k].lock(),
+                            &flops,
+                            &timings,
+                        )
+                    })
+                    .collect()
+            } else {
+                chunk_bounds
+                    .clone()
+                    .into_par_iter()
+                    .enumerate()
+                    .map(|(ci, (s, t))| {
+                        let mut guards: Vec<_> = (s..t)
+                            .map(|k| self.config.use_memoizer.then(|| memoizers[k].lock()))
+                            .collect();
+                        let mut memo_refs: Vec<Option<&mut ObcMemoizer>> =
+                            guards.iter_mut().map(|g| g.as_deref_mut()).collect();
+                        let idxs: Vec<usize> = (s..t).collect();
+                        let sr: Vec<_> = (s..t).map(|k| Some(&sigma_r[k])).collect();
+                        let sl: Vec<_> = (s..t).map(|k| Some(&sigma_l[k])).collect();
+                        let sg: Vec<_> = (s..t).map(|k| Some(&sigma_g[k])).collect();
+                        match g_step_batch(
+                            &h,
+                            &energies[s..t],
+                            &idxs,
+                            &self.config,
+                            kt,
+                            &sr,
+                            &sl,
+                            &sg,
+                            &mut memo_refs,
+                            &mut batch_scratches[ci].lock(),
+                            &flops,
+                            &timings,
+                        ) {
+                            Ok(outs) => outs.into_iter().map(Ok).collect(),
+                            Err(e) => vec![Err(e)],
+                        }
+                    })
+                    .collect::<Vec<Vec<_>>>()
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            };
 
             let mut g_retarded: EnergyResolved = Vec::with_capacity(ne);
             let mut g_lesser: EnergyResolved = Vec::with_capacity(ne);
@@ -545,28 +777,65 @@ impl ScbaSolver {
             timings.add(&timings.convolution_ns, t2);
 
             // ------------------------------------------------------------ W step
-            let w_results: Vec<Result<WStepOutput, RgfError>> = (0..ne)
-                .into_par_iter()
-                .map(|k| {
-                    let mut memo_guard = if self.config.use_memoizer {
-                        Some(memoizers[k].lock())
-                    } else {
-                        None
-                    };
-                    w_step_energy(
-                        &v,
-                        &p_retarded[k],
-                        &p_lesser[k],
-                        &p_greater[k],
-                        k,
-                        &self.config,
-                        memo_guard.as_deref_mut(),
-                        &mut scratches[k].lock(),
-                        &flops,
-                        &timings,
-                    )
-                })
-                .collect();
+            let w_results: Vec<Result<WStepOutput, RgfError>> = if kb == 1 {
+                (0..ne)
+                    .into_par_iter()
+                    .map(|k| {
+                        let mut memo_guard = if self.config.use_memoizer {
+                            Some(memoizers[k].lock())
+                        } else {
+                            None
+                        };
+                        w_step_energy(
+                            &v,
+                            &p_retarded[k],
+                            &p_lesser[k],
+                            &p_greater[k],
+                            k,
+                            &self.config,
+                            memo_guard.as_deref_mut(),
+                            &mut scratches[k].lock(),
+                            &flops,
+                            &timings,
+                        )
+                    })
+                    .collect()
+            } else {
+                chunk_bounds
+                    .clone()
+                    .into_par_iter()
+                    .enumerate()
+                    .map(|(ci, (s, t))| {
+                        let mut guards: Vec<_> = (s..t)
+                            .map(|k| self.config.use_memoizer.then(|| memoizers[k].lock()))
+                            .collect();
+                        let mut memo_refs: Vec<Option<&mut ObcMemoizer>> =
+                            guards.iter_mut().map(|g| g.as_deref_mut()).collect();
+                        let idxs: Vec<usize> = (s..t).collect();
+                        let pr: Vec<_> = (s..t).map(|k| &p_retarded[k]).collect();
+                        let pl: Vec<_> = (s..t).map(|k| &p_lesser[k]).collect();
+                        let pg: Vec<_> = (s..t).map(|k| &p_greater[k]).collect();
+                        match w_step_batch(
+                            &v,
+                            &pr,
+                            &pl,
+                            &pg,
+                            &idxs,
+                            &self.config,
+                            &mut memo_refs,
+                            &mut batch_scratches[ci].lock(),
+                            &flops,
+                            &timings,
+                        ) {
+                            Ok(outs) => outs.into_iter().map(Ok).collect(),
+                            Err(e) => vec![Err(e)],
+                        }
+                    })
+                    .collect::<Vec<Vec<_>>>()
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            };
             let mut w_lesser: EnergyResolved = Vec::with_capacity(ne);
             let mut w_greater: EnergyResolved = Vec::with_capacity(ne);
             for r in w_results {
@@ -747,6 +1016,46 @@ mod tests {
             rel_diff > 1e-6,
             "GW correction had no effect (diff {rel_diff})"
         );
+    }
+
+    #[test]
+    fn batched_kernel_path_matches_the_per_energy_path_bitwise() {
+        // kernel_batch = 1 is the frozen per-energy reference; a ragged
+        // batching (16 energies in chunks of 5) must reproduce it exactly —
+        // every gemm_batch plane runs the same packing/micro-kernel code as
+        // the per-energy gemm.
+        let mut per_energy_cfg = fast_config(16, 4);
+        per_energy_cfg.kernel_batch = 1;
+        let mut batched_cfg = fast_config(16, 4);
+        batched_cfg.kernel_batch = 5;
+        let reference = ScbaSolver::new(small_device(), per_energy_cfg).run();
+        let batched = ScbaSolver::new(small_device(), batched_cfg).run();
+
+        assert_eq!(batched.iterations, reference.iterations);
+        for (a, b) in batched
+            .residual_history
+            .iter()
+            .zip(reference.residual_history.iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "residual history diverged");
+        }
+        for (a, b) in batched
+            .current_history
+            .iter()
+            .zip(reference.current_history.iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "current history diverged");
+        }
+        for (a, b) in batched
+            .observables
+            .electron_density
+            .iter()
+            .zip(reference.observables.electron_density.iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "density diverged");
+        }
+        // FLOP totals are structural and identical.
+        assert_eq!(batched.flops.total(), reference.flops.total());
     }
 
     #[test]

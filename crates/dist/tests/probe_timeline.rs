@@ -109,6 +109,50 @@ fn timeline_covers_every_rank_and_transposition() {
 }
 
 #[test]
+fn batched_kernel_path_is_probe_attributed() {
+    // P_S = 1 with kernel batching at its default: the batched RGF solves
+    // must be traced under their own phase categories and the gemm_batch
+    // counters must flow through the rank traces, so the report's FLOP rates
+    // visibly attribute the work to the batched path.
+    let result = DistScbaSolver::new(device(), DistScbaConfig::new(scba(8, 2), 4)).run();
+    let tl = &result.timeline;
+    let calls = tl.counter_total("gemm_batch.calls");
+    assert!(calls > 0, "batched kernels counted");
+    assert!(
+        tl.counter_total("gemm_batch.planes") >= calls,
+        "every batched call sweeps at least one plane"
+    );
+    let batch_spans: usize = tl
+        .ranks
+        .iter()
+        .map(|r| {
+            r.spans
+                .iter()
+                .filter(|s| s.name == "scba.g.rgf.batch" || s.name == "scba.w.rgf.batch")
+                .count()
+        })
+        .sum();
+    assert!(batch_spans > 0, "batched kernel solves traced");
+    let has = |rates: &[(String, f64)], p: &str| rates.iter().any(|(c, _)| c == p);
+    let rates = &result.report.phase_flop_rates;
+    assert!(has(rates, "g.rgf.batch"), "batched G rate reported");
+    assert!(has(rates, "w.rgf.batch"), "batched W rate reported");
+    assert!(
+        !has(rates, "g.rgf") && !has(rates, "w.rgf"),
+        "no per-energy RGF work in a batched run"
+    );
+
+    // `kernel_batch = 1` freezes the per-energy path: the same FLOPs are
+    // attributed to the plain categories and no batched span exists.
+    let mut frozen_cfg = scba(8, 2);
+    frozen_cfg.kernel_batch = 1;
+    let frozen = DistScbaSolver::new(device(), DistScbaConfig::new(frozen_cfg, 4)).run();
+    let rates = &frozen.report.phase_flop_rates;
+    assert!(has(rates, "g.rgf") && has(rates, "w.rgf"));
+    assert!(!has(rates, "g.rgf.batch") && !has(rates, "w.rgf.batch"));
+}
+
+#[test]
 fn report_carries_probe_metrics() {
     let result = grid_run(8, 3);
     let report = &result.report;

@@ -24,6 +24,7 @@
 //! All kernels operate on `Complex<f64>` ([`c64`]) in double precision, matching
 //! the paper's FP64 measurements.
 
+pub mod batch;
 pub mod eig;
 pub mod flops;
 pub mod lu;
@@ -33,11 +34,15 @@ pub mod qr;
 pub mod svd;
 pub mod workspace;
 
+pub use batch::{
+    gemm_batch, gemm_batch_flops, invert_batch_into, BatchOp, BatchWorkspace, MatrixBatch,
+    TILING_RUNG_N_BS,
+};
 pub use eig::{eigendecomposition, eigenvalues, schur, Eigendecomposition, SchurDecomposition};
 pub use flops::{FlopCounter, FlopKind};
 pub use lu::{LuError, LuFactorization, LuScratch};
 pub use matrix::CMatrix;
-pub use ops::{gemm, matmul, matmul_acc, triple_product, triple_product_flops, Op};
+pub use ops::{gemm, matmul, matmul_acc, triple_product, triple_product_flops, Op, OpKind};
 pub use qr::QrFactorization;
 pub use svd::{singular_values, svd, Svd};
 pub use workspace::Workspace;

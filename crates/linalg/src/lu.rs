@@ -183,16 +183,31 @@ impl LuScratch {
     pub fn invert_into(&mut self, a: &CMatrix, out: &mut CMatrix) -> Result<(), LuError> {
         assert!(a.is_square(), "LU requires a square matrix");
         let n = a.nrows();
-        if self.lu.shape() != (n, n) {
-            self.lu.resize_zeroed(n, n);
-        }
-        self.lu.copy_from(a);
-        self.perm.clear();
-        self.perm.extend(0..n);
-        factor_in_place(&mut self.lu, &mut self.perm)?;
         if out.shape() != (n, n) {
             out.resize_zeroed(n, n);
         }
+        self.invert_slice_into(a.as_slice(), n, out.as_mut_slice())
+    }
+
+    /// Raw-slice form of [`Self::invert_into`]: `a` and `out` are column-major
+    /// `n × n` slices. Same arithmetic (pivoting, substitution order) — the
+    /// two forms are bit-identical; this is the entry point the batched layer
+    /// uses to invert `MatrixBatch` planes in place in the batch buffer.
+    pub fn invert_slice_into(
+        &mut self,
+        a: &[c64],
+        n: usize,
+        out: &mut [c64],
+    ) -> Result<(), LuError> {
+        assert_eq!(a.len(), n * n, "LU input length mismatch");
+        assert_eq!(out.len(), n * n, "LU output length mismatch");
+        if self.lu.shape() != (n, n) {
+            self.lu.resize_zeroed(n, n);
+        }
+        self.lu.as_mut_slice().copy_from_slice(a);
+        self.perm.clear();
+        self.perm.extend(0..n);
+        factor_in_place(&mut self.lu, &mut self.perm)?;
         self.col.clear();
         self.col.resize(n, ZERO);
         for j in 0..n {
@@ -219,7 +234,7 @@ impl LuScratch {
                 }
                 self.col[i] = acc / self.lu[(i, i)];
             }
-            out.col_mut(j).copy_from_slice(&self.col);
+            out[j * n..(j + 1) * n].copy_from_slice(&self.col);
         }
         Ok(())
     }

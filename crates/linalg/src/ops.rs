@@ -31,6 +31,19 @@
 use crate::matrix::CMatrix;
 use crate::{c64, ONE, ZERO};
 
+/// The transposition flag alone, detached from any particular matrix. The
+/// batched layer ([`crate::batch`]) uses this to describe how every plane of
+/// a [`crate::batch::MatrixBatch`] enters a product.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// Use the matrix as stored.
+    None,
+    /// Use the (unconjugated) transpose `Aᵀ`.
+    Trans,
+    /// Use the conjugate transpose `A†` ("dagger").
+    Dagger,
+}
+
 /// One operand of a [`gemm`] call: the matrix together with the transposition
 /// flag that is applied *inside* the kernel loops — nothing is materialized.
 #[derive(Clone, Copy)]
@@ -49,6 +62,16 @@ impl<'a> Op<'a> {
     pub fn matrix(&self) -> &'a CMatrix {
         match self {
             Op::None(m) | Op::Trans(m) | Op::Dagger(m) => m,
+        }
+    }
+
+    /// The flag alone.
+    #[inline(always)]
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::None(_) => OpKind::None,
+            Op::Trans(_) => OpKind::Trans,
+            Op::Dagger(_) => OpKind::Dagger,
         }
     }
 
@@ -112,18 +135,18 @@ pub fn gemm(c: &mut CMatrix, alpha: c64, a: Op<'_>, b: Op<'_>, beta: c64) {
         let pack = &mut *pack.borrow_mut();
         pack.pack_a(a, m, k);
         pack.pack_b(b, k, n);
-        packed_kernel(c, alpha, pack, m, k, n);
+        packed_kernel(c.as_mut_slice(), alpha, pack, m, k, n);
     });
 }
 
 thread_local! {
     /// Per-thread packing planes for the `A` operand (checkout/restore across
     /// calls: zero allocations once warmed at the largest shape seen).
-    static PACK: std::cell::RefCell<PackBuf> = std::cell::RefCell::new(PackBuf::default());
+    pub(crate) static PACK: std::cell::RefCell<PackBuf> = std::cell::RefCell::new(PackBuf::default());
 }
 
 #[derive(Default)]
-struct PackBuf {
+pub(crate) struct PackBuf {
     re: Vec<f64>,
     im: Vec<f64>,
     bre: Vec<f64>,
@@ -137,9 +160,21 @@ impl PackBuf {
     /// streams the panel strictly sequentially. The flag is applied during
     /// the copy.
     fn pack_a(&mut self, a: Op<'_>, m: usize, k: usize) {
+        self.pack_a_raw(a.kind(), a.matrix().as_slice(), m, k);
+    }
+
+    /// Raw-slice form of [`Self::pack_a`]: the stored matrix is a column-major
+    /// slice (`m × k` for [`OpKind::None`], `k × m` for the transposed
+    /// flags). Identical loop structure to the matrix form, so the packed
+    /// panel — and with it the product — is bit-identical; this is the entry
+    /// point the batched layer uses on [`crate::batch::MatrixBatch`] planes.
+    pub(crate) fn pack_a_raw(&mut self, kind: OpKind, data: &[c64], m: usize, k: usize) {
         let tiles = m.div_ceil(4);
         ensure_len(&mut self.re, tiles * 4 * k);
         ensure_len(&mut self.im, tiles * 4 * k);
+        // Stored leading dimension: None stores m × k, Trans/Dagger k × m.
+        let ld = if kind == OpKind::None { m } else { k };
+        debug_assert_eq!(data.len(), m * k, "pack_a operand length");
         for t in 0..tiles {
             let dst0 = t * 4 * k;
             let rows = (m - t * 4).min(4);
@@ -153,29 +188,29 @@ impl PackBuf {
                     }
                 }
             }
-            match a {
-                Op::None(a) => {
+            match kind {
+                OpKind::None => {
                     for l in 0..k {
-                        let col = &a.col(l)[t * 4..t * 4 + rows];
+                        let col = &data[l * ld + t * 4..l * ld + t * 4 + rows];
                         for (r, v) in col.iter().enumerate() {
                             self.re[dst0 + l * 4 + r] = v.re;
                             self.im[dst0 + l * 4 + r] = v.im;
                         }
                     }
                 }
-                Op::Trans(a) => {
+                OpKind::Trans => {
                     // op(A)[i, l] = A[l, i]: storage column i feeds lane r.
                     for r in 0..rows {
-                        let col = a.col(t * 4 + r);
+                        let col = &data[(t * 4 + r) * ld..(t * 4 + r + 1) * ld];
                         for l in 0..k {
                             self.re[dst0 + l * 4 + r] = col[l].re;
                             self.im[dst0 + l * 4 + r] = col[l].im;
                         }
                     }
                 }
-                Op::Dagger(a) => {
+                OpKind::Dagger => {
                     for r in 0..rows {
-                        let col = a.col(t * 4 + r);
+                        let col = &data[(t * 4 + r) * ld..(t * 4 + r + 1) * ld];
                         for l in 0..k {
                             self.re[dst0 + l * 4 + r] = col[l].re;
                             self.im[dst0 + l * 4 + r] = -col[l].im;
@@ -191,28 +226,36 @@ impl PackBuf {
     /// is a straight linear copy (the layouts coincide); the transposed
     /// flags apply the conjugate transpose during the strided copy.
     fn pack_b(&mut self, b: Op<'_>, k: usize, n: usize) {
+        self.pack_b_raw(b.kind(), b.matrix().as_slice(), k, n);
+    }
+
+    /// Raw-slice form of [`Self::pack_b`] (stored `k × n` for
+    /// [`OpKind::None`], `n × k` for the transposed flags); same loop
+    /// structure, bit-identical packing.
+    pub(crate) fn pack_b_raw(&mut self, kind: OpKind, data: &[c64], k: usize, n: usize) {
         ensure_len(&mut self.bre, k * n);
         ensure_len(&mut self.bim, k * n);
-        match b {
-            Op::None(b) => {
-                for (idx, v) in b.as_slice().iter().enumerate() {
+        debug_assert_eq!(data.len(), k * n, "pack_b operand length");
+        match kind {
+            OpKind::None => {
+                for (idx, v) in data.iter().enumerate() {
                     self.bre[idx] = v.re;
                     self.bim[idx] = v.im;
                 }
             }
-            Op::Trans(b) => {
+            OpKind::Trans => {
                 // op(B)[l, j] = B[j, l]: storage column l scatters into row l
                 // of every plane column.
                 for l in 0..k {
-                    for (j, &v) in b.col(l).iter().enumerate() {
+                    for (j, &v) in data[l * n..(l + 1) * n].iter().enumerate() {
                         self.bre[j * k + l] = v.re;
                         self.bim[j * k + l] = v.im;
                     }
                 }
             }
-            Op::Dagger(b) => {
+            OpKind::Dagger => {
                 for l in 0..k {
-                    for (j, &v) in b.col(l).iter().enumerate() {
+                    for (j, &v) in data[l * n..(l + 1) * n].iter().enumerate() {
                         self.bre[j * k + l] = v.re;
                         self.bim[j * k + l] = -v.im;
                     }
@@ -237,10 +280,16 @@ fn ensure_len(v: &mut Vec<f64>, len: usize) {
 /// six strictly sequential `f64` streams with no index arithmetic — plain
 /// lane code the compiler vectorises.
 #[inline(always)]
-fn packed_kernel(c: &mut CMatrix, alpha: c64, pack: &PackBuf, m: usize, k: usize, n: usize) {
+pub(crate) fn packed_kernel(
+    cs: &mut [c64],
+    alpha: c64,
+    pack: &PackBuf,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let (are, aim) = (&pack.re[..], &pack.im[..]);
     let tiles = m.div_ceil(4);
-    let cs = c.as_mut_slice();
     let mut j = 0;
     while j + 2 <= n {
         let b0r = &pack.bre[j * k..(j + 1) * k];

@@ -25,11 +25,13 @@
 //! bounded number of fixed-point refinements replaces the direct solver
 //! whenever the cached guess is close enough.
 
+pub mod batch;
 pub mod lesser;
 pub mod lyapunov;
 pub mod memoizer;
 pub mod retarded;
 
+pub use batch::{fixed_point_batch, sancho_rubio_batch, ObcBatchScratch};
 pub use lesser::{greater_from_retarded, lesser_from_retarded};
 pub use lyapunov::{lyapunov_direct, lyapunov_doubling, lyapunov_fixed_point, lyapunov_residual};
 pub use memoizer::{Contact, MemoizerStats, ObcKey, ObcMemoizer, ObcMode, Subsystem};

@@ -22,6 +22,9 @@
 //!   reduced eigenvalue problem), and the surface function is reconstructed as
 //!   `x^R = (m − n·F)⁻¹` with the propagation matrix `F = Φ·Λ·Φ⁻¹`.
 
+// lint:allow-file(per-energy-gemm): these are the frozen single-energy
+// surface-solver recipes — `fixed_point_batch`/`sancho_rubio_batch` (batch.rs)
+// replay them plane-by-plane and are the batched entry points for energy loops.
 use quatrex_linalg::lu::{inverse, inverse_flops, LuFactorization, LuScratch};
 use quatrex_linalg::ops::{gemm, gemm_flops, matmul, Op};
 use quatrex_linalg::svd::svd;

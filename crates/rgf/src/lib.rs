@@ -29,11 +29,13 @@
 //! The [`dense`] module provides the brute-force dense references used by the
 //! test-suite to validate every selected block.
 
+pub mod batch;
 pub mod dense;
 pub mod nested;
 pub mod reference;
 pub mod sequential;
 
+pub use batch::{rgf_solve_batch, rgf_solve_batch_into, RgfBatchError, RgfBatchScratch};
 pub use dense::{dense_lesser, dense_retarded};
 pub use nested::{
     assemble_reduced_system, eliminate_partition_slice, eliminate_partition_solve,

@@ -10,7 +10,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use quatrex_linalg::cplx;
 use quatrex_linalg::CMatrix;
-use quatrex_rgf::{rgf_solve_into, RgfScratch, SelectedSolution};
+use quatrex_rgf::{
+    rgf_solve_batch_into, rgf_solve_into, RgfBatchScratch, RgfScratch, SelectedSolution,
+};
 use quatrex_sparse::BlockTridiagonal;
 
 /// Global allocator wrapper that counts allocations while the *current
@@ -115,6 +117,44 @@ fn steady_state_rgf_solve_performs_zero_heap_allocations() {
     );
     // And it still computes the right thing.
     assert!(sol.retarded.to_dense().approx_eq(&reference, 0.0));
+}
+
+#[test]
+fn steady_state_batched_rgf_solve_performs_zero_heap_allocations() {
+    let (nb, bs, ne) = (4, 6, 3);
+    let systems: Vec<_> = (0..ne).map(|_| test_system(nb, bs)).collect();
+    // Input marshalling lives outside the armed region: the solver itself is
+    // what must be allocation-free, so the reference vectors are pre-built.
+    let sys_refs: Vec<&BlockTridiagonal> = systems.iter().map(|(a, _)| a).collect();
+    let rhs_refs: Vec<[&BlockTridiagonal; 1]> = systems.iter().map(|(_, b)| [b]).collect();
+    let rhs_slices: Vec<&[&BlockTridiagonal]> = rhs_refs.iter().map(|r| r.as_slice()).collect();
+    let mut scratch = RgfBatchScratch::new();
+    let mut sols = vec![SelectedSolution::zeros(nb, bs, 1); ne];
+
+    // Warm-up: the first batched solve sizes the batch arena, the staged
+    // operand batches, and the LU scratch.
+    rgf_solve_batch_into(&sys_refs, &rhs_slices, &mut sols, &mut scratch).unwrap();
+    let reference = sols[0].retarded.to_dense();
+
+    // Steady state: three full batched solves must never touch the heap.
+    ALLOCS.store(0, Ordering::SeqCst);
+    set_armed(true);
+    for _ in 0..3 {
+        rgf_solve_batch_into(&sys_refs, &rhs_slices, &mut sols, &mut scratch).unwrap();
+    }
+    set_armed(false);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state batched RGF loop must not allocate (saw {allocs} allocations)"
+    );
+    assert_eq!(scratch.fresh_allocations(), {
+        // A second warm call must not have grown the arena either.
+        rgf_solve_batch_into(&sys_refs, &rhs_slices, &mut sols, &mut scratch).unwrap();
+        scratch.fresh_allocations()
+    });
+    assert!(sols[0].retarded.to_dense().approx_eq(&reference, 0.0));
 }
 
 #[test]

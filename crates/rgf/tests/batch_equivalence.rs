@@ -1,0 +1,157 @@
+//! Batched-vs-per-energy equivalence of the RGF solver.
+//!
+//! The batched solver stages per-energy blocks into energy-major batches and
+//! runs every block product as one `gemm_batch` call; each plane goes through
+//! the identical packing + micro-kernel code paths as the per-energy engine,
+//! so the selected blocks must match the sequential solver **bit for bit**
+//! (well inside the ≤1e-13 acceptance envelope), for every batch size —
+//! including ragged tails where the energy count is not divisible by the
+//! batch size — and the FLOP accounting must sum exactly to the per-energy
+//! path.
+
+use quatrex_linalg::cplx;
+use quatrex_linalg::CMatrix;
+use quatrex_rgf::{
+    rgf_solve_batch_into, rgf_solve_scratch, RgfBatchScratch, RgfError, RgfScratch,
+    SelectedSolution,
+};
+use quatrex_sparse::BlockTridiagonal;
+
+/// A well-conditioned per-energy system: E-dependent diagonal shift plus
+/// energy-dependent couplings, with a lesser-like and a greater-like RHS.
+fn energy_system(nb: usize, bs: usize, e: usize) -> (BlockTridiagonal, [BlockTridiagonal; 2]) {
+    let ef = e as f64;
+    let mut a = BlockTridiagonal::zeros(nb, bs);
+    let mut bl = BlockTridiagonal::zeros(nb, bs);
+    for i in 0..nb {
+        let d = CMatrix::from_fn(bs, bs, |r, c| {
+            if r == c {
+                cplx(2.5 + 0.1 * i as f64 + 0.2 * ef, 0.3)
+            } else {
+                cplx(
+                    -0.3 / (1.0 + (r as f64 - c as f64).abs()),
+                    0.07 * (r as f64 - c as f64) + 0.01 * ef,
+                )
+            }
+        });
+        a.set_block(i, i, d);
+        let braw = CMatrix::from_fn(bs, bs, |r, c| {
+            cplx(
+                0.2 * (r + i) as f64 - 0.1 * c as f64 + 0.05 * ef,
+                0.4 - 0.05 * (r + c) as f64,
+            )
+        });
+        bl.set_block(i, i, braw.negf_antihermitian_part());
+    }
+    for i in 0..nb - 1 {
+        let u = CMatrix::from_fn(bs, bs, |r, c| {
+            cplx(-0.4 + 0.03 * r as f64, 0.05 * c as f64 + 0.02 * ef)
+        });
+        let l = CMatrix::from_fn(bs, bs, |r, c| {
+            cplx(-0.35 - 0.02 * c as f64, -0.04 * r as f64 - 0.01 * ef)
+        });
+        a.set_block(i, i + 1, u);
+        a.set_block(i + 1, i, l);
+        let bu = CMatrix::from_fn(bs, bs, |r, c| {
+            cplx(0.05 * (r as f64 - c as f64), 0.12 + 0.03 * ef)
+        });
+        bl.set_block(i, i + 1, bu.clone());
+        bl.set_block(i + 1, i, bu.dagger().scaled(cplx(-1.0, 0.0)));
+    }
+    let mut bg = bl.clone();
+    bg.scale_mut(cplx(-0.8, 0.0));
+    (a, [bl, bg])
+}
+
+fn per_energy_solutions(
+    systems: &[(BlockTridiagonal, [BlockTridiagonal; 2])],
+) -> Vec<SelectedSolution> {
+    let mut scratch = RgfScratch::new();
+    systems
+        .iter()
+        .map(|(a, rhs)| rgf_solve_scratch(a, &[&rhs[0], &rhs[1]], &mut scratch).unwrap())
+        .collect()
+}
+
+fn assert_solutions_equal(got: &SelectedSolution, want: &SelectedSolution, tag: &str) {
+    assert!(
+        got.retarded
+            .to_dense()
+            .approx_eq(&want.retarded.to_dense(), 0.0),
+        "{tag}: retarded blocks differ"
+    );
+    for (r, (gl, wl)) in got.lesser.iter().zip(want.lesser.iter()).enumerate() {
+        assert!(
+            gl.to_dense().approx_eq(&wl.to_dense(), 0.0),
+            "{tag}: lesser[{r}] blocks differ"
+        );
+    }
+    assert_eq!(got.flops, want.flops, "{tag}: FLOP accounting differs");
+}
+
+#[test]
+fn batched_solve_is_bit_identical_to_per_energy_for_every_batch_size() {
+    let (nb, bs, ne) = (5, 4, 7);
+    let systems: Vec<_> = (0..ne).map(|e| energy_system(nb, bs, e)).collect();
+    let want = per_energy_solutions(&systems);
+
+    for batch in [1usize, 2, 3, 7] {
+        let mut scratch = RgfBatchScratch::new();
+        let mut sols = vec![SelectedSolution::zeros(nb, bs, 2); ne];
+        // Ragged tails: chunk the energy axis; the tail chunk is smaller.
+        let mut e0 = 0;
+        while e0 < ne {
+            let e1 = (e0 + batch).min(ne);
+            let sys_refs: Vec<&BlockTridiagonal> = systems[e0..e1].iter().map(|(a, _)| a).collect();
+            let rhs_refs: Vec<[&BlockTridiagonal; 2]> = systems[e0..e1]
+                .iter()
+                .map(|(_, rhs)| [&rhs[0], &rhs[1]])
+                .collect();
+            let rhs_slices: Vec<&[&BlockTridiagonal]> =
+                rhs_refs.iter().map(|r| r.as_slice()).collect();
+            rgf_solve_batch_into(&sys_refs, &rhs_slices, &mut sols[e0..e1], &mut scratch).unwrap();
+            e0 = e1;
+        }
+        for (e, (got, want)) in sols.iter().zip(want.iter()).enumerate() {
+            assert_solutions_equal(got, want, &format!("batch={batch} energy={e}"));
+        }
+    }
+}
+
+#[test]
+fn batched_flops_sum_exactly_to_the_per_energy_path() {
+    let (nb, bs, ne) = (4, 3, 5);
+    let systems: Vec<_> = (0..ne).map(|e| energy_system(nb, bs, e)).collect();
+    let want = per_energy_solutions(&systems);
+    let per_energy_total: u64 = want.iter().map(|s| s.flops).sum();
+
+    let sys_refs: Vec<&BlockTridiagonal> = systems.iter().map(|(a, _)| a).collect();
+    let rhs_refs: Vec<[&BlockTridiagonal; 2]> =
+        systems.iter().map(|(_, rhs)| [&rhs[0], &rhs[1]]).collect();
+    let rhs_slices: Vec<&[&BlockTridiagonal]> = rhs_refs.iter().map(|r| r.as_slice()).collect();
+    let mut scratch = RgfBatchScratch::new();
+    let mut sols = vec![SelectedSolution::zeros(nb, bs, 2); ne];
+    rgf_solve_batch_into(&sys_refs, &rhs_slices, &mut sols, &mut scratch).unwrap();
+    let batched_total: u64 = sols.iter().map(|s| s.flops).sum();
+    assert_eq!(batched_total, per_energy_total);
+}
+
+#[test]
+fn a_singular_batch_member_is_reported_with_its_energy_index() {
+    let (nb, bs) = (3, 2);
+    let mut systems: Vec<_> = (0..3).map(|e| energy_system(nb, bs, e)).collect();
+    // Make energy 1 singular at block 1 and decouple it so the Schur
+    // complement cannot repair it.
+    systems[1].0.set_block(1, 1, CMatrix::zeros(bs, bs));
+    systems[1].0.set_block(0, 1, CMatrix::zeros(bs, bs));
+    systems[1].0.set_block(1, 0, CMatrix::zeros(bs, bs));
+    let sys_refs: Vec<&BlockTridiagonal> = systems.iter().map(|(a, _)| a).collect();
+    let rhs_refs: Vec<[&BlockTridiagonal; 2]> =
+        systems.iter().map(|(_, rhs)| [&rhs[0], &rhs[1]]).collect();
+    let rhs_slices: Vec<&[&BlockTridiagonal]> = rhs_refs.iter().map(|r| r.as_slice()).collect();
+    let mut scratch = RgfBatchScratch::new();
+    let mut sols = vec![SelectedSolution::zeros(nb, bs, 2); 3];
+    let err = rgf_solve_batch_into(&sys_refs, &rhs_slices, &mut sols, &mut scratch).unwrap_err();
+    assert_eq!(err.energy, 1);
+    assert_eq!(err.error, RgfError::SingularBlock(1));
+}
