@@ -11,12 +11,16 @@
 //! | `no-unwrap`     | no `.unwrap()` / `.expect(...)` in `crates/{dist,runtime}` library code — rank threads must fail with diagnostics, not anonymous panics |
 //! | `no-println`    | no `println!` / `print!` in library crates — reports go through returned structs or probe counters, stdout belongs to the bin targets |
 //! | `per-energy-gemm`| library code in `crates/{rgf,obc,core}` calls the batched GEMM entry points (`gemm_batch`), not raw per-energy `gemm`, so loops over energies share one operand packing — frozen reference paths carry explicit `lint:allow(per-energy-gemm)` markers |
+//! | `no-raw-sync`   | no `std::thread::spawn` / `std::sync::Mutex` / `std::sync::mpsc` in library crates — the workspace shims (`parking_lot`, `crossbeam`, `rayon`) carry the lock-order, race-detection and schedule-exploration seams, and a raw primitive is invisible to all three; `crates/sync` (the engine itself) is exempt |
+//! | `stale-allow`   | every `lint:allow`/`lint:allow-file` marker must suppress at least one finding — a marker that matches nothing is dead weight that rots into false confidence when the code under it changes |
 //!
 //! Test code (`tests/`, `benches/`, `#[cfg(test)]` modules) is exempt, and a
 //! justified exception is granted in place with
 //! `// lint:allow(<rule>): <reason>` on the offending line or the line
 //! directly above it. A file that is a frozen reference implementation in
 //! its entirety may carry `// lint:allow-file(<rule>): <reason>` instead.
+//! Markers for rules that do not apply to the file (or inside test code) are
+//! ignored entirely — neither honoured nor reported stale.
 //!
 //! The scanner strips comments and string literals (including raw strings
 //! with any hash depth and nested block comments) before matching, tracks
@@ -41,16 +45,23 @@ pub enum Rule {
     NoPrintln,
     /// Raw per-energy `gemm(` in `crates/{rgf,obc,core}` library code.
     PerEnergyGemm,
+    /// `std::thread::spawn` / `std::sync::Mutex` / `std::sync::mpsc` in
+    /// library code outside `crates/sync`.
+    NoRawSync,
+    /// A `lint:allow`/`lint:allow-file` marker that suppresses no finding.
+    StaleAllow,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 7] = [
         Rule::CommPhaseTag,
         Rule::OneClock,
         Rule::NoUnwrap,
         Rule::NoPrintln,
         Rule::PerEnergyGemm,
+        Rule::NoRawSync,
+        Rule::StaleAllow,
     ];
 
     /// The rule identifier used in diagnostics and `lint:allow`.
@@ -61,6 +72,8 @@ impl Rule {
             Rule::NoUnwrap => "no-unwrap",
             Rule::NoPrintln => "no-println",
             Rule::PerEnergyGemm => "per-energy-gemm",
+            Rule::NoRawSync => "no-raw-sync",
+            Rule::StaleAllow => "stale-allow",
         }
     }
 }
@@ -131,6 +144,13 @@ fn applicable_rules(rel: &str) -> Vec<Rule> {
     {
         rules.push(Rule::PerEnergyGemm);
     }
+    // `crates/sync` IS the instrumentation engine: it must build on the raw
+    // primitives the shims wrap, so the rule would be circular there.
+    if !rel.starts_with("crates/sync/") && !is_bin {
+        rules.push(Rule::NoRawSync);
+    }
+    // StaleAllow is never in the applicable set: it fires from marker
+    // bookkeeping in `lint_source`, not from line matching.
     rules
 }
 
@@ -149,6 +169,57 @@ fn has_token(code: &str, token: &str) -> bool {
             return true;
         }
         from = at + token.len();
+    }
+    false
+}
+
+/// `true` when `code` contains `token` with identifier boundaries on BOTH
+/// ends — so `std::sync::Mutex` does not match inside `std::sync::MutexGuard`.
+fn has_delimited_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let preceded = at > 0
+            && code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        let followed = code[at + token.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if !preceded && !followed {
+            return true;
+        }
+        from = at + token.len();
+    }
+    false
+}
+
+/// Does this stripped line reach a raw std sync/thread primitive (directly or
+/// via a brace-grouped `use std::sync::{...}`)? `std::sync::Arc`,
+/// `std::sync::atomic`, `MutexGuard` re-exports etc. stay legal — only the
+/// blocking primitives the shims replace are flagged.
+fn uses_raw_sync(code: &str) -> bool {
+    if has_delimited_token(code, "std::thread::spawn")
+        || has_delimited_token(code, "std::sync::Mutex")
+        || has_delimited_token(code, "std::sync::mpsc")
+    {
+        return true;
+    }
+    if let Some(pos) = code.find("std::sync::{") {
+        let group = &code[pos + "std::sync::{".len()..];
+        let group = group.split('}').next().unwrap_or(group);
+        return group.split(',').any(|item| {
+            // First word of the item, so `Mutex as StdMutex` matches but
+            // `MutexGuard` does not.
+            matches!(
+                item.trim()
+                    .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                    .next(),
+                Some("Mutex") | Some("mpsc")
+            )
+        });
     }
     false
 }
@@ -300,35 +371,53 @@ fn allowed_rules(raw: &str) -> Vec<Rule> {
         .collect()
 }
 
-/// Rules suppressed for the whole file by `// lint:allow-file(...)` markers —
-/// for files that are a frozen reference implementation in their entirety
-/// (e.g. the per-energy RGF recipe the batch layer replays plane-by-plane),
-/// where a per-line marker on dozens of sites would drown the code.
-fn file_allowed_rules(source: &str) -> Vec<Rule> {
-    let mut rules = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = source[from..].find("lint:allow-file(") {
-        let at = from + pos + "lint:allow-file(".len();
-        let args = source[at..].split(')').next().unwrap_or("");
-        rules.extend(
-            args.split(',')
+/// One `lint:allow`/`lint:allow-file` marker: where it is, what it names,
+/// and whether it has suppressed anything yet (for stale-allow).
+struct Marker {
+    line: usize,
+    rule: Rule,
+    used: bool,
+}
+
+/// `lint:allow-file(...)` markers with their line numbers — for files that
+/// are a frozen reference implementation in their entirety (e.g. the
+/// per-energy RGF recipe the batch layer replays plane-by-plane), where a
+/// per-line marker on dozens of sites would drown the code. Only markers
+/// naming a rule in `rules` are tracked; the rest are inert.
+fn file_allow_markers(source: &str, rules: &[Rule]) -> Vec<Marker> {
+    let mut markers = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = raw[from..].find("lint:allow-file(") {
+            let at = from + pos + "lint:allow-file(".len();
+            let args = raw[at..].split(')').next().unwrap_or("");
+            for rule in args
+                .split(',')
                 .map(str::trim)
-                .filter_map(|name| Rule::ALL.into_iter().find(|r| r.name() == name)),
-        );
-        from = at;
+                .filter_map(|name| Rule::ALL.into_iter().find(|r| r.name() == name))
+            {
+                if rules.contains(&rule) {
+                    markers.push(Marker {
+                        line: idx + 1,
+                        rule,
+                        used: false,
+                    });
+                }
+            }
+            from = at;
+        }
     }
-    rules
+    markers
 }
 
 /// Lint one file's source. `rel_path` is the repo-root-relative path used
 /// both for rule selection and in diagnostics.
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
-    let mut rules = applicable_rules(rel_path);
-    let file_allows = file_allowed_rules(source);
-    rules.retain(|r| !file_allows.contains(r));
+    let rules = applicable_rules(rel_path);
     if rules.is_empty() {
         return Vec::new();
     }
+    let mut file_allows = file_allow_markers(source, &rules);
     let mut violations = Vec::new();
     let mut state = LexState::Code;
     let mut depth: i64 = 0;
@@ -337,7 +426,8 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
     // depth at which the item's first `{` opened.
     let mut pending_cfg_test = false;
     let mut test_region_floor: Option<i64> = None;
-    let mut prev_allows: Vec<Rule> = Vec::new();
+    // Line-level `lint:allow` markers seen so far, oldest first.
+    let mut line_markers: Vec<Marker> = Vec::new();
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -368,12 +458,17 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
         }
         let in_test = in_test_before || test_region_floor.is_some();
 
-        let line_allows = allowed_rules(raw);
         if !in_test {
-            for &rule in &rules {
-                if line_allows.contains(&rule) || prev_allows.contains(&rule) {
-                    continue;
+            for rule in allowed_rules(raw) {
+                if rules.contains(&rule) {
+                    line_markers.push(Marker {
+                        line: lineno,
+                        rule,
+                        used: false,
+                    });
                 }
+            }
+            for &rule in &rules {
                 let finding = match rule {
                     Rule::CommPhaseTag => [
                         ".alltoall(",
@@ -410,8 +505,35 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
                          lint:allow(per-energy-gemm)"
                             .to_string()
                     }),
+                    Rule::NoRawSync => uses_raw_sync(&code).then(|| {
+                        "raw std::sync/std::thread primitive in library code: use the \
+                         workspace parking_lot/crossbeam/rayon shims so the lock-order, \
+                         race-detection and schedule-exploration seams see it"
+                            .to_string()
+                    }),
+                    // Emitted from marker bookkeeping below, never from line
+                    // matching (and never in `rules`).
+                    Rule::StaleAllow => None,
                 };
                 if let Some(message) = finding {
+                    // A marker suppresses findings on its own line and the
+                    // line directly below it; most recent marker wins.
+                    if let Some(m) = line_markers
+                        .iter_mut()
+                        .rev()
+                        .find(|m| m.rule == rule && (m.line == lineno || m.line + 1 == lineno))
+                    {
+                        m.used = true;
+                        continue;
+                    }
+                    let mut file_suppressed = false;
+                    for m in file_allows.iter_mut().filter(|m| m.rule == rule) {
+                        m.used = true;
+                        file_suppressed = true;
+                    }
+                    if file_suppressed {
+                        continue;
+                    }
                     violations.push(Violation {
                         path: rel_path.to_string(),
                         line: lineno,
@@ -421,8 +543,22 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
                 }
             }
         }
-        prev_allows = line_allows;
     }
+    for m in line_markers.into_iter().chain(file_allows) {
+        if !m.used {
+            violations.push(Violation {
+                path: rel_path.to_string(),
+                line: m.line,
+                rule: Rule::StaleAllow,
+                message: format!(
+                    "allow marker for `{}` suppresses no finding — remove it so the \
+                     exception list stays honest",
+                    m.rule.name()
+                ),
+            });
+        }
+    }
+    violations.sort_by_key(|v| v.line);
     violations
 }
 

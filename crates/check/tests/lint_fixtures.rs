@@ -102,10 +102,58 @@ fn allow_file_marker_suppresses_a_rule_for_the_whole_file() {
 }
 
 #[test]
+fn raw_sync_is_flagged_in_library_code_but_not_sync_or_bins() {
+    let src = include_str!("fixtures/raw_sync.rs");
+    let got = findings("crates/dist/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("no-raw-sync".to_string(), 4),
+            ("no-raw-sync".to_string(), 5),
+            ("no-raw-sync".to_string(), 6),
+            ("no-raw-sync".to_string(), 10),
+        ]
+    );
+    // crates/sync builds the instrumentation out of the raw primitives.
+    assert!(findings("crates/sync/src/fixture.rs", src).is_empty());
+    // Bin targets own their own threading.
+    assert!(findings("crates/runtime/src/bin/fixture.rs", src).is_empty());
+    assert!(findings("crates/dist/tests/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn stale_line_allow_is_reported() {
+    let src = "pub fn f() -> u32 {\n    // lint:allow(no-println): nothing to suppress below\n    let x = 1;\n    x\n}\n";
+    let got = findings("crates/core/src/fixture.rs", src);
+    assert_eq!(got, vec![("stale-allow".to_string(), 2)]);
+}
+
+#[test]
+fn stale_allow_file_is_reported() {
+    let src = "// lint:allow-file(per-energy-gemm): nothing here needs it.\npub fn f() {}\n";
+    let got = findings("crates/rgf/src/fixture.rs", src);
+    assert_eq!(got, vec![("stale-allow".to_string(), 1)]);
+}
+
+#[test]
+fn markers_for_non_applicable_rules_are_inert_not_stale() {
+    // `no-unwrap` does not apply in crates/core: the marker is ignored
+    // entirely rather than reported stale, so fixtures shared across paths
+    // stay clean under every path they are linted as.
+    let src = "// lint:allow-file(no-unwrap): scoped elsewhere.\npub fn f() {}\n";
+    assert!(findings("crates/core/src/fixture.rs", src).is_empty());
+}
+
+#[test]
 fn allow_marker_must_name_the_right_rule() {
     let src = "pub fn f(v: &[u8]) -> u8 {\n    // lint:allow(no-println): wrong rule named\n    *v.first().unwrap()\n}\n";
     let got = findings("crates/dist/src/fixture.rs", src);
-    assert_eq!(got, vec![("no-unwrap".to_string(), 3)]);
+    // The unwrap still fires, and the mis-named marker (which suppresses
+    // nothing) is itself reported stale.
+    assert_eq!(
+        got,
+        vec![("stale-allow".to_string(), 2), ("no-unwrap".to_string(), 3)]
+    );
 }
 
 #[test]

@@ -64,6 +64,7 @@ use quatrex_runtime::{
     CommHandle, CommPhase, CommStats, DecompositionPlan, RankContext, ThreadComm,
 };
 use quatrex_sparse::BlockTridiagonal;
+use quatrex_sync::race::{self, AccessKind, SharedId};
 
 use crate::partition::{energy_cost_weights, partition_weighted};
 use crate::report::{DistReport, TranspositionBudget};
@@ -805,6 +806,14 @@ impl ConvAccumulators {
         enforce_symmetry: bool,
         flops: &FlopCounter,
     ) -> ElementPhase {
+        // The epilogue read of the batch-accumulated series: ordered after
+        // every batch's accumulate (same leader thread, after the batch's
+        // CommHandle::wait) — a pipeline mutation that lets the finish read
+        // overtake an in-flight batch's accumulate is an HB race here.
+        race::access_shared(
+            SharedId::new("dist.conv_accum", group as u64),
+            AccessKind::Read,
+        );
         let elems = plan.element_ranges[group].clone();
         let n_local = elems.len();
         let mut phase = ElementPhase {
@@ -1407,6 +1416,10 @@ fn rank_main(
             &mut pipe,
             |slab, batch, arrived_before| {
                 let acc = p_acc.as_mut().expect("leader accumulators"); // lint:allow(no-unwrap): this closure runs on the leader rank only
+                race::access_shared(
+                    SharedId::new("dist.conv_accum", group as u64),
+                    AccessKind::Write,
+                );
                 quatrex_probe::span("scba.p.accumulate", "conv.p", || {
                     let t = Instant::now();
                     for e_local in 0..n_elems {
@@ -1643,6 +1656,10 @@ fn rank_main(
             |w_slab, batch, _arrived_before| {
                 let g_slab = g_slab.as_ref().expect("leader holds the G slab"); // lint:allow(no-unwrap): this closure runs on the leader rank only
                 let acc = s_acc.as_mut().expect("leader accumulators"); // lint:allow(no-unwrap): this closure runs on the leader rank only
+                race::access_shared(
+                    SharedId::new("dist.conv_accum", group as u64),
+                    AccessKind::Write,
+                );
                 quatrex_probe::span("scba.sigma.accumulate", "conv.sigma", || {
                     let t = Instant::now();
                     for e_local in 0..n_elems {
@@ -1940,6 +1957,13 @@ fn rebalance_energy_partition(
                 .expect("every energy stays owned"); // lint:allow(no-unwrap): the ownership ranges partition the energy grid
             if new_group != group {
                 let dst = grid.leader_of(new_group);
+                // Old owner relinquishes energy k's σ state (matrices +
+                // memoizer cache): the migration alltoallv's channel edge
+                // must order this against the new owner's adoption below.
+                race::access_shared(
+                    SharedId::new("dist.sigma_state", k as u64),
+                    AccessKind::Write,
+                );
                 push_bt(&mut send[dst], &sigma_l[k_local]);
                 push_bt(&mut send[dst], &sigma_g[k_local]);
                 push_bt(&mut send[dst], &sigma_r[k_local]);
@@ -1988,6 +2012,11 @@ fn rebalance_energy_partition(
                     .expect("every energy was owned"); // lint:allow(no-unwrap): the previous ownership ranges also partition the grid
                 let src = grid.leader_of(src_group);
                 let it = &mut readers[src];
+                // New owner adopts energy k's migrated σ state.
+                race::access_shared(
+                    SharedId::new("dist.sigma_state", k as u64),
+                    AccessKind::Write,
+                );
                 sigma_l.push(read_bt(it, nb, bs));
                 sigma_g.push(read_bt(it, nb, bs));
                 sigma_r.push(read_bt(it, nb, bs));

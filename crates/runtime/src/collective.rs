@@ -22,6 +22,20 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use quatrex_sync::race::{self, AccessKind, SharedId};
+use quatrex_sync::sched;
+
+/// Race-detector id of one in-flight `alltoallv` message: communicator
+/// (24 bits), source and destination ranks (10 bits each), posting sequence
+/// (20 bits). The sender annotates a `Write` before posting, the receiver a
+/// `Read` after delivery — ordered through the channel's happens-before
+/// edge in a correct run, and a named race when a mutation severs that edge.
+fn wire_id(comm: u64, src: usize, dest: usize, seq: u64) -> u64 {
+    ((comm & 0xff_ffff) << 40)
+        | (((src as u64) & 0x3ff) << 30)
+        | (((dest as u64) & 0x3ff) << 20)
+        | (seq & 0xf_ffff)
+}
 
 /// What a rank is currently blocked on, reported to the
 /// [`CollectiveObserver`] on every poll tick while the block lasts. The
@@ -129,13 +143,29 @@ fn current_observer(n_ranks: usize) -> Option<Arc<dyn CollectiveObserver>> {
 
 /// Poll interval of observed blocking operations: long enough to stay off
 /// the hot path (a tick only happens when a rank is already stalled), short
-/// enough that a diagnosed deadlock surfaces promptly.
-const OBSERVED_POLL_TICK: Duration = Duration::from_millis(20);
+/// enough that a diagnosed deadlock surfaces promptly. Overridable via
+/// `QUATREX_CHECK_TICK_MS` (default 20 ms) — CI shrinks it so seeded
+/// deadlocks are diagnosed fast, soak runs grow it to keep ticks rare.
+fn observed_poll_tick() -> Duration {
+    static TICK: OnceLock<Duration> = OnceLock::new();
+    *TICK.get_or_init(|| {
+        let ms = std::env::var("QUATREX_CHECK_TICK_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(20);
+        Duration::from_millis(ms)
+    })
+}
 
 /// A barrier whose waiters poll the observer instead of blocking
 /// indefinitely, so a deadlock is diagnosed rather than hung on. Only used
 /// when an observer is installed; unobserved runs keep `std::sync::Barrier`.
 struct PollBarrier {
+    // The poll barrier is the deadlock *diagnoser*; routing it through the
+    // instrumented shim would make the watchdog's own blocking show up in the
+    // lock-order and race reports it exists to keep clean.
+    // lint:allow(no-raw-sync): see above.
     state: std::sync::Mutex<(usize, u64)>,
     ready: Condvar,
     n: usize,
@@ -144,6 +174,7 @@ struct PollBarrier {
 impl PollBarrier {
     fn new(n: usize) -> Self {
         Self {
+            // lint:allow(no-raw-sync): see the field declaration above.
             state: std::sync::Mutex::new((0, 0)),
             ready: Condvar::new(),
             n,
@@ -166,7 +197,7 @@ impl PollBarrier {
         while s.1 == generation {
             let (guard, timeout) = self
                 .ready
-                .wait_timeout(s, OBSERVED_POLL_TICK)
+                .wait_timeout(s, observed_poll_tick())
                 .unwrap_or_else(|p| p.into_inner());
             s = guard;
             if s.1 != generation {
@@ -370,9 +401,19 @@ pub struct RankContext<T: Send + 'static> {
     /// Timeout-capable barrier used instead of `barrier` when an observer is
     /// installed, so barrier waits can poll the deadlock detector.
     poll_barrier: Option<Arc<PollBarrier>>,
+    /// Barrier used when this rank is registered with a
+    /// `quatrex_sync::sched` exploration session: arrivals spin through
+    /// `block_point` instead of blocking in the OS, so the scheduler keeps
+    /// control of the interleaving.
+    yield_barrier: Arc<sched::YieldBarrier>,
     observer: Option<Arc<dyn CollectiveObserver>>,
     reduce_slots: Arc<Mutex<Vec<f64>>>,
     stats: Arc<CommStats>,
+    /// Identity of this communicator in race-detector annotations.
+    comm_id: u64,
+    /// Race-detector identity slot of the rendezvous barrier (shared by all
+    /// ranks of the communicator).
+    barrier_race_slot: Arc<AtomicU64>,
     /// Sequence number handed to the next [`RankContext::alltoallv_start`].
     next_post_seq: Cell<u64>,
     /// Sequence number the next [`CommHandle::wait`] must present. The
@@ -486,14 +527,26 @@ impl<T: Send + 'static> RankContext<T> {
     /// internal synchronisation of [`RankContext::allreduce_sum`] uses this
     /// so an allreduce counts as *one* entry in the collective sequence.
     fn barrier_wait_raw(&self) {
-        match (&self.poll_barrier, &self.observer) {
-            (Some(pb), Some(obs)) => {
-                pb.wait(|| obs.on_blocked(self.rank, BlockedOn::Barrier));
-            }
-            _ => {
-                self.barrier.wait();
+        // Race semantics of a barrier: everything before any rank's entry
+        // happens-before everything after every rank's exit. The enter hook
+        // publishes this rank's clock into the generation's accumulator, the
+        // exit hook joins the accumulated clock of all ranks.
+        let token = race::barrier_enter(&self.barrier_race_slot, self.n_ranks);
+        if sched::is_registered() {
+            // Under schedule exploration no rank may block in the OS — the
+            // yield-barrier spins through the scheduler's block points.
+            self.yield_barrier.wait();
+        } else {
+            match (&self.poll_barrier, &self.observer) {
+                (Some(pb), Some(obs)) => {
+                    pb.wait(|| obs.on_blocked(self.rank, BlockedOn::Barrier));
+                }
+                _ => {
+                    self.barrier.wait();
+                }
             }
         }
+        race::barrier_exit(token);
     }
 
     /// All-to-all personalised exchange: `send[j]` goes to rank `j`; the
@@ -587,6 +640,13 @@ impl<T: Send + 'static> RankContext<T> {
             if dest != self.rank {
                 moved_bytes += wire_bytes(&msg) as u64;
             }
+            // Annotate the outgoing message payload before it is posted: the
+            // channel's send/recv happens-before edge must order this write
+            // against the receiver's read in CommHandle::wait.
+            race::access_shared(
+                SharedId::new("comm.wire", wire_id(self.comm_id, self.rank, dest, seq)),
+                AccessKind::Write,
+            );
             self.mailboxes[dest][self.rank]
                 .0
                 .send(msg)
@@ -632,7 +692,7 @@ impl<T: Send + 'static> RankContext<T> {
             return rx.recv().expect("peer alive"); // lint:allow(no-unwrap): rank threads outlive the run; a dead peer means a rank already panicked
         };
         loop {
-            match rx.recv_timeout(OBSERVED_POLL_TICK) {
+            match rx.recv_timeout(observed_poll_tick()) {
                 Ok(msg) => return msg,
                 Err(RecvTimeoutError::Disconnected) => {
                     panic!("rank {}: peer {src} disconnected mid-collective", self.rank)
@@ -686,6 +746,10 @@ impl<T: Send + 'static> RankContext<T> {
             || {
                 {
                     let mut slots = self.reduce_slots.lock();
+                    race::access_shared(
+                        SharedId::new("comm.reduce_slot", (self.comm_id << 16) | self.rank as u64),
+                        AccessKind::Write,
+                    );
                     slots[self.rank] = value;
                 }
                 self.stats
@@ -693,7 +757,18 @@ impl<T: Send + 'static> RankContext<T> {
                     .fetch_add(8 * (self.n_ranks as u64 - 1), Ordering::Relaxed);
                 self.stats.n_collectives.fetch_add(1, Ordering::Relaxed);
                 self.barrier_wait_raw();
-                let sum: f64 = self.reduce_slots.lock().iter().sum();
+                let sum: f64 = {
+                    let slots = self.reduce_slots.lock();
+                    // Each peer's slot write is ordered against this read by
+                    // the barrier between them (and by the slots lock).
+                    for peer in 0..self.n_ranks {
+                        race::access_shared(
+                            SharedId::new("comm.reduce_slot", (self.comm_id << 16) | peer as u64),
+                            AccessKind::Read,
+                        );
+                    }
+                    slots.iter().sum()
+                };
                 self.barrier_wait_raw();
                 sum
             },
@@ -732,6 +807,12 @@ impl<T: Send + 'static> CommHandle<T> {
                 let mut out = Vec::with_capacity(ctx.n_ranks);
                 for src in 0..ctx.n_ranks {
                     out.push(ctx.recv_from(src, seq));
+                    // The matching read of the sender's pre-post write: clean
+                    // exactly when the channel edge ordered the two.
+                    race::access_shared(
+                        SharedId::new("comm.wire", wire_id(ctx.comm_id, src, ctx.rank, seq)),
+                        AccessKind::Read,
+                    );
                 }
                 if let (Some(obs), Some(sizer)) = (&ctx.observer, &sizer) {
                     let row: Vec<u64> = out.iter().map(|m| sizer(m) as u64).collect();
@@ -790,9 +871,27 @@ impl ThreadComm {
         let poll_barrier = observer
             .as_ref()
             .map(|_| Arc::new(PollBarrier::new(n_ranks)));
+        let yield_barrier = Arc::new(sched::YieldBarrier::new(n_ranks));
         let reduce_slots = Arc::new(Mutex::new(vec![0.0f64; n_ranks]));
         let stats = Arc::new(CommStats::with_ranks(n_ranks));
         let f = Arc::new(f);
+        static NEXT_COMM_ID: AtomicU64 = AtomicU64::new(1);
+        let comm_id = NEXT_COMM_ID.fetch_add(1, Ordering::Relaxed);
+        let barrier_race_slot = Arc::new(AtomicU64::new(0));
+        // When the caller runs inside a schedule-exploration session, the
+        // rank threads register with it: the scheduler serialises them and
+        // enumerates their interleavings. `expect` must precede the spawns.
+        let session = sched::current();
+        if let Some(s) = &session {
+            // SessionHandle::expect declares the thread count the explorer
+            // waits for — it is not an Option unwrap.
+            // lint:allow(no-unwrap): see above.
+            s.expect(n_ranks);
+        }
+        // Everything the caller did before this point happens-before every
+        // rank body (fork/adopt), and every rank body happens-before the
+        // caller's continuation after the joins (depart/join).
+        let fork_point = race::fork();
 
         let mut handles = Vec::with_capacity(n_ranks);
         for rank in 0..n_ranks {
@@ -802,16 +901,26 @@ impl ThreadComm {
                 mailboxes: Arc::clone(&mailboxes),
                 barrier: Arc::clone(&barrier),
                 poll_barrier: poll_barrier.clone(),
+                yield_barrier: Arc::clone(&yield_barrier),
                 observer: observer.clone(),
                 reduce_slots: Arc::clone(&reduce_slots),
                 stats: Arc::clone(&stats),
                 next_post_seq: Cell::new(0),
                 next_wait_seq: Cell::new(0),
+                comm_id,
+                barrier_race_slot: Arc::clone(&barrier_race_slot),
             };
             let f = Arc::clone(&f);
+            let session = session.clone();
+            let fork_point = fork_point.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("quatrex-rank-{rank}"))
-                .spawn(move || f(ctx))
+                .spawn(move || {
+                    let _session = session.map(|s| s.enter(rank as u64));
+                    race::adopt(&fork_point);
+                    let out = f(ctx);
+                    (out, race::depart())
+                })
                 .expect("spawn rank thread"); // lint:allow(no-unwrap): thread spawn only fails on resource exhaustion
             handles.push(handle);
         }
@@ -819,7 +928,10 @@ impl ThreadComm {
         let mut first_panic = None;
         for h in handles {
             match h.join() {
-                Ok(r) => results.push(r),
+                Ok((r, join_point)) => {
+                    race::join(join_point);
+                    results.push(r);
+                }
                 Err(payload) => {
                     first_panic.get_or_insert(payload);
                 }

@@ -6,17 +6,27 @@
 //! Implemented as a `Mutex<VecDeque>` + `Condvar` queue — not lock-free like
 //! the real crossbeam, but the simulated runtime exchanges a handful of large
 //! block payloads per collective, so queue contention is negligible.
+//!
+//! Every send/recv publishes a happens-before edge to the
+//! `quatrex_sync::race` detector (the hooks run inside the queue-mutex
+//! critical section, so the cumulative per-channel clock exactly matches the
+//! queue order), and threads registered with a `quatrex_sync::sched`
+//! exploration session never block in the OS: receives become
+//! try/`block_point` spins so the scheduler keeps control of every
+//! interleaving.
 
 pub mod channel {
+    use quatrex_sync::{race, sched};
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
 
     struct Chan<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
         senders: AtomicUsize,
+        race_slot: AtomicU64,
     }
 
     /// Sending half of an unbounded channel.
@@ -71,6 +81,7 @@ pub mod channel {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
+            race_slot: AtomicU64::new(0),
         });
         (
             Sender {
@@ -94,6 +105,9 @@ pub mod channel {
             if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last sender gone: wake blocked receivers so they can error out.
                 self.chan.ready.notify_all();
+                // Under schedule exploration receivers spin through
+                // block_point; the disconnect is the progress they retry on.
+                sched::progress();
             }
         }
     }
@@ -101,21 +115,53 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueue a message. Never blocks.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            sched::yield_point();
             let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
             q.push_back(value);
+            race::channel_send(&self.chan.race_slot);
             drop(q);
             self.chan.ready.notify_one();
+            sched::progress();
             Ok(())
         }
     }
 
     impl<T> Receiver<T> {
+        /// One locked dequeue attempt; `Ok(None)` when the queue is empty
+        /// but senders remain, `Err(())` when it is empty and disconnected.
+        /// The race hook runs under the queue lock, matching queue order.
+        fn try_pop(&self) -> Result<Option<T>, ()> {
+            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(v) = q.pop_front() {
+                race::channel_recv(&self.chan.race_slot);
+                return Ok(Some(v));
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return Err(());
+            }
+            Ok(None)
+        }
+
         /// Dequeue a message, blocking until one is available or every sender
         /// has been dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
+            if sched::is_registered() {
+                sched::yield_point();
+                loop {
+                    match self.try_pop() {
+                        Ok(Some(v)) => {
+                            sched::progress();
+                            return Ok(v);
+                        }
+                        Err(()) => return Err(RecvError),
+                        Ok(None) => sched::block_point(),
+                    }
+                }
+            }
             let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    race::channel_recv(&self.chan.race_slot);
                     return Ok(v);
                 }
                 if self.chan.senders.load(Ordering::Acquire) == 0 {
@@ -130,10 +176,29 @@ pub mod channel {
         /// channel still empty — the hook the checked runtime uses to poll a
         /// deadlock detector instead of blocking a rank forever.
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            if sched::is_registered() {
+                // Wall-clock deadlines would make the schedule
+                // nondeterministic: under exploration, one failed retry
+                // after a progress-wake stands in for the timeout.
+                sched::yield_point();
+                for attempt in 0..2 {
+                    match self.try_pop() {
+                        Ok(Some(v)) => {
+                            sched::progress();
+                            return Ok(v);
+                        }
+                        Err(()) => return Err(RecvTimeoutError::Disconnected),
+                        Ok(None) if attempt == 0 => sched::block_point(),
+                        Ok(None) => {}
+                    }
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
             let deadline = std::time::Instant::now() + timeout;
             let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    race::channel_recv(&self.chan.race_slot);
                     return Ok(v);
                 }
                 if self.chan.senders.load(Ordering::Acquire) == 0 {
@@ -163,11 +228,19 @@ pub mod channel {
 
         /// Dequeue a message if one is immediately available.
         pub fn try_recv(&self) -> Option<T> {
-            self.chan
-                .queue
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .pop_front()
+            sched::yield_point();
+            let v = {
+                let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+                let v = q.pop_front();
+                if v.is_some() {
+                    race::channel_recv(&self.chan.race_slot);
+                }
+                v
+            };
+            if v.is_some() {
+                sched::progress();
+            }
+            v
         }
     }
 

@@ -11,11 +11,62 @@
 //! [`lock_order::enable`]): ordering inversions that could deadlock panic
 //! with a diagnostic naming the lock pair, before any thread blocks. When
 //! disabled the cost is one relaxed atomic load per acquire/release.
+//!
+//! Two further analysis seams instrument every acquisition and release:
+//!
+//! - `quatrex_sync::race` (enabled via `QUATREX_RACE=1`): each release
+//!   stores the holder's vector clock on the lock, each acquire joins it —
+//!   the happens-before edges the race detector checks annotated shared
+//!   accesses against. Lock, lock-order, and race diagnostics share one lock
+//!   identity (the `order_id` slot).
+//! - `quatrex_sync::sched`: threads registered with a schedule-exploration
+//!   session never block in the OS — acquisition becomes a
+//!   `try_lock`/`block_point` spin so the scheduler keeps control, and each
+//!   release announces progress to blocked peers.
 
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::AtomicU64;
 
+use quatrex_sync::{race, sched};
+
 pub mod lock_order;
+
+/// Acquire `inner` without blocking the OS thread when the caller is
+/// registered with a schedule-exploration session.
+fn sched_lock<'a, T: ?Sized>(inner: &'a std::sync::Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    sched::yield_point();
+    loop {
+        match inner.try_lock() {
+            Ok(g) => return g,
+            Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => sched::block_point(),
+        }
+    }
+}
+
+fn sched_read<'a, T: ?Sized>(inner: &'a std::sync::RwLock<T>) -> std::sync::RwLockReadGuard<'a, T> {
+    sched::yield_point();
+    loop {
+        match inner.try_read() {
+            Ok(g) => return g,
+            Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => sched::block_point(),
+        }
+    }
+}
+
+fn sched_write<'a, T: ?Sized>(
+    inner: &'a std::sync::RwLock<T>,
+) -> std::sync::RwLockWriteGuard<'a, T> {
+    sched::yield_point();
+    loop {
+        match inner.try_write() {
+            Ok(g) => return g,
+            Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => sched::block_point(),
+        }
+    }
+}
 
 /// A mutual-exclusion lock whose `lock` returns the guard directly.
 #[derive(Debug, Default)]
@@ -27,6 +78,7 @@ pub struct Mutex<T: ?Sized> {
 /// RAII guard of a [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized> {
     order_id: u64,
+    race_id: u64,
     inner: std::sync::MutexGuard<'a, T>,
 }
 
@@ -53,9 +105,15 @@ impl<T: ?Sized> Mutex<T> {
     /// ordering inversion panics with a diagnostic instead of deadlocking.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         let order_id = lock_order::acquire(&self.order_id);
+        let inner = if sched::is_registered() {
+            sched_lock(&self.inner)
+        } else {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner())
+        };
         MutexGuard {
             order_id,
-            inner: self.inner.lock().unwrap_or_else(|p| p.into_inner()),
+            race_id: race::lock_acquire(&self.order_id),
+            inner,
         }
     }
 
@@ -64,10 +122,12 @@ impl<T: ?Sized> Mutex<T> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard {
                 order_id: lock_order::acquire_try(&self.order_id),
+                race_id: race::lock_acquire(&self.order_id),
                 inner: g,
             }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
                 order_id: lock_order::acquire_try(&self.order_id),
+                race_id: race::lock_acquire(&self.order_id),
                 inner: p.into_inner(),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
@@ -82,7 +142,13 @@ impl<T: ?Sized> Mutex<T> {
 
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        // The race release edge is published while the lock is still held
+        // (the inner guard drops after this body); the sched progress signal
+        // lands before the next scheduling decision, which is strictly after
+        // the unlock.
+        race::lock_release(self.race_id);
         lock_order::release(self.order_id);
+        sched::progress();
     }
 }
 
@@ -109,12 +175,14 @@ pub struct RwLock<T: ?Sized> {
 /// Shared read guard of a [`RwLock`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     order_id: u64,
+    race_id: u64,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 /// Exclusive write guard of a [`RwLock`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     order_id: u64,
+    race_id: u64,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
@@ -136,31 +204,50 @@ impl<T: ?Sized> RwLock<T> {
     /// writer, so ordering inversions through read guards are real bugs.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         let order_id = lock_order::acquire(&self.order_id);
+        let inner = if sched::is_registered() {
+            sched_read(&self.inner)
+        } else {
+            self.inner.read().unwrap_or_else(|p| p.into_inner())
+        };
+        // The race detector models read guards like mutex guards, adding
+        // reader-to-reader edges that do not exist in the real execution;
+        // extra happens-before edges can only hide races, never invent them.
         RwLockReadGuard {
             order_id,
-            inner: self.inner.read().unwrap_or_else(|p| p.into_inner()),
+            race_id: race::lock_acquire(&self.order_id),
+            inner,
         }
     }
 
     /// Acquire an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         let order_id = lock_order::acquire(&self.order_id);
+        let inner = if sched::is_registered() {
+            sched_write(&self.inner)
+        } else {
+            self.inner.write().unwrap_or_else(|p| p.into_inner())
+        };
         RwLockWriteGuard {
             order_id,
-            inner: self.inner.write().unwrap_or_else(|p| p.into_inner()),
+            race_id: race::lock_acquire(&self.order_id),
+            inner,
         }
     }
 }
 
 impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
     fn drop(&mut self) {
+        race::lock_release(self.race_id);
         lock_order::release(self.order_id);
+        sched::progress();
     }
 }
 
 impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        race::lock_release(self.race_id);
         lock_order::release(self.order_id);
+        sched::progress();
     }
 }
 

@@ -33,7 +33,6 @@ const STATE_OFF: u8 = 0;
 const STATE_ON: u8 = 1;
 
 static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
-static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Acquisition-order graph: `edges[a]` holds every lock id that has been
 /// acquired while `a` was held, with the thread name that first recorded the
@@ -102,16 +101,10 @@ pub fn edge_count() -> u64 {
         .sum()
 }
 
+/// Lock ids come from the workspace-wide allocator shared with the race
+/// detector, so a lock has one identity across every diagnostic engine.
 fn id_of(slot: &AtomicU64) -> u64 {
-    let id = slot.load(Ordering::Relaxed);
-    if id != 0 {
-        return id;
-    }
-    let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
-        Ok(_) => fresh,
-        Err(existing) => existing,
-    }
+    quatrex_sync::object_id(slot)
 }
 
 /// Depth-first search for a path `from →* to` in the edge graph, returning

@@ -13,8 +13,11 @@
 //! item order in `collect`, closures must be `Sync`, and `collect` supports
 //! both `Vec<T>` and `Result<Vec<T>, E>` targets (via `FromIterator`).
 
+use quatrex_sync::race;
+use quatrex_sync::race::{AccessKind, SharedId};
+use quatrex_sync::sched;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of worker threads used for parallel stages.
@@ -52,6 +55,12 @@ fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> V
     if n == 0 {
         return Vec::new();
     }
+    if sched::is_registered() {
+        // Under schedule exploration the caller is a serialised rank thread;
+        // worker OS threads would be outside the scheduler's model, so run
+        // the map inline — same results, deterministic order.
+        return items.into_iter().map(f).collect();
+    }
     let workers = worker_count(n);
     if workers == 1 {
         return items.into_iter().map(f).collect();
@@ -68,39 +77,63 @@ fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> V
     let next = AtomicUsize::new(0);
     let panicked = AtomicBool::new(false);
     let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    // Race-detector task edges: workers adopt the spawner's clock, their
+    // final clocks flow back through the scope join, and each claimed chunk
+    // is an annotated shared object (written by exactly one worker, read by
+    // the spawner at collect).
+    let chunk_ids = AtomicU64::new(0);
+    let chunk_id = |c: usize| {
+        SharedId::new(
+            "rayon.chunk",
+            (quatrex_sync::object_id(&chunk_ids) << 16) | c as u64,
+        )
+    };
+    let fork = race::fork();
+    let join_points: Mutex<Vec<race::JoinPoint>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                if panicked.load(Ordering::Relaxed) {
-                    break;
-                }
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
-                }
-                let batch = std::mem::take(&mut *lock_unpoisoned(&work[c]));
-                debug_assert!(!batch.is_empty(), "chunk claimed twice");
-                match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    batch.into_iter().map(&f).collect::<Vec<R>>()
-                })) {
-                    Ok(results) => *lock_unpoisoned(&out[c]) = results,
-                    Err(payload) => {
-                        panicked.store(true, Ordering::Relaxed);
-                        let mut slot = lock_unpoisoned(&first_panic);
-                        if slot.is_none() {
-                            *slot = Some(payload);
-                        }
+            scope.spawn(|| {
+                race::adopt(&fork);
+                loop {
+                    if panicked.load(Ordering::Relaxed) {
                         break;
                     }
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let batch = std::mem::take(&mut *lock_unpoisoned(&work[c]));
+                    debug_assert!(!batch.is_empty(), "chunk claimed twice");
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        batch.into_iter().map(&f).collect::<Vec<R>>()
+                    })) {
+                        Ok(results) => {
+                            *lock_unpoisoned(&out[c]) = results;
+                            race::access_shared(chunk_id(c), AccessKind::Write);
+                        }
+                        Err(payload) => {
+                            panicked.store(true, Ordering::Relaxed);
+                            let mut slot = lock_unpoisoned(&first_panic);
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            break;
+                        }
+                    }
                 }
+                lock_unpoisoned(&join_points).push(race::depart());
             });
         }
     });
+    for point in lock_unpoisoned(&join_points).drain(..) {
+        race::join(point);
+    }
     if let Some(payload) = lock_unpoisoned(&first_panic).take() {
         std::panic::resume_unwind(payload);
     }
     let mut flat = Vec::with_capacity(n);
-    for slot in out {
+    for (c, slot) in out.into_iter().enumerate() {
+        race::access_shared(chunk_id(c), AccessKind::Read);
         let mut results = slot.into_inner().unwrap_or_else(|p| p.into_inner());
         flat.append(&mut results);
     }
@@ -250,10 +283,23 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
+    if sched::is_registered() {
+        // Serialised under schedule exploration (see `parallel_map`).
         let ra = a();
-        (ra, hb.join().expect("join closure panicked"))
+        let rb = b();
+        return (ra, rb);
+    }
+    let fork = race::fork();
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(move || {
+            race::adopt(&fork);
+            let rb = b();
+            (rb, race::depart())
+        });
+        let ra = a();
+        let (rb, point) = hb.join().expect("join closure panicked");
+        race::join(point);
+        (ra, rb)
     })
 }
 
