@@ -298,6 +298,19 @@ impl Device {
             })
             .collect()
     }
+
+    /// The device with a drain bias of `bias_v` volts applied: the source
+    /// contact stays at zero and the channel carries the linear ramp down to
+    /// `-bias_v` eV at the drain ([`Device::linear_potential`] composed with
+    /// [`Device::apply_potential`]). This is the sweep-point → device
+    /// instantiation a bias sweep performs per point — the chemical
+    /// potentials shift separately through `ScbaConfig::mu_right`.
+    pub fn with_drain_bias(&self, bias_v: f64) -> Device {
+        let mut device = self.clone();
+        let ramp = device.linear_potential(0.0, -bias_v);
+        device.apply_potential(&ramp);
+        device
+    }
 }
 
 #[cfg(test)]

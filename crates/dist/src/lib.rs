@@ -59,6 +59,7 @@ pub mod report;
 pub mod slab;
 pub mod solver;
 pub mod spatial;
+pub mod warm;
 
 pub use partition::{energy_cost_weights, partition_weighted};
 pub use report::{DistReport, TranspositionBudget};
@@ -68,3 +69,4 @@ pub use slab::{
 };
 pub use solver::{DistScbaConfig, DistScbaResult, DistScbaSolver};
 pub use spatial::{spatial_phase_solve, RankGrid, SpatialTraffic};
+pub use warm::{WarmState, WarmStateWireError};

@@ -73,6 +73,7 @@ use crate::slab::{
     TranspositionBatchPlan, TranspositionPlan, BYTES_PER_VALUE,
 };
 use crate::spatial::{spatial_phase_solve, RankGrid, SpatialTraffic};
+use crate::warm::WarmState;
 
 /// Configuration of a distributed SCBA run.
 ///
@@ -200,6 +201,18 @@ pub struct DistScbaConfig {
     /// pin the absolute floor of the hot path (the disabled probe is one
     /// thread-local read per call, allocation-free by test).
     pub probe: bool,
+    /// Capture the final per-energy Σ state and OBC memoizer caches into
+    /// [`DistScbaResult::final_state`] when the run ends. Off by default: the
+    /// capture drains the leaders' Σ matrices and memoizer entries into one
+    /// [`WarmState`] over the full grid, which costs memory proportional to
+    /// `3 · N_E` block-tridiagonals.
+    ///
+    /// **When it pays off:** whenever another solve of a *nearby* problem
+    /// follows — a bias/temperature sweep point, a restart from checkpoint.
+    /// Feed the captured state to [`DistScbaSolver::run_warm`] and the SCBA
+    /// loop starts at the neighbor's fixed point instead of `Σ = 0`
+    /// (`quatrex-serve` builds its sweep engine on exactly this pair).
+    pub capture_state: bool,
 }
 
 impl DistScbaConfig {
@@ -216,6 +229,7 @@ impl DistScbaConfig {
             rebalance_energies: false,
             energy_batches: 1,
             probe: true,
+            capture_state: false,
         }
     }
 
@@ -257,6 +271,14 @@ impl DistScbaConfig {
         self.probe = enabled;
         self
     }
+
+    /// Capture the run's final Σ/OBC state into
+    /// [`DistScbaResult::final_state`]. See
+    /// [`DistScbaConfig::capture_state`] for when it pays off.
+    pub fn with_state_capture(mut self, enabled: bool) -> Self {
+        self.capture_state = enabled;
+        self
+    }
 }
 
 /// Result of a distributed SCBA run: the sequential result fields plus the
@@ -288,6 +310,10 @@ pub struct DistScbaResult {
     /// Perfetto / `chrome://tracing`. Empty when
     /// [`DistScbaConfig::probe`] is false.
     pub timeline: Timeline,
+    /// The run's final Σ/OBC state assembled over the full energy grid, for
+    /// warm-starting a nearby solve via [`DistScbaSolver::run_warm`]. `None`
+    /// unless [`DistScbaConfig::capture_state`] is set.
+    pub final_state: Option<WarmState>,
 }
 
 /// Per-rank return value of the communicator closure.
@@ -311,6 +337,13 @@ struct RankOut {
     /// Cumulative memoizer (hits, total solves) after each full iteration.
     memo_per_iteration: Vec<(usize, usize)>,
     trace: Option<RankTrace>,
+    /// Final Σ state of the energies this leader owned at run end, keyed by
+    /// global energy index: `(k, Σ^<, Σ^>, Σ^R)`. Empty unless state capture
+    /// is on (and always empty on non-leaders).
+    final_sigma: Vec<(usize, BlockTridiagonal, BlockTridiagonal, BlockTridiagonal)>,
+    /// Final OBC memoizer entries of the owned energies. Empty unless state
+    /// capture is on.
+    final_obc: Vec<(quatrex_obc::ObcKey, CMatrix)>,
 }
 
 /// The distributed NEGF+scGW solver bound to one device and configuration.
@@ -405,6 +438,21 @@ impl DistScbaSolver {
 
     /// Run the distributed SCBA loop until convergence or the iteration limit.
     pub fn run(&self) -> DistScbaResult {
+        self.run_warm(None)
+    }
+
+    /// Run the distributed SCBA loop seeded from a previously captured
+    /// [`WarmState`] instead of `Σ = 0`. Group leaders adopt the state's Σ
+    /// matrices for their owned energies and pre-fill their OBC memoizer
+    /// caches via [`quatrex_obc::ObcMemoizer::insert_cached`] — the same
+    /// adoption the rebalancer's migration path performs, fed from a wire
+    /// stream instead of an `Alltoallv`. With `initial = None` this *is*
+    /// [`DistScbaSolver::run`]: a cold start.
+    ///
+    /// Panics when the state's grid shape (`N_E`, `N_B`, block size)
+    /// disagrees with the solver's device and energy grid — a warm state is
+    /// only meaningful across solves of the same discretisation.
+    pub fn run_warm(&self, initial: Option<&WarmState>) -> DistScbaResult {
         let cfg = self.config.scba.clone();
         assert!(
             !self.config.symmetry_reduced || cfg.enforce_symmetry,
@@ -460,6 +508,20 @@ impl DistScbaSolver {
         let kt = thermal_energy_ev(cfg.temperature_k);
         let ne = self.grid.len();
         let nb = h.n_blocks();
+        if let Some(w) = initial {
+            assert!(
+                w.n_energies == ne && w.n_blocks == nb && w.block_size == h.block_size(),
+                "warm state shape ({} energies, {} blocks of {}) disagrees with the run \
+                 ({ne} energies, {nb} blocks of {})",
+                w.n_energies,
+                w.n_blocks,
+                w.block_size,
+                h.block_size(),
+            );
+        }
+        let warm: Option<Arc<WarmState>> = initial.map(|w| Arc::new(w.clone()));
+        let capture = self.config.capture_state;
+        let bs = h.block_size();
         let flops = Arc::new(FlopCounter::new());
         let timings = Arc::new(KernelTimings::default());
 
@@ -474,10 +536,28 @@ impl DistScbaSolver {
             let n_batches = self.config.energy_batches;
             let probe = self.config.probe;
             let layout = Arc::clone(&spatial_layout);
+            let warm = warm.clone();
             move |ctx: RankContext<Vec<c64>>| -> RankOut {
                 rank_main(
-                    &ctx, &cfg, &h, &v, &plan, &layout, &energies, de, kt, ne, nb, rebalance,
-                    n_batches, probe, epoch, &flops, &timings,
+                    &ctx,
+                    &cfg,
+                    &h,
+                    &v,
+                    &plan,
+                    &layout,
+                    &energies,
+                    de,
+                    kt,
+                    ne,
+                    nb,
+                    rebalance,
+                    n_batches,
+                    probe,
+                    epoch,
+                    warm.as_deref(),
+                    capture,
+                    &flops,
+                    &timings,
                 )
             }
         };
@@ -576,6 +656,34 @@ impl DistScbaSolver {
                 phase_flop_rates: flop_rates,
             },
         );
+        // Assemble the captured per-leader Σ/OBC fragments into one state
+        // over the full grid. Global energy indices key the fragments, so the
+        // assembly is ownership-agnostic: it holds whether the final split is
+        // the initial plan or a rebalanced one.
+        let final_state = if capture {
+            let mut state = WarmState::zeros(ne, nb, bs);
+            let mut seen = vec![false; ne];
+            let mut obc: Vec<(quatrex_obc::ObcKey, CMatrix)> = Vec::new();
+            for r in std::iter::once(&mut rank0).chain(results.iter_mut()) {
+                for (k, l, g, sr) in r.final_sigma.drain(..) {
+                    assert!(!seen[k], "energy {k} captured by one leader only");
+                    seen[k] = true;
+                    state.sigma_lesser[k] = l;
+                    state.sigma_greater[k] = g;
+                    state.sigma_retarded[k] = sr;
+                }
+                obc.append(&mut r.final_obc);
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "state capture covers the energy grid",
+            );
+            obc.sort_by_key(|(key, _)| *key);
+            state.obc = obc;
+            Some(state)
+        } else {
+            None
+        };
         let result_flops = FlopCounter::new();
         result_flops.merge(&flops);
         DistScbaResult {
@@ -594,6 +702,7 @@ impl DistScbaSolver {
             max_truncation_error: rank0.max_truncation,
             report,
             timeline,
+            final_state,
         }
     }
 
@@ -1120,6 +1229,8 @@ fn rank_main(
     n_batches: usize,
     probe: bool,
     epoch: Instant,
+    warm: Option<&WarmState>,
+    capture: bool,
     flops: &FlopCounter,
     timings: &KernelTimings,
 ) -> RankOut {
@@ -1167,6 +1278,28 @@ fn rank_main(
     let mut sigma_r: Vec<BlockTridiagonal> = vec![BlockTridiagonal::zeros(nb, bs); n_state];
     let mut sigma_l = sigma_r.clone();
     let mut sigma_g = sigma_r.clone();
+
+    // Warm start: group leaders adopt the seed state's Σ matrices for their
+    // owned energies and pre-fill the OBC memoizer — the identical adoption
+    // the rebalancer's migration receive path performs (the shape was
+    // validated against the grid before the ranks spawned).
+    if let Some(w) = warm {
+        if is_leader {
+            let my_e0 = plan.energy_ranges[group].clone();
+            for (k_local, k) in my_e0.clone().enumerate() {
+                sigma_l[k_local] = w.sigma_lesser[k].clone();
+                sigma_g[k_local] = w.sigma_greater[k].clone();
+                sigma_r[k_local] = w.sigma_retarded[k].clone();
+            }
+            if let Some(m) = memoizer.as_mut() {
+                for (key, block) in &w.obc {
+                    if my_e0.contains(&key.energy_index) {
+                        m.insert_cached(*key, block.clone());
+                    }
+                }
+            }
+        }
+    }
 
     let mut residual_history = Vec::new();
     let mut current_history = Vec::new();
@@ -1846,6 +1979,27 @@ fn rank_main(
         None => (0, 0),
     };
 
+    // State capture: drain this leader's final Σ matrices and memoizer
+    // entries, keyed by global energy index so the solver can reassemble the
+    // full-grid state regardless of how rebalancing moved ownership.
+    let mut final_sigma = Vec::new();
+    let mut final_obc = Vec::new();
+    if capture && is_leader {
+        let final_e = plan_rebalanced.as_ref().unwrap_or(plan).energy_ranges[group].clone();
+        let sl = std::mem::take(&mut sigma_l);
+        let sg = std::mem::take(&mut sigma_g);
+        let sr = std::mem::take(&mut sigma_r);
+        debug_assert_eq!(sl.len(), final_e.len(), "Σ state matches final ownership");
+        for (((k, l), g), r) in final_e.clone().zip(sl).zip(sg).zip(sr) {
+            final_sigma.push((k, l, g, r));
+        }
+        if let Some(m) = memoizer.as_mut() {
+            for k in final_e {
+                final_obc.extend(m.extract_energy(k));
+            }
+        }
+    }
+
     RankOut {
         iterations,
         converged,
@@ -1874,6 +2028,8 @@ fn rank_main(
         overlap_seconds: pipe.overlap_seconds,
         memo_per_iteration,
         trace: quatrex_probe::finish(),
+        final_sigma,
+        final_obc,
     }
 }
 
@@ -2042,8 +2198,10 @@ fn rebalance_energy_partition(
 }
 
 /// Encode an [`ObcKey`] (minus the energy index, which is implied by the
-/// message position) into one wire value.
-fn encode_obc_key(key: &quatrex_obc::ObcKey) -> c64 {
+/// message position) into one wire value. The warm-state stream
+/// ([`crate::WarmState`]) reuses this code and carries the energy index in
+/// the imaginary part.
+pub(crate) fn encode_obc_key(key: &quatrex_obc::ObcKey) -> c64 {
     use quatrex_obc::{Contact, Subsystem};
     let contact = match key.contact {
         Contact::Left => 0u8,
@@ -2060,7 +2218,7 @@ fn encode_obc_key(key: &quatrex_obc::ObcKey) -> c64 {
 }
 
 /// Inverse of [`encode_obc_key`] for the given energy index.
-fn decode_obc_key(v: c64, energy_index: usize) -> quatrex_obc::ObcKey {
+pub(crate) fn decode_obc_key(v: c64, energy_index: usize) -> quatrex_obc::ObcKey {
     use quatrex_obc::{Contact, Subsystem};
     let code = v.re as u64;
     quatrex_obc::ObcKey {

@@ -1,0 +1,214 @@
+//! Streaming sweep reports: one [`PointReport`] per finished point, appended
+//! in completion order, extending the per-run `DistReport`/probe plumbing
+//! with the sweep-level quantities (warm-vs-cold iteration counts, bytes
+//! restored per warm start).
+
+use crate::point::SweepPoint;
+use quatrex_probe::json::escape;
+
+/// Observables and warm-start accounting of one finished sweep point.
+#[derive(Debug, Clone)]
+pub struct PointReport {
+    /// The operating point.
+    pub point: SweepPoint,
+    /// Terminal current (the sweep's headline observable).
+    pub current: f64,
+    /// Integrated electron charge (sum of the per-block densities).
+    pub electron_charge: f64,
+    /// Largest magnitude of the spectral current density over the grid — a
+    /// transmission-resonance proxy that localises where the current flows.
+    pub peak_spectral_current: f64,
+    /// SCBA iterations this point took.
+    pub iterations: usize,
+    /// Whether the Σ update fell below the tolerance.
+    pub converged: bool,
+    /// Final relative Σ residual.
+    pub residual: f64,
+    /// Whether the point was seeded from a finished neighbor's state.
+    pub warm_started: bool,
+    /// Completion index of the donating neighbor, if warm-started.
+    pub warm_source: Option<usize>,
+    /// Wire bytes of the restored warm state (0 on a cold start).
+    pub bytes_restored: u64,
+    /// Measured transposition bytes per rank per iteration of this point's
+    /// solve (`DistReport::measured_bytes_per_rank_per_iteration`) — the
+    /// per-point measurement the weak-scaling series consumes.
+    pub bytes_per_rank_per_iteration: u64,
+    /// Per-phase wall seconds of this point's solve (from the probe
+    /// timeline). Empty when the probe is off or the point was restored from
+    /// a checkpoint (timings are measurements of a run, not solver state).
+    pub phase_seconds: Vec<(String, f64)>,
+}
+
+impl PointReport {
+    fn json(&self) -> String {
+        let phases: Vec<String> = self
+            .phase_seconds
+            .iter()
+            .map(|(name, secs)| format!("{}: {:e}", escape(name), secs))
+            .collect();
+        format!(
+            "{{\"bias_v\": {:e}, \"temperature_k\": {:e}, \"current\": {:e}, \
+             \"electron_charge\": {:e}, \"peak_spectral_current\": {:e}, \
+             \"iterations\": {}, \"converged\": {}, \"residual\": {:e}, \
+             \"warm_started\": {}, \"warm_source\": {}, \"bytes_restored\": {}, \
+             \"bytes_per_rank_per_iteration\": {}, \"phase_seconds\": {{{}}}}}",
+            self.point.bias_v,
+            self.point.temperature_k,
+            self.current,
+            self.electron_charge,
+            self.peak_spectral_current,
+            self.iterations,
+            self.converged,
+            self.residual,
+            self.warm_started,
+            self.warm_source.map_or(-1i64, |s| s as i64),
+            self.bytes_restored,
+            self.bytes_per_rank_per_iteration,
+            phases.join(", "),
+        )
+    }
+}
+
+/// The incrementally grown report of a sweep: every finished point in
+/// completion order, plus the sweep-level aggregates derived from them.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Finished points in completion order.
+    pub points: Vec<PointReport>,
+}
+
+impl SweepReport {
+    /// Total SCBA iterations summed over the finished points — the quantity
+    /// the warm-vs-cold headline ratio compares.
+    pub fn total_iterations(&self) -> usize {
+        self.points.iter().map(|p| p.iterations).sum()
+    }
+
+    /// Number of warm-started points.
+    pub fn warm_points(&self) -> usize {
+        self.points.iter().filter(|p| p.warm_started).count()
+    }
+
+    /// Total wire bytes restored by warm starts across the sweep.
+    pub fn bytes_restored(&self) -> u64 {
+        self.points.iter().map(|p| p.bytes_restored).sum()
+    }
+
+    /// Mean measured transposition bytes per rank per iteration over the
+    /// finished points — real per-point data for
+    /// `quatrex_perf::weak_scaling_series_measured`.
+    pub fn mean_bytes_per_rank_per_iteration(&self) -> u64 {
+        if self.points.is_empty() {
+            return 0;
+        }
+        let sum: u64 = self
+            .points
+            .iter()
+            .map(|p| p.bytes_per_rank_per_iteration)
+            .sum();
+        sum / self.points.len() as u64
+    }
+
+    /// `self`'s total iterations over `cold`'s — the headline
+    /// iterations-to-convergence ratio (`< 1.0` means the warm-started sweep
+    /// beat the cold one). `None` when either sweep is empty.
+    pub fn iteration_ratio_vs(&self, cold: &SweepReport) -> Option<f64> {
+        let (warm, cold) = (self.total_iterations(), cold.total_iterations());
+        (warm > 0 && cold > 0).then(|| warm as f64 / cold as f64)
+    }
+
+    /// The report's points sorted by operating point (bias, then
+    /// temperature) — a completion-order-independent view for comparing
+    /// sweeps that ran in different schedules.
+    pub fn sorted_points(&self) -> Vec<&PointReport> {
+        let mut sorted: Vec<&PointReport> = self.points.iter().collect();
+        sorted.sort_by(|a, b| {
+            (a.point.bias_v, a.point.temperature_k)
+                .partial_cmp(&(b.point.bias_v, b.point.temperature_k))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        sorted
+    }
+
+    /// Serialise to a JSON object (the `quatrex_probe::json` dialect the
+    /// bench gate reads).
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self.points.iter().map(|p| p.json()).collect();
+        format!(
+            "{{\n  \"n_points\": {},\n  \"total_iterations\": {},\n  \"warm_points\": {},\n  \
+             \"bytes_restored\": {},\n  \"points\": [\n    {}\n  ]\n}}",
+            self.points.len(),
+            self.total_iterations(),
+            self.warm_points(),
+            self.bytes_restored(),
+            points.join(",\n    "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(bias: f64, iterations: usize, warm: bool) -> PointReport {
+        PointReport {
+            point: SweepPoint::bias(bias),
+            current: 1e-6 * bias,
+            electron_charge: 0.5,
+            peak_spectral_current: 2e-6,
+            iterations,
+            converged: true,
+            residual: 1e-9,
+            warm_started: warm,
+            warm_source: warm.then_some(0),
+            bytes_restored: if warm { 1024 } else { 0 },
+            bytes_per_rank_per_iteration: 4096,
+            phase_seconds: vec![("g.energy".to_string(), 0.25)],
+        }
+    }
+
+    #[test]
+    fn aggregates_and_ratio() {
+        let cold = SweepReport {
+            points: vec![point(0.0, 10, false), point(0.1, 12, false)],
+        };
+        let warm = SweepReport {
+            points: vec![point(0.0, 10, false), point(0.1, 4, true)],
+        };
+        assert_eq!(cold.total_iterations(), 22);
+        assert_eq!(warm.warm_points(), 1);
+        let ratio = warm.iteration_ratio_vs(&cold).expect("both non-empty");
+        assert!((ratio - 14.0 / 22.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn json_parses_and_exposes_the_gate_paths() {
+        let report = SweepReport {
+            points: vec![point(0.0, 10, false), point(0.05, 4, true)],
+        };
+        let doc = quatrex_probe::json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.path("total_iterations").and_then(|v| v.as_u64()),
+            Some(14)
+        );
+        assert_eq!(
+            doc.path("points[1].iterations").and_then(|v| v.as_u64()),
+            Some(4)
+        );
+        assert_eq!(
+            doc.path("points[1].warm_started").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn sorted_points_ignore_completion_order() {
+        let a = SweepReport {
+            points: vec![point(0.1, 5, false), point(0.0, 7, false)],
+        };
+        let sorted = a.sorted_points();
+        assert_eq!(sorted[0].point.bias_v, 0.0);
+        assert_eq!(sorted[1].point.bias_v, 0.1);
+    }
+}

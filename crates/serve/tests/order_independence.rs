@@ -1,0 +1,156 @@
+//! Scheduling-order independence: whatever completion order the engine runs
+//! its queued points in, the final [`SweepReport`] observables must agree.
+//!
+//! Property-style in the spirit of `tests/property_based.rs`: a SplitMix64
+//! generator drives seeded Fisher–Yates shuffles of the queue, each shuffled
+//! sweep is compared against the in-order reference through the
+//! completion-order-independent `sorted_points` view. The warm start stays
+//! *on* — different orders pick different donor states, so this is the real
+//! claim: warm starting changes how fast each point converges, never where.
+//!
+//! One shuffled configuration additionally runs under
+//! `quatrex_check::install_collective_checker` to pin that the engine
+//! introduces no new collective-sequence divergence.
+
+use quatrex_core::ScbaConfig;
+use quatrex_device::DeviceBuilder;
+use quatrex_serve::{SweepConfig, SweepEngine, SweepPoint, SweepReport};
+
+const BIASES: [f64; 5] = [0.0, 0.015, 0.03, 0.045, 0.06];
+
+/// Seeded shuffle orders exercised per property.
+const SHUFFLES: u64 = 6;
+
+/// Equivalence band for observables converged to the 1e-11 solver tolerance
+/// from order-dependent warm starting points.
+const BAND: f64 = 1e-8;
+
+/// SplitMix64: tiny, deterministic, full-period generator (the idiom of
+/// `tests/property_based.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            xs.swap(i, self.uniform_usize(0, i + 1));
+        }
+    }
+}
+
+fn scba() -> ScbaConfig {
+    ScbaConfig {
+        n_energies: 8,
+        max_iterations: 100,
+        tolerance: 1e-11,
+        interaction_scale: 0.2,
+        use_memoizer: false,
+        ..ScbaConfig::default()
+    }
+}
+
+fn run_in_order(points: &[SweepPoint]) -> SweepReport {
+    let device = DeviceBuilder::test_device(2, 2, 6).build();
+    let config = SweepConfig::new(scba(), 2).with_potential_ramp(false);
+    let mut engine = SweepEngine::new(device, config);
+    for &p in points {
+        engine.enqueue(p);
+    }
+    engine.run_all()
+}
+
+/// Difference of `a` and `b` relative to the *curve's* scale, not the
+/// point's: the zero-bias current is ~0 (equal chemical potentials), so a
+/// pointwise relative comparison there measures only the noise floor.
+fn rel(a: f64, b: f64, curve_scale: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(curve_scale).max(1e-300)
+}
+
+/// Largest magnitude of one observable over the reference curve.
+fn curve_scale(reference: &SweepReport, f: impl Fn(&quatrex_serve::PointReport) -> f64) -> f64 {
+    reference
+        .points
+        .iter()
+        .fold(0.0f64, |m, p| m.max(f(p).abs()))
+}
+
+fn assert_same_observables(reference: &SweepReport, shuffled: &SweepReport, seed: u64) {
+    assert_eq!(reference.points.len(), shuffled.points.len(), "seed {seed}");
+    let current_scale = curve_scale(reference, |p| p.current);
+    let charge_scale = curve_scale(reference, |p| p.electron_charge);
+    let peak_scale = curve_scale(reference, |p| p.peak_spectral_current);
+    for (r, s) in reference
+        .sorted_points()
+        .iter()
+        .zip(shuffled.sorted_points())
+    {
+        assert_eq!(r.point.bias_v, s.point.bias_v, "seed {seed}");
+        assert!(
+            r.converged,
+            "seed {seed}: reference at {} V",
+            r.point.bias_v
+        );
+        assert!(s.converged, "seed {seed}: shuffled at {} V", s.point.bias_v);
+        assert!(
+            rel(r.current, s.current, current_scale) <= BAND,
+            "seed {seed}: current at {} V diverged by {:e}",
+            r.point.bias_v,
+            rel(r.current, s.current, current_scale),
+        );
+        assert!(
+            rel(r.electron_charge, s.electron_charge, charge_scale) <= BAND,
+            "seed {seed}: charge at {} V diverged by {:e}",
+            r.point.bias_v,
+            rel(r.electron_charge, s.electron_charge, charge_scale),
+        );
+        assert!(
+            rel(r.peak_spectral_current, s.peak_spectral_current, peak_scale) <= BAND,
+            "seed {seed}: spectral peak at {} V diverged by {:e}",
+            r.point.bias_v,
+            rel(r.peak_spectral_current, s.peak_spectral_current, peak_scale),
+        );
+    }
+}
+
+#[test]
+fn any_completion_order_yields_the_same_final_observables() {
+    let in_order: Vec<SweepPoint> = BIASES.iter().map(|&b| SweepPoint::bias(b)).collect();
+    let reference = run_in_order(&in_order);
+
+    for seed in 0..SHUFFLES {
+        let mut rng = Rng::new(seed);
+        let mut order = in_order.clone();
+        rng.shuffle(&mut order);
+        let shuffled = run_in_order(&order);
+        assert_same_observables(&reference, &shuffled, seed);
+    }
+}
+
+#[test]
+fn shuffled_sweep_passes_the_collective_checker() {
+    let in_order: Vec<SweepPoint> = BIASES.iter().map(|&b| SweepPoint::bias(b)).collect();
+    let reference = run_in_order(&in_order);
+
+    // Reversed order: every point except the first warm-starts downhill.
+    let mut reversed = in_order;
+    reversed.reverse();
+    quatrex_check::install_collective_checker();
+    let checked = run_in_order(&reversed);
+    quatrex_check::uninstall_collective_checker();
+    assert_same_observables(&reference, &checked, u64::MAX);
+}

@@ -276,16 +276,20 @@ fn main() {
     // grid grows with the rank count (8 ranks per Frontier node) so every
     // rank keeps a constant number of energy points — the paper's Fig. 6
     // protocol — and each run solves its slice through the energy-batched
-    // kernel path (`kernel_batch` at its default). Each run's per-rank,
-    // per-iteration transposition volume is then priced with the same backend
-    // cost model the analytic series uses. (The toy device is orders of
-    // magnitude smaller than the paper's NR-16, so the point is the plumbing,
-    // not the scale.)
+    // kernel path (`kernel_batch` at its default). At every node count a
+    // `SweepEngine` runs a short bias sweep, so the volume handed to the
+    // model is the mean of real per-point measurements from the engine's
+    // multi-run loop, not one run's number replicated. Each measured
+    // per-rank, per-iteration transposition volume is then priced with the
+    // same backend cost model the analytic series uses. (The toy device is
+    // orders of magnitude smaller than the paper's NR-16, so the point is
+    // the plumbing, not the scale.)
     let params = DeviceCatalog::nr16();
     let system = SystemModel::frontier();
     let sweep_device = DeviceBuilder::test_device(3, 2, 4).build();
     let nodes: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4] };
     let energies_per_rank = if quick { 2 } else { 4 };
+    let sweep_biases = [0.0, 0.05, 0.1];
     let measured: Vec<u64> = nodes
         .iter()
         .map(|&n| {
@@ -297,9 +301,12 @@ fn main() {
                 interaction_scale: 0.2,
                 ..Default::default()
             };
-            let run =
-                DistScbaSolver::new(sweep_device.clone(), DistScbaConfig::new(cfg, ranks)).run();
-            run.report.measured_bytes_per_rank_per_iteration()
+            let mut engine = SweepEngine::new(
+                sweep_device.clone(),
+                SweepConfig::new(cfg, ranks).with_probe(false),
+            );
+            engine.enqueue_bias_ramp(&sweep_biases);
+            engine.run_all().mean_bytes_per_rank_per_iteration()
         })
         .collect();
     let overhead = quatrex_perf::DecompositionOverhead::paper_calibrated();

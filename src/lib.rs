@@ -31,13 +31,14 @@ pub use quatrex_perf as perf;
 pub use quatrex_probe as probe;
 pub use quatrex_rgf as rgf;
 pub use quatrex_runtime as runtime;
+pub use quatrex_serve as serve;
 pub use quatrex_sparse as sparse;
 
 /// Commonly used types for writing simulations against QuaTrEx-RS.
 pub mod prelude {
     pub use quatrex_core::{ObcMethod, Observables, ScbaConfig, ScbaResult, ScbaSolver};
     pub use quatrex_device::{Device, DeviceBuilder, DeviceCatalog, DeviceParams, EnergyGrid};
-    pub use quatrex_dist::{DistReport, DistScbaConfig, DistScbaResult, DistScbaSolver};
+    pub use quatrex_dist::{DistReport, DistScbaConfig, DistScbaResult, DistScbaSolver, WarmState};
     pub use quatrex_linalg::{c64, CMatrix};
     pub use quatrex_obc::ObcMemoizer;
     pub use quatrex_perf::{
@@ -49,5 +50,6 @@ pub mod prelude {
         nested_dissection_invert, nested_dissection_solve, rgf_solve, NestedConfig,
     };
     pub use quatrex_runtime::{CommBackend, DecompositionPlan};
+    pub use quatrex_serve::{SweepConfig, SweepEngine, SweepPoint, SweepReport};
     pub use quatrex_sparse::{BlockBanded, BlockTridiagonal, SymmetricLesser};
 }
